@@ -1,0 +1,43 @@
+// Ablation — paquet (MTU) choice for the Generic Transmission Module.
+//
+// "The size of those fragments is defined so that each network is able to
+// send them without having to fragment them further... an appropriate
+// paquet size can be chosen at compile time" (paper §2.3). This sweep adds
+// the extremes: tiny paquets drown in per-paquet software overhead (the
+// ~40 µs buffer switch), huge paquets lengthen the pipeline startup; auto
+// picks the route-wide maximum.
+#include <cstdio>
+#include <vector>
+
+#include "harness/pingpong.hpp"
+#include "harness/report.hpp"
+#include "harness/scenario.hpp"
+
+int main() {
+  using namespace mad;
+  const std::vector<std::uint32_t> paquets = {1024,  4096,   16384,
+                                              65536, 131072, 0 /*auto*/};
+  std::vector<std::string> series;
+  for (const auto p : paquets) {
+    series.push_back(p == 0 ? "auto" : harness::size_label(p));
+  }
+  harness::ReportTable table(
+      "Ablation: GTM paquet size, SCI -> Myrinet (MB/s)", "msg size",
+      series);
+  for (std::size_t size = 128 * 1024; size <= 8 * 1024 * 1024; size *= 4) {
+    std::vector<double> row;
+    for (const std::uint32_t paquet : paquets) {
+      fwd::VcOptions options;
+      options.paquet_size = paquet;
+      harness::PaperWorld world(options);
+      row.push_back(harness::measure_vc_oneway(world.engine, *world.vc,
+                                               world.sci_node(),
+                                               world.myri_node(), size)
+                        .mbps);
+    }
+    table.add_row(harness::size_label(size), row);
+  }
+  table.print();
+  std::printf("\nauto = min over the route's networks (128 KB here).\n");
+  return 0;
+}

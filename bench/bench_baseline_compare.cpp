@@ -1,0 +1,81 @@
+// §1 motivation — our in-library pipelined forwarding versus the two
+// approaches the paper argues against:
+//   * Nexus-style application-level store-and-forward ("extra copies of
+//     data are performed and no pipelining techniques can be used");
+//   * PACX-MPI-style TCP inter-cluster glue ("obviously not acceptable for
+//     fast clusters of clusters").
+#include <cstdio>
+#include <vector>
+
+#include "baseline/pacx_tcp.hpp"
+#include "harness/pingpong.hpp"
+#include "harness/report.hpp"
+#include "harness/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mad;
+
+double ours_mbps(std::size_t bytes) {
+  fwd::VcOptions options;
+  options.paquet_size = 64 * 1024;
+  harness::PaperWorld world(options);
+  return harness::measure_vc_oneway(world.engine, *world.vc,
+                                    world.sci_node(), world.myri_node(),
+                                    bytes)
+      .mbps;
+}
+
+double store_forward_mbps(std::size_t bytes) {
+  harness::StoreForwardWorld world;
+  util::Rng rng(1);
+  const auto payload = rng.bytes(bytes);
+  sim::Time done = 0;
+  world.engine.spawn("s", [&] {
+    world.send(world.sci_node(), world.myri_node(), payload);
+  });
+  world.engine.spawn("r", [&] {
+    (void)world.recv(world.myri_node());
+    done = world.engine.now();
+  });
+  world.engine.run();
+  return sim::bandwidth_mbps(bytes, done);
+}
+
+double pacx_mbps(std::size_t bytes) {
+  baseline::PacxWorld world;
+  util::Rng rng(2);
+  const auto payload = rng.bytes(bytes);
+  sim::Time done = 0;
+  world.engine().spawn("s", [&] {
+    world.send(world.sci_node(), world.myri_node(), payload);
+  });
+  world.engine().spawn("r", [&] {
+    (void)world.recv(world.myri_node());
+    done = world.engine().now();
+  });
+  world.engine().run();
+  return sim::bandwidth_mbps(bytes, done);
+}
+
+}  // namespace
+
+int main() {
+  harness::ReportTable table(
+      "Inter-cluster bandwidth SCI -> Myrinet (MB/s): ours vs baselines",
+      "msg size",
+      {"madeleine-fwd", "app store&fwd", "PACX-style TCP"});
+  for (std::size_t size = 64 * 1024; size <= 8 * 1024 * 1024; size *= 4) {
+    table.add_row(harness::size_label(size),
+                  {ours_mbps(size), store_forward_mbps(size),
+                   pacx_mbps(size)});
+  }
+  table.print();
+  std::printf(
+      "\npaper's claims: in-library forwarding keeps most of the hardware "
+      "bandwidth; app-level store-and-forward pays both legs sequentially "
+      "plus a buffering copy (~0.5x); TCP glue is capped by Fast-Ethernet "
+      "(~10 MB/s).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Extension — the paper's §4 future work: "it seems that some
+// sophisticated bandwidth control mechanism is needed to regulate the
+// incoming communication flow on gateways."
+//
+// Part 1 sweeps the incoming-flow pacer on the pathological Myrinet→SCI
+// direction. Finding (honest negative result, recorded in
+// EXPERIMENTS.md): under the fluid-bus contention model, pacing only CAPS
+// throughput — the PIO victim loses bandwidth in proportion to total
+// DMA-active time, which pacing does not reduce.
+//
+// Part 2 evaluates the workaround the paper itself proposes in §3.4.1
+// ("using the SCI DMA engine instead of PIO operations to send buffers
+// over SCI"): switching the gateway's SCI sends to DMA removes the
+// arbitration asymmetry and recovers most of the lost bandwidth.
+#include <cstdio>
+#include <vector>
+
+#include "fwd/virtual_channel.hpp"
+#include "harness/pingpong.hpp"
+#include "harness/report.hpp"
+#include "harness/scenario.hpp"
+
+namespace {
+
+using namespace mad;
+
+double regulated_mbps(double rate, std::size_t bytes) {
+  fwd::VcOptions options;
+  options.paquet_size = 32 * 1024;
+  options.regulation_rate = rate;
+  harness::PaperWorld world(options);
+  return harness::measure_vc_oneway(world.engine, *world.vc,
+                                    world.myri_node(), world.sci_node(),
+                                    bytes)
+      .mbps;
+}
+
+double sci_tx_mode_mbps(net::PciOp tx_op, std::size_t bytes) {
+  sim::Engine engine;
+  net::Fabric fabric(engine);
+  net::Network& myri = fabric.add_network("myri0", net::bip_myrinet());
+  net::NicModelParams sci_model = net::sisci_sci();
+  sci_model.tx_op = tx_op;
+  net::Network& sci = fabric.add_network("sci0", sci_model);
+  net::Host& m0 = fabric.add_host("m0");
+  m0.add_nic(myri);
+  net::Host& gw = fabric.add_host("gw");
+  gw.add_nic(myri);
+  gw.add_nic(sci);
+  net::Host& s0 = fabric.add_host("s0");
+  s0.add_nic(sci);
+  Domain domain(fabric);
+  domain.add_node(m0);
+  domain.add_node(gw);
+  domain.add_node(s0);
+  fwd::VcOptions options;
+  options.paquet_size = 32 * 1024;
+  fwd::VirtualChannel vc(domain, "vc", {&myri, &sci}, options);
+  return harness::measure_vc_oneway(engine, vc, 0, 2, bytes).mbps;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t bytes = 4 * 1024 * 1024;
+
+  harness::ReportTable regulation(
+      "Extension 1: incoming-flow regulation, Myrinet -> SCI (4 MB)",
+      "pacer rate", {"MB/s"});
+  regulation.add_row("off", {regulated_mbps(0.0, bytes)});
+  for (const double rate : {20e6, 30e6, 35e6, 40e6, 50e6, 60e6}) {
+    regulation.add_row(harness::size_label(
+                           static_cast<std::uint64_t>(rate)) + "/s",
+                       {regulated_mbps(rate, bytes)});
+  }
+  regulation.print();
+
+  harness::ReportTable workaround(
+      "Extension 2: SCI send engine on the gateway, Myrinet -> SCI (4 MB)",
+      "SCI tx mode", {"MB/s"});
+  workaround.add_row("PIO (paper)",
+                     {sci_tx_mode_mbps(net::PciOp::Pio, bytes)});
+  workaround.add_row("DMA engine",
+                     {sci_tx_mode_mbps(net::PciOp::Dma, bytes)});
+  workaround.print();
+
+  std::printf(
+      "\nfinding: rate pacing alone cannot beat the unregulated pipeline "
+      "under fluid bus arbitration (it only caps the incoming flow); the "
+      "paper's own SCI-DMA workaround is the effective fix.\n");
+  return 0;
+}

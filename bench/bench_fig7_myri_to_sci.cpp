@@ -1,0 +1,45 @@
+// Figure 7 — "Madeleine's multiprotocol forwarding bandwidth when messages
+// are coming from a Myrinet network and are going to a SCI one."
+//
+// Same sweep as Figure 6, opposite direction. Paper shape: far worse —
+// the gateway's outgoing SCI PIO transactions lose PCI arbitration to the
+// incoming Myrinet DMA and run at half speed (§3.4.1); the asymptotic
+// bandwidth never exceeds ~35-40 MB/s regardless of paquet size.
+#include <cstdio>
+#include <vector>
+
+#include "harness/pingpong.hpp"
+#include "harness/report.hpp"
+#include "harness/scenario.hpp"
+
+int main() {
+  using namespace mad;
+  const std::vector<std::uint32_t> paquets = {8192, 16384, 32768, 65536,
+                                              131072};
+  std::vector<std::string> series;
+  for (const auto p : paquets) {
+    series.push_back("paquet " + harness::size_label(p));
+  }
+  harness::ReportTable table(
+      "Fig 7: forwarding bandwidth Myrinet -> SCI (MB/s)", "msg size",
+      series);
+
+  for (std::size_t size = 32 * 1024; size <= 16 * 1024 * 1024; size *= 2) {
+    std::vector<double> row;
+    for (const std::uint32_t paquet : paquets) {
+      fwd::VcOptions options;
+      options.paquet_size = paquet;
+      harness::PaperWorld world(options);
+      const auto result = harness::measure_vc_oneway(
+          world.engine, *world.vc, world.myri_node(), world.sci_node(), size);
+      row.push_back(result.mbps);
+    }
+    table.add_row(harness::size_label(size), row);
+  }
+  table.print();
+  std::printf(
+      "\npaper: ~25 MB/s asymptote with 8 KB paquets, never exceeding "
+      "~35-40 MB/s — the PIO send is the PCI-arbitration victim of the DMA "
+      "receive\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// MPI-layer collectives: intra-cluster vs cross-cluster cost.
+//
+// The cluster-of-clusters promise is that a single MPI job can span both
+// clusters; the price is that collectives cross the gateway. This bench
+// quantifies it: each collective timed on (a) 4 ranks inside one Myrinet
+// cluster and (b) 2+2 ranks split across the Myrinet/SCI gateway.
+#include <cstdio>
+#include <vector>
+
+#include "harness/report.hpp"
+#include "harness/scenario.hpp"
+#include "mpi/comm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mad;
+
+enum class Collective { Barrier, Bcast64K, Allreduce1K, Alltoall16K };
+
+const char* name_of(Collective c) {
+  switch (c) {
+    case Collective::Barrier:
+      return "barrier";
+    case Collective::Bcast64K:
+      return "bcast 64KB";
+    case Collective::Allreduce1K:
+      return "allreduce 1KB";
+    case Collective::Alltoall16K:
+      return "alltoall 4x16KB";
+  }
+  return "?";
+}
+
+/// Time one collective over 4 ranks; split=false keeps all ranks in the
+/// Myrinet cluster, split=true puts two in each cluster.
+double collective_us(Collective what, bool split) {
+  fwd::VcOptions options;
+  options.paquet_size = 16 * 1024;
+  harness::PaperWorld world(options, /*myri_endpoints=*/4,
+                            /*sci_endpoints=*/4);
+  // gateway rank is 4; myri nodes 0-3, sci nodes 5-8.
+  const std::vector<NodeRank> nodes =
+      split ? std::vector<NodeRank>{0, 1, 5, 6}
+            : std::vector<NodeRank>{0, 1, 2, 3};
+  mpi::World mpi_world(*world.vc, nodes);
+  sim::Time done = 0;
+  for (int r = 0; r < 4; ++r) {
+    world.engine.spawn("rank" + std::to_string(r), [&, r] {
+      mpi::Communicator& comm = mpi_world.comm(r);
+      util::Rng rng(1);
+      std::vector<std::byte> big = rng.bytes(64 * 1024);
+      std::vector<std::byte> small = rng.bytes(1024);
+      std::vector<std::byte> small_out(1024);
+      std::vector<std::byte> scratch(64 * 1024);
+      std::vector<std::byte> a2a_in = rng.bytes(4 * 16 * 1024);
+      std::vector<std::byte> a2a_out(4 * 16 * 1024);
+      comm.barrier();  // warm up connections, align start
+      const sim::Time begin = world.engine.now();
+      switch (what) {
+        case Collective::Barrier:
+          comm.barrier();
+          break;
+        case Collective::Bcast64K:
+          comm.bcast(0, r == 0 ? util::MutByteSpan(big)
+                               : util::MutByteSpan(scratch));
+          break;
+        case Collective::Allreduce1K:
+          comm.allreduce(small, small_out, mpi::ReduceOp::SumU64);
+          break;
+        case Collective::Alltoall16K:
+          comm.alltoall(a2a_in, a2a_out, 16 * 1024);
+          break;
+      }
+      (void)begin;
+      if (r == 0) {
+        done = world.engine.now() - begin;
+      }
+    });
+  }
+  world.engine.run();
+  return sim::to_microseconds(done);
+}
+
+}  // namespace
+
+int main() {
+  harness::ReportTable table(
+      "MPI collectives, 4 ranks: one cluster vs split across the gateway "
+      "(us)",
+      "collective", {"intra-cluster", "cross-cluster", "slowdown x"});
+  for (const Collective c :
+       {Collective::Barrier, Collective::Bcast64K, Collective::Allreduce1K,
+        Collective::Alltoall16K}) {
+    const double intra = collective_us(c, false);
+    const double cross = collective_us(c, true);
+    table.add_row(name_of(c), {intra, cross, cross / intra});
+  }
+  table.print();
+  std::printf(
+      "\ncross-cluster collectives pay gateway latency per tree level; "
+      "bulk-bandwidth collectives (bcast/alltoall) suffer least thanks to "
+      "the pipelined forwarder.\n");
+  return 0;
+}

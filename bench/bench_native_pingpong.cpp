@@ -1,0 +1,75 @@
+// §3.2.2 — native Madeleine performance over each protocol.
+//
+// Reproduces the paper's preliminary remarks: "SCI achieves very good
+// performance for small messages whereas Myrinet competes better for large
+// messages. Madeleine achieves approximately the same performance on top
+// of Myrinet and SCI for messages of size 16 KB (latency ≈ 270 µs,
+// bandwidth ≈ 60 MB/s)".
+#include <cstdio>
+#include <vector>
+
+#include "harness/pingpong.hpp"
+#include "harness/report.hpp"
+
+namespace {
+
+mad::harness::PingResult native(const char* protocol, std::size_t bytes) {
+  using namespace mad;
+  sim::Engine engine;
+  net::Fabric fabric(engine);
+  net::Network& network =
+      fabric.add_network("n", net::nic_model_by_name(protocol));
+  net::Host& a = fabric.add_host("a");
+  a.add_nic(network);
+  net::Host& b = fabric.add_host("b");
+  b.add_nic(network);
+  Domain domain(fabric);
+  domain.add_node(a);
+  domain.add_node(b);
+  const ChannelId ch = domain.create_channel("main", network);
+  return harness::measure_native_oneway(engine, domain.endpoint(ch, 0),
+                                        domain.endpoint(ch, 1), 0, 1, bytes,
+                                        /*repeats=*/3, /*warmup=*/1);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<const char*> protocols = {"BIP/Myrinet", "SISCI/SCI",
+                                              "SBP", "TCP/FEth"};
+  std::vector<std::size_t> sizes;
+  for (std::size_t s = 8; s <= 8 * 1024 * 1024; s *= 4) {
+    sizes.push_back(s);
+  }
+
+  mad::harness::ReportTable latency(
+      "Native Madeleine one-way latency (us) — paper §3.2.2", "msg size",
+      {protocols.begin(), protocols.end()});
+  mad::harness::ReportTable bandwidth(
+      "Native Madeleine bandwidth (MB/s) — paper §3.2.2", "msg size",
+      {protocols.begin(), protocols.end()});
+
+  for (const std::size_t size : sizes) {
+    std::vector<double> lat_row;
+    std::vector<double> bw_row;
+    for (const char* protocol : protocols) {
+      const auto result = native(protocol, size);
+      lat_row.push_back(mad::sim::to_microseconds(result.one_way));
+      bw_row.push_back(result.mbps);
+    }
+    latency.add_row(mad::harness::size_label(size), lat_row);
+    bandwidth.add_row(mad::harness::size_label(size), bw_row);
+  }
+  latency.print();
+  bandwidth.print();
+
+  // The crossover anchor the models are calibrated against.
+  const auto sci16 = native("SISCI/SCI", 16 * 1024);
+  const auto myri16 = native("BIP/Myrinet", 16 * 1024);
+  std::printf(
+      "\nanchor: 16 KB one-way — SCI %.1f us (%.1f MB/s), Myrinet %.1f us "
+      "(%.1f MB/s); paper: ~270 us, ~60 MB/s for both\n",
+      mad::sim::to_microseconds(sci16.one_way), sci16.mbps,
+      mad::sim::to_microseconds(myri16.one_way), myri16.mbps);
+  return 0;
+}

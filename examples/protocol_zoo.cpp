@@ -1,0 +1,97 @@
+// Protocol zoo: every static/dynamic buffer combination at a gateway, with
+// live software-copy accounting — a tour of the paper's §2.3 zero-copy
+// matrix.
+//
+// For each (incoming protocol, outgoing protocol) pair we build a three-
+// node world a0 —netA— gw —netB— b0, push one 64 KB message through the
+// gateway, and print how many bytes the whole path copied in software.
+// Dynamic protocols (BIP/Myrinet, SISCI/SCI) move data straight between
+// user memory and the NIC; static ones (TCP/FEth, SBP) force copies at the
+// endpoints — but the GATEWAY itself only ever copies in the
+// static→static case.
+#include <cstdio>
+
+#include "fwd/virtual_channel.hpp"
+#include "mad/copy_stats.hpp"
+#include "mad/madeleine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+constexpr std::size_t kBytes = 64 * 1024;
+
+double run_pair(const std::string& proto_in, const std::string& proto_out,
+                bool zero_copy, std::uint64_t* copied_bytes) {
+  using namespace mad;
+  sim::Engine engine;
+  net::Fabric fabric(engine);
+  net::Network& net_a =
+      fabric.add_network("netA", net::nic_model_by_name(proto_in));
+  net::Network& net_b =
+      fabric.add_network("netB", net::nic_model_by_name(proto_out));
+  net::Host& a0 = fabric.add_host("a0");
+  a0.add_nic(net_a);
+  net::Host& gw = fabric.add_host("gw");
+  gw.add_nic(net_a);
+  gw.add_nic(net_b);
+  net::Host& b0 = fabric.add_host("b0");
+  b0.add_nic(net_b);
+  Domain domain(fabric);
+  domain.add_node(a0);
+  domain.add_node(gw);
+  domain.add_node(b0);
+  fwd::VcOptions options;
+  options.zero_copy = zero_copy;
+  fwd::VirtualChannel vc(domain, "zoo", {&net_a, &net_b}, options);
+
+  util::Rng rng(1);
+  const auto payload = rng.bytes(kBytes);
+  copy_stats().reset();
+  sim::Time done = 0;
+  engine.spawn("a0", [&] {
+    auto msg = vc.endpoint(0).begin_packing(2);
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  engine.spawn("b0", [&] {
+    std::vector<std::byte> out(kBytes);
+    auto msg = vc.endpoint(2).begin_unpacking();
+    msg.unpack(out);
+    msg.end_unpacking();
+    done = engine.now();
+    if (out != payload) {
+      std::fprintf(stderr, "PAYLOAD CORRUPTED %s->%s\n", proto_in.c_str(),
+                   proto_out.c_str());
+    }
+  });
+  engine.run();
+  *copied_bytes = copy_stats().bytes;
+  return sim::bandwidth_mbps(kBytes, done);
+}
+
+}  // namespace
+
+int main() {
+  const char* protocols[] = {"BIP/Myrinet", "SISCI/SCI", "VIA/GigaNet",
+                             "SBP", "TCP/FEth"};
+  std::printf(
+      "%-13s %-13s | %10s %12s | %12s\n", "incoming", "outgoing",
+      "MB/s", "sw-copied", "copied(no-zc)");
+  std::printf("%s\n", std::string(72, '-').c_str());
+  for (const char* in : protocols) {
+    for (const char* out : protocols) {
+      std::uint64_t copied_zc = 0;
+      std::uint64_t copied_nozc = 0;
+      const double mbps = run_pair(in, out, /*zero_copy=*/true, &copied_zc);
+      run_pair(in, out, /*zero_copy=*/false, &copied_nozc);
+      std::printf("%-13s %-13s | %10.1f %12llu | %12llu\n", in, out, mbps,
+                  static_cast<unsigned long long>(copied_zc),
+                  static_cast<unsigned long long>(copied_nozc));
+    }
+  }
+  std::printf(
+      "\n(sw-copied counts every software copy on the whole path, endpoints"
+      "\n included; the gateway itself copies only in static->static —"
+      "\n compare against the no-zero-copy column.)\n");
+  return 0;
+}

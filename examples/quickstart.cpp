@@ -1,0 +1,83 @@
+// Quickstart: two nodes on one (simulated) Myrinet, the basic Madeleine
+// message-passing API — begin_packing / pack / end_packing and the
+// symmetric unpacking side, with the SendMode/RecvMode flag pairs.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "mad/madeleine.hpp"
+
+namespace {
+
+struct Particle {
+  double x, y, z;
+  double mass;
+};
+
+}  // namespace
+
+int main() {
+  using namespace mad;
+
+  // 1. Describe the hardware: two hosts with one Myrinet NIC each.
+  sim::Engine engine;
+  net::Fabric fabric(engine);
+  net::Network& myrinet = fabric.add_network("myri0", net::bip_myrinet());
+  net::Host& alice_host = fabric.add_host("alice");
+  alice_host.add_nic(myrinet);
+  net::Host& bob_host = fabric.add_host("bob");
+  bob_host.add_nic(myrinet);
+
+  // 2. Bootstrap the Madeleine configuration: nodes get ranks, channels
+  //    define closed communication worlds.
+  Domain domain(fabric);
+  Session& alice = domain.add_node(alice_host);
+  Session& bob = domain.add_node(bob_host);
+  domain.create_channel("main", myrinet);
+
+  // 3. Application code runs as simulation actors.
+  engine.spawn("alice", [&] {
+    // A message is built incrementally from blocks anywhere in user space.
+    std::vector<Particle> particles(1000);
+    for (std::size_t i = 0; i < particles.size(); ++i) {
+      particles[i] = {static_cast<double>(i), 0.5, -0.5, 1.0};
+    }
+    auto msg = alice.channel("main").begin_packing(bob.rank());
+    // The count travels EXPRESS: the receiver needs it immediately to size
+    // its buffer.
+    msg.pack_value(static_cast<std::uint32_t>(particles.size()));
+    // The bulk travels CHEAPER: the library may aggregate it freely, and
+    // with BIP/Myrinet it goes straight from this vector to the wire —
+    // zero software copies.
+    msg.pack(util::ByteSpan(
+                 reinterpret_cast<const std::byte*>(particles.data()),
+                 particles.size() * sizeof(Particle)),
+             SendMode::Cheaper, RecvMode::Cheaper);
+    msg.end_packing();
+    std::printf("[alice] sent %zu particles at t=%.1f us\n",
+                particles.size(), sim::to_microseconds(engine.now()));
+  });
+
+  engine.spawn("bob", [&] {
+    auto msg = bob.channel("main").begin_unpacking();
+    const auto count = msg.unpack_value<std::uint32_t>();
+    std::vector<Particle> particles(count);
+    msg.unpack(util::MutByteSpan(
+                   reinterpret_cast<std::byte*>(particles.data()),
+                   particles.size() * sizeof(Particle)),
+               SendMode::Cheaper, RecvMode::Cheaper);
+    msg.end_unpacking();
+    std::printf("[bob]   received %u particles from rank %d at t=%.1f us\n",
+                count, msg.source(), sim::to_microseconds(engine.now()));
+    std::printf("[bob]   particle[42].x = %.1f (expected 42.0)\n",
+                particles[42].x);
+  });
+
+  engine.run();
+  std::printf("done: virtual time %.1f us, %llu context switches\n",
+              sim::to_microseconds(engine.now()),
+              static_cast<unsigned long long>(engine.context_switches()));
+  return 0;
+}

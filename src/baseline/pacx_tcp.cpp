@@ -1,0 +1,81 @@
+#include "baseline/pacx_tcp.hpp"
+
+#include "util/panic.hpp"
+
+namespace mad::baseline {
+
+PacxWorld::PacxWorld(int myri_endpoints, int sci_endpoints) {
+  fabric_.emplace(engine_);
+  net::Network& myri = fabric_->add_network("myri0", net::bip_myrinet());
+  net::Network& feth = fabric_->add_network("feth0", net::tcp_fast_ethernet());
+  net::Network& sci = fabric_->add_network("sci0", net::sisci_sci());
+
+  std::vector<net::Host*> hosts;
+  for (int i = 0; i < myri_endpoints; ++i) {
+    net::Host& h = fabric_->add_host("m" + std::to_string(i));
+    h.add_nic(myri);
+    hosts.push_back(&h);
+  }
+  net::Host& gwa = fabric_->add_host("gwA");
+  gwa.add_nic(myri);
+  gwa.add_nic(feth);
+  hosts.push_back(&gwa);
+  gw_a_ = myri_endpoints;
+  net::Host& gwb = fabric_->add_host("gwB");
+  gwb.add_nic(feth);
+  gwb.add_nic(sci);
+  hosts.push_back(&gwb);
+  gw_b_ = gw_a_ + 1;
+  for (int i = 0; i < sci_endpoints; ++i) {
+    net::Host& h = fabric_->add_host("s" + std::to_string(i));
+    h.add_nic(sci);
+    hosts.push_back(&h);
+  }
+
+  domain_.emplace(*fabric_);
+  for (net::Host* h : hosts) {
+    domain_->add_node(*h);
+  }
+
+  const ChannelId myri_ch = domain_->create_channel("pacx.myri", myri);
+  const ChannelId feth_ch = domain_->create_channel("pacx.feth", feth);
+  const ChannelId sci_ch = domain_->create_channel("pacx.sci", sci);
+
+  topo::Topology topology(domain_->node_count());
+  for (NodeRank rank = 0;
+       static_cast<std::size_t>(rank) < domain_->node_count(); ++rank) {
+    if (domain_->has_nic(rank, myri)) {
+      topology.attach(rank, 0);
+    }
+    if (domain_->has_nic(rank, feth)) {
+      topology.attach(rank, 1);
+    }
+    if (domain_->has_nic(rank, sci)) {
+      topology.attach(rank, 2);
+    }
+  }
+  router_.emplace(*domain_, std::vector<ChannelId>{myri_ch, feth_ch, sci_ch},
+                  topology);
+}
+
+void PacxWorld::send(NodeRank src, NodeRank dst, util::ByteSpan data) {
+  const topo::Hop hop = router_->first_hop(src, dst);
+  Channel& channel = router_->channel_on(hop.network, src);
+  sf_send(channel, hop.node, dst, src, data);
+}
+
+SfReceived PacxWorld::recv(NodeRank self) {
+  // A plain node sits on exactly one network; receive on that channel.
+  for (int local = 0; local < 3; ++local) {
+    Channel* channel = nullptr;
+    try {
+      channel = &router_->channel_on(local, self);
+    } catch (const util::PanicError&) {
+      continue;  // not a member of that network's channel
+    }
+    return sf_recv(*channel);
+  }
+  MAD_PANIC("node " + std::to_string(self) + " is on no PACX channel");
+}
+
+}  // namespace mad::baseline

@@ -1,0 +1,96 @@
+#include "baseline/store_forward.hpp"
+
+#include "mad/copy_stats.hpp"
+#include "util/panic.hpp"
+
+namespace mad::baseline {
+
+void sf_send(Channel& channel, NodeRank next_hop, NodeRank final_dst,
+             NodeRank origin, util::ByteSpan data) {
+  MessageWriter msg = channel.begin_packing(next_hop);
+  msg.pack_value(SfHeader{static_cast<std::uint32_t>(origin),
+                          static_cast<std::uint32_t>(final_dst),
+                          data.size()});
+  msg.pack(data, SendMode::Cheaper, RecvMode::Cheaper);
+  msg.end_packing();
+}
+
+SfReceived sf_recv(Channel& channel) {
+  MessageReader msg = channel.begin_unpacking();
+  const auto header = msg.unpack_value<SfHeader>();
+  MAD_ASSERT(header.final_dst == static_cast<std::uint32_t>(channel.rank()),
+             "sf_recv: message for someone else reached a non-router node");
+  SfReceived received;
+  received.origin = static_cast<NodeRank>(header.origin);
+  received.data.resize(header.size);
+  msg.unpack(received.data, SendMode::Cheaper, RecvMode::Cheaper);
+  msg.end_unpacking();
+  return received;
+}
+
+StoreForwardRouter::StoreForwardRouter(Domain& domain,
+                                       std::vector<ChannelId> channels,
+                                       const topo::Topology& topology)
+    : domain_(domain),
+      channels_(std::move(channels)),
+      routing_(topology) {
+  MAD_ASSERT(channels_.size() == topology.network_count(),
+             "one channel per network required");
+  spawn_relays(topology);
+}
+
+Channel& StoreForwardRouter::channel_on(int local_net, NodeRank rank) const {
+  MAD_ASSERT(local_net >= 0 &&
+                 static_cast<std::size_t>(local_net) < channels_.size(),
+             "bad local network id");
+  return domain_.endpoint(channels_[static_cast<std::size_t>(local_net)],
+                          rank);
+}
+
+topo::Hop StoreForwardRouter::first_hop(NodeRank src, NodeRank dst) const {
+  return routing_.route(src, dst).front();
+}
+
+void StoreForwardRouter::spawn_relays(const topo::Topology& topology) {
+  sim::Engine& engine = domain_.engine();
+  for (NodeRank rank = 0;
+       static_cast<std::size_t>(rank) < topology.node_count(); ++rank) {
+    if (!topology.is_gateway(rank)) {
+      continue;
+    }
+    for (const int local : topology.networks_of(rank)) {
+      Channel& in_channel = channel_on(local, rank);
+      engine.spawn(
+          "sf.relay." + std::to_string(rank) + "." + std::to_string(local),
+          [this, &in_channel, rank] {
+            for (;;) {
+              in_channel.wait_incoming();
+              // Receive the WHOLE message into a temporary buffer first —
+              // no pipelining, and an extra software copy to model the
+              // buffering an application-level router cannot avoid.
+              MessageReader msg = in_channel.begin_unpacking();
+              const auto header = msg.unpack_value<SfHeader>();
+              std::vector<std::byte> body(header.size);
+              msg.unpack(body, SendMode::Cheaper, RecvMode::Cheaper);
+              msg.end_unpacking();
+              const auto dst = static_cast<NodeRank>(header.final_dst);
+              if (dst == rank) {
+                MAD_PANIC("relay received a message addressed to itself; "
+                          "clients must use sf_recv directly");
+              }
+              // The application-level buffering copy (receive buffer →
+              // send buffer) that the in-library forwarder avoids.
+              std::vector<std::byte> resend(body.size());
+              counted_copy(resend, body);
+              const topo::Hop hop = routing_.route(rank, dst).front();
+              Channel& out_channel = channel_on(hop.network, rank);
+              sf_send(out_channel, hop.node, dst,
+                      static_cast<NodeRank>(header.origin), resend);
+            }
+          },
+          /*daemon=*/true);
+    }
+  }
+}
+
+}  // namespace mad::baseline

@@ -1,0 +1,70 @@
+// Baseline 1: application-level store-and-forward routing.
+//
+// This is the Nexus-style approach the paper's introduction criticizes:
+// "It is up to the application to forward messages from one network device
+// to another one, using regular receive and send operations. This raises
+// two major problems: the routing is not transparent to the application
+// and the data transfers are inefficient in terms of bandwidth since extra
+// copies of data are performed and no pipelining techniques can be used."
+//
+// The router runs as explicit application code on gateway nodes: it
+// receives each message ENTIRELY into a freshly allocated buffer (the
+// extra copy; receive and retransmission never overlap) and then re-sends
+// it over the next network. Clients must name the first hop themselves —
+// the non-transparent part — via the helper sf_send/sf_recv wire format.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mad/madeleine.hpp"
+#include "topo/routing.hpp"
+
+namespace mad::baseline {
+
+/// Wire format of a store-and-forward message: an express header followed
+/// by one payload block.
+struct SfHeader {
+  std::uint32_t origin = 0;
+  std::uint32_t final_dst = 0;
+  std::uint64_t size = 0;
+};
+
+/// Sends `data` toward `final_dst`, entering the relay overlay at
+/// `next_hop` over `channel`.
+void sf_send(Channel& channel, NodeRank next_hop, NodeRank final_dst,
+             NodeRank origin, util::ByteSpan data);
+
+struct SfReceived {
+  NodeRank origin = -1;
+  std::vector<std::byte> data;
+};
+
+/// Receives the next store-and-forward message addressed to this node.
+SfReceived sf_recv(Channel& channel);
+
+/// Application-level router: spawns one daemon actor per (gateway,
+/// channel) that receives whole messages and re-sends them toward their
+/// destination. `channels` holds one ChannelId per network, aligned with
+/// the local network ids of `routing`/`topology`.
+class StoreForwardRouter {
+ public:
+  StoreForwardRouter(Domain& domain, std::vector<ChannelId> channels,
+                     const topo::Topology& topology);
+
+  const topo::Routing& routing() const { return routing_; }
+  Channel& channel_on(int local_net, NodeRank rank) const;
+
+  /// First hop from `src` toward `dst` (what a client must know — the
+  /// overlay is not transparent).
+  topo::Hop first_hop(NodeRank src, NodeRank dst) const;
+
+ private:
+  void spawn_relays(const topo::Topology& topology);
+
+  Domain& domain_;
+  std::vector<ChannelId> channels_;
+  topo::Routing routing_;
+};
+
+}  // namespace mad::baseline

@@ -1,0 +1,264 @@
+// Gateway forward-listeners and the pipelined retransmission engine
+// (paper §2.2.2 and Fig 4).
+//
+// Per (gateway node, bridged network) a daemon actor listens on that
+// network's SPECIAL channel. Each arriving message is a GTM stream; the
+// listener decides the outgoing real channel from the routing table
+// (special channel toward the next gateway, regular channel toward the
+// final destination — the paper's two-gateway disambiguation) and relays
+// the stream paquet by paquet. With pipeline_depth >= 2 a dedicated sender
+// actor retransmits paquet k while the listener receives paquet k+1 — the
+// paper's two-threads/two-buffers scheme. Zero-copy paths follow §2.3.
+#include "fwd/gateway.hpp"
+
+#include <string>
+#include <vector>
+
+#include "fwd/pipeline.hpp"
+#include "fwd/regulation.hpp"
+#include "fwd/virtual_channel.hpp"
+#include "mad/copy_stats.hpp"
+#include "sim/mailbox.hpp"
+#include "util/log.hpp"
+#include "util/panic.hpp"
+
+namespace mad::fwd {
+
+namespace {
+
+/// Per (gateway, incoming network) relay state, reused across messages.
+class GatewayRelay {
+ public:
+  GatewayRelay(VirtualChannel& vc, NodeRank self, int in_local_net)
+      : vc_(vc),
+        self_(self),
+        in_channel_(vc.special_channel(in_local_net, self)),
+        engine_(vc.domain().engine()),
+        free_buffers_(engine_, 0,
+                      vc.name() + ".gwbuf." + std::to_string(self)),
+        regulator_(engine_, vc.options().regulation_rate) {
+    for (int i = 0; i < vc.options().pipeline_depth; ++i) {
+      free_buffers_.send(std::vector<std::byte>(vc.mtu()));
+    }
+  }
+
+  Channel& in_channel() const { return in_channel_; }
+
+  void relay_message(MessageReader in) {
+    const GtmMsgHeader hdr = read_msg_header(in);
+    const auto dst = static_cast<NodeRank>(hdr.final_dst);
+    MAD_ASSERT(dst != self_,
+               "message to the gateway itself must use a regular channel");
+    const topo::Route& route = vc_.routing().route(self_, dst);
+    const topo::Hop& hop = route.front();
+    const bool last_hop = route.size() == 1;
+    // Past the last gateway messages travel on a regular channel, so plain
+    // nodes poll a single channel; toward another gateway they stay on the
+    // special channel (paper §2.2.2).
+    Channel& out_channel = last_hop
+                               ? vc_.regular_channel(hop.network, self_)
+                               : vc_.special_channel(hop.network, self_);
+    const NodeRank next = hop.node;
+
+    if (vc_.options().pipeline_depth == 1) {
+      relay_sequential(in, hdr, out_channel, next, last_hop);
+    } else {
+      relay_pipelined(in, hdr, out_channel, next, last_hop);
+    }
+    in.end_unpacking();
+    ++vc_.mutable_gateway_stats(self_).messages_forwarded;
+  }
+
+ private:
+  MessageWriter open_outgoing(Channel& out_channel, NodeRank next,
+                              bool last_hop, const GtmMsgHeader& hdr) {
+    MessageWriter out = out_channel.begin_packing(next);
+    if (last_hop) {
+      write_preamble(out, Preamble{hdr.origin, 1});
+    }
+    write_msg_header(out, hdr);
+    return out;
+  }
+
+  /// Receives the next paquet of `size` bytes, choosing the §2.3 zero-copy
+  /// path from the static/dynamic buffer modes of both sides.
+  RelayItem receive_fragment(MessageReader& in, Channel& out_channel,
+                             std::uint32_t size) {
+    TransmissionModule& in_tm = in_channel_.tm();
+    TransmissionModule& out_tm = out_channel.tm();
+    const bool in_static = in_tm.model().rx_static();
+    const bool out_static = out_tm.model().tx_static();
+    const bool zero_copy = vc_.options().zero_copy;
+
+    regulator_.pace(size);
+    const sim::Time begin = engine_.now();
+    RelayItem item;
+    if (in_static && zero_copy) {
+      // Consume the paquet's protocol buffer directly (the GTM discipline
+      // guarantees one express paquet == one static buffer).
+      const std::uint64_t rx_tag =
+          in_channel_.connection_to(in.source()).rx_tag;
+      auto in_ref = in_tm.recv_packet_static(rx_tag);
+      MAD_ASSERT(in_ref.used() == size, "paquet/static-buffer size mismatch");
+      if (out_static) {
+        // static → static: the one unavoidable copy (paper §2.3).
+        auto out_ref = out_tm.acquire_static_buffer();
+        counted_copy(out_ref.span().first(size), in_ref.data());
+        out_ref.set_used(size);
+        item.kind = RelayItem::Kind::FragmentStaticOut;
+        item.static_out = std::move(out_ref);
+      } else {
+        // static → dynamic: send straight from the incoming buffer.
+        item.kind = RelayItem::Kind::FragmentHoldIn;
+        item.hold_in = std::move(in_ref);
+      }
+    } else if (out_static && zero_copy) {
+      // dynamic → static: "ask the outgoing TM for a static buffer which
+      // we use to receive data into" (paper §2.3).
+      auto out_ref = out_tm.acquire_static_buffer();
+      in.unpack(out_ref.span().first(size), SendMode::Cheaper,
+                RecvMode::Express);
+      out_ref.set_used(size);
+      item.kind = RelayItem::Kind::FragmentStaticOut;
+      item.static_out = std::move(out_ref);
+    } else {
+      // dynamic → dynamic (or zero-copy disabled): a recycled pipeline
+      // buffer. Still copy-free for dynamic protocols — the NIC scatters
+      // into and gathers out of this buffer directly.
+      std::vector<std::byte> buffer = free_buffers_.recv();
+      in.unpack(util::MutByteSpan(buffer).first(size), SendMode::Cheaper,
+                RecvMode::Express);
+      item.kind = RelayItem::Kind::FragmentDynamic;
+      item.buffer = std::move(buffer);
+      item.size = size;
+    }
+    if (vc_.options().trace != nullptr) {
+      vc_.options().trace->record(begin, engine_.now(), "gw.recv",
+                                  "bytes=" + std::to_string(size));
+    }
+    GatewayStats& stats = vc_.mutable_gateway_stats(self_);
+    ++stats.paquets_forwarded;
+    stats.bytes_forwarded += size;
+    // The software cost of handing the buffer to the sender thread
+    // (measured ≈40 µs per switch on the paper's testbed, §3.3.1).
+    const sim::Time switch_begin = engine_.now();
+    engine_.sleep_for(vc_.options().gateway_sw_overhead);
+    if (vc_.options().trace != nullptr) {
+      vc_.options().trace->record(switch_begin, engine_.now(), "gw.switch");
+    }
+    return item;
+  }
+
+  void recycle(std::vector<std::byte> buffer) {
+    if (!buffer.empty()) {
+      MAD_ASSERT(buffer.size() == vc_.mtu(), "foreign buffer in gw pool");
+      free_buffers_.send(std::move(buffer));
+    }
+  }
+
+  void relay_sequential(MessageReader& in, const GtmMsgHeader& hdr,
+                        Channel& out_channel, NodeRank next, bool last_hop) {
+    MessageWriter out = open_outgoing(out_channel, next, last_hop, hdr);
+    const Connection& conn = out_channel.connection_to(next);
+    for (;;) {
+      const GtmBlockHeader bh = read_block_header(in);
+      if (bh.end_of_message != 0) {
+        write_block_header(out, end_marker());
+        break;
+      }
+      write_block_header(out, bh);
+      const std::uint64_t fragments = fragment_count(bh.size, vc_.mtu());
+      for (std::uint64_t i = 0; i < fragments; ++i) {
+        const std::uint32_t size = fragment_size(bh.size, vc_.mtu(), i);
+        RelayItem item = receive_fragment(in, out_channel, size);
+        recycle(send_relay_item(out, out_channel.tm(), conn, std::move(item),
+                                vc_));
+      }
+    }
+    out.end_packing();
+  }
+
+  void relay_pipelined(MessageReader& in, const GtmMsgHeader& hdr,
+                       Channel& out_channel, NodeRank next, bool last_hop) {
+    const int depth = vc_.options().pipeline_depth;
+    sim::Mailbox<RelayItem> items(
+        engine_, static_cast<std::size_t>(depth - 1),
+        vc_.name() + ".gwitems." + std::to_string(self_));
+    sim::Condition sender_done(engine_, "gw.sender_done");
+    bool finished = false;
+
+    engine_.spawn(
+        vc_.name() + ".gwsend." + std::to_string(self_),
+        [this, &items, &out_channel, next, last_hop, hdr, &sender_done,
+         &finished] {
+          MessageWriter out = open_outgoing(out_channel, next, last_hop, hdr);
+          const Connection& conn = out_channel.connection_to(next);
+          for (;;) {
+            RelayItem item = items.recv();
+            if (item.kind == RelayItem::Kind::End) {
+              write_block_header(out, end_marker());
+              break;
+            }
+            recycle(send_relay_item(out, out_channel.tm(), conn,
+                                    std::move(item), vc_));
+          }
+          out.end_packing();
+          finished = true;
+          sender_done.notify_all();
+        });
+
+    for (;;) {
+      const GtmBlockHeader bh = read_block_header(in);
+      if (bh.end_of_message != 0) {
+        items.send(RelayItem::end());
+        break;
+      }
+      items.send(RelayItem::block(bh));
+      const std::uint64_t fragments = fragment_count(bh.size, vc_.mtu());
+      for (std::uint64_t i = 0; i < fragments; ++i) {
+        const std::uint32_t size = fragment_size(bh.size, vc_.mtu(), i);
+        items.send(receive_fragment(in, out_channel, size));
+      }
+    }
+    while (!finished) {
+      sender_done.wait();
+    }
+  }
+
+  VirtualChannel& vc_;
+  NodeRank self_;
+  Channel& in_channel_;
+  sim::Engine& engine_;
+  sim::Mailbox<std::vector<std::byte>> free_buffers_;
+  Regulator regulator_;
+};
+
+}  // namespace
+
+void spawn_gateway_actors(VirtualChannel& vc) {
+  sim::Engine& engine = vc.domain().engine();
+  for (NodeRank rank = 0;
+       static_cast<std::size_t>(rank) < vc.domain().node_count(); ++rank) {
+    if (!vc.is_member(rank) || !vc.is_gateway(rank)) {
+      continue;
+    }
+    for (const int local : vc.topology().networks_of(rank)) {
+      const std::string actor_name = vc.name() + ".gw." +
+                                     std::to_string(rank) + "." +
+                                     vc.network(local).name();
+      engine.spawn(
+          actor_name,
+          [&vc, rank, local] {
+            GatewayRelay relay(vc, rank, local);
+            for (;;) {
+              relay.in_channel().wait_incoming();
+              MessageReader in = relay.in_channel().begin_unpacking();
+              relay.relay_message(std::move(in));
+            }
+          },
+          /*daemon=*/true);
+    }
+  }
+}
+
+}  // namespace mad::fwd

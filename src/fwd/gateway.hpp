@@ -1,0 +1,15 @@
+// Gateway actors: forward-listeners on the special channels plus the
+// pipelined retransmission engine (paper §2.2.2, Fig 4).
+#pragma once
+
+namespace mad::fwd {
+
+class VirtualChannel;
+
+/// Spawns, for every gateway node of `vc` and every network it bridges, a
+/// daemon actor that listens on the special channel and relays GTM
+/// messages toward their destination. Called by the VirtualChannel
+/// constructor.
+void spawn_gateway_actors(VirtualChannel& vc);
+
+}  // namespace mad::fwd

@@ -1,0 +1,91 @@
+#include "fwd/generic_tm.hpp"
+
+#include <algorithm>
+
+#include "util/panic.hpp"
+
+namespace mad::fwd {
+
+std::uint8_t encode(SendMode mode) {
+  return static_cast<std::uint8_t>(mode);
+}
+
+std::uint8_t encode(RecvMode mode) {
+  return static_cast<std::uint8_t>(mode);
+}
+
+SendMode decode_smode(std::uint8_t value) {
+  MAD_ASSERT(value <= static_cast<std::uint8_t>(SendMode::Cheaper),
+             "bad SendMode on the wire");
+  return static_cast<SendMode>(value);
+}
+
+RecvMode decode_rmode(std::uint8_t value) {
+  MAD_ASSERT(value <= static_cast<std::uint8_t>(RecvMode::Cheaper),
+             "bad RecvMode on the wire");
+  return static_cast<RecvMode>(value);
+}
+
+GtmBlockHeader block_header_for(std::uint64_t size, SendMode smode,
+                                RecvMode rmode) {
+  return {size, encode(smode), encode(rmode), 0};
+}
+
+GtmBlockHeader end_marker() { return {0, 0, 0, 1}; }
+
+void write_preamble(MessageWriter& writer, const Preamble& preamble) {
+  writer.pack_value(preamble);
+}
+
+Preamble read_preamble(MessageReader& reader) {
+  return reader.unpack_value<Preamble>();
+}
+
+void write_msg_header(MessageWriter& writer, const GtmMsgHeader& header) {
+  writer.pack_value(header);
+}
+
+GtmMsgHeader read_msg_header(MessageReader& reader) {
+  return reader.unpack_value<GtmMsgHeader>();
+}
+
+void write_block_header(MessageWriter& writer, const GtmBlockHeader& header) {
+  writer.pack_value(header);
+}
+
+GtmBlockHeader read_block_header(MessageReader& reader) {
+  return reader.unpack_value<GtmBlockHeader>();
+}
+
+std::uint64_t fragment_count(std::uint64_t size, std::uint32_t mtu) {
+  MAD_ASSERT(mtu > 0, "zero MTU");
+  return (size + mtu - 1) / mtu;
+}
+
+std::uint32_t fragment_size(std::uint64_t size, std::uint32_t mtu,
+                            std::uint64_t index) {
+  const std::uint64_t offset = index * static_cast<std::uint64_t>(mtu);
+  MAD_ASSERT(offset < size, "fragment index out of range");
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(mtu, size - offset));
+}
+
+std::uint32_t compute_route_mtu(const Domain& domain,
+                                const std::vector<net::Network*>& networks,
+                                std::uint32_t requested) {
+  MAD_ASSERT(!networks.empty(), "virtual channel without networks");
+  std::uint32_t mtu = requested == 0 ? UINT32_MAX : requested;
+  for (const net::Network* network : networks) {
+    const net::NicModelParams& model = network->model();
+    std::uint32_t effective = model.max_packet;
+    if (model.tx_static() || model.rx_static()) {
+      effective = std::min(effective, model.static_buffer_size);
+    }
+    mtu = std::min(mtu, effective);
+  }
+  (void)domain;
+  MAD_ASSERT(mtu > 0 && mtu != UINT32_MAX, "could not derive a route MTU");
+  return mtu;
+}
+
+}  // namespace mad::fwd

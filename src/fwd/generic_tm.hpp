@@ -1,0 +1,87 @@
+// Generic Transmission Module (paper §2.2.1, §2.3).
+//
+// Messages that travel through at least two networks cannot rely on the
+// per-protocol BMM shapes: the gateway would have to ungroup and regroup
+// buffers. The GTM fixes one discipline on both ends instead:
+//
+//   * one MTU for the whole route — the largest paquet every traversed
+//     network can carry unfragmented (optionally capped by configuration);
+//   * self-description — a message header (final destination, origin, MTU)
+//     first, then for each user block a block header (size + the pack flag
+//     pair), then the block payload cut into MTU-sized fragments, each
+//     flushed as its own packet (RecvMode::Express forces per-fragment
+//     flushing in every BMM shape, so the discipline holds on static and
+//     dynamic protocols alike);
+//   * an end-of-message marker — "the description of an empty message".
+//
+// This header defines the wire structs and the read/write helpers used by
+// the virtual-channel writer/reader and by the gateway relay.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mad/message.hpp"
+#include "mad/session.hpp"
+#include "mad/types.hpp"
+
+namespace mad::fwd {
+
+/// First block of every message on a *regular* channel of a virtual
+/// channel: tells the receiver who originated the message and whether the
+/// body is GTM-formatted (it crossed a gateway) or native.
+struct Preamble {
+  std::uint32_t origin = 0;
+  std::uint8_t forwarded = 0;
+};
+
+/// First GTM element: everything a gateway needs that the application
+/// would normally provide (paper §2.2.1 — "self-describing messages are
+/// mandatory").
+struct GtmMsgHeader {
+  std::uint32_t final_dst = 0;
+  std::uint32_t origin = 0;
+  std::uint32_t mtu = 0;
+};
+
+/// Per-block element: size and the pack flag pair ("the emission and
+/// reception constraints"), or the end-of-message marker.
+struct GtmBlockHeader {
+  std::uint64_t size = 0;
+  std::uint8_t smode = 0;
+  std::uint8_t rmode = 0;
+  std::uint8_t end_of_message = 0;
+};
+
+std::uint8_t encode(SendMode mode);
+std::uint8_t encode(RecvMode mode);
+SendMode decode_smode(std::uint8_t value);
+RecvMode decode_rmode(std::uint8_t value);
+
+GtmBlockHeader block_header_for(std::uint64_t size, SendMode smode,
+                                RecvMode rmode);
+GtmBlockHeader end_marker();
+
+void write_preamble(MessageWriter& writer, const Preamble& preamble);
+Preamble read_preamble(MessageReader& reader);
+
+void write_msg_header(MessageWriter& writer, const GtmMsgHeader& header);
+GtmMsgHeader read_msg_header(MessageReader& reader);
+
+void write_block_header(MessageWriter& writer, const GtmBlockHeader& header);
+GtmBlockHeader read_block_header(MessageReader& reader);
+
+/// Number of MTU-sized fragments of a block.
+std::uint64_t fragment_count(std::uint64_t size, std::uint32_t mtu);
+/// Size of fragment `index` (the last one may be partial).
+std::uint32_t fragment_size(std::uint64_t size, std::uint32_t mtu,
+                            std::uint64_t index);
+
+/// The route-wide MTU: the minimum effective TM MTU over `networks`,
+/// optionally capped by `requested` (0 = no cap). This is the paper's
+/// "optimal packet size for every network the message goes through".
+std::uint32_t compute_route_mtu(const Domain& domain,
+                                const std::vector<net::Network*>& networks,
+                                std::uint32_t requested);
+
+}  // namespace mad::fwd

@@ -1,0 +1,60 @@
+#include "fwd/pipeline.hpp"
+
+#include "fwd/virtual_channel.hpp"
+#include "util/panic.hpp"
+
+namespace mad::fwd {
+
+std::vector<std::byte> send_relay_item(MessageWriter& out_msg,
+                                       TransmissionModule& out_tm,
+                                       const Connection& out_conn,
+                                       RelayItem item,
+                                       const VirtualChannel& vc) {
+  sim::Trace* trace = vc.options().trace;
+  const sim::Engine& engine = vc.domain().engine();
+  switch (item.kind) {
+    case RelayItem::Kind::BlockHeader:
+      write_block_header(out_msg, item.header);
+      return {};
+    case RelayItem::Kind::FragmentDynamic: {
+      const sim::Time begin = engine.now();
+      out_msg.pack(util::ByteSpan(item.buffer).first(item.size),
+                   SendMode::Cheaper, RecvMode::Express);
+      if (trace != nullptr) {
+        trace->record(begin, engine.now(), "gw.send",
+                      "bytes=" + std::to_string(item.size));
+      }
+      return std::move(item.buffer);  // recycle
+    }
+    case RelayItem::Kind::FragmentStaticOut: {
+      const sim::Time begin = engine.now();
+      // Zero-copy: the paquet was received straight into this outgoing
+      // static buffer; hand it to the TM, bypassing the BMM copy-in.
+      out_tm.send_static_buffer(out_conn.peer_nic_index, out_conn.tx_tag,
+                                item.static_out);
+      if (trace != nullptr) {
+        trace->record(begin, engine.now(), "gw.send",
+                      "bytes=" + std::to_string(item.static_out.used()));
+      }
+      item.static_out.release();
+      return {};
+    }
+    case RelayItem::Kind::FragmentHoldIn: {
+      const sim::Time begin = engine.now();
+      // Zero-copy: send directly from the incoming protocol buffer.
+      out_msg.pack(item.hold_in.data(), SendMode::Cheaper,
+                   RecvMode::Express);
+      if (trace != nullptr) {
+        trace->record(begin, engine.now(), "gw.send",
+                      "bytes=" + std::to_string(item.hold_in.used()));
+      }
+      item.hold_in.release();
+      return {};
+    }
+    case RelayItem::Kind::End:
+      MAD_PANIC("End items are finished by the caller");
+  }
+  MAD_PANIC("unreachable RelayItem kind");
+}
+
+}  // namespace mad::fwd

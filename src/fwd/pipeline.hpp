@@ -1,0 +1,70 @@
+// Items flowing through the gateway's retransmission pipeline.
+//
+// The paper's gateway (Fig 4) runs two threads per network pair sharing
+// two buffers: one receives paquet k+1 while the other retransmits paquet
+// k. Here the listener actor produces RelayItems into a bounded mailbox
+// and a sender actor consumes them; the mailbox bound (pipeline_depth - 1)
+// plus the paquet being received reproduce the paper's buffer budget.
+//
+// A fragment item carries its payload in one of three forms, matching the
+// zero-copy matrix of §2.3:
+//   * a recycled dynamic buffer (dynamic→dynamic, and all non-zero-copy
+//     paths);
+//   * an *outgoing* static buffer the paquet was received straight into
+//     (dynamic→static and static→static);
+//   * the *incoming* static buffer kept alive and sent from directly
+//     (static→dynamic).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fwd/generic_tm.hpp"
+#include "net/static_pool.hpp"
+
+namespace mad::fwd {
+
+struct RelayItem {
+  enum class Kind {
+    BlockHeader,
+    FragmentDynamic,
+    FragmentStaticOut,
+    FragmentHoldIn,
+    End,
+  };
+
+  Kind kind = Kind::End;
+  GtmBlockHeader header;              // BlockHeader
+  std::vector<std::byte> buffer;      // FragmentDynamic (capacity = MTU)
+  std::size_t size = 0;               // FragmentDynamic payload size
+  net::StaticBufferPool::Ref static_out;  // FragmentStaticOut
+  net::StaticBufferPool::Ref hold_in;     // FragmentHoldIn
+
+  static RelayItem block(GtmBlockHeader h) {
+    RelayItem item;
+    item.kind = Kind::BlockHeader;
+    item.header = h;
+    return item;
+  }
+  static RelayItem end() {
+    RelayItem item;
+    item.kind = Kind::End;
+    return item;
+  }
+};
+
+class VirtualChannel;
+
+/// Writes one relay item onto the outgoing message. Fragment payloads take
+/// the path their form dictates: dynamic buffers and held incoming static
+/// buffers go through the writer (gather send from that memory), outgoing
+/// static buffers are handed to the TM directly. Returns the dynamic buffer
+/// for recycling when the item carried one. End items are NOT handled here
+/// (the caller finishes the message).
+std::vector<std::byte> send_relay_item(MessageWriter& out_msg,
+                                       TransmissionModule& out_tm,
+                                       const Connection& out_conn,
+                                       RelayItem item,
+                                       const VirtualChannel& vc);
+
+}  // namespace mad::fwd

@@ -1,0 +1,21 @@
+#include "fwd/regulation.hpp"
+
+#include <algorithm>
+
+#include "sim/time.hpp"
+
+namespace mad::fwd {
+
+void Regulator::pace(std::uint64_t bytes) {
+  if (!enabled()) {
+    return;
+  }
+  const sim::Time now = engine_.now();
+  if (now < next_allowed_) {
+    engine_.sleep_until(next_allowed_);
+  }
+  next_allowed_ = std::max(now, next_allowed_) +
+                  sim::transfer_time(bytes, rate_);
+}
+
+}  // namespace mad::fwd

@@ -1,0 +1,36 @@
+// Gateway incoming-flow regulation (paper §4, future work).
+//
+// The Myrinet→SCI experiments showed the gateway's incoming DMA flow
+// starving the outgoing PIO flow on the shared PCI bus. The paper suggests
+// "some sophisticated bandwidth control mechanism ... to regulate the
+// incoming communication flow on gateways". This is that mechanism, in its
+// simplest useful form: a token-bucket-style pacer that bounds the average
+// rate at which the gateway *starts* paquet receives, leaving bus headroom
+// for the sender thread. bench_ext_flow_regulation sweeps the rate.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+
+namespace mad::fwd {
+
+class Regulator {
+ public:
+  /// rate in bytes/s; 0 disables pacing entirely.
+  Regulator(sim::Engine& engine, double rate)
+      : engine_(engine), rate_(rate) {}
+
+  bool enabled() const { return rate_ > 0.0; }
+
+  /// Call before receiving a paquet of `bytes`: blocks until the paced
+  /// schedule allows it, then reserves the paquet's time slot.
+  void pace(std::uint64_t bytes);
+
+ private:
+  sim::Engine& engine_;
+  double rate_;
+  sim::Time next_allowed_ = 0;
+};
+
+}  // namespace mad::fwd

@@ -1,0 +1,276 @@
+#include "fwd/virtual_channel.hpp"
+
+#include <algorithm>
+
+#include "fwd/gateway.hpp"
+#include "util/log.hpp"
+#include "util/panic.hpp"
+
+namespace mad::fwd {
+
+VirtualChannel::VirtualChannel(Domain& domain, std::string name,
+                               std::vector<net::Network*> networks,
+                               VcOptions options)
+    : domain_(domain),
+      name_(std::move(name)),
+      networks_(std::move(networks)),
+      options_(options) {
+  MAD_ASSERT(!networks_.empty(), "virtual channel needs networks");
+  MAD_ASSERT(options_.pipeline_depth >= 1, "pipeline depth must be >= 1");
+
+  mtu_ = compute_route_mtu(domain_, networks_, options_.paquet_size);
+
+  // Topology over *local* network ids (positions in networks_).
+  topology_ = std::make_unique<topo::Topology>(domain_.node_count());
+  for (NodeRank rank = 0;
+       static_cast<std::size_t>(rank) < domain_.node_count(); ++rank) {
+    for (int local = 0; local < local_net_count(); ++local) {
+      if (domain_.has_nic(rank, *networks_[static_cast<std::size_t>(local)])) {
+        topology_->attach(rank, local);
+      }
+    }
+  }
+  routing_ = std::make_unique<topo::Routing>(*topology_);
+
+  // Two real channels per device per virtual channel (paper Fig 3).
+  for (int local = 0; local < local_net_count(); ++local) {
+    net::Network& network = *networks_[static_cast<std::size_t>(local)];
+    regular_ids_.push_back(
+        domain_.create_channel(name_ + ".reg." + network.name(), network));
+    special_ids_.push_back(
+        domain_.create_channel(name_ + ".fwd." + network.name(), network));
+  }
+
+  for (NodeRank rank = 0;
+       static_cast<std::size_t>(rank) < domain_.node_count(); ++rank) {
+    if (is_member(rank)) {
+      endpoints_.emplace(rank, std::make_unique<VcEndpoint>(*this, rank));
+    }
+  }
+
+  spawn_pollers();
+  spawn_gateways();
+}
+
+VirtualChannel::~VirtualChannel() = default;
+
+bool VirtualChannel::is_member(NodeRank rank) const {
+  return !topology_->networks_of(rank).empty();
+}
+
+bool VirtualChannel::is_gateway(NodeRank rank) const {
+  return topology_->is_gateway(rank);
+}
+
+VcEndpoint& VirtualChannel::endpoint(NodeRank rank) const {
+  const auto it = endpoints_.find(rank);
+  MAD_ASSERT(it != endpoints_.end(),
+             "node " + std::to_string(rank) +
+                 " is not a member of virtual channel '" + name_ + "'");
+  return *it->second;
+}
+
+const GatewayStats& VirtualChannel::gateway_stats(NodeRank rank) const {
+  return gateway_stats_[rank];
+}
+
+GatewayStats& VirtualChannel::mutable_gateway_stats(NodeRank rank) {
+  return gateway_stats_[rank];
+}
+
+Channel& VirtualChannel::regular_channel(int local_net, NodeRank rank) const {
+  MAD_ASSERT(local_net >= 0 && local_net < local_net_count(),
+             "bad local network id");
+  return domain_.endpoint(regular_ids_[static_cast<std::size_t>(local_net)],
+                          rank);
+}
+
+Channel& VirtualChannel::special_channel(int local_net, NodeRank rank) const {
+  MAD_ASSERT(local_net >= 0 && local_net < local_net_count(),
+             "bad local network id");
+  return domain_.endpoint(special_ids_[static_cast<std::size_t>(local_net)],
+                          rank);
+}
+
+net::Network& VirtualChannel::network(int local_net) const {
+  MAD_ASSERT(local_net >= 0 && local_net < local_net_count(),
+             "bad local network id");
+  return *networks_[static_cast<std::size_t>(local_net)];
+}
+
+void VirtualChannel::spawn_pollers() {
+  sim::Engine& engine = domain_.engine();
+  for (const auto& [rank, endpoint] : endpoints_) {
+    for (const int local : topology_->networks_of(rank)) {
+      Channel& channel = regular_channel(local, rank);
+      VcEndpoint* ep = endpoint.get();
+      const std::string actor_name = name_ + ".poll." + std::to_string(rank) +
+                                     "." + network(local).name();
+      engine.spawn(
+          actor_name,
+          [this, &channel, ep, actor_name] {
+            sim::Engine& eng = domain_.engine();
+            for (;;) {
+              channel.wait_incoming();
+              MessageReader reader = channel.begin_unpacking();
+              const Preamble preamble = read_preamble(reader);
+              auto done =
+                  std::make_shared<sim::Condition>(eng, actor_name + ".done");
+              ep->inbox().send(VcIncoming{std::move(reader), preamble,
+                                          &channel, done});
+              // Serialize messages per real channel: the next
+              // begin_unpacking would otherwise steal packets of the
+              // message the application is still consuming.
+              done->wait();
+            }
+          },
+          /*daemon=*/true);
+    }
+  }
+}
+
+void VirtualChannel::spawn_gateways() { spawn_gateway_actors(*this); }
+
+// ------------------------------------------------------------- VcEndpoint
+
+VcEndpoint::VcEndpoint(VirtualChannel& vc, NodeRank rank)
+    : vc_(vc),
+      rank_(rank),
+      inbox_(vc.domain().engine(), /*capacity=*/0,
+             vc.name() + ".inbox." + std::to_string(rank)) {}
+
+VcMessageWriter VcEndpoint::begin_packing(NodeRank dst) {
+  return VcMessageWriter(vc_, rank_, dst);
+}
+
+VcMessageReader VcEndpoint::begin_unpacking() {
+  return VcMessageReader(*this, inbox_.recv());
+}
+
+std::optional<VcMessageReader> VcEndpoint::try_begin_unpacking() {
+  auto incoming = inbox_.try_recv();
+  if (!incoming) {
+    return std::nullopt;
+  }
+  return VcMessageReader(*this, std::move(*incoming));
+}
+
+std::optional<VcMessageReader> VcEndpoint::begin_unpacking_until(
+    sim::Time deadline) {
+  auto incoming = inbox_.recv_until(deadline);
+  if (!incoming) {
+    return std::nullopt;
+  }
+  return VcMessageReader(*this, std::move(*incoming));
+}
+
+// -------------------------------------------------------- VcMessageWriter
+
+VcMessageWriter::VcMessageWriter(VirtualChannel& vc, NodeRank src,
+                                 NodeRank dst)
+    : vc_(&vc), dst_(dst), mtu_(vc.mtu()) {
+  MAD_ASSERT(vc.is_member(src) && vc.is_member(dst),
+             "both ends must be members of the virtual channel");
+  const topo::Route& route = vc.routing().route(src, dst);
+  const topo::Hop& first = route.front();
+  direct_ = route.size() == 1;
+  if (direct_) {
+    // No gateway: regular channel, native format, full optimizations.
+    Channel& channel = vc.regular_channel(first.network, src);
+    inner_.emplace(channel.begin_packing(dst));
+    write_preamble(*inner_, Preamble{static_cast<std::uint32_t>(src), 0});
+  } else {
+    // At least one gateway: special channel of the first device, GTM
+    // format with self-description.
+    Channel& channel = vc.special_channel(first.network, src);
+    inner_.emplace(channel.begin_packing(first.node));
+    write_msg_header(*inner_,
+                     GtmMsgHeader{static_cast<std::uint32_t>(dst),
+                                  static_cast<std::uint32_t>(src), mtu_});
+  }
+}
+
+void VcMessageWriter::pack(util::ByteSpan data, SendMode smode,
+                           RecvMode rmode) {
+  MAD_ASSERT(!ended_, "pack after end_packing");
+  if (direct_) {
+    inner_->pack(data, smode, rmode);
+    return;
+  }
+  // GTM: block header, then MTU-sized fragments. Express flushing makes
+  // every fragment its own packet on every BMM shape, so the paquets the
+  // gateway sees are exactly the paquets the final receiver expects.
+  write_block_header(*inner_, block_header_for(data.size(), smode, rmode));
+  const std::uint64_t fragments = fragment_count(data.size(), mtu_);
+  for (std::uint64_t i = 0; i < fragments; ++i) {
+    const std::uint32_t fsize = fragment_size(data.size(), mtu_, i);
+    inner_->pack(data.subspan(i * mtu_, fsize), SendMode::Cheaper,
+                 RecvMode::Express);
+  }
+}
+
+void VcMessageWriter::end_packing() {
+  MAD_ASSERT(!ended_, "end_packing called twice");
+  if (!direct_) {
+    write_block_header(*inner_, end_marker());
+  }
+  inner_->end_packing();
+  ended_ = true;
+}
+
+// -------------------------------------------------------- VcMessageReader
+
+VcMessageReader::VcMessageReader(VcEndpoint& endpoint, VcIncoming incoming)
+    : incoming_(std::move(incoming)), mtu_(endpoint.vc().mtu()) {
+  if (forwarded()) {
+    gtm_header_ = read_msg_header(incoming_.reader);
+    MAD_ASSERT(gtm_header_.final_dst ==
+                   static_cast<std::uint32_t>(endpoint.rank()),
+               "forwarded message delivered to the wrong node");
+    MAD_ASSERT(gtm_header_.origin == incoming_.preamble.origin,
+               "preamble/GTM origin mismatch");
+    MAD_ASSERT(gtm_header_.mtu == mtu_, "GTM MTU mismatch");
+  }
+}
+
+NodeRank VcMessageReader::source() const {
+  return static_cast<NodeRank>(incoming_.preamble.origin);
+}
+
+void VcMessageReader::unpack(util::MutByteSpan dst, SendMode smode,
+                             RecvMode rmode) {
+  MAD_ASSERT(!ended_, "unpack after end_unpacking");
+  if (!forwarded()) {
+    incoming_.reader.unpack(dst, smode, rmode);
+    return;
+  }
+  const GtmBlockHeader header = read_block_header(incoming_.reader);
+  MAD_ASSERT(header.end_of_message == 0,
+             "unpack past the end of a forwarded message");
+  MAD_ASSERT(header.size == dst.size(),
+             "unpack size " + std::to_string(dst.size()) +
+                 " does not match packed size " + std::to_string(header.size));
+  MAD_ASSERT(decode_smode(header.smode) == smode &&
+                 decode_rmode(header.rmode) == rmode,
+             "unpack flags do not match the pack flags");
+  const std::uint64_t fragments = fragment_count(header.size, mtu_);
+  for (std::uint64_t i = 0; i < fragments; ++i) {
+    const std::uint32_t fsize = fragment_size(header.size, mtu_, i);
+    incoming_.reader.unpack(dst.subspan(i * mtu_, fsize), SendMode::Cheaper,
+                            RecvMode::Express);
+  }
+}
+
+void VcMessageReader::end_unpacking() {
+  MAD_ASSERT(!ended_, "end_unpacking called twice");
+  if (forwarded()) {
+    const GtmBlockHeader marker = read_block_header(incoming_.reader);
+    MAD_ASSERT(marker.end_of_message == 1,
+               "end_unpacking before all blocks were consumed");
+  }
+  incoming_.reader.end_unpacking();
+  ended_ = true;
+  incoming_.done->notify_all();
+}
+
+}  // namespace mad::fwd

@@ -1,0 +1,219 @@
+// Virtual channels (paper §2.2).
+//
+// A virtual channel bundles, per physical network, two real Madeleine
+// channels:
+//   * a REGULAR channel carrying messages delivered on that network to
+//     their final destination (native format for direct traffic, GTM
+//     format after the last gateway);
+//   * a SPECIAL channel carrying messages that still have to cross the
+//     receiving gateway (always GTM format).
+//
+// When the application sends over the virtual channel, the appropriate
+// real channel is chosen dynamically from the routing table; receiving is
+// multiplexed over all regular channels of the node by per-network polling
+// actors. Gateways additionally run forward-listener actors on the special
+// channels (src/fwd/gateway.cpp) with the pipelined retransmission engine.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fwd/generic_tm.hpp"
+#include "mad/madeleine.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/trace.hpp"
+#include "topo/routing.hpp"
+
+namespace mad::fwd {
+
+struct VcOptions {
+  /// Paquet (fragment) size used by the GTM; 0 = auto (largest size every
+  /// network on the virtual channel carries unfragmented). The Fig 6/7
+  /// benches sweep this from 8 KB to 128 KB.
+  std::uint32_t paquet_size = 0;
+  /// Number of buffers in the gateway retransmission pipeline; 2 is the
+  /// paper's double-buffer scheme, 1 degrades to per-paquet
+  /// store-and-forward (ablation).
+  int pipeline_depth = 2;
+  /// Receive straight into outgoing static buffers / send straight from
+  /// incoming static buffers on gateways (paper §2.3). Off = every paquet
+  /// goes through the reader/writer copy paths (ablation).
+  bool zero_copy = true;
+  /// Software cost of one gateway buffer switch (paper §3.3.1 measured
+  /// ≈40 µs on the PII-450 testbed).
+  sim::Time gateway_sw_overhead = sim::microseconds(40);
+  /// Incoming-flow regulation on gateways, in bytes/s (paper §4 future
+  /// work: "some sophisticated bandwidth control mechanism is needed to
+  /// regulate the incoming communication flow on gateways"). 0 = off.
+  double regulation_rate = 0.0;
+  /// Optional interval tracing of gateway steps (Fig 5 / Fig 8 benches).
+  sim::Trace* trace = nullptr;
+};
+
+class VcEndpoint;
+class VcMessageWriter;
+class VcMessageReader;
+
+/// Per-gateway forwarding counters.
+struct GatewayStats {
+  std::uint64_t messages_forwarded = 0;
+  std::uint64_t paquets_forwarded = 0;
+  std::uint64_t bytes_forwarded = 0;  // payload bytes relayed
+};
+
+class VirtualChannel {
+ public:
+  /// Creates the virtual channel over `networks` (all registered Domain
+  /// nodes with a NIC on any of them become members), materializes the
+  /// underlying real channels, and spawns the polling and gateway actors.
+  VirtualChannel(Domain& domain, std::string name,
+                 std::vector<net::Network*> networks, VcOptions options = {});
+  ~VirtualChannel();
+
+  VirtualChannel(const VirtualChannel&) = delete;
+  VirtualChannel& operator=(const VirtualChannel&) = delete;
+
+  const std::string& name() const { return name_; }
+  Domain& domain() const { return domain_; }
+  const VcOptions& options() const { return options_; }
+  std::uint32_t mtu() const { return mtu_; }
+  const topo::Routing& routing() const { return *routing_; }
+  const topo::Topology& topology() const { return *topology_; }
+
+  /// Member = node with a NIC on at least one of the virtual channel's
+  /// networks.
+  bool is_member(NodeRank rank) const;
+  bool is_gateway(NodeRank rank) const;
+  VcEndpoint& endpoint(NodeRank rank) const;
+
+  /// Forwarding counters of a gateway node (zeroed for non-gateways).
+  const GatewayStats& gateway_stats(NodeRank rank) const;
+  GatewayStats& mutable_gateway_stats(NodeRank rank);
+
+  /// Real channels, indexed by the *local* network id (the position of the
+  /// network in the constructor list).
+  Channel& regular_channel(int local_net, NodeRank rank) const;
+  Channel& special_channel(int local_net, NodeRank rank) const;
+  net::Network& network(int local_net) const;
+  int local_net_count() const { return static_cast<int>(networks_.size()); }
+
+ private:
+  void spawn_pollers();
+  void spawn_gateways();
+
+  Domain& domain_;
+  std::string name_;
+  std::vector<net::Network*> networks_;
+  VcOptions options_;
+  std::uint32_t mtu_ = 0;
+  std::unique_ptr<topo::Topology> topology_;
+  std::unique_ptr<topo::Routing> routing_;
+  std::vector<ChannelId> regular_ids_;  // per local network
+  std::vector<ChannelId> special_ids_;
+  std::map<NodeRank, std::unique_ptr<VcEndpoint>> endpoints_;
+  mutable std::map<NodeRank, GatewayStats> gateway_stats_;
+};
+
+/// One message arriving at an endpoint, parked after its preamble. The
+/// polling actor that produced it waits on `done` before opening the next
+/// message of the same real channel, which serializes per-channel delivery.
+struct VcIncoming {
+  MessageReader reader;
+  Preamble preamble;
+  Channel* channel = nullptr;
+  std::shared_ptr<sim::Condition> done;
+};
+
+class VcEndpoint {
+ public:
+  VcEndpoint(VirtualChannel& vc, NodeRank rank);
+
+  NodeRank rank() const { return rank_; }
+  VirtualChannel& vc() const { return vc_; }
+
+  /// Builds a message toward any member of the virtual channel; routing is
+  /// transparent — the caller never names gateways.
+  VcMessageWriter begin_packing(NodeRank dst);
+
+  /// Waits for the next message from any member, over any of this node's
+  /// networks.
+  VcMessageReader begin_unpacking();
+
+  /// Non-blocking variant: nullopt when no message is pending.
+  std::optional<VcMessageReader> try_begin_unpacking();
+
+  /// Waits until a message arrives or virtual time reaches `deadline`.
+  std::optional<VcMessageReader> begin_unpacking_until(sim::Time deadline);
+
+  /// Messages parked in the inbox right now.
+  std::size_t pending_messages() const { return inbox_.size(); }
+
+  sim::Mailbox<VcIncoming>& inbox() { return inbox_; }
+
+ private:
+  VirtualChannel& vc_;
+  NodeRank rank_;
+  sim::Mailbox<VcIncoming> inbox_;
+};
+
+class VcMessageWriter {
+ public:
+  VcMessageWriter(VirtualChannel& vc, NodeRank src, NodeRank dst);
+
+  NodeRank destination() const { return dst_; }
+  /// True when no gateway is involved (native path, full optimizations).
+  bool direct() const { return direct_; }
+
+  void pack(util::ByteSpan data, SendMode smode = SendMode::Cheaper,
+            RecvMode rmode = RecvMode::Cheaper);
+
+  template <typename T>
+  void pack_value(const T& value) {
+    pack(util::object_bytes(value), SendMode::Safer, RecvMode::Express);
+  }
+
+  void end_packing();
+
+ private:
+  VirtualChannel* vc_;
+  NodeRank dst_;
+  bool direct_ = false;
+  std::uint32_t mtu_ = 0;
+  std::optional<MessageWriter> inner_;
+  bool ended_ = false;
+};
+
+class VcMessageReader {
+ public:
+  VcMessageReader(VcEndpoint& endpoint, VcIncoming incoming);
+
+  /// The ORIGIN of the message (not the last gateway).
+  NodeRank source() const;
+  bool forwarded() const { return incoming_.preamble.forwarded != 0; }
+
+  /// Flags must mirror the sender's pack call; on forwarded messages they
+  /// are validated against the GTM self-description.
+  void unpack(util::MutByteSpan dst, SendMode smode = SendMode::Cheaper,
+              RecvMode rmode = RecvMode::Cheaper);
+
+  template <typename T>
+  T unpack_value() {
+    T value{};
+    unpack(util::object_bytes_mut(value), SendMode::Safer,
+           RecvMode::Express);
+    return value;
+  }
+
+  void end_unpacking();
+
+ private:
+  VcIncoming incoming_;
+  std::uint32_t mtu_ = 0;
+  GtmMsgHeader gtm_header_;  // valid when forwarded()
+  bool ended_ = false;
+};
+
+}  // namespace mad::fwd

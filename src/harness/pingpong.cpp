@@ -1,0 +1,101 @@
+#include "harness/pingpong.hpp"
+
+#include "sim/condition.hpp"
+#include "util/panic.hpp"
+#include "util/rng.hpp"
+
+namespace mad::harness {
+
+namespace {
+
+/// Serialized ping driver: one message in flight at a time, like the
+/// paper's acked ping (§3.1). The ack is a zero-cost simulation condition,
+/// equivalent to the paper's "small ack over Fast-Ethernet whose latency
+/// is known and subtracted".
+template <typename SendFn, typename RecvFn>
+PingResult run_pings(sim::Engine& engine, std::size_t bytes, int repeats,
+                     int warmup, SendFn send_one, RecvFn recv_one) {
+  MAD_ASSERT(repeats >= 1, "need at least one measured message");
+  sim::Condition ack(engine, "ping.ack");
+  int acked = 0;
+  sim::Time send_begin = 0;
+  sim::Time one_way_sum = 0;
+
+  engine.spawn("ping.send", [&, repeats, warmup] {
+    for (int i = 0; i < warmup + repeats; ++i) {
+      send_begin = engine.now();
+      send_one();
+      while (acked <= i) {
+        ack.wait();
+      }
+    }
+  });
+  engine.spawn("ping.recv", [&, repeats, warmup] {
+    for (int i = 0; i < warmup + repeats; ++i) {
+      recv_one();
+      if (i >= warmup) {
+        one_way_sum += engine.now() - send_begin;
+      }
+      ++acked;
+      ack.notify_all();
+    }
+  });
+  engine.run();
+
+  PingResult result;
+  result.one_way = one_way_sum / repeats;
+  result.mbps = result.one_way > 0
+                    ? sim::bandwidth_mbps(bytes, result.one_way)
+                    : 0.0;
+  return result;
+}
+
+}  // namespace
+
+PingResult measure_vc_oneway(sim::Engine& engine, fwd::VirtualChannel& vc,
+                             NodeRank src, NodeRank dst, std::size_t bytes,
+                             int repeats, int warmup) {
+  util::Rng rng(2024);
+  const auto payload = rng.bytes(bytes);
+  std::vector<std::byte> out(bytes);
+  auto result = run_pings(
+      engine, bytes, repeats, warmup,
+      [&] {
+        auto msg = vc.endpoint(src).begin_packing(dst);
+        msg.pack(payload);
+        msg.end_packing();
+      },
+      [&] {
+        auto msg = vc.endpoint(dst).begin_unpacking();
+        msg.unpack(out);
+        msg.end_unpacking();
+      });
+  MAD_ASSERT(out == payload, "ping payload corrupted");
+  return result;
+}
+
+PingResult measure_native_oneway(sim::Engine& engine, Channel& src_endpoint,
+                                 Channel& dst_endpoint, NodeRank src,
+                                 NodeRank dst, std::size_t bytes,
+                                 int repeats, int warmup) {
+  (void)src;
+  util::Rng rng(7);
+  const auto payload = rng.bytes(bytes);
+  std::vector<std::byte> out(bytes);
+  auto result = run_pings(
+      engine, bytes, repeats, warmup,
+      [&] {
+        auto msg = src_endpoint.begin_packing(dst);
+        msg.pack(payload);
+        msg.end_packing();
+      },
+      [&] {
+        auto msg = dst_endpoint.begin_unpacking();
+        msg.unpack(out);
+        msg.end_unpacking();
+      });
+  MAD_ASSERT(out == payload, "ping payload corrupted");
+  return result;
+}
+
+}  // namespace mad::harness

@@ -1,0 +1,37 @@
+// Measurement drivers reproducing the paper's ping methodology (§3.1).
+//
+// The paper measures one-way transmission by pinging through the gateway
+// and acking over Fast-Ethernet with a known latency. Our virtual clock is
+// global, so the receiver's completion timestamp IS the one-way time —
+// the ack subtraction is unnecessary (recorded as a methodology
+// substitution in EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fwd/virtual_channel.hpp"
+#include "mad/madeleine.hpp"
+
+namespace mad::harness {
+
+struct PingResult {
+  sim::Time one_way = 0;  // virtual time for the (last) message, one way
+  double mbps = 0.0;      // bandwidth over the measured messages
+};
+
+/// Sends `repeats` messages of `bytes` from src to dst over the virtual
+/// channel (plus `warmup` unmeasured ones) and reports the average one-way
+/// time and bandwidth. Runs the engine; the world must be fresh.
+PingResult measure_vc_oneway(sim::Engine& engine, fwd::VirtualChannel& vc,
+                             NodeRank src, NodeRank dst, std::size_t bytes,
+                             int repeats = 1, int warmup = 1);
+
+/// Native Madeleine ping over a plain channel (the §3.2.2 crossover
+/// numbers): average one-way time for `bytes`.
+PingResult measure_native_oneway(sim::Engine& engine, Channel& src_endpoint,
+                                 Channel& dst_endpoint, NodeRank src,
+                                 NodeRank dst, std::size_t bytes,
+                                 int repeats = 1, int warmup = 1);
+
+}  // namespace mad::harness

@@ -1,0 +1,57 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+
+#include "util/panic.hpp"
+#include "util/stats.hpp"
+
+namespace mad::harness {
+
+ReportTable::ReportTable(std::string title, std::string row_header,
+                         std::vector<std::string> series)
+    : title_(std::move(title)),
+      row_header_(std::move(row_header)),
+      series_(std::move(series)) {}
+
+void ReportTable::add_row(const std::string& label,
+                          const std::vector<double>& values) {
+  MAD_ASSERT(values.size() == series_.size(),
+             "row width does not match series count");
+  rows_.push_back({label, values});
+}
+
+void ReportTable::print() const {
+  std::printf("\n=== %s ===\n", title_.c_str());
+  std::printf("%-14s", row_header_.c_str());
+  for (const auto& name : series_) {
+    std::printf(" %14s", name.c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    std::printf("%-14s", row.label.c_str());
+    for (const double value : row.values) {
+      std::printf(" %14.2f", value);
+    }
+    std::printf("\n");
+  }
+  // CSV mirror.
+  std::printf("csv,%s", row_header_.c_str());
+  for (const auto& name : series_) {
+    std::printf(",%s", name.c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) {
+    std::printf("csv,%s", row.label.c_str());
+    for (const double value : row.values) {
+      std::printf(",%.4f", value);
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+std::string size_label(std::uint64_t bytes) {
+  return util::format_bytes(bytes);
+}
+
+}  // namespace mad::harness

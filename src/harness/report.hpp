@@ -1,0 +1,40 @@
+// Table/CSV output for the bench binaries.
+//
+// Every figure bench prints (a) a human-readable fixed-width table shaped
+// like the paper's plot — one row per message size, one column per series
+// (paquet size, direction, system...) — and (b) the same data as CSV lines
+// prefixed with "csv," for scripting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mad::harness {
+
+class ReportTable {
+ public:
+  /// `row_header` names the first column (e.g. "msg size").
+  ReportTable(std::string title, std::string row_header,
+              std::vector<std::string> series);
+
+  void add_row(const std::string& label, const std::vector<double>& values);
+
+  /// Prints the table followed by CSV lines to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::string row_header_;
+  std::vector<std::string> series_;
+  struct Row {
+    std::string label;
+    std::vector<double> values;
+  };
+  std::vector<Row> rows_;
+};
+
+/// "16 KB" style labels for power-of-two byte counts.
+std::string size_label(std::uint64_t bytes);
+
+}  // namespace mad::harness

@@ -1,0 +1,98 @@
+#include "harness/scenario.hpp"
+
+#include "util/panic.hpp"
+
+namespace mad::harness {
+
+PaperWorld::PaperWorld(fwd::VcOptions options, int myri_endpoints,
+                       int sci_endpoints) {
+  fabric.emplace(engine);
+  myri = &fabric->add_network("myri0", net::bip_myrinet());
+  sci = &fabric->add_network("sci0", net::sisci_sci());
+  std::vector<net::Host*> hosts;
+  for (int i = 0; i < myri_endpoints; ++i) {
+    net::Host& h = fabric->add_host("m" + std::to_string(i));
+    h.add_nic(*myri);
+    hosts.push_back(&h);
+  }
+  net::Host& gw = fabric->add_host("gw");
+  gw.add_nic(*myri);
+  gw.add_nic(*sci);
+  hosts.push_back(&gw);
+  gateway_rank = myri_endpoints;
+  for (int i = 0; i < sci_endpoints; ++i) {
+    net::Host& h = fabric->add_host("s" + std::to_string(i));
+    h.add_nic(*sci);
+    hosts.push_back(&h);
+  }
+  domain.emplace(*fabric);
+  for (net::Host* h : hosts) {
+    domain->add_node(*h);
+  }
+  vc.emplace(*domain, "vc", std::vector<net::Network*>{myri, sci}, options);
+}
+
+StoreForwardWorld::StoreForwardWorld() {
+  fabric.emplace(engine);
+  net::Network& myri = fabric->add_network("myri0", net::bip_myrinet());
+  net::Network& sci = fabric->add_network("sci0", net::sisci_sci());
+  net::Host& m0 = fabric->add_host("m0");
+  m0.add_nic(myri);
+  net::Host& gw = fabric->add_host("gw");
+  gw.add_nic(myri);
+  gw.add_nic(sci);
+  net::Host& s0 = fabric->add_host("s0");
+  s0.add_nic(sci);
+  domain.emplace(*fabric);
+  domain->add_node(m0);
+  domain->add_node(gw);
+  domain->add_node(s0);
+  const ChannelId myri_ch = domain->create_channel("sf.myri", myri);
+  const ChannelId sci_ch = domain->create_channel("sf.sci", sci);
+  topo::Topology topology(3);
+  topology.attach(0, 0);
+  topology.attach(1, 0);
+  topology.attach(1, 1);
+  topology.attach(2, 1);
+  router.emplace(*domain, std::vector<ChannelId>{myri_ch, sci_ch}, topology);
+}
+
+void StoreForwardWorld::send(NodeRank src, NodeRank dst,
+                             util::ByteSpan data) {
+  const topo::Hop hop = router->first_hop(src, dst);
+  baseline::sf_send(router->channel_on(hop.network, src), hop.node, dst, src,
+                    data);
+}
+
+baseline::SfReceived StoreForwardWorld::recv(NodeRank self) {
+  const int local = self == sci_node() ? 1 : 0;
+  return baseline::sf_recv(router->channel_on(local, self));
+}
+
+ConfigWorld::ConfigWorld(const topo::TopoConfig& cfg, fwd::VcOptions options)
+    : config(cfg) {
+  fabric.emplace(engine);
+  for (const auto& decl : config.networks) {
+    networks.push_back(
+        &fabric->add_network(decl.name, net::nic_model_by_name(decl.protocol)));
+  }
+  domain.emplace(*fabric);
+  for (const auto& decl : config.nodes) {
+    net::Host& host = fabric->add_host(decl.name);
+    for (const auto& network_name : decl.networks) {
+      const int index = config.network_index(network_name);
+      MAD_ASSERT(index >= 0, "unknown network in config");
+      host.add_nic(*networks[static_cast<std::size_t>(index)]);
+    }
+    domain->add_node(host);
+  }
+  vc.emplace(*domain, "vc", networks, options);
+}
+
+NodeRank ConfigWorld::rank_of(const std::string& node_name) const {
+  const int index = config.node_index(node_name);
+  MAD_ASSERT(index >= 0, "unknown node '" + node_name + "'");
+  return index;  // nodes were added in declaration order
+}
+
+}  // namespace mad::harness

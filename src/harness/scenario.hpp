@@ -1,0 +1,80 @@
+// Ready-made worlds for benches and examples.
+//
+// Each world owns the full stack (engine, fabric, domain, channels) for
+// one scenario. A world is single-shot: spawn your actors, call
+// engine().run(), read the virtual clock. Benches build a fresh world per
+// data point, which keeps every measurement independent and deterministic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/store_forward.hpp"
+#include "fwd/virtual_channel.hpp"
+#include "mad/madeleine.hpp"
+#include "topo/config_parse.hpp"
+
+namespace mad::harness {
+
+/// The paper's testbed (§3): Myrinet cluster + SCI cluster, one gateway
+/// holding both NICs, our virtual-channel forwarding on top.
+/// Ranks: 0..myri_endpoints-1 Myrinet nodes, then the gateway, then the
+/// SCI nodes.
+struct PaperWorld {
+  explicit PaperWorld(fwd::VcOptions options = {}, int myri_endpoints = 1,
+                      int sci_endpoints = 1);
+
+  NodeRank myri_node(int i = 0) const { return i; }
+  NodeRank sci_node(int i = 0) const { return gateway_rank + 1 + i; }
+  fwd::VcEndpoint& ep(NodeRank rank) { return vc->endpoint(rank); }
+
+  sim::Engine engine;
+  std::optional<net::Fabric> fabric;
+  net::Network* myri = nullptr;
+  net::Network* sci = nullptr;
+  std::optional<Domain> domain;
+  std::optional<fwd::VirtualChannel> vc;
+  NodeRank gateway_rank = -1;
+};
+
+/// The same hardware as PaperWorld but with application-level
+/// store-and-forward routing instead of the in-library forwarder
+/// (baseline 1).
+struct StoreForwardWorld {
+  StoreForwardWorld();
+
+  NodeRank myri_node() const { return 0; }
+  NodeRank gateway() const { return 1; }
+  NodeRank sci_node() const { return 2; }
+
+  /// Sends from `src`'s actor toward `dst` through the relay overlay.
+  void send(NodeRank src, NodeRank dst, util::ByteSpan data);
+  baseline::SfReceived recv(NodeRank self);
+
+  sim::Engine engine;
+  std::optional<net::Fabric> fabric;
+  std::optional<Domain> domain;
+  std::optional<baseline::StoreForwardRouter> router;
+};
+
+/// Generic world built from a parsed topology config; creates one virtual
+/// channel spanning all declared networks.
+struct ConfigWorld {
+  ConfigWorld(const topo::TopoConfig& config, fwd::VcOptions options = {});
+
+  NodeRank rank_of(const std::string& node_name) const;
+  fwd::VcEndpoint& ep(NodeRank rank) { return vc->endpoint(rank); }
+  fwd::VcEndpoint& ep(const std::string& node_name) {
+    return vc->endpoint(rank_of(node_name));
+  }
+
+  sim::Engine engine;
+  std::optional<net::Fabric> fabric;
+  std::vector<net::Network*> networks;
+  std::optional<Domain> domain;
+  std::optional<fwd::VirtualChannel> vc;
+  topo::TopoConfig config;
+};
+
+}  // namespace mad::harness

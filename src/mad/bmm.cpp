@@ -1,0 +1,234 @@
+#include "mad/bmm.hpp"
+
+#include <algorithm>
+
+#include "mad/copy_stats.hpp"
+#include "util/panic.hpp"
+
+namespace mad {
+
+// ---------------------------------------------------------------- dynamic tx
+
+DynamicAggregTx::DynamicAggregTx(TransmissionModule& tm, TxRoute route,
+                                 bool eager)
+    : tm_(tm), route_(route), eager_(eager) {}
+
+void DynamicAggregTx::drain_full_packets() {
+  const std::uint32_t mtu = tm_.mtu();
+  while (pending_.size() >= mtu) {
+    tm_.send_packet(route_.dst_nic_index, route_.tag, pending_.take(mtu));
+  }
+}
+
+void DynamicAggregTx::flush_all() {
+  has_later_ = false;
+  drain_full_packets();
+  if (!pending_.empty()) {
+    tm_.send_packet(route_.dst_nic_index, route_.tag,
+                    pending_.take(pending_.size()));
+  }
+  safer_staging_.clear();  // all spans into staging have been transmitted
+}
+
+void DynamicAggregTx::pack(util::ByteSpan data, SendMode smode,
+                           RecvMode rmode) {
+  if (!data.empty()) {
+    if (smode == SendMode::Safer) {
+      // Snapshot now so the caller may reuse the buffer immediately.
+      auto& staged = safer_staging_.emplace_back(data.size());
+      counted_copy(staged, data);
+      pending_.push(util::ByteSpan(staged));
+    } else {
+      // Later/Cheaper: read from user memory at flush time.
+      pending_.push(data);
+      if (smode == SendMode::Later) {
+        // Later data may still be modified by the user until end_packing:
+        // suspend the MTU-overflow drain so nothing containing (or ordered
+        // after) this block leaves before an explicit boundary.
+        has_later_ = true;
+      }
+    }
+  }
+  if (!has_later_) {
+    drain_full_packets();
+  }
+  if (rmode == RecvMode::Express || eager_) {
+    flush_all();
+  }
+}
+
+void DynamicAggregTx::finish() { flush_all(); }
+
+void DynamicAggregTx::flush() { flush_all(); }
+
+// ---------------------------------------------------------------- dynamic rx
+
+DynamicAggregRx::DynamicAggregRx(TransmissionModule& tm, RxRoute route,
+                                 bool eager)
+    : tm_(tm), route_(route), eager_(eager) {}
+
+void DynamicAggregRx::drain_full_packets() {
+  const std::uint32_t mtu = tm_.mtu();
+  while (pending_.size() >= mtu) {
+    tm_.recv_packet(route_.tag, pending_.take(mtu));
+  }
+}
+
+void DynamicAggregRx::flush_all() {
+  has_later_ = false;
+  drain_full_packets();
+  if (!pending_.empty()) {
+    tm_.recv_packet(route_.tag, pending_.take(pending_.size()));
+  }
+}
+
+void DynamicAggregRx::unpack(util::MutByteSpan dst, SendMode smode,
+                             RecvMode rmode) {
+  pending_.push(dst);
+  if (smode == SendMode::Later) {
+    has_later_ = true;  // mirror the sender's suspended drain
+  }
+  if (!has_later_) {
+    drain_full_packets();
+  }
+  if (rmode == RecvMode::Express || eager_) {
+    // Express data must be valid when unpack returns.
+    flush_all();
+  }
+}
+
+void DynamicAggregRx::finish() { flush_all(); }
+
+void DynamicAggregRx::flush() { flush_all(); }
+
+// ---------------------------------------------------------------- hybrid
+
+HybridTx::HybridTx(TransmissionModule& tm, TxRoute route,
+                   std::uint32_t threshold)
+    : tm_(tm),
+      route_(route),
+      threshold_(threshold),
+      rdma_(tm, route, /*eager=*/false) {
+  MAD_ASSERT(threshold_ > 0, "hybrid BMM needs a positive mesg threshold");
+}
+
+void HybridTx::pack(util::ByteSpan data, SendMode smode, RecvMode rmode) {
+  if (!data.empty() && data.size() < threshold_) {
+    // MESSAGE path (TM2 "mesg"): copy through a protocol buffer and send
+    // now. Flush the rdma stream first so block order survives.
+    rdma_.flush();
+    auto buffer = tm_.acquire_static_buffer();
+    counted_copy(buffer.span().first(data.size()), data);
+    buffer.set_used(data.size());
+    tm_.send_static_buffer(route_.dst_nic_index, route_.tag, buffer);
+    // smode is satisfied trivially (the copy already happened); rmode
+    // Express needs nothing extra — the block is already on the wire.
+    (void)smode;
+    (void)rmode;
+    return;
+  }
+  // RDMA path (TM1 "rdma"): zero-copy gather.
+  rdma_.pack(data, smode, rmode);
+}
+
+void HybridTx::finish() { rdma_.finish(); }
+
+HybridRx::HybridRx(TransmissionModule& tm, RxRoute route,
+                   std::uint32_t threshold)
+    : tm_(tm),
+      route_(route),
+      threshold_(threshold),
+      rdma_(tm, route, /*eager=*/false) {}
+
+void HybridRx::unpack(util::MutByteSpan dst, SendMode smode, RecvMode rmode) {
+  if (!dst.empty() && dst.size() < threshold_) {
+    rdma_.flush();
+    auto buffer = tm_.recv_packet_static(route_.tag);
+    MAD_ASSERT(buffer.used() == dst.size(),
+               "hybrid mesg-path size mismatch");
+    counted_copy(dst, buffer.data());
+    (void)smode;
+    (void)rmode;
+    return;
+  }
+  rdma_.unpack(dst, smode, rmode);
+}
+
+void HybridRx::finish() { rdma_.finish(); }
+
+// ----------------------------------------------------------------- static tx
+
+StaticTx::StaticTx(TransmissionModule& tm, TxRoute route)
+    : tm_(tm), route_(route) {}
+
+void StaticTx::flush_current() {
+  if (current_.valid() && fill_ > 0) {
+    current_.set_used(fill_);
+    tm_.send_static_buffer(route_.dst_nic_index, route_.tag, current_);
+    current_.release();
+  } else if (current_.valid()) {
+    current_.release();
+  }
+  fill_ = 0;
+}
+
+void StaticTx::pack(util::ByteSpan data, SendMode /*smode*/, RecvMode rmode) {
+  // Static protocols copy at pack time regardless of SendMode: data must be
+  // placed into protocol buffers anyway, and doing it now gives Safer
+  // semantics for free.
+  while (!data.empty()) {
+    if (!current_.valid()) {
+      current_ = tm_.acquire_static_buffer();
+      fill_ = 0;
+    }
+    const std::size_t room = current_.capacity() - fill_;
+    const std::size_t n = std::min(room, data.size());
+    counted_copy(current_.span().subspan(fill_, n), data.first(n));
+    fill_ += n;
+    data = data.subspan(n);
+    if (fill_ == current_.capacity()) {
+      flush_current();
+    }
+  }
+  if (rmode == RecvMode::Express) {
+    flush_current();
+  }
+}
+
+void StaticTx::finish() { flush_current(); }
+
+// ----------------------------------------------------------------- static rx
+
+StaticRx::StaticRx(TransmissionModule& tm, RxRoute route)
+    : tm_(tm), route_(route) {}
+
+void StaticRx::unpack(util::MutByteSpan dst, SendMode /*smode*/,
+                      RecvMode rmode) {
+  while (!dst.empty()) {
+    if (!current_.valid()) {
+      current_ = tm_.recv_packet_static(route_.tag);
+      consumed_ = 0;
+    }
+    const std::size_t avail = current_.used() - consumed_;
+    const std::size_t n = std::min(avail, dst.size());
+    counted_copy(dst.first(n), current_.data().subspan(consumed_, n));
+    consumed_ += n;
+    dst = dst.subspan(n);
+    if (consumed_ == current_.used()) {
+      current_.release();
+    }
+  }
+  if (rmode == RecvMode::Express) {
+    // The sender flushed its partial buffer after this block: whatever we
+    // hold must be exactly consumed, and the next block starts fresh.
+    MAD_ASSERT(!current_.valid(),
+               "static BMM desync: leftover bytes at an Express boundary");
+  }
+}
+
+void StaticRx::finish() {
+  MAD_ASSERT(!current_.valid(),
+             "static BMM desync: leftover bytes at end of message");
+}
+
+}  // namespace mad

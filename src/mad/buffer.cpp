@@ -1,0 +1,61 @@
+#include "mad/buffer.hpp"
+
+#include "util/panic.hpp"
+
+namespace mad {
+
+void ConstStream::push(util::ByteSpan block) {
+  if (!block.empty()) {
+    blocks_.push_back(block);
+    bytes_ += block.size();
+  }
+}
+
+util::ConstIovec ConstStream::take(std::size_t n) {
+  MAD_ASSERT(n <= bytes_, "ConstStream::take beyond end");
+  util::ConstIovec out;
+  std::size_t need = n;
+  while (need > 0) {
+    util::ByteSpan& head = blocks_.front();
+    if (head.size() <= need) {
+      out.push_back(head);
+      need -= head.size();
+      blocks_.pop_front();
+    } else {
+      out.push_back(head.first(need));
+      head = head.subspan(need);
+      need = 0;
+    }
+  }
+  bytes_ -= n;
+  return out;
+}
+
+void MutStream::push(util::MutByteSpan block) {
+  if (!block.empty()) {
+    blocks_.push_back(block);
+    bytes_ += block.size();
+  }
+}
+
+util::MutIovec MutStream::take(std::size_t n) {
+  MAD_ASSERT(n <= bytes_, "MutStream::take beyond end");
+  util::MutIovec out;
+  std::size_t need = n;
+  while (need > 0) {
+    util::MutByteSpan& head = blocks_.front();
+    if (head.size() <= need) {
+      out.push_back(head);
+      need -= head.size();
+      blocks_.pop_front();
+    } else {
+      out.push_back(head.first(need));
+      head = head.subspan(need);
+      need = 0;
+    }
+  }
+  bytes_ -= n;
+  return out;
+}
+
+}  // namespace mad

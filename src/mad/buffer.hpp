@@ -1,0 +1,44 @@
+// Byte-stream views over scattered blocks.
+//
+// The aggregating BMMs treat the blocks of a message as one logical byte
+// stream and cut it into MTU-sized packets. Sender and receiver run the
+// same cutting logic over the same block sizes, which is what lets
+// Madeleine avoid self-description on homogeneous paths (paper §2.1.2).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "util/bytes.hpp"
+
+namespace mad {
+
+/// FIFO byte stream over read-only blocks; take(n) yields a gather list of
+/// exactly n bytes without copying.
+class ConstStream {
+ public:
+  void push(util::ByteSpan block);
+  std::size_t size() const { return bytes_; }
+  bool empty() const { return bytes_ == 0; }
+  /// Pops exactly n bytes (n <= size()) as a gather list of sub-spans.
+  util::ConstIovec take(std::size_t n);
+
+ private:
+  std::deque<util::ByteSpan> blocks_;
+  std::size_t bytes_ = 0;
+};
+
+/// FIFO byte stream over writable blocks.
+class MutStream {
+ public:
+  void push(util::MutByteSpan block);
+  std::size_t size() const { return bytes_; }
+  bool empty() const { return bytes_ == 0; }
+  util::MutIovec take(std::size_t n);
+
+ private:
+  std::deque<util::MutByteSpan> blocks_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace mad

@@ -1,0 +1,53 @@
+// A connection virtualizes a point-to-point reliable link between two
+// processes inside one channel (paper §2.1.2). In-order delivery is
+// guaranteed per connection within a channel; connections of different
+// channels are independent even on the same adapter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mad/types.hpp"
+#include "sim/condition.hpp"
+
+namespace mad {
+
+/// Tag layout: | channel id (44 bits) | low 20 bits |. The low field is the
+/// sender's rank for message-body packets, or kAnnounceField for the
+/// channel-wide message-announce stream.
+inline constexpr std::uint32_t kAnnounceField = 0xFFFFF;
+
+inline constexpr std::uint64_t channel_tag(ChannelId cid,
+                                           std::uint32_t field) {
+  return (static_cast<std::uint64_t>(cid) << 20) | field;
+}
+
+struct Connection {
+  NodeRank peer = -1;
+  /// Peer's NIC index on the channel's network.
+  int peer_nic_index = -1;
+  /// Tag this endpoint sends with (keyed by the local rank).
+  std::uint64_t tx_tag = 0;
+  /// Tag the peer sends with (keyed by the peer rank).
+  std::uint64_t rx_tag = 0;
+
+  /// Transmission lock: only one message may be in construction toward
+  /// this peer at a time. Matters on gateways, where the forwarding actor
+  /// and the application can both open messages on the same regular
+  /// channel — interleaving their packets would corrupt both streams.
+  bool tx_busy = false;
+  std::shared_ptr<sim::Condition> tx_free;
+
+  void lock_tx() {
+    while (tx_busy) {
+      tx_free->wait();
+    }
+    tx_busy = true;
+  }
+  void unlock_tx() {
+    tx_busy = false;
+    tx_free->notify_one();
+  }
+};
+
+}  // namespace mad

@@ -1,0 +1,44 @@
+#include "mad/copy_stats.hpp"
+
+#include <cstring>
+
+#include "sim/engine.hpp"
+#include "util/panic.hpp"
+
+namespace mad {
+
+namespace {
+double g_copy_rate = 100e6;
+}  // namespace
+
+CopyStats& copy_stats() {
+  static CopyStats stats;
+  return stats;
+}
+
+double copy_rate() { return g_copy_rate; }
+
+void set_copy_rate(double bytes_per_second) {
+  MAD_ASSERT(bytes_per_second > 0, "copy rate must be positive");
+  g_copy_rate = bytes_per_second;
+}
+
+void counted_copy(util::MutByteSpan dst, util::ByteSpan src) {
+  MAD_ASSERT(dst.size() == src.size(), "counted_copy: size mismatch");
+  if (!src.empty()) {
+    std::memcpy(dst.data(), src.data(), src.size());
+  }
+  count_copy(src.size());
+}
+
+void count_copy(std::size_t bytes) {
+  CopyStats& stats = copy_stats();
+  ++stats.copies;
+  stats.bytes += bytes;
+  // The CPU is busy for the duration of the copy.
+  if (sim::Engine* engine = sim::Engine::current()) {
+    engine->sleep_for(sim::transfer_time(bytes, g_copy_rate));
+  }
+}
+
+}  // namespace mad

@@ -1,0 +1,43 @@
+// Software-copy accounting.
+//
+// The paper's central efficiency argument (§2.3 "Minimizing copies") is
+// about *software* copies performed by the library — copies into static
+// protocol buffers, SAFER staging copies, gateway regrouping. Hardware
+// transfers (NIC DMA placement, wire movement) are not copies in this
+// sense. Every software copy in the mad/ and fwd/ layers goes through
+// counted_copy()/counted_copy_out() so tests can assert zero-copy paths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace mad {
+
+struct CopyStats {
+  std::uint64_t copies = 0;
+  std::uint64_t bytes = 0;
+
+  void reset() { *this = {}; }
+};
+
+/// Process-global accounting (the simulation engine runs one actor at a
+/// time, so no synchronization is needed).
+CopyStats& copy_stats();
+
+/// memcpy + accounting + virtual-time cost: when called from a simulation
+/// actor the copy charges bytes/copy_rate() of CPU time — the paper notes
+/// a copy "can take as much time as the reception of a message".
+void counted_copy(util::MutByteSpan dst, util::ByteSpan src);
+
+/// Accounts (and charges time for) a copy performed by other means.
+void count_copy(std::size_t bytes);
+
+/// Sustained software memcpy rate of the modelled node (PII-450 through
+/// PC100 SDRAM ≈ 100 MB/s — comparable to the PCI reception rate, exactly
+/// the paper's observation).
+double copy_rate();
+void set_copy_rate(double bytes_per_second);
+
+}  // namespace mad

@@ -1,0 +1,36 @@
+// Umbrella header for the Madeleine reproduction's public API.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   sim::Engine engine;
+//   net::Fabric fabric(engine);
+//   net::Host& a = fabric.add_host("a");
+//   net::Host& b = fabric.add_host("b");
+//   net::Network& myri = fabric.add_network("myri", net::bip_myrinet());
+//   a.add_nic(myri); b.add_nic(myri);
+//
+//   mad::Domain domain(fabric);
+//   mad::Session& sa = domain.add_node(a);
+//   mad::Session& sb = domain.add_node(b);
+//   domain.create_channel("main", myri);
+//
+//   engine.spawn("a", [&] {
+//     auto msg = sa.channel("main").begin_packing(sb.rank());
+//     msg.pack(data, mad::SendMode::Cheaper, mad::RecvMode::Cheaper);
+//     msg.end_packing();
+//   });
+//   engine.spawn("b", [&] {
+//     auto msg = sb.channel("main").begin_unpacking();
+//     msg.unpack(buffer, mad::SendMode::Cheaper, mad::RecvMode::Cheaper);
+//     msg.end_unpacking();
+//   });
+//   engine.run();
+#pragma once
+
+#include "mad/channel.hpp"
+#include "mad/copy_stats.hpp"
+#include "mad/message.hpp"
+#include "mad/session.hpp"
+#include "mad/types.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"

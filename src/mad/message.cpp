@@ -1,0 +1,88 @@
+#include "mad/message.hpp"
+
+#include <exception>
+
+#include "mad/channel.hpp"
+#include "util/panic.hpp"
+
+namespace mad {
+
+MessageWriter::MessageWriter(Channel& channel, NodeRank dst)
+    : channel_(&channel), dst_(dst) {
+  Connection& conn = channel.connection_to(dst);
+  // Hold the connection for the whole message: concurrent writers toward
+  // the same peer (gateway forwarding actor + application) must not
+  // interleave packets.
+  conn.lock_tx();
+  connection_ = &conn;
+  if (channel.uses_announce()) {
+    const std::uint32_t self = static_cast<std::uint32_t>(channel.rank());
+    channel.tm().send_packet(conn.peer_nic_index, channel.announce_tag(),
+                             util::ConstIovec{util::object_bytes(self)});
+  }
+  bmm_ = channel.pmm().make_tx(channel.tm(),
+                               TxRoute{conn.peer_nic_index, conn.tx_tag});
+}
+
+MessageWriter::~MessageWriter() {
+  // Auto-finish for convenience, but never from an unwinding stack (finish
+  // blocks, and a destructor must not throw).
+  if (bmm_ != nullptr && !ended_ && std::uncaught_exceptions() == 0) {
+    try {
+      end_packing();
+    } catch (...) {
+      // Swallowed: the next blocking call in this actor re-raises shutdown.
+    }
+  }
+}
+
+void MessageWriter::pack(util::ByteSpan data, SendMode smode,
+                         RecvMode rmode) {
+  MAD_ASSERT(!ended_, "pack after end_packing");
+  bmm_->pack(data, smode, rmode);
+  payload_bytes_ += data.size();
+}
+
+void MessageWriter::end_packing() {
+  MAD_ASSERT(!ended_, "end_packing called twice");
+  bmm_->finish();
+  ended_ = true;
+  connection_->unlock_tx();
+  ChannelStats& stats = channel_->mutable_stats();
+  ++stats.messages_sent;
+  stats.bytes_sent += payload_bytes_;
+}
+
+MessageReader::MessageReader(Channel& channel, NodeRank src)
+    : channel_(&channel), src_(src) {
+  Connection& conn = channel.connection_to(src);
+  bmm_ = channel.pmm().make_rx(channel.tm(), RxRoute{conn.rx_tag});
+}
+
+MessageReader::~MessageReader() {
+  if (bmm_ != nullptr && !ended_ && std::uncaught_exceptions() == 0) {
+    try {
+      end_unpacking();
+    } catch (...) {
+      // Swallowed: the next blocking call in this actor re-raises shutdown.
+    }
+  }
+}
+
+void MessageReader::unpack(util::MutByteSpan dst, SendMode smode,
+                           RecvMode rmode) {
+  MAD_ASSERT(!ended_, "unpack after end_unpacking");
+  bmm_->unpack(dst, smode, rmode);
+  payload_bytes_ += dst.size();
+}
+
+void MessageReader::end_unpacking() {
+  MAD_ASSERT(!ended_, "end_unpacking called twice");
+  bmm_->finish();
+  ended_ = true;
+  ChannelStats& stats = channel_->mutable_stats();
+  ++stats.messages_received;
+  stats.bytes_received += payload_bytes_;
+}
+
+}  // namespace mad

@@ -1,0 +1,93 @@
+// Incremental message construction and extraction (paper §2.1.2).
+//
+// A message is a sequence of user blocks appended with pack() and finalized
+// with end_packing(). Messages are NOT self-described: the receiver must
+// unpack blocks in the exact order, with the exact flag pairs, that the
+// sender packed them — this is what lets the library skip headers on
+// homogeneous paths. (Forwarded messages do get self-description, from the
+// Generic Transmission Module in src/fwd.)
+#pragma once
+
+#include <memory>
+
+#include "mad/bmm.hpp"
+#include "mad/types.hpp"
+#include "util/bytes.hpp"
+
+namespace mad {
+
+class Channel;
+
+class MessageWriter {
+ public:
+  /// Prefer Channel::begin_packing.
+  MessageWriter(Channel& channel, NodeRank dst);
+  MessageWriter(MessageWriter&&) noexcept = default;
+  MessageWriter& operator=(MessageWriter&&) noexcept = delete;
+  /// Finishes the message if end_packing was not called explicitly.
+  ~MessageWriter();
+
+  NodeRank destination() const { return dst_; }
+
+  /// Appends one block (mad_pack).
+  void pack(util::ByteSpan data, SendMode smode = SendMode::Cheaper,
+            RecvMode rmode = RecvMode::Cheaper);
+
+  /// Appends a trivially-copyable value (snapshotted immediately — Safer).
+  /// Express-only: the matching unpack_value returns the value by copy, so
+  /// it must be available when unpack returns.
+  template <typename T>
+  void pack_value(const T& value) {
+    pack(util::object_bytes(value), SendMode::Safer, RecvMode::Express);
+  }
+
+  /// Finalizes the message (mad_end_packing): afterwards the whole message
+  /// has been handed to the network.
+  void end_packing();
+
+ private:
+  Channel* channel_;
+  NodeRank dst_;
+  struct Connection* connection_ = nullptr;  // tx-locked until end_packing
+  std::unique_ptr<BmmTx> bmm_;
+  std::uint64_t payload_bytes_ = 0;
+  bool ended_ = false;
+};
+
+class MessageReader {
+ public:
+  /// Prefer Channel::begin_unpacking / begin_unpacking_from.
+  MessageReader(Channel& channel, NodeRank src);
+  MessageReader(MessageReader&&) noexcept = default;
+  MessageReader& operator=(MessageReader&&) noexcept = delete;
+  ~MessageReader();
+
+  NodeRank source() const { return src_; }
+
+  /// Extracts one block; flags must match the sender's pack call.
+  void unpack(util::MutByteSpan dst, SendMode smode = SendMode::Cheaper,
+              RecvMode rmode = RecvMode::Cheaper);
+
+  /// Extracts a value packed with pack_value (Express, so the returned copy
+  /// is filled before this call returns).
+  template <typename T>
+  T unpack_value() {
+    T value{};
+    unpack(util::object_bytes_mut(value), SendMode::Safer,
+           RecvMode::Express);
+    return value;
+  }
+
+  /// Finalizes extraction (mad_end_unpacking): all Cheaper blocks are
+  /// guaranteed filled afterwards.
+  void end_unpacking();
+
+ private:
+  Channel* channel_;
+  NodeRank src_;
+  std::unique_ptr<BmmRx> bmm_;
+  std::uint64_t payload_bytes_ = 0;
+  bool ended_ = false;
+};
+
+}  // namespace mad

@@ -1,0 +1,81 @@
+#include "mad/pmm.hpp"
+
+#include "util/panic.hpp"
+
+namespace mad {
+
+const char* to_string(BmmKind kind) {
+  switch (kind) {
+    case BmmKind::DynamicAggregating:
+      return "dynamic-aggregating";
+    case BmmKind::DynamicEager:
+      return "dynamic-eager";
+    case BmmKind::Static:
+      return "static";
+    case BmmKind::Hybrid:
+      return "hybrid-rdma-mesg";
+  }
+  return "?";
+}
+
+std::unique_ptr<BmmTx> ProtocolModule::make_tx(TransmissionModule& tm,
+                                               TxRoute route) const {
+  switch (bmm_kind_) {
+    case BmmKind::DynamicAggregating:
+      return std::make_unique<DynamicAggregTx>(tm, route, /*eager=*/false);
+    case BmmKind::DynamicEager:
+      return std::make_unique<DynamicAggregTx>(tm, route, /*eager=*/true);
+    case BmmKind::Static:
+      return std::make_unique<StaticTx>(tm, route);
+    case BmmKind::Hybrid:
+      return std::make_unique<HybridTx>(tm, route,
+                                        tm.model().hybrid_mesg_threshold);
+  }
+  MAD_PANIC("unreachable BmmKind");
+}
+
+std::unique_ptr<BmmRx> ProtocolModule::make_rx(TransmissionModule& tm,
+                                               RxRoute route) const {
+  switch (bmm_kind_) {
+    case BmmKind::DynamicAggregating:
+      return std::make_unique<DynamicAggregRx>(tm, route, /*eager=*/false);
+    case BmmKind::DynamicEager:
+      return std::make_unique<DynamicAggregRx>(tm, route, /*eager=*/true);
+    case BmmKind::Static:
+      return std::make_unique<StaticRx>(tm, route);
+    case BmmKind::Hybrid:
+      return std::make_unique<HybridRx>(tm, route,
+                                        tm.model().hybrid_mesg_threshold);
+  }
+  MAD_PANIC("unreachable BmmKind");
+}
+
+const ProtocolModule& ProtocolModule::for_protocol(
+    const std::string& protocol) {
+  // BIP supports scatter/gather, so grouped transfers pay off; SISCI PIO
+  // writes leave as they are produced, so the eager shape fits; TCP and SBP
+  // require protocol-owned buffers.
+  static const ProtocolModule bip{"BIP/Myrinet", BmmKind::DynamicAggregating};
+  static const ProtocolModule sisci{"SISCI/SCI", BmmKind::DynamicEager};
+  static const ProtocolModule tcp{"TCP/FEth", BmmKind::Static};
+  static const ProtocolModule sbp_pmm{"SBP", BmmKind::Static};
+  static const ProtocolModule via{"VIA/GigaNet", BmmKind::Hybrid};
+  if (protocol == bip.name()) {
+    return bip;
+  }
+  if (protocol == sisci.name()) {
+    return sisci;
+  }
+  if (protocol == tcp.name()) {
+    return tcp;
+  }
+  if (protocol == sbp_pmm.name()) {
+    return sbp_pmm;
+  }
+  if (protocol == via.name()) {
+    return via;
+  }
+  MAD_PANIC("no Protocol Management Module for '" + protocol + "'");
+}
+
+}  // namespace mad

@@ -1,0 +1,40 @@
+// Protocol Management Modules (paper §2.1.1).
+//
+// One PMM exists per supported protocol. It knows which Buffer Management
+// shape feeds its Transmission Modules optimally and manufactures matched
+// BmmTx/BmmRx pairs. The registry is keyed by the protocol name carried in
+// the NIC model ("BIP/Myrinet", "SISCI/SCI", "TCP/FEth", "SBP").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mad/bmm.hpp"
+#include "mad/tm.hpp"
+
+namespace mad {
+
+enum class BmmKind { DynamicAggregating, DynamicEager, Static, Hybrid };
+
+const char* to_string(BmmKind kind);
+
+class ProtocolModule {
+ public:
+  ProtocolModule(std::string name, BmmKind bmm_kind)
+      : name_(std::move(name)), bmm_kind_(bmm_kind) {}
+
+  const std::string& name() const { return name_; }
+  BmmKind bmm_kind() const { return bmm_kind_; }
+
+  std::unique_ptr<BmmTx> make_tx(TransmissionModule& tm, TxRoute route) const;
+  std::unique_ptr<BmmRx> make_rx(TransmissionModule& tm, RxRoute route) const;
+
+  /// Registry lookup; throws on unknown protocol names.
+  static const ProtocolModule& for_protocol(const std::string& protocol);
+
+ private:
+  std::string name_;
+  BmmKind bmm_kind_;
+};
+
+}  // namespace mad

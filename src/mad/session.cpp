@@ -1,0 +1,87 @@
+#include "mad/session.hpp"
+
+#include <algorithm>
+
+#include "util/panic.hpp"
+
+namespace mad {
+
+Session& Domain::add_node(net::Host& host) {
+  const NodeRank rank = static_cast<NodeRank>(sessions_.size());
+  sessions_.push_back(std::make_unique<Session>(*this, rank, host));
+  return *sessions_.back();
+}
+
+ChannelId Domain::create_channel(const std::string& name,
+                                 net::Network& network, int adapter) {
+  MAD_ASSERT(adapter >= 0, "negative adapter index");
+  for (const auto& existing : channels_) {
+    MAD_ASSERT(existing.name != name, "duplicate channel name '" + name + "'");
+  }
+  ChannelRecord record;
+  record.name = name;
+  record.network = &network;
+  record.adapter = adapter;
+  for (const auto& session : sessions_) {
+    if (session->host().nic_on(network, adapter) != nullptr) {
+      record.members.push_back(session->rank());
+    }
+  }
+  MAD_ASSERT(record.members.size() >= 2,
+             "channel '" + name + "' needs at least two members on network " +
+                 network.name() + " with adapter " + std::to_string(adapter));
+  const ChannelId id = static_cast<ChannelId>(channels_.size());
+  for (const NodeRank member : record.members) {
+    record.endpoints.emplace(
+        member, std::make_unique<Channel>(*this, id, name, network, adapter,
+                                          member, record.members));
+  }
+  channels_.push_back(std::move(record));
+  return id;
+}
+
+Channel& Domain::endpoint(ChannelId id, NodeRank rank) const {
+  MAD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < channels_.size(),
+             "bad channel id");
+  const ChannelRecord& record = channels_[static_cast<std::size_t>(id)];
+  const auto it = record.endpoints.find(rank);
+  MAD_ASSERT(it != record.endpoints.end(),
+             "node " + std::to_string(rank) + " is not a member of channel '" +
+                 record.name + "'");
+  return *it->second;
+}
+
+Channel& Domain::endpoint(const std::string& name, NodeRank rank) const {
+  for (const auto& record : channels_) {
+    if (record.name == name) {
+      const auto it = record.endpoints.find(rank);
+      MAD_ASSERT(it != record.endpoints.end(),
+                 "node " + std::to_string(rank) +
+                     " is not a member of channel '" + name + "'");
+      return *it->second;
+    }
+  }
+  MAD_PANIC("no channel named '" + name + "'");
+}
+
+Session& Domain::session(NodeRank rank) const {
+  MAD_ASSERT(rank >= 0 && static_cast<std::size_t>(rank) < sessions_.size(),
+             "bad node rank");
+  return *sessions_[static_cast<std::size_t>(rank)];
+}
+
+net::Nic& Domain::nic_of(NodeRank rank, const net::Network& network,
+                         int adapter) const {
+  net::Nic* nic = session(rank).host().nic_on(network, adapter);
+  MAD_ASSERT(nic != nullptr, "node " + std::to_string(rank) +
+                                 " has no adapter " + std::to_string(adapter) +
+                                 " on network " + network.name());
+  return *nic;
+}
+
+bool Domain::has_nic(NodeRank rank, const net::Network& network,
+                     int adapter) const {
+  return session(rank).host().nic_on(network, adapter) != nullptr;
+}
+
+}  // namespace mad

@@ -1,0 +1,89 @@
+// Domain and Session: the configuration layer.
+//
+// A Domain is the whole Madeleine configuration — the set of nodes
+// (Sessions) and channels. In the real library this state is established
+// collectively at startup by the mad_init bootstrap; in this in-process
+// reproduction a Domain object plays the bootstrap role and hands each node
+// its Session.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mad/channel.hpp"
+#include "mad/types.hpp"
+#include "net/fabric.hpp"
+
+namespace mad {
+
+class Session;
+
+class Domain {
+ public:
+  explicit Domain(net::Fabric& fabric) : fabric_(fabric) {}
+
+  /// Registers a node; ranks are assigned in registration order.
+  Session& add_node(net::Host& host);
+
+  /// Creates a channel over `network` among all registered nodes that own
+  /// at least `adapter + 1` NICs on it (at least two such nodes).
+  /// Endpoints are materialized on every member. Several channels may use
+  /// the same protocol and/or the same adapter; distinct adapters give
+  /// multi-rail parallelism.
+  ChannelId create_channel(const std::string& name, net::Network& network,
+                           int adapter = 0);
+
+  Channel& endpoint(ChannelId id, NodeRank rank) const;
+  Channel& endpoint(const std::string& name, NodeRank rank) const;
+
+  Session& session(NodeRank rank) const;
+  std::size_t node_count() const { return sessions_.size(); }
+
+  net::Fabric& fabric() const { return fabric_; }
+  sim::Engine& engine() const { return fabric_.engine(); }
+
+  /// The `adapter`-th NIC of `rank` on `network`; asserts it exists.
+  net::Nic& nic_of(NodeRank rank, const net::Network& network,
+                   int adapter = 0) const;
+  bool has_nic(NodeRank rank, const net::Network& network,
+               int adapter = 0) const;
+
+ private:
+  struct ChannelRecord {
+    std::string name;
+    net::Network* network = nullptr;
+    int adapter = 0;
+    std::vector<NodeRank> members;
+    std::map<NodeRank, std::unique_ptr<Channel>> endpoints;
+  };
+
+  net::Fabric& fabric_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<ChannelRecord> channels_;
+};
+
+/// Per-node view of the configuration.
+class Session {
+ public:
+  Session(Domain& domain, NodeRank rank, net::Host& host)
+      : domain_(domain), rank_(rank), host_(host) {}
+
+  NodeRank rank() const { return rank_; }
+  net::Host& host() const { return host_; }
+  Domain& domain() const { return domain_; }
+  sim::Engine& engine() const { return domain_.engine(); }
+
+  /// This node's endpoint of the named channel.
+  Channel& channel(const std::string& name) const {
+    return domain_.endpoint(name, rank_);
+  }
+
+ private:
+  Domain& domain_;
+  NodeRank rank_;
+  net::Host& host_;
+};
+
+}  // namespace mad

@@ -1,0 +1,47 @@
+// Transmission Module — the protocol-driving interface (paper §2.1.1).
+//
+// A TM wraps one NIC and exposes the generic set of functions the upper
+// (buffer-management) layer is written against: packet send/receive in
+// dynamic user memory, and static-buffer acquisition/transmission for
+// protocols that require protocol-owned buffers. Protocol differences
+// (DMA vs PIO, static vs dynamic buffers, MTU) live in the NIC model;
+// the Protocol Management Module (pmm.hpp) decides which Buffer Management
+// Module shape feeds this TM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/nic.hpp"
+#include "util/bytes.hpp"
+
+namespace mad {
+
+class TransmissionModule {
+ public:
+  explicit TransmissionModule(net::Nic& nic);
+
+  net::Nic& nic() const { return nic_; }
+  const net::NicModelParams& model() const { return nic_.model(); }
+
+  /// Largest packet this TM can push unfragmented (bounded by the static
+  /// buffer size on static-buffer protocols).
+  std::uint32_t mtu() const;
+
+  /// --- dynamic-buffer operations (gather/scatter straight to user memory)
+  void send_packet(int dst_nic_index, std::uint64_t tag,
+                   const util::ConstIovec& data);
+  void recv_packet(std::uint64_t tag, const util::MutIovec& dst);
+  std::vector<std::byte> recv_packet_owned(std::uint64_t tag);
+
+  /// --- static-buffer operations (protocol-owned buffers)
+  net::StaticBufferPool::Ref acquire_static_buffer();
+  void send_static_buffer(int dst_nic_index, std::uint64_t tag,
+                          const net::StaticBufferPool::Ref& buffer);
+  net::StaticBufferPool::Ref recv_packet_static(std::uint64_t tag);
+
+ private:
+  net::Nic& nic_;
+};
+
+}  // namespace mad

@@ -1,0 +1,27 @@
+#include "mad/types.hpp"
+
+namespace mad {
+
+const char* to_string(SendMode mode) {
+  switch (mode) {
+    case SendMode::Safer:
+      return "send_SAFER";
+    case SendMode::Later:
+      return "send_LATER";
+    case SendMode::Cheaper:
+      return "send_CHEAPER";
+  }
+  return "?";
+}
+
+const char* to_string(RecvMode mode) {
+  switch (mode) {
+    case RecvMode::Express:
+      return "receive_EXPRESS";
+    case RecvMode::Cheaper:
+      return "receive_CHEAPER";
+  }
+  return "?";
+}
+
+}  // namespace mad

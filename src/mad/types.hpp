@@ -1,0 +1,43 @@
+// Core identifiers and the pack/unpack flag pairs of the Madeleine API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mad {
+
+/// Global rank of a node within a session ("configuration" in Madeleine
+/// terms). Assigned by Domain::add_node in registration order.
+using NodeRank = int;
+
+/// Identifies a channel across the whole configuration.
+using ChannelId = int;
+
+/// Sender-side semantics of mad_pack (paper §2.1.2).
+enum class SendMode {
+  /// Data is copied at pack() time; the user may modify the buffer as soon
+  /// as pack() returns. Costs one software copy.
+  Safer,
+  /// Data is read no earlier than end_packing(); modifications made before
+  /// end_packing() are transmitted.
+  Later,
+  /// Madeleine chooses the cheapest scheme; the buffer must stay unchanged
+  /// until end_packing(). This is the common, fastest mode.
+  Cheaper,
+};
+
+/// Receiver-side semantics of mad_unpack.
+enum class RecvMode {
+  /// Data is guaranteed available when unpack() returns — required when the
+  /// receiver needs the value to interpret the rest of the message (sizes,
+  /// tags). Forces an aggregation flush on the sender.
+  Express,
+  /// Data is guaranteed available only after end_unpacking(); lets the
+  /// library aggregate freely.
+  Cheaper,
+};
+
+const char* to_string(SendMode mode);
+const char* to_string(RecvMode mode);
+
+}  // namespace mad

@@ -1,0 +1,340 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mad/copy_stats.hpp"
+#include "util/panic.hpp"
+
+namespace mad::mpi {
+
+namespace {
+
+/// Envelope carried EXPRESS ahead of each payload.
+struct Envelope {
+  std::int32_t source = -1;
+  std::int32_t tag = 0;
+  std::uint64_t size = 0;
+};
+
+/// Collective operations use a reserved tag space above user tags.
+constexpr int kCollectiveTagBase = 0x4000'0000;
+constexpr int kBarrierTag = kCollectiveTagBase + 1;
+constexpr int kBcastTag = kCollectiveTagBase + 2;
+constexpr int kReduceTag = kCollectiveTagBase + 3;
+constexpr int kGatherTag = kCollectiveTagBase + 4;
+constexpr int kAlltoallTag = kCollectiveTagBase + 5;
+
+std::size_t element_size(ReduceOp op) {
+  return op == ReduceOp::SumU64 ? sizeof(std::uint64_t) : sizeof(double);
+}
+
+void apply_reduce(ReduceOp op, util::ByteSpan contribution,
+                  util::MutByteSpan accumulator) {
+  MAD_ASSERT(contribution.size() == accumulator.size(),
+             "reduce: size mismatch");
+  switch (op) {
+    case ReduceOp::SumDouble:
+    case ReduceOp::MaxDouble:
+    case ReduceOp::MinDouble: {
+      MAD_ASSERT(contribution.size() % sizeof(double) == 0,
+                 "reduce: not a whole number of doubles");
+      const std::size_t n = contribution.size() / sizeof(double);
+      const auto* in = reinterpret_cast<const double*>(contribution.data());
+      auto* acc = reinterpret_cast<double*>(accumulator.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        if (op == ReduceOp::SumDouble) {
+          acc[i] += in[i];
+        } else if (op == ReduceOp::MaxDouble) {
+          acc[i] = std::max(acc[i], in[i]);
+        } else {
+          acc[i] = std::min(acc[i], in[i]);
+        }
+      }
+      return;
+    }
+    case ReduceOp::SumU64: {
+      MAD_ASSERT(contribution.size() % sizeof(std::uint64_t) == 0,
+                 "reduce: not a whole number of u64");
+      const std::size_t n = contribution.size() / sizeof(std::uint64_t);
+      const auto* in =
+          reinterpret_cast<const std::uint64_t*>(contribution.data());
+      auto* acc = reinterpret_cast<std::uint64_t*>(accumulator.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        acc[i] += in[i];
+      }
+      return;
+    }
+  }
+  MAD_PANIC("unreachable ReduceOp");
+}
+
+bool matches(int want_source, int want_tag, int source, int tag) {
+  return (want_source == kAnySource || want_source == source) &&
+         (want_tag == kAnyTag || want_tag == tag);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ World
+
+World::World(fwd::VirtualChannel& vc, std::vector<NodeRank> nodes)
+    : vc_(vc), nodes_(std::move(nodes)) {
+  MAD_ASSERT(!nodes_.empty(), "empty MPI world");
+  for (const NodeRank node : nodes_) {
+    MAD_ASSERT(vc.is_member(node),
+               "node " + std::to_string(node) +
+                   " is not on the virtual channel");
+  }
+  for (int r = 0; r < size(); ++r) {
+    comms_.push_back(
+        std::unique_ptr<Communicator>(new Communicator(*this, r)));
+  }
+}
+
+Communicator& World::comm(int rank) {
+  MAD_ASSERT(rank >= 0 && rank < size(), "bad MPI rank");
+  return *comms_[static_cast<std::size_t>(rank)];
+}
+
+NodeRank World::node_of(int rank) const {
+  MAD_ASSERT(rank >= 0 && rank < size(), "bad MPI rank");
+  return nodes_[static_cast<std::size_t>(rank)];
+}
+
+int World::rank_of_node(NodeRank node) const {
+  for (int r = 0; r < size(); ++r) {
+    if (nodes_[static_cast<std::size_t>(r)] == node) {
+      return r;
+    }
+  }
+  return -1;
+}
+
+// ----------------------------------------------------------- Communicator
+
+int Communicator::size() const { return world_.size(); }
+
+void Communicator::send(int dst, int tag, util::ByteSpan data) {
+  MAD_ASSERT(dst >= 0 && dst < size(), "send to bad rank");
+  MAD_ASSERT(tag >= 0, "negative user tags are reserved");
+  if (dst == rank_) {
+    // Loopback: one buffering copy, like a real MPI self-send.
+    Unexpected msg;
+    msg.source = rank_;
+    msg.tag = tag;
+    msg.payload.resize(data.size());
+    counted_copy(msg.payload, data);
+    unexpected_.push_back(std::move(msg));
+    return;
+  }
+  auto writer = world_.vc().endpoint(world_.node_of(rank_))
+                    .begin_packing(world_.node_of(dst));
+  writer.pack_value(Envelope{rank_, tag, data.size()});
+  writer.pack(data, SendMode::Cheaper, RecvMode::Cheaper);
+  writer.end_packing();
+}
+
+void Communicator::pump() {
+  auto reader =
+      world_.vc().endpoint(world_.node_of(rank_)).begin_unpacking();
+  const auto envelope = reader.unpack_value<Envelope>();
+  Unexpected msg;
+  msg.source = envelope.source;
+  msg.tag = envelope.tag;
+  msg.payload.resize(envelope.size);
+  reader.unpack(msg.payload, SendMode::Cheaper, RecvMode::Cheaper);
+  reader.end_unpacking();
+  unexpected_.push_back(std::move(msg));
+}
+
+int Communicator::find_match(int source, int tag) const {
+  for (std::size_t i = 0; i < unexpected_.size(); ++i) {
+    if (matches(source, tag, unexpected_[i].source, unexpected_[i].tag)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Status Communicator::recv(int source, int tag, util::MutByteSpan buffer) {
+  // Fast path: drain a queued match (one buffering copy, already counted
+  // when it was pumped... the copy-out here is the matching cost).
+  for (;;) {
+    const int idx = find_match(source, tag);
+    if (idx >= 0) {
+      Unexpected msg = std::move(unexpected_[static_cast<std::size_t>(idx)]);
+      unexpected_.erase(unexpected_.begin() + idx);
+      MAD_ASSERT(msg.payload.size() <= buffer.size(),
+                 "recv buffer too small");
+      counted_copy(buffer.first(msg.payload.size()), msg.payload);
+      return {msg.source, msg.tag, msg.payload.size()};
+    }
+    // Open the next incoming message. If it matches, receive the payload
+    // STRAIGHT into the user buffer (zero-copy, like a posted receive);
+    // otherwise queue it.
+    auto reader =
+        world_.vc().endpoint(world_.node_of(rank_)).begin_unpacking();
+    const auto envelope = reader.unpack_value<Envelope>();
+    if (matches(source, tag, envelope.source, envelope.tag)) {
+      MAD_ASSERT(envelope.size <= buffer.size(), "recv buffer too small");
+      reader.unpack(buffer.first(envelope.size), SendMode::Cheaper,
+                    RecvMode::Cheaper);
+      reader.end_unpacking();
+      return {envelope.source, envelope.tag, envelope.size};
+    }
+    Unexpected msg;
+    msg.source = envelope.source;
+    msg.tag = envelope.tag;
+    msg.payload.resize(envelope.size);
+    reader.unpack(msg.payload, SendMode::Cheaper, RecvMode::Cheaper);
+    reader.end_unpacking();
+    unexpected_.push_back(std::move(msg));
+  }
+}
+
+Status Communicator::probe(int source, int tag) {
+  for (;;) {
+    const int idx = find_match(source, tag);
+    if (idx >= 0) {
+      const Unexpected& msg = unexpected_[static_cast<std::size_t>(idx)];
+      return {msg.source, msg.tag, msg.payload.size()};
+    }
+    pump();
+  }
+}
+
+std::optional<Status> Communicator::iprobe(int source, int tag) {
+  for (;;) {
+    const int idx = find_match(source, tag);
+    if (idx >= 0) {
+      const Unexpected& msg = unexpected_[static_cast<std::size_t>(idx)];
+      return Status{msg.source, msg.tag, msg.payload.size()};
+    }
+    // Drain whatever already arrived without blocking.
+    if (world_.vc().endpoint(world_.node_of(rank_)).pending_messages() ==
+        0) {
+      return std::nullopt;
+    }
+    pump();
+  }
+}
+
+void Communicator::barrier() {
+  // Dissemination barrier: log2(P) rounds.
+  const int p = size();
+  const std::byte token{1};
+  for (int k = 1; k < p; k <<= 1) {
+    const int to = (rank_ + k) % p;
+    const int from = (rank_ - k % p + p) % p;
+    send(to, kBarrierTag, util::ByteSpan(&token, 1));
+    std::byte got{};
+    recv(from, kBarrierTag, util::MutByteSpan(&got, 1));
+  }
+}
+
+void Communicator::bcast(int root, util::MutByteSpan data) {
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (vrank & mask) {
+      const int parent = ((vrank ^ mask) + root) % p;
+      recv(parent, kBcastTag, data);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    const int vchild = vrank | mask;
+    if ((vrank & mask) == 0 && vchild < p) {
+      send((vchild + root) % p, kBcastTag, data);
+    }
+    mask >>= 1;
+  }
+}
+
+void Communicator::reduce(int root, util::ByteSpan in,
+                          util::MutByteSpan out, ReduceOp op) {
+  MAD_ASSERT(in.size() == out.size(), "reduce: in/out size mismatch");
+  MAD_ASSERT(in.size() % element_size(op) == 0,
+             "reduce: buffer is not a whole number of elements");
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  // Working accumulator starts as the local contribution.
+  std::vector<std::byte> acc(in.begin(), in.end());
+  std::vector<std::byte> incoming(in.size());
+  int mask = 1;
+  while (mask < p) {
+    if ((vrank & mask) == 0) {
+      const int vpeer = vrank | mask;
+      if (vpeer < p) {
+        recv((vpeer + root) % p, kReduceTag, incoming);
+        apply_reduce(op, incoming, acc);
+      }
+    } else {
+      send(((vrank ^ mask) + root) % p, kReduceTag, acc);
+      break;
+    }
+    mask <<= 1;
+  }
+  if (rank_ == root) {
+    std::copy(acc.begin(), acc.end(), out.begin());
+  }
+}
+
+void Communicator::allreduce(util::ByteSpan in, util::MutByteSpan out,
+                             ReduceOp op) {
+  reduce(0, in, out, op);
+  if (rank_ != 0) {
+    // Non-roots broadcast into out; root already holds the result.
+  }
+  bcast(0, out);
+}
+
+void Communicator::gather(int root, util::ByteSpan in,
+                          util::MutByteSpan out) {
+  const int p = size();
+  if (rank_ != root) {
+    send(root, kGatherTag, in);
+    return;
+  }
+  MAD_ASSERT(out.size() == in.size() * static_cast<std::size_t>(p),
+             "gather: bad receive buffer size");
+  std::memcpy(out.data() + static_cast<std::size_t>(rank_) * in.size(),
+              in.data(), in.size());
+  for (int i = 0; i < p - 1; ++i) {
+    // Accept contributions in arrival order; slot them by source.
+    const Status probe_status = probe(kAnySource, kGatherTag);
+    recv(probe_status.source, kGatherTag,
+         out.subspan(static_cast<std::size_t>(probe_status.source) *
+                         in.size(),
+                     in.size()));
+  }
+}
+
+void Communicator::alltoall(util::ByteSpan in, util::MutByteSpan out,
+                            std::size_t block) {
+  const int p = size();
+  MAD_ASSERT(in.size() == block * static_cast<std::size_t>(p) &&
+                 out.size() == in.size(),
+             "alltoall: bad buffer sizes");
+  // Own block moves locally.
+  std::memcpy(out.data() + static_cast<std::size_t>(rank_) * block,
+              in.data() + static_cast<std::size_t>(rank_) * block, block);
+  // Push every outgoing block (sends complete locally), then drain.
+  for (int i = 0; i < p; ++i) {
+    if (i != rank_) {
+      send(i, kAlltoallTag,
+           in.subspan(static_cast<std::size_t>(i) * block, block));
+    }
+  }
+  for (int i = 0; i < p - 1; ++i) {
+    const Status st = probe(kAnySource, kAlltoallTag);
+    recv(st.source, kAlltoallTag,
+         out.subspan(static_cast<std::size_t>(st.source) * block, block));
+  }
+}
+
+}  // namespace mad::mpi

@@ -1,0 +1,109 @@
+// A compact MPI-style layer on top of virtual channels.
+//
+// The paper's introduction motivates cluster-of-clusters runtimes for MPI
+// stacks, and the Madeleine line of work culminated in MPICH/Madeleine III
+// ("a cluster of clusters enabled MPI implementation"). This module is
+// that layer in miniature: tagged point-to-point with ANY_SOURCE/ANY_TAG
+// matching and an unexpected-message queue, plus the classic collectives —
+// all expressed purely through the VcEndpoint API, so every operation
+// transparently crosses gateways when ranks live in different clusters.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fwd/virtual_channel.hpp"
+
+namespace mad::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Result of a receive/probe: who sent, with what tag, how many bytes.
+struct Status {
+  int source = -1;
+  int tag = -1;
+  std::uint64_t bytes = 0;
+};
+
+/// Reduction operators understood by reduce/allreduce.
+enum class ReduceOp { SumDouble, SumU64, MaxDouble, MinDouble };
+
+class World;
+
+/// One process's communicator. All calls must run inside that process's
+/// simulation actor. Collectives must be entered by every rank of the
+/// world.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// --- point-to-point ---
+  void send(int dst, int tag, util::ByteSpan data);
+  /// Blocking receive with matching; dst buffer must be at least the
+  /// message size (exact size is returned in Status).
+  Status recv(int source, int tag, util::MutByteSpan buffer);
+  /// Blocks until a matching message is available; does not consume it.
+  Status probe(int source, int tag);
+  /// Non-blocking probe.
+  std::optional<Status> iprobe(int source, int tag);
+
+  /// --- collectives (log-tree based where it matters) ---
+  void barrier();
+  void bcast(int root, util::MutByteSpan data);
+  /// out must equal in size; valid at root only (others may pass their own
+  /// scratch of the same size).
+  void reduce(int root, util::ByteSpan in, util::MutByteSpan out,
+              ReduceOp op);
+  void allreduce(util::ByteSpan in, util::MutByteSpan out, ReduceOp op);
+  /// Equal-sized contributions; recv buffer = size() * in.size(), valid at
+  /// root.
+  void gather(int root, util::ByteSpan in, util::MutByteSpan out);
+  /// Equal-sized blocks: send block i to rank i; receive block i from
+  /// rank i. Both buffers are size() * block bytes.
+  void alltoall(util::ByteSpan in, util::MutByteSpan out,
+                std::size_t block);
+
+ private:
+  friend class World;
+  Communicator(World& world, int rank) : world_(world), rank_(rank) {}
+
+  struct Unexpected {
+    int source;
+    int tag;
+    std::vector<std::byte> payload;
+  };
+
+  /// Pulls one message from the virtual channel into the unexpected queue.
+  void pump();
+  /// Finds a matching queued message; -1 if none.
+  int find_match(int source, int tag) const;
+
+  World& world_;
+  int rank_;
+  std::deque<Unexpected> unexpected_;
+};
+
+/// The set of participating processes. Ranks 0..P-1 map onto virtual-
+/// channel member nodes (gateways may participate or just route).
+class World {
+ public:
+  World(fwd::VirtualChannel& vc, std::vector<NodeRank> nodes);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  Communicator& comm(int rank);
+  NodeRank node_of(int rank) const;
+  int rank_of_node(NodeRank node) const;  // -1 if not participating
+  fwd::VirtualChannel& vc() const { return vc_; }
+
+ private:
+  fwd::VirtualChannel& vc_;
+  std::vector<NodeRank> nodes_;
+  std::vector<std::unique_ptr<Communicator>> comms_;
+};
+
+}  // namespace mad::mpi

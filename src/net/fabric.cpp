@@ -1,0 +1,43 @@
+#include "net/fabric.hpp"
+
+#include "util/panic.hpp"
+
+namespace mad::net {
+
+Host& Fabric::add_host(std::string name, PciBusParams bus) {
+  const int id = static_cast<int>(hosts_.size());
+  hosts_.push_back(
+      std::make_unique<Host>(engine_, id, std::move(name), bus));
+  return *hosts_.back();
+}
+
+Network& Fabric::add_network(std::string name, NicModelParams model) {
+  const int id = static_cast<int>(networks_.size());
+  networks_.push_back(std::make_unique<Network>(engine_, id, std::move(name),
+                                                std::move(model)));
+  networks_.back()->set_packet_log(&packet_log_);
+  return *networks_.back();
+}
+
+Host& Fabric::host(int id) const {
+  MAD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < hosts_.size(),
+             "bad host id");
+  return *hosts_[static_cast<std::size_t>(id)];
+}
+
+Network& Fabric::network(int id) const {
+  MAD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < networks_.size(),
+             "bad network id");
+  return *networks_[static_cast<std::size_t>(id)];
+}
+
+Network* Fabric::network_by_name(const std::string& name) const {
+  for (const auto& network : networks_) {
+    if (network->name() == name) {
+      return network.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace mad::net

@@ -1,0 +1,39 @@
+// The whole simulated testbed: hosts + networks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/link.hpp"
+
+namespace mad::net {
+
+class Fabric {
+ public:
+  explicit Fabric(sim::Engine& engine) : engine_(engine) {}
+
+  Host& add_host(std::string name, PciBusParams bus = pci_33mhz_32bit());
+  Network& add_network(std::string name, NicModelParams model);
+
+  Host& host(int id) const;
+  Network& network(int id) const;
+  Network* network_by_name(const std::string& name) const;
+
+  std::size_t host_count() const { return hosts_.size(); }
+  std::size_t network_count() const { return networks_.size(); }
+  sim::Engine& engine() const { return engine_; }
+
+  /// Fabric-wide packet sniffer (disabled by default; enable() to record
+  /// every NIC send across all networks).
+  PacketLog& packet_log() { return packet_log_; }
+
+ private:
+  sim::Engine& engine_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Network>> networks_;
+  PacketLog packet_log_;
+};
+
+}  // namespace mad::net

@@ -1,0 +1,38 @@
+#include "net/host.hpp"
+
+namespace mad::net {
+
+Host::Host(sim::Engine& engine, int id, std::string name,
+           PciBusParams bus_params)
+    : engine_(engine),
+      id_(id),
+      name_(std::move(name)),
+      bus_(engine, bus_params, name_ + ".pci") {}
+
+Nic& Host::add_nic(Network& network) {
+  nics_.push_back(std::make_unique<Nic>(engine_, *this, network));
+  return *nics_.back();
+}
+
+Nic* Host::nic_on(const Network& network, int adapter) const {
+  int index = 0;
+  for (const auto& nic : nics_) {
+    if (&nic->network() == &network) {
+      if (index == adapter) {
+        return nic.get();
+      }
+      ++index;
+    }
+  }
+  return nullptr;
+}
+
+int Host::adapters_on(const Network& network) const {
+  int count = 0;
+  for (const auto& nic : nics_) {
+    count += (&nic->network() == &network) ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace mad::net

@@ -1,0 +1,46 @@
+// A node of the simulated testbed: one shared PCI bus plus NICs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/nic.hpp"
+#include "net/pci_bus.hpp"
+
+namespace mad::net {
+
+class Host {
+ public:
+  Host(sim::Engine& engine, int id, std::string name,
+       PciBusParams bus_params);
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  PciBus& bus() { return bus_; }
+  const PciBus& bus() const { return bus_; }
+  sim::Engine& engine() const { return engine_; }
+
+  /// Creates a NIC on this host attached to `network`. Gateways call this
+  /// once per network they bridge.
+  Nic& add_nic(Network& network);
+
+  /// The `adapter`-th NIC of this host on `network`, or nullptr. Hosts may
+  /// own several adapters per network (multi-rail); adapters are numbered
+  /// in add_nic order.
+  Nic* nic_on(const Network& network, int adapter = 0) const;
+
+  /// How many adapters this host owns on `network`.
+  int adapters_on(const Network& network) const;
+
+  const std::vector<std::unique_ptr<Nic>>& nics() const { return nics_; }
+
+ private:
+  sim::Engine& engine_;
+  int id_;
+  std::string name_;
+  PciBus bus_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+}  // namespace mad::net

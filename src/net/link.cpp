@@ -1,0 +1,39 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+#include "util/panic.hpp"
+
+namespace mad::net {
+
+Network::Network(sim::Engine& engine, int id, std::string name,
+                 NicModelParams model)
+    : engine_(engine), id_(id), name_(std::move(name)), model_(std::move(model)) {
+  MAD_ASSERT(model_.wire_bandwidth > 0, "wire bandwidth must be positive");
+}
+
+int Network::attach(Nic* nic) {
+  MAD_ASSERT(nic != nullptr, "attach(nullptr)");
+  nics_.push_back(nic);
+  return static_cast<int>(nics_.size()) - 1;
+}
+
+Nic& Network::nic(int index) const {
+  MAD_ASSERT(index >= 0 && static_cast<std::size_t>(index) < nics_.size(),
+             "bad NIC index " + std::to_string(index) + " on network " +
+                 name_);
+  return *nics_[static_cast<std::size_t>(index)];
+}
+
+Network::WireReservation Network::reserve_wire(int src, int dst,
+                                               std::uint64_t bytes,
+                                               sim::Time start) {
+  sim::Time& busy = wire_busy_[{src, dst}];
+  const sim::Time depart = std::max(start, busy);
+  const sim::Time wire_end =
+      depart + sim::transfer_time(bytes, model_.wire_bandwidth);
+  busy = wire_end;
+  return {depart, wire_end};
+}
+
+}  // namespace mad::net

@@ -1,0 +1,66 @@
+// One physical network: a set of NICs joined by a switched fabric.
+//
+// The wire itself is modelled as a per-(source, destination) serialized
+// resource: packets between the same pair of NICs go out one after another
+// at `wire_bandwidth`, plus a one-way first-byte latency. For Myrinet and
+// SCI the wire is faster than the PCI bus, so in practice only the latency
+// matters; for Fast-Ethernet the wire is the bottleneck and the
+// serialization term dominates (which is exactly why the paper rejects
+// PACX-style TCP forwarding).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/packet_log.hpp"
+#include "net/params.hpp"
+#include "sim/engine.hpp"
+
+namespace mad::net {
+
+class Nic;
+
+class Network {
+ public:
+  Network(sim::Engine& engine, int id, std::string name,
+          NicModelParams model);
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const NicModelParams& model() const { return model_; }
+  sim::Engine& engine() const { return engine_; }
+
+  /// Registers a NIC; returns its index (address) on this network.
+  int attach(Nic* nic);
+
+  Nic& nic(int index) const;
+  std::size_t size() const { return nics_.size(); }
+
+  struct WireReservation {
+    sim::Time depart;    // first byte leaves the source NIC
+    sim::Time wire_end;  // last byte has left the wire
+  };
+
+  /// Serializes `bytes` on the src→dst direction starting no earlier than
+  /// `start`; returns the departure and completion instants.
+  WireReservation reserve_wire(int src, int dst, std::uint64_t bytes,
+                               sim::Time start);
+
+  /// Wire sniffer shared by all networks of the fabric (set by Fabric).
+  PacketLog* packet_log() const { return packet_log_; }
+  void set_packet_log(PacketLog* log) { packet_log_ = log; }
+
+ private:
+  PacketLog* packet_log_ = nullptr;
+  sim::Engine& engine_;
+  int id_;
+  std::string name_;
+  NicModelParams model_;
+  std::vector<Nic*> nics_;
+  std::map<std::pair<int, int>, sim::Time> wire_busy_;
+};
+
+}  // namespace mad::net

@@ -1,0 +1,132 @@
+// Hardware model presets, calibrated against the paper's testbed (§3).
+//
+// Calibration anchors (see DESIGN.md §7 and EXPERIMENTS.md):
+//   * one-way practical PCI ceiling ≈ 66 MB/s (32-bit/33 MHz);
+//   * aggregate full-duplex PCI throughput ≈ 110 MB/s ("conflicts appearing
+//     on the PCI bus when doing intensive full-duplex communications");
+//   * Madeleine native ping: SCI and Myrinet take ≈ 270 µs for a 16 KB
+//     message — SCI wins below, Myrinet above (paper §3.2.2);
+//   * during a Myrinet DMA receive, SCI PIO sends run at half speed
+//     (paper §3.4.1) — the pio_dma_penalty of the bus model.
+#include "net/params.hpp"
+
+#include "util/panic.hpp"
+
+namespace mad::net {
+
+PciBusParams pci_33mhz_32bit() {
+  PciBusParams p;
+  p.total_bandwidth = 115e6;   // full-duplex practical (132 MB/s raw)
+  p.dma_flow_bandwidth = 66e6;  // one-way practical ceiling
+  p.pio_flow_bandwidth = 60e6;  // write-combined CPU stores
+  // §3.4.1: the raw transaction rate is halved while DMA is active; the
+  // write-combining buffer additionally drains poorly under interleaved
+  // bus ownership, so the effective factor is slightly below 0.5.
+  p.pio_dma_penalty = 0.45;
+  return p;
+}
+
+NicModelParams bip_myrinet() {
+  NicModelParams m;
+  m.protocol = "BIP/Myrinet";
+  m.wire_bandwidth = 160e6;  // 1.28 Gb/s LANai 4.x link
+  m.wire_latency = sim::microseconds(11);
+  m.tx_op = PciOp::Dma;
+  m.rx_op = PciOp::Dma;
+  m.tx_buffers = BufferMode::Dynamic;
+  m.rx_buffers = BufferMode::Dynamic;
+  m.max_packet = 256 * 1024;
+  m.tx_host_overhead = sim::microseconds(9);
+  m.rx_host_overhead = sim::microseconds(8);
+  return m;
+}
+
+NicModelParams sisci_sci() {
+  NicModelParams m;
+  m.protocol = "SISCI/SCI";
+  m.wire_bandwidth = 400e6;  // SCI ringlet, far above the PCI bottleneck
+  m.wire_latency = sim::nanoseconds(2300);
+  m.tx_op = PciOp::Pio;  // CPU writes through the write-combining buffer
+  m.rx_op = PciOp::Dma;
+  m.tx_buffers = BufferMode::Dynamic;  // remote memory is mapped
+  m.rx_buffers = BufferMode::Dynamic;
+  m.max_packet = 128 * 1024;
+  m.tx_host_overhead = sim::microseconds(4);
+  m.rx_host_overhead = sim::microseconds(4);
+  return m;
+}
+
+NicModelParams tcp_fast_ethernet() {
+  NicModelParams m;
+  m.protocol = "TCP/FEth";
+  m.wire_bandwidth = 11.5e6;  // Fast-Ethernet after protocol overhead
+  m.wire_latency = sim::microseconds(55);
+  m.tx_op = PciOp::Dma;
+  m.rx_op = PciOp::Dma;
+  m.tx_buffers = BufferMode::Static;  // kernel socket buffers
+  m.rx_buffers = BufferMode::Static;
+  m.max_packet = 64 * 1024;
+  m.tx_host_overhead = sim::microseconds(25);  // syscall + TCP/IP stack
+  m.rx_host_overhead = sim::microseconds(25);
+  m.static_buffer_size = 64 * 1024;
+  m.static_buffer_count = 16;
+  return m;
+}
+
+NicModelParams sbp() {
+  NicModelParams m;
+  m.protocol = "SBP";
+  m.wire_bandwidth = 80e6;
+  m.wire_latency = sim::microseconds(8);
+  m.tx_op = PciOp::Dma;
+  m.rx_op = PciOp::Dma;
+  m.tx_buffers = BufferMode::Static;  // the paper's example of a protocol
+  m.rx_buffers = BufferMode::Static;  // requiring special send buffers
+  m.max_packet = 32 * 1024;
+  m.tx_host_overhead = sim::microseconds(4);
+  m.rx_host_overhead = sim::microseconds(4);
+  m.static_buffer_size = 32 * 1024;
+  m.static_buffer_count = 8;
+  return m;
+}
+
+NicModelParams via_giganet() {
+  NicModelParams m;
+  m.protocol = "VIA/GigaNet";
+  m.wire_bandwidth = 110e6;  // GigaNet cLAN, 1.25 Gb/s link
+  m.wire_latency = sim::microseconds(8);
+  m.tx_op = PciOp::Dma;
+  m.rx_op = PciOp::Dma;
+  m.tx_buffers = BufferMode::Dynamic;  // RDMA path: any registered memory
+  m.rx_buffers = BufferMode::Dynamic;
+  m.max_packet = 64 * 1024;
+  m.tx_host_overhead = sim::microseconds(5);
+  m.rx_host_overhead = sim::microseconds(5);
+  // The "mesg" path: descriptors below 4 KB go through pre-posted
+  // protocol buffers (paper Fig 1: PMM VIA drives TM1 rdma + TM2 mesg).
+  m.hybrid_mesg_threshold = 4096;
+  m.static_buffer_size = 4096;
+  m.static_buffer_count = 16;
+  return m;
+}
+
+NicModelParams nic_model_by_name(const std::string& protocol) {
+  if (protocol == "BIP/Myrinet") {
+    return bip_myrinet();
+  }
+  if (protocol == "SISCI/SCI") {
+    return sisci_sci();
+  }
+  if (protocol == "TCP/FEth") {
+    return tcp_fast_ethernet();
+  }
+  if (protocol == "SBP") {
+    return sbp();
+  }
+  if (protocol == "VIA/GigaNet") {
+    return via_giganet();
+  }
+  MAD_PANIC("unknown protocol preset: " + protocol);
+}
+
+}  // namespace mad::net

@@ -1,0 +1,224 @@
+#include "net/nic.hpp"
+
+#include <algorithm>
+
+#include "net/host.hpp"
+#include "util/log.hpp"
+#include "util/panic.hpp"
+
+namespace mad::net {
+
+Nic::Nic(sim::Engine& engine, Host& host, Network& network)
+    : engine_(engine),
+      host_(host),
+      network_(network),
+      index_(network.attach(this)),
+      rx_space_(engine, network.name() + ".nic" + std::to_string(index_) +
+                            ".rx_space"),
+      tx_done_(engine, network.name() + ".nic" + std::to_string(index_) +
+                           ".tx_done"),
+      tx_engine_(engine, network.name() + ".nic" + std::to_string(index_) +
+                             ".tx_engine"),
+      rx_engine_(engine, network.name() + ".nic" + std::to_string(index_) +
+                             ".rx_engine") {
+  const NicModelParams& m = model();
+  const std::string base =
+      network.name() + ".nic" + std::to_string(index_);
+  if (m.tx_static() || m.hybrid()) {
+    tx_pool_ = std::make_unique<StaticBufferPool>(
+        engine, m.static_buffer_size, m.static_buffer_count, base + ".txpool");
+  }
+  if (m.rx_static() || m.hybrid()) {
+    rx_pool_ = std::make_unique<StaticBufferPool>(
+        engine, m.static_buffer_size, m.static_buffer_count, base + ".rxpool");
+  }
+}
+
+Nic::TagQueue& Nic::tag_queue(std::uint64_t tag) {
+  auto it = queues_.find(tag);
+  if (it == queues_.end()) {
+    it = queues_
+             .emplace(tag, std::make_unique<TagQueue>(
+                               engine_, network_.name() + ".nic" +
+                                            std::to_string(index_) + ".tag" +
+                                            std::to_string(tag)))
+             .first;
+  }
+  return *it->second;
+}
+
+void Nic::send(int dst_index, std::uint64_t tag,
+               const util::ConstIovec& data) {
+  const std::size_t n = util::total_size(data);
+  MAD_ASSERT(n > 0, "send of empty packet");
+  MAD_ASSERT(n <= model().max_packet,
+             "packet of " + std::to_string(n) + " bytes exceeds max_packet " +
+                 std::to_string(model().max_packet) + " on " +
+                 network_.name());
+  engine_.sleep_for(model().tx_host_overhead);
+
+  // The NIC's single transmit engine: one packet on the bus at a time.
+  EngineGuard engine_guard(tx_engine_);
+
+  Nic& dst_nic = network_.nic(dst_index);
+  dst_nic.wait_rx_space();
+
+  const sim::Time flow_start = engine_.now();
+  if (PacketLog* log = network_.packet_log();
+      log != nullptr && log->enabled()) {
+    log->record({flow_start, network_.id(), network_.name(), index_,
+                 dst_index, tag, static_cast<std::uint32_t>(n)});
+  }
+  const auto wire = network_.reserve_wire(index_, dst_index, n, flow_start);
+  WirePacket packet;
+  packet.src_index = index_;
+  packet.tag = tag;
+  packet.payload = util::gather(data);  // snapshot at flow start; the sender
+                                        // is blocked for the whole flow
+  packet.visible_time = wire.depart + model().wire_latency;
+  packet.wire_end = wire.wire_end;
+  auto timing = std::make_shared<TxTiming>();
+  packet.timing = timing;
+  dst_nic.enqueue(std::move(packet));
+
+  host_.bus().transfer(model().tx_op, n);
+  timing->src_flow_end = engine_.now();
+  dst_nic.notify_tx_done();
+  ++packets_sent_;
+  bytes_sent_ += n;
+}
+
+void Nic::wait_rx_space() {
+  const std::uint32_t limit = model().rx_queue_packets;
+  if (limit == 0) {
+    return;
+  }
+  while (queued_total_ >= limit) {
+    rx_space_.wait();
+  }
+}
+
+void Nic::send(int dst_index, std::uint64_t tag, util::ByteSpan data) {
+  send(dst_index, tag, util::ConstIovec{data});
+}
+
+void Nic::enqueue(WirePacket packet) {
+  TagQueue& q = tag_queue(packet.tag);
+  q.packets.push_back(std::move(packet));
+  ++queued_total_;
+  q.cond.notify_all();
+}
+
+void Nic::notify_tx_done() { tx_done_.notify_all(); }
+
+PacketInfo Nic::peek(std::uint64_t tag) {
+  TagQueue& q = tag_queue(tag);
+  while (q.packets.empty()) {
+    q.cond.wait();
+  }
+  const WirePacket& head = q.packets.front();
+  return {head.src_index, static_cast<std::uint32_t>(head.payload.size())};
+}
+
+std::optional<PacketInfo> Nic::peek_until(std::uint64_t tag,
+                                          sim::Time deadline) {
+  TagQueue& q = tag_queue(tag);
+  while (q.packets.empty()) {
+    if (q.cond.wait_until(deadline) == sim::WakeReason::Timeout &&
+        q.packets.empty()) {
+      return std::nullopt;
+    }
+  }
+  const WirePacket& head = q.packets.front();
+  return PacketInfo{head.src_index,
+                    static_cast<std::uint32_t>(head.payload.size())};
+}
+
+std::optional<PacketInfo> Nic::try_peek(std::uint64_t tag) {
+  TagQueue& q = tag_queue(tag);
+  if (q.packets.empty()) {
+    return std::nullopt;
+  }
+  const WirePacket& head = q.packets.front();
+  return PacketInfo{head.src_index,
+                    static_cast<std::uint32_t>(head.payload.size())};
+}
+
+WirePacket Nic::consume(std::uint64_t tag) {
+  TagQueue& q = tag_queue(tag);
+  while (q.packets.empty()) {
+    q.cond.wait();
+  }
+  WirePacket packet = std::move(q.packets.front());
+  q.packets.pop_front();
+  --queued_total_;
+  rx_space_.notify_all();
+
+  engine_.sleep_until(packet.visible_time);
+  engine_.sleep_for(model().rx_host_overhead);
+  {
+    // One receive engine per NIC as well.
+    EngineGuard engine_guard(rx_engine_);
+    host_.bus().transfer(model().rx_op, packet.payload.size());
+  }
+  // The receive cannot complete before the last byte has physically made it
+  // across: source flow end (or wire serialization end) plus latency.
+  while (packet.timing->src_flow_end == sim::kForever) {
+    tx_done_.wait();
+  }
+  const sim::Time last_byte =
+      std::max(packet.timing->src_flow_end, packet.wire_end) +
+      model().wire_latency;
+  if (engine_.now() < last_byte) {
+    engine_.sleep_until(last_byte);
+  }
+  return packet;
+}
+
+void Nic::recv_into(std::uint64_t tag, const util::MutIovec& dst) {
+  WirePacket packet = consume(tag);
+  MAD_ASSERT(util::total_size(dst) == packet.payload.size(),
+             "recv_into: destination size " +
+                 std::to_string(util::total_size(dst)) +
+                 " != packet size " + std::to_string(packet.payload.size()));
+  util::scatter(packet.payload, dst);
+}
+
+void Nic::recv_into(std::uint64_t tag, util::MutByteSpan dst) {
+  recv_into(tag, util::MutIovec{dst});
+}
+
+std::vector<std::byte> Nic::recv_owned(std::uint64_t tag) {
+  return consume(tag).payload;
+}
+
+StaticBufferPool::Ref Nic::recv_static(std::uint64_t tag) {
+  MAD_ASSERT(model().rx_static() || model().hybrid(),
+             "recv_static on dynamic-buffer protocol " + model().protocol);
+  StaticBufferPool::Ref ref = rx_pool().acquire();
+  WirePacket packet = consume(tag);
+  MAD_ASSERT(packet.payload.size() <= ref.capacity(),
+             "packet larger than static buffer");
+  std::copy(packet.payload.begin(), packet.payload.end(), ref.span().begin());
+  ref.set_used(packet.payload.size());
+  return ref;
+}
+
+StaticBufferPool& Nic::tx_pool() {
+  MAD_ASSERT(tx_pool_ != nullptr,
+             "tx_pool on dynamic-tx protocol " + model().protocol);
+  return *tx_pool_;
+}
+
+StaticBufferPool& Nic::rx_pool() {
+  MAD_ASSERT(rx_pool_ != nullptr,
+             "rx_pool on dynamic-rx protocol " + model().protocol);
+  return *rx_pool_;
+}
+
+std::size_t Nic::queued(std::uint64_t tag) const {
+  const auto it = queues_.find(tag);
+  return it == queues_.end() ? 0 : it->second->packets.size();
+}
+
+}  // namespace mad::net

@@ -1,0 +1,51 @@
+#include "net/packet_log.hpp"
+
+#include <cstdio>
+
+namespace mad::net {
+
+void PacketLog::record(PacketRecord record) {
+  if (enabled_) {
+    records_.push_back(std::move(record));
+  }
+}
+
+std::vector<PacketRecord> PacketLog::on_network(int network_id) const {
+  std::vector<PacketRecord> out;
+  for (const auto& r : records_) {
+    if (r.network_id == network_id) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::uint64_t PacketLog::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& r : records_) {
+    total += r.size;
+  }
+  return total;
+}
+
+std::string PacketLog::dump(std::size_t max_lines) const {
+  std::string out;
+  char line[160];
+  std::size_t shown = 0;
+  for (const auto& r : records_) {
+    if (shown++ >= max_lines) {
+      out += "... (" + std::to_string(records_.size() - max_lines) +
+             " more packets)\n";
+      break;
+    }
+    std::snprintf(line, sizeof line,
+                  "%12.1fus  %-8s nic%d -> nic%d  tag=%llx  %u B\n",
+                  static_cast<double>(r.time) / 1000.0, r.network.c_str(),
+                  r.src_index, r.dst_index,
+                  static_cast<unsigned long long>(r.tag), r.size);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mad::net

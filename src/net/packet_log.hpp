@@ -1,0 +1,49 @@
+// Packet-level observability.
+//
+// When enabled on the Fabric, every NIC send is recorded (virtual time,
+// network, source/destination adapter, tag, size) — the simulator's
+// equivalent of a wire sniffer. Used to debug channel protocols and to
+// assert wire-level properties in tests (e.g. "the GTM really emitted one
+// packet per paquet").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mad::net {
+
+struct PacketRecord {
+  sim::Time time = 0;       // send time (source flow start)
+  int network_id = -1;
+  std::string network;
+  int src_index = -1;
+  int dst_index = -1;
+  std::uint64_t tag = 0;
+  std::uint32_t size = 0;
+};
+
+class PacketLog {
+ public:
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void record(PacketRecord record);
+  void clear() { records_.clear(); }
+
+  const std::vector<PacketRecord>& records() const { return records_; }
+  std::vector<PacketRecord> on_network(int network_id) const;
+  std::uint64_t total_bytes() const;
+
+  /// One line per packet, for debugging dumps.
+  std::string dump(std::size_t max_lines = 100) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<PacketRecord> records_;
+};
+
+}  // namespace mad::net

@@ -1,0 +1,82 @@
+// Hardware model parameters.
+//
+// These structs describe the simulated testbed: the shared PCI bus of a
+// node and the NICs attached to it. Presets mirroring the paper's machines
+// (Pentium II 450, 32-bit/33 MHz PCI, Myrinet LANai 4.3 + BIP, Dolphin SCI
+// D310 + SISCI, Fast-Ethernet + TCP, SBP) live in net/models.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace mad::net {
+
+/// How a NIC moves data across the host PCI bus.
+enum class PciOp {
+  Dma,  // bus-master transactions initiated by the NIC (BIP/Myrinet rx+tx)
+  Pio,  // programmed I/O by the CPU (SISCI tx through write-combining)
+};
+
+/// Whether a protocol sends/receives from arbitrary user memory or from
+/// protocol-provided buffers ("static buffers", paper §2.1.1 and §2.3).
+enum class BufferMode { Dynamic, Static };
+
+/// Shared-bus arbitration model (paper §3.3.1/§3.4.1).
+struct PciBusParams {
+  /// Aggregate practical bandwidth across all concurrent flows (bytes/s).
+  /// 32-bit/33 MHz PCI is 132 MB/s raw; ~110 MB/s is achievable in practice
+  /// under full-duplex traffic.
+  double total_bandwidth = 110e6;
+  /// Peak rate of a single DMA flow (one-way practical ceiling, ~66 MB/s).
+  double dma_flow_bandwidth = 66e6;
+  /// Peak rate of a single PIO flow through the write-combining buffer.
+  double pio_flow_bandwidth = 70e6;
+  /// Multiplier applied to PIO flows while at least one DMA flow is active:
+  /// the paper measured DMA transactions pre-empting PIO, halving its rate.
+  double pio_dma_penalty = 0.5;
+};
+
+/// Per-NIC / per-protocol model.
+struct NicModelParams {
+  std::string protocol;       // e.g. "BIP/Myrinet"
+  double wire_bandwidth;      // link rate in bytes/s
+  sim::Time wire_latency;     // one-way first-byte latency
+  PciOp tx_op = PciOp::Dma;
+  PciOp rx_op = PciOp::Dma;
+  BufferMode tx_buffers = BufferMode::Dynamic;
+  BufferMode rx_buffers = BufferMode::Dynamic;
+  std::uint32_t max_packet = 1u << 20;  // largest unfragmented send
+  sim::Time tx_host_overhead = 0;       // per-packet sender software cost
+  sim::Time rx_host_overhead = 0;       // per-packet receiver software cost
+  std::uint32_t static_buffer_size = 64 * 1024;  // when Static
+  std::uint32_t static_buffer_count = 8;         // pool depth per direction
+  /// How many received-but-unconsumed packets the NIC can hold (on-card
+  /// SRAM / host ring); senders stall when the destination is full.
+  /// 0 = unlimited (the presets keep it generous; tests exercise small
+  /// values).
+  std::uint32_t rx_queue_packets = 0;
+  /// Hybrid protocols (paper Fig 1: VIA's PMM drives an "rdma" TM and a
+  /// "mesg" TM) send blocks below this threshold through protocol buffers
+  /// and larger blocks zero-copy. 0 = not hybrid.
+  std::uint32_t hybrid_mesg_threshold = 0;
+
+  bool tx_static() const { return tx_buffers == BufferMode::Static; }
+  bool rx_static() const { return rx_buffers == BufferMode::Static; }
+  bool hybrid() const { return hybrid_mesg_threshold > 0; }
+};
+
+/// Preset factory functions (see net/models.cpp for the calibration notes).
+NicModelParams bip_myrinet();
+NicModelParams sisci_sci();
+NicModelParams tcp_fast_ethernet();
+NicModelParams sbp();
+NicModelParams via_giganet();
+PciBusParams pci_33mhz_32bit();
+
+/// Looks a preset up by protocol name ("BIP/Myrinet", "SISCI/SCI",
+/// "TCP/FEth", "SBP"); throws on unknown names.
+NicModelParams nic_model_by_name(const std::string& protocol);
+
+}  // namespace mad::net

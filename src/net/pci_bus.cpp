@@ -1,0 +1,119 @@
+#include "net/pci_bus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/panic.hpp"
+
+namespace mad::net {
+
+namespace {
+// A flow is finished when less than half a byte remains (guards against
+// floating-point residue from repeated progress updates).
+constexpr double kDoneEpsilon = 0.5;
+}  // namespace
+
+PciBus::PciBus(sim::Engine& engine, PciBusParams params, std::string name)
+    : engine_(engine),
+      params_(params),
+      name_(std::move(name)),
+      changed_(engine, name_ + ".changed") {
+  MAD_ASSERT(params_.total_bandwidth > 0, "bus bandwidth must be positive");
+  MAD_ASSERT(params_.dma_flow_bandwidth > 0 && params_.pio_flow_bandwidth > 0,
+             "flow bandwidths must be positive");
+}
+
+void PciBus::progress_to_now() {
+  const sim::Time now = engine_.now();
+  if (now == last_update_) {
+    return;
+  }
+  const double dt = sim::to_seconds(now - last_update_);
+  for (Flow& f : flows_) {
+    f.remaining = std::max(0.0, f.remaining - f.rate * dt);
+  }
+  last_update_ = now;
+}
+
+void PciBus::recompute_rates() {
+  double dma_demand = 0.0;
+  double pio_demand = 0.0;
+  bool any_dma = false;
+  for (const Flow& f : flows_) {
+    if (f.op == PciOp::Dma) {
+      any_dma = true;
+      dma_demand += params_.dma_flow_bandwidth;
+    }
+  }
+  const double pio_nominal =
+      params_.pio_flow_bandwidth * (any_dma ? params_.pio_dma_penalty : 1.0);
+  for (const Flow& f : flows_) {
+    if (f.op == PciOp::Pio) {
+      pio_demand += pio_nominal;
+    }
+  }
+  // DMA is allocated first (bus-master transactions win arbitration), PIO
+  // shares whatever the DMA flows leave on the bus. When PIO flows exist
+  // they retain a 5% floor: arbitration slows PIO drastically but never
+  // starves it outright.
+  const double dma_cap = pio_demand > 0 ? params_.total_bandwidth * 0.95
+                                        : params_.total_bandwidth;
+  const double dma_total = std::min(dma_demand, dma_cap);
+  const double dma_scale = dma_demand > 0 ? dma_total / dma_demand : 0.0;
+  const double pio_budget = params_.total_bandwidth - dma_total;
+  const double pio_scale =
+      pio_demand > 0 ? std::min(1.0, pio_budget / pio_demand) : 0.0;
+  for (Flow& f : flows_) {
+    if (f.op == PciOp::Dma) {
+      f.rate = params_.dma_flow_bandwidth * dma_scale;
+    } else {
+      f.rate = pio_nominal * pio_scale;
+    }
+  }
+}
+
+sim::Time PciBus::transfer(PciOp op, std::uint64_t bytes) {
+  if (bytes == 0) {
+    return 0;
+  }
+  const sim::Time start = engine_.now();
+  progress_to_now();
+  flows_.push_back(Flow{op, static_cast<double>(bytes)});
+  auto it = std::prev(flows_.end());
+  recompute_rates();
+  changed_.notify_all();
+
+  while (it->remaining > kDoneEpsilon) {
+    MAD_ASSERT(it->rate > 0.0, "flow starved on bus " + name_);
+    const double eta_s = it->remaining / it->rate;
+    const sim::Time deadline =
+        engine_.now() +
+        static_cast<sim::Time>(std::ceil(eta_s * 1e9));
+    (void)changed_.wait_until(deadline);
+    progress_to_now();
+  }
+
+  flows_.erase(it);
+  recompute_rates();
+  changed_.notify_all();
+  bytes_transferred_ += bytes;
+  return engine_.now() - start;
+}
+
+int PciBus::active_dma_flows() const {
+  int n = 0;
+  for (const Flow& f : flows_) {
+    n += (f.op == PciOp::Dma) ? 1 : 0;
+  }
+  return n;
+}
+
+int PciBus::active_pio_flows() const {
+  int n = 0;
+  for (const Flow& f : flows_) {
+    n += (f.op == PciOp::Pio) ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace mad::net

@@ -1,0 +1,72 @@
+// Fluid-flow model of a node's shared PCI bus.
+//
+// Every transfer between a NIC and host memory occupies the bus for its
+// whole duration. Concurrent transfers ("flows") share the bus under the
+// arbitration the paper measured on its Pentium-II nodes (§3.3.1, §3.4.1):
+//
+//   * the aggregate rate is capped by `total_bandwidth` (full-duplex
+//     conflicts keep this below the 132 MB/s raw figure);
+//   * DMA flows (NIC bus-master) are allocated bandwidth first, up to
+//     `dma_flow_bandwidth` each;
+//   * PIO flows (CPU writes through the write-combining buffer) get the
+//     remainder, at most `pio_flow_bandwidth` each, additionally multiplied
+//     by `pio_dma_penalty` while any DMA flow is active — this reproduces
+//     the "SCI send slowed by a factor of two during a Myrinet receive"
+//     phenomenon behind Figure 7/8.
+//
+// Rates are recomputed whenever a flow starts or finishes; in between, each
+// flow progresses linearly (fluid approximation).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+
+#include "net/params.hpp"
+#include "sim/condition.hpp"
+#include "sim/engine.hpp"
+
+namespace mad::net {
+
+class PciBus {
+ public:
+  PciBus(sim::Engine& engine, PciBusParams params, std::string name);
+
+  /// Moves `bytes` across the bus with operation kind `op`, blocking the
+  /// calling actor for the contention-dependent duration. Returns the
+  /// virtual time spent.
+  sim::Time transfer(PciOp op, std::uint64_t bytes);
+
+  /// Number of in-flight flows of each kind (used by tests and by the
+  /// Fig 8 instrumentation).
+  int active_dma_flows() const;
+  int active_pio_flows() const;
+
+  /// Total bytes ever moved (both kinds).
+  std::uint64_t bytes_transferred() const { return bytes_transferred_; }
+
+  const PciBusParams& params() const { return params_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Flow {
+    PciOp op;
+    double remaining;  // bytes left
+    double rate = 0.0;  // bytes/s currently allocated
+  };
+
+  /// Advances every flow to the current instant using current rates.
+  void progress_to_now();
+  /// Reallocates rates after a flow joins or leaves.
+  void recompute_rates();
+
+  sim::Engine& engine_;
+  PciBusParams params_;
+  std::string name_;
+  std::list<Flow> flows_;
+  sim::Condition changed_;
+  sim::Time last_update_ = 0;
+  std::uint64_t bytes_transferred_ = 0;
+};
+
+}  // namespace mad::net

@@ -1,0 +1,82 @@
+#include "net/static_pool.hpp"
+
+#include "util/panic.hpp"
+
+namespace mad::net {
+
+StaticBufferPool::StaticBufferPool(sim::Engine& engine,
+                                   std::uint32_t buffer_size,
+                                   std::uint32_t count, std::string name)
+    : engine_(engine),
+      buffer_size_(buffer_size),
+      count_(count),
+      available_(engine, name + ".available") {
+  MAD_ASSERT(buffer_size > 0 && count > 0, "empty static pool");
+  slots_.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    slots_[i].resize(buffer_size);
+    free_.push_back(i);
+  }
+}
+
+StaticBufferPool::Ref StaticBufferPool::acquire() {
+  while (free_.empty()) {
+    available_.wait();
+  }
+  const std::size_t slot = free_.back();
+  free_.pop_back();
+  return Ref(this, slot);
+}
+
+void StaticBufferPool::release_slot(std::size_t slot) {
+  free_.push_back(slot);
+  available_.notify_one();
+}
+
+StaticBufferPool::Ref::Ref(Ref&& other) noexcept
+    : pool_(other.pool_), slot_(other.slot_), used_(other.used_) {
+  other.pool_ = nullptr;
+}
+
+StaticBufferPool::Ref& StaticBufferPool::Ref::operator=(Ref&& other) noexcept {
+  if (this != &other) {
+    release();
+    pool_ = other.pool_;
+    slot_ = other.slot_;
+    used_ = other.used_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+StaticBufferPool::Ref::~Ref() { release(); }
+
+void StaticBufferPool::Ref::release() {
+  if (pool_ != nullptr) {
+    pool_->release_slot(slot_);
+    pool_ = nullptr;
+  }
+}
+
+util::MutByteSpan StaticBufferPool::Ref::span() {
+  MAD_ASSERT(valid(), "span() on released static buffer");
+  return pool_->slots_[slot_];
+}
+
+util::ByteSpan StaticBufferPool::Ref::data() const {
+  MAD_ASSERT(valid(), "data() on released static buffer");
+  return util::ByteSpan(pool_->slots_[slot_]).first(used_);
+}
+
+std::size_t StaticBufferPool::Ref::capacity() const {
+  MAD_ASSERT(valid(), "capacity() on released static buffer");
+  return pool_->slots_[slot_].size();
+}
+
+void StaticBufferPool::Ref::set_used(std::size_t used) {
+  MAD_ASSERT(valid(), "set_used on released static buffer");
+  MAD_ASSERT(used <= capacity(), "static buffer overflow");
+  used_ = used;
+}
+
+}  // namespace mad::net

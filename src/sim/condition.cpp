@@ -1,0 +1,60 @@
+#include "sim/condition.hpp"
+
+#include "sim/engine_internal.hpp"
+#include "util/panic.hpp"
+
+namespace mad::sim {
+
+Condition::Condition(Engine& engine, std::string name)
+    : engine_(engine), name_(std::move(name)) {}
+
+Condition::~Condition() {
+  MAD_ASSERT(waiters_.empty() || engine_.stop_requested(),
+             "Condition '" + name_ + "' destroyed with waiters");
+}
+
+void Condition::wait() { wait_until(kForever); }
+
+WakeReason Condition::wait_until(Time deadline) {
+  std::unique_lock lock(engine_.mutex_);
+  Engine::ActorState& a = engine_.self();
+  if (engine_.stopping_) {
+    lock.unlock();
+    throw StopSimulation{};
+  }
+  if (deadline != kForever && deadline <= engine_.now_) {
+    return WakeReason::Timeout;
+  }
+  waiters_.push_back(a.id);
+  a.waiting_cond = this;
+  if (deadline != kForever) {
+    engine_.arm_timer(a, deadline);
+  }
+  a.status = Engine::Status::Blocked;
+  lock.release();
+  const WakeReason reason = engine_.park();
+  lock = std::unique_lock(engine_.mutex_, std::adopt_lock);
+  if (engine_.stopping_) {
+    lock.unlock();
+    throw StopSimulation{};
+  }
+  return reason;
+}
+
+void Condition::notify_one() {
+  std::unique_lock lock(engine_.mutex_);
+  if (waiters_.empty()) {
+    return;
+  }
+  // make_ready removes the actor from our deque and cancels its timer.
+  engine_.make_ready(engine_.actor(waiters_.front()), WakeReason::Notified);
+}
+
+void Condition::notify_all() {
+  std::unique_lock lock(engine_.mutex_);
+  while (!waiters_.empty()) {
+    engine_.make_ready(engine_.actor(waiters_.front()), WakeReason::Notified);
+  }
+}
+
+}  // namespace mad::sim

@@ -1,0 +1,336 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "sim/condition.hpp"
+#include "sim/engine_internal.hpp"
+#include "util/log.hpp"
+#include "util/panic.hpp"
+
+namespace mad::sim {
+
+namespace {
+
+struct TlsActor {
+  Engine* engine = nullptr;
+  ActorId id = -1;
+};
+
+thread_local TlsActor t_current;
+
+}  // namespace
+
+Engine::Engine() = default;
+
+Engine::~Engine() {
+  {
+    std::unique_lock lock(mutex_);
+    stopping_ = true;
+    for (auto& a : actors_) {
+      if (!a->started && a->status != Status::Finished) {
+        // Thread is parked waiting for its first dispatch; releasing it with
+        // stopping_ set makes the trampoline skip the body entirely.
+        a->may_run = true;
+        a->cv.notify_one();
+      }
+    }
+  }
+  for (auto& a : actors_) {
+    if (a->thread.joinable()) {
+      a->thread.join();
+    }
+  }
+}
+
+ActorHandle Engine::spawn(std::string name, std::function<void()> body,
+                          bool daemon) {
+  std::unique_lock lock(mutex_);
+  MAD_ASSERT(!stopping_, "spawn after shutdown");
+  const ActorId id = static_cast<ActorId>(actors_.size());
+  auto state = std::make_unique<ActorState>();
+  ActorState* a = state.get();
+  a->id = id;
+  a->name = std::move(name);
+  a->daemon = daemon;
+  a->body = std::move(body);
+  actors_.push_back(std::move(state));
+  if (!daemon) {
+    ++live_non_daemons_;
+  }
+  a->thread = std::thread([this, a] {
+    t_current.engine = this;
+    t_current.id = a->id;
+    {
+      std::unique_lock tl(mutex_);
+      a->cv.wait(tl, [a] { return a->may_run; });
+      a->may_run = false;
+      if (stopping_ && !a->started) {
+        // Shutdown (or engine tear-down) before the actor ever ran: skip the
+        // body. Hand control back in case a scheduler dispatched us.
+        a->status = Status::Finished;
+        if (!a->daemon) {
+          --live_non_daemons_;
+        }
+        control_with_scheduler_ = true;
+        sched_cv_.notify_one();
+        return;
+      }
+      a->started = true;
+      a->status = Status::Running;
+    }
+    std::exception_ptr error;
+    try {
+      a->body();
+    } catch (const StopSimulation&) {
+      // normal shutdown unwinding
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::unique_lock tl(mutex_);
+    a->status = Status::Finished;
+    if (!a->daemon) {
+      --live_non_daemons_;
+    }
+    if (error && !first_error_) {
+      first_error_ = error;
+      request_stop();
+    }
+    control_with_scheduler_ = true;
+    sched_cv_.notify_one();
+  });
+  // Newly spawned actors start at the back of the ready queue, at the
+  // current virtual instant.
+  a->status = Status::Ready;
+  ready_.push_back(id);
+  return ActorHandle(id);
+}
+
+Engine* Engine::current() { return t_current.engine; }
+
+std::string Engine::current_actor_name() const {
+  std::unique_lock lock(mutex_);
+  if (running_ < 0) {
+    return "<none>";
+  }
+  return actors_[static_cast<std::size_t>(running_)]->name;
+}
+
+ActorId Engine::current_actor_id() const {
+  std::unique_lock lock(mutex_);
+  return running_;
+}
+
+Engine::ActorState& Engine::self() {
+  MAD_ASSERT(t_current.engine == this && t_current.id >= 0,
+             "blocking call from outside an actor of this engine");
+  return *actors_[static_cast<std::size_t>(t_current.id)];
+}
+
+Engine::ActorState& Engine::actor(ActorId id) {
+  MAD_ASSERT(id >= 0 && static_cast<std::size_t>(id) < actors_.size(),
+             "bad actor id");
+  return *actors_[static_cast<std::size_t>(id)];
+}
+
+void Engine::make_ready(ActorState& a, WakeReason reason) {
+  MAD_ASSERT(a.status == Status::Blocked, "make_ready on non-blocked actor");
+  cancel_timer(a);
+  if (a.waiting_cond != nullptr) {
+    auto& waiters = a.waiting_cond->waiters_;
+    waiters.erase(std::find(waiters.begin(), waiters.end(), a.id));
+    a.waiting_cond = nullptr;
+  }
+  a.status = Status::Ready;
+  a.wake_reason = reason;
+  ready_.push_back(a.id);
+}
+
+void Engine::arm_timer(ActorState& a, Time deadline) {
+  MAD_ASSERT(!a.timer_armed, "timer already armed");
+  a.timer_armed = true;
+  a.timer_deadline = deadline;
+  timers_.emplace(deadline, a.id);
+}
+
+void Engine::cancel_timer(ActorState& a) {
+  if (a.timer_armed) {
+    timers_.erase({a.timer_deadline, a.id});
+    a.timer_armed = false;
+  }
+}
+
+void Engine::request_stop() {
+  // Caller holds mutex_.
+  if (stopping_) {
+    return;
+  }
+  stopping_ = true;
+  for (auto& a : actors_) {
+    if (a->status == Status::Blocked) {
+      make_ready(*a, WakeReason::Notified);
+    }
+  }
+  MAD_ASSERT(timers_.empty(), "timers survive shutdown");
+}
+
+WakeReason Engine::park() {
+  // Caller holds mutex_ and has already queued this actor (ready queue,
+  // condition waiters and/or timer set) with status Blocked or Ready.
+  std::unique_lock lock(mutex_, std::adopt_lock);
+  ActorState& a = self();
+  control_with_scheduler_ = true;
+  sched_cv_.notify_one();
+  a.cv.wait(lock, [&a] { return a.may_run; });
+  a.may_run = false;
+  a.status = Status::Running;
+  lock.release();  // caller still considers the mutex held
+  return a.wake_reason;
+}
+
+void Engine::dispatch(ActorId id) {
+  // Caller holds mutex_.
+  ActorState& a = actor(id);
+  MAD_ASSERT(a.status == Status::Ready, "dispatch of non-ready actor");
+  running_ = id;
+  control_with_scheduler_ = false;
+  ++switches_;
+  a.may_run = true;
+  a.cv.notify_one();
+  std::unique_lock lock(mutex_, std::adopt_lock);
+  sched_cv_.wait(lock, [this] { return control_with_scheduler_; });
+  lock.release();
+  running_ = -1;
+}
+
+void Engine::throw_deadlock() {
+  // Caller holds mutex_; collects diagnostics, transitions to shutdown.
+  std::ostringstream os;
+  os << "virtual-time deadlock at t=" << now_ << "ns; blocked actors:";
+  for (const auto& a : actors_) {
+    if (a->status == Status::Blocked) {
+      os << "\n  - " << a->name << (a->daemon ? " [daemon]" : "")
+         << " waiting on "
+         << (a->waiting_cond != nullptr ? a->waiting_cond->name()
+                                        : std::string("<sleep>"));
+    }
+  }
+  throw DeadlockError(os.str());
+}
+
+void Engine::run() {
+  std::unique_lock lock(mutex_);
+  MAD_ASSERT(!in_run_, "Engine::run is not reentrant");
+  MAD_ASSERT(t_current.engine == nullptr, "Engine::run from an actor");
+  in_run_ = true;
+  std::exception_ptr engine_error;
+
+  for (;;) {
+    if (live_non_daemons_ == 0 && !stopping_) {
+      request_stop();
+    }
+    if (!ready_.empty()) {
+      const ActorId id = ready_.front();
+      ready_.pop_front();
+      lock.release();
+      dispatch(id);  // re-acquires and releases internally via adopt
+      lock = std::unique_lock(mutex_, std::adopt_lock);
+      continue;
+    }
+    if (!timers_.empty()) {
+      const auto [deadline, id] = *timers_.begin();
+      if (deadline > horizon_ && !stopping_) {
+        engine_error = std::make_exception_ptr(std::runtime_error(
+            "virtual time horizon exceeded (possible runaway simulation)"));
+        request_stop();
+        continue;
+      }
+      MAD_ASSERT(deadline >= now_, "time went backwards");
+      now_ = deadline;
+      make_ready(actor(id), WakeReason::Timeout);
+      continue;
+    }
+    // No ready actor, no timer.
+    const bool all_finished =
+        std::all_of(actors_.begin(), actors_.end(), [](const auto& a) {
+          return a->status == Status::Finished;
+        });
+    if (all_finished) {
+      break;
+    }
+    if (!stopping_) {
+      try {
+        throw_deadlock();
+      } catch (...) {
+        engine_error = std::current_exception();
+        request_stop();
+        continue;
+      }
+    } else {
+      // Shutdown was requested and everything woken, yet some actor is
+      // blocked again: that actor ignored StopSimulation.
+      MAD_PANIC("actor re-blocked during shutdown");
+    }
+  }
+
+  in_run_ = false;
+  lock.unlock();
+  for (auto& a : actors_) {
+    if (a->thread.joinable()) {
+      a->thread.join();
+    }
+  }
+  if (first_error_) {
+    std::rethrow_exception(first_error_);
+  }
+  if (engine_error) {
+    std::rethrow_exception(engine_error);
+  }
+}
+
+void Engine::sleep_for(Time duration) {
+  MAD_ASSERT(duration >= 0, "negative sleep");
+  sleep_until(now_ + duration);
+}
+
+void Engine::sleep_until(Time deadline) {
+  std::unique_lock lock(mutex_);
+  ActorState& a = self();
+  if (stopping_) {
+    lock.unlock();
+    throw StopSimulation{};
+  }
+  if (deadline <= now_) {
+    return;
+  }
+  arm_timer(a, deadline);
+  a.status = Status::Blocked;
+  lock.release();
+  park();
+  lock = std::unique_lock(mutex_, std::adopt_lock);
+  if (stopping_) {
+    lock.unlock();
+    throw StopSimulation{};
+  }
+}
+
+void Engine::yield() {
+  std::unique_lock lock(mutex_);
+  ActorState& a = self();
+  if (stopping_) {
+    lock.unlock();
+    throw StopSimulation{};
+  }
+  a.status = Status::Ready;
+  ready_.push_back(a.id);
+  lock.release();
+  park();
+  lock = std::unique_lock(mutex_, std::adopt_lock);
+  if (stopping_) {
+    lock.unlock();
+    throw StopSimulation{};
+  }
+}
+
+}  // namespace mad::sim

@@ -1,0 +1,171 @@
+// Deterministic virtual-time execution engine.
+//
+// The engine runs a set of actors (each backed by an OS thread) with the
+// strict discipline that EXACTLY ONE actor executes at a time and control
+// only changes hands at blocking points (sleep, condition wait, yield).
+// Together with a virtual clock this gives:
+//   * determinism — the interleaving is a pure function of program logic,
+//     never of host scheduling;
+//   * race freedom — shared state needs no locking between actors;
+//   * exact timing — durations are *charged* (sleep_for) according to the
+//     hardware models in src/net, not measured.
+//
+// This substitutes for the paper's real Pentium-II/Linux-2.2 testbed and its
+// Marcel user-level threads: what the evaluation measures is overlap and bus
+// contention, which a virtual-time engine reproduces faithfully (DESIGN.md
+// §3).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mad::sim {
+
+class Engine;
+class Condition;
+
+/// Identifies an actor within its engine; also the deterministic tie-breaker
+/// for simultaneous timer wakeups.
+using ActorId = int;
+
+/// Why a blocking wait returned.
+enum class WakeReason { Notified, Timeout };
+
+/// Thrown inside actor frames when the engine shuts down (all non-daemon
+/// actors finished, or an error occurred elsewhere). Intentionally not
+/// derived from std::exception so that user-level `catch (...)`-free code
+/// cannot swallow it by accident; the actor trampoline catches it.
+struct StopSimulation {};
+
+/// Reported by Engine::run when non-daemon actors are all blocked with no
+/// timer pending.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Lightweight handle to a spawned actor.
+class ActorHandle {
+ public:
+  ActorHandle() = default;
+  ActorId id() const { return id_; }
+  bool valid() const { return id_ >= 0; }
+
+ private:
+  friend class Engine;
+  explicit ActorHandle(ActorId id) : id_(id) {}
+  ActorId id_ = -1;
+};
+
+/// The virtual-time engine. Create, spawn actors, run().
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers an actor. `daemon` actors do not keep the simulation alive:
+  /// once every non-daemon actor has finished, daemons are unwound with
+  /// StopSimulation. May be called before run() or from a running actor.
+  ActorHandle spawn(std::string name, std::function<void()> body,
+                    bool daemon = false);
+
+  /// Runs the simulation until all non-daemon actors finish. Rethrows the
+  /// first actor exception, throws DeadlockError on deadlock, and throws
+  /// std::runtime_error if the clock passes the configured horizon.
+  void run();
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Aborts run() with an error if virtual time would exceed this horizon —
+  /// a safety net against accidental infinite simulations.
+  void set_time_horizon(Time horizon) { horizon_ = horizon; }
+
+  /// --- blocking operations; must be called from an actor of this engine ---
+
+  /// Advances this actor's virtual time by `duration` (>= 0).
+  void sleep_for(Time duration);
+
+  /// Blocks until virtual time `deadline`.
+  void sleep_until(Time deadline);
+
+  /// Reschedules the calling actor behind currently-ready actors at the
+  /// same virtual instant.
+  void yield();
+
+  /// --- introspection ---
+
+  /// The engine owning the calling thread's actor, or nullptr when called
+  /// from outside any actor.
+  static Engine* current();
+
+  /// Name of the currently running actor ("<none>" outside actors).
+  std::string current_actor_name() const;
+
+  /// Id of the currently running actor (-1 outside actors).
+  ActorId current_actor_id() const;
+
+  /// True once shutdown has been requested (non-daemons done or error).
+  bool stop_requested() const { return stopping_; }
+
+  /// Number of context switches performed — useful as a determinism probe
+  /// in tests: two identical runs must report identical counts.
+  std::uint64_t context_switches() const { return switches_; }
+
+ private:
+  friend class Condition;
+
+  enum class Status { Created, Ready, Running, Blocked, Finished };
+
+  struct ActorState;
+
+  ActorState& self();
+  ActorState& actor(ActorId id);
+
+  /// Parks the calling actor (already queued somewhere) and hands control
+  /// to the scheduler; returns when rescheduled. Throws StopSimulation if
+  /// shutdown happened while parked and the wake reason says so.
+  WakeReason park();
+
+  /// Scheduler-side: runs one actor until it parks or finishes.
+  void dispatch(ActorId id);
+
+  void make_ready(ActorState& a, WakeReason reason);
+  void arm_timer(ActorState& a, Time deadline);
+  void cancel_timer(ActorState& a);
+  void request_stop();
+  [[noreturn]] void throw_deadlock();
+
+  mutable std::mutex mutex_;
+  std::condition_variable sched_cv_;
+  std::vector<std::unique_ptr<ActorState>> actors_;
+  std::deque<ActorId> ready_;
+  std::set<std::pair<Time, ActorId>> timers_;
+  Time now_ = 0;
+  Time horizon_ = kForever;
+  ActorId running_ = -1;
+  bool control_with_scheduler_ = true;
+  bool in_run_ = false;
+  bool stopping_ = false;
+  std::uint64_t switches_ = 0;
+  std::size_t live_non_daemons_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace mad::sim

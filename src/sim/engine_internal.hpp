@@ -1,0 +1,27 @@
+// Internal: full definition of Engine::ActorState, shared by engine.cpp and
+// condition.cpp. Not part of the public API.
+#pragma once
+
+#include <thread>
+
+#include "sim/engine.hpp"
+
+namespace mad::sim {
+
+struct Engine::ActorState {
+  ActorId id = -1;
+  std::string name;
+  bool daemon = false;
+  Status status = Status::Created;
+  bool started = false;  // body() has begun executing
+  std::function<void()> body;
+  std::thread thread;
+  std::condition_variable cv;
+  bool may_run = false;
+  WakeReason wake_reason = WakeReason::Notified;
+  Condition* waiting_cond = nullptr;
+  bool timer_armed = false;
+  Time timer_deadline = 0;
+};
+
+}  // namespace mad::sim

@@ -1,0 +1,26 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+
+#include "util/panic.hpp"
+
+namespace mad::sim {
+
+Time transfer_time(std::uint64_t bytes, double bytes_per_second) {
+  MAD_ASSERT(bytes_per_second > 0.0, "transfer_time: non-positive rate");
+  if (bytes == 0) {
+    return 0;
+  }
+  const double ns =
+      static_cast<double>(bytes) * 1e9 / bytes_per_second;
+  return static_cast<Time>(std::ceil(ns));
+}
+
+double bandwidth_mbps(std::uint64_t bytes, Time elapsed) {
+  if (elapsed <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) / 1e6 / to_seconds(elapsed);
+}
+
+}  // namespace mad::sim

@@ -1,0 +1,36 @@
+// Virtual time. The whole library runs on a simulated clock so that the
+// paper's timing behaviour (pipelining overlap, PCI-bus contention) can be
+// reproduced deterministically on any machine.
+#pragma once
+
+#include <cstdint>
+
+namespace mad::sim {
+
+/// Virtual time in nanoseconds since simulation start.
+using Time = std::int64_t;
+
+/// Sentinel "never" deadline.
+inline constexpr Time kForever = INT64_MAX;
+
+inline constexpr Time nanoseconds(std::int64_t n) { return n; }
+inline constexpr Time microseconds(std::int64_t us) { return us * 1'000; }
+inline constexpr Time milliseconds(std::int64_t ms) { return ms * 1'000'000; }
+inline constexpr Time seconds(std::int64_t s) { return s * 1'000'000'000; }
+
+inline constexpr double to_microseconds(Time t) {
+  return static_cast<double>(t) / 1'000.0;
+}
+inline constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / 1'000'000'000.0;
+}
+
+/// Duration of transferring `bytes` at `bytes_per_second`, rounded up to a
+/// whole nanosecond so repeated transfers never take zero time.
+Time transfer_time(std::uint64_t bytes, double bytes_per_second);
+
+/// Bandwidth in MB/s (decimal megabytes, as the paper reports) achieved by
+/// moving `bytes` in `elapsed` virtual time.
+double bandwidth_mbps(std::uint64_t bytes, Time elapsed);
+
+}  // namespace mad::sim

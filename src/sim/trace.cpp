@@ -1,0 +1,40 @@
+#include "sim/trace.hpp"
+
+#include "sim/engine.hpp"
+
+namespace mad::sim {
+
+void Trace::record(Time begin, Time end, std::string category,
+                   std::string label) {
+  if (!enabled_) {
+    return;
+  }
+  intervals_.push_back(
+      {begin, end, std::move(category), std::move(label)});
+}
+
+std::vector<TraceInterval> Trace::by_category(
+    const std::string& category) const {
+  std::vector<TraceInterval> out;
+  for (const auto& interval : intervals_) {
+    if (interval.category == category) {
+      out.push_back(interval);
+    }
+  }
+  return out;
+}
+
+ScopedInterval::ScopedInterval(Trace& trace, const Engine& engine,
+                               std::string category, std::string label)
+    : trace_(trace),
+      engine_(engine),
+      begin_(engine.now()),
+      category_(std::move(category)),
+      label_(std::move(label)) {}
+
+ScopedInterval::~ScopedInterval() {
+  trace_.record(begin_, engine_.now(), std::move(category_),
+                std::move(label_));
+}
+
+}  // namespace mad::sim

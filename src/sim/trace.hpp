@@ -1,0 +1,63 @@
+// Interval tracing on the virtual clock.
+//
+// This stands in for the paper's rdtsc instrumentation (§3.4.1): the
+// gateway pipeline records [begin, end] intervals per step ("recv", "send",
+// "switch") so the Fig 5 / Fig 8 benches can print step-duration tables and
+// show the PCI-conflict elongation of send steps.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mad::sim {
+
+struct TraceInterval {
+  Time begin = 0;
+  Time end = 0;
+  std::string category;  // e.g. "gw.recv", "gw.send", "gw.switch"
+  std::string label;     // free-form detail, e.g. "paquet=3"
+
+  Time duration() const { return end - begin; }
+};
+
+/// Collects intervals. Disabled by default so the hot path costs one branch.
+class Trace {
+ public:
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void record(Time begin, Time end, std::string category,
+              std::string label = {});
+
+  const std::vector<TraceInterval>& intervals() const { return intervals_; }
+  std::vector<TraceInterval> by_category(const std::string& category) const;
+  void clear() { intervals_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceInterval> intervals_;
+};
+
+/// RAII helper: records [construction, destruction] when trace is enabled.
+class ScopedInterval {
+ public:
+  ScopedInterval(Trace& trace, const class Engine& engine,
+                 std::string category, std::string label = {});
+  ~ScopedInterval();
+
+  ScopedInterval(const ScopedInterval&) = delete;
+  ScopedInterval& operator=(const ScopedInterval&) = delete;
+
+ private:
+  Trace& trace_;
+  const Engine& engine_;
+  Time begin_;
+  std::string category_;
+  std::string label_;
+};
+
+}  // namespace mad::sim

@@ -1,0 +1,86 @@
+#include "topo/config_parse.hpp"
+
+#include <sstream>
+
+#include "util/panic.hpp"
+
+namespace mad::topo {
+
+int TopoConfig::network_index(const std::string& name) const {
+  for (std::size_t i = 0; i < networks.size(); ++i) {
+    if (networks[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int TopoConfig::node_index(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+TopoConfig parse_topo_config(const std::string& text) {
+  TopoConfig config;
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [&line_no](const std::string& why) {
+    MAD_PANIC("topo config line " + std::to_string(line_no) + ": " + why);
+  };
+  while (std::getline(stream, line)) {
+    ++line_no;
+    // Strip comments.
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream words(line);
+    std::string directive;
+    if (!(words >> directive)) {
+      continue;  // blank
+    }
+    if (directive == "network") {
+      NetworkDecl decl;
+      if (!(words >> decl.name >> decl.protocol)) {
+        fail("expected: network <name> <protocol>");
+      }
+      if (config.network_index(decl.name) >= 0) {
+        fail("duplicate network '" + decl.name + "'");
+      }
+      std::string extra;
+      if (words >> extra) {
+        fail("trailing token '" + extra + "'");
+      }
+      config.networks.push_back(std::move(decl));
+    } else if (directive == "node") {
+      NodeDecl decl;
+      if (!(words >> decl.name)) {
+        fail("expected: node <name> <network> [...]");
+      }
+      if (config.node_index(decl.name) >= 0) {
+        fail("duplicate node '" + decl.name + "'");
+      }
+      std::string network;
+      while (words >> network) {
+        if (config.network_index(network) < 0) {
+          fail("node '" + decl.name + "' references undeclared network '" +
+               network + "'");
+        }
+        decl.networks.push_back(network);
+      }
+      if (decl.networks.empty()) {
+        fail("node '" + decl.name + "' is on no network");
+      }
+      config.nodes.push_back(std::move(decl));
+    } else {
+      fail("unknown directive '" + directive + "'");
+    }
+  }
+  return config;
+}
+
+}  // namespace mad::topo

@@ -1,0 +1,40 @@
+// Tiny text format describing a cluster-of-clusters configuration.
+//
+//   # comment
+//   network <name> <protocol>       e.g. network myri0 BIP/Myrinet
+//   node <name> <network> [...]     e.g. node gw myri0 sci0
+//
+// Nodes appearing on several networks become gateways. The harness layer
+// (src/harness/scenario.hpp) turns a parsed config into a live fabric +
+// Madeleine domain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mad::topo {
+
+struct NetworkDecl {
+  std::string name;
+  std::string protocol;
+};
+
+struct NodeDecl {
+  std::string name;
+  std::vector<std::string> networks;
+};
+
+struct TopoConfig {
+  std::vector<NetworkDecl> networks;
+  std::vector<NodeDecl> nodes;
+
+  int network_index(const std::string& name) const;  // -1 if absent
+  int node_index(const std::string& name) const;
+};
+
+/// Parses the format above; throws util::PanicError with a line number on
+/// malformed input (unknown directives, duplicate names, references to
+/// undeclared networks).
+TopoConfig parse_topo_config(const std::string& text);
+
+}  // namespace mad::topo

@@ -1,0 +1,80 @@
+#include "topo/routing.hpp"
+
+#include <deque>
+
+#include "util/panic.hpp"
+
+namespace mad::topo {
+
+Routing::Routing(const Topology& topology)
+    : nodes_(topology.node_count()), routes_(nodes_ * nodes_) {
+  // BFS from every source. Neighbours are expanded in (network id, node id)
+  // order, so the first path found is the deterministic shortest one.
+  for (NodeId src = 0; static_cast<std::size_t>(src) < nodes_; ++src) {
+    std::vector<bool> visited(nodes_, false);
+    visited[static_cast<std::size_t>(src)] = true;
+    std::deque<NodeId> frontier{src};
+    while (!frontier.empty()) {
+      const NodeId here = frontier.front();
+      frontier.pop_front();
+      const Route& path_here =
+          routes_[index(src, here)];  // empty for here == src
+      for (const NetworkId network : topology.networks_of(here)) {
+        for (const NodeId next : topology.nodes_on(network)) {
+          if (visited[static_cast<std::size_t>(next)]) {
+            continue;
+          }
+          visited[static_cast<std::size_t>(next)] = true;
+          Route path = path_here;
+          path.push_back({network, next});
+          routes_[index(src, next)] = std::move(path);
+          frontier.push_back(next);
+        }
+      }
+    }
+  }
+}
+
+std::size_t Routing::index(NodeId src, NodeId dst) const {
+  MAD_ASSERT(src >= 0 && static_cast<std::size_t>(src) < nodes_ && dst >= 0 &&
+                 static_cast<std::size_t>(dst) < nodes_,
+             "bad node id in route lookup");
+  return static_cast<std::size_t>(src) * nodes_ +
+         static_cast<std::size_t>(dst);
+}
+
+bool Routing::reachable(NodeId src, NodeId dst) const {
+  if (src == dst) {
+    return true;
+  }
+  return !routes_[index(src, dst)].empty();
+}
+
+const Route& Routing::route(NodeId src, NodeId dst) const {
+  MAD_ASSERT(src != dst, "route to self");
+  const Route& r = routes_[index(src, dst)];
+  MAD_ASSERT(!r.empty(), "node " + std::to_string(dst) +
+                             " unreachable from " + std::to_string(src));
+  return r;
+}
+
+std::vector<NodeId> Routing::gateways(NodeId src, NodeId dst) const {
+  const Route& r = route(src, dst);
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i + 1 < r.size(); ++i) {
+    out.push_back(r[i].node);
+  }
+  return out;
+}
+
+std::vector<NetworkId> Routing::networks(NodeId src, NodeId dst) const {
+  const Route& r = route(src, dst);
+  std::vector<NetworkId> out;
+  out.reserve(r.size());
+  for (const Hop& hop : r) {
+    out.push_back(hop.network);
+  }
+  return out;
+}
+
+}  // namespace mad::topo

@@ -1,0 +1,47 @@
+// Shortest-path routing over a cluster-of-clusters topology.
+//
+// A route from src to dst is the hop list AFTER src: each hop names the
+// network to cross and the node reached. The last hop's node is dst; every
+// intermediate node is a gateway. Deterministic tie-breaking (lowest
+// network id, then lowest node id) keeps simulations reproducible.
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace mad::topo {
+
+struct Hop {
+  NetworkId network = -1;
+  NodeId node = -1;
+
+  bool operator==(const Hop&) const = default;
+};
+
+using Route = std::vector<Hop>;
+
+class Routing {
+ public:
+  /// Precomputes all-pairs routes with BFS (hop-count metric).
+  explicit Routing(const Topology& topology);
+
+  bool reachable(NodeId src, NodeId dst) const;
+
+  /// Route from src to dst; asserts reachable and src != dst.
+  const Route& route(NodeId src, NodeId dst) const;
+
+  /// Intermediate nodes (gateways) on the route.
+  std::vector<NodeId> gateways(NodeId src, NodeId dst) const;
+
+  /// Networks the route crosses, in order.
+  std::vector<NetworkId> networks(NodeId src, NodeId dst) const;
+
+ private:
+  std::size_t index(NodeId src, NodeId dst) const;
+
+  std::size_t nodes_;
+  std::vector<Route> routes_;  // nodes_ × nodes_, empty = unreachable/self
+};
+
+}  // namespace mad::topo

@@ -1,0 +1,45 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+
+#include "util/panic.hpp"
+
+namespace mad::topo {
+
+Topology::Topology(std::size_t nodes) : node_networks_(nodes) {}
+
+void Topology::attach(NodeId node, NetworkId network) {
+  MAD_ASSERT(node >= 0 && static_cast<std::size_t>(node) < node_count(),
+             "bad node id");
+  MAD_ASSERT(network >= 0, "bad network id");
+  if (static_cast<std::size_t>(network) >= network_nodes_.size()) {
+    network_nodes_.resize(static_cast<std::size_t>(network) + 1);
+  }
+  auto& nets = node_networks_[static_cast<std::size_t>(node)];
+  MAD_ASSERT(std::find(nets.begin(), nets.end(), network) == nets.end(),
+             "node attached to the same network twice");
+  nets.push_back(network);
+  network_nodes_[static_cast<std::size_t>(network)].push_back(node);
+}
+
+bool Topology::on_network(NodeId node, NetworkId network) const {
+  const auto& nets = networks_of(node);
+  return std::find(nets.begin(), nets.end(), network) != nets.end();
+}
+
+const std::vector<NetworkId>& Topology::networks_of(NodeId node) const {
+  MAD_ASSERT(node >= 0 && static_cast<std::size_t>(node) < node_count(),
+             "bad node id");
+  return node_networks_[static_cast<std::size_t>(node)];
+}
+
+const std::vector<NodeId>& Topology::nodes_on(NetworkId network) const {
+  static const std::vector<NodeId> kEmpty;
+  if (network < 0 ||
+      static_cast<std::size_t>(network) >= network_nodes_.size()) {
+    return kEmpty;
+  }
+  return network_nodes_[static_cast<std::size_t>(network)];
+}
+
+}  // namespace mad::topo

@@ -1,0 +1,39 @@
+// Node/network incidence of a cluster-of-clusters configuration.
+//
+// Pure data structure (no dependency on the communication layers) so that
+// routing can be unit-tested on abstract configurations.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mad::topo {
+
+using NodeId = int;
+using NetworkId = int;
+
+class Topology {
+ public:
+  explicit Topology(std::size_t nodes);
+
+  std::size_t node_count() const { return node_networks_.size(); }
+  std::size_t network_count() const { return network_nodes_.size(); }
+
+  /// Declares that `node` owns an adapter on `network`.
+  void attach(NodeId node, NetworkId network);
+
+  bool on_network(NodeId node, NetworkId network) const;
+  const std::vector<NetworkId>& networks_of(NodeId node) const;
+  const std::vector<NodeId>& nodes_on(NetworkId network) const;
+
+  /// A gateway owns adapters on more than one network (paper §2.2.2).
+  bool is_gateway(NodeId node) const {
+    return networks_of(node).size() > 1;
+  }
+
+ private:
+  std::vector<std::vector<NetworkId>> node_networks_;
+  std::vector<std::vector<NodeId>> network_nodes_;
+};
+
+}  // namespace mad::topo

@@ -1,0 +1,40 @@
+#include "util/hexdump.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace mad::util {
+
+std::string hexdump(std::span<const std::byte> data, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t shown = data.size() < max_bytes ? data.size() : max_bytes;
+  char line[128];
+  for (std::size_t row = 0; row < shown; row += 16) {
+    int pos = std::snprintf(line, sizeof line, "%08zx  ", row);
+    for (std::size_t col = 0; col < 16; ++col) {
+      if (row + col < shown) {
+        pos += std::snprintf(line + pos, sizeof line - pos, "%02x ",
+                             static_cast<unsigned>(data[row + col]));
+      } else {
+        pos += std::snprintf(line + pos, sizeof line - pos, "   ");
+      }
+      if (col == 7) {
+        pos += std::snprintf(line + pos, sizeof line - pos, " ");
+      }
+    }
+    pos += std::snprintf(line + pos, sizeof line - pos, " |");
+    for (std::size_t col = 0; col < 16 && row + col < shown; ++col) {
+      const int c = static_cast<int>(data[row + col]);
+      pos += std::snprintf(line + pos, sizeof line - pos, "%c",
+                           std::isprint(c) ? c : '.');
+    }
+    std::snprintf(line + pos, sizeof line - pos, "|\n");
+    out += line;
+  }
+  if (shown < data.size()) {
+    out += "... (" + std::to_string(data.size() - shown) + " more bytes)\n";
+  }
+  return out;
+}
+
+}  // namespace mad::util

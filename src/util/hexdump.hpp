@@ -1,0 +1,15 @@
+// Debug formatting of byte buffers (used in failure diagnostics).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+namespace mad::util {
+
+/// Classic 16-bytes-per-row hexdump with ASCII gutter; truncates after
+/// max_bytes and appends an ellipsis line.
+std::string hexdump(std::span<const std::byte> data,
+                    std::size_t max_bytes = 256);
+
+}  // namespace mad::util

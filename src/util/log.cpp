@@ -1,0 +1,44 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mad::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Off)};
+std::mutex g_emit_mutex;
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Off:
+      return "off";
+    case LogLevel::Error:
+      return "error";
+    case LogLevel::Warn:
+      return "warn";
+    case LogLevel::Info:
+      return "info";
+    case LogLevel::Debug:
+      return "debug";
+    case LogLevel::Trace:
+      return "trace";
+  }
+  return "?";
+}
+
+void log_line(LogLevel level, const std::string& line) {
+  std::lock_guard lock(g_emit_mutex);
+  std::fprintf(stderr, "[mad:%s] %s\n", log_level_name(level), line.c_str());
+}
+
+}  // namespace mad::util

@@ -1,0 +1,42 @@
+// Minimal leveled logger.
+//
+// Logging is off by default (level Off) so tests and benches stay quiet and
+// deterministic; examples turn it on to narrate what the library is doing.
+// The logger is process-global: the simulation runs actors one at a time, so
+// no interleaving guard beyond a mutex is needed for the rare concurrent use.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace mad::util {
+
+enum class LogLevel { Off = 0, Error, Warn, Info, Debug, Trace };
+
+/// Global log level; messages above this level are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr with a level tag. Prefer the MAD_LOG_* macros.
+void log_line(LogLevel level, const std::string& line);
+
+const char* log_level_name(LogLevel level);
+
+}  // namespace mad::util
+
+#define MAD_LOG_AT(level, expr)                                   \
+  do {                                                            \
+    if (static_cast<int>(level) <=                                \
+        static_cast<int>(::mad::util::log_level())) {             \
+      std::ostringstream mad_log_os_;                             \
+      mad_log_os_ << expr;                                        \
+      ::mad::util::log_line((level), mad_log_os_.str());          \
+    }                                                             \
+  } while (0)
+
+#define MAD_LOG_ERROR(expr) MAD_LOG_AT(::mad::util::LogLevel::Error, expr)
+#define MAD_LOG_WARN(expr) MAD_LOG_AT(::mad::util::LogLevel::Warn, expr)
+#define MAD_LOG_INFO(expr) MAD_LOG_AT(::mad::util::LogLevel::Info, expr)
+#define MAD_LOG_DEBUG(expr) MAD_LOG_AT(::mad::util::LogLevel::Debug, expr)
+#define MAD_LOG_TRACE(expr) MAD_LOG_AT(::mad::util::LogLevel::Trace, expr)

@@ -1,0 +1,13 @@
+#include "util/panic.hpp"
+
+#include <sstream>
+
+namespace mad::util {
+
+void panic(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": " << msg;
+  throw PanicError(os.str());
+}
+
+}  // namespace mad::util

@@ -1,0 +1,34 @@
+// Assertion and fatal-error helpers.
+//
+// MAD_ASSERT is always on (this library's correctness depends on internal
+// invariants that are cheap to check relative to simulated transfers).
+// Failures throw mad::util::PanicError so tests can observe them and so the
+// simulation engine can unwind actor stacks cleanly.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mad::util {
+
+/// Thrown on assertion failure or explicit panic.
+class PanicError : public std::logic_error {
+ public:
+  explicit PanicError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Formats location + message and throws PanicError. Never returns.
+[[noreturn]] void panic(const char* file, int line, const std::string& msg);
+
+}  // namespace mad::util
+
+#define MAD_PANIC(msg) ::mad::util::panic(__FILE__, __LINE__, (msg))
+
+#define MAD_ASSERT(cond, msg)                             \
+  do {                                                    \
+    if (!(cond)) {                                        \
+      ::mad::util::panic(__FILE__, __LINE__,              \
+                         std::string("assertion failed: " #cond " — ") + \
+                             (msg));                      \
+    }                                                     \
+  } while (0)

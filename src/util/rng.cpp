@@ -1,0 +1,111 @@
+#include "util/rng.hpp"
+
+#include "util/panic.hpp"
+
+namespace mad::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int k) {
+  return (v << k) | (v >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    word = splitmix64(s);
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  MAD_ASSERT(bound != 0, "next_below(0)");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+std::uint64_t Rng::next_between(std::uint64_t lo, std::uint64_t hi) {
+  MAD_ASSERT(lo <= hi, "next_between: lo > hi");
+  const std::uint64_t span = hi - lo;
+  if (span == UINT64_MAX) {
+    return next_u64();
+  }
+  return lo + next_below(span + 1);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return next_double() < p;
+}
+
+void Rng::fill(std::span<std::byte> out) {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    const std::uint64_t v = next_u64();
+    for (int b = 0; b < 8; ++b) {
+      out[i + static_cast<std::size_t>(b)] =
+          static_cast<std::byte>((v >> (8 * b)) & 0xff);
+    }
+    i += 8;
+  }
+  if (i < out.size()) {
+    const std::uint64_t v = next_u64();
+    int b = 0;
+    for (; i < out.size(); ++i, ++b) {
+      out[i] = static_cast<std::byte>((v >> (8 * b)) & 0xff);
+    }
+  }
+}
+
+std::vector<std::byte> Rng::bytes(std::size_t size) {
+  std::vector<std::byte> out(size);
+  fill(out);
+  return out;
+}
+
+std::uint64_t fnv1a(std::span<const std::byte> data) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const std::byte b : data) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace mad::util

@@ -1,0 +1,46 @@
+// Deterministic PRNG for tests and workload generators.
+//
+// xoshiro256** seeded via SplitMix64 — fast, reproducible across platforms
+// (no dependence on libstdc++ distribution implementations).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mad::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound) — bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive — requires lo <= hi.
+  std::uint64_t next_between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// true with probability p (clamped to [0,1]).
+  bool next_bool(double p = 0.5);
+
+  /// Fills a byte span with pseudo-random data.
+  void fill(std::span<std::byte> out);
+
+  /// Convenience: a fresh pseudo-random byte vector of the given size.
+  std::vector<std::byte> bytes(std::size_t size);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// FNV-1a checksum used by tests to compare payloads cheaply.
+std::uint64_t fnv1a(std::span<const std::byte> data);
+
+}  // namespace mad::util

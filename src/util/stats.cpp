@@ -1,0 +1,76 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "util/panic.hpp"
+
+namespace mad::util {
+
+void RunningStats::add(double sample) {
+  ++count_;
+  min_ = std::min(min_, sample);
+  max_ = std::max(max_, sample);
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::percentile(double q) const {
+  MAD_ASSERT(!samples_.empty(), "percentile of empty SampleSet");
+  MAD_ASSERT(q >= 0.0 && q <= 1.0, "percentile out of range");
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[rank];
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  MAD_ASSERT(!samples_.empty(), "min of empty SampleSet");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleSet::max() const {
+  MAD_ASSERT(!samples_.empty(), "max of empty SampleSet");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024ULL * 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.2f GB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0));
+  } else if (bytes >= 1024ULL * 1024) {
+    std::snprintf(buf, sizeof buf, "%.2f MB",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024ULL) {
+    std::snprintf(buf, sizeof buf, "%.1f KB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace mad::util

@@ -1,0 +1,53 @@
+// Running statistics used by the trace layer and the bench harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mad::util {
+
+/// Accumulates count/min/max/mean/variance without storing samples.
+class RunningStats {
+ public:
+  void add(double sample);
+
+  std::size_t count() const { return count_; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance (0 for fewer than 2 samples).
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // Welford's sum of squared deviations
+};
+
+/// Stores samples; supports percentiles. Used where distribution shape
+/// matters (pipeline step durations for the Fig 8 reproduction).
+class SampleSet {
+ public:
+  void add(double sample) { samples_.push_back(sample); }
+  std::size_t count() const { return samples_.size(); }
+  /// q in [0,1]; nearest-rank on a sorted copy.
+  double percentile(double q) const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Formats a byte count as a human-friendly string ("64 KB", "1.5 MB").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace mad::util

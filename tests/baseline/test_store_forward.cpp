@@ -1,0 +1,145 @@
+#include "baseline/store_forward.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baseline/pacx_tcp.hpp"
+
+#include "harness/pingpong.hpp"
+#include "harness/scenario.hpp"
+#include "mad/copy_stats.hpp"
+#include "util/rng.hpp"
+
+namespace mad::baseline {
+namespace {
+
+TEST(StoreForward, DeliversThroughGateway) {
+  harness::StoreForwardWorld world;
+  util::Rng rng(1);
+  const auto payload = rng.bytes(100'000);
+  SfReceived received;
+  world.engine.spawn("s", [&] {
+    world.send(world.myri_node(), world.sci_node(), payload);
+  });
+  world.engine.spawn("r", [&] { received = world.recv(world.sci_node()); });
+  world.engine.run();
+  EXPECT_EQ(received.data, payload);
+  EXPECT_EQ(received.origin, world.myri_node());
+}
+
+TEST(StoreForward, DeliversBothDirections) {
+  harness::StoreForwardWorld world;
+  util::Rng rng(2);
+  const auto a = rng.bytes(30'000);
+  const auto b = rng.bytes(20'000);
+  SfReceived at_sci, at_myri;
+  world.engine.spawn("m0", [&] {
+    world.send(world.myri_node(), world.sci_node(), a);
+    at_myri = world.recv(world.myri_node());
+  });
+  world.engine.spawn("s0", [&] {
+    at_sci = world.recv(world.sci_node());
+    world.send(world.sci_node(), world.myri_node(), b);
+  });
+  world.engine.run();
+  EXPECT_EQ(at_sci.data, a);
+  EXPECT_EQ(at_myri.data, b);
+}
+
+TEST(StoreForward, GatewayPaysAnExtraCopy) {
+  copy_stats().reset();
+  harness::StoreForwardWorld world;
+  util::Rng rng(3);
+  const std::size_t bytes = 50'000;
+  const auto payload = rng.bytes(bytes);
+  world.engine.spawn("s", [&] {
+    world.send(world.myri_node(), world.sci_node(), payload);
+  });
+  world.engine.spawn("r", [&] { (void)world.recv(world.sci_node()); });
+  world.engine.run();
+  // The relay's buffering copy of the whole body (plus small headers).
+  EXPECT_GE(copy_stats().bytes, bytes);
+}
+
+TEST(StoreForward, SlowerThanPipelinedForwarder) {
+  // The paper's core claim: in-library pipelined forwarding beats
+  // application-level store-and-forward.
+  const std::size_t bytes = 2 * 1024 * 1024;
+  util::Rng rng(4);
+  const auto payload = rng.bytes(bytes);
+
+  harness::StoreForwardWorld sf;
+  sim::Time sf_done = 0;
+  sf.engine.spawn("s", [&] {
+    sf.send(sf.sci_node(), sf.myri_node(), payload);
+  });
+  sf.engine.spawn("r", [&] {
+    (void)sf.recv(sf.myri_node());
+    sf_done = sf.engine.now();
+  });
+  sf.engine.run();
+
+  fwd::VcOptions options;
+  options.paquet_size = 64 * 1024;
+  harness::PaperWorld ours(options);
+  const auto result = harness::measure_vc_oneway(
+      ours.engine, *ours.vc, ours.sci_node(), ours.myri_node(), bytes,
+      /*repeats=*/1, /*warmup=*/0);
+
+  EXPECT_LT(result.one_way, sf_done);
+  // Store-and-forward pays both legs sequentially: ~2x.
+  EXPECT_GT(sim::to_seconds(sf_done),
+            1.5 * sim::to_seconds(result.one_way));
+}
+
+TEST(PacxTcp, DeliversAcrossTcpBridge) {
+  PacxWorld world;
+  util::Rng rng(5);
+  const auto payload = rng.bytes(64 * 1024);
+  SfReceived received;
+  world.engine().spawn("s", [&] {
+    world.send(world.myri_node(), world.sci_node(), payload);
+  });
+  world.engine().spawn("r", [&] {
+    received = world.recv(world.sci_node());
+  });
+  world.engine().run();
+  EXPECT_EQ(received.data, payload);
+  EXPECT_EQ(received.origin, world.myri_node());
+}
+
+TEST(PacxTcp, ThroughputBoundByFastEthernet) {
+  PacxWorld world;
+  util::Rng rng(6);
+  const std::size_t bytes = 1024 * 1024;
+  const auto payload = rng.bytes(bytes);
+  sim::Time done = 0;
+  world.engine().spawn("s", [&] {
+    world.send(world.myri_node(), world.sci_node(), payload);
+  });
+  world.engine().spawn("r", [&] {
+    (void)world.recv(world.sci_node());
+    done = world.engine().now();
+  });
+  world.engine().run();
+  const double mbps = sim::bandwidth_mbps(bytes, done);
+  EXPECT_LT(mbps, 12.0);  // the TCP leg dominates
+  EXPECT_GT(mbps, 4.0);
+}
+
+TEST(PacxTcp, ReverseDirectionWorks) {
+  PacxWorld world;
+  util::Rng rng(7);
+  const auto payload = rng.bytes(10'000);
+  SfReceived received;
+  world.engine().spawn("s", [&] {
+    world.send(world.sci_node(), world.myri_node(), payload);
+  });
+  world.engine().spawn("r", [&] {
+    received = world.recv(world.myri_node());
+  });
+  world.engine().run();
+  EXPECT_EQ(received.data, payload);
+}
+
+}  // namespace
+}  // namespace mad::baseline

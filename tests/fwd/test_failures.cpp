@@ -1,0 +1,201 @@
+// Failure injection and misuse handling: the library must fail loudly and
+// cleanly (diagnosable exceptions, clean engine unwinding), never hang or
+// corrupt unrelated state.
+#include <gtest/gtest.h>
+
+#include "support/coc_rig.hpp"
+#include "util/rng.hpp"
+
+namespace mad::fwd {
+namespace {
+
+using testsupport::PaperRig;
+
+TEST(Failures, ActorExceptionMidMessageUnwindsCleanly) {
+  PaperRig rig;
+  util::Rng rng(1);
+  const auto payload = rng.bytes(100'000);
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+    msg.pack(payload);
+    throw std::runtime_error("application failure mid-message");
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(rig.sci_node()).begin_unpacking();
+    std::vector<std::byte> out(100'000);
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  // The sender's exception must surface from run(); all other actors
+  // (receiver, pollers, gateway daemons) are unwound, nothing hangs.
+  EXPECT_THROW(rig.engine.run(), std::runtime_error);
+}
+
+TEST(Failures, UnreachableDestinationIsDiagnosed) {
+  // Two disjoint networks: no gateway bridges them.
+  sim::Engine engine;
+  net::Fabric fabric(engine);
+  net::Network& a = fabric.add_network("a", net::bip_myrinet());
+  net::Network& b = fabric.add_network("b", net::sisci_sci());
+  net::Host& a0 = fabric.add_host("a0");
+  a0.add_nic(a);
+  net::Host& a1 = fabric.add_host("a1");
+  a1.add_nic(a);
+  net::Host& b0 = fabric.add_host("b0");
+  b0.add_nic(b);
+  net::Host& b1 = fabric.add_host("b1");
+  b1.add_nic(b);
+  Domain domain(fabric);
+  for (net::Host* h : {&a0, &a1, &b0, &b1}) {
+    domain.add_node(*h);
+  }
+  VirtualChannel vc(domain, "vc", {&a, &b});
+  bool diagnosed = false;
+  engine.spawn("s", [&] {
+    try {
+      auto msg = vc.endpoint(0).begin_packing(2);  // a0 -> b0: no route
+    } catch (const util::PanicError& e) {
+      diagnosed =
+          std::string(e.what()).find("unreachable") != std::string::npos;
+    }
+  });
+  engine.run();
+  EXPECT_TRUE(diagnosed);
+}
+
+TEST(Failures, ReceiverAbsenceIsDeadlockNotHang) {
+  // A sender whose peer never shows up: the engine detects the deadlock
+  // (with actor names) instead of spinning forever.
+  PaperRig rig;
+  rig.engine.spawn("lonely-receiver", [&] {
+    auto msg = rig.ep(rig.sci_node()).begin_unpacking();  // nothing comes
+    (void)msg;
+  });
+  try {
+    rig.engine.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const sim::DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("lonely-receiver"),
+              std::string::npos);
+  }
+}
+
+TEST(Failures, PipelineDepthZeroRejected) {
+  fwd::VcOptions options;
+  options.pipeline_depth = 0;
+  EXPECT_THROW(PaperRig rig(options), util::PanicError);
+}
+
+TEST(Failures, OversizedPaquetOptionRejected) {
+  // Asking for a paquet no network can carry must fail at creation, not
+  // silently fragment.
+  fwd::VcOptions options;
+  options.paquet_size = 1 << 30;
+  PaperRig rig(options);
+  // compute_route_mtu caps at the route minimum instead of failing — the
+  // resulting MTU must be carriable.
+  EXPECT_LE(rig.vc->mtu(), 128u * 1024);
+}
+
+TEST(Failures, WrongUnpackOrderOnForwardedMessageDetected) {
+  PaperRig rig;
+  util::Rng rng(2);
+  const auto b1 = rng.bytes(100);
+  const auto b2 = rng.bytes(200);
+  bool caught = false;
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+    msg.pack(b1);
+    msg.pack(b2);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(rig.sci_node()).begin_unpacking();
+    std::vector<std::byte> out(200);  // tries to read block 2 first
+    try {
+      msg.unpack(out);
+    } catch (const util::PanicError&) {
+      caught = true;
+    }
+  });
+  rig.engine.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Failures, PrematureEndUnpackingDetected) {
+  PaperRig rig;
+  util::Rng rng(3);
+  const auto payload = rng.bytes(100);
+  bool caught = false;
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(rig.sci_node()).begin_unpacking();
+    try {
+      msg.end_unpacking();  // without unpacking the block
+    } catch (const util::PanicError& e) {
+      caught = std::string(e.what()).find("end_unpacking before") !=
+               std::string::npos;
+    }
+  });
+  rig.engine.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Failures, IndependentRunsDoNotShareState) {
+  // Failure in one simulation must not poison a subsequent one.
+  {
+    PaperRig rig;
+    rig.engine.spawn("boom", [] { throw std::runtime_error("first"); });
+    EXPECT_THROW(rig.engine.run(), std::runtime_error);
+  }
+  PaperRig rig;
+  util::Rng rng(4);
+  const auto payload = rng.bytes(10'000);
+  std::vector<std::byte> out(10'000);
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(rig.sci_node()).begin_unpacking();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(out, payload);
+}
+
+TEST(GatewayStatsTest, CountersTrackForwarding) {
+  fwd::VcOptions options;
+  options.paquet_size = 32 * 1024;
+  PaperRig rig(options);
+  util::Rng rng(5);
+  const std::size_t bytes = 128 * 1024;  // 4 paquets
+  const auto payload = rng.bytes(bytes);
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    std::vector<std::byte> out(bytes);
+    auto msg = rig.ep(rig.sci_node()).begin_unpacking();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  const GatewayStats& stats = rig.vc->gateway_stats(rig.gateway_rank);
+  EXPECT_EQ(stats.messages_forwarded, 1u);
+  EXPECT_EQ(stats.paquets_forwarded, 4u);
+  EXPECT_EQ(stats.bytes_forwarded, bytes);
+  // Non-gateway nodes forwarded nothing.
+  EXPECT_EQ(rig.vc->gateway_stats(rig.myri_node()).messages_forwarded, 0u);
+}
+
+}  // namespace
+}  // namespace mad::fwd

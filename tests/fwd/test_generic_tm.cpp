@@ -1,0 +1,97 @@
+#include "fwd/generic_tm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/mad_rig.hpp"
+
+namespace mad::fwd {
+namespace {
+
+TEST(GenericTm, FragmentMath) {
+  EXPECT_EQ(fragment_count(0, 8192), 0u);
+  EXPECT_EQ(fragment_count(1, 8192), 1u);
+  EXPECT_EQ(fragment_count(8192, 8192), 1u);
+  EXPECT_EQ(fragment_count(8193, 8192), 2u);
+  EXPECT_EQ(fragment_count(100 * 8192, 8192), 100u);
+
+  EXPECT_EQ(fragment_size(8193, 8192, 0), 8192u);
+  EXPECT_EQ(fragment_size(8193, 8192, 1), 1u);
+  EXPECT_EQ(fragment_size(8192, 8192, 0), 8192u);
+}
+
+TEST(GenericTm, FragmentIndexOutOfRangeRejected) {
+  EXPECT_THROW(fragment_size(8192, 8192, 1), util::PanicError);
+}
+
+TEST(GenericTm, ModeEncodingRoundTrips) {
+  for (const SendMode mode :
+       {SendMode::Safer, SendMode::Later, SendMode::Cheaper}) {
+    EXPECT_EQ(decode_smode(encode(mode)), mode);
+  }
+  for (const RecvMode mode : {RecvMode::Express, RecvMode::Cheaper}) {
+    EXPECT_EQ(decode_rmode(encode(mode)), mode);
+  }
+  EXPECT_THROW(decode_smode(99), util::PanicError);
+  EXPECT_THROW(decode_rmode(99), util::PanicError);
+}
+
+TEST(GenericTm, BlockHeaderHelpers) {
+  const auto h =
+      block_header_for(1234, SendMode::Later, RecvMode::Express);
+  EXPECT_EQ(h.size, 1234u);
+  EXPECT_EQ(decode_smode(h.smode), SendMode::Later);
+  EXPECT_EQ(decode_rmode(h.rmode), RecvMode::Express);
+  EXPECT_EQ(h.end_of_message, 0);
+  EXPECT_EQ(end_marker().end_of_message, 1);
+}
+
+TEST(GenericTm, RouteMtuIsMinOverNetworks) {
+  sim::Engine engine;
+  net::Fabric fabric(engine);
+  net::Network& myri = fabric.add_network("m", net::bip_myrinet());
+  net::Network& sci = fabric.add_network("s", net::sisci_sci());
+  net::Network& sbp_net = fabric.add_network("b", net::sbp());
+  Domain domain(fabric);
+  // Myrinet 256K × SCI 128K → 128K.
+  EXPECT_EQ(compute_route_mtu(domain, {&myri, &sci}, 0), 128u * 1024);
+  // SBP static buffers (32K) bound the MTU.
+  EXPECT_EQ(compute_route_mtu(domain, {&myri, &sci, &sbp_net}, 0),
+            32u * 1024);
+  // An explicit paquet size caps further.
+  EXPECT_EQ(compute_route_mtu(domain, {&myri, &sci}, 8 * 1024), 8u * 1024);
+  // But cannot exceed what the networks carry.
+  EXPECT_EQ(compute_route_mtu(domain, {&sbp_net}, 1 << 20), 32u * 1024);
+}
+
+TEST(GenericTm, HeadersTravelThroughAChannel) {
+  testsupport::SingleNetRig rig(net::bip_myrinet(), 2);
+  GtmMsgHeader got_msg;
+  GtmBlockHeader got_block;
+  Preamble got_preamble;
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.channel(0).begin_packing(1);
+    write_preamble(msg, Preamble{7, 1});
+    write_msg_header(msg, GtmMsgHeader{5, 7, 8192});
+    write_block_header(msg,
+                       block_header_for(99, SendMode::Safer,
+                                        RecvMode::Cheaper));
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.channel(1).begin_unpacking();
+    got_preamble = read_preamble(msg);
+    got_msg = read_msg_header(msg);
+    got_block = read_block_header(msg);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(got_preamble.origin, 7u);
+  EXPECT_EQ(got_preamble.forwarded, 1);
+  EXPECT_EQ(got_msg.final_dst, 5u);
+  EXPECT_EQ(got_msg.mtu, 8192u);
+  EXPECT_EQ(got_block.size, 99u);
+  EXPECT_EQ(decode_smode(got_block.smode), SendMode::Safer);
+}
+
+}  // namespace
+}  // namespace mad::fwd

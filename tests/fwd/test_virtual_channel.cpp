@@ -1,0 +1,376 @@
+// Virtual channels: transparent routing through gateways.
+#include <gtest/gtest.h>
+
+#include "support/coc_rig.hpp"
+#include "util/rng.hpp"
+
+namespace mad::fwd {
+namespace {
+
+using testsupport::ChainRig;
+using testsupport::PaperRig;
+
+TEST(VirtualChannel, DirectMessageStaysNative) {
+  PaperRig rig;
+  util::Rng rng(1);
+  const auto payload = rng.bytes(4096);
+  std::vector<std::byte> out(4096);
+  bool was_forwarded = true;
+  // Myrinet node → gateway: same network, no forwarding.
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(rig.myri_node()).begin_packing(rig.gateway_rank);
+    EXPECT_TRUE(msg.direct());
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(rig.gateway_rank).begin_unpacking();
+    was_forwarded = msg.forwarded();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_FALSE(was_forwarded);
+  EXPECT_EQ(out, payload);
+}
+
+TEST(VirtualChannel, ForwardedMessageCrossesGateway) {
+  PaperRig rig;
+  util::Rng rng(2);
+  const auto payload = rng.bytes(100'000);
+  std::vector<std::byte> out(100'000);
+  bool was_forwarded = false;
+  NodeRank seen_source = -1;
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+    EXPECT_FALSE(msg.direct());
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(rig.sci_node()).begin_unpacking();
+    was_forwarded = msg.forwarded();
+    seen_source = msg.source();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_TRUE(was_forwarded);
+  EXPECT_EQ(seen_source, rig.myri_node());
+  EXPECT_EQ(out, payload);
+}
+
+TEST(VirtualChannel, ForwardingWorksInBothDirections) {
+  PaperRig rig;
+  util::Rng rng(3);
+  const auto to_sci = rng.bytes(50'000);
+  const auto to_myri = rng.bytes(70'000);
+  std::vector<std::byte> at_sci(50'000), at_myri(70'000);
+  rig.engine.spawn("myri", [&] {
+    auto w = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+    w.pack(to_sci);
+    w.end_packing();
+    auto r = rig.ep(rig.myri_node()).begin_unpacking();
+    r.unpack(at_myri);
+    r.end_unpacking();
+  });
+  rig.engine.spawn("sci", [&] {
+    auto r = rig.ep(rig.sci_node()).begin_unpacking();
+    r.unpack(at_sci);
+    r.end_unpacking();
+    auto w = rig.ep(rig.sci_node()).begin_packing(rig.myri_node());
+    w.pack(to_myri);
+    w.end_packing();
+  });
+  rig.engine.run();
+  EXPECT_EQ(at_sci, to_sci);
+  EXPECT_EQ(at_myri, to_myri);
+}
+
+TEST(VirtualChannel, MultiBlockForwardedMessagePreservesStructure) {
+  PaperRig rig;
+  util::Rng rng(4);
+  const auto b1 = rng.bytes(10);
+  const auto b2 = rng.bytes(200'000);  // multiple paquets
+  const auto b3 = rng.bytes(333);
+  std::vector<std::byte> r1(10), r2(200'000), r3(333);
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+    msg.pack(b1, SendMode::Safer, RecvMode::Express);
+    msg.pack(b2, SendMode::Cheaper, RecvMode::Cheaper);
+    msg.pack(b3, SendMode::Later, RecvMode::Cheaper);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(rig.sci_node()).begin_unpacking();
+    msg.unpack(r1, SendMode::Safer, RecvMode::Express);
+    EXPECT_EQ(r1, b1);  // express valid immediately
+    msg.unpack(r2, SendMode::Cheaper, RecvMode::Cheaper);
+    msg.unpack(r3, SendMode::Later, RecvMode::Cheaper);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(r2, b2);
+  EXPECT_EQ(r3, b3);
+}
+
+TEST(VirtualChannel, SelfDescriptionCatchesSizeMismatch) {
+  PaperRig rig;
+  util::Rng rng(5);
+  const auto payload = rng.bytes(1000);
+  bool caught = false;
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(rig.sci_node()).begin_unpacking();
+    std::vector<std::byte> wrong(999);
+    try {
+      msg.unpack(wrong);
+    } catch (const util::PanicError& e) {
+      caught = true;
+      EXPECT_NE(std::string(e.what()).find("does not match"),
+                std::string::npos);
+    }
+  });
+  rig.engine.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(VirtualChannel, SelfDescriptionCatchesFlagMismatch) {
+  PaperRig rig;
+  util::Rng rng(6);
+  const auto payload = rng.bytes(64);
+  bool caught = false;
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+    msg.pack(payload, SendMode::Cheaper, RecvMode::Cheaper);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(rig.sci_node()).begin_unpacking();
+    std::vector<std::byte> out(64);
+    try {
+      msg.unpack(out, SendMode::Cheaper, RecvMode::Express);  // wrong flag
+    } catch (const util::PanicError&) {
+      caught = true;
+    }
+  });
+  rig.engine.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(VirtualChannel, EmptyForwardedMessage) {
+  PaperRig rig;
+  bool got = false;
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+    msg.end_packing();  // "the description of an empty message"
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(rig.sci_node()).begin_unpacking();
+    msg.end_unpacking();
+    got = true;
+  });
+  rig.engine.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(VirtualChannel, GatewayItselfSendsAndReceives) {
+  // The gateway is also a regular node running application code (§2.2.2).
+  PaperRig rig;
+  util::Rng rng(7);
+  const auto from_gw = rng.bytes(5'000);
+  const auto to_gw = rng.bytes(6'000);
+  std::vector<std::byte> at_sci(5'000), at_gw(6'000);
+  rig.engine.spawn("gw", [&] {
+    auto w = rig.ep(rig.gateway_rank).begin_packing(rig.sci_node());
+    EXPECT_TRUE(w.direct());  // gateway and SCI node share a network
+    w.pack(from_gw);
+    w.end_packing();
+    auto r = rig.ep(rig.gateway_rank).begin_unpacking();
+    EXPECT_EQ(r.source(), rig.myri_node());
+    r.unpack(at_gw);
+    r.end_unpacking();
+  });
+  rig.engine.spawn("sci", [&] {
+    auto r = rig.ep(rig.sci_node()).begin_unpacking();
+    r.unpack(at_sci);
+    r.end_unpacking();
+  });
+  rig.engine.spawn("myri", [&] {
+    auto w = rig.ep(rig.myri_node()).begin_packing(rig.gateway_rank);
+    w.pack(to_gw);
+    w.end_packing();
+  });
+  rig.engine.run();
+  EXPECT_EQ(at_sci, from_gw);
+  EXPECT_EQ(at_gw, to_gw);
+}
+
+TEST(VirtualChannel, InterleavedForwardedAndDirectAtOneReceiver) {
+  // The SCI endpoint receives one forwarded message (from Myrinet land)
+  // and one direct message (from the gateway); both arrive intact and the
+  // formats do not confuse each other.
+  PaperRig rig;
+  util::Rng rng(8);
+  const auto fwd_payload = rng.bytes(40'000);
+  const auto direct_payload = rng.bytes(30'000);
+  int received = 0;
+  rig.engine.spawn("myri", [&] {
+    auto w = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+    w.pack(fwd_payload);
+    w.end_packing();
+  });
+  rig.engine.spawn("gw", [&] {
+    auto w = rig.ep(rig.gateway_rank).begin_packing(rig.sci_node());
+    w.pack(direct_payload);
+    w.end_packing();
+  });
+  rig.engine.spawn("sci", [&] {
+    for (int i = 0; i < 2; ++i) {
+      auto r = rig.ep(rig.sci_node()).begin_unpacking();
+      if (r.forwarded()) {
+        std::vector<std::byte> out(40'000);
+        r.unpack(out);
+        r.end_unpacking();
+        EXPECT_EQ(out, fwd_payload);
+        EXPECT_EQ(r.source(), rig.myri_node());
+      } else {
+        std::vector<std::byte> out(30'000);
+        r.unpack(out);
+        r.end_unpacking();
+        EXPECT_EQ(out, direct_payload);
+        EXPECT_EQ(r.source(), rig.gateway_rank);
+      }
+      ++received;
+    }
+  });
+  rig.engine.run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST(VirtualChannel, BackToBackForwardedMessages) {
+  PaperRig rig;
+  constexpr int kMessages = 8;
+  util::Rng rng(9);
+  std::vector<std::vector<std::byte>> payloads;
+  for (int i = 0; i < kMessages; ++i) {
+    payloads.push_back(rng.bytes(20'000 + static_cast<std::size_t>(i) * 777));
+  }
+  int ok = 0;
+  rig.engine.spawn("s", [&] {
+    for (const auto& p : payloads) {
+      auto msg = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+      msg.pack(p);
+      msg.end_packing();
+    }
+  });
+  rig.engine.spawn("r", [&] {
+    for (const auto& p : payloads) {
+      auto msg = rig.ep(rig.sci_node()).begin_unpacking();
+      std::vector<std::byte> out(p.size());
+      msg.unpack(out);
+      msg.end_unpacking();
+      if (out == p) {
+        ++ok;
+      }
+    }
+  });
+  rig.engine.run();
+  EXPECT_EQ(ok, kMessages);
+}
+
+TEST(VirtualChannel, TwoGatewayChainDelivers) {
+  ChainRig rig(net::bip_myrinet(), net::sbp(), net::sisci_sci());
+  util::Rng rng(10);
+  const auto payload = rng.bytes(150'000);
+  std::vector<std::byte> out(150'000);
+  NodeRank src_seen = -1;
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(0).begin_packing(3);
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(3).begin_unpacking();
+    src_seen = msg.source();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(src_seen, 0);
+}
+
+TEST(VirtualChannel, ChainMiddleLegStaysOnSpecialChannel) {
+  // A message 0→3 reaches gw2 on netB's SPECIAL channel — this is the
+  // two-gateway disambiguation the paper designs for: gw2 must know the
+  // message still needs forwarding.
+  ChainRig rig(net::bip_myrinet(), net::bip_myrinet(), net::bip_myrinet());
+  util::Rng rng(11);
+  const auto payload = rng.bytes(10'000);
+  std::vector<std::byte> out(10'000);
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(0).begin_packing(3);
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(3).begin_unpacking();
+    EXPECT_TRUE(msg.forwarded());
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(out, payload);
+}
+
+TEST(VirtualChannel, ChainBothDirections) {
+  ChainRig rig(net::sisci_sci(), net::bip_myrinet(), net::sbp());
+  util::Rng rng(12);
+  const auto fwd_data = rng.bytes(64 * 1024);
+  const auto bwd_data = rng.bytes(48 * 1024);
+  std::vector<std::byte> at3(64 * 1024), at0(48 * 1024);
+  rig.engine.spawn("n0", [&] {
+    auto w = rig.ep(0).begin_packing(3);
+    w.pack(fwd_data);
+    w.end_packing();
+    auto r = rig.ep(0).begin_unpacking();
+    r.unpack(at0);
+    r.end_unpacking();
+  });
+  rig.engine.spawn("n3", [&] {
+    auto r = rig.ep(3).begin_unpacking();
+    r.unpack(at3);
+    r.end_unpacking();
+    auto w = rig.ep(3).begin_packing(0);
+    w.pack(bwd_data);
+    w.end_packing();
+  });
+  rig.engine.run();
+  EXPECT_EQ(at3, fwd_data);
+  EXPECT_EQ(at0, bwd_data);
+}
+
+TEST(VirtualChannel, NonMemberRejected) {
+  PaperRig rig;
+  EXPECT_THROW(rig.vc->endpoint(99), util::PanicError);
+}
+
+TEST(VirtualChannel, MtuFollowsPaquetOption) {
+  fwd::VcOptions options;
+  options.paquet_size = 16 * 1024;
+  PaperRig rig(options);
+  EXPECT_EQ(rig.vc->mtu(), 16u * 1024);
+}
+
+TEST(VirtualChannel, AutoMtuIsRouteMinimum) {
+  PaperRig rig;
+  EXPECT_EQ(rig.vc->mtu(), 128u * 1024);  // min(Myrinet 256K, SCI 128K)
+}
+
+}  // namespace
+}  // namespace mad::fwd

@@ -1,0 +1,160 @@
+// VIA's hybrid protocol: the Fig 1 architecture where one PMM drives two
+// Transmission Modules — "rdma" for bulk and "mesg" for small blocks.
+#include <gtest/gtest.h>
+
+#include "fwd/virtual_channel.hpp"
+#include "support/mad_rig.hpp"
+#include "util/rng.hpp"
+
+namespace mad {
+namespace {
+
+using testsupport::SingleNetRig;
+
+TEST(HybridVia, ModelDeclaresHybrid) {
+  const auto m = net::via_giganet();
+  EXPECT_TRUE(m.hybrid());
+  EXPECT_FALSE(m.tx_static());
+  EXPECT_FALSE(m.rx_static());
+  EXPECT_EQ(m.hybrid_mesg_threshold, 4096u);
+  EXPECT_EQ(ProtocolModule::for_protocol("VIA/GigaNet").bmm_kind(),
+            BmmKind::Hybrid);
+}
+
+TEST(HybridVia, SmallBlocksTakeMesgPathWithCopies) {
+  copy_stats().reset();
+  SingleNetRig rig(net::via_giganet(), 2);
+  util::Rng rng(1);
+  const auto payload = rng.bytes(1000);  // < 4 KB threshold
+  std::vector<std::byte> out(1000);
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.channel(0).begin_packing(1);
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.channel(1).begin_unpacking();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(out, payload);
+  // mesg path: copy-in at the sender + copy-out at the receiver.
+  EXPECT_EQ(copy_stats().copies, 2u);
+  EXPECT_EQ(copy_stats().bytes, 2000u);
+}
+
+TEST(HybridVia, LargeBlocksTakeRdmaPathZeroCopy) {
+  copy_stats().reset();
+  SingleNetRig rig(net::via_giganet(), 2);
+  util::Rng rng(2);
+  const auto payload = rng.bytes(100'000);  // > threshold
+  std::vector<std::byte> out(100'000);
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.channel(0).begin_packing(1);
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.channel(1).begin_unpacking();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(copy_stats().copies, 0u);
+}
+
+TEST(HybridVia, MixedBlockSizesKeepOrder) {
+  SingleNetRig rig(net::via_giganet(), 2);
+  util::Rng rng(3);
+  // small, large, small, large — the hybrid BMM must interleave the two
+  // paths without reordering.
+  const auto s1 = rng.bytes(100);
+  const auto l1 = rng.bytes(50'000);
+  const auto s2 = rng.bytes(200);
+  const auto l2 = rng.bytes(70'000);
+  std::vector<std::byte> r_s1(100), r_l1(50'000), r_s2(200), r_l2(70'000);
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.channel(0).begin_packing(1);
+    msg.pack(s1);
+    msg.pack(l1);
+    msg.pack(s2);
+    msg.pack(l2);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.channel(1).begin_unpacking();
+    msg.unpack(r_s1);
+    msg.unpack(r_l1);
+    msg.unpack(r_s2);
+    msg.unpack(r_l2);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(r_s1, s1);
+  EXPECT_EQ(r_l1, l1);
+  EXPECT_EQ(r_s2, s2);
+  EXPECT_EQ(r_l2, l2);
+}
+
+TEST(HybridVia, SmallBlockLatencyBeatsRdmaSetup) {
+  // The mesg path exists because tiny transfers shouldn't pay RDMA setup;
+  // in the model this shows as one packet (no fragment train) per block.
+  SingleNetRig rig(net::via_giganet(), 2);
+  const auto b = util::to_bytes("ping");
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.channel(0).begin_packing(1);
+    msg.pack(b);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    std::vector<std::byte> out(4);
+    auto msg = rig.channel(1).begin_unpacking();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  const net::Nic& nic = *rig.hosts[0]->nics().front().get();
+  EXPECT_EQ(nic.packets_sent(), 1u);
+}
+
+TEST(HybridVia, WorksThroughGateway) {
+  // VIA as one side of a cluster-of-clusters: the GTM's small header
+  // blocks ride the mesg path, the paquets ride rdma.
+  sim::Engine engine;
+  net::Fabric fabric(engine);
+  net::Network& via = fabric.add_network("via0", net::via_giganet());
+  net::Network& myri = fabric.add_network("myri0", net::bip_myrinet());
+  net::Host& v0 = fabric.add_host("v0");
+  v0.add_nic(via);
+  net::Host& gw = fabric.add_host("gw");
+  gw.add_nic(via);
+  gw.add_nic(myri);
+  net::Host& m0 = fabric.add_host("m0");
+  m0.add_nic(myri);
+  Domain domain(fabric);
+  domain.add_node(v0);
+  domain.add_node(gw);
+  domain.add_node(m0);
+  fwd::VirtualChannel vc(domain, "vc", {&via, &myri});
+
+  util::Rng rng(4);
+  const auto payload = rng.bytes(300'000);
+  std::vector<std::byte> out(300'000);
+  engine.spawn("s", [&] {
+    auto msg = vc.endpoint(0).begin_packing(2);
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  engine.spawn("r", [&] {
+    auto msg = vc.endpoint(2).begin_unpacking();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  engine.run();
+  EXPECT_EQ(util::fnv1a(out), util::fnv1a(payload));
+}
+
+}  // namespace
+}  // namespace mad

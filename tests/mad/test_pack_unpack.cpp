@@ -1,0 +1,264 @@
+// Pack/unpack semantics over every protocol preset.
+#include <gtest/gtest.h>
+
+#include "support/mad_rig.hpp"
+#include "util/rng.hpp"
+
+namespace mad {
+namespace {
+
+using testsupport::SingleNetRig;
+
+net::NicModelParams model_for(const std::string& name) {
+  return net::nic_model_by_name(name);
+}
+
+class PackUnpackAllProtocols : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(Protocols, PackUnpackAllProtocols,
+                         ::testing::Values("BIP/Myrinet", "SISCI/SCI",
+                                           "TCP/FEth", "SBP",
+                                           "VIA/GigaNet"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '/') {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+TEST_P(PackUnpackAllProtocols, SingleBlockRoundTrip) {
+  SingleNetRig rig(model_for(GetParam()), 2);
+  util::Rng rng(1);
+  const auto payload = rng.bytes(10'000);
+  std::vector<std::byte> received(10'000);
+  rig.engine.spawn("sender", [&] {
+    auto msg = rig.channel(0).begin_packing(1);
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("receiver", [&] {
+    auto msg = rig.channel(1).begin_unpacking();
+    EXPECT_EQ(msg.source(), 0);
+    msg.unpack(received);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(received, payload);
+}
+
+TEST_P(PackUnpackAllProtocols, MultiBlockMixedModes) {
+  SingleNetRig rig(model_for(GetParam()), 2);
+  util::Rng rng(2);
+  const auto b1 = rng.bytes(17);
+  const auto b2 = rng.bytes(5'000);
+  const auto b3 = rng.bytes(1);
+  const auto b4 = rng.bytes(64 * 1024);
+  std::vector<std::byte> r1(17), r2(5'000), r3(1), r4(64 * 1024);
+  rig.engine.spawn("sender", [&] {
+    auto msg = rig.channel(0).begin_packing(1);
+    msg.pack(b1, SendMode::Safer, RecvMode::Express);
+    msg.pack(b2, SendMode::Cheaper, RecvMode::Cheaper);
+    msg.pack(b3, SendMode::Safer, RecvMode::Cheaper);
+    msg.pack(b4, SendMode::Cheaper, RecvMode::Express);
+    msg.end_packing();
+  });
+  rig.engine.spawn("receiver", [&] {
+    auto msg = rig.channel(1).begin_unpacking();
+    msg.unpack(r1, SendMode::Safer, RecvMode::Express);
+    // Express data must already be valid here, before end_unpacking.
+    EXPECT_EQ(r1, b1);
+    msg.unpack(r2, SendMode::Cheaper, RecvMode::Cheaper);
+    msg.unpack(r3, SendMode::Safer, RecvMode::Cheaper);
+    msg.unpack(r4, SendMode::Cheaper, RecvMode::Express);
+    EXPECT_EQ(r4, b4);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(r2, b2);
+  EXPECT_EQ(r3, b3);
+}
+
+TEST_P(PackUnpackAllProtocols, BlockLargerThanMtuIsFragmented) {
+  SingleNetRig rig(model_for(GetParam()), 2);
+  util::Rng rng(3);
+  const std::size_t size = 600 * 1024;  // larger than every preset's MTU
+  const auto payload = rng.bytes(size);
+  std::vector<std::byte> received(size);
+  rig.engine.spawn("sender", [&] {
+    auto msg = rig.channel(0).begin_packing(1);
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("receiver", [&] {
+    auto msg = rig.channel(1).begin_unpacking();
+    msg.unpack(received);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(util::fnv1a(received), util::fnv1a(payload));
+}
+
+TEST_P(PackUnpackAllProtocols, EmptyBlocksAreLegal) {
+  SingleNetRig rig(model_for(GetParam()), 2);
+  const auto data = util::to_bytes("x");
+  std::vector<std::byte> out(1);
+  rig.engine.spawn("sender", [&] {
+    auto msg = rig.channel(0).begin_packing(1);
+    msg.pack({}, SendMode::Cheaper, RecvMode::Cheaper);
+    msg.pack(data, SendMode::Cheaper, RecvMode::Express);
+    msg.pack({}, SendMode::Cheaper, RecvMode::Express);
+    msg.end_packing();
+  });
+  rig.engine.spawn("receiver", [&] {
+    auto msg = rig.channel(1).begin_unpacking();
+    msg.unpack({}, SendMode::Cheaper, RecvMode::Cheaper);
+    msg.unpack(out, SendMode::Cheaper, RecvMode::Express);
+    msg.unpack({}, SendMode::Cheaper, RecvMode::Express);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(PackUnpackAllProtocols, BackToBackMessagesStayOrdered) {
+  SingleNetRig rig(model_for(GetParam()), 2);
+  constexpr int kMessages = 20;
+  std::vector<std::uint32_t> got;
+  rig.engine.spawn("sender", [&] {
+    for (std::uint32_t i = 0; i < kMessages; ++i) {
+      auto msg = rig.channel(0).begin_packing(1);
+      msg.pack_value(i);
+      msg.end_packing();
+    }
+  });
+  rig.engine.spawn("receiver", [&] {
+    for (int i = 0; i < kMessages; ++i) {
+      auto msg = rig.channel(1).begin_unpacking();
+      got.push_back(msg.unpack_value<std::uint32_t>());
+      msg.end_unpacking();
+    }
+  });
+  rig.engine.run();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kMessages));
+  for (std::uint32_t i = 0; i < kMessages; ++i) {
+    EXPECT_EQ(got[i], i);
+  }
+}
+
+TEST_P(PackUnpackAllProtocols, ExpressSizeDrivesNextUnpack) {
+  // The canonical EXPRESS use-case: the receiver learns the body size from
+  // an express header and allocates accordingly.
+  SingleNetRig rig(model_for(GetParam()), 2);
+  util::Rng rng(4);
+  const auto body = rng.bytes(12'345);
+  std::vector<std::byte> received_body;
+  rig.engine.spawn("sender", [&] {
+    auto msg = rig.channel(0).begin_packing(1);
+    msg.pack_value(static_cast<std::uint32_t>(body.size()));
+    msg.pack(body);
+    msg.end_packing();
+  });
+  rig.engine.spawn("receiver", [&] {
+    auto msg = rig.channel(1).begin_unpacking();
+    const auto size = msg.unpack_value<std::uint32_t>();
+    received_body.resize(size);
+    msg.unpack(received_body);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(received_body, body);
+}
+
+TEST(PackUnpack, SaferAllowsImmediateBufferReuse) {
+  SingleNetRig rig(net::bip_myrinet(), 2);
+  std::vector<std::byte> out(4);
+  rig.engine.spawn("sender", [&] {
+    std::vector<std::byte> buf = util::to_bytes("good");
+    auto msg = rig.channel(0).begin_packing(1);
+    msg.pack(buf, SendMode::Safer, RecvMode::Cheaper);
+    // Clobber the buffer before end_packing: Safer snapshotted it.
+    std::fill(buf.begin(), buf.end(), std::byte{'X'});
+    msg.end_packing();
+  });
+  rig.engine.spawn("receiver", [&] {
+    auto msg = rig.channel(1).begin_unpacking();
+    msg.unpack(out, SendMode::Safer, RecvMode::Cheaper);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(util::to_string(out), "good");
+}
+
+TEST(PackUnpack, LaterTransmitsMutationsBeforeEndPacking) {
+  SingleNetRig rig(net::bip_myrinet(), 2);
+  std::vector<std::byte> out(4);
+  rig.engine.spawn("sender", [&] {
+    std::vector<std::byte> buf = util::to_bytes("old!");
+    auto msg = rig.channel(0).begin_packing(1);
+    msg.pack(buf, SendMode::Later, RecvMode::Cheaper);
+    // LATER: the library reads the data at end_packing, so this mutation
+    // is what arrives.
+    const auto fresh = util::to_bytes("new!");
+    std::copy(fresh.begin(), fresh.end(), buf.begin());
+    msg.end_packing();
+  });
+  rig.engine.spawn("receiver", [&] {
+    auto msg = rig.channel(1).begin_unpacking();
+    msg.unpack(out, SendMode::Later, RecvMode::Cheaper);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(util::to_string(out), "new!");
+}
+
+TEST(PackUnpack, CheaperDataValidAfterEndUnpacking) {
+  SingleNetRig rig(net::bip_myrinet(), 2);
+  const auto data = util::to_bytes("payload");
+  std::vector<std::byte> out(7, std::byte{0});
+  bool checked_inside = false;
+  rig.engine.spawn("sender", [&] {
+    auto msg = rig.channel(0).begin_packing(1);
+    msg.pack(data);
+    msg.end_packing();
+  });
+  rig.engine.spawn("receiver", [&] {
+    auto msg = rig.channel(1).begin_unpacking();
+    msg.unpack(out);
+    checked_inside = true;
+    msg.end_unpacking();
+    EXPECT_EQ(util::to_string(out), "payload");
+  });
+  rig.engine.run();
+  EXPECT_TRUE(checked_inside);
+}
+
+TEST(PackUnpack, PingPongLatencyMatchesPaperAnchor) {
+  // §3.2.2: Madeleine achieves ≈270 µs one-way for 16 KB on both networks.
+  for (const char* protocol : {"BIP/Myrinet", "SISCI/SCI"}) {
+    SingleNetRig rig(net::nic_model_by_name(protocol), 2);
+    std::vector<std::byte> data(16 * 1024, std::byte{1});
+    sim::Time one_way = 0;
+    rig.engine.spawn("sender", [&] {
+      auto msg = rig.channel(0).begin_packing(1);
+      msg.pack(data);
+      msg.end_packing();
+    });
+    rig.engine.spawn("receiver", [&] {
+      std::vector<std::byte> out(16 * 1024);
+      auto msg = rig.channel(1).begin_unpacking();
+      msg.unpack(out);
+      msg.end_unpacking();
+      one_way = rig.engine.now();
+    });
+    rig.engine.run();
+    const double us = sim::to_microseconds(one_way);
+    EXPECT_GT(us, 230.0) << protocol;
+    EXPECT_LT(us, 310.0) << protocol;
+  }
+}
+
+}  // namespace
+}  // namespace mad

@@ -1,0 +1,335 @@
+// The MPI-style layer: point-to-point matching and collectives, always on
+// the paper's cluster-of-clusters topology so every operation may cross
+// the gateway.
+#include <gtest/gtest.h>
+
+#include "mpi/comm.hpp"
+#include "support/coc_rig.hpp"
+#include "util/rng.hpp"
+
+namespace mad::mpi {
+namespace {
+
+using testsupport::PaperRig;
+
+/// 4 MPI ranks: 0,1 on Myrinet; 2,3 on SCI; the gateway only routes.
+struct MpiRig {
+  MpiRig() : rig({}, /*myri_endpoints=*/2, /*sci_endpoints=*/2) {
+    world.emplace(*rig.vc, std::vector<NodeRank>{0, 1, 3, 4});
+  }
+  /// Spawns fn as every rank's process actor.
+  template <typename Fn>
+  void run_all(Fn fn) {
+    for (int r = 0; r < world->size(); ++r) {
+      rig.engine.spawn("mpi.rank" + std::to_string(r),
+                       [this, fn, r] { fn(world->comm(r)); });
+    }
+    rig.engine.run();
+  }
+  PaperRig rig;
+  std::optional<World> world;
+};
+
+TEST(MpiComm, WorldMapping) {
+  MpiRig m;
+  EXPECT_EQ(m.world->size(), 4);
+  EXPECT_EQ(m.world->node_of(2), 3);
+  EXPECT_EQ(m.world->rank_of_node(4), 3);
+  EXPECT_EQ(m.world->rank_of_node(2), -1);  // the gateway: routing only
+  EXPECT_THROW(m.world->comm(9), util::PanicError);
+}
+
+TEST(MpiComm, SendRecvAcrossClusters) {
+  MpiRig m;
+  util::Rng rng(1);
+  const auto payload = rng.bytes(50'000);
+  m.run_all([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(2, 42, payload);  // Myrinet -> SCI, through the gateway
+    } else if (comm.rank() == 2) {
+      std::vector<std::byte> buffer(50'000);
+      const Status st = comm.recv(0, 42, buffer);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 42);
+      EXPECT_EQ(st.bytes, 50'000u);
+      EXPECT_EQ(buffer, payload);
+    }
+  });
+}
+
+TEST(MpiComm, TagMatchingHoldsOutOfOrder) {
+  MpiRig m;
+  m.run_all([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::uint32_t first = 111;
+      const std::uint32_t second = 222;
+      comm.send(1, /*tag=*/1, util::object_bytes(first));
+      comm.send(1, /*tag=*/2, util::object_bytes(second));
+    } else if (comm.rank() == 1) {
+      std::uint32_t v2 = 0;
+      std::uint32_t v1 = 0;
+      comm.recv(0, 2, util::object_bytes_mut(v2));  // tag 2 first
+      comm.recv(0, 1, util::object_bytes_mut(v1));
+      EXPECT_EQ(v2, 222u);
+      EXPECT_EQ(v1, 111u);
+    }
+  });
+}
+
+TEST(MpiComm, AnySourceAnyTag) {
+  MpiRig m;
+  m.run_all([&](Communicator& comm) {
+    if (comm.rank() == 1 || comm.rank() == 2 || comm.rank() == 3) {
+      const auto v = static_cast<std::uint32_t>(comm.rank());
+      comm.send(0, comm.rank() * 10, util::object_bytes(v));
+    } else if (comm.rank() == 0) {
+      int seen = 0;
+      for (int i = 0; i < 3; ++i) {
+        std::uint32_t v = 0;
+        const Status st = comm.recv(kAnySource, kAnyTag,
+                                    util::object_bytes_mut(v));
+        EXPECT_EQ(st.tag, st.source * 10);
+        EXPECT_EQ(v, static_cast<std::uint32_t>(st.source));
+        ++seen;
+      }
+      EXPECT_EQ(seen, 3);
+    }
+  });
+}
+
+TEST(MpiComm, SelfSendLoopback) {
+  MpiRig m;
+  m.run_all([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      const std::uint64_t v = 77;
+      comm.send(0, 5, util::object_bytes(v));
+      std::uint64_t got = 0;
+      comm.recv(0, 5, util::object_bytes_mut(got));
+      EXPECT_EQ(got, 77u);
+    }
+  });
+}
+
+TEST(MpiComm, ProbeReportsSizeWithoutConsuming) {
+  MpiRig m;
+  m.run_all([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> data(1234, std::byte{9});
+      comm.send(3, 7, data);
+    } else if (comm.rank() == 3) {
+      const Status st = comm.probe(0, 7);
+      EXPECT_EQ(st.bytes, 1234u);
+      std::vector<std::byte> buffer(st.bytes);
+      comm.recv(st.source, st.tag, buffer);
+      EXPECT_EQ(buffer[0], std::byte{9});
+    }
+  });
+}
+
+TEST(MpiComm, IprobeNonBlocking) {
+  MpiRig m;
+  m.run_all([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_FALSE(comm.iprobe(kAnySource, kAnyTag).has_value());
+      // Let rank 1's message arrive, then iprobe must see it.
+      const std::uint8_t v = 1;
+      comm.send(1, 0, util::object_bytes(v));  // handshake
+      std::uint8_t ack = 0;
+      comm.recv(1, 1, util::object_bytes_mut(ack));
+      EXPECT_TRUE(comm.iprobe(1, 2).has_value());
+      std::uint8_t payload = 0;
+      comm.recv(1, 2, util::object_bytes_mut(payload));
+      EXPECT_EQ(payload, 99);
+    } else if (comm.rank() == 1) {
+      std::uint8_t v = 0;
+      comm.recv(0, 0, util::object_bytes_mut(v));
+      const std::uint8_t payload = 99;
+      comm.send(0, 2, util::object_bytes(payload));  // the probed message
+      const std::uint8_t ack = 1;
+      comm.send(0, 1, util::object_bytes(ack));
+    }
+  });
+}
+
+TEST(MpiComm, BarrierSynchronizes) {
+  MpiRig m;
+  std::vector<sim::Time> after(4);
+  sim::Time slowest_before = 0;
+  m.run_all([&](Communicator& comm) {
+    // Rank 2 is late; nobody may pass the barrier before it arrives.
+    if (comm.rank() == 2) {
+      m.rig.engine.sleep_for(sim::milliseconds(3));
+      slowest_before = m.rig.engine.now();
+    }
+    comm.barrier();
+    after[static_cast<std::size_t>(comm.rank())] = m.rig.engine.now();
+  });
+  for (const sim::Time t : after) {
+    EXPECT_GE(t, slowest_before);
+  }
+}
+
+TEST(MpiComm, BcastFromEveryRoot) {
+  for (int root = 0; root < 4; ++root) {
+    MpiRig m;
+    util::Rng rng(static_cast<std::uint64_t>(root) + 10);
+    const auto data = rng.bytes(20'000);
+    m.run_all([&, root](Communicator& comm) {
+      std::vector<std::byte> buffer(20'000);
+      if (comm.rank() == root) {
+        std::copy(data.begin(), data.end(), buffer.begin());
+      }
+      comm.bcast(root, buffer);
+      EXPECT_EQ(buffer, data) << "rank " << comm.rank();
+    });
+  }
+}
+
+TEST(MpiComm, ReduceSumDoubles) {
+  MpiRig m;
+  m.run_all([&](Communicator& comm) {
+    std::vector<double> mine(100);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      mine[i] = static_cast<double>(comm.rank() + 1) *
+                static_cast<double>(i);
+    }
+    std::vector<double> result(100, 0.0);
+    comm.reduce(0,
+                util::ByteSpan(reinterpret_cast<const std::byte*>(
+                                   mine.data()),
+                               mine.size() * sizeof(double)),
+                util::MutByteSpan(reinterpret_cast<std::byte*>(
+                                      result.data()),
+                                  result.size() * sizeof(double)),
+                ReduceOp::SumDouble);
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < result.size(); ++i) {
+        // sum over ranks of (r+1)*i = 10*i
+        EXPECT_DOUBLE_EQ(result[i], 10.0 * static_cast<double>(i));
+      }
+    }
+  });
+}
+
+TEST(MpiComm, AllreduceMaxAndMin) {
+  MpiRig m;
+  m.run_all([&](Communicator& comm) {
+    const double mine = static_cast<double>(comm.rank() * comm.rank());
+    double max_out = 0;
+    comm.allreduce(util::object_bytes(mine), util::object_bytes_mut(max_out),
+                   ReduceOp::MaxDouble);
+    EXPECT_DOUBLE_EQ(max_out, 9.0);
+    double min_out = 0;
+    comm.allreduce(util::object_bytes(mine), util::object_bytes_mut(min_out),
+                   ReduceOp::MinDouble);
+    EXPECT_DOUBLE_EQ(min_out, 0.0);
+  });
+}
+
+TEST(MpiComm, AllreduceSumU64) {
+  MpiRig m;
+  m.run_all([&](Communicator& comm) {
+    const std::uint64_t mine = 1ULL << comm.rank();
+    std::uint64_t out = 0;
+    comm.allreduce(util::object_bytes(mine), util::object_bytes_mut(out),
+                   ReduceOp::SumU64);
+    EXPECT_EQ(out, 0b1111u);
+  });
+}
+
+TEST(MpiComm, GatherCollectsInRankOrder) {
+  MpiRig m;
+  m.run_all([&](Communicator& comm) {
+    const std::uint32_t mine = static_cast<std::uint32_t>(comm.rank() + 100);
+    std::vector<std::uint32_t> all(4, 0);
+    comm.gather(1, util::object_bytes(mine),
+                util::MutByteSpan(reinterpret_cast<std::byte*>(all.data()),
+                                  all.size() * sizeof(std::uint32_t)));
+    if (comm.rank() == 1) {
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(all[static_cast<std::size_t>(r)],
+                  static_cast<std::uint32_t>(r + 100));
+      }
+    }
+  });
+}
+
+TEST(MpiComm, AlltoallTransposesBlocks) {
+  MpiRig m;
+  m.run_all([&](Communicator& comm) {
+    // Block (i) sent by rank r carries value r*10 + i.
+    std::vector<std::uint32_t> in(4), out(4, 0);
+    for (int i = 0; i < 4; ++i) {
+      in[static_cast<std::size_t>(i)] =
+          static_cast<std::uint32_t>(comm.rank() * 10 + i);
+    }
+    comm.alltoall(
+        util::ByteSpan(reinterpret_cast<const std::byte*>(in.data()),
+                       in.size() * sizeof(std::uint32_t)),
+        util::MutByteSpan(reinterpret_cast<std::byte*>(out.data()),
+                          out.size() * sizeof(std::uint32_t)),
+        sizeof(std::uint32_t));
+    for (int src = 0; src < 4; ++src) {
+      EXPECT_EQ(out[static_cast<std::size_t>(src)],
+                static_cast<std::uint32_t>(src * 10 + comm.rank()));
+    }
+  });
+}
+
+TEST(MpiComm, LargePayloadAcrossGateway) {
+  MpiRig m;
+  util::Rng rng(8);
+  const auto payload = rng.bytes(2 * 1024 * 1024);
+  m.run_all([&](Communicator& comm) {
+    if (comm.rank() == 1) {
+      comm.send(3, 0, payload);
+    } else if (comm.rank() == 3) {
+      std::vector<std::byte> buffer(payload.size());
+      comm.recv(1, 0, buffer);
+      EXPECT_EQ(util::fnv1a(buffer), util::fnv1a(payload));
+    }
+  });
+}
+
+// Property: a random sequence of collectives gives identical results on
+// every rank, for several seeds.
+class MpiCollectiveProperty : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MpiCollectiveProperty,
+                         ::testing::Range(0, 3));
+
+TEST_P(MpiCollectiveProperty, MixedCollectiveSequence) {
+  MpiRig m;
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  std::vector<double> finals(4, -1.0);
+  m.run_all([&, seed](Communicator& comm) {
+    util::Rng rng(seed + 1000);  // same stream on every rank
+    double value = static_cast<double>(comm.rank() + 1);
+    for (int step = 0; step < 10; ++step) {
+      const auto pick = rng.next_below(3);
+      if (pick == 0) {
+        double out = 0;
+        comm.allreduce(util::object_bytes(value),
+                       util::object_bytes_mut(out), ReduceOp::SumDouble);
+        value = out / 4.0 + static_cast<double>(comm.rank());
+      } else if (pick == 1) {
+        const int root = static_cast<int>(rng.next_below(4));
+        double buf = value;
+        comm.bcast(root, util::object_bytes_mut(buf));
+        value = buf;
+      } else {
+        comm.barrier();
+      }
+    }
+    double out = 0;
+    comm.allreduce(util::object_bytes(value), util::object_bytes_mut(out),
+                   ReduceOp::SumDouble);
+    finals[static_cast<std::size_t>(comm.rank())] = out;
+  });
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_EQ(finals[static_cast<std::size_t>(r)], finals[0]);
+  }
+}
+
+}  // namespace
+}  // namespace mad::mpi

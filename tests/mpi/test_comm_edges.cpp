@@ -1,0 +1,182 @@
+// MPI layer edge cases and misuse handling.
+#include <gtest/gtest.h>
+
+#include "mpi/comm.hpp"
+#include "support/coc_rig.hpp"
+#include "util/rng.hpp"
+
+namespace mad::mpi {
+namespace {
+
+using testsupport::PaperRig;
+
+struct EdgeRig {
+  EdgeRig() : rig({}, 1, 1) {
+    world.emplace(*rig.vc, std::vector<NodeRank>{0, 2});  // 2 ranks
+  }
+  PaperRig rig;
+  std::optional<World> world;
+};
+
+TEST(MpiEdges, WorldRejectsNonMembers) {
+  PaperRig rig;
+  EXPECT_THROW(World(*rig.vc, std::vector<NodeRank>{0, 99}),
+               util::PanicError);
+}
+
+TEST(MpiEdges, SendToBadRankRejected) {
+  EdgeRig m;
+  bool caught = false;
+  m.rig.engine.spawn("r0", [&] {
+    const std::byte b{1};
+    try {
+      m.world->comm(0).send(5, 0, util::ByteSpan(&b, 1));
+    } catch (const util::PanicError&) {
+      caught = true;
+    }
+  });
+  m.rig.engine.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(MpiEdges, NegativeUserTagRejected) {
+  EdgeRig m;
+  bool caught = false;
+  m.rig.engine.spawn("r0", [&] {
+    const std::byte b{1};
+    try {
+      m.world->comm(0).send(1, -5, util::ByteSpan(&b, 1));
+    } catch (const util::PanicError&) {
+      caught = true;
+    }
+  });
+  m.rig.engine.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(MpiEdges, RecvBufferTooSmallRejected) {
+  EdgeRig m;
+  bool caught = false;
+  m.rig.engine.spawn("r0", [&] {
+    std::vector<std::byte> big(100, std::byte{1});
+    m.world->comm(0).send(1, 0, big);
+  });
+  m.rig.engine.spawn("r1", [&] {
+    std::vector<std::byte> tiny(10);
+    try {
+      m.world->comm(1).recv(0, 0, tiny);
+    } catch (const util::PanicError&) {
+      caught = true;
+    }
+  });
+  m.rig.engine.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(MpiEdges, ZeroByteMessages) {
+  EdgeRig m;
+  int got = 0;
+  m.rig.engine.spawn("r0", [&] {
+    m.world->comm(0).send(1, 3, {});
+  });
+  m.rig.engine.spawn("r1", [&] {
+    const Status st = m.world->comm(1).recv(0, 3, {});
+    EXPECT_EQ(st.bytes, 0u);
+    EXPECT_EQ(st.tag, 3);
+    ++got;
+  });
+  m.rig.engine.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(MpiEdges, OversizedBufferReceivesPartialFill) {
+  EdgeRig m;
+  m.rig.engine.spawn("r0", [&] {
+    std::vector<std::byte> data(64, std::byte{7});
+    m.world->comm(0).send(1, 0, data);
+  });
+  m.rig.engine.spawn("r1", [&] {
+    std::vector<std::byte> buffer(1024, std::byte{0});
+    const Status st = m.world->comm(1).recv(0, 0, buffer);
+    EXPECT_EQ(st.bytes, 64u);
+    EXPECT_EQ(buffer[0], std::byte{7});
+    EXPECT_EQ(buffer[64], std::byte{0});  // untouched
+  });
+  m.rig.engine.run();
+}
+
+TEST(MpiEdges, ManySmallMessagesBothDirections) {
+  EdgeRig m;
+  constexpr int kCount = 50;
+  int verified = 0;
+  for (int r = 0; r < 2; ++r) {
+    m.rig.engine.spawn("rank" + std::to_string(r), [&, r] {
+      Communicator& comm = m.world->comm(r);
+      const int peer = 1 - r;
+      for (std::uint32_t i = 0; i < kCount; ++i) {
+        const std::uint32_t v = i * 2 + static_cast<std::uint32_t>(r);
+        comm.send(peer, static_cast<int>(i), util::object_bytes(v));
+      }
+      for (std::uint32_t i = 0; i < kCount; ++i) {
+        std::uint32_t v = 0;
+        comm.recv(peer, static_cast<int>(i), util::object_bytes_mut(v));
+        EXPECT_EQ(v, i * 2 + static_cast<std::uint32_t>(peer));
+        ++verified;
+      }
+    });
+  }
+  m.rig.engine.run();
+  EXPECT_EQ(verified, 2 * kCount);
+}
+
+TEST(MpiEdges, CollectivesOnTwoRanks) {
+  EdgeRig m;
+  for (int r = 0; r < 2; ++r) {
+    m.rig.engine.spawn("rank" + std::to_string(r), [&, r] {
+      Communicator& comm = m.world->comm(r);
+      comm.barrier();
+      double v = r == 0 ? 42.0 : 0.0;
+      comm.bcast(0, util::object_bytes_mut(v));
+      EXPECT_DOUBLE_EQ(v, 42.0);
+      const double mine = static_cast<double>(r + 1);
+      double sum = 0;
+      comm.allreduce(util::object_bytes(mine), util::object_bytes_mut(sum),
+                     ReduceOp::SumDouble);
+      EXPECT_DOUBLE_EQ(sum, 3.0);
+    });
+  }
+  m.rig.engine.run();
+}
+
+TEST(MpiEdges, ReduceRejectsSizeMismatch) {
+  EdgeRig m;
+  bool caught = false;
+  m.rig.engine.spawn("r0", [&] {
+    std::vector<std::byte> in(16), out(8);
+    try {
+      m.world->comm(0).reduce(0, in, out, ReduceOp::SumU64);
+    } catch (const util::PanicError&) {
+      caught = true;
+    }
+  });
+  m.rig.engine.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(MpiEdges, ReduceRejectsNonWholeElements) {
+  EdgeRig m;
+  bool caught = false;
+  m.rig.engine.spawn("r0", [&] {
+    std::vector<std::byte> in(7), out(7);  // not a whole double/u64
+    try {
+      m.world->comm(0).reduce(0, in, out, ReduceOp::SumDouble);
+    } catch (const util::PanicError&) {
+      caught = true;
+    }
+  });
+  m.rig.engine.run();
+  EXPECT_TRUE(caught);
+}
+
+}  // namespace
+}  // namespace mad::mpi

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "net/params.hpp"
+#include "util/panic.hpp"
+
+namespace mad::net {
+namespace {
+
+TEST(Models, PresetLookupByName) {
+  EXPECT_EQ(nic_model_by_name("BIP/Myrinet").protocol, "BIP/Myrinet");
+  EXPECT_EQ(nic_model_by_name("SISCI/SCI").protocol, "SISCI/SCI");
+  EXPECT_EQ(nic_model_by_name("TCP/FEth").protocol, "TCP/FEth");
+  EXPECT_EQ(nic_model_by_name("SBP").protocol, "SBP");
+  EXPECT_THROW(nic_model_by_name("Quadrics"), util::PanicError);
+}
+
+TEST(Models, MyrinetIsDynamicDma) {
+  const auto m = bip_myrinet();
+  EXPECT_EQ(m.tx_op, PciOp::Dma);
+  EXPECT_EQ(m.rx_op, PciOp::Dma);
+  EXPECT_FALSE(m.tx_static());
+  EXPECT_FALSE(m.rx_static());
+}
+
+TEST(Models, SciSendsViaPio) {
+  const auto m = sisci_sci();
+  EXPECT_EQ(m.tx_op, PciOp::Pio);
+  EXPECT_EQ(m.rx_op, PciOp::Dma);
+  // SCI's selling point is latency: it must be well below Myrinet's.
+  EXPECT_LT(m.wire_latency, bip_myrinet().wire_latency / 2);
+}
+
+TEST(Models, StaticProtocolsDeclareBuffers) {
+  for (const auto& m : {tcp_fast_ethernet(), sbp()}) {
+    EXPECT_TRUE(m.tx_static());
+    EXPECT_TRUE(m.rx_static());
+    EXPECT_GT(m.static_buffer_count, 0u);
+    EXPECT_GE(m.static_buffer_size, m.max_packet);
+  }
+}
+
+TEST(Models, BusParamsMatchPaperCeilings) {
+  const auto p = pci_33mhz_32bit();
+  // One-way practical ceiling ~66 MB/s, full duplex below 132 MB/s raw.
+  EXPECT_NEAR(p.dma_flow_bandwidth, 66e6, 1e6);
+  EXPECT_LT(p.total_bandwidth, 132e6);
+  EXPECT_GT(p.total_bandwidth, p.dma_flow_bandwidth);
+  // §3.4.1: PIO roughly halved while DMA is active.
+  EXPECT_GT(p.pio_dma_penalty, 0.3);
+  EXPECT_LE(p.pio_dma_penalty, 0.5);
+}
+
+}  // namespace
+}  // namespace mad::net

@@ -1,0 +1,397 @@
+#include "net/nic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/fabric.hpp"
+#include "util/rng.hpp"
+
+namespace mad::net {
+namespace {
+
+/// Two hosts joined by one network of the given model.
+struct TwoNodeRig {
+  explicit TwoNodeRig(sim::Engine& eng, NicModelParams model)
+      : fabric(eng),
+        a(fabric.add_host("nodeA")),
+        b(fabric.add_host("nodeB")),
+        net(fabric.add_network("net0", std::move(model))),
+        nic_a(a.add_nic(net)),
+        nic_b(b.add_nic(net)) {}
+
+  Fabric fabric;
+  Host& a;
+  Host& b;
+  Network& net;
+  Nic& nic_a;
+  Nic& nic_b;
+};
+
+TEST(Nic, PayloadIntegritySingleBlock) {
+  sim::Engine eng;
+  TwoNodeRig rig(eng, bip_myrinet());
+  util::Rng rng(1);
+  const auto payload = rng.bytes(4096);
+  std::vector<std::byte> received(4096);
+  eng.spawn("sender", [&] { rig.nic_a.send(rig.nic_b.index(), 7, payload); });
+  eng.spawn("receiver", [&] { rig.nic_b.recv_into(7, received); });
+  eng.run();
+  EXPECT_EQ(received, payload);
+}
+
+TEST(Nic, GatherScatterIntegrity) {
+  sim::Engine eng;
+  TwoNodeRig rig(eng, bip_myrinet());
+  util::Rng rng(2);
+  const auto block1 = rng.bytes(100);
+  const auto block2 = rng.bytes(1000);
+  const auto block3 = rng.bytes(1);
+  std::vector<std::byte> out1(100), out2(1000), out3(1);
+  eng.spawn("sender", [&] {
+    rig.nic_a.send(rig.nic_b.index(), 7,
+                   util::ConstIovec{block1, block2, block3});
+  });
+  eng.spawn("receiver", [&] {
+    rig.nic_b.recv_into(
+        7, util::MutIovec{util::MutByteSpan(out1), util::MutByteSpan(out2),
+                          util::MutByteSpan(out3)});
+  });
+  eng.run();
+  EXPECT_EQ(out1, block1);
+  EXPECT_EQ(out2, block2);
+  EXPECT_EQ(out3, block3);
+}
+
+TEST(Nic, InOrderDeliveryPerTag) {
+  sim::Engine eng;
+  TwoNodeRig rig(eng, sisci_sci());
+  std::vector<int> order;
+  eng.spawn("sender", [&] {
+    for (int i = 0; i < 10; ++i) {
+      const auto b = static_cast<std::byte>(i);
+      rig.nic_a.send(rig.nic_b.index(), 3, util::ByteSpan(&b, 1));
+    }
+  });
+  eng.spawn("receiver", [&] {
+    for (int i = 0; i < 10; ++i) {
+      std::byte b;
+      rig.nic_b.recv_into(3, util::MutByteSpan(&b, 1));
+      order.push_back(static_cast<int>(b));
+    }
+  });
+  eng.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Nic, TagsAreIndependent) {
+  sim::Engine eng;
+  TwoNodeRig rig(eng, bip_myrinet());
+  std::byte got_b{0};
+  eng.spawn("sender", [&] {
+    const std::byte on_tag9{9};
+    rig.nic_a.send(rig.nic_b.index(), 9, util::ByteSpan(&on_tag9, 1));
+    const std::byte on_tag4{4};
+    rig.nic_a.send(rig.nic_b.index(), 4, util::ByteSpan(&on_tag4, 1));
+  });
+  eng.spawn("receiver", [&] {
+    // Receive tag 4 first even though tag 9 was sent first.
+    rig.nic_b.recv_into(4, util::MutByteSpan(&got_b, 1));
+    EXPECT_EQ(static_cast<int>(got_b), 4);
+    rig.nic_b.recv_into(9, util::MutByteSpan(&got_b, 1));
+    EXPECT_EQ(static_cast<int>(got_b), 9);
+  });
+  eng.run();
+}
+
+TEST(Nic, PeekReportsSizeAndSourceWithoutConsuming) {
+  sim::Engine eng;
+  TwoNodeRig rig(eng, bip_myrinet());
+  eng.spawn("sender", [&] {
+    std::vector<std::byte> data(321, std::byte{5});
+    rig.nic_a.send(rig.nic_b.index(), 1, util::ByteSpan(data));
+  });
+  eng.spawn("receiver", [&] {
+    const PacketInfo info = rig.nic_b.peek(1);
+    EXPECT_EQ(info.size, 321u);
+    EXPECT_EQ(info.src_index, rig.nic_a.index());
+    EXPECT_EQ(rig.nic_b.queued(1), 1u);
+    std::vector<std::byte> out(info.size);
+    rig.nic_b.recv_into(1, util::MutByteSpan(out));
+    EXPECT_EQ(rig.nic_b.queued(1), 0u);
+  });
+  eng.run();
+}
+
+TEST(Nic, TryPeekNonBlocking) {
+  sim::Engine eng;
+  TwoNodeRig rig(eng, bip_myrinet());
+  eng.spawn("receiver", [&] {
+    EXPECT_FALSE(rig.nic_b.try_peek(1).has_value());
+  });
+  eng.run();
+}
+
+TEST(Nic, MyrinetSixteenKbOneWayNearPaperAnchor) {
+  // Calibration anchor (§3.2.2): ≈270 µs one-way for 16 KB.
+  sim::Engine eng;
+  TwoNodeRig rig(eng, bip_myrinet());
+  std::vector<std::byte> data(16 * 1024, std::byte{1});
+  std::vector<std::byte> out(16 * 1024);
+  sim::Time done = 0;
+  eng.spawn("sender", [&] {
+    rig.nic_a.send(rig.nic_b.index(), 1, util::ByteSpan(data));
+  });
+  eng.spawn("receiver", [&] {
+    rig.nic_b.recv_into(1, util::MutByteSpan(out));
+    done = eng.now();
+  });
+  eng.run();
+  const double us = sim::to_microseconds(done);
+  EXPECT_GT(us, 240.0);
+  EXPECT_LT(us, 300.0);
+}
+
+TEST(Nic, SciSixteenKbOneWayNearPaperAnchor) {
+  sim::Engine eng;
+  TwoNodeRig rig(eng, sisci_sci());
+  std::vector<std::byte> data(16 * 1024, std::byte{1});
+  std::vector<std::byte> out(16 * 1024);
+  sim::Time done = 0;
+  eng.spawn("sender", [&] {
+    rig.nic_a.send(rig.nic_b.index(), 1, util::ByteSpan(data));
+  });
+  eng.spawn("receiver", [&] {
+    rig.nic_b.recv_into(1, util::MutByteSpan(out));
+    done = eng.now();
+  });
+  eng.run();
+  const double us = sim::to_microseconds(done);
+  EXPECT_GT(us, 240.0);
+  EXPECT_LT(us, 300.0);
+}
+
+TEST(Nic, SciBeatsMyrinetForSmallMessages) {
+  auto one_way = [](NicModelParams model) {
+    sim::Engine eng;
+    TwoNodeRig rig(eng, std::move(model));
+    std::vector<std::byte> data(64, std::byte{1});
+    std::vector<std::byte> out(64);
+    sim::Time done = 0;
+    eng.spawn("s", [&] {
+      rig.nic_a.send(rig.nic_b.index(), 1, util::ByteSpan(data));
+    });
+    eng.spawn("r", [&] {
+      rig.nic_b.recv_into(1, util::MutByteSpan(out));
+      done = eng.now();
+    });
+    eng.run();
+    return done;
+  };
+  EXPECT_LT(one_way(sisci_sci()), one_way(bip_myrinet()));
+}
+
+TEST(Nic, MyrinetBeatsSciForLargeMessages) {
+  auto throughput_time = [](NicModelParams model) {
+    sim::Engine eng;
+    TwoNodeRig rig(eng, std::move(model));
+    const std::uint32_t chunk = 64 * 1024;
+    const int chunks = 16;  // 1 MB total, fragmented like a TM would
+    std::vector<std::byte> data(chunk, std::byte{1});
+    std::vector<std::byte> out(chunk);
+    sim::Time done = 0;
+    eng.spawn("s", [&] {
+      for (int i = 0; i < chunks; ++i) {
+        rig.nic_a.send(rig.nic_b.index(), 1, util::ByteSpan(data));
+      }
+    });
+    eng.spawn("r", [&] {
+      for (int i = 0; i < chunks; ++i) {
+        rig.nic_b.recv_into(1, util::MutByteSpan(out));
+      }
+      done = eng.now();
+    });
+    eng.run();
+    return done;
+  };
+  EXPECT_LT(throughput_time(bip_myrinet()), throughput_time(sisci_sci()));
+}
+
+TEST(Nic, PipelinedStreamReachesPciCeiling) {
+  // Back-to-back 64 KB packets must approach the one-way PCI ceiling
+  // (~66 MB/s), not half of it: tx and rx buses are distinct resources.
+  sim::Engine eng;
+  TwoNodeRig rig(eng, bip_myrinet());
+  const int packets = 64;
+  const std::uint32_t size = 64 * 1024;
+  sim::Time done = 0;
+  eng.spawn("s", [&] {
+    std::vector<std::byte> data(size, std::byte{1});
+    for (int i = 0; i < packets; ++i) {
+      rig.nic_a.send(rig.nic_b.index(), 1, util::ByteSpan(data));
+    }
+  });
+  eng.spawn("r", [&] {
+    std::vector<std::byte> out(size);
+    for (int i = 0; i < packets; ++i) {
+      rig.nic_b.recv_into(1, util::MutByteSpan(out));
+    }
+    done = eng.now();
+  });
+  eng.run();
+  const double mbps =
+      sim::bandwidth_mbps(static_cast<std::uint64_t>(packets) * size, done);
+  EXPECT_GT(mbps, 55.0);
+  EXPECT_LT(mbps, 67.0);
+}
+
+TEST(Nic, TcpStreamLimitedByWire) {
+  sim::Engine eng;
+  TwoNodeRig rig(eng, tcp_fast_ethernet());
+  const int packets = 32;
+  const std::uint32_t size = 32 * 1024;
+  sim::Time done = 0;
+  eng.spawn("s", [&] {
+    std::vector<std::byte> data(size, std::byte{1});
+    for (int i = 0; i < packets; ++i) {
+      rig.nic_a.send(rig.nic_b.index(), 1, util::ByteSpan(data));
+    }
+  });
+  eng.spawn("r", [&] {
+    for (int i = 0; i < packets; ++i) {
+      auto buf = rig.nic_b.recv_static(1);
+      EXPECT_EQ(buf.used(), size);
+    }
+    done = eng.now();
+  });
+  eng.run();
+  const double mbps =
+      sim::bandwidth_mbps(static_cast<std::uint64_t>(packets) * size, done);
+  EXPECT_GT(mbps, 8.0);
+  EXPECT_LT(mbps, 12.0);
+}
+
+TEST(Nic, StaticPoolsOnlyOnStaticProtocols) {
+  sim::Engine eng;
+  TwoNodeRig myri(eng, bip_myrinet());
+  EXPECT_THROW(myri.nic_a.tx_pool(), util::PanicError);
+  EXPECT_THROW(myri.nic_a.rx_pool(), util::PanicError);
+  TwoNodeRig sbp_rig(eng, sbp());
+  EXPECT_NO_THROW(sbp_rig.nic_a.tx_pool());
+  EXPECT_NO_THROW(sbp_rig.nic_a.rx_pool());
+}
+
+TEST(Nic, RecvStaticRejectedOnDynamicProtocol) {
+  sim::Engine eng;
+  TwoNodeRig rig(eng, bip_myrinet());
+  bool threw = false;
+  eng.spawn("r", [&] {
+    try {
+      (void)rig.nic_b.recv_static(1);
+    } catch (const util::PanicError&) {
+      threw = true;
+    }
+  });
+  eng.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Nic, OversizedPacketRejected) {
+  sim::Engine eng;
+  TwoNodeRig rig(eng, sbp());  // max_packet = 32 KB
+  bool threw = false;
+  eng.spawn("s", [&] {
+    std::vector<std::byte> data(64 * 1024, std::byte{1});
+    try {
+      rig.nic_a.send(rig.nic_b.index(), 1, util::ByteSpan(data));
+    } catch (const util::PanicError&) {
+      threw = true;
+    }
+  });
+  eng.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Nic, RecvSizeMismatchRejected) {
+  sim::Engine eng;
+  TwoNodeRig rig(eng, bip_myrinet());
+  bool threw = false;
+  eng.spawn("s", [&] {
+    std::vector<std::byte> data(100, std::byte{1});
+    rig.nic_a.send(rig.nic_b.index(), 1, util::ByteSpan(data));
+  });
+  eng.spawn("r", [&] {
+    std::vector<std::byte> out(99);
+    try {
+      rig.nic_b.recv_into(1, util::MutByteSpan(out));
+    } catch (const util::PanicError&) {
+      threw = true;
+    }
+  });
+  eng.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Nic, ThreeHostsCrossTraffic) {
+  sim::Engine eng;
+  Fabric fabric(eng);
+  Host& a = fabric.add_host("a");
+  Host& b = fabric.add_host("b");
+  Host& c = fabric.add_host("c");
+  Network& net = fabric.add_network("myri", bip_myrinet());
+  Nic& na = a.add_nic(net);
+  Nic& nb = b.add_nic(net);
+  Nic& nc = c.add_nic(net);
+  int received_at_c = 0;
+  eng.spawn("a->c", [&] {
+    std::vector<std::byte> d(1024, std::byte{0xA});
+    for (int i = 0; i < 5; ++i) {
+      na.send(nc.index(), 1, util::ByteSpan(d));
+    }
+  });
+  eng.spawn("b->c", [&] {
+    std::vector<std::byte> d(1024, std::byte{0xB});
+    for (int i = 0; i < 5; ++i) {
+      nb.send(nc.index(), 1, util::ByteSpan(d));
+    }
+  });
+  eng.spawn("c", [&] {
+    for (int i = 0; i < 10; ++i) {
+      auto data = nc.recv_owned(1);
+      EXPECT_EQ(data.size(), 1024u);
+      ++received_at_c;
+    }
+  });
+  eng.run();
+  EXPECT_EQ(received_at_c, 10);
+}
+
+TEST(Nic, GatewayHostCanBridgeTwoNetworks) {
+  sim::Engine eng;
+  Fabric fabric(eng);
+  Host& left = fabric.add_host("left");
+  Host& gw = fabric.add_host("gw");
+  Host& right = fabric.add_host("right");
+  Network& myri = fabric.add_network("myri", bip_myrinet());
+  Network& sci = fabric.add_network("sci", sisci_sci());
+  Nic& l_myri = left.add_nic(myri);
+  Nic& g_myri = gw.add_nic(myri);
+  Nic& g_sci = gw.add_nic(sci);
+  Nic& r_sci = right.add_nic(sci);
+
+  util::Rng rng(3);
+  const auto payload = rng.bytes(8 * 1024);
+  std::vector<std::byte> out(8 * 1024);
+  eng.spawn("left", [&] { l_myri.send(g_myri.index(), 1, payload); });
+  eng.spawn("gw", [&] {
+    std::vector<std::byte> hop(8 * 1024);
+    g_myri.recv_into(1, util::MutByteSpan(hop));
+    g_sci.send(r_sci.index(), 1, util::ByteSpan(hop));
+  });
+  eng.spawn("right", [&] { r_sci.recv_into(1, util::MutByteSpan(out)); });
+  eng.run();
+  EXPECT_EQ(out, payload);
+}
+
+}  // namespace
+}  // namespace mad::net

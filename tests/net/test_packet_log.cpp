@@ -1,0 +1,158 @@
+#include "net/packet_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fwd/virtual_channel.hpp"
+#include "net/fabric.hpp"
+
+namespace mad::net {
+namespace {
+
+struct LogRig {
+  LogRig() : fabric(engine), net(fabric.add_network("myri", bip_myrinet())) {
+    na = &fabric.add_host("a").add_nic(net);
+    nb = &fabric.add_host("b").add_nic(net);
+  }
+  sim::Engine engine;
+  Fabric fabric;
+  Network& net;
+  Nic* na = nullptr;
+  Nic* nb = nullptr;
+};
+
+TEST(PacketLog, DisabledByDefault) {
+  LogRig rig;
+  rig.engine.spawn("s", [&] {
+    std::vector<std::byte> d(64, std::byte{1});
+    rig.na->send(rig.nb->index(), 1, util::ByteSpan(d));
+  });
+  rig.engine.spawn("r", [&] {
+    std::vector<std::byte> out(64);
+    rig.nb->recv_into(1, util::MutByteSpan(out));
+  });
+  rig.engine.run();
+  EXPECT_TRUE(rig.fabric.packet_log().records().empty());
+}
+
+TEST(PacketLog, RecordsEverySend) {
+  LogRig rig;
+  rig.fabric.packet_log().enable();
+  rig.engine.spawn("s", [&] {
+    std::vector<std::byte> d(100, std::byte{1});
+    for (int i = 0; i < 3; ++i) {
+      rig.na->send(rig.nb->index(), 7, util::ByteSpan(d));
+    }
+  });
+  rig.engine.spawn("r", [&] {
+    std::vector<std::byte> out(100);
+    for (int i = 0; i < 3; ++i) {
+      rig.nb->recv_into(7, util::MutByteSpan(out));
+    }
+  });
+  rig.engine.run();
+  const auto& records = rig.fabric.packet_log().records();
+  ASSERT_EQ(records.size(), 3u);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.network, "myri");
+    EXPECT_EQ(r.src_index, rig.na->index());
+    EXPECT_EQ(r.dst_index, rig.nb->index());
+    EXPECT_EQ(r.tag, 7u);
+    EXPECT_EQ(r.size, 100u);
+  }
+  // Timestamps are monotone.
+  EXPECT_LE(records[0].time, records[1].time);
+  EXPECT_LE(records[1].time, records[2].time);
+  EXPECT_EQ(rig.fabric.packet_log().total_bytes(), 300u);
+}
+
+TEST(PacketLog, FiltersByNetwork) {
+  sim::Engine engine;
+  Fabric fabric(engine);
+  fabric.packet_log().enable();
+  Network& n0 = fabric.add_network("n0", bip_myrinet());
+  Network& n1 = fabric.add_network("n1", sisci_sci());
+  Host& a = fabric.add_host("a");
+  Nic& a0 = a.add_nic(n0);
+  Nic& a1 = a.add_nic(n1);
+  Host& b = fabric.add_host("b");
+  Nic& b0 = b.add_nic(n0);
+  Nic& b1 = b.add_nic(n1);
+  engine.spawn("s", [&] {
+    std::vector<std::byte> d(32, std::byte{1});
+    a0.send(b0.index(), 1, util::ByteSpan(d));
+    a1.send(b1.index(), 1, util::ByteSpan(d));
+  });
+  engine.spawn("r", [&] {
+    std::vector<std::byte> out(32);
+    b0.recv_into(1, util::MutByteSpan(out));
+    b1.recv_into(1, util::MutByteSpan(out));
+  });
+  engine.run();
+  EXPECT_EQ(fabric.packet_log().on_network(n0.id()).size(), 1u);
+  EXPECT_EQ(fabric.packet_log().on_network(n1.id()).size(), 1u);
+}
+
+TEST(PacketLog, DumpFormatsAndTruncates) {
+  PacketLog log;
+  log.enable();
+  for (int i = 0; i < 5; ++i) {
+    log.record({sim::microseconds(i), 0, "net", 0, 1,
+                static_cast<std::uint64_t>(i), 10});
+  }
+  const std::string dump = log.dump(3);
+  EXPECT_NE(dump.find("nic0 -> nic1"), std::string::npos);
+  EXPECT_NE(dump.find("2 more packets"), std::string::npos);
+  log.clear();
+  EXPECT_TRUE(log.records().empty());
+}
+
+TEST(PacketLog, GtmPaquetsVisibleOnTheWire) {
+  // Wire-level check of the GTM discipline: a 128 KB forwarded message
+  // with 32 KB paquets shows exactly 4 payload-sized packets per segment.
+  sim::Engine engine;
+  Fabric fabric(engine);
+  fabric.packet_log().enable();
+  Network& myri = fabric.add_network("myri", bip_myrinet());
+  Network& sci = fabric.add_network("sci", sisci_sci());
+  Host& m0 = fabric.add_host("m0");
+  m0.add_nic(myri);
+  Host& gw = fabric.add_host("gw");
+  gw.add_nic(myri);
+  gw.add_nic(sci);
+  Host& s0 = fabric.add_host("s0");
+  s0.add_nic(sci);
+  mad::Domain domain(fabric);
+  domain.add_node(m0);
+  domain.add_node(gw);
+  domain.add_node(s0);
+  mad::fwd::VcOptions options;
+  options.paquet_size = 32 * 1024;
+  mad::fwd::VirtualChannel vc(domain, "vc", {&myri, &sci}, options);
+
+  engine.spawn("s", [&] {
+    std::vector<std::byte> data(128 * 1024, std::byte{1});
+    auto msg = vc.endpoint(0).begin_packing(2);
+    msg.pack(data);
+    msg.end_packing();
+  });
+  engine.spawn("r", [&] {
+    std::vector<std::byte> out(128 * 1024);
+    auto msg = vc.endpoint(2).begin_unpacking();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  engine.run();
+
+  int myri_paquets = 0;
+  int sci_paquets = 0;
+  for (const auto& r : fabric.packet_log().records()) {
+    if (r.size == 32 * 1024) {
+      (r.network_id == myri.id() ? myri_paquets : sci_paquets) += 1;
+    }
+  }
+  EXPECT_EQ(myri_paquets, 4);
+  EXPECT_EQ(sci_paquets, 4);
+}
+
+}  // namespace
+}  // namespace mad::net

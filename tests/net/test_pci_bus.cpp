@@ -1,0 +1,172 @@
+#include "net/pci_bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace mad::net {
+namespace {
+
+PciBusParams test_params() {
+  PciBusParams p;
+  p.total_bandwidth = 100e6;
+  p.dma_flow_bandwidth = 60e6;
+  p.pio_flow_bandwidth = 50e6;
+  p.pio_dma_penalty = 0.5;
+  return p;
+}
+
+TEST(PciBus, SingleDmaRunsAtFlowRate) {
+  sim::Engine eng;
+  PciBus bus(eng, test_params(), "pci");
+  eng.spawn("a", [&] {
+    const sim::Time d = bus.transfer(PciOp::Dma, 60'000'000);
+    // 60 MB at 60 MB/s = 1 s.
+    EXPECT_NEAR(sim::to_seconds(d), 1.0, 0.001);
+  });
+  eng.run();
+  EXPECT_EQ(bus.bytes_transferred(), 60'000'000u);
+}
+
+TEST(PciBus, SinglePioRunsAtPioRateWithoutPenalty) {
+  sim::Engine eng;
+  PciBus bus(eng, test_params(), "pci");
+  eng.spawn("a", [&] {
+    const sim::Time d = bus.transfer(PciOp::Pio, 50'000'000);
+    EXPECT_NEAR(sim::to_seconds(d), 1.0, 0.001);
+  });
+  eng.run();
+}
+
+TEST(PciBus, ZeroBytesIsFree) {
+  sim::Engine eng;
+  PciBus bus(eng, test_params(), "pci");
+  eng.spawn("a", [&] {
+    EXPECT_EQ(bus.transfer(PciOp::Dma, 0), 0);
+    EXPECT_EQ(eng.now(), 0);
+  });
+  eng.run();
+}
+
+TEST(PciBus, TwoDmaFlowsShareTotalBandwidth) {
+  sim::Engine eng;
+  PciBus bus(eng, test_params(), "pci");
+  sim::Time d1 = 0;
+  sim::Time d2 = 0;
+  // Two concurrent DMA flows demand 120 MB/s; the bus caps them at 100,
+  // i.e. 50 MB/s each.
+  eng.spawn("a", [&] { d1 = bus.transfer(PciOp::Dma, 50'000'000); });
+  eng.spawn("b", [&] { d2 = bus.transfer(PciOp::Dma, 50'000'000); });
+  eng.run();
+  EXPECT_NEAR(sim::to_seconds(d1), 1.0, 0.01);
+  EXPECT_NEAR(sim::to_seconds(d2), 1.0, 0.01);
+}
+
+TEST(PciBus, PioHalvedWhileDmaActive) {
+  // The §3.4.1 phenomenon: a PIO send is slowed ×2 while a DMA receive is
+  // in flight, and recovers afterwards.
+  sim::Engine eng;
+  PciBus bus(eng, test_params(), "pci");
+  sim::Time pio_duration = 0;
+  eng.spawn("dma", [&] {
+    bus.transfer(PciOp::Dma, 60'000'000);  // 1 s at 60 MB/s (DMA priority)
+  });
+  eng.spawn("pio", [&] {
+    pio_duration = bus.transfer(PciOp::Pio, 50'000'000);
+  });
+  eng.run();
+  // During the 1 s DMA the PIO runs at 25 MB/s (50 × 0.5) → 25 MB done.
+  // The remaining 25 MB then run at the full 50 MB/s → 0.5 s more.
+  EXPECT_NEAR(sim::to_seconds(pio_duration), 1.5, 0.01);
+}
+
+TEST(PciBus, DmaUnaffectedByConcurrentPio) {
+  // DMA has priority: 60 (DMA) + 25 (penalized PIO) = 85 < 100 total, so
+  // the DMA flow runs at its full rate.
+  sim::Engine eng;
+  PciBus bus(eng, test_params(), "pci");
+  sim::Time dma_duration = 0;
+  eng.spawn("dma", [&] {
+    dma_duration = bus.transfer(PciOp::Dma, 30'000'000);
+  });
+  eng.spawn("pio", [&] { bus.transfer(PciOp::Pio, 50'000'000); });
+  eng.run();
+  EXPECT_NEAR(sim::to_seconds(dma_duration), 0.5, 0.01);
+}
+
+TEST(PciBus, PioNeverFullyStarved) {
+  // Two saturating DMA flows leave PIO only its 5% floor, but it must still
+  // finish (no starvation assert, finite time).
+  sim::Engine eng;
+  PciBus bus(eng, test_params(), "pci");
+  sim::Time pio_duration = 0;
+  eng.spawn("dma1", [&] { bus.transfer(PciOp::Dma, 100'000'000); });
+  eng.spawn("dma2", [&] { bus.transfer(PciOp::Dma, 100'000'000); });
+  eng.spawn("pio", [&] { pio_duration = bus.transfer(PciOp::Pio, 1'000'000); });
+  eng.run();
+  EXPECT_GT(pio_duration, 0);
+}
+
+TEST(PciBus, LateJoinerSlowsExistingFlow) {
+  sim::Engine eng;
+  PciBus bus(eng, test_params(), "pci");
+  sim::Time d1 = 0;
+  eng.spawn("first", [&] { d1 = bus.transfer(PciOp::Dma, 60'000'000); });
+  eng.spawn("second", [&] {
+    eng.sleep_for(sim::milliseconds(500));
+    bus.transfer(PciOp::Dma, 60'000'000);
+  });
+  eng.run();
+  // First flow: 0.5 s alone at 60 MB/s (30 MB), then shares 100 MB/s
+  // (50 MB/s each) for the remaining 30 MB → 0.6 s more. Total 1.1 s.
+  EXPECT_NEAR(sim::to_seconds(d1), 1.1, 0.01);
+}
+
+TEST(PciBus, ActiveFlowCountsVisible) {
+  sim::Engine eng;
+  PciBus bus(eng, test_params(), "pci");
+  eng.spawn("dma", [&] { bus.transfer(PciOp::Dma, 10'000'000); });
+  eng.spawn("pio", [&] { bus.transfer(PciOp::Pio, 10'000'000); });
+  eng.spawn("observer", [&] {
+    eng.sleep_for(sim::milliseconds(10));
+    EXPECT_EQ(bus.active_dma_flows(), 1);
+    EXPECT_EQ(bus.active_pio_flows(), 1);
+  });
+  eng.run();
+  EXPECT_EQ(bus.active_dma_flows(), 0);
+  EXPECT_EQ(bus.active_pio_flows(), 0);
+}
+
+TEST(PciBus, ManySmallTransfersAccumulate) {
+  sim::Engine eng;
+  PciBus bus(eng, test_params(), "pci");
+  eng.spawn("a", [&] {
+    for (int i = 0; i < 100; ++i) {
+      bus.transfer(PciOp::Dma, 4096);
+    }
+  });
+  eng.run();
+  EXPECT_EQ(bus.bytes_transferred(), 100u * 4096u);
+  // 400 KiB at 60 MB/s ≈ 6.83 ms.
+  EXPECT_NEAR(sim::to_seconds(eng.now()), 409600.0 / 60e6, 0.001);
+}
+
+TEST(PciBus, DeterministicUnderContention) {
+  auto run_once = [] {
+    sim::Engine eng;
+    PciBus bus(eng, test_params(), "pci");
+    for (int i = 0; i < 8; ++i) {
+      eng.spawn("f" + std::to_string(i), [&bus, &eng, i] {
+        eng.sleep_for(sim::microseconds(i * 37));
+        bus.transfer(i % 2 == 0 ? PciOp::Dma : PciOp::Pio,
+                     1'000'000 + static_cast<std::uint64_t>(i) * 100'000);
+      });
+    }
+    eng.run();
+    return eng.now();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace mad::net

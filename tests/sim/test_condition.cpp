@@ -1,0 +1,134 @@
+#include "sim/condition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mad::sim {
+namespace {
+
+TEST(Condition, NotifyOneWakesLongestWaiter) {
+  Engine eng;
+  Condition cond(eng, "c");
+  std::vector<int> woken;
+  eng.spawn("w1", [&] {
+    cond.wait();
+    woken.push_back(1);
+  });
+  eng.spawn("w2", [&] {
+    cond.wait();
+    woken.push_back(2);
+  });
+  eng.spawn("signaller", [&] {
+    Engine::current()->sleep_for(microseconds(1));
+    cond.notify_one();
+    Engine::current()->sleep_for(microseconds(1));
+    cond.notify_one();
+  });
+  eng.run();
+  EXPECT_EQ(woken, (std::vector<int>{1, 2}));
+}
+
+TEST(Condition, NotifyAllWakesEveryoneInOrder) {
+  Engine eng;
+  Condition cond(eng, "c");
+  std::vector<int> woken;
+  for (int i = 0; i < 4; ++i) {
+    eng.spawn("w" + std::to_string(i), [&cond, &woken, i] {
+      cond.wait();
+      woken.push_back(i);
+    });
+  }
+  eng.spawn("signaller", [&] {
+    Engine::current()->sleep_for(microseconds(1));
+    cond.notify_all();
+  });
+  eng.run();
+  EXPECT_EQ(woken, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Condition, NotifyWithNoWaitersIsNoop) {
+  Engine eng;
+  Condition cond(eng, "c");
+  eng.spawn("a", [&] {
+    cond.notify_one();
+    cond.notify_all();
+  });
+  eng.run();
+}
+
+TEST(Condition, WaitUntilTimesOut) {
+  Engine eng;
+  Condition cond(eng, "c");
+  WakeReason reason = WakeReason::Notified;
+  eng.spawn("w", [&] {
+    reason = cond.wait_until(microseconds(50));
+    EXPECT_EQ(Engine::current()->now(), microseconds(50));
+  });
+  eng.run();
+  EXPECT_EQ(reason, WakeReason::Timeout);
+}
+
+TEST(Condition, WaitUntilNotifiedBeforeDeadline) {
+  Engine eng;
+  Condition cond(eng, "c");
+  WakeReason reason = WakeReason::Timeout;
+  eng.spawn("w", [&] {
+    reason = cond.wait_until(microseconds(100));
+    EXPECT_EQ(Engine::current()->now(), microseconds(10));
+  });
+  eng.spawn("s", [&] {
+    Engine::current()->sleep_for(microseconds(10));
+    cond.notify_all();
+  });
+  eng.run();
+  EXPECT_EQ(reason, WakeReason::Notified);
+  EXPECT_EQ(eng.now(), microseconds(10));
+}
+
+TEST(Condition, WaitUntilPastDeadlineReturnsTimeoutImmediately) {
+  Engine eng;
+  Condition cond(eng, "c");
+  eng.spawn("w", [&] {
+    Engine::current()->sleep_for(microseconds(10));
+    EXPECT_EQ(cond.wait_until(microseconds(5)), WakeReason::Timeout);
+    EXPECT_EQ(Engine::current()->now(), microseconds(10));
+  });
+  eng.run();
+}
+
+TEST(Condition, TimedWaiterDoesNotStealLaterNotify) {
+  // w1 times out at t=10; a notify at t=20 must wake w2, not resurrect w1.
+  Engine eng;
+  Condition cond(eng, "c");
+  int w2_woken = 0;
+  eng.spawn("w1", [&] {
+    EXPECT_EQ(cond.wait_until(microseconds(10)), WakeReason::Timeout);
+  });
+  eng.spawn("w2", [&] {
+    cond.wait();
+    ++w2_woken;
+  });
+  eng.spawn("s", [&] {
+    Engine::current()->sleep_for(microseconds(20));
+    cond.notify_one();
+  });
+  eng.run();
+  EXPECT_EQ(w2_woken, 1);
+}
+
+TEST(Condition, WaiterCountTracksState) {
+  Engine eng;
+  Condition cond(eng, "c");
+  eng.spawn("w", [&] { cond.wait(); });
+  eng.spawn("checker", [&] {
+    Engine::current()->sleep_for(microseconds(1));
+    EXPECT_EQ(cond.waiter_count(), 1u);
+    cond.notify_all();
+    EXPECT_EQ(cond.waiter_count(), 0u);
+  });
+  eng.run();
+}
+
+}  // namespace
+}  // namespace mad::sim

@@ -1,0 +1,250 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/condition.hpp"
+#include "util/panic.hpp"
+
+namespace mad::sim {
+namespace {
+
+TEST(Engine, RunsSingleActorToCompletion) {
+  Engine eng;
+  bool ran = false;
+  eng.spawn("a", [&] { ran = true; });
+  eng.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(eng.now(), 0);
+}
+
+TEST(Engine, SleepAdvancesVirtualClock) {
+  Engine eng;
+  Time seen = -1;
+  eng.spawn("a", [&] {
+    Engine::current()->sleep_for(microseconds(150));
+    seen = Engine::current()->now();
+  });
+  eng.run();
+  EXPECT_EQ(seen, microseconds(150));
+  EXPECT_EQ(eng.now(), microseconds(150));
+}
+
+TEST(Engine, ZeroAndNegativePastSleepReturnImmediately) {
+  Engine eng;
+  eng.spawn("a", [&] {
+    Engine* e = Engine::current();
+    e->sleep_for(0);
+    EXPECT_EQ(e->now(), 0);
+    e->sleep_until(-5);  // already past
+    EXPECT_EQ(e->now(), 0);
+  });
+  eng.run();
+}
+
+TEST(Engine, ActorsInterleaveInTimestampOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.spawn("slow", [&] {
+    Engine::current()->sleep_for(microseconds(20));
+    order.push_back(2);
+  });
+  eng.spawn("fast", [&] {
+    Engine::current()->sleep_for(microseconds(10));
+    order.push_back(1);
+  });
+  eng.spawn("immediate", [&] { order.push_back(0); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Engine, SimultaneousTimersWakeInActorIdOrder) {
+  Engine eng;
+  std::vector<std::string> order;
+  for (const char* name : {"first", "second", "third"}) {
+    eng.spawn(name, [&order, name] {
+      Engine::current()->sleep_for(microseconds(5));
+      order.emplace_back(name);
+    });
+  }
+  eng.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "second", "third"}));
+}
+
+TEST(Engine, YieldRotatesThroughReadyActors) {
+  Engine eng;
+  std::vector<int> order;
+  eng.spawn("a", [&] {
+    order.push_back(1);
+    Engine::current()->yield();
+    order.push_back(3);
+  });
+  eng.spawn("b", [&] {
+    order.push_back(2);
+    Engine::current()->yield();
+    order.push_back(4);
+  });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine eng;
+    std::vector<std::pair<std::string, Time>> events;
+    for (int i = 0; i < 5; ++i) {
+      eng.spawn("actor" + std::to_string(i), [&events, i] {
+        Engine* e = Engine::current();
+        for (int k = 0; k < 10; ++k) {
+          e->sleep_for(microseconds(1 + (i * 7 + k) % 13));
+          events.emplace_back(e->current_actor_name(), e->now());
+        }
+      });
+    }
+    eng.run();
+    return std::make_pair(events, eng.context_switches());
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+TEST(Engine, SpawnFromRunningActor) {
+  Engine eng;
+  std::vector<int> order;
+  eng.spawn("parent", [&] {
+    order.push_back(1);
+    Engine::current()->spawn("child", [&] { order.push_back(2); });
+    Engine::current()->sleep_for(microseconds(1));
+    order.push_back(3);
+  });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, ActorExceptionPropagatesFromRun) {
+  Engine eng;
+  eng.spawn("boom", [] { throw std::runtime_error("actor failed"); });
+  eng.spawn("other", [] {
+    Engine::current()->sleep_for(seconds(100));  // must be unwound
+  });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, PanicInsideActorPropagates) {
+  Engine eng;
+  eng.spawn("bad", [] { MAD_PANIC("invariant"); });
+  EXPECT_THROW(eng.run(), util::PanicError);
+}
+
+TEST(Engine, DeadlockDetected) {
+  Engine eng;
+  Condition cond(eng, "never-signalled");
+  eng.spawn("waiter", [&] { cond.wait(); });
+  EXPECT_THROW(eng.run(), DeadlockError);
+}
+
+TEST(Engine, DeadlockMessageNamesActorAndCondition) {
+  Engine eng;
+  Condition cond(eng, "my-cond");
+  eng.spawn("stuck-actor", [&] { cond.wait(); });
+  try {
+    eng.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("stuck-actor"), std::string::npos);
+    EXPECT_NE(what.find("my-cond"), std::string::npos);
+  }
+}
+
+TEST(Engine, DaemonDoesNotKeepSimulationAlive) {
+  Engine eng;
+  int ticks = 0;
+  eng.spawn(
+      "poller",
+      [&] {
+        for (;;) {
+          Engine::current()->sleep_for(microseconds(10));
+          ++ticks;
+        }
+      },
+      /*daemon=*/true);
+  eng.spawn("work", [&] { Engine::current()->sleep_for(microseconds(35)); });
+  eng.run();
+  EXPECT_EQ(ticks, 3);  // 10, 20, 30 µs; daemon unwound at 35 µs
+  EXPECT_EQ(eng.now(), microseconds(35));
+}
+
+TEST(Engine, DaemonBlockedForeverIsUnwound) {
+  Engine eng;
+  Condition cond(eng, "daemon-wait");
+  bool unwound = false;
+  eng.spawn(
+      "daemon",
+      [&] {
+        try {
+          cond.wait();
+        } catch (const StopSimulation&) {
+          unwound = true;
+          throw;
+        }
+      },
+      /*daemon=*/true);
+  eng.spawn("main", [] {});
+  eng.run();
+  EXPECT_TRUE(unwound);
+}
+
+TEST(Engine, TimeHorizonAborts) {
+  Engine eng;
+  eng.set_time_horizon(milliseconds(1));
+  eng.spawn("runaway", [] {
+    for (;;) {
+      Engine::current()->sleep_for(microseconds(100));
+    }
+  });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, CurrentIsNullOutsideActors) {
+  EXPECT_EQ(Engine::current(), nullptr);
+  Engine eng;
+  eng.spawn("a", [] { EXPECT_NE(Engine::current(), nullptr); });
+  eng.run();
+  EXPECT_EQ(Engine::current(), nullptr);
+}
+
+TEST(Engine, CurrentActorNameVisibleInside) {
+  Engine eng;
+  eng.spawn("self-aware", [&] {
+    EXPECT_EQ(eng.current_actor_name(), "self-aware");
+    EXPECT_EQ(eng.current_actor_id(), 0);
+  });
+  eng.run();
+  EXPECT_EQ(eng.current_actor_name(), "<none>");
+}
+
+TEST(Engine, DestructionWithoutRunIsClean) {
+  Engine eng;
+  eng.spawn("never-ran", [] { FAIL() << "body must not execute"; });
+  // ~Engine must join the parked thread without running the body.
+}
+
+TEST(Engine, ManyActorsComplete) {
+  Engine eng;
+  int done = 0;
+  for (int i = 0; i < 200; ++i) {
+    eng.spawn("n" + std::to_string(i), [&done, i] {
+      Engine::current()->sleep_for(microseconds(i % 17));
+      ++done;
+    });
+  }
+  eng.run();
+  EXPECT_EQ(done, 200);
+}
+
+}  // namespace
+}  // namespace mad::sim

@@ -1,0 +1,170 @@
+#include "sim/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mad::sim {
+namespace {
+
+TEST(Mailbox, SendThenRecvSameActor) {
+  Engine eng;
+  eng.spawn("a", [&] {
+    Mailbox<int> box(eng);
+    box.send(41);
+    box.send(42);
+    EXPECT_EQ(box.size(), 2u);
+    EXPECT_EQ(box.recv(), 41);
+    EXPECT_EQ(box.recv(), 42);
+    EXPECT_TRUE(box.empty());
+  });
+  eng.run();
+}
+
+TEST(Mailbox, RecvBlocksUntilSend) {
+  Engine eng;
+  Mailbox<std::string> box(eng);
+  std::string got;
+  Time when = 0;
+  eng.spawn("receiver", [&] {
+    got = box.recv();
+    when = eng.now();
+  });
+  eng.spawn("sender", [&] {
+    Engine::current()->sleep_for(microseconds(30));
+    box.send("payload");
+  });
+  eng.run();
+  EXPECT_EQ(got, "payload");
+  EXPECT_EQ(when, microseconds(30));
+}
+
+TEST(Mailbox, BoundedSendBlocksUntilSpace) {
+  Engine eng;
+  Mailbox<int> box(eng, /*capacity=*/2);
+  Time sender_done = 0;
+  eng.spawn("sender", [&] {
+    box.send(1);
+    box.send(2);
+    box.send(3);  // blocks until receiver drains one
+    sender_done = eng.now();
+  });
+  eng.spawn("receiver", [&] {
+    Engine::current()->sleep_for(microseconds(100));
+    EXPECT_EQ(box.recv(), 1);
+  });
+  eng.run();
+  EXPECT_EQ(sender_done, microseconds(100));
+}
+
+TEST(Mailbox, TrySendFailsWhenFull) {
+  Engine eng;
+  eng.spawn("a", [&] {
+    Mailbox<int> box(eng, 1);
+    EXPECT_TRUE(box.try_send(1));
+    EXPECT_TRUE(box.full());
+    EXPECT_FALSE(box.try_send(2));
+    EXPECT_EQ(box.recv(), 1);
+    EXPECT_TRUE(box.try_send(3));
+  });
+  eng.run();
+}
+
+TEST(Mailbox, TryRecvEmptyReturnsNullopt) {
+  Engine eng;
+  eng.spawn("a", [&] {
+    Mailbox<int> box(eng);
+    EXPECT_FALSE(box.try_recv().has_value());
+    box.send(9);
+    const auto v = box.try_recv();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 9);
+  });
+  eng.run();
+}
+
+TEST(Mailbox, RecvUntilTimesOut) {
+  Engine eng;
+  Mailbox<int> box(eng);
+  eng.spawn("r", [&] {
+    const auto v = box.recv_until(microseconds(40));
+    EXPECT_FALSE(v.has_value());
+    EXPECT_EQ(eng.now(), microseconds(40));
+  });
+  eng.run();
+}
+
+TEST(Mailbox, RecvUntilGetsValueBeforeDeadline) {
+  Engine eng;
+  Mailbox<int> box(eng);
+  eng.spawn("r", [&] {
+    const auto v = box.recv_until(microseconds(100));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 7);
+    EXPECT_EQ(eng.now(), microseconds(10));
+  });
+  eng.spawn("s", [&] {
+    Engine::current()->sleep_for(microseconds(10));
+    box.send(7);
+  });
+  eng.run();
+}
+
+TEST(Mailbox, FifoUnderManyProducers) {
+  Engine eng;
+  Mailbox<int> box(eng);
+  std::vector<int> received;
+  for (int producer = 0; producer < 3; ++producer) {
+    eng.spawn("p" + std::to_string(producer), [&box, producer] {
+      for (int k = 0; k < 5; ++k) {
+        Engine::current()->sleep_for(microseconds(10));
+        box.send(producer * 100 + k);
+      }
+    });
+  }
+  eng.spawn("consumer", [&] {
+    for (int i = 0; i < 15; ++i) {
+      received.push_back(box.recv());
+    }
+  });
+  eng.run();
+  ASSERT_EQ(received.size(), 15u);
+  // Producers run at identical timestamps in spawn (id) order, so the
+  // sequence is deterministic: at each 10µs tick, p0 then p1 then p2.
+  for (int tick = 0; tick < 5; ++tick) {
+    for (int producer = 0; producer < 3; ++producer) {
+      EXPECT_EQ(received[static_cast<std::size_t>(tick * 3 + producer)],
+                producer * 100 + tick);
+    }
+  }
+}
+
+TEST(Mailbox, PeekDoesNotConsume) {
+  Engine eng;
+  eng.spawn("a", [&] {
+    Mailbox<int> box(eng);
+    EXPECT_EQ(box.peek(), nullptr);
+    box.send(5);
+    ASSERT_NE(box.peek(), nullptr);
+    EXPECT_EQ(*box.peek(), 5);
+    EXPECT_EQ(box.size(), 1u);
+    EXPECT_EQ(box.recv(), 5);
+  });
+  eng.run();
+}
+
+TEST(Mailbox, MovesNonCopyableValues) {
+  Engine eng;
+  eng.spawn("a", [&] {
+    Mailbox<std::unique_ptr<int>> box(eng);
+    box.send(std::make_unique<int>(11));
+    auto p = box.recv();
+    ASSERT_TRUE(p);
+    EXPECT_EQ(*p, 11);
+  });
+  eng.run();
+}
+
+}  // namespace
+}  // namespace mad::sim

@@ -1,0 +1,65 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace mad::sim {
+namespace {
+
+TEST(Trace, DisabledRecordsNothing) {
+  Trace trace;
+  trace.record(0, 10, "cat");
+  EXPECT_TRUE(trace.intervals().empty());
+}
+
+TEST(Trace, EnabledRecordsIntervals) {
+  Trace trace;
+  trace.enable();
+  trace.record(5, 15, "gw.recv", "paquet=0");
+  trace.record(15, 30, "gw.send", "paquet=0");
+  ASSERT_EQ(trace.intervals().size(), 2u);
+  EXPECT_EQ(trace.intervals()[0].duration(), 10);
+  EXPECT_EQ(trace.intervals()[1].duration(), 15);
+}
+
+TEST(Trace, ByCategoryFilters) {
+  Trace trace;
+  trace.enable();
+  trace.record(0, 1, "a");
+  trace.record(1, 2, "b");
+  trace.record(2, 3, "a");
+  EXPECT_EQ(trace.by_category("a").size(), 2u);
+  EXPECT_EQ(trace.by_category("b").size(), 1u);
+  EXPECT_EQ(trace.by_category("c").size(), 0u);
+}
+
+TEST(Trace, ScopedIntervalUsesVirtualClock) {
+  Engine eng;
+  Trace trace;
+  trace.enable();
+  eng.spawn("a", [&] {
+    Engine* e = Engine::current();
+    e->sleep_for(microseconds(3));
+    {
+      ScopedInterval scope(trace, *e, "step", "k=1");
+      e->sleep_for(microseconds(7));
+    }
+  });
+  eng.run();
+  ASSERT_EQ(trace.intervals().size(), 1u);
+  EXPECT_EQ(trace.intervals()[0].begin, microseconds(3));
+  EXPECT_EQ(trace.intervals()[0].end, microseconds(10));
+  EXPECT_EQ(trace.intervals()[0].label, "k=1");
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace trace;
+  trace.enable();
+  trace.record(0, 1, "x");
+  trace.clear();
+  EXPECT_TRUE(trace.intervals().empty());
+}
+
+}  // namespace
+}  // namespace mad::sim

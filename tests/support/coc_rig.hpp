@@ -1,0 +1,133 @@
+// Cluster-of-clusters test rigs mirroring the paper's testbed.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fwd/virtual_channel.hpp"
+#include "mad/madeleine.hpp"
+
+namespace mad::testsupport {
+
+/// The paper's configuration (§3): a Myrinet cluster and an SCI cluster
+/// joined by one gateway equipped with both NICs. Ranks:
+///   0 .. myri_endpoints-1          : regular Myrinet nodes
+///   myri_endpoints                 : the gateway (on both networks)
+///   myri_endpoints+1 .. +sci_nodes : regular SCI nodes
+struct PaperRig {
+  explicit PaperRig(fwd::VcOptions options = {}, int myri_endpoints = 1,
+                    int sci_endpoints = 1)
+      : fabric(engine),
+        myri(fabric.add_network("myri0", net::bip_myrinet())),
+        sci(fabric.add_network("sci0", net::sisci_sci())) {
+    for (int i = 0; i < myri_endpoints; ++i) {
+      net::Host& h = fabric.add_host("m" + std::to_string(i));
+      h.add_nic(myri);
+      hosts.push_back(&h);
+    }
+    net::Host& gw = fabric.add_host("gw");
+    gw.add_nic(myri);
+    gw.add_nic(sci);
+    hosts.push_back(&gw);
+    gateway_rank = myri_endpoints;
+    for (int i = 0; i < sci_endpoints; ++i) {
+      net::Host& h = fabric.add_host("s" + std::to_string(i));
+      h.add_nic(sci);
+      hosts.push_back(&h);
+    }
+    domain.emplace(fabric);
+    for (net::Host* h : hosts) {
+      domain->add_node(*h);
+    }
+    vc.emplace(*domain, "vc", std::vector<net::Network*>{&myri, &sci},
+               options);
+  }
+
+  NodeRank myri_node(int i = 0) const { return i; }
+  NodeRank sci_node(int i = 0) const { return gateway_rank + 1 + i; }
+
+  fwd::VcEndpoint& ep(NodeRank rank) { return vc->endpoint(rank); }
+
+  sim::Engine engine;
+  net::Fabric fabric;
+  net::Network& myri;
+  net::Network& sci;
+  std::vector<net::Host*> hosts;
+  std::optional<Domain> domain;
+  std::optional<fwd::VirtualChannel> vc;
+  NodeRank gateway_rank = -1;
+};
+
+/// Generic two-network rig: netA(a0, gw) — netB(gw, b0). Ranks: a0=0,
+/// gw=1, b0=2.
+struct TwoNetRig {
+  TwoNetRig(net::NicModelParams model_a, net::NicModelParams model_b,
+            fwd::VcOptions options = {})
+      : fabric(engine),
+        net_a(fabric.add_network("netA", std::move(model_a))),
+        net_b(fabric.add_network("netB", std::move(model_b))) {
+    net::Host& a0 = fabric.add_host("a0");
+    a0.add_nic(net_a);
+    net::Host& gw = fabric.add_host("gw");
+    gw.add_nic(net_a);
+    gw.add_nic(net_b);
+    net::Host& b0 = fabric.add_host("b0");
+    b0.add_nic(net_b);
+    domain.emplace(fabric);
+    for (net::Host* h : {&a0, &gw, &b0}) {
+      domain->add_node(*h);
+    }
+    vc.emplace(*domain, "vc", std::vector<net::Network*>{&net_a, &net_b},
+               options);
+  }
+
+  fwd::VcEndpoint& ep(NodeRank rank) { return vc->endpoint(rank); }
+
+  sim::Engine engine;
+  net::Fabric fabric;
+  net::Network& net_a;
+  net::Network& net_b;
+  std::optional<Domain> domain;
+  std::optional<fwd::VirtualChannel> vc;
+};
+
+/// Two-gateway chain: netA(a0, gw1) — netB(gw1, gw2) — netC(gw2, c0), with
+/// configurable protocols. Ranks: a0=0, gw1=1, gw2=2, c0=3.
+struct ChainRig {
+  ChainRig(net::NicModelParams model_a, net::NicModelParams model_b,
+           net::NicModelParams model_c, fwd::VcOptions options = {})
+      : fabric(engine),
+        net_a(fabric.add_network("netA", std::move(model_a))),
+        net_b(fabric.add_network("netB", std::move(model_b))),
+        net_c(fabric.add_network("netC", std::move(model_c))) {
+    net::Host& a0 = fabric.add_host("a0");
+    a0.add_nic(net_a);
+    net::Host& gw1 = fabric.add_host("gw1");
+    gw1.add_nic(net_a);
+    gw1.add_nic(net_b);
+    net::Host& gw2 = fabric.add_host("gw2");
+    gw2.add_nic(net_b);
+    gw2.add_nic(net_c);
+    net::Host& c0 = fabric.add_host("c0");
+    c0.add_nic(net_c);
+    domain.emplace(fabric);
+    for (net::Host* h : {&a0, &gw1, &gw2, &c0}) {
+      domain->add_node(*h);
+    }
+    vc.emplace(*domain, "vc",
+               std::vector<net::Network*>{&net_a, &net_b, &net_c}, options);
+  }
+
+  fwd::VcEndpoint& ep(NodeRank rank) { return vc->endpoint(rank); }
+
+  sim::Engine engine;
+  net::Fabric fabric;
+  net::Network& net_a;
+  net::Network& net_b;
+  net::Network& net_c;
+  std::optional<Domain> domain;
+  std::optional<fwd::VirtualChannel> vc;
+};
+
+}  // namespace mad::testsupport

@@ -1,0 +1,41 @@
+// Shared test topologies for the mad/fwd suites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mad/madeleine.hpp"
+#include "net/params.hpp"
+
+namespace mad::testsupport {
+
+/// N nodes on a single network, one Madeleine channel "main".
+struct SingleNetRig {
+  SingleNetRig(net::NicModelParams model, int nodes,
+               const std::string& channel_name = "main")
+      : fabric(engine), network(fabric.add_network("net0", std::move(model))) {
+    for (int i = 0; i < nodes; ++i) {
+      hosts.push_back(&fabric.add_host("node" + std::to_string(i)));
+      hosts.back()->add_nic(network);
+    }
+    domain.emplace(fabric);
+    for (int i = 0; i < nodes; ++i) {
+      sessions.push_back(&domain->add_node(*hosts[static_cast<size_t>(i)]));
+    }
+    channel_id = domain->create_channel(channel_name, network);
+  }
+
+  Channel& channel(int rank) {
+    return domain->endpoint(channel_id, rank);
+  }
+
+  sim::Engine engine;
+  net::Fabric fabric;
+  net::Network& network;
+  std::vector<net::Host*> hosts;
+  std::optional<Domain> domain;
+  std::vector<Session*> sessions;
+  ChannelId channel_id = -1;
+};
+
+}  // namespace mad::testsupport

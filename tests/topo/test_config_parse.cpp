@@ -1,0 +1,74 @@
+#include "topo/config_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/panic.hpp"
+
+namespace mad::topo {
+namespace {
+
+TEST(ConfigParse, PaperTestbed) {
+  const auto config = parse_topo_config(R"(
+# The paper's testbed
+network myri0 BIP/Myrinet
+network sci0 SISCI/SCI
+node m0 myri0
+node gw myri0 sci0
+node s0 sci0
+)");
+  ASSERT_EQ(config.networks.size(), 2u);
+  EXPECT_EQ(config.networks[0].name, "myri0");
+  EXPECT_EQ(config.networks[0].protocol, "BIP/Myrinet");
+  ASSERT_EQ(config.nodes.size(), 3u);
+  EXPECT_EQ(config.nodes[1].name, "gw");
+  EXPECT_EQ(config.nodes[1].networks,
+            (std::vector<std::string>{"myri0", "sci0"}));
+  EXPECT_EQ(config.network_index("sci0"), 1);
+  EXPECT_EQ(config.node_index("s0"), 2);
+  EXPECT_EQ(config.network_index("nope"), -1);
+  EXPECT_EQ(config.node_index("nope"), -1);
+}
+
+TEST(ConfigParse, CommentsAndBlanksIgnored) {
+  const auto config = parse_topo_config(
+      "  # only comments\n\n network n TCP/FEth # trailing\n node a n\n");
+  EXPECT_EQ(config.networks.size(), 1u);
+  EXPECT_EQ(config.nodes.size(), 1u);
+}
+
+TEST(ConfigParse, UnknownDirectiveRejected) {
+  EXPECT_THROW(parse_topo_config("link a b\n"), util::PanicError);
+}
+
+TEST(ConfigParse, DuplicateNetworkRejected) {
+  EXPECT_THROW(
+      parse_topo_config("network n SBP\nnetwork n SBP\n"),
+      util::PanicError);
+}
+
+TEST(ConfigParse, DuplicateNodeRejected) {
+  EXPECT_THROW(
+      parse_topo_config("network n SBP\nnode a n\nnode a n\n"),
+      util::PanicError);
+}
+
+TEST(ConfigParse, UndeclaredNetworkReferenceRejected) {
+  EXPECT_THROW(parse_topo_config("node a ghost\n"), util::PanicError);
+}
+
+TEST(ConfigParse, NodeWithoutNetworkRejected) {
+  EXPECT_THROW(parse_topo_config("network n SBP\nnode a\n"),
+               util::PanicError);
+}
+
+TEST(ConfigParse, ErrorCarriesLineNumber) {
+  try {
+    parse_topo_config("network ok SBP\nbogus\n");
+    FAIL() << "expected parse failure";
+  } catch (const util::PanicError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mad::topo

@@ -1,0 +1,133 @@
+#include "topo/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/panic.hpp"
+
+namespace mad::topo {
+namespace {
+
+/// The paper's testbed: net0 = Myrinet {0, 1}, net1 = SCI {1, 2}; node 1 is
+/// the gateway.
+Topology paper_topology() {
+  Topology t(3);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(1, 1);
+  t.attach(2, 1);
+  return t;
+}
+
+TEST(Routing, DirectRouteOnSharedNetwork) {
+  const Topology t = paper_topology();
+  Routing r(t);
+  const Route& route = r.route(0, 1);
+  ASSERT_EQ(route.size(), 1u);
+  EXPECT_EQ(route[0], (Hop{0, 1}));
+}
+
+TEST(Routing, OneGatewayRoute) {
+  const Topology t = paper_topology();
+  Routing r(t);
+  const Route& route = r.route(0, 2);
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_EQ(route[0], (Hop{0, 1}));  // cross Myrinet to the gateway
+  EXPECT_EQ(route[1], (Hop{1, 2}));  // cross SCI to the destination
+  EXPECT_EQ(r.gateways(0, 2), (std::vector<NodeId>{1}));
+  EXPECT_EQ(r.networks(0, 2), (std::vector<NetworkId>{0, 1}));
+}
+
+TEST(Routing, RoutesAreSymmetricInShape) {
+  const Topology t = paper_topology();
+  Routing r(t);
+  EXPECT_EQ(r.route(2, 0).size(), 2u);
+  EXPECT_EQ(r.gateways(2, 0), (std::vector<NodeId>{1}));
+}
+
+TEST(Routing, TwoGatewayChain) {
+  // netA {0,1}, netB {1,2}, netC {2,3}
+  Topology t(4);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(1, 1);
+  t.attach(2, 1);
+  t.attach(2, 2);
+  t.attach(3, 2);
+  Routing r(t);
+  const Route& route = r.route(0, 3);
+  ASSERT_EQ(route.size(), 3u);
+  EXPECT_EQ(r.gateways(0, 3), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Routing, PrefersFewestHops) {
+  // Node 0 can reach node 2 directly on net1 or through node 1; direct wins.
+  Topology t(3);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(1, 1);
+  t.attach(2, 1);
+  t.attach(0, 1);  // shortcut
+  Routing r(t);
+  EXPECT_EQ(r.route(0, 2).size(), 1u);
+}
+
+TEST(Routing, UnreachableDetected) {
+  Topology t(3);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(2, 1);  // island
+  Routing r(t);
+  EXPECT_TRUE(r.reachable(0, 1));
+  EXPECT_FALSE(r.reachable(0, 2));
+  EXPECT_THROW(r.route(0, 2), util::PanicError);
+}
+
+TEST(Routing, SelfIsReachableButHasNoRoute) {
+  const Topology t = paper_topology();
+  Routing r(t);
+  EXPECT_TRUE(r.reachable(1, 1));
+  EXPECT_THROW(r.route(1, 1), util::PanicError);
+}
+
+TEST(Routing, DeterministicTieBreak) {
+  // Two equal-length paths 0→3 (via 1 on net0/net2, via 2 on net1/net3):
+  // BFS expands network 0 before network 1, so the route goes via node 1.
+  Topology t(4);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(1, 2);
+  t.attach(3, 2);
+  t.attach(0, 1);
+  t.attach(2, 1);
+  t.attach(2, 3);
+  t.attach(3, 3);
+  Routing r(t);
+  const Route& route = r.route(0, 3);
+  ASSERT_EQ(route.size(), 2u);
+  EXPECT_EQ(route[0].node, 1);
+}
+
+TEST(Routing, StarTopologyAllPairs) {
+  // Hub node 4 on all four networks; leaves 0-3 each on their own.
+  Topology t(5);
+  for (NodeId leaf = 0; leaf < 4; ++leaf) {
+    t.attach(leaf, leaf);
+    t.attach(4, leaf);
+  }
+  Routing r(t);
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = 0; b < 4; ++b) {
+      if (a == b) {
+        continue;
+      }
+      const Route& route = r.route(a, b);
+      ASSERT_EQ(route.size(), 2u);
+      EXPECT_EQ(route[0].node, 4);
+      EXPECT_EQ(route[1].node, b);
+    }
+    EXPECT_EQ(r.route(a, 4).size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace mad::topo

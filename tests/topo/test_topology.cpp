@@ -1,0 +1,49 @@
+#include "topo/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/panic.hpp"
+
+namespace mad::topo {
+namespace {
+
+TEST(Topology, AttachAndQuery) {
+  Topology t(3);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(1, 1);
+  t.attach(2, 1);
+  EXPECT_TRUE(t.on_network(0, 0));
+  EXPECT_FALSE(t.on_network(0, 1));
+  EXPECT_TRUE(t.on_network(1, 0));
+  EXPECT_TRUE(t.on_network(1, 1));
+  EXPECT_EQ(t.nodes_on(0), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(t.nodes_on(1), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(t.networks_of(1), (std::vector<NetworkId>{0, 1}));
+}
+
+TEST(Topology, GatewayDetection) {
+  Topology t(3);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(1, 1);
+  t.attach(2, 1);
+  EXPECT_FALSE(t.is_gateway(0));
+  EXPECT_TRUE(t.is_gateway(1));
+  EXPECT_FALSE(t.is_gateway(2));
+}
+
+TEST(Topology, DoubleAttachRejected) {
+  Topology t(1);
+  t.attach(0, 0);
+  EXPECT_THROW(t.attach(0, 0), util::PanicError);
+}
+
+TEST(Topology, UnknownNetworkIsEmpty) {
+  Topology t(1);
+  EXPECT_TRUE(t.nodes_on(5).empty());
+  EXPECT_TRUE(t.nodes_on(-1).empty());
+}
+
+}  // namespace
+}  // namespace mad::topo

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "util/hexdump.hpp"
+#include "util/log.hpp"
+#include "util/panic.hpp"
+
+namespace mad::util {
+namespace {
+
+TEST(Panic, ThrowsPanicErrorWithLocation) {
+  try {
+    MAD_PANIC("boom");
+    FAIL() << "did not throw";
+  } catch (const PanicError& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_log_panic"),
+              std::string::npos);
+  }
+}
+
+TEST(Panic, AssertPassesOnTrue) {
+  EXPECT_NO_THROW(MAD_ASSERT(1 + 1 == 2, "math works"));
+}
+
+TEST(Panic, AssertThrowsOnFalse) {
+  EXPECT_THROW(MAD_ASSERT(false, "nope"), PanicError);
+}
+
+TEST(Log, LevelRoundTrip) {
+  const auto saved = log_level();
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(saved);
+}
+
+TEST(Log, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::Off), "off");
+  EXPECT_STREQ(log_level_name(LogLevel::Error), "error");
+  EXPECT_STREQ(log_level_name(LogLevel::Trace), "trace");
+}
+
+TEST(Hexdump, FormatsAsciiGutter) {
+  const char* text = "Hello, Madeleine!";
+  const auto* bytes = reinterpret_cast<const std::byte*>(text);
+  const std::string dump = hexdump(std::span(bytes, 17));
+  EXPECT_NE(dump.find("48 65 6c 6c 6f"), std::string::npos);
+  EXPECT_NE(dump.find("Hello, Madeleine"), std::string::npos);
+}
+
+TEST(Hexdump, TruncatesLongInput) {
+  std::vector<std::byte> big(1024, std::byte{0xab});
+  const std::string dump = hexdump(big, 64);
+  EXPECT_NE(dump.find("more bytes"), std::string::npos);
+}
+
+TEST(Hexdump, EmptyInputIsEmpty) {
+  EXPECT_TRUE(hexdump({}).empty());
+}
+
+}  // namespace
+}  // namespace mad::util

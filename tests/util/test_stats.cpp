@@ -1,0 +1,63 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mad::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 4.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+}
+
+TEST(SampleSet, PercentilesAndExtremes) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.add(static_cast<double>(i));
+  }
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_NEAR(s.percentile(0.0), 1.0, 0.0);
+  EXPECT_NEAR(s.percentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(s.percentile(1.0), 100.0, 0.0);
+}
+
+TEST(FormatBytes, Units) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KB");
+  EXPECT_EQ(format_bytes(3 * 1024 * 1024), "3.00 MB");
+  EXPECT_EQ(format_bytes(5ULL * 1024 * 1024 * 1024), "5.00 GB");
+}
+
+}  // namespace
+}  // namespace mad::util

@@ -1,0 +1,127 @@
+// madforward — command-line driver for forwarding experiments.
+//
+// Runs a one-way transfer over a virtual channel built from a topology
+// config (file or the built-in paper testbed) and reports timing. The kind
+// of utility an operator uses to size paquets for a new cluster pairing.
+//
+// Usage:
+//   madforward [--config FILE] [--src NAME] [--dst NAME]
+//              [--size BYTES] [--paquet BYTES] [--depth N]
+//              [--no-zero-copy] [--regulate BYTES_PER_S] [--repeats N]
+//
+// With no arguments: the paper testbed (m0 -> s0 through gw), 4 MB
+// message, auto paquet.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/pingpong.hpp"
+#include "harness/scenario.hpp"
+
+namespace {
+
+constexpr const char* kPaperConfig = R"(
+network myri0 BIP/Myrinet
+network sci0 SISCI/SCI
+node m0 myri0
+node gw myri0 sci0
+node s0 sci0
+)";
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--config FILE] [--src NAME] [--dst NAME] [--size BYTES]\n"
+      "          [--paquet BYTES] [--depth N] [--no-zero-copy]\n"
+      "          [--regulate BYTES_PER_S] [--repeats N]\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mad;
+  std::string config_text = kPaperConfig;
+  std::string src_name = "m0";
+  std::string dst_name = "s0";
+  std::size_t size = 4 * 1024 * 1024;
+  int repeats = 1;
+  fwd::VcOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (arg == "--config") {
+      std::ifstream in(next());
+      if (!in) {
+        std::fprintf(stderr, "cannot open config file\n");
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      config_text = buf.str();
+      src_name.clear();  // must be provided for custom configs
+      dst_name.clear();
+    } else if (arg == "--src") {
+      src_name = next();
+    } else if (arg == "--dst") {
+      dst_name = next();
+    } else if (arg == "--size") {
+      size = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--paquet") {
+      options.paquet_size =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--depth") {
+      options.pipeline_depth = std::atoi(next());
+    } else if (arg == "--no-zero-copy") {
+      options.zero_copy = false;
+    } else if (arg == "--regulate") {
+      options.regulation_rate = std::strtod(next(), nullptr);
+    } else if (arg == "--repeats") {
+      repeats = std::atoi(next());
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (src_name.empty() || dst_name.empty() || size == 0 || repeats < 1) {
+    usage(argv[0]);
+  }
+
+  try {
+    const auto config = topo::parse_topo_config(config_text);
+    harness::ConfigWorld world(config, options);
+    const NodeRank src = world.rank_of(src_name);
+    const NodeRank dst = world.rank_of(dst_name);
+
+    const auto& route = world.vc->routing().route(src, dst);
+    std::printf("route %s -> %s:", src_name.c_str(), dst_name.c_str());
+    for (const auto& hop : route) {
+      std::printf(" -[%s]-> %s",
+                  config.networks[static_cast<std::size_t>(
+                                      hop.network)].name.c_str(),
+                  config.nodes[static_cast<std::size_t>(hop.node)]
+                      .name.c_str());
+    }
+    std::printf("\nMTU %u bytes, pipeline depth %d, zero-copy %s\n",
+                world.vc->mtu(), options.pipeline_depth,
+                options.zero_copy ? "on" : "off");
+
+    const auto result = harness::measure_vc_oneway(
+        world.engine, *world.vc, src, dst, size, repeats, /*warmup=*/1);
+    std::printf("%zu bytes one-way: %.1f us, %.2f MB/s (avg of %d)\n", size,
+                sim::to_microseconds(result.one_way), result.mbps, repeats);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
