@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_mtu.dir/bench_abl_mtu.cpp.o"
+  "CMakeFiles/bench_abl_mtu.dir/bench_abl_mtu.cpp.o.d"
+  "bench_abl_mtu"
+  "bench_abl_mtu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_mtu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

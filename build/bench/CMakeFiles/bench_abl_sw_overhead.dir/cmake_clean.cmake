@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_sw_overhead.dir/bench_abl_sw_overhead.cpp.o"
+  "CMakeFiles/bench_abl_sw_overhead.dir/bench_abl_sw_overhead.cpp.o.d"
+  "bench_abl_sw_overhead"
+  "bench_abl_sw_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_sw_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

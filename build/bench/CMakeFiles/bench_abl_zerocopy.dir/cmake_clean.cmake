@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_zerocopy.dir/bench_abl_zerocopy.cpp.o"
+  "CMakeFiles/bench_abl_zerocopy.dir/bench_abl_zerocopy.cpp.o.d"
+  "bench_abl_zerocopy"
+  "bench_abl_zerocopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_zerocopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_flow_regulation.dir/bench_ext_flow_regulation.cpp.o"
+  "CMakeFiles/bench_ext_flow_regulation.dir/bench_ext_flow_regulation.cpp.o.d"
+  "bench_ext_flow_regulation"
+  "bench_ext_flow_regulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_flow_regulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

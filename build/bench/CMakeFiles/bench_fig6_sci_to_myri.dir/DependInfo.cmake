@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_sci_to_myri.cpp" "bench/CMakeFiles/bench_fig6_sci_to_myri.dir/bench_fig6_sci_to_myri.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_sci_to_myri.dir/bench_fig6_sci_to_myri.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mad_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_fwd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

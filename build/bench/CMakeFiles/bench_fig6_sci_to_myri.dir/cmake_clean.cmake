@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_sci_to_myri.dir/bench_fig6_sci_to_myri.cpp.o"
+  "CMakeFiles/bench_fig6_sci_to_myri.dir/bench_fig6_sci_to_myri.cpp.o.d"
+  "bench_fig6_sci_to_myri"
+  "bench_fig6_sci_to_myri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sci_to_myri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_myri_to_sci.dir/bench_fig7_myri_to_sci.cpp.o"
+  "CMakeFiles/bench_fig7_myri_to_sci.dir/bench_fig7_myri_to_sci.cpp.o.d"
+  "bench_fig7_myri_to_sci"
+  "bench_fig7_myri_to_sci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_myri_to_sci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

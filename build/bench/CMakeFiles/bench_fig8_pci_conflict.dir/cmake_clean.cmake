@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_pci_conflict.dir/bench_fig8_pci_conflict.cpp.o"
+  "CMakeFiles/bench_fig8_pci_conflict.dir/bench_fig8_pci_conflict.cpp.o.d"
+  "bench_fig8_pci_conflict"
+  "bench_fig8_pci_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_pci_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

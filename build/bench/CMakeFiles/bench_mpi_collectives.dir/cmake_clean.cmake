@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpi_collectives.dir/bench_mpi_collectives.cpp.o"
+  "CMakeFiles/bench_mpi_collectives.dir/bench_mpi_collectives.cpp.o.d"
+  "bench_mpi_collectives"
+  "bench_mpi_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpi_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_stream.dir/bench_multi_stream.cpp.o"
+  "CMakeFiles/bench_multi_stream.dir/bench_multi_stream.cpp.o.d"
+  "bench_multi_stream"
+  "bench_multi_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_native_pingpong.dir/bench_native_pingpong.cpp.o"
+  "CMakeFiles/bench_native_pingpong.dir/bench_native_pingpong.cpp.o.d"
+  "bench_native_pingpong"
+  "bench_native_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_native_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_of_clusters.dir/cluster_of_clusters.cpp.o"
+  "CMakeFiles/cluster_of_clusters.dir/cluster_of_clusters.cpp.o.d"
+  "cluster_of_clusters"
+  "cluster_of_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_of_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

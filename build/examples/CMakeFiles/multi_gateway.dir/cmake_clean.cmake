@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_gateway.dir/multi_gateway.cpp.o"
+  "CMakeFiles/multi_gateway.dir/multi_gateway.cpp.o.d"
+  "multi_gateway"
+  "multi_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_baseline.dir/baseline/pacx_tcp.cpp.o"
+  "CMakeFiles/mad_baseline.dir/baseline/pacx_tcp.cpp.o.d"
+  "CMakeFiles/mad_baseline.dir/baseline/store_forward.cpp.o"
+  "CMakeFiles/mad_baseline.dir/baseline/store_forward.cpp.o.d"
+  "libmad_baseline.a"
+  "libmad_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mad/bmm.cpp" "src/CMakeFiles/mad_core.dir/mad/bmm.cpp.o" "gcc" "src/CMakeFiles/mad_core.dir/mad/bmm.cpp.o.d"
+  "/root/repo/src/mad/buffer.cpp" "src/CMakeFiles/mad_core.dir/mad/buffer.cpp.o" "gcc" "src/CMakeFiles/mad_core.dir/mad/buffer.cpp.o.d"
+  "/root/repo/src/mad/channel.cpp" "src/CMakeFiles/mad_core.dir/mad/channel.cpp.o" "gcc" "src/CMakeFiles/mad_core.dir/mad/channel.cpp.o.d"
+  "/root/repo/src/mad/copy_stats.cpp" "src/CMakeFiles/mad_core.dir/mad/copy_stats.cpp.o" "gcc" "src/CMakeFiles/mad_core.dir/mad/copy_stats.cpp.o.d"
+  "/root/repo/src/mad/message.cpp" "src/CMakeFiles/mad_core.dir/mad/message.cpp.o" "gcc" "src/CMakeFiles/mad_core.dir/mad/message.cpp.o.d"
+  "/root/repo/src/mad/pmm.cpp" "src/CMakeFiles/mad_core.dir/mad/pmm.cpp.o" "gcc" "src/CMakeFiles/mad_core.dir/mad/pmm.cpp.o.d"
+  "/root/repo/src/mad/session.cpp" "src/CMakeFiles/mad_core.dir/mad/session.cpp.o" "gcc" "src/CMakeFiles/mad_core.dir/mad/session.cpp.o.d"
+  "/root/repo/src/mad/tm.cpp" "src/CMakeFiles/mad_core.dir/mad/tm.cpp.o" "gcc" "src/CMakeFiles/mad_core.dir/mad/tm.cpp.o.d"
+  "/root/repo/src/mad/types.cpp" "src/CMakeFiles/mad_core.dir/mad/types.cpp.o" "gcc" "src/CMakeFiles/mad_core.dir/mad/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mad_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

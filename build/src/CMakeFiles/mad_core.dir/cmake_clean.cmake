@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_core.dir/mad/bmm.cpp.o"
+  "CMakeFiles/mad_core.dir/mad/bmm.cpp.o.d"
+  "CMakeFiles/mad_core.dir/mad/buffer.cpp.o"
+  "CMakeFiles/mad_core.dir/mad/buffer.cpp.o.d"
+  "CMakeFiles/mad_core.dir/mad/channel.cpp.o"
+  "CMakeFiles/mad_core.dir/mad/channel.cpp.o.d"
+  "CMakeFiles/mad_core.dir/mad/copy_stats.cpp.o"
+  "CMakeFiles/mad_core.dir/mad/copy_stats.cpp.o.d"
+  "CMakeFiles/mad_core.dir/mad/message.cpp.o"
+  "CMakeFiles/mad_core.dir/mad/message.cpp.o.d"
+  "CMakeFiles/mad_core.dir/mad/pmm.cpp.o"
+  "CMakeFiles/mad_core.dir/mad/pmm.cpp.o.d"
+  "CMakeFiles/mad_core.dir/mad/session.cpp.o"
+  "CMakeFiles/mad_core.dir/mad/session.cpp.o.d"
+  "CMakeFiles/mad_core.dir/mad/tm.cpp.o"
+  "CMakeFiles/mad_core.dir/mad/tm.cpp.o.d"
+  "CMakeFiles/mad_core.dir/mad/types.cpp.o"
+  "CMakeFiles/mad_core.dir/mad/types.cpp.o.d"
+  "libmad_core.a"
+  "libmad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fwd/gateway.cpp" "src/CMakeFiles/mad_fwd.dir/fwd/gateway.cpp.o" "gcc" "src/CMakeFiles/mad_fwd.dir/fwd/gateway.cpp.o.d"
+  "/root/repo/src/fwd/generic_tm.cpp" "src/CMakeFiles/mad_fwd.dir/fwd/generic_tm.cpp.o" "gcc" "src/CMakeFiles/mad_fwd.dir/fwd/generic_tm.cpp.o.d"
+  "/root/repo/src/fwd/pipeline.cpp" "src/CMakeFiles/mad_fwd.dir/fwd/pipeline.cpp.o" "gcc" "src/CMakeFiles/mad_fwd.dir/fwd/pipeline.cpp.o.d"
+  "/root/repo/src/fwd/regulation.cpp" "src/CMakeFiles/mad_fwd.dir/fwd/regulation.cpp.o" "gcc" "src/CMakeFiles/mad_fwd.dir/fwd/regulation.cpp.o.d"
+  "/root/repo/src/fwd/virtual_channel.cpp" "src/CMakeFiles/mad_fwd.dir/fwd/virtual_channel.cpp.o" "gcc" "src/CMakeFiles/mad_fwd.dir/fwd/virtual_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

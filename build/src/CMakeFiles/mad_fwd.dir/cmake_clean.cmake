@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_fwd.dir/fwd/gateway.cpp.o"
+  "CMakeFiles/mad_fwd.dir/fwd/gateway.cpp.o.d"
+  "CMakeFiles/mad_fwd.dir/fwd/generic_tm.cpp.o"
+  "CMakeFiles/mad_fwd.dir/fwd/generic_tm.cpp.o.d"
+  "CMakeFiles/mad_fwd.dir/fwd/pipeline.cpp.o"
+  "CMakeFiles/mad_fwd.dir/fwd/pipeline.cpp.o.d"
+  "CMakeFiles/mad_fwd.dir/fwd/regulation.cpp.o"
+  "CMakeFiles/mad_fwd.dir/fwd/regulation.cpp.o.d"
+  "CMakeFiles/mad_fwd.dir/fwd/virtual_channel.cpp.o"
+  "CMakeFiles/mad_fwd.dir/fwd/virtual_channel.cpp.o.d"
+  "libmad_fwd.a"
+  "libmad_fwd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_fwd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

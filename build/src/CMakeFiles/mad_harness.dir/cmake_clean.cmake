@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_harness.dir/harness/pingpong.cpp.o"
+  "CMakeFiles/mad_harness.dir/harness/pingpong.cpp.o.d"
+  "CMakeFiles/mad_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/mad_harness.dir/harness/report.cpp.o.d"
+  "CMakeFiles/mad_harness.dir/harness/scenario.cpp.o"
+  "CMakeFiles/mad_harness.dir/harness/scenario.cpp.o.d"
+  "libmad_harness.a"
+  "libmad_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_mpi.dir/mpi/comm.cpp.o"
+  "CMakeFiles/mad_mpi.dir/mpi/comm.cpp.o.d"
+  "libmad_mpi.a"
+  "libmad_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

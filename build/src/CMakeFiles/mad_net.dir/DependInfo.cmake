@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fabric.cpp" "src/CMakeFiles/mad_net.dir/net/fabric.cpp.o" "gcc" "src/CMakeFiles/mad_net.dir/net/fabric.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/CMakeFiles/mad_net.dir/net/host.cpp.o" "gcc" "src/CMakeFiles/mad_net.dir/net/host.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/mad_net.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/mad_net.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/models.cpp" "src/CMakeFiles/mad_net.dir/net/models.cpp.o" "gcc" "src/CMakeFiles/mad_net.dir/net/models.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/CMakeFiles/mad_net.dir/net/nic.cpp.o" "gcc" "src/CMakeFiles/mad_net.dir/net/nic.cpp.o.d"
+  "/root/repo/src/net/packet_log.cpp" "src/CMakeFiles/mad_net.dir/net/packet_log.cpp.o" "gcc" "src/CMakeFiles/mad_net.dir/net/packet_log.cpp.o.d"
+  "/root/repo/src/net/pci_bus.cpp" "src/CMakeFiles/mad_net.dir/net/pci_bus.cpp.o" "gcc" "src/CMakeFiles/mad_net.dir/net/pci_bus.cpp.o.d"
+  "/root/repo/src/net/static_pool.cpp" "src/CMakeFiles/mad_net.dir/net/static_pool.cpp.o" "gcc" "src/CMakeFiles/mad_net.dir/net/static_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

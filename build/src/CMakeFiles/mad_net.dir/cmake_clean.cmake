@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_net.dir/net/fabric.cpp.o"
+  "CMakeFiles/mad_net.dir/net/fabric.cpp.o.d"
+  "CMakeFiles/mad_net.dir/net/host.cpp.o"
+  "CMakeFiles/mad_net.dir/net/host.cpp.o.d"
+  "CMakeFiles/mad_net.dir/net/link.cpp.o"
+  "CMakeFiles/mad_net.dir/net/link.cpp.o.d"
+  "CMakeFiles/mad_net.dir/net/models.cpp.o"
+  "CMakeFiles/mad_net.dir/net/models.cpp.o.d"
+  "CMakeFiles/mad_net.dir/net/nic.cpp.o"
+  "CMakeFiles/mad_net.dir/net/nic.cpp.o.d"
+  "CMakeFiles/mad_net.dir/net/packet_log.cpp.o"
+  "CMakeFiles/mad_net.dir/net/packet_log.cpp.o.d"
+  "CMakeFiles/mad_net.dir/net/pci_bus.cpp.o"
+  "CMakeFiles/mad_net.dir/net/pci_bus.cpp.o.d"
+  "CMakeFiles/mad_net.dir/net/static_pool.cpp.o"
+  "CMakeFiles/mad_net.dir/net/static_pool.cpp.o.d"
+  "libmad_net.a"
+  "libmad_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_sim.dir/sim/condition.cpp.o"
+  "CMakeFiles/mad_sim.dir/sim/condition.cpp.o.d"
+  "CMakeFiles/mad_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/mad_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/mad_sim.dir/sim/time.cpp.o"
+  "CMakeFiles/mad_sim.dir/sim/time.cpp.o.d"
+  "CMakeFiles/mad_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/mad_sim.dir/sim/trace.cpp.o.d"
+  "libmad_sim.a"
+  "libmad_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

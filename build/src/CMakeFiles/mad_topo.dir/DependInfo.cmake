@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/config_parse.cpp" "src/CMakeFiles/mad_topo.dir/topo/config_parse.cpp.o" "gcc" "src/CMakeFiles/mad_topo.dir/topo/config_parse.cpp.o.d"
+  "/root/repo/src/topo/routing.cpp" "src/CMakeFiles/mad_topo.dir/topo/routing.cpp.o" "gcc" "src/CMakeFiles/mad_topo.dir/topo/routing.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/mad_topo.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/mad_topo.dir/topo/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

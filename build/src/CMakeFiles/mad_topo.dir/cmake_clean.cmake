@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_topo.dir/topo/config_parse.cpp.o"
+  "CMakeFiles/mad_topo.dir/topo/config_parse.cpp.o.d"
+  "CMakeFiles/mad_topo.dir/topo/routing.cpp.o"
+  "CMakeFiles/mad_topo.dir/topo/routing.cpp.o.d"
+  "CMakeFiles/mad_topo.dir/topo/topology.cpp.o"
+  "CMakeFiles/mad_topo.dir/topo/topology.cpp.o.d"
+  "libmad_topo.a"
+  "libmad_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

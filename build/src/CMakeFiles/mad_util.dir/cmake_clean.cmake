@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mad_util.dir/util/hexdump.cpp.o"
+  "CMakeFiles/mad_util.dir/util/hexdump.cpp.o.d"
+  "CMakeFiles/mad_util.dir/util/log.cpp.o"
+  "CMakeFiles/mad_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/mad_util.dir/util/panic.cpp.o"
+  "CMakeFiles/mad_util.dir/util/panic.cpp.o.d"
+  "CMakeFiles/mad_util.dir/util/rng.cpp.o"
+  "CMakeFiles/mad_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/mad_util.dir/util/stats.cpp.o"
+  "CMakeFiles/mad_util.dir/util/stats.cpp.o.d"
+  "libmad_util.a"
+  "libmad_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mad_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

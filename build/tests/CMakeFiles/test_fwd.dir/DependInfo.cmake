@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fwd/test_failures.cpp" "tests/CMakeFiles/test_fwd.dir/fwd/test_failures.cpp.o" "gcc" "tests/CMakeFiles/test_fwd.dir/fwd/test_failures.cpp.o.d"
+  "/root/repo/tests/fwd/test_gateway.cpp" "tests/CMakeFiles/test_fwd.dir/fwd/test_gateway.cpp.o" "gcc" "tests/CMakeFiles/test_fwd.dir/fwd/test_gateway.cpp.o.d"
+  "/root/repo/tests/fwd/test_generic_tm.cpp" "tests/CMakeFiles/test_fwd.dir/fwd/test_generic_tm.cpp.o" "gcc" "tests/CMakeFiles/test_fwd.dir/fwd/test_generic_tm.cpp.o.d"
+  "/root/repo/tests/fwd/test_vc_extras.cpp" "tests/CMakeFiles/test_fwd.dir/fwd/test_vc_extras.cpp.o" "gcc" "tests/CMakeFiles/test_fwd.dir/fwd/test_vc_extras.cpp.o.d"
+  "/root/repo/tests/fwd/test_virtual_channel.cpp" "tests/CMakeFiles/test_fwd.dir/fwd/test_virtual_channel.cpp.o" "gcc" "tests/CMakeFiles/test_fwd.dir/fwd/test_virtual_channel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_fwd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fwd.dir/fwd/test_failures.cpp.o"
+  "CMakeFiles/test_fwd.dir/fwd/test_failures.cpp.o.d"
+  "CMakeFiles/test_fwd.dir/fwd/test_gateway.cpp.o"
+  "CMakeFiles/test_fwd.dir/fwd/test_gateway.cpp.o.d"
+  "CMakeFiles/test_fwd.dir/fwd/test_generic_tm.cpp.o"
+  "CMakeFiles/test_fwd.dir/fwd/test_generic_tm.cpp.o.d"
+  "CMakeFiles/test_fwd.dir/fwd/test_vc_extras.cpp.o"
+  "CMakeFiles/test_fwd.dir/fwd/test_vc_extras.cpp.o.d"
+  "CMakeFiles/test_fwd.dir/fwd/test_virtual_channel.cpp.o"
+  "CMakeFiles/test_fwd.dir/fwd/test_virtual_channel.cpp.o.d"
+  "test_fwd"
+  "test_fwd.pdb"
+  "test_fwd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fwd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mad/test_bmm.cpp" "tests/CMakeFiles/test_mad.dir/mad/test_bmm.cpp.o" "gcc" "tests/CMakeFiles/test_mad.dir/mad/test_bmm.cpp.o.d"
+  "/root/repo/tests/mad/test_channels.cpp" "tests/CMakeFiles/test_mad.dir/mad/test_channels.cpp.o" "gcc" "tests/CMakeFiles/test_mad.dir/mad/test_channels.cpp.o.d"
+  "/root/repo/tests/mad/test_hybrid_via.cpp" "tests/CMakeFiles/test_mad.dir/mad/test_hybrid_via.cpp.o" "gcc" "tests/CMakeFiles/test_mad.dir/mad/test_hybrid_via.cpp.o.d"
+  "/root/repo/tests/mad/test_multi_adapter.cpp" "tests/CMakeFiles/test_mad.dir/mad/test_multi_adapter.cpp.o" "gcc" "tests/CMakeFiles/test_mad.dir/mad/test_multi_adapter.cpp.o.d"
+  "/root/repo/tests/mad/test_pack_unpack.cpp" "tests/CMakeFiles/test_mad.dir/mad/test_pack_unpack.cpp.o" "gcc" "tests/CMakeFiles/test_mad.dir/mad/test_pack_unpack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_fwd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mad.dir/mad/test_bmm.cpp.o"
+  "CMakeFiles/test_mad.dir/mad/test_bmm.cpp.o.d"
+  "CMakeFiles/test_mad.dir/mad/test_channels.cpp.o"
+  "CMakeFiles/test_mad.dir/mad/test_channels.cpp.o.d"
+  "CMakeFiles/test_mad.dir/mad/test_hybrid_via.cpp.o"
+  "CMakeFiles/test_mad.dir/mad/test_hybrid_via.cpp.o.d"
+  "CMakeFiles/test_mad.dir/mad/test_multi_adapter.cpp.o"
+  "CMakeFiles/test_mad.dir/mad/test_multi_adapter.cpp.o.d"
+  "CMakeFiles/test_mad.dir/mad/test_pack_unpack.cpp.o"
+  "CMakeFiles/test_mad.dir/mad/test_pack_unpack.cpp.o.d"
+  "test_mad"
+  "test_mad.pdb"
+  "test_mad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_backpressure.cpp" "tests/CMakeFiles/test_net.dir/net/test_backpressure.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_backpressure.cpp.o.d"
+  "/root/repo/tests/net/test_models.cpp" "tests/CMakeFiles/test_net.dir/net/test_models.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_models.cpp.o.d"
+  "/root/repo/tests/net/test_nic.cpp" "tests/CMakeFiles/test_net.dir/net/test_nic.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_nic.cpp.o.d"
+  "/root/repo/tests/net/test_packet_log.cpp" "tests/CMakeFiles/test_net.dir/net/test_packet_log.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_packet_log.cpp.o.d"
+  "/root/repo/tests/net/test_pci_bus.cpp" "tests/CMakeFiles/test_net.dir/net/test_pci_bus.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_pci_bus.cpp.o.d"
+  "/root/repo/tests/net/test_static_pool.cpp" "tests/CMakeFiles/test_net.dir/net/test_static_pool.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_static_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_fwd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_backpressure.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_backpressure.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_models.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_models.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_nic.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_nic.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_packet_log.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_packet_log.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_pci_bus.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_pci_bus.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_static_pool.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_static_pool.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/madforward.dir/madforward.cpp.o"
+  "CMakeFiles/madforward.dir/madforward.cpp.o.d"
+  "madforward"
+  "madforward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/madforward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
