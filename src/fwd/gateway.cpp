@@ -16,6 +16,7 @@
 
 #include "fwd/pipeline.hpp"
 #include "fwd/regulation.hpp"
+#include "fwd/reliable.hpp"
 #include "fwd/virtual_channel.hpp"
 #include "mad/copy_stats.hpp"
 #include "sim/mailbox.hpp"
@@ -49,6 +50,12 @@ class GatewayRelay {
     const auto dst = static_cast<NodeRank>(hdr.final_dst);
     MAD_ASSERT(dst != self_,
                "message to the gateway itself must use a regular channel");
+    if ((hdr.flags & kGtmFlagReliable) != 0) {
+      relay_reliable(in, hdr, dst);
+      in.end_unpacking();
+      ++vc_.mutable_gateway_stats(self_).messages_forwarded;
+      return;
+    }
     const topo::Route& route = vc_.routing().route(self_, dst);
     const topo::Hop& hop = route.front();
     const bool last_hop = route.size() == 1;
@@ -70,6 +77,125 @@ class GatewayRelay {
   }
 
  private:
+  /// Reliable-mode relay: store-and-forward with downstream failover.
+  ///
+  /// Phase 1 receives (and acks) the whole message into owned buffers —
+  /// the upstream hop is then done with it, so a downstream failure never
+  /// has to propagate back. Phase 2 resends it reliably, declaring dead
+  /// hops to the routing table and retrying over the surviving routes.
+  /// Known limitation: if THIS gateway crashes after phase 1 completed
+  /// but before phase 2 delivered, the message is lost (end-to-end acks
+  /// would be needed to close that window).
+  void relay_reliable(MessageReader& in, const GtmMsgHeader& hdr,
+                      NodeRank dst) {
+    const NodeRank from = in.source();
+    GatewayStats& stats = vc_.mutable_gateway_stats(self_);
+
+    // Phase 1: receive the full message, paquet by paquet, acking each.
+    struct StoredBlock {
+      GtmBlockHeader header;
+      std::vector<std::byte> data;
+    };
+    std::vector<StoredBlock> blocks;
+    std::uint32_t seq = 0;
+    for (;;) {
+      const GtmBlockHeader bh = recv_block_header_reliably(
+          vc_, self_, in, in_channel_, from, hdr.epoch, seq++, scratch_);
+      if (bh.end_of_message != 0) {
+        break;
+      }
+      StoredBlock block;
+      block.header = bh;
+      block.data.resize(bh.size);
+      const std::uint64_t fragments = fragment_count(bh.size, vc_.mtu());
+      for (std::uint64_t i = 0; i < fragments; ++i) {
+        const std::uint32_t size = fragment_size(bh.size, vc_.mtu(), i);
+        regulator_.pace(size);
+        const sim::Time begin = engine_.now();
+        recv_paquet_reliably(
+            vc_, self_, in, in_channel_, from, hdr.epoch, seq++,
+            util::MutByteSpan(block.data).subspan(i * vc_.mtu(), size),
+            scratch_);
+        if (vc_.options().trace != nullptr) {
+          vc_.options().trace->record(begin, engine_.now(), "gw.recv",
+                                      "bytes=" + std::to_string(size));
+        }
+        ++stats.paquets_forwarded;
+        stats.bytes_forwarded += size;
+        engine_.sleep_for(vc_.options().gateway_sw_overhead);
+      }
+      blocks.push_back(std::move(block));
+    }
+
+    // Phase 2: reliable resend toward dst, failing over on dead hops.
+    for (;;) {
+      if (vc_.node_crashed(self_)) {
+        // This gateway's own NIC crashed: stand down quietly instead of
+        // declaring healthy peers dead off our suppressed acks.
+        return;
+      }
+      if (!vc_.routing().reachable(self_, dst)) {
+        MAD_PANIC("node " + std::to_string(dst) +
+                  " unreachable from gateway " + std::to_string(self_) +
+                  ": no route survives the failed nodes");
+      }
+      // Route by value: mark_dead rebuilds the table while we block.
+      const topo::Route route = vc_.routing().route(self_, dst);
+      const topo::Hop hop = route.front();
+      const bool last_hop = route.size() == 1;
+      Channel& out_channel = last_hop
+                                 ? vc_.regular_channel(hop.network, self_)
+                                 : vc_.special_channel(hop.network, self_);
+      const NodeRank next = hop.node;
+      GtmMsgHeader out_hdr = hdr;
+      out_hdr.epoch = ++out_channel.connection_to(next).tx_epoch;
+      std::optional<HopFailure> failed;
+      {
+        MessageWriter out = open_outgoing(out_channel, next, last_hop,
+                                          out_hdr);
+        std::uint32_t out_seq = 0;
+        try {
+          for (const StoredBlock& block : blocks) {
+            send_block_header_reliably(vc_, self_, out, out_channel, next,
+                                       out_hdr.epoch, out_seq++,
+                                       block.header, scratch_);
+            const std::uint64_t fragments =
+                fragment_count(block.header.size, vc_.mtu());
+            for (std::uint64_t i = 0; i < fragments; ++i) {
+              const std::uint32_t size =
+                  fragment_size(block.header.size, vc_.mtu(), i);
+              send_paquet_reliably(
+                  vc_, self_, out, out_channel, next, out_hdr.epoch,
+                  out_seq++,
+                  util::ByteSpan(block.data).subspan(i * vc_.mtu(), size),
+                  scratch_);
+            }
+          }
+          send_block_header_reliably(vc_, self_, out, out_channel, next,
+                                     out_hdr.epoch, out_seq, end_marker(),
+                                     scratch_);
+        } catch (const HopFailure& f) {
+          // Keep the exception out of `out`'s destructor path: Express
+          // flushing left nothing pending, so end_packing below is
+          // non-blocking and releases the connection's tx lock.
+          failed = f;
+        }
+        out.end_packing();
+      }
+      if (!failed) {
+        return;
+      }
+      if (vc_.node_crashed(self_)) {
+        return;
+      }
+      vc_.mark_dead(failed->next_hop);
+      ++stats.reliability.peers_declared_dead;
+      if (vc_.routing().reachable(self_, dst)) {
+        ++stats.reliability.failovers;
+      }
+    }
+  }
+
   MessageWriter open_outgoing(Channel& out_channel, NodeRank next,
                               bool last_hop, const GtmMsgHeader& hdr) {
     MessageWriter out = out_channel.begin_packing(next);
@@ -231,6 +357,7 @@ class GatewayRelay {
   sim::Engine& engine_;
   sim::Mailbox<std::vector<std::byte>> free_buffers_;
   Regulator regulator_;
+  std::vector<std::byte> scratch_;  // reliable-mode staging buffer
 };
 
 }  // namespace

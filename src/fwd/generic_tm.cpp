@@ -3,8 +3,22 @@
 #include <algorithm>
 
 #include "util/panic.hpp"
+#include "util/rng.hpp"
 
 namespace mad::fwd {
+
+std::uint64_t gtm_paquet_checksum(util::ByteSpan payload, std::uint32_t seq,
+                                  std::uint32_t epoch) {
+  std::uint64_t h = util::fnv1a(payload);
+  h ^= (static_cast<std::uint64_t>(seq) + 1) * 0x9E3779B97F4A7C15ull;
+  h ^= (static_cast<std::uint64_t>(epoch) + 1) * 0xC2B2AE3D27D4EB4Full;
+  return h;
+}
+
+GtmPaquetTrailer make_paquet_trailer(util::ByteSpan payload, std::uint32_t seq,
+                                     std::uint32_t epoch) {
+  return {seq, epoch, gtm_paquet_checksum(payload, seq, epoch)};
+}
 
 std::uint8_t encode(SendMode mode) {
   return static_cast<std::uint8_t>(mode);

@@ -24,6 +24,7 @@
 #include "mad/message.hpp"
 #include "mad/session.hpp"
 #include "mad/types.hpp"
+#include "util/bytes.hpp"
 
 namespace mad::fwd {
 
@@ -35,13 +36,22 @@ struct Preamble {
   std::uint8_t forwarded = 0;
 };
 
+/// GtmMsgHeader.flags bit: the message body is carried in reliable-GTM
+/// framing (every element after this header is a sequenced, checksummed,
+/// acknowledged paquet — see fwd/reliable.hpp).
+inline constexpr std::uint8_t kGtmFlagReliable = 1;
+
 /// First GTM element: everything a gateway needs that the application
 /// would normally provide (paper §2.2.1 — "self-describing messages are
-/// mandatory").
+/// mandatory"). `epoch` identifies one reliable stream on one hop; each
+/// sender bumps it per message (and per failover reopen), so a receiver
+/// can discard late retransmits of a superseded stream.
 struct GtmMsgHeader {
   std::uint32_t final_dst = 0;
   std::uint32_t origin = 0;
   std::uint32_t mtu = 0;
+  std::uint32_t epoch = 0;
+  std::uint8_t flags = 0;
 };
 
 /// Per-block element: size and the pack flag pair ("the emission and
@@ -52,6 +62,24 @@ struct GtmBlockHeader {
   std::uint8_t rmode = 0;
   std::uint8_t end_of_message = 0;
 };
+
+/// Reliable-mode paquet trailer, appended to every GTM element payload.
+/// The checksum covers the payload bytes *and* (seq, epoch), so a flipped
+/// trailer field is caught as corruption rather than misread as a
+/// duplicate.
+struct GtmPaquetTrailer {
+  std::uint32_t seq = 0;
+  std::uint32_t epoch = 0;
+  std::uint64_t checksum = 0;
+};
+
+inline constexpr std::uint32_t kGtmTrailerBytes = sizeof(GtmPaquetTrailer);
+static_assert(kGtmTrailerBytes == 16);
+
+std::uint64_t gtm_paquet_checksum(util::ByteSpan payload, std::uint32_t seq,
+                                  std::uint32_t epoch);
+GtmPaquetTrailer make_paquet_trailer(util::ByteSpan payload, std::uint32_t seq,
+                                     std::uint32_t epoch);
 
 std::uint8_t encode(SendMode mode);
 std::uint8_t encode(RecvMode mode);

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "sim/engine.hpp"
+#include "util/panic.hpp"
 
 namespace mad::fwd {
 
@@ -19,7 +20,9 @@ class Regulator {
  public:
   /// rate in bytes/s; 0 disables pacing entirely.
   Regulator(sim::Engine& engine, double rate)
-      : engine_(engine), rate_(rate) {}
+      : engine_(engine), rate_(rate) {
+    MAD_ASSERT(rate >= 0.0, "regulation rate must be >= 0 bytes/s");
+  }
 
   bool enabled() const { return rate_ > 0.0; }
 

@@ -1,0 +1,127 @@
+#include "fwd/reliable.hpp"
+
+#include <cstring>
+
+#include "fwd/virtual_channel.hpp"
+#include "mad/channel.hpp"
+#include "mad/copy_stats.hpp"
+#include "mad/message.hpp"
+#include "net/link.hpp"
+#include "util/panic.hpp"
+
+namespace mad::fwd {
+
+void send_paquet_reliably(VirtualChannel& vc, NodeRank self,
+                          MessageWriter& out, Channel& out_channel,
+                          NodeRank peer, std::uint32_t epoch,
+                          std::uint32_t seq, util::ByteSpan payload,
+                          std::vector<std::byte>& scratch) {
+  const ReliableOptions& opts = vc.options().reliable;
+  ReliabilityStats& stats = vc.mutable_gateway_stats(self).reliability;
+  Connection& conn = out_channel.connection_to(peer);
+  net::Network& network = out_channel.network();
+  sim::Engine& engine = vc.domain().engine();
+
+  scratch.resize(payload.size() + kGtmTrailerBytes);
+  if (!payload.empty()) {
+    std::memcpy(scratch.data(), payload.data(), payload.size());
+  }
+  const GtmPaquetTrailer trailer = make_paquet_trailer(payload, seq, epoch);
+  std::memcpy(scratch.data() + payload.size(), &trailer, kGtmTrailerBytes);
+
+  sim::Time timeout = opts.ack_timeout;
+  for (int attempt = 1;; ++attempt) {
+    out.pack(util::ByteSpan(scratch), SendMode::Cheaper, RecvMode::Express);
+    if (network.acks().await(conn.tx_tag, conn.peer_nic_index, epoch, seq,
+                             engine.now() + timeout)) {
+      ++stats.paquets_acked;
+      return;
+    }
+    ++stats.timeouts;
+    if (attempt >= opts.max_attempts) {
+      throw HopFailure{peer, attempt};
+    }
+    ++stats.retransmits;
+    timeout = static_cast<sim::Time>(static_cast<double>(timeout) *
+                                     opts.timeout_backoff);
+  }
+}
+
+void recv_paquet_reliably(VirtualChannel& vc, NodeRank self,
+                          MessageReader& in, Channel& in_channel,
+                          NodeRank peer, std::uint32_t epoch,
+                          std::uint32_t expected_seq,
+                          util::MutByteSpan payload_dst,
+                          std::vector<std::byte>& scratch) {
+  ReliabilityStats& stats = vc.mutable_gateway_stats(self).reliability;
+  const Connection& conn = in_channel.connection_to(peer);
+  net::Network& network = in_channel.network();
+  const int self_nic = in_channel.tm().nic().index();
+
+  scratch.resize(static_cast<std::size_t>(vc.mtu()) + kGtmTrailerBytes);
+  for (;;) {
+    const std::uint32_t wire_size =
+        in.unpack_paquet(util::MutByteSpan(scratch));
+    if (wire_size < kGtmTrailerBytes) {
+      ++stats.corrupt_drops;  // not even a whole trailer — mangled frame
+      continue;
+    }
+    GtmPaquetTrailer trailer;
+    std::memcpy(&trailer, scratch.data() + wire_size - kGtmTrailerBytes,
+                kGtmTrailerBytes);
+    const util::ByteSpan body(scratch.data(), wire_size - kGtmTrailerBytes);
+    if (trailer.checksum !=
+        gtm_paquet_checksum(body, trailer.seq, trailer.epoch)) {
+      // Corrupt: drop silently; the sender's ack timeout covers it.
+      ++stats.corrupt_drops;
+      continue;
+    }
+    if (trailer.epoch != epoch || trailer.seq < expected_seq) {
+      // Duplicate (or a late retransmit of a superseded stream): drop, but
+      // re-acknowledge — the original ack may have been posted before the
+      // sender timed out, or suppressed by a fault window.
+      ++stats.dup_drops;
+      network.post_ack(conn.rx_tag, self_nic, conn.peer_nic_index,
+                       trailer.epoch, trailer.seq);
+      continue;
+    }
+    // Stop-and-wait: nothing beyond expected_seq can be in flight.
+    MAD_ASSERT(trailer.seq == expected_seq,
+               "reliable GTM stream desync: got seq " +
+                   std::to_string(trailer.seq) + ", expected " +
+                   std::to_string(expected_seq));
+    MAD_ASSERT(body.size() == payload_dst.size(),
+               "reliable paquet payload of " + std::to_string(body.size()) +
+                   " bytes, expected " + std::to_string(payload_dst.size()));
+    if (!payload_dst.empty()) {
+      counted_copy(payload_dst, body);
+    }
+    network.post_ack(conn.rx_tag, self_nic, conn.peer_nic_index, epoch,
+                     expected_seq);
+    return;
+  }
+}
+
+void send_block_header_reliably(VirtualChannel& vc, NodeRank self,
+                                MessageWriter& out, Channel& out_channel,
+                                NodeRank peer, std::uint32_t epoch,
+                                std::uint32_t seq,
+                                const GtmBlockHeader& header,
+                                std::vector<std::byte>& scratch) {
+  send_paquet_reliably(vc, self, out, out_channel, peer, epoch, seq,
+                       util::object_bytes(header), scratch);
+}
+
+GtmBlockHeader recv_block_header_reliably(VirtualChannel& vc, NodeRank self,
+                                          MessageReader& in,
+                                          Channel& in_channel, NodeRank peer,
+                                          std::uint32_t epoch,
+                                          std::uint32_t seq,
+                                          std::vector<std::byte>& scratch) {
+  GtmBlockHeader header{};
+  recv_paquet_reliably(vc, self, in, in_channel, peer, epoch, seq,
+                       util::object_bytes_mut(header), scratch);
+  return header;
+}
+
+}  // namespace mad::fwd

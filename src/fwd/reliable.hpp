@@ -1,0 +1,108 @@
+// Reliable GTM mode: stop-and-wait ack/retransmit per paquet.
+//
+// When VcOptions::reliable.enabled is set, every forwarded GTM element —
+// block headers, payload fragments, the end-of-message marker — travels as
+// one *reliable paquet*: the payload plus a GtmPaquetTrailer (seq, epoch,
+// checksum). The receiver validates the checksum first (corruption →
+// silent drop, the sender retransmits), then the (epoch, seq) pair
+// (duplicate or superseded stream → drop and re-acknowledge, in case the
+// original ack raced the sender's timeout), and acknowledges accepted
+// paquets through the network's AckRegistry. The sender blocks on the ack
+// with an exponentially backed-off virtual-time deadline; exhausting
+// max_attempts throws HopFailure, which the virtual-channel writer and the
+// gateway relay translate into route invalidation + failover (or a
+// diagnosable "unreachable" panic when no alternate gateway exists).
+//
+// Only the preamble, the GTM message header and the channel announce stay
+// outside this framing: they bootstrap the per-hop stream. Losing one of
+// them to a crash starves the first paquet's ack, so the sender still
+// detects the dead hop — just via the first paquet's retry budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fwd/generic_tm.hpp"
+#include "mad/types.hpp"
+#include "sim/time.hpp"
+#include "util/bytes.hpp"
+
+namespace mad {
+class Channel;
+class MessageReader;
+class MessageWriter;
+}  // namespace mad
+
+namespace mad::fwd {
+
+class VirtualChannel;
+
+struct ReliableOptions {
+  bool enabled = false;
+  /// First-attempt ack deadline. The ack only posts once the receiver has
+  /// fully consumed the paquet (receive-side PCI flow + overheads), so for
+  /// the paper-scale 64–128 KB paquets a round trip is 1–4 ms of virtual
+  /// time; a sub-millisecond default would retransmit constantly.
+  sim::Time ack_timeout = sim::milliseconds(5);
+  /// Deadline multiplier per retry (exponential backoff).
+  double timeout_backoff = 2.0;
+  /// Attempts (including the first) before the hop is declared dead.
+  int max_attempts = 6;
+};
+
+/// Reliable-mode counters, per node (GatewayStats::reliability).
+struct ReliabilityStats {
+  std::uint64_t paquets_acked = 0;  // sender side: completed round trips
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t dup_drops = 0;      // receiver side
+  std::uint64_t corrupt_drops = 0;  // receiver side
+  std::uint64_t failovers = 0;      // reroutes that found an alternate
+  std::uint64_t peers_declared_dead = 0;
+};
+
+/// Thrown by send_paquet_reliably when a hop exhausts its retry budget —
+/// the reliable protocol's "this peer is dead" signal.
+struct HopFailure {
+  NodeRank next_hop = -1;
+  int attempts = 0;
+};
+
+/// Sends `payload` as one reliable paquet on the open message `out` toward
+/// `peer`, retransmitting on ack timeout. `scratch` is a caller-owned
+/// staging buffer reused across calls. Throws HopFailure after
+/// max_attempts. Stats are charged to `self` in vc's per-node block.
+void send_paquet_reliably(VirtualChannel& vc, NodeRank self,
+                          MessageWriter& out, Channel& out_channel,
+                          NodeRank peer, std::uint32_t epoch,
+                          std::uint32_t seq, util::ByteSpan payload,
+                          std::vector<std::byte>& scratch);
+
+/// Receives the reliable paquet with (epoch, expected_seq) into
+/// `payload_dst` (size must match the original payload exactly), dropping
+/// corrupt paquets and dropping + re-acking duplicates until it arrives,
+/// then acknowledges it.
+void recv_paquet_reliably(VirtualChannel& vc, NodeRank self,
+                          MessageReader& in, Channel& in_channel,
+                          NodeRank peer, std::uint32_t epoch,
+                          std::uint32_t expected_seq,
+                          util::MutByteSpan payload_dst,
+                          std::vector<std::byte>& scratch);
+
+/// Block headers travel as reliable paquets of their own in reliable mode
+/// (a lost header would desynchronize the stream silently otherwise).
+void send_block_header_reliably(VirtualChannel& vc, NodeRank self,
+                                MessageWriter& out, Channel& out_channel,
+                                NodeRank peer, std::uint32_t epoch,
+                                std::uint32_t seq,
+                                const GtmBlockHeader& header,
+                                std::vector<std::byte>& scratch);
+
+GtmBlockHeader recv_block_header_reliably(VirtualChannel& vc, NodeRank self,
+                                          MessageReader& in,
+                                          Channel& in_channel, NodeRank peer,
+                                          std::uint32_t epoch,
+                                          std::uint32_t seq,
+                                          std::vector<std::byte>& scratch);
+
+}  // namespace mad::fwd

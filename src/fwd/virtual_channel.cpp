@@ -19,6 +19,19 @@ VirtualChannel::VirtualChannel(Domain& domain, std::string name,
   MAD_ASSERT(options_.pipeline_depth >= 1, "pipeline depth must be >= 1");
 
   mtu_ = compute_route_mtu(domain_, networks_, options_.paquet_size);
+  if (options_.reliable.enabled) {
+    MAD_ASSERT(options_.reliable.max_attempts >= 1,
+               "reliable mode needs at least one attempt");
+    MAD_ASSERT(options_.reliable.ack_timeout > 0,
+               "reliable ack timeout must be positive");
+    MAD_ASSERT(options_.reliable.timeout_backoff >= 1.0,
+               "reliable timeout backoff must be >= 1");
+    MAD_ASSERT(mtu_ > kGtmTrailerBytes,
+               "route MTU too small for the reliable paquet trailer");
+    // Carve the trailer out of the wire MTU so payload + trailer still
+    // crosses every hop unfragmented.
+    mtu_ -= kGtmTrailerBytes;
+  }
 
   // Topology over *local* network ids (positions in networks_).
   topology_ = std::make_unique<topo::Topology>(domain_.node_count());
@@ -53,6 +66,27 @@ VirtualChannel::VirtualChannel(Domain& domain, std::string name,
 }
 
 VirtualChannel::~VirtualChannel() = default;
+
+void VirtualChannel::mark_dead(NodeRank rank) {
+  routing_->exclude(rank);
+}
+
+bool VirtualChannel::is_dead(NodeRank rank) const {
+  return routing_->excluded(rank);
+}
+
+bool VirtualChannel::node_crashed(NodeRank rank) const {
+  const sim::Time now = domain_.engine().now();
+  for (const int local : topology_->networks_of(rank)) {
+    net::Network& net = network(local);
+    const net::FaultInjector* injector = net.fault_injector();
+    if (injector != nullptr &&
+        injector->nic_down(domain_.nic_of(rank, net).index(), now)) {
+      return true;
+    }
+  }
+  return false;
+}
 
 bool VirtualChannel::is_member(NodeRank rank) const {
   return !topology_->networks_of(rank).empty();
@@ -168,7 +202,7 @@ std::optional<VcMessageReader> VcEndpoint::begin_unpacking_until(
 
 VcMessageWriter::VcMessageWriter(VirtualChannel& vc, NodeRank src,
                                  NodeRank dst)
-    : vc_(&vc), dst_(dst), mtu_(vc.mtu()) {
+    : vc_(&vc), src_(src), dst_(dst), mtu_(vc.mtu()) {
   MAD_ASSERT(vc.is_member(src) && vc.is_member(dst),
              "both ends must be members of the virtual channel");
   const topo::Route& route = vc.routing().route(src, dst);
@@ -176,9 +210,13 @@ VcMessageWriter::VcMessageWriter(VirtualChannel& vc, NodeRank src,
   direct_ = route.size() == 1;
   if (direct_) {
     // No gateway: regular channel, native format, full optimizations.
+    // (Also no reliability: the reliable framing protects forwarded
+    // traffic only.)
     Channel& channel = vc.regular_channel(first.network, src);
     inner_.emplace(channel.begin_packing(dst));
     write_preamble(*inner_, Preamble{static_cast<std::uint32_t>(src), 0});
+  } else if (vc.reliable()) {
+    open_reliable_hop();
   } else {
     // At least one gateway: special channel of the first device, GTM
     // format with self-description.
@@ -190,11 +228,90 @@ VcMessageWriter::VcMessageWriter(VirtualChannel& vc, NodeRank src,
   }
 }
 
+void VcMessageWriter::open_reliable_hop() {
+  // Route by value: recover() may trigger a concurrent rebuild.
+  const topo::Hop first = vc_->routing().route(src_, dst_).front();
+  next_hop_ = first.node;
+  out_channel_ = &vc_->special_channel(first.network, src_);
+  epoch_ = ++out_channel_->connection_to(next_hop_).tx_epoch;
+  seq_ = 0;
+  inner_.emplace(out_channel_->begin_packing(next_hop_));
+  write_msg_header(*inner_, GtmMsgHeader{static_cast<std::uint32_t>(dst_),
+                                         static_cast<std::uint32_t>(src_),
+                                         mtu_, epoch_, kGtmFlagReliable});
+}
+
+void VcMessageWriter::emit_block(const ReplayBlock& block) {
+  const util::ByteSpan data(block.data);
+  send_block_header_reliably(
+      *vc_, src_, *inner_, *out_channel_, next_hop_, epoch_, seq_++,
+      block_header_for(data.size(), block.smode, block.rmode), scratch_);
+  const std::uint64_t fragments = fragment_count(data.size(), mtu_);
+  for (std::uint64_t i = 0; i < fragments; ++i) {
+    const std::uint32_t fsize = fragment_size(data.size(), mtu_, i);
+    send_paquet_reliably(*vc_, src_, *inner_, *out_channel_, next_hop_,
+                         epoch_, seq_++, data.subspan(i * mtu_, fsize),
+                         scratch_);
+  }
+}
+
+void VcMessageWriter::emit_end() {
+  send_block_header_reliably(*vc_, src_, *inner_, *out_channel_, next_hop_,
+                             epoch_, seq_, end_marker(), scratch_);
+}
+
+void VcMessageWriter::recover(const HopFailure& failure, bool finishing) {
+  HopFailure failed = failure;
+  for (;;) {
+    ReliabilityStats& stats =
+        vc_->mutable_gateway_stats(src_).reliability;
+    vc_->mark_dead(failed.next_hop);
+    ++stats.peers_declared_dead;
+    // Express flushing leaves nothing buffered, so closing the dead-hop
+    // message is non-blocking and releases the connection's tx lock.
+    inner_->end_packing();
+    inner_.reset();
+    if (!vc_->routing().reachable(src_, dst_)) {
+      MAD_PANIC("node " + std::to_string(dst_) + " unreachable from " +
+                std::to_string(src_) + ": gateway " +
+                std::to_string(failed.next_hop) + " declared dead after " +
+                std::to_string(failed.attempts) +
+                " attempts and no alternate route exists");
+    }
+    ++stats.failovers;
+    open_reliable_hop();
+    try {
+      for (const ReplayBlock& block : replay_) {
+        emit_block(block);
+      }
+      if (finishing) {
+        emit_end();
+      }
+      return;
+    } catch (const HopFailure& again) {
+      failed = again;
+    }
+  }
+}
+
 void VcMessageWriter::pack(util::ByteSpan data, SendMode smode,
                            RecvMode rmode) {
   MAD_ASSERT(!ended_, "pack after end_packing");
   if (direct_) {
     inner_->pack(data, smode, rmode);
+    return;
+  }
+  if (vc_->reliable()) {
+    // Keep a copy for replay: a downstream gateway crash can surface any
+    // number of blocks later, and the message restarts from scratch on
+    // the alternate route.
+    replay_.push_back(ReplayBlock{
+        std::vector<std::byte>(data.begin(), data.end()), smode, rmode});
+    try {
+      emit_block(replay_.back());
+    } catch (const HopFailure& failure) {
+      recover(failure, /*finishing=*/false);
+    }
     return;
   }
   // GTM: block header, then MTU-sized fragments. Express flushing makes
@@ -212,7 +329,15 @@ void VcMessageWriter::pack(util::ByteSpan data, SendMode smode,
 void VcMessageWriter::end_packing() {
   MAD_ASSERT(!ended_, "end_packing called twice");
   if (!direct_) {
-    write_block_header(*inner_, end_marker());
+    if (vc_->reliable()) {
+      try {
+        emit_end();
+      } catch (const HopFailure& failure) {
+        recover(failure, /*finishing=*/true);
+      }
+    } else {
+      write_block_header(*inner_, end_marker());
+    }
   }
   inner_->end_packing();
   ended_ = true;
@@ -221,7 +346,10 @@ void VcMessageWriter::end_packing() {
 // -------------------------------------------------------- VcMessageReader
 
 VcMessageReader::VcMessageReader(VcEndpoint& endpoint, VcIncoming incoming)
-    : incoming_(std::move(incoming)), mtu_(endpoint.vc().mtu()) {
+    : incoming_(std::move(incoming)),
+      vc_(&endpoint.vc()),
+      self_(endpoint.rank()),
+      mtu_(endpoint.vc().mtu()) {
   if (forwarded()) {
     gtm_header_ = read_msg_header(incoming_.reader);
     MAD_ASSERT(gtm_header_.final_dst ==
@@ -230,8 +358,12 @@ VcMessageReader::VcMessageReader(VcEndpoint& endpoint, VcIncoming incoming)
     MAD_ASSERT(gtm_header_.origin == incoming_.preamble.origin,
                "preamble/GTM origin mismatch");
     MAD_ASSERT(gtm_header_.mtu == mtu_, "GTM MTU mismatch");
+    reliable_ = (gtm_header_.flags & kGtmFlagReliable) != 0;
+    MAD_ASSERT(reliable_ == vc_->reliable(),
+               "reliable-mode mismatch between sender and receiver");
   }
 }
+
 
 NodeRank VcMessageReader::source() const {
   return static_cast<NodeRank>(incoming_.preamble.origin);
@@ -242,6 +374,32 @@ void VcMessageReader::unpack(util::MutByteSpan dst, SendMode smode,
   MAD_ASSERT(!ended_, "unpack after end_unpacking");
   if (!forwarded()) {
     incoming_.reader.unpack(dst, smode, rmode);
+    return;
+  }
+  if (reliable_) {
+    // The per-hop stream peer is whoever sent on this real channel — the
+    // last gateway in general (incoming_.reader.source(), not the
+    // preamble origin).
+    const NodeRank peer = incoming_.reader.source();
+    const GtmBlockHeader header = recv_block_header_reliably(
+        *vc_, self_, incoming_.reader, *incoming_.channel, peer,
+        gtm_header_.epoch, next_seq_++, scratch_);
+    MAD_ASSERT(header.end_of_message == 0,
+               "unpack past the end of a forwarded message");
+    MAD_ASSERT(header.size == dst.size(),
+               "unpack size " + std::to_string(dst.size()) +
+                   " does not match packed size " +
+                   std::to_string(header.size));
+    MAD_ASSERT(decode_smode(header.smode) == smode &&
+                   decode_rmode(header.rmode) == rmode,
+               "unpack flags do not match the pack flags");
+    const std::uint64_t fragments = fragment_count(header.size, mtu_);
+    for (std::uint64_t i = 0; i < fragments; ++i) {
+      const std::uint32_t fsize = fragment_size(header.size, mtu_, i);
+      recv_paquet_reliably(*vc_, self_, incoming_.reader, *incoming_.channel,
+                           peer, gtm_header_.epoch, next_seq_++,
+                           dst.subspan(i * mtu_, fsize), scratch_);
+    }
     return;
   }
   const GtmBlockHeader header = read_block_header(incoming_.reader);
@@ -263,7 +421,15 @@ void VcMessageReader::unpack(util::MutByteSpan dst, SendMode smode,
 
 void VcMessageReader::end_unpacking() {
   MAD_ASSERT(!ended_, "end_unpacking called twice");
-  if (forwarded()) {
+  if (forwarded() && reliable_) {
+    // The end marker is a reliable paquet too: its ack confirms the whole
+    // message made it across this hop.
+    const GtmBlockHeader marker = recv_block_header_reliably(
+        *vc_, self_, incoming_.reader, *incoming_.channel,
+        incoming_.reader.source(), gtm_header_.epoch, next_seq_, scratch_);
+    MAD_ASSERT(marker.end_of_message == 1,
+               "end_unpacking before all blocks were consumed");
+  } else if (forwarded()) {
     const GtmBlockHeader marker = read_block_header(incoming_.reader);
     MAD_ASSERT(marker.end_of_message == 1,
                "end_unpacking before all blocks were consumed");

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "fwd/generic_tm.hpp"
+#include "fwd/reliable.hpp"
 #include "mad/madeleine.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/trace.hpp"
@@ -51,17 +52,23 @@ struct VcOptions {
   double regulation_rate = 0.0;
   /// Optional interval tracing of gateway steps (Fig 5 / Fig 8 benches).
   sim::Trace* trace = nullptr;
+  /// Reliable GTM mode: sequence/checksum trailers, per-hop ack/retransmit
+  /// and gateway failover for forwarded traffic (fwd/reliable.hpp). Direct
+  /// (gateway-free) messages keep the native format and are NOT protected.
+  ReliableOptions reliable;
 };
 
 class VcEndpoint;
 class VcMessageWriter;
 class VcMessageReader;
 
-/// Per-gateway forwarding counters.
+/// Per-node forwarding counters (forwarding ones only move on gateways;
+/// the reliability block also counts sender/receiver work on end nodes).
 struct GatewayStats {
   std::uint64_t messages_forwarded = 0;
   std::uint64_t paquets_forwarded = 0;
   std::uint64_t bytes_forwarded = 0;  // payload bytes relayed
+  ReliabilityStats reliability;
 };
 
 class VirtualChannel {
@@ -79,9 +86,24 @@ class VirtualChannel {
   const std::string& name() const { return name_; }
   Domain& domain() const { return domain_; }
   const VcOptions& options() const { return options_; }
+  /// Paquet *payload* size; in reliable mode the trailer is carved out of
+  /// the wire MTU, so payload + trailer still fits every hop.
   std::uint32_t mtu() const { return mtu_; }
+  bool reliable() const { return options_.reliable.enabled; }
   const topo::Routing& routing() const { return *routing_; }
   const topo::Topology& topology() const { return *topology_; }
+
+  /// Declares a node dead (reliable mode, after a hop exhausted its retry
+  /// budget): removes it from the routing graph and recomputes all routes,
+  /// so subsequent and in-flight messages fail over. Idempotent.
+  void mark_dead(NodeRank rank);
+  bool is_dead(NodeRank rank) const;
+
+  /// True when `rank`'s NIC on any of this channel's networks has a fault-
+  /// plan crash event at or before the current virtual time — lets a
+  /// crashed gateway's own actors stand down instead of mis-diagnosing
+  /// their peers.
+  bool node_crashed(NodeRank rank) const;
 
   /// Member = node with a NIC on at least one of the virtual channel's
   /// networks.
@@ -178,12 +200,35 @@ class VcMessageWriter {
   void end_packing();
 
  private:
+  // Reliable mode: (re)opens the per-hop stream toward the current first
+  // hop with a fresh epoch.
+  void open_reliable_hop();
+  // One packed block, kept for replay across failovers.
+  struct ReplayBlock {
+    std::vector<std::byte> data;
+    SendMode smode;
+    RecvMode rmode;
+  };
+  void emit_block(const ReplayBlock& block);
+  void emit_end();
+  // Declares the failed hop dead and replays the message via an alternate
+  // route; panics with an "unreachable" diagnosis when none exists.
+  void recover(const HopFailure& failure, bool finishing);
+
   VirtualChannel* vc_;
+  NodeRank src_ = -1;
   NodeRank dst_;
   bool direct_ = false;
   std::uint32_t mtu_ = 0;
   std::optional<MessageWriter> inner_;
   bool ended_ = false;
+  // Reliable (non-direct) mode state.
+  Channel* out_channel_ = nullptr;
+  NodeRank next_hop_ = -1;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t seq_ = 0;
+  std::vector<ReplayBlock> replay_;
+  std::vector<std::byte> scratch_;
 };
 
 class VcMessageReader {
@@ -211,9 +256,15 @@ class VcMessageReader {
 
  private:
   VcIncoming incoming_;
+  VirtualChannel* vc_ = nullptr;
+  NodeRank self_ = -1;
   std::uint32_t mtu_ = 0;
   GtmMsgHeader gtm_header_;  // valid when forwarded()
   bool ended_ = false;
+  // Reliable (forwarded) mode state.
+  bool reliable_ = false;
+  std::uint32_t next_seq_ = 0;
+  std::vector<std::byte> scratch_;
 };
 
 }  // namespace mad::fwd

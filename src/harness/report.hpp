@@ -10,6 +10,10 @@
 #include <string>
 #include <vector>
 
+namespace mad::fwd {
+class VirtualChannel;
+}  // namespace mad::fwd
+
 namespace mad::harness {
 
 class ReportTable {
@@ -36,5 +40,10 @@ class ReportTable {
 
 /// "16 KB" style labels for power-of-two byte counts.
 std::string size_label(std::uint64_t bytes);
+
+/// Per-member reliable-mode counters of `vc` (acks, retransmits, drops,
+/// failovers) as a fixed-width table plus "csv," mirror lines; all-zero
+/// members are skipped, a "total" row always prints.
+void print_reliability(const fwd::VirtualChannel& vc);
 
 }  // namespace mad::harness

@@ -7,6 +7,10 @@
 
 namespace mad {
 
+std::uint32_t BmmRx::unpack_paquet(util::MutByteSpan /*capacity*/) {
+  MAD_PANIC("this BMM shape does not support paquet-granular receive");
+}
+
 // ---------------------------------------------------------------- dynamic tx
 
 DynamicAggregTx::DynamicAggregTx(TransmissionModule& tm, TxRoute route,
@@ -101,6 +105,18 @@ void DynamicAggregRx::finish() { flush_all(); }
 
 void DynamicAggregRx::flush() { flush_all(); }
 
+std::uint32_t DynamicAggregRx::unpack_paquet(util::MutByteSpan capacity) {
+  MAD_ASSERT(pending_.empty(),
+             "unpack_paquet with partial-packet state pending");
+  const net::PacketInfo info = tm_.peek_packet(route_.tag);
+  MAD_ASSERT(info.size <= capacity.size(),
+             "paquet of " + std::to_string(info.size) +
+                 " bytes exceeds receive capacity " +
+                 std::to_string(capacity.size()));
+  tm_.recv_packet(route_.tag, util::MutIovec{capacity.first(info.size)});
+  return info.size;
+}
+
 // ---------------------------------------------------------------- hybrid
 
 HybridTx::HybridTx(TransmissionModule& tm, TxRoute route,
@@ -155,6 +171,24 @@ void HybridRx::unpack(util::MutByteSpan dst, SendMode smode, RecvMode rmode) {
 }
 
 void HybridRx::finish() { rdma_.finish(); }
+
+std::uint32_t HybridRx::unpack_paquet(util::MutByteSpan capacity) {
+  rdma_.flush();
+  const net::PacketInfo info = tm_.peek_packet(route_.tag);
+  // Route by the wire size, exactly as the sender routed by the payload
+  // size: mesg-path packets travel in static buffers, rdma-path packets
+  // land straight in user memory.
+  if (info.size < threshold_) {
+    auto buffer = tm_.recv_packet_static(route_.tag);
+    MAD_ASSERT(buffer.used() <= capacity.size(),
+               "paquet exceeds receive capacity");
+    counted_copy(capacity.first(buffer.used()), buffer.data());
+    return static_cast<std::uint32_t>(buffer.used());
+  }
+  MAD_ASSERT(info.size <= capacity.size(), "paquet exceeds receive capacity");
+  tm_.recv_packet(route_.tag, util::MutIovec{capacity.first(info.size)});
+  return info.size;
+}
 
 // ----------------------------------------------------------------- static tx
 
@@ -229,6 +263,16 @@ void StaticRx::unpack(util::MutByteSpan dst, SendMode /*smode*/,
 void StaticRx::finish() {
   MAD_ASSERT(!current_.valid(),
              "static BMM desync: leftover bytes at end of message");
+}
+
+std::uint32_t StaticRx::unpack_paquet(util::MutByteSpan capacity) {
+  MAD_ASSERT(!current_.valid(),
+             "unpack_paquet with partial-buffer state pending");
+  auto buffer = tm_.recv_packet_static(route_.tag);
+  MAD_ASSERT(buffer.used() <= capacity.size(),
+             "paquet exceeds receive capacity");
+  counted_copy(capacity.first(buffer.used()), buffer.data());
+  return static_cast<std::uint32_t>(buffer.used());
 }
 
 }  // namespace mad

@@ -46,6 +46,12 @@ class BmmRx {
   virtual void unpack(util::MutByteSpan dst, SendMode smode,
                       RecvMode rmode) = 0;
   virtual void finish() = 0;
+  /// Reliable-GTM receive: consumes exactly one wire packet of a priori
+  /// unknown size into the front of `capacity` and returns the actual
+  /// size (a retransmitted duplicate may differ from the expected
+  /// fragment). Only valid between Express boundaries, when the shape
+  /// holds no partial-packet state; shapes that cannot support it panic.
+  virtual std::uint32_t unpack_paquet(util::MutByteSpan capacity);
 };
 
 /// Where a Tx sends to / an Rx receives from.
@@ -87,6 +93,7 @@ class DynamicAggregRx final : public BmmRx {
   DynamicAggregRx(TransmissionModule& tm, RxRoute route, bool eager);
   void unpack(util::MutByteSpan dst, SendMode smode, RecvMode rmode) override;
   void finish() override;
+  std::uint32_t unpack_paquet(util::MutByteSpan capacity) override;
   void flush();
 
  private:
@@ -126,6 +133,7 @@ class HybridRx final : public BmmRx {
   HybridRx(TransmissionModule& tm, RxRoute route, std::uint32_t threshold);
   void unpack(util::MutByteSpan dst, SendMode smode, RecvMode rmode) override;
   void finish() override;
+  std::uint32_t unpack_paquet(util::MutByteSpan capacity) override;
 
  private:
   TransmissionModule& tm_;
@@ -156,6 +164,7 @@ class StaticRx final : public BmmRx {
   StaticRx(TransmissionModule& tm, RxRoute route);
   void unpack(util::MutByteSpan dst, SendMode smode, RecvMode rmode) override;
   void finish() override;
+  std::uint32_t unpack_paquet(util::MutByteSpan capacity) override;
 
  private:
   TransmissionModule& tm_;

@@ -31,6 +31,11 @@ struct Connection {
   /// Tag the peer sends with (keyed by the peer rank).
   std::uint64_t rx_tag = 0;
 
+  /// Reliable-GTM stream epoch counter: bumped once per reliable message
+  /// opened on this connection (and per failover reopen), so a receiver
+  /// can tell a late retransmit of an old stream from the current one.
+  std::uint32_t tx_epoch = 0;
+
   /// Transmission lock: only one message may be in construction toward
   /// this peer at a time. Matters on gateways, where the forwarding actor
   /// and the application can both open messages on the same regular

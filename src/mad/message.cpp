@@ -76,6 +76,13 @@ void MessageReader::unpack(util::MutByteSpan dst, SendMode smode,
   payload_bytes_ += dst.size();
 }
 
+std::uint32_t MessageReader::unpack_paquet(util::MutByteSpan capacity) {
+  MAD_ASSERT(!ended_, "unpack_paquet after end_unpacking");
+  const std::uint32_t size = bmm_->unpack_paquet(capacity);
+  payload_bytes_ += size;
+  return size;
+}
+
 void MessageReader::end_unpacking() {
   MAD_ASSERT(!ended_, "end_unpacking called twice");
   bmm_->finish();

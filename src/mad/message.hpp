@@ -78,6 +78,11 @@ class MessageReader {
     return value;
   }
 
+  /// Reliable-GTM receive: consumes exactly one wire packet of a priori
+  /// unknown size into the front of `capacity`, returning the actual size
+  /// (see BmmRx::unpack_paquet).
+  std::uint32_t unpack_paquet(util::MutByteSpan capacity);
+
   /// Finalizes extraction (mad_end_unpacking): all Cheaper blocks are
   /// guaranteed filled afterwards.
   void end_unpacking();

@@ -34,6 +34,12 @@ class TransmissionModule {
   void recv_packet(std::uint64_t tag, const util::MutIovec& dst);
   std::vector<std::byte> recv_packet_owned(std::uint64_t tag);
 
+  /// Blocks until a packet with `tag` is queued and returns its size and
+  /// source without consuming it (reliable-GTM receivers size their
+  /// scatter target from this — a retransmitted duplicate may be smaller
+  /// or larger than the expected fragment).
+  net::PacketInfo peek_packet(std::uint64_t tag) { return nic_.peek(tag); }
+
   /// --- static-buffer operations (protocol-owned buffers)
   net::StaticBufferPool::Ref acquire_static_buffer();
   void send_static_buffer(int dst_nic_index, std::uint64_t tag,

@@ -1,0 +1,141 @@
+#include "net/fault.hpp"
+
+#include "util/panic.hpp"
+
+namespace mad::net {
+
+const char* fault_action_name(FaultAction action) {
+  switch (action) {
+    case FaultAction::Deliver:
+      return "deliver";
+    case FaultAction::Drop:
+      return "DROP";
+    case FaultAction::Corrupt:
+      return "CORRUPT";
+    case FaultAction::Duplicate:
+      return "DUP";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {
+  MAD_ASSERT(plan_.drop_rate >= 0.0 && plan_.corrupt_rate >= 0.0 &&
+                 plan_.duplicate_rate >= 0.0,
+             "fault rates must be non-negative");
+  MAD_ASSERT(
+      plan_.drop_rate + plan_.corrupt_rate + plan_.duplicate_rate <= 1.0,
+      "fault rates must sum to at most 1");
+  for (const NicCrash& crash : plan_.crashes) {
+    MAD_ASSERT(crash.nic_index >= 0, "crash needs a NIC index");
+  }
+}
+
+bool FaultInjector::nic_down(int nic_index, sim::Time now) const {
+  for (const NicCrash& crash : plan_.crashes) {
+    if (crash.nic_index == nic_index && now >= crash.at) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::link_down(int src_nic, int dst_nic, sim::Time now) const {
+  for (const LinkDownWindow& window : plan_.link_downs) {
+    const bool src_ok = window.src < 0 || window.src == src_nic;
+    const bool dst_ok = window.dst < 0 || window.dst == dst_nic;
+    if (src_ok && dst_ok && now >= window.from && now < window.until) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultAction FaultInjector::decide(int src_nic, int dst_nic, std::uint32_t size,
+                                  sim::Time now) {
+  if (nic_down(src_nic, now) || nic_down(dst_nic, now)) {
+    ++stats_.crash_drops;
+    return FaultAction::Drop;
+  }
+  if (link_down(src_nic, dst_nic, now)) {
+    ++stats_.link_down_drops;
+    return FaultAction::Drop;
+  }
+  const double faultable =
+      plan_.drop_rate + plan_.corrupt_rate + plan_.duplicate_rate;
+  if (size < plan_.min_faultable_size || faultable <= 0.0) {
+    ++stats_.delivered;
+    return FaultAction::Deliver;
+  }
+  const double draw = rng_.next_double();
+  if (draw < plan_.drop_rate) {
+    ++stats_.dropped;
+    return FaultAction::Drop;
+  }
+  if (draw < plan_.drop_rate + plan_.corrupt_rate) {
+    ++stats_.corrupted;
+    return FaultAction::Corrupt;
+  }
+  if (draw < faultable) {
+    ++stats_.duplicated;
+    return FaultAction::Duplicate;
+  }
+  ++stats_.delivered;
+  return FaultAction::Deliver;
+}
+
+void FaultInjector::corrupt(util::MutByteSpan payload) {
+  MAD_ASSERT(!payload.empty(), "cannot corrupt an empty payload");
+  const std::size_t pos = rng_.next_below(payload.size());
+  payload[pos] ^= static_cast<std::byte>(rng_.next_between(1, 255));
+}
+
+AckRegistry::AckRegistry(sim::Engine& engine, std::string name)
+    : engine_(engine), name_(std::move(name)) {}
+
+AckRegistry::Stream& AckRegistry::stream(std::uint64_t tag, int receiver_nic) {
+  Stream& s = streams_[{tag, receiver_nic}];
+  if (!s.cond) {
+    s.cond = std::make_unique<sim::Condition>(engine_, name_ + ".ack");
+  }
+  return s;
+}
+
+void AckRegistry::post(std::uint64_t tag, int receiver_nic,
+                       std::uint32_t epoch, std::uint32_t seq,
+                       sim::Time visible) {
+  Stream& s = stream(tag, receiver_nic);
+  if (s.any && epoch < s.epoch) {
+    return;  // stale re-ack from a superseded stream
+  }
+  if (!s.any || epoch > s.epoch) {
+    s.any = true;
+    s.epoch = epoch;
+    s.max_seq = seq;
+    s.visible = visible;
+  } else if (seq > s.max_seq) {
+    s.max_seq = seq;
+    s.visible = visible;
+  }
+  s.cond->notify_all();
+}
+
+bool AckRegistry::await(std::uint64_t tag, int receiver_nic,
+                        std::uint32_t epoch, std::uint32_t seq,
+                        sim::Time deadline) {
+  Stream& s = stream(tag, receiver_nic);
+  for (;;) {
+    if (s.any && s.epoch == epoch && s.max_seq >= seq) {
+      if (engine_.now() < s.visible) {
+        engine_.sleep_until(s.visible);
+      }
+      return true;
+    }
+    if (engine_.now() >= deadline) {
+      return false;
+    }
+    s.cond->wait_until(deadline);
+  }
+}
+
+}  // namespace mad::net

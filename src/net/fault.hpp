@@ -1,0 +1,149 @@
+// Deterministic fault injection + hop-level acknowledgement bookkeeping.
+//
+// The paper assumes perfect links and ever-alive gateways (§4 leaves fault
+// handling as future work). This layer lets a test or bench attach a seeded
+// FaultPlan to a Network: probabilistic packet drop / corruption /
+// duplication, timed link-down windows, and NIC crash-at-time events.
+// Decisions are drawn from one Rng in engine order, so a given
+// (plan, workload) pair always produces the same fault sequence — retransmit
+// counts are reproducible and assertable.
+//
+// AckRegistry is the companion piece used by the reliable GTM mode
+// (fwd/reliable.hpp): receivers acknowledge (epoch, seq) per wire stream and
+// senders block on the ack with a timeout, all in virtual time. It lives
+// next to the injector because ack visibility is subject to the same fault
+// plan (a crashed receiver's acks are suppressed — that is exactly how a
+// sender discovers a dead gateway).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/condition.hpp"
+#include "sim/engine.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace mad::net {
+
+/// Outcome of the injector's per-packet decision, recorded in the PacketLog.
+enum class FaultAction : std::uint8_t {
+  Deliver,
+  Drop,       // packet vanishes on the wire
+  Corrupt,    // payload delivered with one byte flipped
+  Duplicate,  // packet delivered twice
+};
+
+const char* fault_action_name(FaultAction action);
+
+/// A [from, until) window during which packets are dropped. src/dst restrict
+/// the window to one direction of one NIC pair; -1 matches any index.
+struct LinkDownWindow {
+  sim::Time from = 0;
+  sim::Time until = sim::kForever;
+  int src = -1;
+  int dst = -1;
+};
+
+/// From `at` on, the NIC neither delivers nor emits anything: every packet
+/// it sources or sinks is dropped and its acknowledgements are suppressed.
+struct NicCrash {
+  int nic_index = -1;
+  sim::Time at = 0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double drop_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double duplicate_rate = 0.0;
+  /// Packets smaller than this are protocol control frames (preambles,
+  /// message headers, announces); they are exempt from the probabilistic
+  /// faults so that plans exercise paquet payloads, not channel bootstrap.
+  /// Crash and link-down faults still apply to every packet.
+  std::uint32_t min_faultable_size = 256;
+  std::vector<LinkDownWindow> link_downs;
+  std::vector<NicCrash> crashes;
+};
+
+struct FaultStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;  // probabilistic drops only
+  std::uint64_t corrupted = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t link_down_drops = 0;
+  std::uint64_t crash_drops = 0;
+  std::uint64_t acks_suppressed = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  FaultStats& stats() { return stats_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Per-packet verdict, in send order. Consumes at most one Rng draw.
+  FaultAction decide(int src_nic, int dst_nic, std::uint32_t size,
+                     sim::Time now);
+
+  /// True once `nic_index` has a crash event at or before `now`.
+  bool nic_down(int nic_index, sim::Time now) const;
+
+  /// True while any matching link-down window covers `now`.
+  bool link_down(int src_nic, int dst_nic, sim::Time now) const;
+
+  /// Flips one byte of `payload` to a different value (Corrupt verdict).
+  void corrupt(util::MutByteSpan payload);
+
+ private:
+  FaultPlan plan_;
+  FaultStats stats_;
+  util::Rng rng_;
+};
+
+/// Hop-level acknowledgement board, one per Network.
+///
+/// A wire stream is identified by (tag, receiver NIC index) — the tag alone
+/// is not enough because a >2-member channel reuses the sender's tx tag
+/// toward every peer. Receivers post the highest contiguous (epoch, seq)
+/// they have accepted; senders await it with a virtual-time deadline. An
+/// ack becomes visible to the sender one wire latency after it is posted,
+/// modelling the reverse control message without simulating its packet.
+class AckRegistry {
+ public:
+  AckRegistry(sim::Engine& engine, std::string name);
+
+  /// Records that the receiver accepted (epoch, seq). A newer epoch
+  /// replaces the stream state; within an epoch only the max seq is kept
+  /// (the reliable protocol is stop-and-wait, so acks arrive in order).
+  void post(std::uint64_t tag, int receiver_nic, std::uint32_t epoch,
+            std::uint32_t seq, sim::Time visible);
+
+  /// Blocks until an ack for (epoch, >= seq) is visible or `deadline`
+  /// passes; returns false on timeout.
+  bool await(std::uint64_t tag, int receiver_nic, std::uint32_t epoch,
+             std::uint32_t seq, sim::Time deadline);
+
+ private:
+  struct Stream {
+    bool any = false;
+    std::uint32_t epoch = 0;
+    std::uint32_t max_seq = 0;
+    sim::Time visible = 0;
+    std::unique_ptr<sim::Condition> cond;
+  };
+
+  Stream& stream(std::uint64_t tag, int receiver_nic);
+
+  sim::Engine& engine_;
+  std::string name_;
+  std::map<std::pair<std::uint64_t, int>, Stream> streams_;
+};
+
+}  // namespace mad::net

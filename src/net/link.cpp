@@ -8,8 +8,26 @@ namespace mad::net {
 
 Network::Network(sim::Engine& engine, int id, std::string name,
                  NicModelParams model)
-    : engine_(engine), id_(id), name_(std::move(name)), model_(std::move(model)) {
+    : engine_(engine), id_(id), name_(std::move(name)),
+      model_(std::move(model)), acks_(engine, name_) {
   MAD_ASSERT(model_.wire_bandwidth > 0, "wire bandwidth must be positive");
+}
+
+void Network::set_fault_plan(FaultPlan plan) {
+  injector_ = std::make_unique<FaultInjector>(std::move(plan));
+}
+
+void Network::post_ack(std::uint64_t tag, int receiver_nic, int sender_nic,
+                       std::uint32_t epoch, std::uint32_t seq) {
+  const sim::Time now = engine_.now();
+  if (injector_ != nullptr &&
+      (injector_->nic_down(receiver_nic, now) ||
+       injector_->nic_down(sender_nic, now) ||
+       injector_->link_down(receiver_nic, sender_nic, now))) {
+    ++injector_->stats().acks_suppressed;
+    return;
+  }
+  acks_.post(tag, receiver_nic, epoch, seq, now + model_.wire_latency);
 }
 
 int Network::attach(Nic* nic) {

@@ -11,10 +11,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/packet_log.hpp"
 #include "net/params.hpp"
 #include "sim/engine.hpp"
@@ -53,6 +55,22 @@ class Network {
   PacketLog* packet_log() const { return packet_log_; }
   void set_packet_log(PacketLog* log) { packet_log_ = log; }
 
+  /// Attaches a seeded fault plan; every subsequent NIC send on this
+  /// network consults it. Replaces any previous plan (fresh Rng + stats).
+  void set_fault_plan(FaultPlan plan);
+  /// nullptr when no plan is attached (the common, fault-free case).
+  FaultInjector* fault_injector() const { return injector_.get(); }
+
+  /// Hop-level ack board for the reliable GTM mode (see net/fault.hpp).
+  AckRegistry& acks() { return acks_; }
+
+  /// Posts a receiver acknowledgement, honouring the fault plan: acks from
+  /// or toward a crashed NIC — and acks crossing a downed link — vanish,
+  /// which is how senders detect dead peers. Visible to the awaiting
+  /// sender one wire latency from now.
+  void post_ack(std::uint64_t tag, int receiver_nic, int sender_nic,
+                std::uint32_t epoch, std::uint32_t seq);
+
  private:
   PacketLog* packet_log_ = nullptr;
   sim::Engine& engine_;
@@ -61,6 +79,8 @@ class Network {
   NicModelParams model_;
   std::vector<Nic*> nics_;
   std::map<std::pair<int, int>, sim::Time> wire_busy_;
+  std::unique_ptr<FaultInjector> injector_;
+  AckRegistry acks_;
 };
 
 }  // namespace mad::net

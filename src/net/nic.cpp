@@ -61,25 +61,43 @@ void Nic::send(int dst_index, std::uint64_t tag,
   EngineGuard engine_guard(tx_engine_);
 
   Nic& dst_nic = network_.nic(dst_index);
-  dst_nic.wait_rx_space();
+  FaultInjector* injector = network_.fault_injector();
+  const FaultAction fault =
+      injector != nullptr
+          ? injector->decide(index_, dst_index, static_cast<std::uint32_t>(n),
+                             engine_.now())
+          : FaultAction::Deliver;
+  if (fault != FaultAction::Drop) {
+    // A dropped packet never occupies the destination ring, so the sender
+    // must not stall on it either (the destination may be dead).
+    dst_nic.wait_rx_space();
+  }
 
   const sim::Time flow_start = engine_.now();
   if (PacketLog* log = network_.packet_log();
       log != nullptr && log->enabled()) {
     log->record({flow_start, network_.id(), network_.name(), index_,
-                 dst_index, tag, static_cast<std::uint32_t>(n)});
+                 dst_index, tag, static_cast<std::uint32_t>(n), fault});
   }
   const auto wire = network_.reserve_wire(index_, dst_index, n, flow_start);
-  WirePacket packet;
-  packet.src_index = index_;
-  packet.tag = tag;
-  packet.payload = util::gather(data);  // snapshot at flow start; the sender
-                                        // is blocked for the whole flow
-  packet.visible_time = wire.depart + model().wire_latency;
-  packet.wire_end = wire.wire_end;
   auto timing = std::make_shared<TxTiming>();
-  packet.timing = timing;
-  dst_nic.enqueue(std::move(packet));
+  if (fault != FaultAction::Drop) {
+    WirePacket packet;
+    packet.src_index = index_;
+    packet.tag = tag;
+    packet.payload = util::gather(data);  // snapshot at flow start; the sender
+                                          // is blocked for the whole flow
+    packet.visible_time = wire.depart + model().wire_latency;
+    packet.wire_end = wire.wire_end;
+    packet.timing = timing;
+    if (fault == FaultAction::Corrupt) {
+      injector->corrupt(util::MutByteSpan(packet.payload));
+    }
+    if (fault == FaultAction::Duplicate) {
+      dst_nic.enqueue(WirePacket(packet));
+    }
+    dst_nic.enqueue(std::move(packet));
+  }
 
   host_.bus().transfer(model().tx_op, n);
   timing->src_flow_end = engine_.now();

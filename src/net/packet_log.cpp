@@ -39,10 +39,13 @@ std::string PacketLog::dump(std::size_t max_lines) const {
       break;
     }
     std::snprintf(line, sizeof line,
-                  "%12.1fus  %-8s nic%d -> nic%d  tag=%llx  %u B\n",
+                  "%12.1fus  %-8s nic%d -> nic%d  tag=%llx  %u B%s%s\n",
                   static_cast<double>(r.time) / 1000.0, r.network.c_str(),
                   r.src_index, r.dst_index,
-                  static_cast<unsigned long long>(r.tag), r.size);
+                  static_cast<unsigned long long>(r.tag), r.size,
+                  r.fault == FaultAction::Deliver ? "" : "  ",
+                  r.fault == FaultAction::Deliver ? ""
+                                                  : fault_action_name(r.fault));
     out += line;
   }
   return out;

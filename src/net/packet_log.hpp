@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "sim/time.hpp"
 
 namespace mad::net {
@@ -23,6 +24,8 @@ struct PacketRecord {
   int dst_index = -1;
   std::uint64_t tag = 0;
   std::uint32_t size = 0;
+  /// What the fault injector did to this packet (Deliver when no plan).
+  FaultAction fault = FaultAction::Deliver;
 };
 
 class PacketLog {

@@ -1,5 +1,6 @@
 #include "topo/routing.hpp"
 
+#include <algorithm>
 #include <deque>
 
 #include "util/panic.hpp"
@@ -7,11 +8,24 @@
 namespace mad::topo {
 
 Routing::Routing(const Topology& topology)
-    : nodes_(topology.node_count()), routes_(nodes_ * nodes_) {
+    : topology_(&topology),
+      nodes_(topology.node_count()),
+      excluded_(nodes_, false),
+      routes_(nodes_ * nodes_) {
+  rebuild();
+}
+
+void Routing::rebuild() {
+  std::fill(routes_.begin(), routes_.end(), Route{});
   // BFS from every source. Neighbours are expanded in (network id, node id)
   // order, so the first path found is the deterministic shortest one.
+  // Excluded nodes are seeded as visited: they are never entered, so no
+  // route starts at, ends at, or passes through them.
   for (NodeId src = 0; static_cast<std::size_t>(src) < nodes_; ++src) {
-    std::vector<bool> visited(nodes_, false);
+    if (excluded_[static_cast<std::size_t>(src)]) {
+      continue;
+    }
+    std::vector<bool> visited = excluded_;
     visited[static_cast<std::size_t>(src)] = true;
     std::deque<NodeId> frontier{src};
     while (!frontier.empty()) {
@@ -19,8 +33,8 @@ Routing::Routing(const Topology& topology)
       frontier.pop_front();
       const Route& path_here =
           routes_[index(src, here)];  // empty for here == src
-      for (const NetworkId network : topology.networks_of(here)) {
-        for (const NodeId next : topology.nodes_on(network)) {
+      for (const NetworkId network : topology_->networks_of(here)) {
+        for (const NodeId next : topology_->nodes_on(network)) {
           if (visited[static_cast<std::size_t>(next)]) {
             continue;
           }
@@ -35,6 +49,22 @@ Routing::Routing(const Topology& topology)
   }
 }
 
+void Routing::exclude(NodeId node) {
+  MAD_ASSERT(node >= 0 && static_cast<std::size_t>(node) < nodes_,
+             "bad node id in exclude");
+  if (excluded_[static_cast<std::size_t>(node)]) {
+    return;
+  }
+  excluded_[static_cast<std::size_t>(node)] = true;
+  rebuild();
+}
+
+bool Routing::excluded(NodeId node) const {
+  MAD_ASSERT(node >= 0 && static_cast<std::size_t>(node) < nodes_,
+             "bad node id in excluded");
+  return excluded_[static_cast<std::size_t>(node)];
+}
+
 std::size_t Routing::index(NodeId src, NodeId dst) const {
   MAD_ASSERT(src >= 0 && static_cast<std::size_t>(src) < nodes_ && dst >= 0 &&
                  static_cast<std::size_t>(dst) < nodes_,
@@ -44,10 +74,11 @@ std::size_t Routing::index(NodeId src, NodeId dst) const {
 }
 
 bool Routing::reachable(NodeId src, NodeId dst) const {
+  const std::size_t at = index(src, dst);
   if (src == dst) {
-    return true;
+    return !excluded_[static_cast<std::size_t>(src)];
   }
-  return !routes_[index(src, dst)].empty();
+  return !routes_[at].empty();
 }
 
 const Route& Routing::route(NodeId src, NodeId dst) const {

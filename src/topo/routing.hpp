@@ -23,8 +23,15 @@ using Route = std::vector<Hop>;
 
 class Routing {
  public:
-  /// Precomputes all-pairs routes with BFS (hop-count metric).
+  /// Precomputes all-pairs routes with BFS (hop-count metric). Keeps a
+  /// reference to `topology`, which must outlive the Routing (exclude()
+  /// recomputes routes from it).
   explicit Routing(const Topology& topology);
+
+  /// Removes a node (crashed gateway) from the graph and recomputes every
+  /// route: no route may start at, end at, or pass through it. Idempotent.
+  void exclude(NodeId node);
+  bool excluded(NodeId node) const;
 
   bool reachable(NodeId src, NodeId dst) const;
 
@@ -39,8 +46,11 @@ class Routing {
 
  private:
   std::size_t index(NodeId src, NodeId dst) const;
+  void rebuild();
 
+  const Topology* topology_;
   std::size_t nodes_;
+  std::vector<bool> excluded_;
   std::vector<Route> routes_;  // nodes_ × nodes_, empty = unreachable/self
 };
 

@@ -3,6 +3,7 @@
 // corrupt unrelated state.
 #include <gtest/gtest.h>
 
+#include "net/fault.hpp"
 #include "support/coc_rig.hpp"
 #include "util/rng.hpp"
 
@@ -168,6 +169,214 @@ TEST(Failures, IndependentRunsDoNotShareState) {
   });
   rig.engine.run();
   EXPECT_EQ(out, payload);
+}
+
+// ------------------------------------------------------- reliable GTM mode
+
+using testsupport::DualGatewayRig;
+
+fwd::VcOptions reliable_options(std::uint32_t paquet_size = 16 * 1024) {
+  fwd::VcOptions options;
+  options.paquet_size = paquet_size;
+  options.reliable.enabled = true;
+  return options;
+}
+
+/// Runs one reliable m0 -> s0 transfer on a PaperRig whose SCI hop drops
+/// paquets; returns the gateway's retransmit count.
+std::uint64_t run_lossy_transfer(std::uint64_t seed, std::size_t bytes,
+                                 double drop_rate) {
+  PaperRig rig(reliable_options());
+  net::FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_rate = drop_rate;
+  rig.sci.set_fault_plan(plan);
+  util::Rng rng(21);
+  const auto payload = rng.bytes(bytes);
+  std::vector<std::byte> out(bytes);
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(rig.sci_node()).begin_unpacking();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(out, payload) << "payload corrupted by the lossy hop";
+  EXPECT_GT(rig.sci.fault_injector()->stats().dropped, 0u)
+      << "plan never dropped anything: the test proves nothing";
+  return rig.vc->gateway_stats(rig.gateway_rank).reliability.retransmits;
+}
+
+TEST(Reliable, ForwardedMessageSurvivesPaquetLoss) {
+  // Acceptance scenario: 2% drop on the SCI hop, 1 MiB forwarded message
+  // arrives bit-identical and the gateway retransmitted the dropped
+  // paquets.
+  const std::uint64_t retransmits =
+      run_lossy_transfer(/*seed=*/1, 1 << 20, /*drop_rate=*/0.02);
+  EXPECT_GT(retransmits, 0u);
+}
+
+TEST(Reliable, RetransmitCountIsDeterministic) {
+  const std::uint64_t first =
+      run_lossy_transfer(/*seed=*/9, 1 << 20, /*drop_rate=*/0.02);
+  const std::uint64_t second =
+      run_lossy_transfer(/*seed=*/9, 1 << 20, /*drop_rate=*/0.02);
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(first, second);
+  // A different seed draws a different fault sequence (not necessarily a
+  // different count, but the runs above must not depend on wall clock).
+}
+
+TEST(Reliable, SurvivesCorruptionAndDuplication) {
+  PaperRig rig(reliable_options());
+  net::FaultPlan plan;
+  plan.seed = 3;
+  plan.corrupt_rate = 0.08;
+  plan.duplicate_rate = 0.08;
+  rig.myri.set_fault_plan(plan);
+  rig.sci.set_fault_plan(plan);
+  util::Rng rng(22);
+  const std::size_t bytes = 512 * 1024;
+  const auto payload = rng.bytes(bytes);
+  std::vector<std::byte> out(bytes);
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(rig.sci_node()).begin_unpacking();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(out, payload);
+  // Summed over all members: corrupted paquets were rejected by checksum,
+  // duplicated ones by their sequence number.
+  fwd::ReliabilityStats total;
+  for (NodeRank rank = 0; rank < 4; ++rank) {
+    const fwd::ReliabilityStats& r =
+        rig.vc->gateway_stats(rank).reliability;
+    total.corrupt_drops += r.corrupt_drops;
+    total.dup_drops += r.dup_drops;
+  }
+  EXPECT_GT(rig.myri.fault_injector()->stats().corrupted +
+                rig.sci.fault_injector()->stats().corrupted,
+            0u);
+  EXPECT_GT(rig.myri.fault_injector()->stats().duplicated +
+                rig.sci.fault_injector()->stats().duplicated,
+            0u);
+  EXPECT_GT(total.corrupt_drops, 0u);
+  EXPECT_GT(total.dup_drops, 0u);
+}
+
+TEST(Reliable, GatewayCrashFailsOverToAlternate) {
+  // Two gateways bridge the clusters; the preferred one (gw1, rank 1)
+  // crashes mid-message. The sender must declare it dead and replay the
+  // message through gw2 — the application sees nothing but delay.
+  DualGatewayRig rig(reliable_options());
+  const sim::Time crash_at = sim::milliseconds(4);
+  net::FaultPlan myri_plan;
+  myri_plan.crashes.push_back({/*nic_index=*/1, crash_at});  // gw1 on myri
+  rig.myri.set_fault_plan(myri_plan);
+  net::FaultPlan sci_plan;
+  sci_plan.crashes.push_back({/*nic_index=*/0, crash_at});  // gw1 on sci
+  rig.sci.set_fault_plan(sci_plan);
+  util::Rng rng(23);
+  const std::size_t bytes = 1 << 20;
+  const auto payload = rng.bytes(bytes);
+  std::vector<std::byte> out(bytes);
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(0).begin_packing(3);
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(3).begin_unpacking();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(out, payload);
+  const fwd::ReliabilityStats& sender =
+      rig.vc->gateway_stats(0).reliability;
+  EXPECT_GE(sender.failovers, 1u);
+  EXPECT_GE(sender.peers_declared_dead, 1u);
+  EXPECT_TRUE(rig.vc->is_dead(1));
+  EXPECT_FALSE(rig.vc->is_dead(2));
+}
+
+TEST(Reliable, SoleGatewayCrashRaisesUnreachable) {
+  // Only one gateway exists: crashing it mid-message must surface a
+  // diagnosable "unreachable" error at the sender — never a hang.
+  PaperRig rig(reliable_options());
+  const sim::Time crash_at = sim::milliseconds(4);
+  net::FaultPlan myri_plan;
+  myri_plan.crashes.push_back({/*nic_index=*/1, crash_at});  // gw on myri
+  rig.myri.set_fault_plan(myri_plan);
+  net::FaultPlan sci_plan;
+  sci_plan.crashes.push_back({/*nic_index=*/0, crash_at});  // gw on sci
+  rig.sci.set_fault_plan(sci_plan);
+  util::Rng rng(24);
+  const auto payload = rng.bytes(1 << 20);
+  bool diagnosed = false;
+  rig.engine.spawn("s", [&] {
+    try {
+      auto msg = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+      msg.pack(payload);
+      msg.end_packing();
+    } catch (const util::PanicError& e) {
+      diagnosed =
+          std::string(e.what()).find("unreachable") != std::string::npos;
+    }
+  });
+  rig.engine.spawn("r", [&] {
+    // The message can never arrive; a bounded wait must come back empty
+    // instead of deadlocking the engine.
+    auto msg =
+        rig.ep(rig.sci_node()).begin_unpacking_until(sim::seconds(5));
+    EXPECT_FALSE(msg.has_value());
+  });
+  rig.engine.run();
+  EXPECT_TRUE(diagnosed);
+}
+
+TEST(Reliable, LinkDownWindowIsRiddenOutByRetransmits) {
+  // A transient outage shorter than the retry budget must be invisible to
+  // the application: no failover, just retransmits until the link heals.
+  PaperRig rig(reliable_options());
+  net::FaultPlan plan;
+  // m0 -> gw direction only, from 2 ms to 9 ms (the GTM header leaves at
+  // t~0, so only payload paquets hit the window).
+  plan.link_downs.push_back(
+      {sim::milliseconds(2), sim::milliseconds(9), /*src=*/0, /*dst=*/1});
+  rig.myri.set_fault_plan(plan);
+  util::Rng rng(25);
+  const std::size_t bytes = 1 << 20;
+  const auto payload = rng.bytes(bytes);
+  std::vector<std::byte> out(bytes);
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(rig.sci_node()).begin_unpacking();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(out, payload);
+  const fwd::ReliabilityStats& sender =
+      rig.vc->gateway_stats(rig.myri_node()).reliability;
+  EXPECT_GT(rig.myri.fault_injector()->stats().link_down_drops, 0u);
+  EXPECT_GT(sender.retransmits, 0u);
+  EXPECT_EQ(sender.failovers, 0u);
+  EXPECT_FALSE(rig.vc->is_dead(rig.gateway_rank));
 }
 
 TEST(GatewayStatsTest, CountersTrackForwarding) {

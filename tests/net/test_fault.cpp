@@ -1,0 +1,297 @@
+// Fault-injection layer: deterministic per-packet verdicts, crash/link-down
+// semantics, NIC-level wiring, and the AckRegistry used by reliable GTM.
+#include "net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "net/nic.hpp"
+#include "util/rng.hpp"
+
+namespace mad::net {
+namespace {
+
+TEST(FaultInjector, SameSeedSameVerdictSequence) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_rate = 0.2;
+  plan.corrupt_rate = 0.1;
+  plan.duplicate_rate = 0.1;
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.decide(0, 1, 1024, 0), b.decide(0, 1, 1024, 0));
+  }
+}
+
+TEST(FaultInjector, RatesRoughlyHonored) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_rate = 0.2;
+  FaultInjector injector(plan);
+  for (int i = 0; i < 1000; ++i) {
+    (void)injector.decide(0, 1, 1024, 0);
+  }
+  EXPECT_GT(injector.stats().dropped, 100u);
+  EXPECT_LT(injector.stats().dropped, 300u);
+  EXPECT_EQ(injector.stats().delivered + injector.stats().dropped, 1000u);
+}
+
+TEST(FaultInjector, ControlFramesExemptFromProbabilisticFaults) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_rate = 1.0;  // every eligible packet drops...
+  FaultInjector injector(plan);
+  for (int i = 0; i < 100; ++i) {
+    // ...but sub-min_faultable_size packets are protocol bootstrap.
+    EXPECT_EQ(injector.decide(0, 1, plan.min_faultable_size - 1, 0),
+              FaultAction::Deliver);
+  }
+  EXPECT_EQ(injector.decide(0, 1, plan.min_faultable_size, 0),
+            FaultAction::Drop);
+}
+
+TEST(FaultInjector, NegativeAndOversubscribedRatesRejected) {
+  FaultPlan negative;
+  negative.drop_rate = -0.1;
+  EXPECT_THROW(FaultInjector{negative}, util::PanicError);
+  FaultPlan oversubscribed;
+  oversubscribed.drop_rate = 0.6;
+  oversubscribed.corrupt_rate = 0.6;
+  EXPECT_THROW(FaultInjector{oversubscribed}, util::PanicError);
+}
+
+TEST(FaultInjector, LinkDownWindowDropsAnySize) {
+  FaultPlan plan;
+  plan.link_downs.push_back(
+      {sim::milliseconds(1), sim::milliseconds(2), -1, -1});
+  FaultInjector injector(plan);
+  EXPECT_EQ(injector.decide(0, 1, 16, sim::milliseconds(1) - 1),
+            FaultAction::Deliver);
+  EXPECT_EQ(injector.decide(0, 1, 16, sim::milliseconds(1)),
+            FaultAction::Drop);
+  EXPECT_EQ(injector.decide(0, 1, 16, sim::milliseconds(2) - 1),
+            FaultAction::Drop);
+  // Window is half-open: [from, until).
+  EXPECT_EQ(injector.decide(0, 1, 16, sim::milliseconds(2)),
+            FaultAction::Deliver);
+  EXPECT_EQ(injector.stats().link_down_drops, 2u);
+}
+
+TEST(FaultInjector, DirectedLinkDownOnlyMatchesItsPair) {
+  FaultPlan plan;
+  plan.link_downs.push_back({0, sim::kForever, /*src=*/0, /*dst=*/1});
+  FaultInjector injector(plan);
+  EXPECT_EQ(injector.decide(0, 1, 16, 0), FaultAction::Drop);
+  EXPECT_EQ(injector.decide(1, 0, 16, 0), FaultAction::Deliver);
+  EXPECT_EQ(injector.decide(0, 2, 16, 0), FaultAction::Deliver);
+}
+
+TEST(FaultInjector, CrashedNicDropsBothDirections) {
+  FaultPlan plan;
+  plan.crashes.push_back({/*nic_index=*/1, sim::milliseconds(3)});
+  FaultInjector injector(plan);
+  EXPECT_FALSE(injector.nic_down(1, sim::milliseconds(3) - 1));
+  EXPECT_TRUE(injector.nic_down(1, sim::milliseconds(3)));
+  EXPECT_EQ(injector.decide(0, 1, 16, sim::milliseconds(2)),
+            FaultAction::Deliver);
+  EXPECT_EQ(injector.decide(0, 1, 16, sim::milliseconds(4)),
+            FaultAction::Drop);  // crashed receiver
+  EXPECT_EQ(injector.decide(1, 0, 16, sim::milliseconds(4)),
+            FaultAction::Drop);  // crashed sender
+  EXPECT_EQ(injector.decide(0, 2, 16, sim::milliseconds(4)),
+            FaultAction::Deliver);
+  EXPECT_EQ(injector.stats().crash_drops, 2u);
+}
+
+TEST(FaultInjector, CorruptFlipsExactlyOneByte) {
+  FaultPlan plan;
+  FaultInjector injector(plan);
+  util::Rng rng(9);
+  auto payload = rng.bytes(512);
+  const auto original = payload;
+  injector.corrupt(util::MutByteSpan(payload));
+  int differing = 0;
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    if (payload[i] != original[i]) {
+      ++differing;
+    }
+  }
+  EXPECT_EQ(differing, 1);
+}
+
+/// Two hosts joined by one faultable network.
+struct FaultRig {
+  explicit FaultRig(sim::Engine& eng, FaultPlan plan)
+      : fabric(eng),
+        a(fabric.add_host("a")),
+        b(fabric.add_host("b")),
+        net(fabric.add_network("net0", bip_myrinet())),
+        nic_a(a.add_nic(net)),
+        nic_b(b.add_nic(net)) {
+    net.set_fault_plan(plan);
+  }
+
+  Fabric fabric;
+  Host& a;
+  Host& b;
+  Network& net;
+  Nic& nic_a;
+  Nic& nic_b;
+};
+
+TEST(FaultNetwork, DroppedPacketsNeverReachTheRxQueue) {
+  sim::Engine eng;
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_rate = 0.3;
+  FaultRig rig(eng, plan);
+  const int packets = 50;
+  eng.spawn("s", [&] {
+    std::vector<std::byte> data(1024, std::byte{1});
+    for (int i = 0; i < packets; ++i) {
+      rig.nic_a.send(rig.nic_b.index(), 1, util::ByteSpan(data));
+    }
+  });
+  eng.run();
+  const FaultStats& stats = rig.net.fault_injector()->stats();
+  EXPECT_GT(stats.dropped, 0u);
+  EXPECT_EQ(stats.delivered + stats.dropped,
+            static_cast<std::uint64_t>(packets));
+  EXPECT_EQ(rig.nic_b.queued(1),
+            static_cast<std::size_t>(packets) - stats.dropped);
+}
+
+TEST(FaultNetwork, DuplicatesArriveTwiceCorruptionsDiffer) {
+  sim::Engine eng;
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.corrupt_rate = 0.25;
+  plan.duplicate_rate = 0.25;
+  FaultRig rig(eng, plan);
+  util::Rng rng(6);
+  const auto payload = rng.bytes(2048);
+  const int packets = 40;
+  int received_intact = 0;
+  int received_mangled = 0;
+  std::size_t drained = 0;
+  eng.spawn("s", [&] {
+    for (int i = 0; i < packets; ++i) {
+      rig.nic_a.send(rig.nic_b.index(), 1, payload);
+    }
+  });
+  eng.spawn("r", [&] {
+    eng.sleep_until(sim::seconds(1));  // well past the last send
+    drained = rig.nic_b.queued(1);
+    for (std::size_t i = 0; i < drained; ++i) {
+      const auto got = rig.nic_b.recv_owned(1);
+      if (got == payload) {
+        ++received_intact;
+      } else {
+        ++received_mangled;
+      }
+    }
+  });
+  eng.run();
+  const FaultStats& stats = rig.net.fault_injector()->stats();
+  EXPECT_GT(stats.corrupted, 0u);
+  EXPECT_GT(stats.duplicated, 0u);
+  EXPECT_EQ(drained, static_cast<std::size_t>(packets) + stats.duplicated);
+  EXPECT_EQ(received_mangled, static_cast<int>(stats.corrupted));
+  EXPECT_EQ(received_intact, static_cast<int>(drained - stats.corrupted));
+}
+
+TEST(AckRegistry, AwaitSeesPostAfterVisibilityDelay) {
+  sim::Engine eng;
+  AckRegistry acks(eng, "acks");
+  bool got = false;
+  eng.spawn("receiver", [&] {
+    acks.post(/*tag=*/7, /*receiver_nic=*/1, /*epoch=*/1, /*seq=*/0,
+              /*visible=*/sim::microseconds(10));
+  });
+  eng.spawn("sender", [&] {
+    got = acks.await(7, 1, 1, 0, sim::milliseconds(1));
+    EXPECT_EQ(eng.now(), sim::microseconds(10));
+  });
+  eng.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(AckRegistry, AwaitTimesOutWithoutPost) {
+  sim::Engine eng;
+  AckRegistry acks(eng, "acks");
+  bool got = true;
+  eng.spawn("sender", [&] {
+    got = acks.await(7, 1, 1, 0, sim::milliseconds(2));
+    EXPECT_EQ(eng.now(), sim::milliseconds(2));
+  });
+  eng.run();
+  EXPECT_FALSE(got);
+}
+
+TEST(AckRegistry, HigherSeqSatisfiesLowerAwait) {
+  sim::Engine eng;
+  AckRegistry acks(eng, "acks");
+  bool got = false;
+  eng.spawn("receiver", [&] { acks.post(7, 1, 1, /*seq=*/5, 0); });
+  eng.spawn("sender", [&] { got = acks.await(7, 1, 1, /*seq=*/3, 10); });
+  eng.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(AckRegistry, StaleEpochNeitherSatisfiesNorRegresses) {
+  sim::Engine eng;
+  AckRegistry acks(eng, "acks");
+  bool old_epoch = true;
+  bool new_epoch = false;
+  eng.spawn("receiver", [&] {
+    acks.post(7, 1, /*epoch=*/2, /*seq=*/0, 0);
+    acks.post(7, 1, /*epoch=*/1, /*seq=*/9, 0);  // stale: ignored
+  });
+  eng.spawn("sender", [&] {
+    old_epoch = acks.await(7, 1, /*epoch=*/1, /*seq=*/0, sim::seconds(1));
+    new_epoch = acks.await(7, 1, /*epoch=*/2, /*seq=*/0, sim::seconds(1));
+  });
+  eng.run();
+  EXPECT_FALSE(old_epoch);
+  EXPECT_TRUE(new_epoch);
+}
+
+TEST(AckRegistry, StreamsAreKeyedByTagAndReceiver) {
+  sim::Engine eng;
+  AckRegistry acks(eng, "acks");
+  bool wrong_nic = true;
+  bool right_nic = false;
+  eng.spawn("receiver", [&] { acks.post(7, /*receiver_nic=*/2, 1, 0, 0); });
+  eng.spawn("sender", [&] {
+    wrong_nic = acks.await(7, /*receiver_nic=*/1, 1, 0, sim::seconds(1));
+    right_nic = acks.await(7, /*receiver_nic=*/2, 1, 0, sim::seconds(1));
+  });
+  eng.run();
+  EXPECT_FALSE(wrong_nic);
+  EXPECT_TRUE(right_nic);
+}
+
+TEST(FaultNetwork, PostAckSuppressedWhileReceiverCrashed) {
+  sim::Engine eng;
+  FaultPlan plan;
+  plan.crashes.push_back({/*nic_index=*/0, /*at=*/0});
+  FaultRig rig(eng, plan);
+  bool got = true;
+  eng.spawn("receiver", [&] {
+    // nic 0 (the poster) is crashed: the ack must be swallowed.
+    rig.net.post_ack(/*tag=*/7, /*receiver_nic=*/0, /*sender_nic=*/1,
+                     /*epoch=*/1, /*seq=*/0);
+  });
+  eng.spawn("sender", [&] {
+    got = rig.net.acks().await(7, 0, 1, 0, sim::milliseconds(1));
+  });
+  eng.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(rig.net.fault_injector()->stats().acks_suppressed, 1u);
+}
+
+}  // namespace
+}  // namespace mad::net

@@ -59,6 +59,44 @@ struct PaperRig {
   NodeRank gateway_rank = -1;
 };
 
+/// Redundant-gateway rig for failover tests: the Myrinet and SCI clusters
+/// are bridged by TWO gateways, both on both networks. Ranks: m0=0, gw1=1,
+/// gw2=2, s0=3. BFS tie-breaking routes m0→s0 through gw1; crashing gw1
+/// leaves gw2 as the alternate. NIC indices: myri{m0=0, gw1=1, gw2=2},
+/// sci{gw1=0, gw2=1, s0=2}.
+struct DualGatewayRig {
+  explicit DualGatewayRig(fwd::VcOptions options = {})
+      : fabric(engine),
+        myri(fabric.add_network("myri0", net::bip_myrinet())),
+        sci(fabric.add_network("sci0", net::sisci_sci())) {
+    net::Host& m0 = fabric.add_host("m0");
+    m0.add_nic(myri);
+    net::Host& gw1 = fabric.add_host("gw1");
+    gw1.add_nic(myri);
+    gw1.add_nic(sci);
+    net::Host& gw2 = fabric.add_host("gw2");
+    gw2.add_nic(myri);
+    gw2.add_nic(sci);
+    net::Host& s0 = fabric.add_host("s0");
+    s0.add_nic(sci);
+    domain.emplace(fabric);
+    for (net::Host* h : {&m0, &gw1, &gw2, &s0}) {
+      domain->add_node(*h);
+    }
+    vc.emplace(*domain, "vc", std::vector<net::Network*>{&myri, &sci},
+               options);
+  }
+
+  fwd::VcEndpoint& ep(NodeRank rank) { return vc->endpoint(rank); }
+
+  sim::Engine engine;
+  net::Fabric fabric;
+  net::Network& myri;
+  net::Network& sci;
+  std::optional<Domain> domain;
+  std::optional<fwd::VirtualChannel> vc;
+};
+
 /// Generic two-network rig: netA(a0, gw) — netB(gw, b0). Ranks: a0=0,
 /// gw=1, b0=2.
 struct TwoNetRig {
