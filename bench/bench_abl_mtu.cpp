@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness/json_report.hpp"
 #include "harness/pingpong.hpp"
 #include "harness/report.hpp"
 #include "harness/scenario.hpp"
@@ -39,5 +40,10 @@ int main() {
   }
   table.print();
   std::printf("\nauto = min over the route's networks (128 KB here).\n");
+  harness::JsonReport json("abl_mtu");
+  json.set_note("auto = min over the route's networks (128 KB here)");
+  json.add_table(table);
+  json.write_file();
+
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness/json_report.hpp"
 #include "harness/pingpong.hpp"
 #include "harness/report.hpp"
 #include "harness/scenario.hpp"
@@ -38,5 +39,10 @@ int main() {
       "k+1 while retransmitting paquet k; expect depth 1 to lose roughly "
       "half the bandwidth and depth >2 to add little (both steps are "
       "already bus-bound).\n");
+  harness::JsonReport json("abl_pipeline_depth");
+  json.set_note("depth 1 loses ~half the bandwidth; depth >2 adds little (bus-bound)");
+  json.add_table(table);
+  json.write_file();
+
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness/json_report.hpp"
 #include "harness/pingpong.hpp"
 #include "harness/report.hpp"
 #include "harness/scenario.hpp"
@@ -46,5 +47,10 @@ int main() {
   std::printf(
       "\npaper measured ~40 us per switch on dual PII-450 nodes; the 8 KB "
       "column shows why small paquets saturate low.\n");
+  harness::JsonReport json("abl_sw_overhead");
+  json.set_note("paper measured ~40 us per switch; small paquets saturate low");
+  json.add_table(table);
+  json.write_file();
+
   return 0;
 }

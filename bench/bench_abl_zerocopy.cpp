@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "fwd/virtual_channel.hpp"
+#include "harness/json_report.hpp"
 #include "harness/pingpong.hpp"
 #include "harness/report.hpp"
 #include "mad/copy_stats.hpp"
@@ -75,5 +76,10 @@ int main() {
       "incoming ones; disabling it adds one or two gateway copies per "
       "paquet on the static paths (dynamic->dynamic is unaffected by "
       "design).\n");
+  harness::JsonReport json("abl_zerocopy");
+  json.set_note("disabling zero-copy adds one or two gateway copies per paquet on the static paths");
+  json.add_table(table);
+  json.write_file();
+
   return 0;
 }

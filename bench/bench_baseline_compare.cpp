@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "baseline/pacx_tcp.hpp"
+#include "harness/json_report.hpp"
 #include "harness/pingpong.hpp"
 #include "harness/report.hpp"
 #include "harness/scenario.hpp"
@@ -77,5 +78,10 @@ int main() {
       "bandwidth; app-level store-and-forward pays both legs sequentially "
       "plus a buffering copy (~0.5x); TCP glue is capped by Fast-Ethernet "
       "(~10 MB/s).\n");
+  harness::JsonReport json("baseline_compare");
+  json.set_note("in-library forwarding keeps most hardware bandwidth; store-and-forward ~0.5x; TCP glue capped by Fast-Ethernet");
+  json.add_table(table);
+  json.write_file();
+
   return 0;
 }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "fwd/virtual_channel.hpp"
+#include "harness/json_report.hpp"
 #include "harness/pingpong.hpp"
 #include "harness/report.hpp"
 #include "harness/scenario.hpp"
@@ -88,5 +89,11 @@ int main() {
       "\nfinding: rate pacing alone cannot beat the unregulated pipeline "
       "under fluid bus arbitration (it only caps the incoming flow); the "
       "paper's own SCI-DMA workaround is the effective fix.\n");
+  harness::JsonReport json("ext_flow_regulation");
+  json.set_note("rate pacing alone cannot beat the unregulated pipeline; the SCI-DMA workaround is the effective fix");
+  json.add_table(regulation);
+  json.add_table(workaround);
+  json.write_file();
+
   return 0;
 }

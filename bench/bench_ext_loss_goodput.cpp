@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/json_report.hpp"
 #include "harness/pingpong.hpp"
 #include "harness/report.hpp"
 #include "harness/scenario.hpp"
@@ -23,6 +24,7 @@ int main() {
   harness::ReportTable table(
       "Ext: reliable forwarding goodput vs drop rate (4 MB, Myrinet -> SCI)",
       "drop %", {"goodput MB/s", "retransmits", "timeouts"});
+  harness::JsonReport json("ext_loss_goodput");
 
   for (const double drop : drop_rates) {
     fwd::VcOptions options;
@@ -51,11 +53,18 @@ int main() {
                           static_cast<double>(total.timeouts)});
     if (drop == drop_rates.back()) {
       harness::print_reliability(*world.vc);
+      json.add_reliability(*world.vc);
     }
   }
   table.print();
   std::printf(
       "\neach dropped paquet costs one 5 ms ack timeout + resend; goodput "
       "therefore falls steeply with loss while payloads stay intact\n");
+  json.set_note(
+      "each dropped paquet costs one 5 ms ack timeout + resend; goodput "
+      "falls steeply with loss while payloads stay intact");
+  json.add_table(table);
+  json.write_file();
+
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness/json_report.hpp"
 #include "harness/pingpong.hpp"
 #include "harness/report.hpp"
 #include "harness/scenario.hpp"
@@ -40,5 +41,10 @@ int main() {
   std::printf(
       "\npaper: asymptotes ~35 MB/s (8 KB paquets) up to ~55-60 MB/s "
       "(128 KB); PCI one-way ceiling ~66 MB/s\n");
+  harness::JsonReport json("fig6_sci_to_myri");
+  json.set_note("paper: asymptotes ~35 MB/s (8 KB paquets) to ~55-60 MB/s (128 KB); PCI ceiling ~66 MB/s");
+  json.add_table(table);
+  json.write_file();
+
   return 0;
 }

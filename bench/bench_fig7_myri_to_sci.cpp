@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness/json_report.hpp"
 #include "harness/pingpong.hpp"
 #include "harness/report.hpp"
 #include "harness/scenario.hpp"
@@ -41,5 +42,10 @@ int main() {
       "\npaper: ~25 MB/s asymptote with 8 KB paquets, never exceeding "
       "~35-40 MB/s — the PIO send is the PCI-arbitration victim of the DMA "
       "receive\n");
+  harness::JsonReport json("fig7_myri_to_sci");
+  json.set_note("paper: ~25 MB/s asymptote with 8 KB paquets; PIO send loses PCI arbitration to the DMA receive");
+  json.add_table(table);
+  json.write_file();
+
   return 0;
 }

@@ -12,6 +12,7 @@
 // (b) a raw uncontended SCI PIO transfer of one paquet.
 #include <cstdio>
 
+#include "harness/json_report.hpp"
 #include "harness/pingpong.hpp"
 #include "harness/report.hpp"
 #include "harness/scenario.hpp"
@@ -58,6 +59,9 @@ double uncontended_pio_us(std::uint32_t paquet) {
 }  // namespace
 
 int main() {
+  mad::harness::ReportTable table(
+      "Fig 8: the gateway send step under PCI conflicts (us)", "paquet",
+      {"send step M->S", "send step S->M", "raw PIO alone"});
   std::printf("=== Fig 8: the gateway send step under PCI conflicts ===\n");
   std::printf("%-10s %22s %22s %20s\n", "paquet", "send step M->S (us)",
               "send step S->M (us)", "raw PIO alone (us)");
@@ -68,11 +72,20 @@ int main() {
     std::printf("%-10s %22.1f %22.1f %20.1f\n",
                 mad::harness::size_label(paquet).c_str(), conflicted, clean,
                 raw);
+    table.add_row(mad::harness::size_label(paquet),
+                  {conflicted, clean, raw});
   }
   std::printf(
       "\npaper (16 KB): send lasts ~400 us instead of ~270 us because "
       "Myrinet DMA PCI transactions have priority over the CPU's PIO "
       "transactions; our bus model halves PIO while any DMA flow is "
       "active.\n");
+  mad::harness::JsonReport json("fig8_pci_conflict");
+  json.set_note(
+      "paper (16 KB): send lasts ~400 us instead of ~270 us; Myrinet DMA "
+      "PCI transactions have priority over the CPU's PIO transactions");
+  json.add_table(table);
+  json.write_file();
+
   return 0;
 }

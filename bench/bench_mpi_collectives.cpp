@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness/json_report.hpp"
 #include "harness/report.hpp"
 #include "harness/scenario.hpp"
 #include "mpi/comm.hpp"
@@ -101,5 +102,10 @@ int main() {
       "\ncross-cluster collectives pay gateway latency per tree level; "
       "bulk-bandwidth collectives (bcast/alltoall) suffer least thanks to "
       "the pipelined forwarder.\n");
+  harness::JsonReport json("mpi_collectives");
+  json.set_note("cross-cluster collectives pay gateway latency per tree level");
+  json.add_table(table);
+  json.write_file();
+
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness/json_report.hpp"
 #include "harness/report.hpp"
 #include "harness/scenario.hpp"
 #include "util/rng.hpp"
@@ -67,5 +68,10 @@ int main() {
       "\nthe gateway PCI bus is the shared bottleneck: aggregate bandwidth "
       "stays near the single-stream ceiling while per-stream shares "
       "divide.\n");
+  harness::JsonReport json("multi_stream");
+  json.set_note("gateway PCI bus is the shared bottleneck: aggregate stays near the single-stream ceiling");
+  json.add_table(table);
+  json.write_file();
+
   return 0;
 }

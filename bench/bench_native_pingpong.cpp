@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "harness/json_report.hpp"
 #include "harness/pingpong.hpp"
 #include "harness/report.hpp"
 
@@ -71,5 +72,11 @@ int main() {
       "(%.1f MB/s); paper: ~270 us, ~60 MB/s for both\n",
       mad::sim::to_microseconds(sci16.one_way), sci16.mbps,
       mad::sim::to_microseconds(myri16.one_way), myri16.mbps);
+  mad::harness::JsonReport json("native_pingpong");
+  json.set_note("calibration anchor: 16 KB one-way ~270 us, ~60 MB/s for both networks in the paper");
+  json.add_table(latency);
+  json.add_table(bandwidth);
+  json.write_file();
+
   return 0;
 }

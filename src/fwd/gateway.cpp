@@ -11,6 +11,7 @@
 // paper's two-threads/two-buffers scheme. Zero-copy paths follow §2.3.
 #include "fwd/gateway.hpp"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,7 +20,10 @@
 #include "fwd/reliable.hpp"
 #include "fwd/virtual_channel.hpp"
 #include "mad/copy_stats.hpp"
+#include "mad/session.hpp"
+#include "net/fabric.hpp"
 #include "sim/mailbox.hpp"
+#include "sim/metrics.hpp"
 #include "util/log.hpp"
 #include "util/panic.hpp"
 
@@ -28,7 +32,12 @@ namespace mad::fwd {
 namespace {
 
 /// Per (gateway, incoming network) relay state, reused across messages.
-class GatewayRelay {
+///
+/// Heap-owned (shared_ptr): the pipelined sender actor keeps using this
+/// state (free-buffer pool, regulator) after the listener actor's stack may
+/// already have unwound during engine shutdown, so stack ownership would be
+/// a use-after-free.
+class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
  public:
   GatewayRelay(VirtualChannel& vc, NodeRank self, int in_local_net)
       : vc_(vc),
@@ -56,8 +65,11 @@ class GatewayRelay {
       ++vc_.mutable_gateway_stats(self_).messages_forwarded;
       return;
     }
-    const topo::Route& route = vc_.routing().route(self_, dst);
-    const topo::Hop& hop = route.front();
+    // Route by value: a concurrent reliable relay on this node may call
+    // mark_dead, which rebuilds the routing table while this relay blocks
+    // inside the network — references into the table would dangle.
+    const topo::Route route = vc_.routing().route(self_, dst);
+    const topo::Hop hop = route.front();
     const bool last_hop = route.size() == 1;
     // Past the last gateway messages travel on a regular channel, so plain
     // nodes poll a single channel; toward another gateway they stay on the
@@ -77,6 +89,19 @@ class GatewayRelay {
   }
 
  private:
+  /// Phase-duration histogram: one series per (gateway, pipeline phase),
+  /// feeding the Fig 5/8 step tables and the metrics JSON report.
+  void note_phase_us(const char* phase, sim::Time begin, sim::Time end) {
+    sim::MetricsRegistry& metrics = vc_.domain().fabric().metrics();
+    if (metrics.enabled()) {
+      metrics
+          .histogram("gw.phase_us",
+                     "gateway=" + std::to_string(self_) +
+                         ",phase=" + phase)
+          .record(sim::to_microseconds(end - begin));
+    }
+  }
+
   /// Reliable-mode relay: store-and-forward with downstream failover.
   ///
   /// Phase 1 receives (and acks) the whole message into owned buffers —
@@ -120,9 +145,16 @@ class GatewayRelay {
           vc_.options().trace->record(begin, engine_.now(), "gw.recv",
                                       "bytes=" + std::to_string(size));
         }
+        note_phase_us("recv", begin, engine_.now());
         ++stats.paquets_forwarded;
         stats.bytes_forwarded += size;
+        const sim::Time switch_begin = engine_.now();
         engine_.sleep_for(vc_.options().gateway_sw_overhead);
+        if (vc_.options().trace != nullptr) {
+          vc_.options().trace->record(switch_begin, engine_.now(),
+                                      "gw.switch");
+        }
+        note_phase_us("switch", switch_begin, engine_.now());
       }
       blocks.push_back(std::move(block));
     }
@@ -164,11 +196,18 @@ class GatewayRelay {
             for (std::uint64_t i = 0; i < fragments; ++i) {
               const std::uint32_t size =
                   fragment_size(block.header.size, vc_.mtu(), i);
+              const sim::Time send_begin = engine_.now();
               send_paquet_reliably(
                   vc_, self_, out, out_channel, next, out_hdr.epoch,
                   out_seq++,
                   util::ByteSpan(block.data).subspan(i * vc_.mtu(), size),
                   scratch_);
+              if (vc_.options().trace != nullptr) {
+                vc_.options().trace->record(send_begin, engine_.now(),
+                                            "gw.send",
+                                            "bytes=" + std::to_string(size));
+              }
+              note_phase_us("send", send_begin, engine_.now());
             }
           }
           send_block_header_reliably(vc_, self_, out, out_channel, next,
@@ -190,8 +229,21 @@ class GatewayRelay {
       }
       vc_.mark_dead(failed->next_hop);
       ++stats.reliability.peers_declared_dead;
+      sim::MetricsRegistry& metrics = vc_.domain().fabric().metrics();
+      const std::string node_label = "node=" + std::to_string(self_);
+      metrics.add("rel.dead_peers", node_label);
+      if (vc_.options().trace != nullptr) {
+        vc_.options().trace->instant_here(
+            "rel.dead", "peer=" + std::to_string(failed->next_hop));
+      }
       if (vc_.routing().reachable(self_, dst)) {
         ++stats.reliability.failovers;
+        metrics.add("rel.failovers", node_label);
+        if (vc_.options().trace != nullptr) {
+          vc_.options().trace->instant_here(
+              "rel.failover", "dst=" + std::to_string(dst) + " around=" +
+                                  std::to_string(failed->next_hop));
+        }
       }
     }
   }
@@ -262,6 +314,7 @@ class GatewayRelay {
       vc_.options().trace->record(begin, engine_.now(), "gw.recv",
                                   "bytes=" + std::to_string(size));
     }
+    note_phase_us("recv", begin, engine_.now());
     GatewayStats& stats = vc_.mutable_gateway_stats(self_);
     ++stats.paquets_forwarded;
     stats.bytes_forwarded += size;
@@ -272,6 +325,7 @@ class GatewayRelay {
     if (vc_.options().trace != nullptr) {
       vc_.options().trace->record(switch_begin, engine_.now(), "gw.switch");
     }
+    note_phase_us("switch", switch_begin, engine_.now());
     return item;
   }
 
@@ -297,8 +351,10 @@ class GatewayRelay {
       for (std::uint64_t i = 0; i < fragments; ++i) {
         const std::uint32_t size = fragment_size(bh.size, vc_.mtu(), i);
         RelayItem item = receive_fragment(in, out_channel, size);
+        const sim::Time send_begin = engine_.now();
         recycle(send_relay_item(out, out_channel.tm(), conn, std::move(item),
                                 vc_));
+        note_phase_us("send", send_begin, engine_.now());
       }
     }
     out.end_packing();
@@ -307,47 +363,65 @@ class GatewayRelay {
   void relay_pipelined(MessageReader& in, const GtmMsgHeader& hdr,
                        Channel& out_channel, NodeRank next, bool last_hop) {
     const int depth = vc_.options().pipeline_depth;
-    sim::Mailbox<RelayItem> items(
+    // Shared with the sender actor, heap-owned: during engine shutdown the
+    // listener may unwind (and its stack frame be reused) while the sender
+    // is still parked inside items.recv(); stack-allocating this state was
+    // a use-after-free (see the regression in tests/fwd/test_failures.cpp).
+    struct PipeState {
+      PipeState(sim::Engine& engine, std::size_t capacity,
+                const std::string& name)
+          : items(engine, capacity, name),
+            sender_done(engine, name + ".done") {}
+      sim::Mailbox<RelayItem> items;
+      sim::Condition sender_done;
+      bool finished = false;
+    };
+    auto state = std::make_shared<PipeState>(
         engine_, static_cast<std::size_t>(depth - 1),
         vc_.name() + ".gwitems." + std::to_string(self_));
-    sim::Condition sender_done(engine_, "gw.sender_done");
-    bool finished = false;
 
     engine_.spawn(
         vc_.name() + ".gwsend." + std::to_string(self_),
-        [this, &items, &out_channel, next, last_hop, hdr, &sender_done,
-         &finished] {
-          MessageWriter out = open_outgoing(out_channel, next, last_hop, hdr);
+        [self = shared_from_this(), state, &out_channel, next, last_hop,
+         hdr] {
+          MessageWriter out =
+              self->open_outgoing(out_channel, next, last_hop, hdr);
           const Connection& conn = out_channel.connection_to(next);
           for (;;) {
-            RelayItem item = items.recv();
+            RelayItem item = state->items.recv();
             if (item.kind == RelayItem::Kind::End) {
               write_block_header(out, end_marker());
               break;
             }
-            recycle(send_relay_item(out, out_channel.tm(), conn,
-                                    std::move(item), vc_));
+            const bool fragment =
+                item.kind != RelayItem::Kind::BlockHeader;
+            const sim::Time send_begin = self->engine_.now();
+            self->recycle(send_relay_item(out, out_channel.tm(), conn,
+                                          std::move(item), self->vc_));
+            if (fragment) {
+              self->note_phase_us("send", send_begin, self->engine_.now());
+            }
           }
           out.end_packing();
-          finished = true;
-          sender_done.notify_all();
+          state->finished = true;
+          state->sender_done.notify_all();
         });
 
     for (;;) {
       const GtmBlockHeader bh = read_block_header(in);
       if (bh.end_of_message != 0) {
-        items.send(RelayItem::end());
+        state->items.send(RelayItem::end());
         break;
       }
-      items.send(RelayItem::block(bh));
+      state->items.send(RelayItem::block(bh));
       const std::uint64_t fragments = fragment_count(bh.size, vc_.mtu());
       for (std::uint64_t i = 0; i < fragments; ++i) {
         const std::uint32_t size = fragment_size(bh.size, vc_.mtu(), i);
-        items.send(receive_fragment(in, out_channel, size));
+        state->items.send(receive_fragment(in, out_channel, size));
       }
     }
-    while (!finished) {
-      sender_done.wait();
+    while (!state->finished) {
+      state->sender_done.wait();
     }
   }
 
@@ -376,11 +450,11 @@ void spawn_gateway_actors(VirtualChannel& vc) {
       engine.spawn(
           actor_name,
           [&vc, rank, local] {
-            GatewayRelay relay(vc, rank, local);
+            auto relay = std::make_shared<GatewayRelay>(vc, rank, local);
             for (;;) {
-              relay.in_channel().wait_incoming();
-              MessageReader in = relay.in_channel().begin_unpacking();
-              relay.relay_message(std::move(in));
+              relay->in_channel().wait_incoming();
+              MessageReader in = relay->in_channel().begin_unpacking();
+              relay->relay_message(std::move(in));
             }
           },
           /*daemon=*/true);

@@ -6,7 +6,10 @@
 #include "mad/channel.hpp"
 #include "mad/copy_stats.hpp"
 #include "mad/message.hpp"
+#include "mad/session.hpp"
+#include "net/fabric.hpp"
 #include "net/link.hpp"
+#include "sim/metrics.hpp"
 #include "util/panic.hpp"
 
 namespace mad::fwd {
@@ -29,19 +32,40 @@ void send_paquet_reliably(VirtualChannel& vc, NodeRank self,
   const GtmPaquetTrailer trailer = make_paquet_trailer(payload, seq, epoch);
   std::memcpy(scratch.data() + payload.size(), &trailer, kGtmTrailerBytes);
 
+  sim::MetricsRegistry& metrics = vc.domain().fabric().metrics();
+  const std::string node_label = "node=" + std::to_string(self);
+  sim::Trace* trace = vc.options().trace;
   sim::Time timeout = opts.ack_timeout;
   for (int attempt = 1;; ++attempt) {
+    const sim::Time attempt_begin = engine.now();
     out.pack(util::ByteSpan(scratch), SendMode::Cheaper, RecvMode::Express);
     if (network.acks().await(conn.tx_tag, conn.peer_nic_index, epoch, seq,
                              engine.now() + timeout)) {
       ++stats.paquets_acked;
+      metrics.add("rel.paquets_acked", node_label);
+      metrics.observe_us("rel.ack_us", node_label,
+                         sim::to_microseconds(engine.now() - attempt_begin));
       return;
     }
     ++stats.timeouts;
+    metrics.add("rel.timeouts", node_label);
+    if (trace != nullptr) {
+      trace->instant_here("rel.timeout",
+                          "peer=" + std::to_string(peer) + " seq=" +
+                              std::to_string(seq) + " attempt=" +
+                              std::to_string(attempt));
+    }
     if (attempt >= opts.max_attempts) {
       throw HopFailure{peer, attempt};
     }
     ++stats.retransmits;
+    metrics.add("rel.retransmits", node_label);
+    if (trace != nullptr) {
+      trace->instant_here("rel.retransmit",
+                          "peer=" + std::to_string(peer) + " seq=" +
+                              std::to_string(seq) + " attempt=" +
+                              std::to_string(attempt + 1));
+    }
     timeout = static_cast<sim::Time>(static_cast<double>(timeout) *
                                      opts.timeout_backoff);
   }
@@ -57,6 +81,8 @@ void recv_paquet_reliably(VirtualChannel& vc, NodeRank self,
   const Connection& conn = in_channel.connection_to(peer);
   net::Network& network = in_channel.network();
   const int self_nic = in_channel.tm().nic().index();
+  sim::MetricsRegistry& metrics = vc.domain().fabric().metrics();
+  const std::string node_label = "node=" + std::to_string(self);
 
   scratch.resize(static_cast<std::size_t>(vc.mtu()) + kGtmTrailerBytes);
   for (;;) {
@@ -64,6 +90,7 @@ void recv_paquet_reliably(VirtualChannel& vc, NodeRank self,
         in.unpack_paquet(util::MutByteSpan(scratch));
     if (wire_size < kGtmTrailerBytes) {
       ++stats.corrupt_drops;  // not even a whole trailer — mangled frame
+      metrics.add("rel.corrupt_drops", node_label);
       continue;
     }
     GtmPaquetTrailer trailer;
@@ -74,6 +101,7 @@ void recv_paquet_reliably(VirtualChannel& vc, NodeRank self,
         gtm_paquet_checksum(body, trailer.seq, trailer.epoch)) {
       // Corrupt: drop silently; the sender's ack timeout covers it.
       ++stats.corrupt_drops;
+      metrics.add("rel.corrupt_drops", node_label);
       continue;
     }
     if (trailer.epoch != epoch || trailer.seq < expected_seq) {
@@ -81,6 +109,7 @@ void recv_paquet_reliably(VirtualChannel& vc, NodeRank self,
       // re-acknowledge — the original ack may have been posted before the
       // sender timed out, or suppressed by a fault window.
       ++stats.dup_drops;
+      metrics.add("rel.dup_drops", node_label);
       network.post_ack(conn.rx_tag, self_nic, conn.peer_nic_index,
                        trailer.epoch, trailer.seq);
       continue;

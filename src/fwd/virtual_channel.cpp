@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "fwd/gateway.hpp"
+#include "mad/session.hpp"
+#include "net/fabric.hpp"
+#include "sim/metrics.hpp"
 #include "util/log.hpp"
 #include "util/panic.hpp"
 
@@ -205,8 +208,11 @@ VcMessageWriter::VcMessageWriter(VirtualChannel& vc, NodeRank src,
     : vc_(&vc), src_(src), dst_(dst), mtu_(vc.mtu()) {
   MAD_ASSERT(vc.is_member(src) && vc.is_member(dst),
              "both ends must be members of the virtual channel");
-  const topo::Route& route = vc.routing().route(src, dst);
-  const topo::Hop& first = route.front();
+  // Route by value: a reliable writer elsewhere on this node can call
+  // mark_dead (rebuilding the routing table) while this writer blocks in
+  // begin_packing — references into the table would dangle.
+  const topo::Route route = vc.routing().route(src, dst);
+  const topo::Hop first = route.front();
   direct_ = route.size() == 1;
   if (direct_) {
     // No gateway: regular channel, native format, full optimizations.
@@ -267,6 +273,13 @@ void VcMessageWriter::recover(const HopFailure& failure, bool finishing) {
         vc_->mutable_gateway_stats(src_).reliability;
     vc_->mark_dead(failed.next_hop);
     ++stats.peers_declared_dead;
+    sim::MetricsRegistry& metrics = vc_->domain().fabric().metrics();
+    const std::string node_label = "node=" + std::to_string(src_);
+    metrics.add("rel.dead_peers", node_label);
+    if (vc_->options().trace != nullptr) {
+      vc_->options().trace->instant_here(
+          "rel.dead", "peer=" + std::to_string(failed.next_hop));
+    }
     // Express flushing leaves nothing buffered, so closing the dead-hop
     // message is non-blocking and releases the connection's tx lock.
     inner_->end_packing();
@@ -279,6 +292,12 @@ void VcMessageWriter::recover(const HopFailure& failure, bool finishing) {
                 " attempts and no alternate route exists");
     }
     ++stats.failovers;
+    metrics.add("rel.failovers", node_label);
+    if (vc_->options().trace != nullptr) {
+      vc_->options().trace->instant_here(
+          "rel.failover", "dst=" + std::to_string(dst_) + " around=" +
+                              std::to_string(failed.next_hop));
+    }
     open_reliable_hop();
     try {
       for (const ReplayBlock& block : replay_) {

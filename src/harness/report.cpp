@@ -55,6 +55,25 @@ std::string size_label(std::uint64_t bytes) {
   return util::format_bytes(bytes);
 }
 
+fwd::ReliabilityStats reliability_totals(const fwd::VirtualChannel& vc) {
+  fwd::ReliabilityStats total;
+  for (NodeRank rank = 0;
+       static_cast<std::size_t>(rank) < vc.domain().node_count(); ++rank) {
+    if (!vc.is_member(rank)) {
+      continue;
+    }
+    const fwd::ReliabilityStats& r = vc.gateway_stats(rank).reliability;
+    total.paquets_acked += r.paquets_acked;
+    total.retransmits += r.retransmits;
+    total.timeouts += r.timeouts;
+    total.dup_drops += r.dup_drops;
+    total.corrupt_drops += r.corrupt_drops;
+    total.failovers += r.failovers;
+    total.peers_declared_dead += r.peers_declared_dead;
+  }
+  return total;
+}
+
 void print_reliability(const fwd::VirtualChannel& vc) {
   const char* const header_fmt = "%-6s %12s %12s %12s %12s %12s %12s %12s\n";
   const char* const row_fmt =
@@ -80,20 +99,12 @@ void print_reliability(const fwd::VirtualChannel& vc) {
   std::printf("\n=== reliability: %s ===\n", vc.name().c_str());
   std::printf(header_fmt, "node", "acked", "retransmits", "timeouts",
               "dup_drops", "corrupt", "failovers", "dead_peers");
-  fwd::ReliabilityStats total;
   for (NodeRank rank = 0;
        static_cast<std::size_t>(rank) < vc.domain().node_count(); ++rank) {
     if (!vc.is_member(rank)) {
       continue;
     }
     const fwd::ReliabilityStats& r = vc.gateway_stats(rank).reliability;
-    total.paquets_acked += r.paquets_acked;
-    total.retransmits += r.retransmits;
-    total.timeouts += r.timeouts;
-    total.dup_drops += r.dup_drops;
-    total.corrupt_drops += r.corrupt_drops;
-    total.failovers += r.failovers;
-    total.peers_declared_dead += r.peers_declared_dead;
     if (r.paquets_acked == 0 && r.retransmits == 0 && r.timeouts == 0 &&
         r.dup_drops == 0 && r.corrupt_drops == 0 && r.failovers == 0 &&
         r.peers_declared_dead == 0) {
@@ -101,7 +112,7 @@ void print_reliability(const fwd::VirtualChannel& vc) {
     }
     row(std::to_string(rank).c_str(), r);
   }
-  row("total", total);
+  row("total", reliability_totals(vc));
   std::fflush(stdout);
 }
 

@@ -12,12 +12,18 @@
 
 namespace mad::fwd {
 class VirtualChannel;
+struct ReliabilityStats;
 }  // namespace mad::fwd
 
 namespace mad::harness {
 
 class ReportTable {
  public:
+  struct Row {
+    std::string label;
+    std::vector<double> values;
+  };
+
   /// `row_header` names the first column (e.g. "msg size").
   ReportTable(std::string title, std::string row_header,
               std::vector<std::string> series);
@@ -27,23 +33,30 @@ class ReportTable {
   /// Prints the table followed by CSV lines to stdout.
   void print() const;
 
+  // Accessors for machine-readable emitters (JsonReport).
+  const std::string& title() const { return title_; }
+  const std::string& row_header() const { return row_header_; }
+  const std::vector<std::string>& series() const { return series_; }
+  const std::vector<Row>& rows() const { return rows_; }
+
  private:
   std::string title_;
   std::string row_header_;
   std::vector<std::string> series_;
-  struct Row {
-    std::string label;
-    std::vector<double> values;
-  };
   std::vector<Row> rows_;
 };
 
 /// "16 KB" style labels for power-of-two byte counts.
 std::string size_label(std::uint64_t bytes);
 
+/// Sum of the per-member reliable-mode counters of `vc` — the figure the
+/// "total" row of print_reliability (and the JSON report) shows.
+fwd::ReliabilityStats reliability_totals(const fwd::VirtualChannel& vc);
+
 /// Per-member reliable-mode counters of `vc` (acks, retransmits, drops,
 /// failovers) as a fixed-width table plus "csv," mirror lines; all-zero
-/// members are skipped, a "total" row always prints.
+/// members are skipped, a "total" row (== reliability_totals) always
+/// prints.
 void print_reliability(const fwd::VirtualChannel& vc);
 
 }  // namespace mad::harness

@@ -7,6 +7,12 @@ namespace mad::harness {
 PaperWorld::PaperWorld(fwd::VcOptions options, int myri_endpoints,
                        int sci_endpoints) {
   fabric.emplace(engine);
+  if (options.trace != nullptr) {
+    // One sink for everything: gateway steps (via the vc), actor lifecycle
+    // (via the engine) and wire packets (via the networks).
+    engine.set_trace(options.trace);
+    fabric->set_trace(options.trace);
+  }
   myri = &fabric->add_network("myri0", net::bip_myrinet());
   sci = &fabric->add_network("sci0", net::sisci_sci());
   std::vector<net::Host*> hosts;
@@ -72,6 +78,10 @@ baseline::SfReceived StoreForwardWorld::recv(NodeRank self) {
 ConfigWorld::ConfigWorld(const topo::TopoConfig& cfg, fwd::VcOptions options)
     : config(cfg) {
   fabric.emplace(engine);
+  if (options.trace != nullptr) {
+    engine.set_trace(options.trace);
+    fabric->set_trace(options.trace);
+  }
   for (const auto& decl : config.networks) {
     networks.push_back(
         &fabric->add_network(decl.name, net::nic_model_by_name(decl.protocol)));

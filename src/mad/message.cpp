@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "mad/channel.hpp"
+#include "sim/metrics.hpp"
 #include "util/panic.hpp"
 
 namespace mad {
@@ -22,6 +23,7 @@ MessageWriter::MessageWriter(Channel& channel, NodeRank dst)
   }
   bmm_ = channel.pmm().make_tx(channel.tm(),
                                TxRoute{conn.peer_nic_index, conn.tx_tag});
+  begin_ = channel.network().engine().now();
 }
 
 MessageWriter::~MessageWriter() {
@@ -51,12 +53,23 @@ void MessageWriter::end_packing() {
   ChannelStats& stats = channel_->mutable_stats();
   ++stats.messages_sent;
   stats.bytes_sent += payload_bytes_;
+  if (sim::MetricsRegistry* metrics = channel_->network().metrics();
+      metrics != nullptr && metrics->enabled()) {
+    const std::string labels =
+        "channel=" + channel_->name() + ",direction=tx";
+    metrics->counter("chan.messages", labels).add();
+    metrics->counter("chan.bytes", labels).add(payload_bytes_);
+    metrics->histogram("chan.msg_us", labels)
+        .record(sim::to_microseconds(channel_->network().engine().now() -
+                                     begin_));
+  }
 }
 
 MessageReader::MessageReader(Channel& channel, NodeRank src)
     : channel_(&channel), src_(src) {
   Connection& conn = channel.connection_to(src);
   bmm_ = channel.pmm().make_rx(channel.tm(), RxRoute{conn.rx_tag});
+  begin_ = channel.network().engine().now();
 }
 
 MessageReader::~MessageReader() {
@@ -90,6 +103,16 @@ void MessageReader::end_unpacking() {
   ChannelStats& stats = channel_->mutable_stats();
   ++stats.messages_received;
   stats.bytes_received += payload_bytes_;
+  if (sim::MetricsRegistry* metrics = channel_->network().metrics();
+      metrics != nullptr && metrics->enabled()) {
+    const std::string labels =
+        "channel=" + channel_->name() + ",direction=rx";
+    metrics->counter("chan.messages", labels).add();
+    metrics->counter("chan.bytes", labels).add(payload_bytes_);
+    metrics->histogram("chan.msg_us", labels)
+        .record(sim::to_microseconds(channel_->network().engine().now() -
+                                     begin_));
+  }
 }
 
 }  // namespace mad

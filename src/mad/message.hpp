@@ -12,6 +12,7 @@
 
 #include "mad/bmm.hpp"
 #include "mad/types.hpp"
+#include "sim/time.hpp"
 #include "util/bytes.hpp"
 
 namespace mad {
@@ -51,6 +52,7 @@ class MessageWriter {
   struct Connection* connection_ = nullptr;  // tx-locked until end_packing
   std::unique_ptr<BmmTx> bmm_;
   std::uint64_t payload_bytes_ = 0;
+  sim::Time begin_ = 0;  // begin_packing instant (message-latency metric)
   bool ended_ = false;
 };
 
@@ -92,6 +94,7 @@ class MessageReader {
   NodeRank src_;
   std::unique_ptr<BmmRx> bmm_;
   std::uint64_t payload_bytes_ = 0;
+  sim::Time begin_ = 0;  // begin_unpacking instant (message-latency metric)
   bool ended_ = false;
 };
 

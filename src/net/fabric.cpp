@@ -8,6 +8,7 @@ Host& Fabric::add_host(std::string name, PciBusParams bus) {
   const int id = static_cast<int>(hosts_.size());
   hosts_.push_back(
       std::make_unique<Host>(engine_, id, std::move(name), bus));
+  hosts_.back()->bus().set_metrics(&metrics_);
   return *hosts_.back();
 }
 
@@ -16,7 +17,16 @@ Network& Fabric::add_network(std::string name, NicModelParams model) {
   networks_.push_back(std::make_unique<Network>(engine_, id, std::move(name),
                                                 std::move(model)));
   networks_.back()->set_packet_log(&packet_log_);
+  networks_.back()->set_metrics(&metrics_);
+  networks_.back()->set_trace(trace_);
   return *networks_.back();
+}
+
+void Fabric::set_trace(sim::TraceSink* trace) {
+  trace_ = trace;
+  for (const auto& network : networks_) {
+    network->set_trace(trace);
+  }
 }
 
 Host& Fabric::host(int id) const {

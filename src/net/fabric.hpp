@@ -7,6 +7,7 @@
 
 #include "net/host.hpp"
 #include "net/link.hpp"
+#include "sim/metrics.hpp"
 
 namespace mad::net {
 
@@ -29,11 +30,24 @@ class Fabric {
   /// every NIC send across all networks).
   PacketLog& packet_log() { return packet_log_; }
 
+  /// Fabric-wide counters and latency histograms (disabled by default;
+  /// enable() to record). Distributed by pointer to every network and bus,
+  /// like the packet log.
+  sim::MetricsRegistry& metrics() { return metrics_; }
+  const sim::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Attaches a structured-trace sink to every network (current and
+  /// future) for packet-level events. Does NOT touch the engine's actor
+  /// tracing — call Engine::set_trace for that.
+  void set_trace(sim::TraceSink* trace);
+
  private:
   sim::Engine& engine_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Network>> networks_;
   PacketLog packet_log_;
+  sim::MetricsRegistry metrics_;
+  sim::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace mad::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/metrics.hpp"
 #include "util/panic.hpp"
 
 namespace mad::net {
@@ -51,6 +52,10 @@ Network::WireReservation Network::reserve_wire(int src, int dst,
   const sim::Time wire_end =
       depart + sim::transfer_time(bytes, model_.wire_bandwidth);
   busy = wire_end;
+  if (metrics_ != nullptr && metrics_->enabled()) {
+    metrics_->histogram("net.wire_wait_us", "network=" + name_)
+        .record(sim::to_microseconds(depart - start));
+  }
   return {depart, wire_end};
 }
 

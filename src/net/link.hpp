@@ -21,6 +21,11 @@
 #include "net/params.hpp"
 #include "sim/engine.hpp"
 
+namespace mad::sim {
+class MetricsRegistry;
+class TraceSink;
+}  // namespace mad::sim
+
 namespace mad::net {
 
 class Nic;
@@ -55,6 +60,14 @@ class Network {
   PacketLog* packet_log() const { return packet_log_; }
   void set_packet_log(PacketLog* log) { packet_log_ = log; }
 
+  /// Fabric-wide metrics registry and trace sink (set by Fabric; may be
+  /// null on hand-built networks). NICs and the protocol layers above
+  /// reach both through here.
+  sim::MetricsRegistry* metrics() const { return metrics_; }
+  void set_metrics(sim::MetricsRegistry* metrics) { metrics_ = metrics; }
+  sim::TraceSink* trace() const { return trace_; }
+  void set_trace(sim::TraceSink* trace) { trace_ = trace; }
+
   /// Attaches a seeded fault plan; every subsequent NIC send on this
   /// network consults it. Replaces any previous plan (fresh Rng + stats).
   void set_fault_plan(FaultPlan plan);
@@ -73,6 +86,8 @@ class Network {
 
  private:
   PacketLog* packet_log_ = nullptr;
+  sim::MetricsRegistry* metrics_ = nullptr;
+  sim::TraceSink* trace_ = nullptr;
   sim::Engine& engine_;
   int id_;
   std::string name_;

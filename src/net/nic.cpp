@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "net/host.hpp"
+#include "sim/metrics.hpp"
+#include "sim/trace.hpp"
 #include "util/log.hpp"
 #include "util/panic.hpp"
 
@@ -79,12 +81,32 @@ void Nic::send(int dst_index, std::uint64_t tag,
     log->record({flow_start, network_.id(), network_.name(), index_,
                  dst_index, tag, static_cast<std::uint32_t>(n), fault});
   }
+  if (sim::TraceSink* trace = network_.trace();
+      trace != nullptr && trace->enabled()) {
+    const std::string detail = "nic" + std::to_string(index_) + "->nic" +
+                               std::to_string(dst_index) +
+                               " bytes=" + std::to_string(n);
+    trace->instant("net:" + network_.name(), flow_start, "pkt.tx", detail);
+    if (fault != FaultAction::Deliver) {
+      trace->instant("net:" + network_.name(), flow_start, "pkt.fault",
+                     detail + " verdict=" + fault_action_name(fault));
+    }
+  }
+  if (sim::MetricsRegistry* metrics = network_.metrics();
+      metrics != nullptr && metrics->enabled()) {
+    metrics
+        ->counter("net.packets", "network=" + network_.name() + ",verdict=" +
+                                     fault_action_name(fault))
+        .add();
+    metrics->counter("net.bytes", "network=" + network_.name()).add(n);
+  }
   const auto wire = network_.reserve_wire(index_, dst_index, n, flow_start);
   auto timing = std::make_shared<TxTiming>();
   if (fault != FaultAction::Drop) {
     WirePacket packet;
     packet.src_index = index_;
     packet.tag = tag;
+    packet.send_time = flow_start;
     packet.payload = util::gather(data);  // snapshot at flow start; the sender
                                           // is blocked for the whole flow
     packet.visible_time = wire.depart + model().wire_latency;
@@ -189,6 +211,18 @@ WirePacket Nic::consume(std::uint64_t tag) {
       model().wire_latency;
   if (engine_.now() < last_byte) {
     engine_.sleep_until(last_byte);
+  }
+  if (sim::TraceSink* trace = network_.trace();
+      trace != nullptr && trace->enabled()) {
+    trace->instant("net:" + network_.name(), engine_.now(), "pkt.rx",
+                   "nic" + std::to_string(packet.src_index) + "->nic" +
+                       std::to_string(index_) +
+                       " bytes=" + std::to_string(packet.payload.size()));
+  }
+  if (sim::MetricsRegistry* metrics = network_.metrics();
+      metrics != nullptr && metrics->enabled()) {
+    metrics->histogram("net.packet_us", "network=" + network_.name())
+        .record(sim::to_microseconds(engine_.now() - packet.send_time));
   }
   return packet;
 }

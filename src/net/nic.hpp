@@ -50,6 +50,7 @@ struct WirePacket {
   int src_index = -1;
   std::uint64_t tag = 0;
   std::vector<std::byte> payload;
+  sim::Time send_time = 0;     // source flow start (latency metrics)
   sim::Time visible_time = 0;  // first byte reaches the NIC
   sim::Time wire_end = 0;      // last byte has left the wire
   std::shared_ptr<TxTiming> timing;

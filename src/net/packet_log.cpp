@@ -4,10 +4,25 @@
 
 namespace mad::net {
 
-void PacketLog::record(PacketRecord record) {
-  if (enabled_) {
-    records_.push_back(std::move(record));
+void PacketLog::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  if (capacity_ > 0) {
+    while (records_.size() > capacity_) {
+      records_.pop_front();
+      ++evicted_;
+    }
   }
+}
+
+void PacketLog::record(PacketRecord record) {
+  if (!enabled_) {
+    return;
+  }
+  if (capacity_ > 0 && records_.size() >= capacity_) {
+    records_.pop_front();
+    ++evicted_;
+  }
+  records_.push_back(std::move(record));
 }
 
 std::vector<PacketRecord> PacketLog::on_network(int network_id) const {
@@ -23,6 +38,9 @@ std::vector<PacketRecord> PacketLog::on_network(int network_id) const {
 std::uint64_t PacketLog::total_bytes() const {
   std::uint64_t total = 0;
   for (const auto& r : records_) {
+    if (r.fault == FaultAction::Drop) {
+      continue;  // never reached a destination ring
+    }
     total += r.size;
   }
   return total;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -30,15 +31,35 @@ struct PacketRecord {
 
 class PacketLog {
  public:
+  /// Generous default cap: at ~100 B/record roughly 100 MB of log before
+  /// the ring starts evicting — far beyond any test, yet bounded for long
+  /// bench runs with tracing left on.
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
   void enable() { enabled_ = true; }
   void disable() { enabled_ = false; }
   bool enabled() const { return enabled_; }
 
-  void record(PacketRecord record);
-  void clear() { records_.clear(); }
+  /// Ring semantics: once `capacity()` records are held, recording another
+  /// evicts the oldest. 0 = unbounded.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
+  /// Records evicted by the ring so far (the log's "you are seeing a
+  /// suffix" indicator).
+  std::uint64_t evicted() const { return evicted_; }
 
-  const std::vector<PacketRecord>& records() const { return records_; }
+  void record(PacketRecord record);
+  void clear() {
+    records_.clear();
+    evicted_ = 0;
+  }
+
+  const std::deque<PacketRecord>& records() const { return records_; }
   std::vector<PacketRecord> on_network(int network_id) const;
+
+  /// Bytes that actually reached a destination ring: Dropped packets do
+  /// not count (corrupted/duplicated ones do — they were delivered, just
+  /// wrong or twice).
   std::uint64_t total_bytes() const;
 
   /// One line per packet, for debugging dumps.
@@ -46,7 +67,9 @@ class PacketLog {
 
  private:
   bool enabled_ = false;
-  std::vector<PacketRecord> records_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t evicted_ = 0;
+  std::deque<PacketRecord> records_;
 };
 
 }  // namespace mad::net

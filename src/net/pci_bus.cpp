@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/metrics.hpp"
 #include "util/panic.hpp"
 
 namespace mad::net {
@@ -97,7 +98,15 @@ sim::Time PciBus::transfer(PciOp op, std::uint64_t bytes) {
   recompute_rates();
   changed_.notify_all();
   bytes_transferred_ += bytes;
-  return engine_.now() - start;
+  const sim::Time elapsed = engine_.now() - start;
+  if (metrics_ != nullptr && metrics_->enabled()) {
+    metrics_
+        ->histogram("pci.transfer_us",
+                    "bus=" + name_ +
+                        ",op=" + (op == PciOp::Dma ? "dma" : "pio"))
+        .record(sim::to_microseconds(elapsed));
+  }
+  return elapsed;
 }
 
 int PciBus::active_dma_flows() const {

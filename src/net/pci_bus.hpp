@@ -26,6 +26,10 @@
 #include "sim/condition.hpp"
 #include "sim/engine.hpp"
 
+namespace mad::sim {
+class MetricsRegistry;
+}  // namespace mad::sim
+
 namespace mad::net {
 
 class PciBus {
@@ -48,6 +52,10 @@ class PciBus {
   const PciBusParams& params() const { return params_; }
   const std::string& name() const { return name_; }
 
+  /// Fabric-wide metrics registry (set by Fabric; may stay null on
+  /// hand-built hosts). Records per-transfer durations when enabled.
+  void set_metrics(sim::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   struct Flow {
     PciOp op;
@@ -63,6 +71,7 @@ class PciBus {
   sim::Engine& engine_;
   PciBusParams params_;
   std::string name_;
+  sim::MetricsRegistry* metrics_ = nullptr;
   std::list<Flow> flows_;
   sim::Condition changed_;
   sim::Time last_update_ = 0;

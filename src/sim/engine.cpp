@@ -6,6 +6,7 @@
 
 #include "sim/condition.hpp"
 #include "sim/engine_internal.hpp"
+#include "sim/trace.hpp"
 #include "util/log.hpp"
 #include "util/panic.hpp"
 
@@ -104,6 +105,9 @@ ActorHandle Engine::spawn(std::string name, std::function<void()> body,
   // current virtual instant.
   a->status = Status::Ready;
   ready_.push_back(id);
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->instant(a->name, now_, "actor.spawn");
+  }
   return ActorHandle(id);
 }
 
@@ -145,6 +149,11 @@ void Engine::make_ready(ActorState& a, WakeReason reason) {
   a.status = Status::Ready;
   a.wake_reason = reason;
   ready_.push_back(a.id);
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->instant(a.name, now_, "actor.wake",
+                    reason == WakeReason::Timeout ? "reason=timeout"
+                                                  : "reason=notified");
+  }
 }
 
 void Engine::arm_timer(ActorState& a, Time deadline) {
@@ -180,6 +189,11 @@ WakeReason Engine::park() {
   // condition waiters and/or timer set) with status Blocked or Ready.
   std::unique_lock lock(mutex_, std::adopt_lock);
   ActorState& a = self();
+  // Yields park as Ready; only a true wait (sleep, condition) is a block.
+  if (trace_ != nullptr && trace_->enabled() &&
+      a.status == Status::Blocked) {
+    trace_->instant(a.name, now_, "actor.block");
+  }
   control_with_scheduler_ = true;
   sched_cv_.notify_one();
   a.cv.wait(lock, [&a] { return a.may_run; });

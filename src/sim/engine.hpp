@@ -35,6 +35,7 @@ namespace mad::sim {
 
 class Engine;
 class Condition;
+class TraceSink;
 
 /// Identifies an actor within its engine; also the deterministic tie-breaker
 /// for simultaneous timer wakeups.
@@ -96,6 +97,13 @@ class Engine {
   /// Aborts run() with an error if virtual time would exceed this horizon —
   /// a safety net against accidental infinite simulations.
   void set_time_horizon(Time horizon) { horizon_ = horizon; }
+
+  /// Attaches a trace sink; when it is enabled the scheduler records actor
+  /// lifecycle instants (actor.spawn / actor.block / actor.wake) on each
+  /// actor's own track. The sink must outlive the engine (or be detached
+  /// with nullptr first).
+  void set_trace(TraceSink* trace) { trace_ = trace; }
+  TraceSink* trace() const { return trace_; }
 
   /// --- blocking operations; must be called from an actor of this engine ---
 
@@ -159,6 +167,7 @@ class Engine {
   std::set<std::pair<Time, ActorId>> timers_;
   Time now_ = 0;
   Time horizon_ = kForever;
+  TraceSink* trace_ = nullptr;
   ActorId running_ = -1;
   bool control_with_scheduler_ = true;
   bool in_run_ = false;

@@ -1,0 +1,104 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/json.hpp"
+
+namespace mad::sim {
+
+namespace {
+
+int bucket_of(double us) {
+  if (us <= 1.0) {
+    return 0;
+  }
+  const int b = 1 + static_cast<int>(std::floor(std::log2(us)));
+  return std::min(b, LatencyHistogram::kBuckets - 1);
+}
+
+double bucket_lower(int b) { return b == 0 ? 0.0 : std::exp2(b - 1); }
+double bucket_upper(int b) { return std::exp2(b); }
+
+}  // namespace
+
+void LatencyHistogram::record(double microseconds) {
+  const double v = std::max(0.0, microseconds);
+  ++buckets_[static_cast<std::size_t>(bucket_of(v))];
+  if (count_ == 0 || v < min_) {
+    min_ = v;
+  }
+  if (v > max_) {
+    max_ = v;
+  }
+  sum_ += v;
+  ++count_;
+}
+
+double LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const double in_bucket = static_cast<double>(buckets_[
+        static_cast<std::size_t>(b)]);
+    if (in_bucket == 0.0) {
+      continue;
+    }
+    if (cumulative + in_bucket >= target) {
+      const double fraction =
+          in_bucket == 0.0 ? 0.0 : (target - cumulative) / in_bucket;
+      const double low = bucket_lower(b);
+      const double high = bucket_upper(b);
+      const double estimate = low + fraction * (high - low);
+      return std::clamp(estimate, min_, max_);
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& labels) {
+  return counters_[{name, labels}];
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name,
+                                             const std::string& labels) {
+  return histograms_[{name, labels}];
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": [";
+  bool first = true;
+  for (const auto& [key, counter] : counters_) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"name\": \"" << util::json_escape(key.first)
+        << "\", \"labels\": \"" << util::json_escape(key.second)
+        << "\", \"value\": " << counter.value << "}";
+  }
+  out << "\n  ],\n  \"histograms\": [";
+  first = true;
+  for (const auto& [key, h] : histograms_) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"name\": \"" << util::json_escape(key.first)
+        << "\", \"labels\": \"" << util::json_escape(key.second)
+        << "\", \"count\": " << h.count()
+        << ", \"sum_us\": " << util::json_number(h.sum())
+        << ", \"min_us\": " << util::json_number(h.min())
+        << ", \"max_us\": " << util::json_number(h.max())
+        << ", \"mean_us\": " << util::json_number(h.mean())
+        << ", \"p50_us\": " << util::json_number(h.percentile(0.50))
+        << ", \"p95_us\": " << util::json_number(h.percentile(0.95))
+        << ", \"p99_us\": " << util::json_number(h.percentile(0.99)) << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+}  // namespace mad::sim

@@ -1,16 +1,144 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
+#include <map>
+#include <ostream>
+
 #include "sim/engine.hpp"
+#include "util/json.hpp"
 
 namespace mad::sim {
 
-void Trace::record(Time begin, Time end, std::string category,
-                   std::string label) {
+namespace {
+
+/// Track of the calling context: actor name inside an engine, "main"
+/// outside (world construction, tests).
+std::string current_track() {
+  const Engine* engine = Engine::current();
+  if (engine == nullptr) {
+    return "main";
+  }
+  return engine->current_actor_name();
+}
+
+/// Trace-event "cat" field: the subsystem prefix of the event name
+/// ("gw.recv" -> "gw"), the whole name when it has no dot.
+std::string category_of(const std::string& name) {
+  const std::size_t dot = name.find('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+}  // namespace
+
+void TraceSink::span(std::string track, Time begin, Time end,
+                     std::string name, std::string detail) {
   if (!enabled_) {
     return;
   }
-  intervals_.push_back(
-      {begin, end, std::move(category), std::move(label)});
+  events_.push_back({TraceEventKind::Span, begin, end, std::move(track),
+                     std::move(name), std::move(detail)});
+}
+
+void TraceSink::instant(std::string track, Time at, std::string name,
+                        std::string detail) {
+  if (!enabled_) {
+    return;
+  }
+  events_.push_back({TraceEventKind::Instant, at, at, std::move(track),
+                     std::move(name), std::move(detail)});
+}
+
+void TraceSink::instant_here(std::string name, std::string detail) {
+  if (!enabled_) {
+    return;
+  }
+  const Engine* engine = Engine::current();
+  const Time at = engine != nullptr ? engine->now() : 0;
+  instant(current_track(), at, std::move(name), std::move(detail));
+}
+
+std::vector<TraceEvent> TraceSink::by_name(const std::string& name) const {
+  std::vector<TraceEvent> out;
+  for (const auto& event : events_) {
+    if (event.name == name) {
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+void TraceSink::write_chrome_json(std::ostream& out) const {
+  // Chrome trace format: ts/dur in microseconds, "X" complete spans, "i"
+  // instants, "M" metadata naming one tid per track. Events are emitted
+  // sorted by timestamp so consumers (and the smoke test) can assert
+  // monotonic order.
+  std::vector<const TraceEvent*> sorted;
+  sorted.reserve(events_.size());
+  for (const auto& event : events_) {
+    sorted.push_back(&event);
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->begin < b->begin;
+                   });
+
+  std::map<std::string, int> tids;  // track -> tid, first-seen order
+  std::vector<std::string> track_order;
+  for (const TraceEvent* event : sorted) {
+    if (tids.emplace(event->track, 0).second) {
+      track_order.push_back(event->track);
+    }
+  }
+  for (std::size_t i = 0; i < track_order.size(); ++i) {
+    tids[track_order[i]] = static_cast<int>(i + 1);
+  }
+
+  const auto us = [](Time t) {
+    return util::json_number(to_microseconds(t));
+  };
+
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) {
+      out << ",";
+    }
+    first = false;
+    out << "\n";
+  };
+  for (const std::string& track : track_order) {
+    sep();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+        << tids[track] << ",\"args\":{\"name\":\""
+        << util::json_escape(track) << "\"}}";
+  }
+  for (const TraceEvent* event : sorted) {
+    sep();
+    out << "{\"name\":\"" << util::json_escape(event->name)
+        << "\",\"cat\":\"" << util::json_escape(category_of(event->name))
+        << "\",\"pid\":1,\"tid\":" << tids[event->track] << ",\"ts\":"
+        << us(event->begin);
+    if (event->kind == TraceEventKind::Span) {
+      out << ",\"ph\":\"X\",\"dur\":" << us(event->end - event->begin);
+    } else {
+      out << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    if (!event->detail.empty()) {
+      out << ",\"args\":{\"detail\":\"" << util::json_escape(event->detail)
+          << "\"}";
+    }
+    out << "}";
+  }
+  out << "\n]}\n";
+}
+
+void Trace::record(Time begin, Time end, std::string category,
+                   std::string label) {
+  if (!enabled()) {
+    return;
+  }
+  span(current_track(), begin, end, category, label);
+  intervals_.push_back({begin, end, std::move(category), std::move(label)});
 }
 
 std::vector<TraceInterval> Trace::by_category(

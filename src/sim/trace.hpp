@@ -1,18 +1,80 @@
-// Interval tracing on the virtual clock.
+// Structured tracing on the virtual clock.
 //
-// This stands in for the paper's rdtsc instrumentation (§3.4.1): the
-// gateway pipeline records [begin, end] intervals per step ("recv", "send",
-// "switch") so the Fig 5 / Fig 8 benches can print step-duration tables and
-// show the PCI-conflict elongation of send steps.
+// TraceSink records typed events — spans (gateway pipeline steps) and
+// instants (packet send/receive, fault verdicts, actor lifecycle,
+// reliable-mode retransmissions) — each on a named *track*, and exports
+// them as Chrome trace-event JSON loadable in Perfetto or chrome://tracing
+// (one track per actor, one per network). This stands in for the paper's
+// rdtsc instrumentation (§3.4.1): the gateway pipeline records "recv",
+// "switch" and "send" steps so the Fig 5 / Fig 8 benches can print
+// step-duration tables and show the PCI-conflict elongation of send steps.
+//
+// Trace keeps the original flat-interval API on top (record/intervals/
+// by_category) so step-table consumers stay unchanged; every recorded
+// interval also becomes a span on the calling actor's track.
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace mad::sim {
+
+class Engine;
+
+enum class TraceEventKind { Span, Instant };
+
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::Instant;
+  Time begin = 0;
+  Time end = 0;        // == begin for instants
+  std::string track;   // Perfetto row: actor name, or "net:<network>"
+  std::string name;    // e.g. "gw.recv", "pkt.tx", "rel.retransmit"
+  std::string detail;  // free-form args, e.g. "bytes=8192"
+
+  Time duration() const { return end - begin; }
+};
+
+/// Collects typed events. Disabled by default so hot paths cost one branch.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  /// Records a [begin, end] span on `track` (no-op while disabled).
+  void span(std::string track, Time begin, Time end, std::string name,
+            std::string detail = {});
+
+  /// Records a point event on `track`.
+  void instant(std::string track, Time at, std::string name,
+               std::string detail = {});
+
+  /// Point event on the calling actor's track (or "main" outside actors)
+  /// at that engine's current virtual time.
+  void instant_here(std::string name, std::string detail = {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::vector<TraceEvent> by_name(const std::string& name) const;
+
+  virtual void clear() { events_.clear(); }
+
+  /// Chrome trace-event JSON ("traceEvents" array): one pid, one tid per
+  /// track with thread_name metadata, events sorted by timestamp, ts/dur
+  /// in microseconds. Load the file in https://ui.perfetto.dev.
+  void write_chrome_json(std::ostream& out) const;
+
+ protected:
+  bool enabled_ = false;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
 
 struct TraceInterval {
   Time begin = 0;
@@ -23,30 +85,30 @@ struct TraceInterval {
   Time duration() const { return end - begin; }
 };
 
-/// Collects intervals. Disabled by default so the hot path costs one branch.
-class Trace {
+/// TraceSink plus the flat interval list the step-table benches consume.
+class Trace : public TraceSink {
  public:
-  void enable() { enabled_ = true; }
-  void disable() { enabled_ = false; }
-  bool enabled() const { return enabled_; }
-
+  /// Records an interval AND the equivalent span on the calling actor's
+  /// track.
   void record(Time begin, Time end, std::string category,
               std::string label = {});
 
   const std::vector<TraceInterval>& intervals() const { return intervals_; }
   std::vector<TraceInterval> by_category(const std::string& category) const;
-  void clear() { intervals_.clear(); }
+  void clear() override {
+    TraceSink::clear();
+    intervals_.clear();
+  }
 
  private:
-  bool enabled_ = false;
   std::vector<TraceInterval> intervals_;
 };
 
 /// RAII helper: records [construction, destruction] when trace is enabled.
 class ScopedInterval {
  public:
-  ScopedInterval(Trace& trace, const class Engine& engine,
-                 std::string category, std::string label = {});
+  ScopedInterval(Trace& trace, const Engine& engine, std::string category,
+                 std::string label = {});
   ~ScopedInterval();
 
   ScopedInterval(const ScopedInterval&) = delete;

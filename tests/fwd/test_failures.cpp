@@ -310,6 +310,48 @@ TEST(Reliable, GatewayCrashFailsOverToAlternate) {
   EXPECT_FALSE(rig.vc->is_dead(2));
 }
 
+TEST(Failures, RoutingRebuildDuringPlainRelayLeavesMessageIntact) {
+  // Regression test for route lifetime under concurrent table rebuilds:
+  // while gw1 relays a plain (non-reliable) GTM message, another actor
+  // declares gw2 dead. mark_dead rebuilds the routing table in place,
+  // which frees every Route's old hop storage — so a relay or writer
+  // holding `const Route&`/`const Hop&` across a blocking network call
+  // would read freed memory. GatewayRelay::relay_message and
+  // VcMessageWriter copy routes by value precisely so this interleaving
+  // stays safe; the message must arrive bit-identical.
+  fwd::VcOptions options;
+  options.paquet_size = 16 * 1024;
+  DualGatewayRig rig(options);
+  util::Rng rng(26);
+  const std::size_t bytes = 1 << 20;  // 64 paquets: plenty of mid-relay time
+  const auto payload = rng.bytes(bytes);
+  std::vector<std::byte> out(bytes);
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(0).begin_packing(3);
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(3).begin_unpacking();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.spawn("saboteur", [&] {
+    // Mid-transfer (a 1 MiB forward takes several virtual ms): drop the
+    // unused gateway from the table. The m0 -> gw1 -> s0 path survives,
+    // but every Route object in the table is rebuilt.
+    rig.engine.sleep_for(sim::milliseconds(4));
+    rig.vc->mark_dead(2);
+  });
+  rig.engine.run();
+  EXPECT_EQ(out, payload);
+  EXPECT_TRUE(rig.vc->is_dead(2));
+  EXPECT_FALSE(rig.vc->is_dead(1));
+  // The live gateway did all the forwarding.
+  EXPECT_EQ(rig.vc->gateway_stats(1).messages_forwarded, 1u);
+  EXPECT_EQ(rig.vc->gateway_stats(1).bytes_forwarded, bytes);
+}
+
 TEST(Reliable, SoleGatewayCrashRaisesUnreachable) {
   // Only one gateway exists: crashing it mid-message must surface a
   // diagnosable "unreachable" error at the sender — never a hang.

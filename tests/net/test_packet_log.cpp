@@ -106,6 +106,61 @@ TEST(PacketLog, DumpFormatsAndTruncates) {
   EXPECT_TRUE(log.records().empty());
 }
 
+TEST(PacketLog, TotalBytesSkipsDroppedPaquets) {
+  // A Dropped packet never reached a destination ring, so it must not count
+  // towards delivered bytes; Corrupt and Duplicate packets were delivered
+  // (garbled, or twice) and do count.
+  PacketLog log;
+  log.enable();
+  PacketRecord delivered{sim::microseconds(0), 0, "net", 0, 1, 1, 100};
+  log.record(delivered);
+  PacketRecord dropped{sim::microseconds(1), 0, "net", 0, 1, 2, 40};
+  dropped.fault = FaultAction::Drop;
+  log.record(dropped);
+  PacketRecord corrupted{sim::microseconds(2), 0, "net", 0, 1, 3, 7};
+  corrupted.fault = FaultAction::Corrupt;
+  log.record(corrupted);
+  EXPECT_EQ(log.total_bytes(), 107u);
+  EXPECT_EQ(log.records().size(), 3u);
+}
+
+TEST(PacketLog, CapacityRingEvictsOldest) {
+  PacketLog log;
+  log.enable();
+  log.set_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    log.record({sim::microseconds(i), 0, "net", 0, 1,
+                static_cast<std::uint64_t>(i), 10});
+  }
+  // The ring holds the newest 3 records and reports the 2 evictions.
+  ASSERT_EQ(log.records().size(), 3u);
+  EXPECT_EQ(log.records().front().tag, 2u);
+  EXPECT_EQ(log.records().back().tag, 4u);
+  EXPECT_EQ(log.evicted(), 2u);
+  // Shrinking the cap trims from the front immediately.
+  log.set_capacity(1);
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records().front().tag, 4u);
+  EXPECT_EQ(log.evicted(), 4u);
+  // clear() resets both the records and the eviction counter.
+  log.clear();
+  EXPECT_TRUE(log.records().empty());
+  EXPECT_EQ(log.evicted(), 0u);
+}
+
+TEST(PacketLog, ZeroCapacityMeansUnbounded) {
+  PacketLog log;
+  log.enable();
+  EXPECT_EQ(log.capacity(), PacketLog::kDefaultCapacity);
+  log.set_capacity(0);
+  for (int i = 0; i < 10; ++i) {
+    log.record({sim::microseconds(i), 0, "net", 0, 1,
+                static_cast<std::uint64_t>(i), 10});
+  }
+  EXPECT_EQ(log.records().size(), 10u);
+  EXPECT_EQ(log.evicted(), 0u);
+}
+
 TEST(PacketLog, GtmPaquetsVisibleOnTheWire) {
   // Wire-level check of the GTM discipline: a 128 KB forwarded message
   // with 32 KB paquets shows exactly 4 payload-sized packets per segment.

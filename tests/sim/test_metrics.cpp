@@ -1,0 +1,123 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace mad::sim {
+namespace {
+
+TEST(Metrics, GuardedHelpersNoOpWhileDisabled) {
+  MetricsRegistry registry;
+  registry.add("x", "a=1", 5);
+  registry.observe_us("y", "a=1", 10.0);
+  EXPECT_TRUE(registry.counters().empty());
+  EXPECT_TRUE(registry.histograms().empty());
+
+  registry.enable();
+  registry.add("x", "a=1", 5);
+  registry.add("x", "a=1", 2);
+  registry.observe_us("y", "a=1", 10.0);
+  EXPECT_EQ(registry.counter("x", "a=1").value, 7u);
+  EXPECT_EQ(registry.histogram("y", "a=1").count(), 1u);
+}
+
+TEST(Metrics, CountersKeyedByNameAndLabels) {
+  MetricsRegistry registry;
+  registry.enable();
+  registry.add("net.packets", "network=myri0");
+  registry.add("net.packets", "network=sci0", 3);
+  EXPECT_EQ(registry.counter("net.packets", "network=myri0").value, 1u);
+  EXPECT_EQ(registry.counter("net.packets", "network=sci0").value, 3u);
+  EXPECT_EQ(registry.counters().size(), 2u);
+}
+
+TEST(Metrics, HistogramQuantilesAreOrderedAndClamped) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.record(static_cast<double>(i));  // 1..1000 us
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.mean(), 500.5, 1e-9);
+  const double p50 = h.percentile(0.50);
+  const double p95 = h.percentile(0.95);
+  const double p99 = h.percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_GE(p50, h.min());
+  // Log-bucket interpolation is coarse but must land in the right decade.
+  EXPECT_GT(p50, 250.0);
+  EXPECT_LT(p50, 1000.0);
+}
+
+TEST(Metrics, EmptyHistogramIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(Metrics, SingleSampleQuantilesEqualTheSample) {
+  LatencyHistogram h;
+  h.record(42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.50), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 42.0);
+}
+
+TEST(Metrics, WriteJsonParsesBackWithQuantiles) {
+  MetricsRegistry registry;
+  registry.enable();
+  registry.add("net.packets", "network=myri0,verdict=deliver", 4);
+  registry.observe_us("gw.phase_us", "gateway=1,phase=recv", 100.0);
+  registry.observe_us("gw.phase_us", "gateway=1,phase=recv", 300.0);
+
+  std::ostringstream os;
+  registry.write_json(os);
+  bool ok = false;
+  std::string error;
+  const util::JsonValue doc = util::parse_json(os.str(), &error, &ok);
+  ASSERT_TRUE(ok) << error;
+
+  const util::JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->array.size(), 1u);
+  EXPECT_EQ(counters->array[0].find("name")->string, "net.packets");
+  EXPECT_EQ(counters->array[0].find("labels")->string,
+            "network=myri0,verdict=deliver");
+  EXPECT_DOUBLE_EQ(counters->array[0].find("value")->number, 4.0);
+
+  const util::JsonValue* histograms = doc.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  ASSERT_EQ(histograms->array.size(), 1u);
+  const util::JsonValue& h = histograms->array[0];
+  EXPECT_EQ(h.find("name")->string, "gw.phase_us");
+  EXPECT_DOUBLE_EQ(h.find("count")->number, 2.0);
+  EXPECT_DOUBLE_EQ(h.find("min_us")->number, 100.0);
+  EXPECT_DOUBLE_EQ(h.find("max_us")->number, 300.0);
+  const double p50 = h.find("p50_us")->number;
+  const double p95 = h.find("p95_us")->number;
+  const double p99 = h.find("p99_us")->number;
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.find("max_us")->number);
+}
+
+TEST(Metrics, ClearEmptiesBothMaps) {
+  MetricsRegistry registry;
+  registry.enable();
+  registry.add("a", "");
+  registry.observe_us("b", "", 1.0);
+  registry.clear();
+  EXPECT_TRUE(registry.counters().empty());
+  EXPECT_TRUE(registry.histograms().empty());
+}
+
+}  // namespace
+}  // namespace mad::sim

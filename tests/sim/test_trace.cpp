@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "sim/engine.hpp"
+#include "util/json.hpp"
 
 namespace mad::sim {
 namespace {
@@ -51,6 +54,75 @@ TEST(Trace, ScopedIntervalUsesVirtualClock) {
   EXPECT_EQ(trace.intervals()[0].begin, microseconds(3));
   EXPECT_EQ(trace.intervals()[0].end, microseconds(10));
   EXPECT_EQ(trace.intervals()[0].label, "k=1");
+}
+
+TEST(Trace, RecordAlsoEmitsSpanOnActorTrack) {
+  Engine eng;
+  Trace trace;
+  eng.set_trace(&trace);
+  trace.enable();
+  eng.spawn("relay", [&] {
+    Engine* e = Engine::current();
+    const Time begin = e->now();
+    e->sleep_for(microseconds(4));
+    trace.record(begin, e->now(), "gw.recv", "paquet=0");
+  });
+  eng.run();
+  bool found = false;
+  for (const TraceEvent& event : trace.events()) {
+    if (event.kind == TraceEventKind::Span && event.name == "gw.recv") {
+      EXPECT_EQ(event.track, "relay");
+      EXPECT_EQ(event.duration(), microseconds(4));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Trace, ChromeJsonExportParsesAndIsOrdered) {
+  Trace trace;
+  trace.enable();
+  // Deliberately out of timestamp order: the writer must sort.
+  trace.span("gw", microseconds(10), microseconds(30), "gw.recv",
+             "paquet=0");
+  trace.instant("net:myri0", microseconds(5), "pkt.tx", "bytes=64");
+  trace.span("gw", microseconds(35), microseconds(40), "gw.send");
+
+  std::ostringstream os;
+  trace.write_chrome_json(os);
+  bool ok = false;
+  std::string error;
+  const util::JsonValue doc = util::parse_json(os.str(), &error, &ok);
+  ASSERT_TRUE(ok) << error;
+  const util::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  int metadata = 0;
+  int spans = 0;
+  int instants = 0;
+  double last_ts = -1.0;
+  for (const util::JsonValue& event : events->array) {
+    const std::string ph = event.find("ph")->string;
+    if (ph == "M") {
+      EXPECT_EQ(event.find("name")->string, "thread_name");
+      ++metadata;
+      continue;
+    }
+    const double ts = event.find("ts")->number;
+    EXPECT_GE(ts, last_ts) << "events not sorted by timestamp";
+    last_ts = ts;
+    if (ph == "X") {
+      EXPECT_GT(event.find("dur")->number, 0.0);
+      ++spans;
+    } else if (ph == "i") {
+      EXPECT_EQ(event.find("s")->string, "t");
+      ++instants;
+    }
+  }
+  EXPECT_EQ(metadata, 2);  // one tid per track: "gw" and "net:myri0"
+  EXPECT_EQ(spans, 2);
+  EXPECT_EQ(instants, 1);
 }
 
 TEST(Trace, ClearEmpties) {

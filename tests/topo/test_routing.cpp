@@ -107,6 +107,34 @@ TEST(Routing, DeterministicTieBreak) {
   EXPECT_EQ(route[0].node, 1);
 }
 
+TEST(Routing, ExcludeRewritesRoutesUnderHeldReferences) {
+  // Dual-gateway bridge: 0 -net0- {1,2} -net1- 3. exclude() rebuilds the
+  // route table IN PLACE, so a `const Route&` obtained before the rebuild
+  // silently changes contents (and references to its Hops may dangle when
+  // the inner vector reallocates). Callers that can race a rebuild — e.g.
+  // a gateway relay running while a reliable sender declares a peer dead —
+  // must therefore copy routes by value, as GatewayRelay::relay_message
+  // and VcMessageWriter now do.
+  Topology t(4);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(2, 0);
+  t.attach(1, 1);
+  t.attach(2, 1);
+  t.attach(3, 1);
+  Routing r(t);
+  const Route& held = r.route(0, 3);
+  const Route before = held;  // value snapshot
+  ASSERT_EQ(before.size(), 2u);
+  EXPECT_EQ(before[0].node, 1);  // deterministic tie-break prefers gw 1
+  r.exclude(1);
+  // The held reference still points into the table, but the rebuild has
+  // replaced its contents: it now describes the failover path via gw 2.
+  ASSERT_EQ(held.size(), 2u);
+  EXPECT_EQ(held[0].node, 2);
+  EXPECT_NE(held, before);
+}
+
 TEST(Routing, StarTopologyAllPairs) {
   // Hub node 4 on all four networks; leaves 0-3 each on their own.
   Topology t(5);

@@ -1,0 +1,96 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mad::util {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\r"), "a\\nb\\tc\\r");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonNumber, TrimsTrailingZeros) {
+  EXPECT_EQ(json_number(12.5), "12.5");
+  EXPECT_EQ(json_number(3.0), "3");
+  EXPECT_EQ(json_number(0.0001), "0.0001");
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(-2.25), "-2.25");
+}
+
+TEST(JsonParse, ScalarsAndNesting) {
+  bool ok = false;
+  const JsonValue v = parse_json(
+      R"({"s":"hi","n":-1.5,"t":true,"f":false,"z":null,"a":[1,2,3]})",
+      nullptr, &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("s")->string, "hi");
+  EXPECT_DOUBLE_EQ(v.find("n")->number, -1.5);
+  EXPECT_TRUE(v.find("t")->boolean);
+  EXPECT_FALSE(v.find("f")->boolean);
+  EXPECT_TRUE(v.find("z")->is_null());
+  ASSERT_EQ(v.find("a")->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.find("a")->array[2].number, 3.0);
+}
+
+TEST(JsonParse, PreservesMemberOrder) {
+  bool ok = false;
+  const JsonValue v = parse_json(R"({"b":1,"a":2,"c":3})", nullptr, &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(v.object.size(), 3u);
+  EXPECT_EQ(v.object[0].first, "b");
+  EXPECT_EQ(v.object[1].first, "a");
+  EXPECT_EQ(v.object[2].first, "c");
+}
+
+TEST(JsonParse, DecodesEscapes) {
+  bool ok = false;
+  const JsonValue v =
+      parse_json(R"(["a\"b", "x\ny", "A"])", nullptr, &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(v.array[0].string, "a\"b");
+  EXPECT_EQ(v.array[1].string, "x\ny");
+  EXPECT_EQ(v.array[2].string, "A");
+}
+
+TEST(JsonParse, RoundTripsEscapedText) {
+  const std::string original = "line1\nline2 \"quoted\" back\\slash";
+  bool ok = false;
+  const JsonValue v =
+      parse_json("\"" + json_escape(original) + "\"", nullptr, &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(v.string, original);
+}
+
+TEST(JsonParse, ReportsErrorsWithPosition) {
+  std::string error;
+  bool ok = true;
+  parse_json("{\"a\":}", &error, &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_NE(error.find("offset"), std::string::npos);
+
+  ok = true;
+  parse_json("[1,2] trailing", &error, &ok);
+  EXPECT_FALSE(ok);
+
+  ok = true;
+  parse_json("", &error, &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(JsonParse, NullDocumentDistinguishedFromFailure) {
+  bool ok = false;
+  const JsonValue v = parse_json("null", nullptr, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(v.is_null());
+}
+
+}  // namespace
+}  // namespace mad::util
