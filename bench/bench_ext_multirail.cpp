@@ -1,0 +1,106 @@
+// Extension — multi-rail striping across parallel gateways.
+//
+// The paper's §3.4.1 bottleneck is the single gateway's PCI bus: Fig 7
+// plateaus near 40 MB/s no matter the paquet size. With a second, node-
+// disjoint gateway path (two Myrinet segments, each bridged to the SCI
+// cluster by its own gateway) the forwarding layer can stripe one message
+// across both rails; each gateway keeps running at its own plateau, so the
+// aggregate forwarded bandwidth approaches 2x at large sizes. The only
+// shared resource left is the source's PCI bus, which is fast enough to
+// feed both Myrinet DMA flows.
+//
+// This bench sweeps message size with max_rails = 1 vs 2 on the same
+// hardware and reports the speedup, plus the per-rail paquet counts of the
+// largest striped transfer (from the stripe.* metrics) so the split itself
+// is visible in the JSON artifact.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/json_report.hpp"
+#include "harness/pingpong.hpp"
+#include "harness/report.hpp"
+#include "harness/scenario.hpp"
+#include "sim/metrics.hpp"
+
+namespace {
+
+constexpr std::uint32_t kPaquet = 32 * 1024;
+
+/// One fresh single-shot world per data point; the caller keeps it alive
+/// when it wants to read the metrics registry afterwards.
+std::unique_ptr<mad::harness::DisjointRailWorld> run_point(int rails,
+                                                           std::size_t size,
+                                                           double& mbps) {
+  using namespace mad;
+  fwd::VcOptions options;
+  options.paquet_size = kPaquet;
+  options.max_rails = rails;
+  auto world = std::make_unique<harness::DisjointRailWorld>(options);
+  world->fabric->metrics().enable();
+  const auto result =
+      harness::measure_vc_oneway(world->engine, *world->vc,
+                                 world->src_node(), world->dst_node(), size);
+  mbps = result.mbps;
+  return world;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mad;
+  harness::ReportTable table(
+      "Extension: multi-rail striping, forwarded bandwidth (MB/s)",
+      "msg size", {"1 rail", "2 rails", "speedup"});
+  std::printf("=== Extension: multi-rail striping across two gateways ===\n");
+  std::printf("%-10s %14s %15s %9s\n", "msg size", "1 rail (MB/s)",
+              "2 rails (MB/s)", "speedup");
+  std::unique_ptr<harness::DisjointRailWorld> last_striped;
+  for (std::size_t size = 256 * 1024; size <= 8 * 1024 * 1024; size *= 2) {
+    double single = 0.0;
+    double striped = 0.0;
+    run_point(1, size, single);
+    last_striped = run_point(2, size, striped);
+    const double speedup = single > 0.0 ? striped / single : 0.0;
+    std::printf("%-10s %14.1f %15.1f %8.2fx\n",
+                harness::size_label(size).c_str(), single, striped, speedup);
+    table.add_row(harness::size_label(size), {single, striped, speedup});
+  }
+
+  // Per-rail split of the largest striped transfer (warmup + measured run).
+  sim::MetricsRegistry& metrics = last_striped->fabric->metrics();
+  harness::ReportTable rails_table(
+      "Per-rail paquet counts, largest striped transfer", "rail",
+      {"tx paquets", "rx paquets"});
+  for (int rail = 0; rail < 2; ++rail) {
+    const double tx = static_cast<double>(
+        metrics.counter("stripe.tx_paquets", "node=0,rail=" +
+                                                 std::to_string(rail))
+            .value);
+    const double rx = static_cast<double>(
+        metrics.counter("stripe.rx_paquets", "node=3,rail=" +
+                                                 std::to_string(rail))
+            .value);
+    std::printf("rail %d: %10.0f tx paquets %10.0f rx paquets\n", rail, tx,
+                rx);
+    rails_table.add_row("rail " + std::to_string(rail), {tx, rx});
+  }
+
+  std::printf(
+      "\nextension: each gateway keeps its own ~40 MB/s Fig 7 plateau; "
+      "striping a message across two node-disjoint gateway paths roughly "
+      "doubles the aggregate forwarded bandwidth at large sizes (the "
+      "source's PCI bus feeds both Myrinet DMA flows).\n");
+  harness::JsonReport json("ext_multirail");
+  json.set_note(
+      "two node-disjoint gateway rails vs one on the same hardware; "
+      "per-rail paquet counts from the stripe.* metrics of the largest "
+      "striped run");
+  json.add_table(table);
+  json.add_table(rails_table);
+  json.add_metrics(metrics);
+  json.write_file();
+
+  return 0;
+}

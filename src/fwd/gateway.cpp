@@ -12,6 +12,7 @@
 #include "fwd/gateway.hpp"
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,10 +40,11 @@ namespace {
 /// a use-after-free.
 class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
  public:
-  GatewayRelay(VirtualChannel& vc, NodeRank self, int in_local_net)
+  GatewayRelay(VirtualChannel& vc, NodeRank self, int in_local_net, int rail)
       : vc_(vc),
         self_(self),
-        in_channel_(vc.special_channel(in_local_net, self)),
+        rail_(rail),
+        in_channel_(vc.rail_special_channel(in_local_net, rail, self)),
         engine_(vc.domain().engine()),
         free_buffers_(engine_, 0,
                       vc.name() + ".gwbuf." + std::to_string(self)),
@@ -56,11 +58,20 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
 
   void relay_message(MessageReader in) {
     const GtmMsgHeader hdr = read_msg_header(in);
+    // A striped rail carries its GtmStripeHeader on every hop; the relay
+    // forwards it verbatim. Rail identity is implied by the channel pair
+    // this relay serves, so the paquet engine below needs no other change.
+    std::optional<GtmStripeHeader> stripe;
+    if ((hdr.flags & kGtmFlagStriped) != 0) {
+      stripe = read_stripe_header(in);
+      MAD_ASSERT(stripe->rail == static_cast<std::uint16_t>(rail_),
+                 "rail relayed on the wrong stripe channel");
+    }
     const auto dst = static_cast<NodeRank>(hdr.final_dst);
     MAD_ASSERT(dst != self_,
                "message to the gateway itself must use a regular channel");
     if ((hdr.flags & kGtmFlagReliable) != 0) {
-      relay_reliable(in, hdr, dst);
+      relay_reliable(in, hdr, stripe, dst);
       in.end_unpacking();
       ++vc_.mutable_gateway_stats(self_).messages_forwarded;
       return;
@@ -73,16 +84,17 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
     const bool last_hop = route.size() == 1;
     // Past the last gateway messages travel on a regular channel, so plain
     // nodes poll a single channel; toward another gateway they stay on the
-    // special channel (paper §2.2.2).
-    Channel& out_channel = last_hop
-                               ? vc_.regular_channel(hop.network, self_)
-                               : vc_.special_channel(hop.network, self_);
+    // special channel (paper §2.2.2). Striped rails stay on their own
+    // channel pair end to end.
+    Channel& out_channel =
+        last_hop ? vc_.rail_regular_channel(hop.network, rail_, self_)
+                 : vc_.rail_special_channel(hop.network, rail_, self_);
     const NodeRank next = hop.node;
 
     if (vc_.options().pipeline_depth == 1) {
-      relay_sequential(in, hdr, out_channel, next, last_hop);
+      relay_sequential(in, hdr, stripe, out_channel, next, last_hop);
     } else {
-      relay_pipelined(in, hdr, out_channel, next, last_hop);
+      relay_pipelined(in, hdr, stripe, out_channel, next, last_hop);
     }
     in.end_unpacking();
     ++vc_.mutable_gateway_stats(self_).messages_forwarded;
@@ -112,6 +124,7 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
   /// but before phase 2 delivered, the message is lost (end-to-end acks
   /// would be needed to close that window).
   void relay_reliable(MessageReader& in, const GtmMsgHeader& hdr,
+                      const std::optional<GtmStripeHeader>& stripe,
                       NodeRank dst) {
     const NodeRank from = in.source();
     GatewayStats& stats = vc_.mutable_gateway_stats(self_);
@@ -175,16 +188,16 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
       const topo::Route route = vc_.routing().route(self_, dst);
       const topo::Hop hop = route.front();
       const bool last_hop = route.size() == 1;
-      Channel& out_channel = last_hop
-                                 ? vc_.regular_channel(hop.network, self_)
-                                 : vc_.special_channel(hop.network, self_);
+      Channel& out_channel =
+          last_hop ? vc_.rail_regular_channel(hop.network, rail_, self_)
+                   : vc_.rail_special_channel(hop.network, rail_, self_);
       const NodeRank next = hop.node;
       GtmMsgHeader out_hdr = hdr;
       out_hdr.epoch = ++out_channel.connection_to(next).tx_epoch;
       std::optional<HopFailure> failed;
       {
         MessageWriter out = open_outgoing(out_channel, next, last_hop,
-                                          out_hdr);
+                                          out_hdr, stripe);
         std::uint32_t out_seq = 0;
         try {
           for (const StoredBlock& block : blocks) {
@@ -249,12 +262,16 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
   }
 
   MessageWriter open_outgoing(Channel& out_channel, NodeRank next,
-                              bool last_hop, const GtmMsgHeader& hdr) {
+                              bool last_hop, const GtmMsgHeader& hdr,
+                              const std::optional<GtmStripeHeader>& stripe) {
     MessageWriter out = out_channel.begin_packing(next);
     if (last_hop) {
       write_preamble(out, Preamble{hdr.origin, 1});
     }
     write_msg_header(out, hdr);
+    if (stripe) {
+      write_stripe_header(out, *stripe);
+    }
     return out;
   }
 
@@ -337,8 +354,10 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
   }
 
   void relay_sequential(MessageReader& in, const GtmMsgHeader& hdr,
+                        const std::optional<GtmStripeHeader>& stripe,
                         Channel& out_channel, NodeRank next, bool last_hop) {
-    MessageWriter out = open_outgoing(out_channel, next, last_hop, hdr);
+    MessageWriter out = open_outgoing(out_channel, next, last_hop, hdr,
+                                      stripe);
     const Connection& conn = out_channel.connection_to(next);
     for (;;) {
       const GtmBlockHeader bh = read_block_header(in);
@@ -361,6 +380,7 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
   }
 
   void relay_pipelined(MessageReader& in, const GtmMsgHeader& hdr,
+                       const std::optional<GtmStripeHeader>& stripe,
                        Channel& out_channel, NodeRank next, bool last_hop) {
     const int depth = vc_.options().pipeline_depth;
     // Shared with the sender actor, heap-owned: during engine shutdown the
@@ -383,9 +403,9 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
     engine_.spawn(
         vc_.name() + ".gwsend." + std::to_string(self_),
         [self = shared_from_this(), state, &out_channel, next, last_hop,
-         hdr] {
+         hdr, stripe] {
           MessageWriter out =
-              self->open_outgoing(out_channel, next, last_hop, hdr);
+              self->open_outgoing(out_channel, next, last_hop, hdr, stripe);
           const Connection& conn = out_channel.connection_to(next);
           for (;;) {
             RelayItem item = state->items.recv();
@@ -427,6 +447,7 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
 
   VirtualChannel& vc_;
   NodeRank self_;
+  int rail_;
   Channel& in_channel_;
   sim::Engine& engine_;
   sim::Mailbox<std::vector<std::byte>> free_buffers_;
@@ -444,20 +465,28 @@ void spawn_gateway_actors(VirtualChannel& vc) {
       continue;
     }
     for (const int local : vc.topology().networks_of(rank)) {
-      const std::string actor_name = vc.name() + ".gw." +
-                                     std::to_string(rank) + "." +
-                                     vc.network(local).name();
-      engine.spawn(
-          actor_name,
-          [&vc, rank, local] {
-            auto relay = std::make_shared<GatewayRelay>(vc, rank, local);
-            for (;;) {
-              relay->in_channel().wait_incoming();
-              MessageReader in = relay->in_channel().begin_unpacking();
-              relay->relay_message(std::move(in));
-            }
-          },
-          /*daemon=*/true);
+      // One relay actor per (gateway, network, rail): each rail's channel
+      // pair gets its own listener, so striped rails relay concurrently
+      // and never serialize behind each other's store-and-forward.
+      for (int rail = 0; rail < vc.max_rails(); ++rail) {
+        std::string actor_name = vc.name() + ".gw." + std::to_string(rank) +
+                                 "." + vc.network(local).name();
+        if (rail > 0) {
+          actor_name += ".r" + std::to_string(rail);
+        }
+        engine.spawn(
+            actor_name,
+            [&vc, rank, local, rail] {
+              auto relay =
+                  std::make_shared<GatewayRelay>(vc, rank, local, rail);
+              for (;;) {
+                relay->in_channel().wait_incoming();
+                MessageReader in = relay->in_channel().begin_unpacking();
+                relay->relay_message(std::move(in));
+              }
+            },
+            /*daemon=*/true);
+      }
     }
   }
 }

@@ -71,6 +71,18 @@ GtmBlockHeader read_block_header(MessageReader& reader) {
   return reader.unpack_value<GtmBlockHeader>();
 }
 
+void write_stripe_header(MessageWriter& writer, const GtmStripeHeader& header) {
+  writer.pack_value(header);
+}
+
+GtmStripeHeader read_stripe_header(MessageReader& reader) {
+  GtmStripeHeader header = reader.unpack_value<GtmStripeHeader>();
+  MAD_ASSERT(header.rails > 0 && header.rail < header.rails,
+             "bad rail index on the wire");
+  MAD_ASSERT(header.share > 0, "zero stripe share on the wire");
+  return header;
+}
+
 std::uint64_t fragment_count(std::uint64_t size, std::uint32_t mtu) {
   MAD_ASSERT(mtu > 0, "zero MTU");
   return (size + mtu - 1) / mtu;

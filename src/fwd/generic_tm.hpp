@@ -41,6 +41,12 @@ struct Preamble {
 /// acknowledged paquet — see fwd/reliable.hpp).
 inline constexpr std::uint8_t kGtmFlagReliable = 1;
 
+/// GtmMsgHeader.flags bit: this message is one *rail* of a striped
+/// transfer (see fwd/stripe.hpp). A GtmStripeHeader follows the message
+/// header; the body is an ordinary GTM paquet stream carrying this rail's
+/// share of the original message, reassembled at the final receiver.
+inline constexpr std::uint8_t kGtmFlagStriped = 2;
+
 /// First GTM element: everything a gateway needs that the application
 /// would normally provide (paper §2.2.1 — "self-describing messages are
 /// mandatory"). `epoch` identifies one reliable stream on one hop; each
@@ -61,6 +67,21 @@ struct GtmBlockHeader {
   std::uint8_t smode = 0;
   std::uint8_t rmode = 0;
   std::uint8_t end_of_message = 0;
+};
+
+/// Second GTM element of a striped rail (directly after GtmMsgHeader, on
+/// every hop): identifies which rail of which striped transfer this
+/// stream carries. `stripe_id` is a per-origin transfer counter, so the
+/// final receiver can match rails of the same message even when several
+/// striped transfers from one origin are in flight. `share` is the rail's
+/// weight — the number of consecutive paquets it takes per round-robin
+/// round — which lets the receiver reconstruct the exact chunk schedule
+/// without any out-of-band agreement.
+struct GtmStripeHeader {
+  std::uint32_t stripe_id = 0;
+  std::uint16_t rail = 0;
+  std::uint16_t rails = 0;
+  std::uint32_t share = 0;
 };
 
 /// Reliable-mode paquet trailer, appended to every GTM element payload.
@@ -98,6 +119,9 @@ GtmMsgHeader read_msg_header(MessageReader& reader);
 
 void write_block_header(MessageWriter& writer, const GtmBlockHeader& header);
 GtmBlockHeader read_block_header(MessageReader& reader);
+
+void write_stripe_header(MessageWriter& writer, const GtmStripeHeader& header);
+GtmStripeHeader read_stripe_header(MessageReader& reader);
 
 /// Number of MTU-sized fragments of a block.
 std::uint64_t fragment_count(std::uint64_t size, std::uint32_t mtu);

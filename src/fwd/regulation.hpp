@@ -10,7 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
+#include "sim/condition.hpp"
 #include "sim/engine.hpp"
 #include "util/panic.hpp"
 
@@ -34,6 +36,46 @@ class Regulator {
   sim::Engine& engine_;
   double rate_;
   sim::Time next_allowed_ = 0;
+};
+
+/// The Regulator generalized from pacing to windowing: a counted credit
+/// pool shared between a producer (the striping pack() path) and one rail
+/// sender actor. The producer acquires a credit per chunk it hands to the
+/// rail; the rail releases it once the chunk is on the wire (acknowledged,
+/// in reliable mode). A rail that stalls — regulated, slow, or mid-failover
+/// — therefore backpressures only its own stripe: pack() keeps feeding the
+/// other rails until this one's window is full.
+class CreditWindow {
+ public:
+  CreditWindow(sim::Engine& engine, std::uint32_t credits, std::string name)
+      : available_(credits),
+        total_(credits),
+        freed_(engine, std::move(name)) {
+    MAD_ASSERT(credits > 0, "credit window must hold at least one credit");
+  }
+
+  /// Blocks until a credit is free, then takes it.
+  void acquire() {
+    while (available_ == 0) {
+      freed_.wait();
+    }
+    --available_;
+  }
+
+  void release() {
+    MAD_ASSERT(available_ < total_, "credit released twice");
+    ++available_;
+    freed_.notify_all();
+  }
+
+  std::uint32_t available() const { return available_; }
+  std::uint32_t total() const { return total_; }
+  std::uint32_t in_flight() const { return total_ - available_; }
+
+ private:
+  std::uint32_t available_;
+  std::uint32_t total_;
+  sim::Condition freed_;
 };
 
 }  // namespace mad::fwd

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fwd/gateway.hpp"
+#include "fwd/stripe.hpp"
 #include "mad/session.hpp"
 #include "net/fabric.hpp"
 #include "sim/metrics.hpp"
@@ -20,6 +21,9 @@ VirtualChannel::VirtualChannel(Domain& domain, std::string name,
       options_(options) {
   MAD_ASSERT(!networks_.empty(), "virtual channel needs networks");
   MAD_ASSERT(options_.pipeline_depth >= 1, "pipeline depth must be >= 1");
+  MAD_ASSERT(options_.max_rails >= 1, "max_rails must be >= 1");
+  MAD_ASSERT(options_.rail_credit_chunks >= 1,
+             "rail credit window must hold at least one chunk");
 
   mtu_ = compute_route_mtu(domain_, networks_, options_.paquet_size);
   if (options_.reliable.enabled) {
@@ -55,6 +59,23 @@ VirtualChannel::VirtualChannel(Domain& domain, std::string name,
         domain_.create_channel(name_ + ".reg." + network.name(), network));
     special_ids_.push_back(
         domain_.create_channel(name_ + ".fwd." + network.name(), network));
+  }
+  // Each extra rail gets its own regular/special pair per device, so
+  // striped rails never contend for a connection tx lock or interleave on
+  // a relay actor with rail 0 (or each other).
+  for (int rail = 1; rail < options_.max_rails; ++rail) {
+    std::vector<ChannelId> reg;
+    std::vector<ChannelId> spec;
+    const std::string prefix = name_ + ".st" + std::to_string(rail);
+    for (int local = 0; local < local_net_count(); ++local) {
+      net::Network& network = *networks_[static_cast<std::size_t>(local)];
+      reg.push_back(
+          domain_.create_channel(prefix + ".reg." + network.name(), network));
+      spec.push_back(
+          domain_.create_channel(prefix + ".fwd." + network.name(), network));
+    }
+    stripe_regular_ids_.push_back(std::move(reg));
+    stripe_special_ids_.push_back(std::move(spec));
   }
 
   for (NodeRank rank = 0;
@@ -129,6 +150,34 @@ Channel& VirtualChannel::special_channel(int local_net, NodeRank rank) const {
                           rank);
 }
 
+Channel& VirtualChannel::rail_regular_channel(int local_net, int rail,
+                                              NodeRank rank) const {
+  if (rail == 0) {
+    return regular_channel(local_net, rank);
+  }
+  MAD_ASSERT(local_net >= 0 && local_net < local_net_count(),
+             "bad local network id");
+  MAD_ASSERT(rail > 0 && rail < options_.max_rails, "bad rail index");
+  return domain_.endpoint(
+      stripe_regular_ids_[static_cast<std::size_t>(rail - 1)]
+                         [static_cast<std::size_t>(local_net)],
+      rank);
+}
+
+Channel& VirtualChannel::rail_special_channel(int local_net, int rail,
+                                              NodeRank rank) const {
+  if (rail == 0) {
+    return special_channel(local_net, rank);
+  }
+  MAD_ASSERT(local_net >= 0 && local_net < local_net_count(),
+             "bad local network id");
+  MAD_ASSERT(rail > 0 && rail < options_.max_rails, "bad rail index");
+  return domain_.endpoint(
+      stripe_special_ids_[static_cast<std::size_t>(rail - 1)]
+                         [static_cast<std::size_t>(local_net)],
+      rank);
+}
+
 net::Network& VirtualChannel::network(int local_net) const {
   MAD_ASSERT(local_net >= 0 && local_net < local_net_count(),
              "bad local network id");
@@ -162,6 +211,41 @@ void VirtualChannel::spawn_pollers() {
             }
           },
           /*daemon=*/true);
+      // Stripe-channel pollers (rails >= 1): read all three bootstrap
+      // headers so the park is already matchable by (origin, stripe_id,
+      // rail), then serialize per channel exactly like the regular poller.
+      for (int rail = 1; rail < options_.max_rails; ++rail) {
+        Channel& stripe_channel = rail_regular_channel(local, rail, rank);
+        const std::string stripe_name = name_ + ".stpoll" +
+                                        std::to_string(rail) + "." +
+                                        std::to_string(rank) + "." +
+                                        network(local).name();
+        engine.spawn(
+            stripe_name,
+            [this, &stripe_channel, ep, stripe_name, rail] {
+              sim::Engine& eng = domain_.engine();
+              for (;;) {
+                stripe_channel.wait_incoming();
+                MessageReader reader = stripe_channel.begin_unpacking();
+                const Preamble preamble = read_preamble(reader);
+                MAD_ASSERT(preamble.forwarded != 0,
+                           "native message on a stripe channel");
+                const GtmMsgHeader header = read_msg_header(reader);
+                MAD_ASSERT((header.flags & kGtmFlagStriped) != 0,
+                           "non-striped message on a stripe channel");
+                const GtmStripeHeader stripe = read_stripe_header(reader);
+                MAD_ASSERT(stripe.rail == static_cast<std::uint16_t>(rail),
+                           "rail delivered on the wrong stripe channel");
+                auto done = std::make_shared<sim::Condition>(
+                    eng, stripe_name + ".done");
+                ep->stripe_inbox().send(StripeIncoming{
+                    std::move(reader), preamble, header, stripe,
+                    &stripe_channel, done});
+                done->wait();
+              }
+            },
+            /*daemon=*/true);
+      }
     }
   }
 }
@@ -174,7 +258,32 @@ VcEndpoint::VcEndpoint(VirtualChannel& vc, NodeRank rank)
     : vc_(vc),
       rank_(rank),
       inbox_(vc.domain().engine(), /*capacity=*/0,
-             vc.name() + ".inbox." + std::to_string(rank)) {}
+             vc.name() + ".inbox." + std::to_string(rank)),
+      stripe_inbox_(vc.domain().engine(), /*capacity=*/0,
+                    vc.name() + ".stinbox." + std::to_string(rank)) {}
+
+StripeIncoming VcEndpoint::collect_rail(std::uint32_t origin,
+                                        std::uint32_t stripe_id,
+                                        std::uint16_t rail) {
+  const auto matches = [&](const StripeIncoming& inc) {
+    return inc.preamble.origin == origin && inc.stripe.stripe_id == stripe_id &&
+           inc.stripe.rail == rail;
+  };
+  for (auto it = stripe_pending_.begin(); it != stripe_pending_.end(); ++it) {
+    if (matches(*it)) {
+      StripeIncoming inc = std::move(*it);
+      stripe_pending_.erase(it);
+      return inc;
+    }
+  }
+  for (;;) {
+    StripeIncoming inc = stripe_inbox_.recv();
+    if (matches(inc)) {
+      return inc;
+    }
+    stripe_pending_.push_back(std::move(inc));
+  }
+}
 
 VcMessageWriter VcEndpoint::begin_packing(NodeRank dst) {
   return VcMessageWriter(vc_, rank_, dst);
@@ -214,6 +323,14 @@ VcMessageWriter::VcMessageWriter(VirtualChannel& vc, NodeRank src,
   const topo::Route route = vc.routing().route(src, dst);
   const topo::Hop first = route.front();
   direct_ = route.size() == 1;
+  if (!direct_ && vc.max_rails() > 1) {
+    std::vector<RailPlan> plans = plan_rails(vc, src, dst, vc.max_rails());
+    if (plans.size() > 1) {
+      striper_ = std::make_unique<Striper>(
+          vc, src, dst, std::move(plans), vc.endpoint(src).next_stripe_id());
+      return;
+    }
+  }
   if (direct_) {
     // No gateway: regular channel, native format, full optimizations.
     // (Also no reliability: the reliable framing protects forwarded
@@ -235,6 +352,10 @@ VcMessageWriter::VcMessageWriter(VirtualChannel& vc, NodeRank src,
 }
 
 void VcMessageWriter::open_reliable_hop() {
+  // Single-rail path only: a striped writer delegates to its Striper (each
+  // rail opens hops on its own rail channels), so using the primary route
+  // here is correct even when disjoint_routes() would return more.
+  MAD_ASSERT(striper_ == nullptr, "striped writer on the single-rail path");
   // Route by value: recover() may trigger a concurrent rebuild.
   const topo::Hop first = vc_->routing().route(src_, dst_).front();
   next_hop_ = first.node;
@@ -313,9 +434,16 @@ void VcMessageWriter::recover(const HopFailure& failure, bool finishing) {
   }
 }
 
+VcMessageWriter::VcMessageWriter(VcMessageWriter&&) noexcept = default;
+VcMessageWriter::~VcMessageWriter() = default;
+
 void VcMessageWriter::pack(util::ByteSpan data, SendMode smode,
                            RecvMode rmode) {
   MAD_ASSERT(!ended_, "pack after end_packing");
+  if (striper_ != nullptr) {
+    striper_->pack(data, smode, rmode);
+    return;
+  }
   if (direct_) {
     inner_->pack(data, smode, rmode);
     return;
@@ -347,6 +475,11 @@ void VcMessageWriter::pack(util::ByteSpan data, SendMode smode,
 
 void VcMessageWriter::end_packing() {
   MAD_ASSERT(!ended_, "end_packing called twice");
+  if (striper_ != nullptr) {
+    striper_->end_packing();
+    ended_ = true;
+    return;
+  }
   if (!direct_) {
     if (vc_->reliable()) {
       try {
@@ -367,6 +500,7 @@ void VcMessageWriter::end_packing() {
 VcMessageReader::VcMessageReader(VcEndpoint& endpoint, VcIncoming incoming)
     : incoming_(std::move(incoming)),
       vc_(&endpoint.vc()),
+      endpoint_(&endpoint),
       self_(endpoint.rank()),
       mtu_(endpoint.vc().mtu()) {
   if (forwarded()) {
@@ -380,9 +514,23 @@ VcMessageReader::VcMessageReader(VcEndpoint& endpoint, VcIncoming incoming)
     reliable_ = (gtm_header_.flags & kGtmFlagReliable) != 0;
     MAD_ASSERT(reliable_ == vc_->reliable(),
                "reliable-mode mismatch between sender and receiver");
+    if (striped()) {
+      stripe_ = read_stripe_header(incoming_.reader);
+      MAD_ASSERT(stripe_.rail == 0,
+                 "rail 0 must arrive on the regular channel");
+    }
   }
 }
 
+VcMessageReader::VcMessageReader(VcMessageReader&&) noexcept = default;
+VcMessageReader::~VcMessageReader() = default;
+
+void VcMessageReader::ensure_reassembler() {
+  if (reassembler_ == nullptr) {
+    reassembler_ = std::make_unique<Reassembler>(*endpoint_, incoming_,
+                                                 gtm_header_, stripe_);
+  }
+}
 
 NodeRank VcMessageReader::source() const {
   return static_cast<NodeRank>(incoming_.preamble.origin);
@@ -393,6 +541,11 @@ void VcMessageReader::unpack(util::MutByteSpan dst, SendMode smode,
   MAD_ASSERT(!ended_, "unpack after end_unpacking");
   if (!forwarded()) {
     incoming_.reader.unpack(dst, smode, rmode);
+    return;
+  }
+  if (striped()) {
+    ensure_reassembler();
+    reassembler_->unpack(dst, smode, rmode);
     return;
   }
   if (reliable_) {
@@ -440,6 +593,16 @@ void VcMessageReader::unpack(util::MutByteSpan dst, SendMode smode,
 
 void VcMessageReader::end_unpacking() {
   MAD_ASSERT(!ended_, "end_unpacking called twice");
+  if (striped()) {
+    // All rails' end markers (a zero-block striped message still built no
+    // reassembler yet — build it so rails 1..k-1 get claimed and closed).
+    ensure_reassembler();
+    reassembler_->end_unpacking();
+    incoming_.reader.end_unpacking();
+    ended_ = true;
+    incoming_.done->notify_all();
+    return;
+  }
   if (forwarded() && reliable_) {
     // The end marker is a reliable paquet too: its ack confirms the whole
     // message made it across this hop.

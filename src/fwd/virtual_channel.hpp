@@ -19,6 +19,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <list>
 #include <vector>
 
 #include "fwd/generic_tm.hpp"
@@ -56,11 +57,29 @@ struct VcOptions {
   /// and gateway failover for forwarded traffic (fwd/reliable.hpp). Direct
   /// (gateway-free) messages keep the native format and are NOT protected.
   ReliableOptions reliable;
+  /// Multi-rail striping (fwd/stripe.hpp): forwarded messages split across
+  /// up to this many node-disjoint routes, each rail on its own channel
+  /// pair. 1 = off (the default; no extra channels or actors exist).
+  /// Striped transfers to one destination endpoint must not overlap in
+  /// time (rails of interleaved messages on shared channels could block
+  /// each other); sequential transfers and different destinations are
+  /// unrestricted.
+  int max_rails = 1;
+  /// Per-rail credit window, in chunks: how many chunks pack() may hand a
+  /// rail before blocking on that rail's progress.
+  std::uint32_t rail_credit_chunks = 4;
+  /// Overrides the MTU-derived per-rail shares (paquets per round-robin
+  /// round) when non-empty — the "measured rate" weighting knob. Entries
+  /// beyond the actual rail count are ignored; missing entries default
+  /// to the derived share.
+  std::vector<std::uint32_t> rail_weights;
 };
 
 class VcEndpoint;
 class VcMessageWriter;
 class VcMessageReader;
+class Striper;
+class Reassembler;
 
 /// Per-node forwarding counters (forwarding ones only move on gateways;
 /// the reliability block also counts sender/receiver work on end nodes).
@@ -119,6 +138,12 @@ class VirtualChannel {
   /// network in the constructor list).
   Channel& regular_channel(int local_net, NodeRank rank) const;
   Channel& special_channel(int local_net, NodeRank rank) const;
+  /// Rail-indexed channel pair: rail 0 is the regular/special pair above,
+  /// rails >= 1 (striping) each get a dedicated pair so rails never share
+  /// a connection's tx lock or a relay actor.
+  Channel& rail_regular_channel(int local_net, int rail, NodeRank rank) const;
+  Channel& rail_special_channel(int local_net, int rail, NodeRank rank) const;
+  int max_rails() const { return options_.max_rails; }
   net::Network& network(int local_net) const;
   int local_net_count() const { return static_cast<int>(networks_.size()); }
 
@@ -135,6 +160,10 @@ class VirtualChannel {
   std::unique_ptr<topo::Routing> routing_;
   std::vector<ChannelId> regular_ids_;  // per local network
   std::vector<ChannelId> special_ids_;
+  // Per rail >= 1, per local network (striping only; empty when
+  // max_rails == 1).
+  std::vector<std::vector<ChannelId>> stripe_regular_ids_;
+  std::vector<std::vector<ChannelId>> stripe_special_ids_;
   std::map<NodeRank, std::unique_ptr<VcEndpoint>> endpoints_;
   mutable std::map<NodeRank, GatewayStats> gateway_stats_;
 };
@@ -145,6 +174,19 @@ class VirtualChannel {
 struct VcIncoming {
   MessageReader reader;
   Preamble preamble;
+  Channel* channel = nullptr;
+  std::shared_ptr<sim::Condition> done;
+};
+
+/// One striped rail (rail >= 1) arriving on a stripe channel, parked by
+/// its polling actor with all three bootstrap headers already read, so
+/// the reassembler can match it to its transfer by (origin, stripe_id,
+/// rail) without touching the stream.
+struct StripeIncoming {
+  MessageReader reader;
+  Preamble preamble;
+  GtmMsgHeader header;
+  GtmStripeHeader stripe;
   Channel* channel = nullptr;
   std::shared_ptr<sim::Condition> done;
 };
@@ -174,20 +216,40 @@ class VcEndpoint {
   std::size_t pending_messages() const { return inbox_.size(); }
 
   sim::Mailbox<VcIncoming>& inbox() { return inbox_; }
+  sim::Mailbox<StripeIncoming>& stripe_inbox() { return stripe_inbox_; }
+
+  /// Claims the parked rail message matching (origin, stripe_id, rail),
+  /// blocking until it arrives; non-matching arrivals are stashed for the
+  /// reassemblers they belong to.
+  StripeIncoming collect_rail(std::uint32_t origin, std::uint32_t stripe_id,
+                              std::uint16_t rail);
+
+  /// Monotonic per-origin striped-transfer id.
+  std::uint32_t next_stripe_id() { return stripe_seq_++; }
 
  private:
   VirtualChannel& vc_;
   NodeRank rank_;
   sim::Mailbox<VcIncoming> inbox_;
+  sim::Mailbox<StripeIncoming> stripe_inbox_;
+  // Parked rails not yet claimed; a list so claiming one (erase) never
+  // needs StripeIncoming to be move-assignable (MessageReader is not).
+  std::list<StripeIncoming> stripe_pending_;
+  std::uint32_t stripe_seq_ = 0;
 };
 
 class VcMessageWriter {
  public:
   VcMessageWriter(VirtualChannel& vc, NodeRank src, NodeRank dst);
+  VcMessageWriter(VcMessageWriter&&) noexcept;
+  VcMessageWriter& operator=(VcMessageWriter&&) noexcept = delete;
+  ~VcMessageWriter();
 
   NodeRank destination() const { return dst_; }
   /// True when no gateway is involved (native path, full optimizations).
   bool direct() const { return direct_; }
+  /// True when this message is split across several rails.
+  bool striped() const { return striper_ != nullptr; }
 
   void pack(util::ByteSpan data, SendMode smode = SendMode::Cheaper,
             RecvMode rmode = RecvMode::Cheaper);
@@ -221,6 +283,7 @@ class VcMessageWriter {
   bool direct_ = false;
   std::uint32_t mtu_ = 0;
   std::optional<MessageWriter> inner_;
+  std::unique_ptr<Striper> striper_;  // multi-rail path; inner_ stays empty
   bool ended_ = false;
   // Reliable (non-direct) mode state.
   Channel* out_channel_ = nullptr;
@@ -234,10 +297,17 @@ class VcMessageWriter {
 class VcMessageReader {
  public:
   VcMessageReader(VcEndpoint& endpoint, VcIncoming incoming);
+  VcMessageReader(VcMessageReader&&) noexcept;
+  VcMessageReader& operator=(VcMessageReader&&) noexcept = delete;
+  ~VcMessageReader();
 
   /// The ORIGIN of the message (not the last gateway).
   NodeRank source() const;
   bool forwarded() const { return incoming_.preamble.forwarded != 0; }
+  bool striped() const { return (gtm_header_.flags & kGtmFlagStriped) != 0; }
+  /// The reassembler of a striped message (per-rail paquet counts etc);
+  /// exists once the first unpack ran.
+  const Reassembler& reassembler() const { return *reassembler_; }
 
   /// Flags must mirror the sender's pack call; on forwarded messages they
   /// are validated against the GTM self-description.
@@ -255,11 +325,19 @@ class VcMessageReader {
   void end_unpacking();
 
  private:
+  // Builds the reassembler on first use: it keeps pointers into this
+  // object, which must not move afterwards (readers are only moved
+  // between begin_unpacking and the first unpack).
+  void ensure_reassembler();
+
   VcIncoming incoming_;
   VirtualChannel* vc_ = nullptr;
+  VcEndpoint* endpoint_ = nullptr;
   NodeRank self_ = -1;
   std::uint32_t mtu_ = 0;
   GtmMsgHeader gtm_header_;  // valid when forwarded()
+  GtmStripeHeader stripe_;   // valid when striped()
+  std::unique_ptr<Reassembler> reassembler_;  // striped messages only
   bool ended_ = false;
   // Reliable (forwarded) mode state.
   bool reliable_ = false;

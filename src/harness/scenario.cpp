@@ -38,6 +38,37 @@ PaperWorld::PaperWorld(fwd::VcOptions options, int myri_endpoints,
   vc.emplace(*domain, "vc", std::vector<net::Network*>{myri, sci}, options);
 }
 
+DisjointRailWorld::DisjointRailWorld(fwd::VcOptions options) {
+  fabric.emplace(engine);
+  if (options.trace != nullptr) {
+    engine.set_trace(options.trace);
+    fabric->set_trace(options.trace);
+  }
+  myri_a = &fabric->add_network("myri0", net::bip_myrinet());
+  myri_b = &fabric->add_network("myri1", net::bip_myrinet());
+  sci_a = &fabric->add_network("sci0", net::sisci_sci());
+  sci_b = &fabric->add_network("sci1", net::sisci_sci());
+  net::Host& m0 = fabric->add_host("m0");
+  m0.add_nic(*myri_a);
+  m0.add_nic(*myri_b);
+  net::Host& gw1 = fabric->add_host("gw1");
+  gw1.add_nic(*myri_a);
+  gw1.add_nic(*sci_a);
+  net::Host& gw2 = fabric->add_host("gw2");
+  gw2.add_nic(*myri_b);
+  gw2.add_nic(*sci_b);
+  net::Host& s0 = fabric->add_host("s0");
+  s0.add_nic(*sci_a);
+  s0.add_nic(*sci_b);
+  domain.emplace(*fabric);
+  for (net::Host* h : {&m0, &gw1, &gw2, &s0}) {
+    domain->add_node(*h);
+  }
+  vc.emplace(*domain, "vc",
+             std::vector<net::Network*>{myri_a, myri_b, sci_a, sci_b},
+             options);
+}
+
 StoreForwardWorld::StoreForwardWorld() {
   fabric.emplace(engine);
   net::Network& myri = fabric->add_network("myri0", net::bip_myrinet());

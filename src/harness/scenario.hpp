@@ -38,6 +38,28 @@ struct PaperWorld {
   NodeRank gateway_rank = -1;
 };
 
+/// Two fully disjoint gateway paths for multi-rail striping: the source m0
+/// owns a NIC on each of two Myrinet segments, each bridged by its own
+/// gateway to its own SCI segment, and s0 owns a NIC on both SCI segments.
+/// The m0→s0 rails therefore share no NIC and no wire — only the PCI buses
+/// of the two endpoints. Ranks: m0=0, gw1=1, gw2=2, s0=3.
+struct DisjointRailWorld {
+  explicit DisjointRailWorld(fwd::VcOptions options = {});
+
+  NodeRank src_node() const { return 0; }
+  NodeRank dst_node() const { return 3; }
+  fwd::VcEndpoint& ep(NodeRank rank) { return vc->endpoint(rank); }
+
+  sim::Engine engine;
+  std::optional<net::Fabric> fabric;
+  net::Network* myri_a = nullptr;
+  net::Network* myri_b = nullptr;
+  net::Network* sci_a = nullptr;
+  net::Network* sci_b = nullptr;
+  std::optional<Domain> domain;
+  std::optional<fwd::VirtualChannel> vc;
+};
+
 /// The same hardware as PaperWorld but with application-level
 /// store-and-forward routing instead of the in-library forwarder
 /// (baseline 1).

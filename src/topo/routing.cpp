@@ -15,36 +15,46 @@ Routing::Routing(const Topology& topology)
   rebuild();
 }
 
+std::vector<Route> Routing::bfs_row(NodeId src,
+                                    const std::vector<bool>& blocked) const {
+  // Neighbours are expanded in (network id, node id) order, so the first
+  // path found is the deterministic shortest one. Blocked nodes are seeded
+  // as visited: they are never entered, so no route starts at, ends at, or
+  // passes through them.
+  ++bfs_passes_;
+  std::vector<Route> row(nodes_);
+  std::vector<bool> visited = blocked;
+  visited[static_cast<std::size_t>(src)] = true;
+  std::deque<NodeId> frontier{src};
+  while (!frontier.empty()) {
+    const NodeId here = frontier.front();
+    frontier.pop_front();
+    const Route& path_here = row[static_cast<std::size_t>(here)];
+    for (const NetworkId network : topology_->networks_of(here)) {
+      for (const NodeId next : topology_->nodes_on(network)) {
+        if (visited[static_cast<std::size_t>(next)]) {
+          continue;
+        }
+        visited[static_cast<std::size_t>(next)] = true;
+        Route path = path_here;
+        path.push_back({network, next});
+        row[static_cast<std::size_t>(next)] = std::move(path);
+        frontier.push_back(next);
+      }
+    }
+  }
+  return row;
+}
+
 void Routing::rebuild() {
   std::fill(routes_.begin(), routes_.end(), Route{});
-  // BFS from every source. Neighbours are expanded in (network id, node id)
-  // order, so the first path found is the deterministic shortest one.
-  // Excluded nodes are seeded as visited: they are never entered, so no
-  // route starts at, ends at, or passes through them.
   for (NodeId src = 0; static_cast<std::size_t>(src) < nodes_; ++src) {
     if (excluded_[static_cast<std::size_t>(src)]) {
       continue;
     }
-    std::vector<bool> visited = excluded_;
-    visited[static_cast<std::size_t>(src)] = true;
-    std::deque<NodeId> frontier{src};
-    while (!frontier.empty()) {
-      const NodeId here = frontier.front();
-      frontier.pop_front();
-      const Route& path_here =
-          routes_[index(src, here)];  // empty for here == src
-      for (const NetworkId network : topology_->networks_of(here)) {
-        for (const NodeId next : topology_->nodes_on(network)) {
-          if (visited[static_cast<std::size_t>(next)]) {
-            continue;
-          }
-          visited[static_cast<std::size_t>(next)] = true;
-          Route path = path_here;
-          path.push_back({network, next});
-          routes_[index(src, next)] = std::move(path);
-          frontier.push_back(next);
-        }
-      }
+    std::vector<Route> row = bfs_row(src, excluded_);
+    for (NodeId dst = 0; static_cast<std::size_t>(dst) < nodes_; ++dst) {
+      routes_[index(src, dst)] = std::move(row[static_cast<std::size_t>(dst)]);
     }
   }
 }
@@ -56,7 +66,76 @@ void Routing::exclude(NodeId node) {
     return;
   }
   excluded_[static_cast<std::size_t>(node)] = true;
-  rebuild();
+  // Incremental rebuild. A row's BFS tree only changes when the excluded
+  // node relayed discovery inside it, and a node relays discovery in a row
+  // iff some stored route of that row crosses it as an intermediate hop
+  // (the node's BFS children are exactly the nodes routed through it).
+  // Rows where the node is at most a leaf keep every other route verbatim;
+  // only the route *ending at* the node must be dropped. Routes that merely
+  // end at the node never force a re-run, so excluding a non-gateway costs
+  // zero BFS passes.
+  for (NodeId src = 0; static_cast<std::size_t>(src) < nodes_; ++src) {
+    if (src == node || excluded_[static_cast<std::size_t>(src)]) {
+      for (NodeId dst = 0; static_cast<std::size_t>(dst) < nodes_; ++dst) {
+        routes_[index(src, dst)].clear();
+      }
+      continue;
+    }
+    bool relays = false;
+    for (NodeId dst = 0; static_cast<std::size_t>(dst) < nodes_ && !relays;
+         ++dst) {
+      const Route& r = routes_[index(src, dst)];
+      for (std::size_t i = 0; i + 1 < r.size(); ++i) {
+        if (r[i].node == node) {
+          relays = true;
+          break;
+        }
+      }
+    }
+    if (relays) {
+      std::vector<Route> row = bfs_row(src, excluded_);
+      for (NodeId dst = 0; static_cast<std::size_t>(dst) < nodes_; ++dst) {
+        routes_[index(src, dst)] =
+            std::move(row[static_cast<std::size_t>(dst)]);
+      }
+    } else {
+      routes_[index(src, node)].clear();
+    }
+  }
+}
+
+std::vector<Route> Routing::disjoint_routes(NodeId src, NodeId dst,
+                                            std::size_t k) const {
+  MAD_ASSERT(src != dst, "disjoint_routes to self");
+  std::vector<Route> out;
+  if (k == 0) {
+    return out;
+  }
+  const Route& primary = routes_[index(src, dst)];
+  if (primary.empty()) {
+    return out;
+  }
+  out.push_back(primary);
+  // Each found route retires its gateways; re-running the same
+  // deterministic BFS with them blocked yields the next shortest route
+  // sharing no intermediate node with any earlier one.
+  std::vector<bool> blocked = excluded_;
+  while (out.size() < k) {
+    const Route& last = out.back();
+    if (last.size() == 1) {
+      break;  // direct: no intermediates to exclude, nothing disjoint left
+    }
+    for (std::size_t i = 0; i + 1 < last.size(); ++i) {
+      blocked[static_cast<std::size_t>(last[i].node)] = true;
+    }
+    std::vector<Route> row = bfs_row(src, blocked);
+    Route& next = row[static_cast<std::size_t>(dst)];
+    if (next.empty()) {
+      break;
+    }
+    out.push_back(std::move(next));
+  }
+  return out;
 }
 
 bool Routing::excluded(NodeId node) const {

@@ -6,6 +6,8 @@
 // network id, then lowest node id) keeps simulations reproducible.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "topo/topology.hpp"
@@ -28,8 +30,13 @@ class Routing {
   /// recomputes routes from it).
   explicit Routing(const Topology& topology);
 
-  /// Removes a node (crashed gateway) from the graph and recomputes every
-  /// route: no route may start at, end at, or pass through it. Idempotent.
+  /// Removes a node (crashed gateway) from the graph: no route may start
+  /// at, end at, or pass through it. Idempotent. The rebuild is
+  /// incremental: a source row is re-run through BFS only when one of its
+  /// stored routes crosses the node as an *intermediate* hop — for every
+  /// other row only the route ending at the node is cleared, because a
+  /// node that relayed nothing in a row's BFS tree discovered nothing
+  /// there either, so dropping it cannot change that tree.
   void exclude(NodeId node);
   bool excluded(NodeId node) const;
 
@@ -38,20 +45,38 @@ class Routing {
   /// Route from src to dst; asserts reachable and src != dst.
   const Route& route(NodeId src, NodeId dst) const;
 
+  /// Up to `k` mutually node-disjoint routes (no shared intermediate
+  /// node) from src to dst, fewest available first. Element 0 is exactly
+  /// route(src, dst); each further route is the deterministic BFS
+  /// shortest path with all previously used gateways excluded, so the
+  /// ordering is as reproducible as route() itself. A direct route ends
+  /// the search (it has no intermediates to exclude). Empty when dst is
+  /// unreachable; asserts src != dst.
+  std::vector<Route> disjoint_routes(NodeId src, NodeId dst,
+                                     std::size_t k) const;
+
   /// Intermediate nodes (gateways) on the route.
   std::vector<NodeId> gateways(NodeId src, NodeId dst) const;
 
   /// Networks the route crosses, in order.
   std::vector<NetworkId> networks(NodeId src, NodeId dst) const;
 
+  /// Total single-source BFS passes run so far (initial build included).
+  /// Tests pin exclude()'s incremental cost by diffing this counter.
+  std::uint64_t bfs_passes() const { return bfs_passes_; }
+
  private:
   std::size_t index(NodeId src, NodeId dst) const;
   void rebuild();
+  /// One deterministic BFS from `src`; returns the full route row
+  /// (indexed by destination). `blocked` nodes are never entered.
+  std::vector<Route> bfs_row(NodeId src, const std::vector<bool>& blocked) const;
 
   const Topology* topology_;
   std::size_t nodes_;
   std::vector<bool> excluded_;
   std::vector<Route> routes_;  // nodes_ × nodes_, empty = unreachable/self
+  mutable std::uint64_t bfs_passes_ = 0;
 };
 
 }  // namespace mad::topo

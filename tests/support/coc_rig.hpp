@@ -97,6 +97,49 @@ struct DualGatewayRig {
   std::optional<fwd::VirtualChannel> vc;
 };
 
+/// Disjoint-rail rig for multi-rail striping: the source owns a NIC on TWO
+/// Myrinet segments, each bridged to the SCI cluster by its own gateway, so
+/// m0→s0 has two node-disjoint routes (via gw1 on myri0, via gw2 on myri1)
+/// that share no NIC anywhere — only m0's PCI bus. Ranks: m0=0, gw1=1,
+/// gw2=2, s0=3. NIC indices: myri0{m0=0, gw1=1}, myri1{m0=0, gw2=1},
+/// sci0{gw1=0, gw2=1, s0=2}. (m0 counts as a gateway — two networks — so
+/// it also runs idle relay listeners; they never see traffic.)
+struct DisjointRailRig {
+  explicit DisjointRailRig(fwd::VcOptions options = {})
+      : fabric(engine),
+        myri_a(fabric.add_network("myri0", net::bip_myrinet())),
+        myri_b(fabric.add_network("myri1", net::bip_myrinet())),
+        sci(fabric.add_network("sci0", net::sisci_sci())) {
+    net::Host& m0 = fabric.add_host("m0");
+    m0.add_nic(myri_a);
+    m0.add_nic(myri_b);
+    net::Host& gw1 = fabric.add_host("gw1");
+    gw1.add_nic(myri_a);
+    gw1.add_nic(sci);
+    net::Host& gw2 = fabric.add_host("gw2");
+    gw2.add_nic(myri_b);
+    gw2.add_nic(sci);
+    net::Host& s0 = fabric.add_host("s0");
+    s0.add_nic(sci);
+    domain.emplace(fabric);
+    for (net::Host* h : {&m0, &gw1, &gw2, &s0}) {
+      domain->add_node(*h);
+    }
+    vc.emplace(*domain, "vc",
+               std::vector<net::Network*>{&myri_a, &myri_b, &sci}, options);
+  }
+
+  fwd::VcEndpoint& ep(NodeRank rank) { return vc->endpoint(rank); }
+
+  sim::Engine engine;
+  net::Fabric fabric;
+  net::Network& myri_a;
+  net::Network& myri_b;
+  net::Network& sci;
+  std::optional<Domain> domain;
+  std::optional<fwd::VirtualChannel> vc;
+};
+
 /// Generic two-network rig: netA(a0, gw) — netB(gw, b0). Ranks: a0=0,
 /// gw=1, b0=2.
 struct TwoNetRig {

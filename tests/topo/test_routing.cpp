@@ -135,6 +135,156 @@ TEST(Routing, ExcludeRewritesRoutesUnderHeldReferences) {
   EXPECT_NE(held, before);
 }
 
+TEST(Routing, DisjointRoutesOnDualGatewayBridge) {
+  // 0 -net0- {1,2} -net1- 3: two node-disjoint routes 0→3, via gw 1 and
+  // via gw 2. The first returned route must be the stored primary.
+  Topology t(4);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(2, 0);
+  t.attach(1, 1);
+  t.attach(2, 1);
+  t.attach(3, 1);
+  Routing r(t);
+  const std::vector<Route> routes = r.disjoint_routes(0, 3, 4);
+  ASSERT_EQ(routes.size(), 2u);
+  EXPECT_EQ(routes[0], r.route(0, 3));
+  EXPECT_EQ(routes[0][0].node, 1);
+  EXPECT_EQ(routes[1][0].node, 2);
+  for (const Route& route : routes) {
+    ASSERT_EQ(route.size(), 2u);
+    EXPECT_EQ(route.back().node, 3);
+  }
+  // k caps the count without changing the order.
+  const std::vector<Route> one = r.disjoint_routes(0, 3, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], routes[0]);
+  // Repeat calls are deterministic.
+  EXPECT_EQ(r.disjoint_routes(0, 3, 4), routes);
+}
+
+TEST(Routing, DisjointRoutesStopAtDirect) {
+  // 0 and 1 share net0, and a two-hop detour 0-net1-2-net2-1 exists; the
+  // direct route has no intermediate to exclude, so the search stops at 1.
+  Topology t(3);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(0, 1);
+  t.attach(2, 1);
+  t.attach(2, 2);
+  t.attach(1, 2);
+  Routing r(t);
+  const std::vector<Route> routes = r.disjoint_routes(0, 1, 3);
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_EQ(routes[0].size(), 1u);
+}
+
+TEST(Routing, DisjointRoutesRespectExclusions) {
+  // Same dual-gateway bridge; once gw 1 is excluded only the route via
+  // gw 2 remains, and an unreachable destination yields no routes at all.
+  Topology t(4);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(2, 0);
+  t.attach(1, 1);
+  t.attach(2, 1);
+  t.attach(3, 1);
+  Routing r(t);
+  r.exclude(1);
+  const std::vector<Route> routes = r.disjoint_routes(0, 3, 4);
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_EQ(routes[0][0].node, 2);
+  r.exclude(2);
+  EXPECT_TRUE(r.disjoint_routes(0, 3, 4).empty());
+}
+
+TEST(Routing, ExcludeOfLeafCostsNoBfsPass) {
+  // Incremental exclude: a node that is never an intermediate hop (a leaf)
+  // forces NO re-run of BFS — rows merely drop their route TO it. The
+  // pass counter pins the optimization so a future regression to
+  // full-rebuild-on-exclude fails loudly.
+  Topology t(5);
+  for (NodeId leaf = 0; leaf < 4; ++leaf) {
+    t.attach(leaf, leaf);
+    t.attach(4, leaf);
+  }
+  Routing r(t);
+  const std::uint64_t build_passes = r.bfs_passes();
+  EXPECT_EQ(build_passes, 5u);  // one per source row
+  r.exclude(3);
+  EXPECT_EQ(r.bfs_passes(), build_passes) << "leaf exclusion re-ran BFS";
+  EXPECT_FALSE(r.reachable(0, 3));
+  EXPECT_EQ(r.route(0, 1).size(), 2u);  // hub routes untouched
+}
+
+TEST(Routing, ExcludeOfRelayRebuildsOnlyAffectedRows) {
+  // Dual-gateway bridge + an SCI-side bystander pair: excluding gw 1
+  // re-runs BFS only for sources whose stored routes relay through it.
+  // 0 -net0- {1,2} -net1- {3,4}; 3 and 4 also share net1 with the
+  // gateways, so 3→4 is direct and never relays through gw 1.
+  Topology t(5);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(2, 0);
+  t.attach(1, 1);
+  t.attach(2, 1);
+  t.attach(3, 1);
+  t.attach(4, 1);
+  Routing r(t);
+  const std::uint64_t build_passes = r.bfs_passes();
+  r.exclude(1);
+  // Sources routing through gw 1 before the exclusion: 0 (to reach net1)
+  // and 3, 4 (to reach 0 — tie-break picks gw 1). Row 2 routes 2→0 and
+  // 2→{3,4} directly, so it keeps its table verbatim.
+  EXPECT_EQ(r.bfs_passes(), build_passes + 3);
+  EXPECT_EQ(r.route(0, 3)[0].node, 2);  // failover via gw 2
+  EXPECT_EQ(r.route(3, 4).size(), 1u);
+}
+
+TEST(Routing, IncrementalExcludeMatchesDetachedTopology) {
+  // Equivalence oracle: excluding node X must leave exactly the routes a
+  // fresh table computes on the same topology with X attached to nothing.
+  Topology full(6);
+  full.attach(0, 0);
+  full.attach(1, 0);
+  full.attach(2, 0);
+  full.attach(1, 1);
+  full.attach(2, 1);
+  full.attach(3, 1);
+  full.attach(3, 2);
+  full.attach(4, 2);
+  full.attach(5, 2);
+  full.attach(1, 3);
+  full.attach(5, 3);
+  Routing incremental(full);
+  incremental.exclude(1);
+
+  Topology detached(6);
+  detached.attach(0, 0);
+  detached.attach(2, 0);
+  detached.attach(2, 1);
+  detached.attach(3, 1);
+  detached.attach(3, 2);
+  detached.attach(4, 2);
+  detached.attach(5, 2);
+  detached.attach(5, 3);
+  Routing fresh(detached);
+
+  for (NodeId a = 0; a < 6; ++a) {
+    for (NodeId b = 0; b < 6; ++b) {
+      if (a == b || a == 1 || b == 1) {
+        continue;
+      }
+      ASSERT_EQ(incremental.reachable(a, b), fresh.reachable(a, b))
+          << a << "->" << b;
+      if (fresh.reachable(a, b)) {
+        EXPECT_EQ(incremental.route(a, b), fresh.route(a, b))
+            << a << "->" << b;
+      }
+    }
+  }
+}
+
 TEST(Routing, StarTopologyAllPairs) {
   // Hub node 4 on all four networks; leaves 0-3 each on their own.
   Topology t(5);

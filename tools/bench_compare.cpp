@@ -1,0 +1,190 @@
+// Regression gate over committed bench artifacts.
+//
+// Compares two directories of BENCH_*.json reports (the schema
+// harness::JsonReport emits) and fails when a bandwidth series in the
+// candidate dropped more than `--threshold` (default 10%) below the
+// baseline. Only series whose table title or series name mentions "MB/s"
+// are gated — latency-style series have the opposite "better" direction
+// and are reported informationally only. Benches are virtual-time
+// deterministic, so any drift at all is a code change, and the threshold
+// exists purely to separate "retuned a model constant" from "broke the
+// pipeline".
+//
+// Usage: bench_compare <baseline_dir> <candidate_dir> [--threshold 0.10]
+// Exit status: 0 = no regression, 1 = regression found, 2 = usage/IO error.
+//
+// CI runs this against the previous checkout's results/; the ctest target
+// self-compares results/ with itself as a schema smoke test.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace fs = std::filesystem;
+using mad::util::JsonValue;
+
+namespace {
+
+bool mentions_bandwidth(const std::string& text) {
+  return text.find("MB/s") != std::string::npos ||
+         text.find("bandwidth") != std::string::npos;
+}
+
+std::string read_file(const fs::path& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ok = true;
+  return buf.str();
+}
+
+/// Flat view of one report: (table title, row label, series name) -> value.
+struct Cell {
+  std::string table;
+  std::string row;
+  std::string series;
+  double value = 0.0;
+  bool bandwidth = false;
+};
+
+std::vector<Cell> flatten(const JsonValue& doc) {
+  std::vector<Cell> cells;
+  const JsonValue* tables = doc.find("tables");
+  if (tables == nullptr || !tables->is_array()) {
+    return cells;
+  }
+  for (const JsonValue& table : tables->array) {
+    const JsonValue* title = table.find("title");
+    const JsonValue* series = table.find("series");
+    const JsonValue* rows = table.find("rows");
+    if (title == nullptr || series == nullptr || rows == nullptr) {
+      continue;
+    }
+    const bool table_bw = mentions_bandwidth(title->string);
+    for (const JsonValue& row : rows->array) {
+      const JsonValue* label = row.find("label");
+      const JsonValue* values = row.find("values");
+      if (label == nullptr || values == nullptr) {
+        continue;
+      }
+      const std::size_t n =
+          std::min(series->array.size(), values->array.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::string& name = series->array[i].string;
+        cells.push_back({title->string, label->string, name,
+                         values->array[i].number,
+                         table_bw || mentions_bandwidth(name)});
+      }
+    }
+  }
+  return cells;
+}
+
+const Cell* find_cell(const std::vector<Cell>& cells, const Cell& key) {
+  for (const Cell& c : cells) {
+    if (c.table == key.table && c.row == key.row && c.series == key.series) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  double threshold = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold" && i + 1 < argc) {
+      threshold = std::stod(argv[++i]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline_dir> <candidate_dir> "
+                 "[--threshold 0.10]\n");
+    return 2;
+  }
+  const fs::path base_dir = positional[0];
+  const fs::path cand_dir = positional[1];
+  if (!fs::is_directory(base_dir) || !fs::is_directory(cand_dir)) {
+    std::fprintf(stderr, "bench_compare: both arguments must be directories\n");
+    return 2;
+  }
+
+  std::vector<fs::path> reports;
+  for (const auto& entry : fs::directory_iterator(base_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && entry.path().extension() == ".json") {
+      reports.push_back(entry.path().filename());
+    }
+  }
+  std::sort(reports.begin(), reports.end());
+  if (reports.empty()) {
+    std::fprintf(stderr, "bench_compare: no BENCH_*.json in %s\n",
+                 base_dir.string().c_str());
+    return 2;
+  }
+
+  int regressions = 0;
+  int compared = 0;
+  int skipped = 0;
+  for (const fs::path& name : reports) {
+    const fs::path cand_path = cand_dir / name;
+    if (!fs::exists(cand_path)) {
+      std::printf("SKIP %s (missing from candidate)\n",
+                  name.string().c_str());
+      ++skipped;
+      continue;
+    }
+    bool ok_base = false;
+    bool ok_cand = false;
+    const std::string base_text = read_file(base_dir / name, ok_base);
+    const std::string cand_text = read_file(cand_path, ok_cand);
+    std::string err;
+    bool parsed_base = false;
+    bool parsed_cand = false;
+    const JsonValue base = mad::util::parse_json(base_text, &err, &parsed_base);
+    const JsonValue cand = mad::util::parse_json(cand_text, &err, &parsed_cand);
+    if (!ok_base || !ok_cand || !parsed_base || !parsed_cand) {
+      std::fprintf(stderr, "bench_compare: cannot parse %s: %s\n",
+                   name.string().c_str(), err.c_str());
+      return 2;
+    }
+    const std::vector<Cell> base_cells = flatten(base);
+    const std::vector<Cell> cand_cells = flatten(cand);
+    for (const Cell& b : base_cells) {
+      if (!b.bandwidth) {
+        continue;
+      }
+      const Cell* c = find_cell(cand_cells, b);
+      if (c == nullptr || b.value <= 0.0) {
+        continue;
+      }
+      ++compared;
+      const double ratio = c->value / b.value;
+      if (ratio < 1.0 - threshold) {
+        std::printf("REGRESSION %s: [%s] %s @ %s: %.4g -> %.4g (%.1f%%)\n",
+                    name.string().c_str(), b.table.c_str(), b.series.c_str(),
+                    b.row.c_str(), b.value, c->value, (ratio - 1.0) * 100.0);
+        ++regressions;
+      }
+    }
+  }
+  std::printf("bench_compare: %d bandwidth cells compared, %d regressions, "
+              "%d reports skipped (threshold %.0f%%)\n",
+              compared, regressions, skipped, threshold * 100.0);
+  return regressions > 0 ? 1 : 0;
+}
