@@ -1,0 +1,109 @@
+// Extension — sliding-window reliable forwarding: goodput vs window size.
+//
+// The first reliable mode was stop-and-wait (window = 1): one paquet in
+// flight per hop, one ack round trip per paquet. This bench sweeps the
+// send window {1, 4, 16, 32} against the SCI hop's drop rate {0, 1, 2}%
+// for an 8 MB forwarded Myrinet -> SCI message and reports goodput plus
+// the recovery work (retransmits, fast retransmits, timeouts). The
+// window = 1 rows ARE the stop-and-wait baseline; the "unreliable" row is
+// the raw GTM upper bound. Expected shape: at 0% loss a deep window hides
+// the ack latency entirely (goodput within a few percent of unreliable,
+// where stop-and-wait loses an ack RTT per paquet), and under loss fast
+// retransmit + selective acks keep the pipe busy where stop-and-wait
+// stalls a full RTO per drop.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/json_report.hpp"
+#include "harness/pingpong.hpp"
+#include "harness/report.hpp"
+#include "harness/scenario.hpp"
+#include "net/fault.hpp"
+
+namespace {
+
+struct Sample {
+  double mbps = 0.0;
+  mad::fwd::ReliabilityStats work;
+};
+
+Sample run_point(bool reliable, int window, double drop) {
+  using namespace mad;
+  fwd::VcOptions options;
+  options.paquet_size = 64 * 1024;
+  options.reliable.enabled = reliable;
+  options.reliable.window = window;
+  harness::PaperWorld world(options);
+  if (drop > 0.0) {
+    net::FaultPlan plan;
+    plan.seed = 7;
+    plan.drop_rate = drop;
+    world.sci->set_fault_plan(plan);
+  }
+  const auto result = harness::measure_vc_oneway(
+      world.engine, *world.vc, world.myri_node(), world.sci_node(),
+      8 * 1024 * 1024);
+  Sample sample;
+  sample.mbps = result.mbps;
+  for (NodeRank rank = 0;
+       static_cast<std::size_t>(rank) < world.domain->node_count(); ++rank) {
+    const fwd::ReliabilityStats& r = world.vc->gateway_stats(rank).reliability;
+    sample.work.retransmits += r.retransmits;
+    sample.work.fast_retransmits += r.fast_retransmits;
+    sample.work.timeouts += r.timeouts;
+  }
+  return sample;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mad;
+  const std::vector<int> windows = {1, 4, 16, 32};
+  const std::vector<double> drops = {0.0, 0.01, 0.02};
+  harness::ReportTable table(
+      "Ext: sliding-window goodput, window x drop rate (8 MB, Myrinet -> "
+      "SCI)",
+      "config",
+      {"goodput MB/s", "retransmits", "fast_rtx", "timeouts"});
+  harness::JsonReport json("ext_window_goodput");
+
+  const Sample raw = run_point(/*reliable=*/false, /*window=*/1, /*drop=*/0.0);
+  table.add_row("unreliable", {raw.mbps, 0.0, 0.0, 0.0});
+
+  double w1_clean = 0.0;
+  double deep_clean = 0.0;
+  for (const int window : windows) {
+    for (const double drop : drops) {
+      const Sample s = run_point(/*reliable=*/true, window, drop);
+      char label[48];
+      std::snprintf(label, sizeof(label), "w=%d drop=%.0f%%", window,
+                    drop * 100.0);
+      table.add_row(label,
+                    {s.mbps, static_cast<double>(s.work.retransmits),
+                     static_cast<double>(s.work.fast_retransmits),
+                     static_cast<double>(s.work.timeouts)});
+      if (drop == 0.0 && window == 1) {
+        w1_clean = s.mbps;
+      }
+      if (drop == 0.0 && window == windows.back()) {
+        deep_clean = s.mbps;
+      }
+    }
+  }
+  table.print();
+  std::printf(
+      "\nunreliable %.1f MB/s | stop-and-wait (w=1) %.1f MB/s | w=%d %.1f "
+      "MB/s at 0%% loss — the deep window pipelines acks away\n",
+      raw.mbps, w1_clean, windows.back(), deep_clean);
+  json.set_note(
+      "window=1 rows are the stop-and-wait baseline; a deep window hides "
+      "the per-paquet ack round trip and approaches the unreliable upper "
+      "bound at 0% loss, while SACK + fast retransmit keep goodput up "
+      "under loss");
+  json.add_table(table);
+  json.write_file();
+
+  return 0;
+}

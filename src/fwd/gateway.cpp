@@ -11,6 +11,8 @@
 // paper's two-threads/two-buffers scheme. Zero-copy paths follow §2.3.
 #include "fwd/gateway.hpp"
 
+#include <cstddef>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -114,31 +116,40 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
     }
   }
 
+  struct StoredBlock {
+    GtmBlockHeader header;
+    std::vector<std::byte> data;
+  };
+
   /// Reliable-mode relay: store-and-forward with downstream failover.
   ///
-  /// Phase 1 receives (and acks) the whole message into owned buffers —
-  /// the upstream hop is then done with it, so a downstream failure never
-  /// has to propagate back. Phase 2 resends it reliably, declaring dead
-  /// hops to the routing table and retrying over the surviving routes.
-  /// Known limitation: if THIS gateway crashes after phase 1 completed
-  /// but before phase 2 delivered, the message is lost (end-to-end acks
-  /// would be needed to close that window).
+  /// At window = 1 — and on striped rails, whose reassembly protocol
+  /// assumes a rail appears downstream all-or-nothing — the relay is
+  /// strictly two-phase. Phase 1 receives (and acks) the whole message
+  /// into owned buffers; the upstream hop is then done with it, so a
+  /// downstream failure never has to propagate back. Phase 2 resends it
+  /// reliably, declaring dead hops to the routing table and retrying over
+  /// the surviving routes. With window > 1 the relay cuts through instead
+  /// (relay_reliable_streaming below). Known limitation: if THIS gateway
+  /// crashes after the upstream acks completed but before downstream
+  /// delivery, the message is lost (end-to-end acks would be needed to
+  /// close that window).
   void relay_reliable(MessageReader& in, const GtmMsgHeader& hdr,
                       const std::optional<GtmStripeHeader>& stripe,
                       NodeRank dst) {
+    if (vc_.options().reliable.window > 1 && !stripe) {
+      relay_reliable_streaming(in, hdr, dst);
+      return;
+    }
     const NodeRank from = in.source();
-    GatewayStats& stats = vc_.mutable_gateway_stats(self_);
 
     // Phase 1: receive the full message, paquet by paquet, acking each.
-    struct StoredBlock {
-      GtmBlockHeader header;
-      std::vector<std::byte> data;
-    };
-    std::vector<StoredBlock> blocks;
+    std::deque<StoredBlock> blocks;
+    ReliableReceiver rx(vc_, self_, in_channel_, from, hdr.epoch,
+                        /*detect_dead=*/false);
     std::uint32_t seq = 0;
     for (;;) {
-      const GtmBlockHeader bh = recv_block_header_reliably(
-          vc_, self_, in, in_channel_, from, hdr.epoch, seq++, scratch_);
+      const GtmBlockHeader bh = rx.recv_block_header(in, seq++);
       if (bh.end_of_message != 0) {
         break;
       }
@@ -148,31 +159,47 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
       const std::uint64_t fragments = fragment_count(bh.size, vc_.mtu());
       for (std::uint64_t i = 0; i < fragments; ++i) {
         const std::uint32_t size = fragment_size(bh.size, vc_.mtu(), i);
-        regulator_.pace(size);
-        const sim::Time begin = engine_.now();
-        recv_paquet_reliably(
-            vc_, self_, in, in_channel_, from, hdr.epoch, seq++,
-            util::MutByteSpan(block.data).subspan(i * vc_.mtu(), size),
-            scratch_);
-        if (vc_.options().trace != nullptr) {
-          vc_.options().trace->record(begin, engine_.now(), "gw.recv",
-                                      "bytes=" + std::to_string(size));
-        }
-        note_phase_us("recv", begin, engine_.now());
-        ++stats.paquets_forwarded;
-        stats.bytes_forwarded += size;
-        const sim::Time switch_begin = engine_.now();
-        engine_.sleep_for(vc_.options().gateway_sw_overhead);
-        if (vc_.options().trace != nullptr) {
-          vc_.options().trace->record(switch_begin, engine_.now(),
-                                      "gw.switch");
-        }
-        note_phase_us("switch", switch_begin, engine_.now());
+        receive_reliable_fragment(
+            rx, in, seq++,
+            util::MutByteSpan(block.data).subspan(i * vc_.mtu(), size));
       }
       blocks.push_back(std::move(block));
     }
-
     // Phase 2: reliable resend toward dst, failing over on dead hops.
+    deliver_stored(blocks, hdr, stripe, dst);
+  }
+
+  /// One reliable fragment into `dst`, with the relay's pacing, tracing
+  /// and per-paquet switch overhead.
+  void receive_reliable_fragment(ReliableReceiver& rx, MessageReader& in,
+                                 std::uint32_t seq, util::MutByteSpan dst) {
+    const auto size = static_cast<std::uint32_t>(dst.size());
+    regulator_.pace(size);
+    const sim::Time begin = engine_.now();
+    rx.recv(in, seq, dst);
+    if (vc_.options().trace != nullptr) {
+      vc_.options().trace->record(begin, engine_.now(), "gw.recv",
+                                  "bytes=" + std::to_string(size));
+    }
+    note_phase_us("recv", begin, engine_.now());
+    GatewayStats& stats = vc_.mutable_gateway_stats(self_);
+    ++stats.paquets_forwarded;
+    stats.bytes_forwarded += size;
+    const sim::Time switch_begin = engine_.now();
+    engine_.sleep_for(vc_.options().gateway_sw_overhead);
+    if (vc_.options().trace != nullptr) {
+      vc_.options().trace->record(switch_begin, engine_.now(), "gw.switch");
+    }
+    note_phase_us("switch", switch_begin, engine_.now());
+  }
+
+  /// Reliable resend of a stored message toward dst, declaring dead hops
+  /// and failing over onto surviving routes until delivery (or an
+  /// "unreachable" panic when no route is left).
+  void deliver_stored(const std::deque<StoredBlock>& blocks,
+                      const GtmMsgHeader& hdr,
+                      const std::optional<GtmStripeHeader>& stripe,
+                      NodeRank dst) {
     for (;;) {
       if (vc_.node_crashed(self_)) {
         // This gateway's own NIC crashed: stand down quietly instead of
@@ -198,39 +225,37 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
       {
         MessageWriter out = open_outgoing(out_channel, next, last_hop,
                                           out_hdr, stripe);
-        std::uint32_t out_seq = 0;
-        try {
-          for (const StoredBlock& block : blocks) {
-            send_block_header_reliably(vc_, self_, out, out_channel, next,
-                                       out_hdr.epoch, out_seq++,
-                                       block.header, scratch_);
-            const std::uint64_t fragments =
-                fragment_count(block.header.size, vc_.mtu());
-            for (std::uint64_t i = 0; i < fragments; ++i) {
-              const std::uint32_t size =
-                  fragment_size(block.header.size, vc_.mtu(), i);
-              const sim::Time send_begin = engine_.now();
-              send_paquet_reliably(
-                  vc_, self_, out, out_channel, next, out_hdr.epoch,
-                  out_seq++,
-                  util::ByteSpan(block.data).subspan(i * vc_.mtu(), size),
-                  scratch_);
-              if (vc_.options().trace != nullptr) {
-                vc_.options().trace->record(send_begin, engine_.now(),
-                                            "gw.send",
-                                            "bytes=" + std::to_string(size));
+        {
+          ReliableSender snd(vc_, self_, out, out_channel, next,
+                             out_hdr.epoch);
+          std::uint32_t out_seq = 0;
+          try {
+            for (const StoredBlock& block : blocks) {
+              snd.send_block_header(out_seq++, block.header);
+              const std::uint64_t fragments =
+                  fragment_count(block.header.size, vc_.mtu());
+              for (std::uint64_t i = 0; i < fragments; ++i) {
+                const std::uint32_t size =
+                    fragment_size(block.header.size, vc_.mtu(), i);
+                const sim::Time send_begin = engine_.now();
+                snd.send(out_seq++, util::ByteSpan(block.data)
+                                        .subspan(i * vc_.mtu(), size));
+                if (vc_.options().trace != nullptr) {
+                  vc_.options().trace->record(
+                      send_begin, engine_.now(), "gw.send",
+                      "bytes=" + std::to_string(size));
+                }
+                note_phase_us("send", send_begin, engine_.now());
               }
-              note_phase_us("send", send_begin, engine_.now());
             }
+            snd.send_block_header(out_seq, end_marker());
+            snd.flush();
+          } catch (const HopFailure& f) {
+            // Keep the exception out of `out`'s destructor path: the
+            // window is abandoned with the sender, so end_packing below
+            // is non-blocking and releases the connection's tx lock.
+            failed = f;
           }
-          send_block_header_reliably(vc_, self_, out, out_channel, next,
-                                     out_hdr.epoch, out_seq, end_marker(),
-                                     scratch_);
-        } catch (const HopFailure& f) {
-          // Keep the exception out of `out`'s destructor path: Express
-          // flushing left nothing pending, so end_packing below is
-          // non-blocking and releases the connection's tx lock.
-          failed = f;
         }
         out.end_packing();
       }
@@ -240,24 +265,187 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
       if (vc_.node_crashed(self_)) {
         return;
       }
-      vc_.mark_dead(failed->next_hop);
-      ++stats.reliability.peers_declared_dead;
-      sim::MetricsRegistry& metrics = vc_.domain().fabric().metrics();
-      const std::string node_label = "node=" + std::to_string(self_);
-      metrics.add("rel.dead_peers", node_label);
+      note_hop_death(*failed, dst);
+    }
+  }
+
+  /// Declares a failed hop dead and records whether a failover survives.
+  void note_hop_death(const HopFailure& failed, NodeRank dst) {
+    GatewayStats& stats = vc_.mutable_gateway_stats(self_);
+    vc_.mark_dead(failed.next_hop);
+    ++stats.reliability.peers_declared_dead;
+    sim::MetricsRegistry& metrics = vc_.domain().fabric().metrics();
+    const std::string node_label = "node=" + std::to_string(self_);
+    metrics.add("rel.dead_peers", node_label);
+    if (vc_.options().trace != nullptr) {
+      vc_.options().trace->instant_here(
+          "rel.dead", "peer=" + std::to_string(failed.next_hop));
+    }
+    if (vc_.routing().reachable(self_, dst)) {
+      ++stats.reliability.failovers;
+      metrics.add("rel.failovers", node_label);
       if (vc_.options().trace != nullptr) {
         vc_.options().trace->instant_here(
-            "rel.dead", "peer=" + std::to_string(failed->next_hop));
+            "rel.failover", "dst=" + std::to_string(dst) + " around=" +
+                                std::to_string(failed.next_hop));
       }
-      if (vc_.routing().reachable(self_, dst)) {
-        ++stats.reliability.failovers;
-        metrics.add("rel.failovers", node_label);
-        if (vc_.options().trace != nullptr) {
-          vc_.options().trace->instant_here(
-              "rel.failover", "dst=" + std::to_string(dst) + " around=" +
-                                  std::to_string(failed->next_hop));
+    }
+  }
+
+  /// Cut-through reliable relay (window > 1, unstriped): a dedicated
+  /// sender actor retransmits paquet k downstream while the listener
+  /// receives paquet k+1 — the paper's two-threads/two-buffers scheme
+  /// applied to the reliable path. The listener still stores every block:
+  /// the upstream hop is acked as soon as a paquet lands and cannot be
+  /// asked again, so if the downstream hop dies mid-stream the sender's
+  /// window is abandoned and the whole message replays from the stored
+  /// copy onto a failover route (deliver_stored).
+  void relay_reliable_streaming(MessageReader& in, const GtmMsgHeader& hdr,
+                                NodeRank dst) {
+    const NodeRank from = in.source();
+    if (!vc_.routing().reachable(self_, dst)) {
+      MAD_PANIC("node " + std::to_string(dst) + " unreachable from gateway " +
+                std::to_string(self_) +
+                ": no route survives the failed nodes");
+    }
+    const topo::Route route = vc_.routing().route(self_, dst);
+    const topo::Hop hop = route.front();
+    const bool last_hop = route.size() == 1;
+    Channel& out_channel =
+        last_hop ? vc_.rail_regular_channel(hop.network, rail_, self_)
+                 : vc_.rail_special_channel(hop.network, rail_, self_);
+    const NodeRank next = hop.node;
+    GtmMsgHeader out_hdr = hdr;
+    out_hdr.epoch = ++out_channel.connection_to(next).tx_epoch;
+
+    struct StreamItem {
+      enum class Kind { Header, Fragment, End, Abort };
+      Kind kind = Kind::End;
+      std::size_t block = 0;
+      std::uint64_t offset = 0;
+      std::uint32_t size = 0;
+    };
+    // Shared with the sender actor, heap-owned for the same shutdown
+    // reason as PipeState below. The item mailbox is unbounded: every
+    // fragment is stored for replay anyway, so cut-through depth costs no
+    // extra memory and the listener must never block behind a sender that
+    // is busy retransmitting (or already failed). blocks is a deque so
+    // references the sender reads from stay stable while the listener
+    // appends.
+    struct StreamState {
+      StreamState(sim::Engine& engine, const std::string& name)
+          : items(engine, 0, name), done(engine, name + ".done") {}
+      sim::Mailbox<StreamItem> items;
+      std::deque<StoredBlock> blocks;
+      sim::Condition done;
+      bool finished = false;
+      std::optional<HopFailure> failure;
+    };
+    auto state = std::make_shared<StreamState>(
+        engine_, vc_.name() + ".gwstream." + std::to_string(self_));
+
+    engine_.spawn(
+        vc_.name() + ".gwsend." + std::to_string(self_),
+        [self = shared_from_this(), state, &out_channel, next, last_hop,
+         out_hdr] {
+          MessageWriter out = self->open_outgoing(
+              out_channel, next, last_hop, out_hdr, std::nullopt);
+          {
+            ReliableSender snd(self->vc_, self->self_, out, out_channel,
+                               next, out_hdr.epoch);
+            std::uint32_t out_seq = 0;
+            try {
+              for (bool running = true; running;) {
+                const StreamItem item = state->items.recv();
+                switch (item.kind) {
+                  case StreamItem::Kind::Header:
+                    snd.send_block_header(out_seq++,
+                                          state->blocks[item.block].header);
+                    break;
+                  case StreamItem::Kind::Fragment: {
+                    const sim::Time send_begin = self->engine_.now();
+                    snd.send(out_seq++,
+                             util::ByteSpan(state->blocks[item.block].data)
+                                 .subspan(item.offset, item.size));
+                    if (self->vc_.options().trace != nullptr) {
+                      self->vc_.options().trace->record(
+                          send_begin, self->engine_.now(), "gw.send",
+                          "bytes=" + std::to_string(item.size));
+                    }
+                    self->note_phase_us("send", send_begin,
+                                        self->engine_.now());
+                    break;
+                  }
+                  case StreamItem::Kind::End:
+                    snd.send_block_header(out_seq, end_marker());
+                    snd.flush();
+                    running = false;
+                    break;
+                  case StreamItem::Kind::Abort:
+                    running = false;
+                    break;
+                }
+              }
+            } catch (const HopFailure& f) {
+              state->failure = f;
+            }
+          }
+          out.end_packing();
+          state->finished = true;
+          state->done.notify_all();
+        });
+
+    std::optional<PeerDied> upstream_died;
+    {
+      ReliableReceiver rx(vc_, self_, in_channel_, from, hdr.epoch,
+                          /*detect_dead=*/true);
+      std::uint32_t seq = 0;
+      try {
+        for (;;) {
+          const GtmBlockHeader bh = rx.recv_block_header(in, seq++);
+          if (bh.end_of_message != 0) {
+            state->items.send(StreamItem{StreamItem::Kind::End, 0, 0, 0});
+            break;
+          }
+          StoredBlock block;
+          block.header = bh;
+          block.data.resize(bh.size);
+          state->blocks.push_back(std::move(block));
+          const std::size_t index = state->blocks.size() - 1;
+          state->items.send(
+              StreamItem{StreamItem::Kind::Header, index, 0, 0});
+          const std::uint64_t fragments = fragment_count(bh.size, vc_.mtu());
+          for (std::uint64_t i = 0; i < fragments; ++i) {
+            const std::uint32_t size = fragment_size(bh.size, vc_.mtu(), i);
+            const std::uint64_t offset = i * vc_.mtu();
+            receive_reliable_fragment(
+                rx, in, seq++,
+                util::MutByteSpan(state->blocks[index].data)
+                    .subspan(offset, size));
+            state->items.send(
+                StreamItem{StreamItem::Kind::Fragment, index, offset, size});
+          }
         }
+      } catch (const PeerDied& dead) {
+        upstream_died = dead;
+        state->items.send(StreamItem{StreamItem::Kind::Abort, 0, 0, 0});
       }
+    }
+    while (!state->finished) {
+      state->done.wait();
+    }
+    if (upstream_died) {
+      // Upstream died (or this gateway's own NIC crashed) mid-stream:
+      // abandon the partial relay — the origin replays on a surviving
+      // route, and downstream readers adopt the replayed stream.
+      throw *upstream_died;
+    }
+    if (state->failure) {
+      if (vc_.node_crashed(self_)) {
+        return;
+      }
+      note_hop_death(*state->failure, dst);
+      deliver_stored(state->blocks, hdr, std::nullopt, dst);
     }
   }
 
@@ -265,9 +453,10 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
                               bool last_hop, const GtmMsgHeader& hdr,
                               const std::optional<GtmStripeHeader>& stripe) {
     MessageWriter out = out_channel.begin_packing(next);
-    if (last_hop) {
-      write_preamble(out, Preamble{hdr.origin, 1});
-    }
+    // Every hop message starts with the preamble paquet — the fixed,
+    // smaller-than-any-reliable-paquet message opener that lets the next
+    // receiver drop stale retransmits at the boundary by size.
+    write_preamble(out, Preamble{hdr.origin, 1});
     write_msg_header(out, hdr);
     if (stripe) {
       write_stripe_header(out, *stripe);
@@ -452,7 +641,6 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
   sim::Engine& engine_;
   sim::Mailbox<std::vector<std::byte>> free_buffers_;
   Regulator regulator_;
-  std::vector<std::byte> scratch_;  // reliable-mode staging buffer
 };
 
 }  // namespace
@@ -481,8 +669,20 @@ void spawn_gateway_actors(VirtualChannel& vc) {
                   std::make_shared<GatewayRelay>(vc, rank, local, rail);
               for (;;) {
                 relay->in_channel().wait_incoming();
-                MessageReader in = relay->in_channel().begin_unpacking();
-                relay->relay_message(std::move(in));
+                try {
+                  MessageReader in = relay->in_channel().begin_unpacking();
+                  if (vc.reliable()) {
+                    vc.drain_stale_paquets(in, rank);
+                  }
+                  const Preamble preamble = read_preamble(in);
+                  MAD_ASSERT(preamble.forwarded != 0,
+                             "native message on a special channel");
+                  relay->relay_message(std::move(in));
+                } catch (const PeerDied&) {
+                  // A cut-through relay abandoned a stream whose upstream
+                  // (or this gateway itself) died mid-message. The origin
+                  // replays on a surviving route; keep listening.
+                }
               }
             },
             /*daemon=*/true);

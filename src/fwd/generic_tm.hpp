@@ -97,6 +97,14 @@ struct GtmPaquetTrailer {
 inline constexpr std::uint32_t kGtmTrailerBytes = sizeof(GtmPaquetTrailer);
 static_assert(kGtmTrailerBytes == 16);
 
+// Stale-paquet discrimination at message boundaries: every message on
+// every channel starts with the preamble paquet, and the smallest
+// reliable paquet (an empty payload plus its trailer) is strictly larger,
+// so a receiver between messages can identify a late retransmit of the
+// previous stream by wire size alone and drop it.
+static_assert(sizeof(Preamble) < kGtmTrailerBytes,
+              "the preamble must be smaller than any reliable paquet");
+
 std::uint64_t gtm_paquet_checksum(util::ByteSpan payload, std::uint32_t seq,
                                   std::uint32_t epoch);
 GtmPaquetTrailer make_paquet_trailer(util::ByteSpan payload, std::uint32_t seq,

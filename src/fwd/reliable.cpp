@@ -1,5 +1,7 @@
 #include "fwd/reliable.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "fwd/virtual_channel.hpp"
@@ -14,142 +16,400 @@
 
 namespace mad::fwd {
 
-void send_paquet_reliably(VirtualChannel& vc, NodeRank self,
-                          MessageWriter& out, Channel& out_channel,
-                          NodeRank peer, std::uint32_t epoch,
-                          std::uint32_t seq, util::ByteSpan payload,
-                          std::vector<std::byte>& scratch) {
-  const ReliableOptions& opts = vc.options().reliable;
-  ReliabilityStats& stats = vc.mutable_gateway_stats(self).reliability;
-  Connection& conn = out_channel.connection_to(peer);
-  net::Network& network = out_channel.network();
-  sim::Engine& engine = vc.domain().engine();
+void ReliableOptions::validate() const {
+  MAD_ASSERT(ack_timeout > 0, "reliable mode needs a positive ack timeout");
+  MAD_ASSERT(timeout_backoff >= 1.0,
+             "reliable timeout_backoff must be >= 1 (a shrinking retransmit "
+             "deadline never converges)");
+  MAD_ASSERT(max_attempts >= 1, "reliable mode needs at least one attempt");
+  MAD_ASSERT(window >= 1, "reliable window must hold at least one paquet");
+  MAD_ASSERT(max_ack_timeout >= ack_timeout,
+             "reliable max_ack_timeout must be >= ack_timeout");
+}
 
-  scratch.resize(payload.size() + kGtmTrailerBytes);
-  if (!payload.empty()) {
-    std::memcpy(scratch.data(), payload.data(), payload.size());
+sim::Time backed_off_timeout(sim::Time timeout, double backoff,
+                             sim::Time cap) {
+  const double next = static_cast<double>(timeout) * backoff;
+  // !(next < cap) also catches inf/NaN from a runaway chain: the clamped
+  // cap is the only safe answer either way.
+  if (!(next < static_cast<double>(cap))) {
+    return cap;
   }
-  const GtmPaquetTrailer trailer = make_paquet_trailer(payload, seq, epoch);
-  std::memcpy(scratch.data() + payload.size(), &trailer, kGtmTrailerBytes);
+  return static_cast<sim::Time>(next);
+}
 
-  sim::MetricsRegistry& metrics = vc.domain().fabric().metrics();
-  const std::string node_label = "node=" + std::to_string(self);
-  sim::Trace* trace = vc.options().trace;
-  sim::Time timeout = opts.ack_timeout;
-  for (int attempt = 1;; ++attempt) {
-    const sim::Time attempt_begin = engine.now();
-    out.pack(util::ByteSpan(scratch), SendMode::Cheaper, RecvMode::Express);
-    if (network.acks().await(conn.tx_tag, conn.peer_nic_index, epoch, seq,
-                             engine.now() + timeout)) {
-      ++stats.paquets_acked;
-      metrics.add("rel.paquets_acked", node_label);
-      metrics.observe_us("rel.ack_us", node_label,
-                         sim::to_microseconds(engine.now() - attempt_begin));
-      return;
+// ------------------------------------------------------------------- sender
+
+ReliableSender::ReliableSender(VirtualChannel& vc, NodeRank self,
+                               MessageWriter& out, Channel& out_channel,
+                               NodeRank peer, std::uint32_t epoch)
+    : vc_(vc),
+      self_(self),
+      out_(out),
+      peer_(peer),
+      epoch_(epoch),
+      conn_(&out_channel.connection_to(peer)),
+      network_(&out_channel.network()),
+      engine_(&vc.domain().engine()),
+      metrics_(&vc.domain().fabric().metrics()),
+      trace_(vc.options().trace),
+      node_label_("node=" + std::to_string(self)),
+      window_(static_cast<std::size_t>(vc.options().reliable.window)) {}
+
+sim::Time ReliableSender::initial_rto() const {
+  const ReliableOptions& opts = vc_.options().reliable;
+  if (window_ <= 1 || !have_rtt_) {
+    // Stop-and-wait keeps the PR-1 fixed first-attempt deadline exactly.
+    return opts.ack_timeout;
+  }
+  const auto rto = static_cast<sim::Time>((srtt_us_ + 4.0 * rttvar_us_) *
+                                          1000.0);
+  return std::clamp(rto, opts.ack_timeout, opts.max_ack_timeout);
+}
+
+void ReliableSender::transmit(InFlight& p) {
+  p.tx_begin = engine_->now();
+  out_.pack(util::ByteSpan(p.wire), SendMode::Cheaper, RecvMode::Express);
+  p.sent_at = engine_->now();
+  p.deadline = p.sent_at + p.rto;
+}
+
+void ReliableSender::sample_ack(InFlight& p) {
+  const sim::Time now = engine_->now();
+  metrics_->observe_us("rel.ack_us", node_label_,
+                       sim::to_microseconds(now - p.tx_begin));
+  if (window_ > 1 && !p.retransmitted) {
+    // Karn's rule: a retransmitted paquet's ack is ambiguous, skip it.
+    const double rtt_us = sim::to_microseconds(now - p.sent_at);
+    if (!have_rtt_) {
+      srtt_us_ = rtt_us;
+      rttvar_us_ = rtt_us / 2.0;
+      have_rtt_ = true;
+    } else {
+      rttvar_us_ = 0.75 * rttvar_us_ + 0.25 * std::abs(srtt_us_ - rtt_us);
+      srtt_us_ = 0.875 * srtt_us_ + 0.125 * rtt_us;
     }
-    ++stats.timeouts;
-    metrics.add("rel.timeouts", node_label);
-    if (trace != nullptr) {
-      trace->instant_here("rel.timeout",
-                          "peer=" + std::to_string(peer) + " seq=" +
-                              std::to_string(seq) + " attempt=" +
-                              std::to_string(attempt));
-    }
-    if (attempt >= opts.max_attempts) {
-      throw HopFailure{peer, attempt};
-    }
-    ++stats.retransmits;
-    metrics.add("rel.retransmits", node_label);
-    if (trace != nullptr) {
-      trace->instant_here("rel.retransmit",
-                          "peer=" + std::to_string(peer) + " seq=" +
-                              std::to_string(seq) + " attempt=" +
-                              std::to_string(attempt + 1));
-    }
-    timeout = static_cast<sim::Time>(static_cast<double>(timeout) *
-                                     opts.timeout_backoff);
+    metrics_->observe_us("rel.rtt_us", node_label_, rtt_us);
   }
 }
 
-void recv_paquet_reliably(VirtualChannel& vc, NodeRank self,
-                          MessageReader& in, Channel& in_channel,
-                          NodeRank peer, std::uint32_t epoch,
-                          std::uint32_t expected_seq,
-                          util::MutByteSpan payload_dst,
-                          std::vector<std::byte>& scratch) {
-  ReliabilityStats& stats = vc.mutable_gateway_stats(self).reliability;
-  const Connection& conn = in_channel.connection_to(peer);
-  net::Network& network = in_channel.network();
-  const int self_nic = in_channel.tm().nic().index();
-  sim::MetricsRegistry& metrics = vc.domain().fabric().metrics();
-  const std::string node_label = "node=" + std::to_string(self);
+void ReliableSender::expire(InFlight& p) {
+  const ReliableOptions& opts = vc_.options().reliable;
+  ReliabilityStats& stats = vc_.mutable_gateway_stats(self_).reliability;
+  ++stats.timeouts;
+  metrics_->add("rel.timeouts", node_label_);
+  if (trace_ != nullptr) {
+    trace_->instant_here("rel.timeout",
+                         "peer=" + std::to_string(peer_) + " seq=" +
+                             std::to_string(p.seq) + " attempt=" +
+                             std::to_string(p.attempts));
+  }
+  if (p.attempts >= opts.max_attempts) {
+    throw HopFailure{peer_, p.attempts};
+  }
+  ++stats.retransmits;
+  metrics_->add("rel.retransmits", node_label_);
+  if (trace_ != nullptr) {
+    trace_->instant_here("rel.retransmit",
+                         "peer=" + std::to_string(peer_) + " seq=" +
+                             std::to_string(p.seq) + " attempt=" +
+                             std::to_string(p.attempts + 1));
+  }
+  p.rto = backed_off_timeout(p.rto, opts.timeout_backoff,
+                             opts.max_ack_timeout);
+  ++p.attempts;
+  p.retransmitted = true;
+  transmit(p);
+}
 
-  scratch.resize(static_cast<std::size_t>(vc.mtu()) + kGtmTrailerBytes);
+void ReliableSender::send(std::uint32_t seq, util::ByteSpan payload) {
+  MAD_ASSERT(inflight_.empty() || seq == inflight_.back().seq + 1,
+             "reliable window fed out of sequence");
+  drain_to(window_ - 1);
+  InFlight p;
+  p.seq = seq;
+  p.wire.resize(payload.size() + kGtmTrailerBytes);
+  if (!payload.empty()) {
+    std::memcpy(p.wire.data(), payload.data(), payload.size());
+  }
+  const GtmPaquetTrailer trailer = make_paquet_trailer(payload, seq, epoch_);
+  std::memcpy(p.wire.data() + payload.size(), &trailer, kGtmTrailerBytes);
+  p.rto = initial_rto();
+  inflight_.push_back(std::move(p));
+  transmit(inflight_.back());
+  if (metrics_->enabled()) {
+    metrics_->histogram("rel.window_occupancy", node_label_)
+        .record(static_cast<double>(inflight_.size()));
+  }
+}
+
+void ReliableSender::send_block_header(std::uint32_t seq,
+                                       const GtmBlockHeader& header) {
+  send(seq, util::object_bytes(header));
+}
+
+void ReliableSender::flush() { drain_to(0); }
+
+void ReliableSender::drain_to(std::size_t target) {
+  ReliabilityStats& stats = vc_.mutable_gateway_stats(self_).reliability;
+  net::AckRegistry& acks = network_->acks();
+  const std::uint64_t tag = conn_->tx_tag;
+  const int rx_nic = conn_->peer_nic_index;
   for (;;) {
-    const std::uint32_t wire_size =
-        in.unpack_paquet(util::MutByteSpan(scratch));
+    const net::AckView view = acks.view(tag, rx_nic, epoch_);
+    // Duplicate-cumulative-ack accounting (fast-retransmit trigger).
+    const std::uint64_t delta =
+        view.cum_posts >= seen_cum_posts_ ? view.cum_posts - seen_cum_posts_
+                                          : 0;
+    seen_cum_posts_ = view.cum_posts;
+    if (view.has_cum) {
+      if (have_cum_mark_ && view.cum_seq == cum_mark_) {
+        dup_acks_ += static_cast<int>(delta);
+      } else {
+        have_cum_mark_ = true;
+        cum_mark_ = view.cum_seq;
+        dup_acks_ = 0;
+      }
+    }
+    // Selective acks exempt their paquets from the retransmit timer.
+    for (const std::uint32_t sacked_seq : view.sacks) {
+      for (InFlight& p : inflight_) {
+        if (p.seq == sacked_seq && !p.sacked) {
+          p.sacked = true;
+          sample_ack(p);
+        }
+      }
+    }
+    // Pop the cumulatively acknowledged prefix.
+    while (!inflight_.empty() && view.has_cum &&
+           inflight_.front().seq <= view.cum_seq) {
+      InFlight& front = inflight_.front();
+      if (!front.sacked) {
+        sample_ack(front);
+      }
+      ++stats.paquets_acked;
+      metrics_->add("rel.paquets_acked", node_label_);
+      inflight_.pop_front();
+    }
+    if (inflight_.size() <= target) {
+      return;
+    }
+    const sim::Time now = engine_->now();
+    // Fast retransmit: three duplicate cumulative acks mean the receiver
+    // keeps re-acking the same prefix — the window front is lost.
+    if (window_ > 1 && dup_acks_ >= 3) {
+      dup_acks_ = 0;
+      InFlight& front = inflight_.front();
+      if (!front.sacked &&
+          acks.posted_cover_time(tag, rx_nic, epoch_, front.seq) ==
+              sim::kForever) {
+        ++stats.retransmits;
+        ++stats.fast_retransmits;
+        metrics_->add("rel.retransmits", node_label_);
+        metrics_->add("rel.fast_retransmits", node_label_);
+        if (trace_ != nullptr) {
+          trace_->instant_here("rel.fast_retransmit",
+                               "peer=" + std::to_string(peer_) + " seq=" +
+                                   std::to_string(front.seq));
+        }
+        front.retransmitted = true;
+        transmit(front);
+        continue;  // the pack advanced virtual time; re-read the board
+      }
+    }
+    // Expiry scan + next-wake computation. A single retransmit timer
+    // guards the oldest unsacked paquet: its successors' acks can only
+    // arrive after its own, so independent per-paquet deadlines would
+    // cascade into spurious retransmits whenever the pipe's round trip
+    // exceeds the current RTO (always true for a freshly opened deep
+    // window, whose first deadlines predate any RTT sample). The timer
+    // re-arms whenever the window advances past its paquet.
+    sim::Time wake = view.next_visible;
+    bool transmitted = false;
+    bool timer_armed = false;
+    for (InFlight& p : inflight_) {
+      if (p.sacked) {
+        continue;
+      }
+      const sim::Time cover =
+          acks.posted_cover_time(tag, rx_nic, epoch_, p.seq);
+      if (cover != sim::kForever) {
+        // An ack covering this paquet is already on the wire: never time
+        // it out, just wait out its visibility latency.
+        if (cover > now) {
+          wake = std::min(wake, cover);
+        }
+        continue;
+      }
+      if (timer_armed) {
+        continue;  // waits behind the front's timer
+      }
+      timer_armed = true;
+      if (!have_timer_ || timer_seq_ != p.seq) {
+        have_timer_ = true;
+        timer_seq_ = p.seq;
+        p.deadline = now + p.rto;
+      }
+      if (p.deadline <= now) {
+        expire(p);
+        transmitted = true;
+      } else {
+        wake = std::min(wake, p.deadline);
+      }
+    }
+    if (transmitted) {
+      continue;
+    }
+    MAD_ASSERT(wake > now && wake != sim::kForever,
+               "reliable window stalled with nothing to wait on");
+    acks.wait_activity(tag, rx_nic, wake);
+  }
+}
+
+// ----------------------------------------------------------------- receiver
+
+ReliableReceiver::ReliableReceiver(VirtualChannel& vc, NodeRank self,
+                                   Channel& in_channel, NodeRank peer,
+                                   std::uint32_t epoch, bool detect_dead)
+    : vc_(vc),
+      self_(self),
+      in_channel_(in_channel),
+      peer_(peer),
+      epoch_(epoch),
+      detect_dead_(detect_dead),
+      self_nic_(in_channel.tm().nic().index()),
+      node_label_("node=" + std::to_string(self)),
+      window_(static_cast<std::size_t>(vc.options().reliable.window)) {
+  scratch_.resize(static_cast<std::size_t>(vc.mtu()) + kGtmTrailerBytes);
+}
+
+void ReliableReceiver::recv(MessageReader& in, std::uint32_t expected_seq,
+                            util::MutByteSpan payload_dst) {
+  MAD_ASSERT(expected_seq == next_,
+             "reliable GTM stream desync: caller expects seq " +
+                 std::to_string(expected_seq) + ", receiver is at " +
+                 std::to_string(next_));
+  ReliabilityStats& stats = vc_.mutable_gateway_stats(self_).reliability;
+  sim::MetricsRegistry& metrics = vc_.domain().fabric().metrics();
+  const Connection& conn = in_channel_.connection_to(peer_);
+  net::Network& network = in_channel_.network();
+  sim::Engine& engine = vc_.domain().engine();
+
+  if (const auto it = reorder_.find(next_); it != reorder_.end()) {
+    // Already received out of order: serve from the reorder buffer.
+    MAD_ASSERT(it->second.size() == payload_dst.size(),
+               "reliable paquet payload of " +
+                   std::to_string(it->second.size()) + " bytes, expected " +
+                   std::to_string(payload_dst.size()));
+    if (!payload_dst.empty()) {
+      counted_copy(payload_dst, util::ByteSpan(it->second));
+    }
+    reorder_.erase(it);
+    ++next_;
+    return;
+  }
+  MAD_ASSERT(next_ == cum_next_, "reliable reorder buffer desync");
+
+  for (;;) {
+    std::uint32_t wire_size = 0;
+    if (detect_dead_) {
+      // Poll in ack_timeout slices so a dead upstream peer is noticed:
+      // the stream it was feeding will never complete, and the origin's
+      // replay arrives on a fresh stream (reader adoption).
+      for (;;) {
+        const auto got = in.unpack_paquet_until(
+            util::MutByteSpan(scratch_),
+            engine.now() + vc_.options().reliable.ack_timeout);
+        if (got.has_value()) {
+          wire_size = *got;
+          break;
+        }
+        if (vc_.is_dead(peer_) || vc_.node_crashed(peer_) ||
+            vc_.node_crashed(self_)) {
+          throw PeerDied{peer_};
+        }
+      }
+    } else {
+      wire_size = in.unpack_paquet(util::MutByteSpan(scratch_));
+    }
     if (wire_size < kGtmTrailerBytes) {
       ++stats.corrupt_drops;  // not even a whole trailer — mangled frame
-      metrics.add("rel.corrupt_drops", node_label);
+      metrics.add("rel.corrupt_drops", node_label_);
       continue;
     }
     GtmPaquetTrailer trailer;
-    std::memcpy(&trailer, scratch.data() + wire_size - kGtmTrailerBytes,
+    std::memcpy(&trailer, scratch_.data() + wire_size - kGtmTrailerBytes,
                 kGtmTrailerBytes);
-    const util::ByteSpan body(scratch.data(), wire_size - kGtmTrailerBytes);
+    const util::ByteSpan body(scratch_.data(), wire_size - kGtmTrailerBytes);
     if (trailer.checksum !=
         gtm_paquet_checksum(body, trailer.seq, trailer.epoch)) {
-      // Corrupt: drop silently; the sender's ack timeout covers it.
+      // Corrupt: drop silently; the sender's retransmit timer covers it.
       ++stats.corrupt_drops;
-      metrics.add("rel.corrupt_drops", node_label);
+      metrics.add("rel.corrupt_drops", node_label_);
       continue;
     }
-    if (trailer.epoch != epoch || trailer.seq < expected_seq) {
+    if (trailer.epoch != epoch_ || trailer.seq < cum_next_) {
       // Duplicate (or a late retransmit of a superseded stream): drop, but
       // re-acknowledge — the original ack may have been posted before the
-      // sender timed out, or suppressed by a fault window.
+      // sender timed out, or suppressed by a fault window. Within the
+      // epoch the re-ack also doubles as a duplicate cumulative ack.
       ++stats.dup_drops;
-      metrics.add("rel.dup_drops", node_label);
-      network.post_ack(conn.rx_tag, self_nic, conn.peer_nic_index,
+      metrics.add("rel.dup_drops", node_label_);
+      network.post_ack(conn.rx_tag, self_nic_, conn.peer_nic_index,
                        trailer.epoch, trailer.seq);
       continue;
     }
-    // Stop-and-wait: nothing beyond expected_seq can be in flight.
-    MAD_ASSERT(trailer.seq == expected_seq,
-               "reliable GTM stream desync: got seq " +
-                   std::to_string(trailer.seq) + ", expected " +
-                   std::to_string(expected_seq));
-    MAD_ASSERT(body.size() == payload_dst.size(),
-               "reliable paquet payload of " + std::to_string(body.size()) +
-                   " bytes, expected " + std::to_string(payload_dst.size()));
-    if (!payload_dst.empty()) {
-      counted_copy(payload_dst, body);
+    if (reorder_.contains(trailer.seq)) {
+      // Duplicate of a parked out-of-order paquet: re-issue its sack.
+      ++stats.dup_drops;
+      metrics.add("rel.dup_drops", node_label_);
+      network.post_sack(conn.rx_tag, self_nic_, conn.peer_nic_index, epoch_,
+                        trailer.seq);
+      if (cum_next_ > 0) {
+        network.post_ack(conn.rx_tag, self_nic_, conn.peer_nic_index,
+                         epoch_, cum_next_ - 1);
+      }
+      continue;
     }
-    network.post_ack(conn.rx_tag, self_nic, conn.peer_nic_index, epoch,
-                     expected_seq);
-    return;
+    if (trailer.seq == cum_next_) {
+      // In order: deliver straight to the caller's buffer.
+      MAD_ASSERT(body.size() == payload_dst.size(),
+                 "reliable paquet payload of " + std::to_string(body.size()) +
+                     " bytes, expected " +
+                     std::to_string(payload_dst.size()));
+      if (!payload_dst.empty()) {
+        counted_copy(payload_dst, body);
+      }
+      ++cum_next_;
+      ++next_;
+      while (reorder_.contains(cum_next_)) {
+        ++cum_next_;  // parked paquets extend the contiguous prefix
+      }
+      network.post_ack(conn.rx_tag, self_nic_, conn.peer_nic_index, epoch_,
+                       cum_next_ - 1);
+      return;
+    }
+    // Out of order: park it and tell the sender with a selective ack plus
+    // a duplicate cumulative ack (the fast-retransmit signal).
+    MAD_ASSERT(trailer.seq < cum_next_ + window_,
+               "reliable GTM stream desync: got seq " +
+                   std::to_string(trailer.seq) + " beyond the window at " +
+                   std::to_string(cum_next_));
+    reorder_.emplace(trailer.seq,
+                     std::vector<std::byte>(body.begin(), body.end()));
+    network.post_sack(conn.rx_tag, self_nic_, conn.peer_nic_index, epoch_,
+                      trailer.seq);
+    if (cum_next_ > 0) {
+      network.post_ack(conn.rx_tag, self_nic_, conn.peer_nic_index, epoch_,
+                       cum_next_ - 1);
+    }
   }
 }
 
-void send_block_header_reliably(VirtualChannel& vc, NodeRank self,
-                                MessageWriter& out, Channel& out_channel,
-                                NodeRank peer, std::uint32_t epoch,
-                                std::uint32_t seq,
-                                const GtmBlockHeader& header,
-                                std::vector<std::byte>& scratch) {
-  send_paquet_reliably(vc, self, out, out_channel, peer, epoch, seq,
-                       util::object_bytes(header), scratch);
-}
-
-GtmBlockHeader recv_block_header_reliably(VirtualChannel& vc, NodeRank self,
-                                          MessageReader& in,
-                                          Channel& in_channel, NodeRank peer,
-                                          std::uint32_t epoch,
-                                          std::uint32_t seq,
-                                          std::vector<std::byte>& scratch) {
+GtmBlockHeader ReliableReceiver::recv_block_header(
+    MessageReader& in, std::uint32_t expected_seq) {
   GtmBlockHeader header{};
-  recv_paquet_reliably(vc, self, in, in_channel, peer, epoch, seq,
-                       util::object_bytes_mut(header), scratch);
+  recv(in, expected_seq, util::object_bytes_mut(header));
   return header;
 }
 

@@ -1,17 +1,27 @@
-// Reliable GTM mode: stop-and-wait ack/retransmit per paquet.
+// Reliable GTM mode: sliding-window ack/retransmit per hop.
 //
 // When VcOptions::reliable.enabled is set, every forwarded GTM element —
 // block headers, payload fragments, the end-of-message marker — travels as
 // one *reliable paquet*: the payload plus a GtmPaquetTrailer (seq, epoch,
-// checksum). The receiver validates the checksum first (corruption →
-// silent drop, the sender retransmits), then the (epoch, seq) pair
-// (duplicate or superseded stream → drop and re-acknowledge, in case the
-// original ack raced the sender's timeout), and acknowledges accepted
-// paquets through the network's AckRegistry. The sender blocks on the ack
-// with an exponentially backed-off virtual-time deadline; exhausting
-// max_attempts throws HopFailure, which the virtual-channel writer and the
-// gateway relay translate into route invalidation + failover (or a
-// diagnosable "unreachable" panic when no alternate gateway exists).
+// checksum). A ReliableSender keeps up to `ReliableOptions::window` paquets
+// in flight per hop; the matching ReliableReceiver validates the checksum
+// (corruption → silent drop, the sender retransmits), filters duplicates
+// by (epoch, seq), parks out-of-order paquets in a bounded reorder buffer,
+// and releases them to the unpack path strictly in sequence. Acks flow
+// back through the network's AckRegistry: a cumulative ack per accepted
+// prefix plus selective acks for parked paquets. Each in-flight paquet
+// carries its own retransmit timer with an adaptive RTO (SRTT/RTTVAR from
+// RTT samples, Karn's rule, clamped exponential backoff); three duplicate
+// cumulative acks trigger a fast retransmit of the window's front without
+// waiting for the timer. Exhausting max_attempts throws HopFailure, which
+// the virtual-channel writer and the gateway relay translate into route
+// invalidation + failover (or a diagnosable "unreachable" panic when no
+// alternate gateway exists).
+//
+// window = 1 reproduces the PR-1 stop-and-wait protocol exactly: one
+// paquet in flight, fixed ack_timeout base, no RTT adaptation, no fast
+// retransmit — the same virtual-time event sequence, retransmit counts and
+// traces as the original implementation.
 //
 // Only the preamble, the GTM message header and the channel announce stay
 // outside this framing: they bootstrap the per-hop stream. Losing one of
@@ -20,6 +30,9 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "fwd/generic_tm.hpp"
@@ -31,7 +44,18 @@ namespace mad {
 class Channel;
 class MessageReader;
 class MessageWriter;
+struct Connection;
 }  // namespace mad
+
+namespace mad::net {
+class Network;
+}  // namespace mad::net
+
+namespace mad::sim {
+class Engine;
+class MetricsRegistry;
+class Trace;
+}  // namespace mad::sim
 
 namespace mad::fwd {
 
@@ -39,70 +63,176 @@ class VirtualChannel;
 
 struct ReliableOptions {
   bool enabled = false;
-  /// First-attempt ack deadline. The ack only posts once the receiver has
-  /// fully consumed the paquet (receive-side PCI flow + overheads), so for
-  /// the paper-scale 64–128 KB paquets a round trip is 1–4 ms of virtual
-  /// time; a sub-millisecond default would retransmit constantly.
+  /// First-attempt ack deadline (and the RTO floor once RTT samples
+  /// exist). The ack only posts once the receiver has fully consumed the
+  /// paquet (receive-side PCI flow + overheads), so for the paper-scale
+  /// 64–128 KB paquets a round trip is 1–4 ms of virtual time; a
+  /// sub-millisecond default would retransmit constantly.
   sim::Time ack_timeout = sim::milliseconds(5);
   /// Deadline multiplier per retry (exponential backoff).
   double timeout_backoff = 2.0;
   /// Attempts (including the first) before the hop is declared dead.
   int max_attempts = 6;
+  /// Paquets a sender may keep in flight per hop before blocking. 1 is
+  /// stop-and-wait; larger windows pipeline the ack round trip.
+  int window = 1;
+  /// Hard ceiling on any backed-off retransmit deadline. Keeps the
+  /// exponential chain from overflowing Time and bounds how long a retry
+  /// can stall failover detection.
+  sim::Time max_ack_timeout = sim::seconds(2);
+
+  /// Panics on inconsistent settings (called by the VirtualChannel ctor).
+  void validate() const;
 };
+
+/// Applies one backoff step to `timeout`, clamping to `cap`. The multiply
+/// happens in double; any overflow, inf or NaN lands on the cap instead of
+/// wrapping through the double→Time cast.
+sim::Time backed_off_timeout(sim::Time timeout, double backoff,
+                             sim::Time cap);
 
 /// Reliable-mode counters, per node (GatewayStats::reliability).
 struct ReliabilityStats {
   std::uint64_t paquets_acked = 0;  // sender side: completed round trips
   std::uint64_t retransmits = 0;
+  std::uint64_t fast_retransmits = 0;  // subset of retransmits (dup acks)
   std::uint64_t timeouts = 0;
   std::uint64_t dup_drops = 0;      // receiver side
   std::uint64_t corrupt_drops = 0;  // receiver side
+  std::uint64_t stale_drops = 0;    // late paquets of a finished stream
   std::uint64_t failovers = 0;      // reroutes that found an alternate
   std::uint64_t peers_declared_dead = 0;
 };
 
-/// Thrown by send_paquet_reliably when a hop exhausts its retry budget —
-/// the reliable protocol's "this peer is dead" signal.
+/// Thrown by the sender when a hop exhausts its retry budget — the
+/// reliable protocol's "this peer is dead" signal.
 struct HopFailure {
   NodeRank next_hop = -1;
   int attempts = 0;
 };
 
-/// Sends `payload` as one reliable paquet on the open message `out` toward
-/// `peer`, retransmitting on ack timeout. `scratch` is a caller-owned
-/// staging buffer reused across calls. Throws HopFailure after
-/// max_attempts. Stats are charged to `self` in vc's per-node block.
-void send_paquet_reliably(VirtualChannel& vc, NodeRank self,
-                          MessageWriter& out, Channel& out_channel,
-                          NodeRank peer, std::uint32_t epoch,
-                          std::uint32_t seq, util::ByteSpan payload,
-                          std::vector<std::byte>& scratch);
+/// Thrown by a ReliableReceiver in detect_dead mode when the upstream peer
+/// is marked dead or crashed while the receiver waits for the next paquet.
+/// The virtual-channel reader turns this into stream adoption (waiting for
+/// the origin's replayed message on the failover route).
+struct PeerDied {
+  NodeRank peer = -1;
+};
 
-/// Receives the reliable paquet with (epoch, expected_seq) into
-/// `payload_dst` (size must match the original payload exactly), dropping
-/// corrupt paquets and dropping + re-acking duplicates until it arrives,
-/// then acknowledges it.
-void recv_paquet_reliably(VirtualChannel& vc, NodeRank self,
-                          MessageReader& in, Channel& in_channel,
-                          NodeRank peer, std::uint32_t epoch,
-                          std::uint32_t expected_seq,
-                          util::MutByteSpan payload_dst,
-                          std::vector<std::byte>& scratch);
+/// Sliding-window sender for one hop of one open GTM message. Owns the
+/// in-flight queue; send() blocks only while the window is full, flush()
+/// blocks until everything is acked. Throws HopFailure when a paquet
+/// exhausts its retry budget — the caller abandons this sender (its
+/// remaining in-flight paquets are discarded with it) and replays on a new
+/// route with a fresh epoch.
+class ReliableSender {
+ public:
+  ReliableSender(VirtualChannel& vc, NodeRank self, MessageWriter& out,
+                 Channel& out_channel, NodeRank peer, std::uint32_t epoch);
 
-/// Block headers travel as reliable paquets of their own in reliable mode
-/// (a lost header would desynchronize the stream silently otherwise).
-void send_block_header_reliably(VirtualChannel& vc, NodeRank self,
-                                MessageWriter& out, Channel& out_channel,
-                                NodeRank peer, std::uint32_t epoch,
-                                std::uint32_t seq,
-                                const GtmBlockHeader& header,
-                                std::vector<std::byte>& scratch);
+  /// Enqueues `payload` as reliable paquet `seq` (must be the successor of
+  /// the previous send) and transmits it; blocks while the window is full.
+  void send(std::uint32_t seq, util::ByteSpan payload);
 
-GtmBlockHeader recv_block_header_reliably(VirtualChannel& vc, NodeRank self,
-                                          MessageReader& in,
-                                          Channel& in_channel, NodeRank peer,
-                                          std::uint32_t epoch,
-                                          std::uint32_t seq,
-                                          std::vector<std::byte>& scratch);
+  /// Block headers travel as reliable paquets of their own (a lost header
+  /// would desynchronize the stream silently otherwise).
+  void send_block_header(std::uint32_t seq, const GtmBlockHeader& header);
+
+  /// Blocks until every in-flight paquet is acknowledged.
+  void flush();
+
+  std::size_t in_flight() const { return inflight_.size(); }
+  std::uint32_t epoch() const { return epoch_; }
+
+ private:
+  struct InFlight {
+    std::uint32_t seq = 0;
+    std::vector<std::byte> wire;  // payload + trailer, ready to re-pack
+    sim::Time tx_begin = 0;  // last attempt start (rel.ack_us base)
+    sim::Time sent_at = 0;   // last attempt pack-complete (RTO base)
+    sim::Time deadline = 0;
+    sim::Time rto = 0;
+    int attempts = 1;
+    bool retransmitted = false;  // Karn: no RTT sample once retransmitted
+    bool sacked = false;
+  };
+
+  void transmit(InFlight& p);
+  /// Blocks until at most `target` paquets remain in flight.
+  void drain_to(std::size_t target);
+  /// Times out `p`: throws HopFailure past the budget, else retransmits
+  /// with a backed-off deadline.
+  void expire(InFlight& p);
+  /// Completes `p` (acked): stats + RTT sample.
+  void sample_ack(InFlight& p);
+  sim::Time initial_rto() const;
+
+  VirtualChannel& vc_;
+  NodeRank self_;
+  MessageWriter& out_;
+  NodeRank peer_;
+  std::uint32_t epoch_;
+  Connection* conn_;
+  net::Network* network_;
+  sim::Engine* engine_;
+  sim::MetricsRegistry* metrics_;
+  sim::Trace* trace_;
+  std::string node_label_;
+  std::size_t window_;
+  std::deque<InFlight> inflight_;
+  // Duplicate-cumulative-ack tracking (fast retransmit, window > 1 only).
+  std::uint64_t seen_cum_posts_ = 0;
+  bool have_cum_mark_ = false;
+  std::uint32_t cum_mark_ = 0;
+  int dup_acks_ = 0;
+  // The single retransmit timer: armed for the oldest unsacked paquet,
+  // re-armed whenever the window advances past it.
+  bool have_timer_ = false;
+  std::uint32_t timer_seq_ = 0;
+  // Adaptive RTO state (window > 1 only).
+  bool have_rtt_ = false;
+  double srtt_us_ = 0.0;
+  double rttvar_us_ = 0.0;
+};
+
+/// Sliding-window receiver for one hop of one open GTM message: validates,
+/// deduplicates and reorders incoming paquets, releasing them strictly in
+/// (epoch, seq) order. With detect_dead set, receive waits poll in
+/// ack_timeout slices and throw PeerDied once the upstream peer is marked
+/// dead or crashed — a blocking receiver would hang forever on a stream
+/// whose sender died mid-message.
+class ReliableReceiver {
+ public:
+  ReliableReceiver(VirtualChannel& vc, NodeRank self, Channel& in_channel,
+                   NodeRank peer, std::uint32_t epoch, bool detect_dead);
+
+  /// Receives reliable paquet `expected_seq` (must be the successor of the
+  /// previous recv) into `payload_dst` (size must match the original
+  /// payload exactly) and acknowledges it.
+  void recv(MessageReader& in, std::uint32_t expected_seq,
+            util::MutByteSpan payload_dst);
+
+  GtmBlockHeader recv_block_header(MessageReader& in,
+                                   std::uint32_t expected_seq);
+
+ private:
+  /// Pulls wire paquets until `next_` can be served; fills the reorder
+  /// buffer along the way.
+  void pump(MessageReader& in);
+
+  VirtualChannel& vc_;
+  NodeRank self_;
+  Channel& in_channel_;
+  NodeRank peer_;
+  std::uint32_t epoch_;
+  bool detect_dead_;
+  int self_nic_;
+  std::string node_label_;
+  std::size_t window_;
+  std::uint32_t next_ = 0;      // next seq to hand to the caller
+  std::uint32_t cum_next_ = 0;  // first seq not yet received in order
+  std::map<std::uint32_t, std::vector<std::byte>> reorder_;
+  std::vector<std::byte> scratch_;
+};
 
 }  // namespace mad::fwd

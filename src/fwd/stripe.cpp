@@ -1,6 +1,7 @@
 #include "fwd/stripe.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -26,6 +27,20 @@ std::vector<std::uint32_t> shares_of(const std::vector<RailPlan>& plans) {
 std::string rail_label(NodeRank node, std::size_t rail) {
   return "node=" + std::to_string(node) + ",rail=" + std::to_string(rail);
 }
+
+/// Releases one rail credit on scope exit — including exceptional unwind
+/// (a repair that panics with no surviving route, engine shutdown) — so a
+/// dying rail never strands the chunk it was holding.
+class CreditGuard {
+ public:
+  explicit CreditGuard(CreditWindow& credits) : credits_(credits) {}
+  ~CreditGuard() { credits_.release(); }
+  CreditGuard(const CreditGuard&) = delete;
+  CreditGuard& operator=(const CreditGuard&) = delete;
+
+ private:
+  CreditWindow& credits_;
+};
 
 }  // namespace
 
@@ -185,13 +200,13 @@ void Striper::run_rail(std::size_t index) {
   const std::uint8_t flags =
       kGtmFlagStriped | (vc_.reliable() ? kGtmFlagReliable : 0);
 
-  std::vector<std::byte> scratch;
   std::vector<RailItem> sent;  // reliable mode: emitted chunks, for repair
   Channel* out = nullptr;
   NodeRank next = -1;
   std::uint32_t epoch = 0;
   std::uint32_t seq = 0;
   std::optional<MessageWriter> writer;
+  std::unique_ptr<ReliableSender> sender;
 
   const auto open = [&](const topo::Route& route) {
     const topo::Hop first = route.front();
@@ -214,16 +229,21 @@ void Striper::run_rail(std::size_t index) {
     }
     seq = 0;
     writer.emplace(channel.begin_packing(next));
-    if (deliver) {
-      write_preamble(*writer,
-                     Preamble{static_cast<std::uint32_t>(src_), 1});
-    }
+    write_preamble(*writer,
+                   Preamble{static_cast<std::uint32_t>(src_), 1});
     write_msg_header(*writer, hdr);
     write_stripe_header(
         *writer,
         GtmStripeHeader{stripe_id_, static_cast<std::uint16_t>(index),
                         static_cast<std::uint16_t>(rails_.size()),
                         rail.plan.share});
+    if (vc_.reliable()) {
+      // One sliding window per rail: each rail pipelines its own hop's
+      // ack round trips, composing with (not replacing) the credit
+      // window's chunk-level backpressure.
+      sender = std::make_unique<ReliableSender>(vc_, src_, *writer, channel,
+                                                next, epoch);
+    }
   };
 
   const auto emit_chunk = [&](const RailItem& item) {
@@ -232,14 +252,11 @@ void Striper::run_rail(std::size_t index) {
     const std::uint64_t fragments =
         fragment_count(item.data.size(), vc_.mtu());
     if (vc_.reliable()) {
-      send_block_header_reliably(vc_, src_, *writer, *out, next, epoch,
-                                 seq++, bh, scratch);
+      sender->send_block_header(seq++, bh);
       for (std::uint64_t i = 0; i < fragments; ++i) {
         const std::uint32_t fsize =
             fragment_size(item.data.size(), vc_.mtu(), i);
-        send_paquet_reliably(vc_, src_, *writer, *out, next, epoch, seq++,
-                             item.data.subspan(i * vc_.mtu(), fsize),
-                             scratch);
+        sender->send(seq++, item.data.subspan(i * vc_.mtu(), fsize));
       }
     } else {
       write_block_header(*writer, bh);
@@ -264,8 +281,10 @@ void Striper::run_rail(std::size_t index) {
 
   const auto emit_end = [&] {
     if (vc_.reliable()) {
-      send_block_header_reliably(vc_, src_, *writer, *out, next, epoch,
-                                 seq, end_marker(), scratch);
+      // The end marker joins the window like any paquet; flush() then
+      // blocks until the whole rail is acked.
+      sender->send_block_header(seq, end_marker());
+      sender->flush();
     } else {
       write_block_header(*writer, end_marker());
     }
@@ -290,8 +309,10 @@ void Striper::run_rail(std::size_t index) {
         vc_.options().trace->instant_here(
             "rel.dead", "peer=" + std::to_string(failed.next_hop));
       }
-      // Express flushing leaves nothing buffered: closing the dead-hop
-      // message is non-blocking and releases the connection's tx lock.
+      // The failed window dies with its sender; Express flushing left
+      // nothing buffered, so closing the dead-hop message is non-blocking
+      // and releases the connection's tx lock.
+      sender.reset();
       writer->end_packing();
       writer.reset();
       if (!vc_.routing().reachable(src_, dst_)) {
@@ -333,26 +354,42 @@ void Striper::run_rail(std::size_t index) {
   };
 
   open(rail.plan.route);
-  for (;;) {
-    RailItem item = rail.items.recv();
-    if (item.end) {
-      try {
-        emit_end();
-      } catch (const HopFailure& failure) {
-        repair(failure, nullptr, /*finishing=*/true);
+  try {
+    for (;;) {
+      RailItem item = rail.items.recv();
+      if (item.end) {
+        try {
+          emit_end();
+        } catch (const HopFailure& failure) {
+          repair(failure, nullptr, /*finishing=*/true);
+        }
+        break;
       }
-      break;
+      // The credit travels with the chunk and is handed back when this
+      // iteration ends — successfully or by unwinding.
+      CreditGuard credit(rail.credits);
+      try {
+        emit_chunk(item);
+      } catch (const HopFailure& failure) {
+        repair(failure, &item, /*finishing=*/false);
+      }
+      if (vc_.reliable()) {
+        sent.push_back(item);
+      }
     }
-    try {
-      emit_chunk(item);
-    } catch (const HopFailure& failure) {
-      repair(failure, &item, /*finishing=*/false);
+  } catch (...) {
+    // Unwinding (an unreachable-rail panic, engine shutdown): hand back
+    // the credits of chunks still parked in the mailbox so the window
+    // drains to available == total instead of leaking what the dead rail
+    // held.
+    while (auto parked = rail.items.try_recv()) {
+      if (!parked->end) {
+        rail.credits.release();
+      }
     }
-    if (vc_.reliable()) {
-      sent.push_back(item);
-    }
-    rail.credits.release();
+    throw;
   }
+  sender.reset();
   writer->end_packing();
   ++rails_done_;
   done_.notify_all();
@@ -402,6 +439,14 @@ Reassembler::Reassembler(VcEndpoint& endpoint, VcIncoming& rail0,
     rails_[r].epoch = inc.header.epoch;
   }
   schedule_ = StripeSchedule(std::move(shares));
+  if (reliable_) {
+    // Blocking (not detect_dead) receivers: a striped rail is relayed
+    // two-phase, so a partial rail stream never reaches this node.
+    for (RailRx& rx : rails_) {
+      rx.rel = std::make_unique<ReliableReceiver>(
+          vc_, self_, *rx.channel, rx.peer, rx.epoch, /*detect_dead=*/false);
+    }
+  }
   // One reader actor per rail: the rails' receive costs overlap instead of
   // serializing in the unpacking actor. `this` is heap-stable (the
   // VcMessageReader owns the Reassembler through a unique_ptr).
@@ -423,10 +468,7 @@ void Reassembler::run_rail_rx(std::size_t rail) {
     RxJob job = rx.jobs->recv();
     if (job.end) {
       const GtmBlockHeader marker =
-          reliable_ ? recv_block_header_reliably(vc_, self_, *rx.reader,
-                                                 *rx.channel, rx.peer,
-                                                 rx.epoch, rx.next_seq,
-                                                 rx.scratch)
+          reliable_ ? rx.rel->recv_block_header(*rx.reader, rx.next_seq)
                     : read_block_header(*rx.reader);
       MAD_ASSERT(marker.end_of_message == 1,
                  "end_unpacking before all striped blocks were consumed");
@@ -466,9 +508,7 @@ void Reassembler::read_chunk(std::size_t rail, util::MutByteSpan dst,
   RailRx& rx = rails_[rail];
   GtmBlockHeader bh;
   if (reliable_) {
-    bh = recv_block_header_reliably(vc_, self_, *rx.reader, *rx.channel,
-                                    rx.peer, rx.epoch, rx.next_seq++,
-                                    rx.scratch);
+    bh = rx.rel->recv_block_header(*rx.reader, rx.next_seq++);
   } else {
     bh = read_block_header(*rx.reader);
   }
@@ -485,9 +525,7 @@ void Reassembler::read_chunk(std::size_t rail, util::MutByteSpan dst,
   for (std::uint64_t i = 0; i < fragments; ++i) {
     const std::uint32_t fsize = fragment_size(bh.size, mtu_, i);
     if (reliable_) {
-      recv_paquet_reliably(vc_, self_, *rx.reader, *rx.channel, rx.peer,
-                           rx.epoch, rx.next_seq++,
-                           dst.subspan(i * mtu_, fsize), rx.scratch);
+      rx.rel->recv(*rx.reader, rx.next_seq++, dst.subspan(i * mtu_, fsize));
     } else {
       rx.reader->unpack(dst.subspan(i * mtu_, fsize), SendMode::Cheaper,
                         RecvMode::Express);

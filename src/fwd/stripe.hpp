@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "fwd/regulation.hpp"
+#include "fwd/reliable.hpp"
 #include "fwd/virtual_channel.hpp"
 #include "sim/condition.hpp"
 #include "sim/mailbox.hpp"
@@ -92,6 +93,15 @@ class Striper {
   Striper& operator=(const Striper&) = delete;
 
   std::size_t rails() const { return rails_.size(); }
+
+  /// Credit-window introspection: tests assert a drained rail leaks no
+  /// credits (available == total) even across repair and unwinding.
+  std::uint32_t rail_credits_available(std::size_t rail) const {
+    return rails_[rail]->credits.available();
+  }
+  std::uint32_t rail_credits_total(std::size_t rail) const {
+    return rails_[rail]->credits.total();
+  }
 
   void pack(util::ByteSpan data, SendMode smode, RecvMode rmode);
 
@@ -183,7 +193,7 @@ class Reassembler {
     std::unique_ptr<sim::Mailbox<RxJob>> jobs;
     std::uint64_t enqueued = 0;
     std::uint64_t completed = 0;  // advanced by the rail's reader actor
-    std::vector<std::byte> scratch;
+    std::unique_ptr<ReliableReceiver> rel;  // reliable mode only
   };
 
   void run_rail_rx(std::size_t rail);

@@ -27,12 +27,7 @@ VirtualChannel::VirtualChannel(Domain& domain, std::string name,
 
   mtu_ = compute_route_mtu(domain_, networks_, options_.paquet_size);
   if (options_.reliable.enabled) {
-    MAD_ASSERT(options_.reliable.max_attempts >= 1,
-               "reliable mode needs at least one attempt");
-    MAD_ASSERT(options_.reliable.ack_timeout > 0,
-               "reliable ack timeout must be positive");
-    MAD_ASSERT(options_.reliable.timeout_backoff >= 1.0,
-               "reliable timeout backoff must be >= 1");
+    options_.reliable.validate();
     MAD_ASSERT(mtu_ > kGtmTrailerBytes,
                "route MTU too small for the reliable paquet trailer");
     // Carve the trailer out of the wire MTU so payload + trailer still
@@ -90,6 +85,21 @@ VirtualChannel::VirtualChannel(Domain& domain, std::string name,
 }
 
 VirtualChannel::~VirtualChannel() = default;
+
+void VirtualChannel::drain_stale_paquets(MessageReader& reader,
+                                         NodeRank self) {
+  std::vector<std::byte> scratch;
+  while (reader.peek_paquet_size() !=
+         static_cast<std::uint32_t>(sizeof(Preamble))) {
+    if (scratch.empty()) {
+      scratch.resize(mtu_ + kGtmTrailerBytes);
+    }
+    reader.unpack_paquet(util::MutByteSpan(scratch));
+    ++mutable_gateway_stats(self).reliability.stale_drops;
+    domain_.fabric().metrics().add("rel.stale_drops",
+                                   "node=" + std::to_string(self));
+  }
+}
 
 void VirtualChannel::mark_dead(NodeRank rank) {
   routing_->exclude(rank);
@@ -199,6 +209,9 @@ void VirtualChannel::spawn_pollers() {
             for (;;) {
               channel.wait_incoming();
               MessageReader reader = channel.begin_unpacking();
+              if (options_.reliable.enabled) {
+                drain_stale_paquets(reader, ep->rank());
+              }
               const Preamble preamble = read_preamble(reader);
               auto done =
                   std::make_shared<sim::Condition>(eng, actor_name + ".done");
@@ -227,6 +240,9 @@ void VirtualChannel::spawn_pollers() {
               for (;;) {
                 stripe_channel.wait_incoming();
                 MessageReader reader = stripe_channel.begin_unpacking();
+                if (options_.reliable.enabled) {
+                  drain_stale_paquets(reader, ep->rank());
+                }
                 const Preamble preamble = read_preamble(reader);
                 MAD_ASSERT(preamble.forwarded != 0,
                            "native message on a stripe channel");
@@ -285,15 +301,50 @@ StripeIncoming VcEndpoint::collect_rail(std::uint32_t origin,
   }
 }
 
+std::optional<VcIncoming> VcEndpoint::collect_replacement(
+    NodeRank origin, sim::Time deadline) {
+  const auto matches = [&](const VcIncoming& inc) {
+    return inc.preamble.forwarded != 0 &&
+           inc.preamble.origin == static_cast<std::uint32_t>(origin);
+  };
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (matches(*it)) {
+      VcIncoming inc = std::move(*it);
+      pending_.erase(it);
+      return inc;
+    }
+  }
+  for (;;) {
+    auto inc = inbox_.recv_until(deadline);
+    if (!inc) {
+      return std::nullopt;
+    }
+    if (matches(*inc)) {
+      return std::move(*inc);
+    }
+    pending_.push_back(std::move(*inc));
+  }
+}
+
 VcMessageWriter VcEndpoint::begin_packing(NodeRank dst) {
   return VcMessageWriter(vc_, rank_, dst);
 }
 
 VcMessageReader VcEndpoint::begin_unpacking() {
+  if (!pending_.empty()) {
+    VcIncoming inc = std::move(pending_.front());
+    pending_.pop_front();
+    return VcMessageReader(*this, std::move(inc));
+  }
   return VcMessageReader(*this, inbox_.recv());
 }
 
 std::optional<VcMessageReader> VcEndpoint::try_begin_unpacking() {
+  if (!pending_.empty()) {
+    VcIncoming inc = std::move(pending_.front());
+    pending_.pop_front();
+    return VcMessageReader(*this, std::move(inc));
+  }
   auto incoming = inbox_.try_recv();
   if (!incoming) {
     return std::nullopt;
@@ -303,6 +354,11 @@ std::optional<VcMessageReader> VcEndpoint::try_begin_unpacking() {
 
 std::optional<VcMessageReader> VcEndpoint::begin_unpacking_until(
     sim::Time deadline) {
+  if (!pending_.empty()) {
+    VcIncoming inc = std::move(pending_.front());
+    pending_.pop_front();
+    return VcMessageReader(*this, std::move(inc));
+  }
   auto incoming = inbox_.recv_until(deadline);
   if (!incoming) {
     return std::nullopt;
@@ -345,6 +401,7 @@ VcMessageWriter::VcMessageWriter(VirtualChannel& vc, NodeRank src,
     // format with self-description.
     Channel& channel = vc.special_channel(first.network, src);
     inner_.emplace(channel.begin_packing(first.node));
+    write_preamble(*inner_, Preamble{static_cast<std::uint32_t>(src), 1});
     write_msg_header(*inner_,
                      GtmMsgHeader{static_cast<std::uint32_t>(dst),
                                   static_cast<std::uint32_t>(src), mtu_});
@@ -362,29 +419,43 @@ void VcMessageWriter::open_reliable_hop() {
   out_channel_ = &vc_->special_channel(first.network, src_);
   epoch_ = ++out_channel_->connection_to(next_hop_).tx_epoch;
   seq_ = 0;
+  sender_.reset();
   inner_.emplace(out_channel_->begin_packing(next_hop_));
+  write_preamble(*inner_, Preamble{static_cast<std::uint32_t>(src_), 1});
   write_msg_header(*inner_, GtmMsgHeader{static_cast<std::uint32_t>(dst_),
                                          static_cast<std::uint32_t>(src_),
                                          mtu_, epoch_, kGtmFlagReliable});
 }
 
+ReliableSender& VcMessageWriter::sender() {
+  if (sender_ == nullptr) {
+    sender_ = std::make_unique<ReliableSender>(*vc_, src_, *inner_,
+                                               *out_channel_, next_hop_,
+                                               epoch_);
+  }
+  return *sender_;
+}
+
 void VcMessageWriter::emit_block(const ReplayBlock& block) {
   const util::ByteSpan data(block.data);
-  send_block_header_reliably(
-      *vc_, src_, *inner_, *out_channel_, next_hop_, epoch_, seq_++,
-      block_header_for(data.size(), block.smode, block.rmode), scratch_);
+  ReliableSender& snd = sender();
+  snd.send_block_header(seq_++,
+                        block_header_for(data.size(), block.smode,
+                                         block.rmode));
   const std::uint64_t fragments = fragment_count(data.size(), mtu_);
   for (std::uint64_t i = 0; i < fragments; ++i) {
     const std::uint32_t fsize = fragment_size(data.size(), mtu_, i);
-    send_paquet_reliably(*vc_, src_, *inner_, *out_channel_, next_hop_,
-                         epoch_, seq_++, data.subspan(i * mtu_, fsize),
-                         scratch_);
+    snd.send(seq_++, data.subspan(i * mtu_, fsize));
   }
 }
 
 void VcMessageWriter::emit_end() {
-  send_block_header_reliably(*vc_, src_, *inner_, *out_channel_, next_hop_,
-                             epoch_, seq_, end_marker(), scratch_);
+  ReliableSender& snd = sender();
+  snd.send_block_header(seq_, end_marker());
+  // The whole window must drain before end_packing: the end marker's ack
+  // confirms the message crossed this hop (and a dead hop surfaces here as
+  // HopFailure, not as a silent loss).
+  snd.flush();
 }
 
 void VcMessageWriter::recover(const HopFailure& failure, bool finishing) {
@@ -401,8 +472,11 @@ void VcMessageWriter::recover(const HopFailure& failure, bool finishing) {
       vc_->options().trace->instant_here(
           "rel.dead", "peer=" + std::to_string(failed.next_hop));
     }
-    // Express flushing leaves nothing buffered, so closing the dead-hop
-    // message is non-blocking and releases the connection's tx lock.
+    // Drop the window first — its in-flight paquets die with the hop and
+    // must not outlive the MessageWriter they reference. Express flushing
+    // leaves nothing buffered, so closing the dead-hop message is
+    // non-blocking and releases the connection's tx lock.
+    sender_.reset();
     inner_->end_packing();
     inner_.reset();
     if (!vc_->routing().reachable(src_, dst_)) {
@@ -504,18 +578,18 @@ VcMessageReader::VcMessageReader(VcEndpoint& endpoint, VcIncoming incoming)
       self_(endpoint.rank()),
       mtu_(endpoint.vc().mtu()) {
   if (forwarded()) {
-    gtm_header_ = read_msg_header(incoming_.reader);
+    gtm_header_ = read_msg_header(incoming_->reader);
     MAD_ASSERT(gtm_header_.final_dst ==
                    static_cast<std::uint32_t>(endpoint.rank()),
                "forwarded message delivered to the wrong node");
-    MAD_ASSERT(gtm_header_.origin == incoming_.preamble.origin,
+    MAD_ASSERT(gtm_header_.origin == incoming_->preamble.origin,
                "preamble/GTM origin mismatch");
     MAD_ASSERT(gtm_header_.mtu == mtu_, "GTM MTU mismatch");
     reliable_ = (gtm_header_.flags & kGtmFlagReliable) != 0;
     MAD_ASSERT(reliable_ == vc_->reliable(),
                "reliable-mode mismatch between sender and receiver");
     if (striped()) {
-      stripe_ = read_stripe_header(incoming_.reader);
+      stripe_ = read_stripe_header(incoming_->reader);
       MAD_ASSERT(stripe_.rail == 0,
                  "rail 0 must arrive on the regular channel");
     }
@@ -527,20 +601,96 @@ VcMessageReader::~VcMessageReader() = default;
 
 void VcMessageReader::ensure_reassembler() {
   if (reassembler_ == nullptr) {
-    reassembler_ = std::make_unique<Reassembler>(*endpoint_, incoming_,
+    reassembler_ = std::make_unique<Reassembler>(*endpoint_, *incoming_,
                                                  gtm_header_, stripe_);
   }
 }
 
+void VcMessageReader::ensure_receiver() {
+  if (receiver_ == nullptr) {
+    // window = 1 keeps the PR-1 blocking receive (no liveness polling);
+    // only the windowed protocol streams partial messages through
+    // gateways, so only it can strand a reader on a dead upstream hop.
+    receiver_ = std::make_unique<ReliableReceiver>(
+        *vc_, self_, *incoming_->channel, incoming_->reader.source(),
+        gtm_header_.epoch,
+        /*detect_dead=*/vc_->options().reliable.window > 1);
+  }
+}
+
+void VcMessageReader::adopt() {
+  const NodeRank origin = source();
+  // Abandon the dead gateway's stream: in paquet mode the reader holds no
+  // partial-packet state, so closing it is a no-op at the BMM level, and
+  // releasing `done` lets the polling actor pick up the replacement
+  // message on this same real channel.
+  incoming_->reader.end_unpacking();
+  incoming_->done->notify_all();
+  incoming_.reset();
+  receiver_.reset();
+  sim::Engine& engine = vc_->domain().engine();
+  const sim::Time poll = vc_->options().reliable.ack_timeout;
+  std::vector<std::byte> skip;
+  for (;;) {
+    if (!vc_->routing().reachable(origin, self_)) {
+      MAD_PANIC("node " + std::to_string(self_) +
+                " cannot adopt the stream from origin " +
+                std::to_string(origin) +
+                ": origin unreachable, no route survives the failed nodes");
+    }
+    auto replacement =
+        endpoint_->collect_replacement(origin, engine.now() + poll);
+    if (!replacement) {
+      continue;  // recheck reachability each ack_timeout slice
+    }
+    incoming_.emplace(std::move(*replacement));
+    const GtmMsgHeader header = read_msg_header(incoming_->reader);
+    MAD_ASSERT(header.final_dst == gtm_header_.final_dst &&
+                   header.origin == gtm_header_.origin &&
+                   header.mtu == gtm_header_.mtu &&
+                   header.flags == gtm_header_.flags,
+               "replayed message does not match the abandoned stream");
+    gtm_header_ = header;  // fresh epoch
+    next_seq_ = 0;
+    ensure_receiver();
+    // The origin replays the whole message; skip what was already
+    // consumed so unpack resumes exactly where the old stream broke.
+    try {
+      for (std::uint64_t b = 0; b < blocks_consumed_; ++b) {
+        const GtmBlockHeader h =
+            receiver_->recv_block_header(incoming_->reader, next_seq_);
+        ++next_seq_;
+        MAD_ASSERT(h.end_of_message == 0,
+                   "replayed message shorter than the consumed prefix");
+        skip.resize(h.size);
+        const std::uint64_t fragments = fragment_count(h.size, mtu_);
+        for (std::uint64_t i = 0; i < fragments; ++i) {
+          const std::uint32_t fsize = fragment_size(h.size, mtu_, i);
+          receiver_->recv(incoming_->reader, next_seq_,
+                          util::MutByteSpan(skip).subspan(i * mtu_, fsize));
+          ++next_seq_;
+        }
+      }
+      return;
+    } catch (const PeerDied&) {
+      // The replacement's gateway died too: abandon again, keep waiting.
+      incoming_->reader.end_unpacking();
+      incoming_->done->notify_all();
+      incoming_.reset();
+      receiver_.reset();
+    }
+  }
+}
+
 NodeRank VcMessageReader::source() const {
-  return static_cast<NodeRank>(incoming_.preamble.origin);
+  return static_cast<NodeRank>(incoming_->preamble.origin);
 }
 
 void VcMessageReader::unpack(util::MutByteSpan dst, SendMode smode,
                              RecvMode rmode) {
   MAD_ASSERT(!ended_, "unpack after end_unpacking");
   if (!forwarded()) {
-    incoming_.reader.unpack(dst, smode, rmode);
+    incoming_->reader.unpack(dst, smode, rmode);
     return;
   }
   if (striped()) {
@@ -550,31 +700,38 @@ void VcMessageReader::unpack(util::MutByteSpan dst, SendMode smode,
   }
   if (reliable_) {
     // The per-hop stream peer is whoever sent on this real channel — the
-    // last gateway in general (incoming_.reader.source(), not the
+    // last gateway in general (incoming_->reader.source(), not the
     // preamble origin).
-    const NodeRank peer = incoming_.reader.source();
-    const GtmBlockHeader header = recv_block_header_reliably(
-        *vc_, self_, incoming_.reader, *incoming_.channel, peer,
-        gtm_header_.epoch, next_seq_++, scratch_);
-    MAD_ASSERT(header.end_of_message == 0,
-               "unpack past the end of a forwarded message");
-    MAD_ASSERT(header.size == dst.size(),
-               "unpack size " + std::to_string(dst.size()) +
-                   " does not match packed size " +
-                   std::to_string(header.size));
-    MAD_ASSERT(decode_smode(header.smode) == smode &&
-                   decode_rmode(header.rmode) == rmode,
-               "unpack flags do not match the pack flags");
-    const std::uint64_t fragments = fragment_count(header.size, mtu_);
-    for (std::uint64_t i = 0; i < fragments; ++i) {
-      const std::uint32_t fsize = fragment_size(header.size, mtu_, i);
-      recv_paquet_reliably(*vc_, self_, incoming_.reader, *incoming_.channel,
-                           peer, gtm_header_.epoch, next_seq_++,
-                           dst.subspan(i * mtu_, fsize), scratch_);
+    for (;;) {
+      try {
+        ensure_receiver();
+        const GtmBlockHeader header =
+            receiver_->recv_block_header(incoming_->reader, next_seq_);
+        ++next_seq_;
+        MAD_ASSERT(header.end_of_message == 0,
+                   "unpack past the end of a forwarded message");
+        MAD_ASSERT(header.size == dst.size(),
+                   "unpack size " + std::to_string(dst.size()) +
+                       " does not match packed size " +
+                       std::to_string(header.size));
+        MAD_ASSERT(decode_smode(header.smode) == smode &&
+                       decode_rmode(header.rmode) == rmode,
+                   "unpack flags do not match the pack flags");
+        const std::uint64_t fragments = fragment_count(header.size, mtu_);
+        for (std::uint64_t i = 0; i < fragments; ++i) {
+          const std::uint32_t fsize = fragment_size(header.size, mtu_, i);
+          receiver_->recv(incoming_->reader, next_seq_,
+                          dst.subspan(i * mtu_, fsize));
+          ++next_seq_;
+        }
+        ++blocks_consumed_;
+        return;
+      } catch (const PeerDied&) {
+        adopt();  // restarts this block on the replayed stream
+      }
     }
-    return;
   }
-  const GtmBlockHeader header = read_block_header(incoming_.reader);
+  const GtmBlockHeader header = read_block_header(incoming_->reader);
   MAD_ASSERT(header.end_of_message == 0,
              "unpack past the end of a forwarded message");
   MAD_ASSERT(header.size == dst.size(),
@@ -586,8 +743,8 @@ void VcMessageReader::unpack(util::MutByteSpan dst, SendMode smode,
   const std::uint64_t fragments = fragment_count(header.size, mtu_);
   for (std::uint64_t i = 0; i < fragments; ++i) {
     const std::uint32_t fsize = fragment_size(header.size, mtu_, i);
-    incoming_.reader.unpack(dst.subspan(i * mtu_, fsize), SendMode::Cheaper,
-                            RecvMode::Express);
+    incoming_->reader.unpack(dst.subspan(i * mtu_, fsize), SendMode::Cheaper,
+                             RecvMode::Express);
   }
 }
 
@@ -598,27 +755,34 @@ void VcMessageReader::end_unpacking() {
     // reassembler yet — build it so rails 1..k-1 get claimed and closed).
     ensure_reassembler();
     reassembler_->end_unpacking();
-    incoming_.reader.end_unpacking();
+    incoming_->reader.end_unpacking();
     ended_ = true;
-    incoming_.done->notify_all();
+    incoming_->done->notify_all();
     return;
   }
   if (forwarded() && reliable_) {
     // The end marker is a reliable paquet too: its ack confirms the whole
     // message made it across this hop.
-    const GtmBlockHeader marker = recv_block_header_reliably(
-        *vc_, self_, incoming_.reader, *incoming_.channel,
-        incoming_.reader.source(), gtm_header_.epoch, next_seq_, scratch_);
-    MAD_ASSERT(marker.end_of_message == 1,
-               "end_unpacking before all blocks were consumed");
+    for (;;) {
+      try {
+        ensure_receiver();
+        const GtmBlockHeader marker =
+            receiver_->recv_block_header(incoming_->reader, next_seq_);
+        MAD_ASSERT(marker.end_of_message == 1,
+                   "end_unpacking before all blocks were consumed");
+        break;
+      } catch (const PeerDied&) {
+        adopt();
+      }
+    }
   } else if (forwarded()) {
-    const GtmBlockHeader marker = read_block_header(incoming_.reader);
+    const GtmBlockHeader marker = read_block_header(incoming_->reader);
     MAD_ASSERT(marker.end_of_message == 1,
                "end_unpacking before all blocks were consumed");
   }
-  incoming_.reader.end_unpacking();
+  incoming_->reader.end_unpacking();
   ended_ = true;
-  incoming_.done->notify_all();
+  incoming_->done->notify_all();
 }
 
 }  // namespace mad::fwd

@@ -112,6 +112,14 @@ class VirtualChannel {
   const topo::Routing& routing() const { return *routing_; }
   const topo::Topology& topology() const { return *topology_; }
 
+  /// Reliable mode: discards paquets of a *finished* stream that arrive
+  /// after their message completed (late retransmits, wire duplicates) and
+  /// queue ahead of the next message's preamble. Sound because every
+  /// message opens with the preamble paquet and the preamble is strictly
+  /// smaller than any reliable paquet (see generic_tm.hpp), so at a
+  /// message boundary the wire size alone identifies a stale paquet.
+  void drain_stale_paquets(MessageReader& reader, NodeRank self);
+
   /// Declares a node dead (reliable mode, after a hop exhausted its retry
   /// budget): removes it from the routing graph and recomputes all routes,
   /// so subsequent and in-flight messages fail over. Idempotent.
@@ -213,10 +221,18 @@ class VcEndpoint {
   std::optional<VcMessageReader> begin_unpacking_until(sim::Time deadline);
 
   /// Messages parked in the inbox right now.
-  std::size_t pending_messages() const { return inbox_.size(); }
+  std::size_t pending_messages() const {
+    return inbox_.size() + pending_.size();
+  }
 
   sim::Mailbox<VcIncoming>& inbox() { return inbox_; }
   sim::Mailbox<StripeIncoming>& stripe_inbox() { return stripe_inbox_; }
+
+  /// Waits (until `deadline`) for a forwarded message from `origin` — the
+  /// replayed stream a reader adopts after its upstream gateway died.
+  /// Non-matching arrivals are stashed for later begin_unpacking calls.
+  std::optional<VcIncoming> collect_replacement(NodeRank origin,
+                                                sim::Time deadline);
 
   /// Claims the parked rail message matching (origin, stripe_id, rail),
   /// blocking until it arrives; non-matching arrivals are stashed for the
@@ -232,6 +248,10 @@ class VcEndpoint {
   NodeRank rank_;
   sim::Mailbox<VcIncoming> inbox_;
   sim::Mailbox<StripeIncoming> stripe_inbox_;
+  // Messages received while hunting for a replacement stream; served to
+  // later begin_unpacking calls ahead of the inbox (a list for the same
+  // move-assignability reason as stripe_pending_).
+  std::list<VcIncoming> pending_;
   // Parked rails not yet claimed; a list so claiming one (erase) never
   // needs StripeIncoming to be move-assignable (MessageReader is not).
   std::list<StripeIncoming> stripe_pending_;
@@ -250,6 +270,9 @@ class VcMessageWriter {
   bool direct() const { return direct_; }
   /// True when this message is split across several rails.
   bool striped() const { return striper_ != nullptr; }
+  /// The striper of a striped message (rail credit accounting etc);
+  /// nullptr on single-rail messages.
+  const Striper* striper() const { return striper_.get(); }
 
   void pack(util::ByteSpan data, SendMode smode = SendMode::Cheaper,
             RecvMode rmode = RecvMode::Cheaper);
@@ -265,6 +288,10 @@ class VcMessageWriter {
   // Reliable mode: (re)opens the per-hop stream toward the current first
   // hop with a fresh epoch.
   void open_reliable_hop();
+  // The per-hop window sender, created lazily at the first emit so the
+  // writer may be moved after construction (the sender keeps a reference
+  // into inner_).
+  ReliableSender& sender();
   // One packed block, kept for replay across failovers.
   struct ReplayBlock {
     std::vector<std::byte> data;
@@ -290,8 +317,8 @@ class VcMessageWriter {
   NodeRank next_hop_ = -1;
   std::uint32_t epoch_ = 0;
   std::uint32_t seq_ = 0;
+  std::unique_ptr<ReliableSender> sender_;
   std::vector<ReplayBlock> replay_;
-  std::vector<std::byte> scratch_;
 };
 
 class VcMessageReader {
@@ -303,7 +330,7 @@ class VcMessageReader {
 
   /// The ORIGIN of the message (not the last gateway).
   NodeRank source() const;
-  bool forwarded() const { return incoming_.preamble.forwarded != 0; }
+  bool forwarded() const { return incoming_->preamble.forwarded != 0; }
   bool striped() const { return (gtm_header_.flags & kGtmFlagStriped) != 0; }
   /// The reassembler of a striped message (per-rail paquet counts etc);
   /// exists once the first unpack ran.
@@ -329,8 +356,18 @@ class VcMessageReader {
   // object, which must not move afterwards (readers are only moved
   // between begin_unpacking and the first unpack).
   void ensure_reassembler();
+  // The per-hop window receiver, created lazily at the first unpack for
+  // the same movability reason.
+  void ensure_receiver();
+  // Reliable window > 1 only: the upstream gateway died mid-stream.
+  // Abandons the current real-channel stream and waits for the origin's
+  // replayed message on the failover route, skipping the blocks this
+  // reader already consumed.
+  void adopt();
 
-  VcIncoming incoming_;
+  // An optional so adoption can replace it (VcIncoming is movable but not
+  // move-assignable).
+  std::optional<VcIncoming> incoming_;
   VirtualChannel* vc_ = nullptr;
   VcEndpoint* endpoint_ = nullptr;
   NodeRank self_ = -1;
@@ -342,7 +379,8 @@ class VcMessageReader {
   // Reliable (forwarded) mode state.
   bool reliable_ = false;
   std::uint32_t next_seq_ = 0;
-  std::vector<std::byte> scratch_;
+  std::uint64_t blocks_consumed_ = 0;  // completed blocks (adoption skip)
+  std::unique_ptr<ReliableReceiver> receiver_;
 };
 
 }  // namespace mad::fwd

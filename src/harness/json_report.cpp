@@ -23,8 +23,10 @@ std::string reliability_object(const fwd::ReliabilityStats& r) {
   std::ostringstream os;
   os << "{\"paquets_acked\":" << r.paquets_acked
      << ",\"retransmits\":" << r.retransmits
+     << ",\"fast_retransmits\":" << r.fast_retransmits
      << ",\"timeouts\":" << r.timeouts << ",\"dup_drops\":" << r.dup_drops
      << ",\"corrupt_drops\":" << r.corrupt_drops
+     << ",\"stale_drops\":" << r.stale_drops
      << ",\"failovers\":" << r.failovers
      << ",\"peers_declared_dead\":" << r.peers_declared_dead << "}";
   return os.str();

@@ -65,9 +65,11 @@ fwd::ReliabilityStats reliability_totals(const fwd::VirtualChannel& vc) {
     const fwd::ReliabilityStats& r = vc.gateway_stats(rank).reliability;
     total.paquets_acked += r.paquets_acked;
     total.retransmits += r.retransmits;
+    total.fast_retransmits += r.fast_retransmits;
     total.timeouts += r.timeouts;
     total.dup_drops += r.dup_drops;
     total.corrupt_drops += r.corrupt_drops;
+    total.stale_drops += r.stale_drops;
     total.failovers += r.failovers;
     total.peers_declared_dead += r.peers_declared_dead;
   }
@@ -75,38 +77,46 @@ fwd::ReliabilityStats reliability_totals(const fwd::VirtualChannel& vc) {
 }
 
 void print_reliability(const fwd::VirtualChannel& vc) {
-  const char* const header_fmt = "%-6s %12s %12s %12s %12s %12s %12s %12s\n";
+  const char* const header_fmt =
+      "%-6s %12s %12s %12s %12s %12s %12s %12s %12s %12s\n";
   const char* const row_fmt =
-      "%-6s %12llu %12llu %12llu %12llu %12llu %12llu %12llu\n";
+      "%-6s %12llu %12llu %12llu %12llu %12llu %12llu %12llu %12llu %12llu\n";
   const auto row = [&](const char* label, const fwd::ReliabilityStats& r) {
     std::printf(row_fmt, label,
                 static_cast<unsigned long long>(r.paquets_acked),
                 static_cast<unsigned long long>(r.retransmits),
+                static_cast<unsigned long long>(r.fast_retransmits),
                 static_cast<unsigned long long>(r.timeouts),
                 static_cast<unsigned long long>(r.dup_drops),
                 static_cast<unsigned long long>(r.corrupt_drops),
+                static_cast<unsigned long long>(r.stale_drops),
                 static_cast<unsigned long long>(r.failovers),
                 static_cast<unsigned long long>(r.peers_declared_dead));
-    std::printf("csv,reliability,%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
-                label, static_cast<unsigned long long>(r.paquets_acked),
-                static_cast<unsigned long long>(r.retransmits),
-                static_cast<unsigned long long>(r.timeouts),
-                static_cast<unsigned long long>(r.dup_drops),
-                static_cast<unsigned long long>(r.corrupt_drops),
-                static_cast<unsigned long long>(r.failovers),
-                static_cast<unsigned long long>(r.peers_declared_dead));
+    std::printf(
+        "csv,reliability,%s,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+        label, static_cast<unsigned long long>(r.paquets_acked),
+        static_cast<unsigned long long>(r.retransmits),
+        static_cast<unsigned long long>(r.fast_retransmits),
+        static_cast<unsigned long long>(r.timeouts),
+        static_cast<unsigned long long>(r.dup_drops),
+        static_cast<unsigned long long>(r.corrupt_drops),
+        static_cast<unsigned long long>(r.stale_drops),
+        static_cast<unsigned long long>(r.failovers),
+        static_cast<unsigned long long>(r.peers_declared_dead));
   };
   std::printf("\n=== reliability: %s ===\n", vc.name().c_str());
-  std::printf(header_fmt, "node", "acked", "retransmits", "timeouts",
-              "dup_drops", "corrupt", "failovers", "dead_peers");
+  std::printf(header_fmt, "node", "acked", "retransmits", "fast_rtx",
+              "timeouts", "dup_drops", "corrupt", "stale", "failovers",
+              "dead_peers");
   for (NodeRank rank = 0;
        static_cast<std::size_t>(rank) < vc.domain().node_count(); ++rank) {
     if (!vc.is_member(rank)) {
       continue;
     }
     const fwd::ReliabilityStats& r = vc.gateway_stats(rank).reliability;
-    if (r.paquets_acked == 0 && r.retransmits == 0 && r.timeouts == 0 &&
-        r.dup_drops == 0 && r.corrupt_drops == 0 && r.failovers == 0 &&
+    if (r.paquets_acked == 0 && r.retransmits == 0 &&
+        r.fast_retransmits == 0 && r.timeouts == 0 && r.dup_drops == 0 &&
+        r.corrupt_drops == 0 && r.stale_drops == 0 && r.failovers == 0 &&
         r.peers_declared_dead == 0) {
       continue;
     }

@@ -11,6 +11,15 @@ std::uint32_t BmmRx::unpack_paquet(util::MutByteSpan /*capacity*/) {
   MAD_PANIC("this BMM shape does not support paquet-granular receive");
 }
 
+std::uint32_t BmmRx::peek_paquet_size() {
+  MAD_PANIC("this BMM shape does not support paquet-granular receive");
+}
+
+std::optional<std::uint32_t> BmmRx::unpack_paquet_until(
+    util::MutByteSpan /*capacity*/, sim::Time /*deadline*/) {
+  MAD_PANIC("this BMM shape does not support paquet-granular receive");
+}
+
 // ---------------------------------------------------------------- dynamic tx
 
 DynamicAggregTx::DynamicAggregTx(TransmissionModule& tm, TxRoute route,
@@ -117,6 +126,28 @@ std::uint32_t DynamicAggregRx::unpack_paquet(util::MutByteSpan capacity) {
   return info.size;
 }
 
+std::optional<std::uint32_t> DynamicAggregRx::unpack_paquet_until(
+    util::MutByteSpan capacity, sim::Time deadline) {
+  MAD_ASSERT(pending_.empty(),
+             "unpack_paquet with partial-packet state pending");
+  const auto info = tm_.peek_packet_until(route_.tag, deadline);
+  if (!info.has_value()) {
+    return std::nullopt;
+  }
+  MAD_ASSERT(info->size <= capacity.size(),
+             "paquet of " + std::to_string(info->size) +
+                 " bytes exceeds receive capacity " +
+                 std::to_string(capacity.size()));
+  tm_.recv_packet(route_.tag, util::MutIovec{capacity.first(info->size)});
+  return info->size;
+}
+
+std::uint32_t DynamicAggregRx::peek_paquet_size() {
+  MAD_ASSERT(pending_.empty(),
+             "peek_paquet_size with partial-packet state pending");
+  return tm_.peek_packet(route_.tag).size;
+}
+
 // ---------------------------------------------------------------- hybrid
 
 HybridTx::HybridTx(TransmissionModule& tm, TxRoute route,
@@ -188,6 +219,30 @@ std::uint32_t HybridRx::unpack_paquet(util::MutByteSpan capacity) {
   MAD_ASSERT(info.size <= capacity.size(), "paquet exceeds receive capacity");
   tm_.recv_packet(route_.tag, util::MutIovec{capacity.first(info.size)});
   return info.size;
+}
+
+std::optional<std::uint32_t> HybridRx::unpack_paquet_until(
+    util::MutByteSpan capacity, sim::Time deadline) {
+  rdma_.flush();
+  const auto info = tm_.peek_packet_until(route_.tag, deadline);
+  if (!info.has_value()) {
+    return std::nullopt;
+  }
+  if (info->size < threshold_) {
+    auto buffer = tm_.recv_packet_static(route_.tag);
+    MAD_ASSERT(buffer.used() <= capacity.size(),
+               "paquet exceeds receive capacity");
+    counted_copy(capacity.first(buffer.used()), buffer.data());
+    return static_cast<std::uint32_t>(buffer.used());
+  }
+  MAD_ASSERT(info->size <= capacity.size(), "paquet exceeds receive capacity");
+  tm_.recv_packet(route_.tag, util::MutIovec{capacity.first(info->size)});
+  return info->size;
+}
+
+std::uint32_t HybridRx::peek_paquet_size() {
+  rdma_.flush();
+  return tm_.peek_packet(route_.tag).size;
 }
 
 // ----------------------------------------------------------------- static tx
@@ -273,6 +328,26 @@ std::uint32_t StaticRx::unpack_paquet(util::MutByteSpan capacity) {
              "paquet exceeds receive capacity");
   counted_copy(capacity.first(buffer.used()), buffer.data());
   return static_cast<std::uint32_t>(buffer.used());
+}
+
+std::optional<std::uint32_t> StaticRx::unpack_paquet_until(
+    util::MutByteSpan capacity, sim::Time deadline) {
+  MAD_ASSERT(!current_.valid(),
+             "unpack_paquet with partial-buffer state pending");
+  if (!tm_.peek_packet_until(route_.tag, deadline).has_value()) {
+    return std::nullopt;
+  }
+  auto buffer = tm_.recv_packet_static(route_.tag);
+  MAD_ASSERT(buffer.used() <= capacity.size(),
+             "paquet exceeds receive capacity");
+  counted_copy(capacity.first(buffer.used()), buffer.data());
+  return static_cast<std::uint32_t>(buffer.used());
+}
+
+std::uint32_t StaticRx::peek_paquet_size() {
+  MAD_ASSERT(!current_.valid(),
+             "peek_paquet_size with partial-buffer state pending");
+  return tm_.peek_packet(route_.tag).size;
 }
 
 }  // namespace mad

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "mad/buffer.hpp"
@@ -52,6 +53,15 @@ class BmmRx {
   /// fragment). Only valid between Express boundaries, when the shape
   /// holds no partial-packet state; shapes that cannot support it panic.
   virtual std::uint32_t unpack_paquet(util::MutByteSpan capacity);
+  /// Timed unpack_paquet: nullopt when no packet arrives by `deadline`.
+  /// The sliding-window receiver polls with this so it can notice a dead
+  /// sender instead of blocking forever.
+  virtual std::optional<std::uint32_t> unpack_paquet_until(
+      util::MutByteSpan capacity, sim::Time deadline);
+  /// Size of the next wire paquet without consuming it (blocks until one
+  /// arrives). Reliable mode uses this at message boundaries to spot late
+  /// retransmits of the previous stream in front of the next preamble.
+  virtual std::uint32_t peek_paquet_size();
 };
 
 /// Where a Tx sends to / an Rx receives from.
@@ -94,6 +104,9 @@ class DynamicAggregRx final : public BmmRx {
   void unpack(util::MutByteSpan dst, SendMode smode, RecvMode rmode) override;
   void finish() override;
   std::uint32_t unpack_paquet(util::MutByteSpan capacity) override;
+  std::optional<std::uint32_t> unpack_paquet_until(
+      util::MutByteSpan capacity, sim::Time deadline) override;
+  std::uint32_t peek_paquet_size() override;
   void flush();
 
  private:
@@ -134,6 +147,9 @@ class HybridRx final : public BmmRx {
   void unpack(util::MutByteSpan dst, SendMode smode, RecvMode rmode) override;
   void finish() override;
   std::uint32_t unpack_paquet(util::MutByteSpan capacity) override;
+  std::optional<std::uint32_t> unpack_paquet_until(
+      util::MutByteSpan capacity, sim::Time deadline) override;
+  std::uint32_t peek_paquet_size() override;
 
  private:
   TransmissionModule& tm_;
@@ -165,6 +181,9 @@ class StaticRx final : public BmmRx {
   void unpack(util::MutByteSpan dst, SendMode smode, RecvMode rmode) override;
   void finish() override;
   std::uint32_t unpack_paquet(util::MutByteSpan capacity) override;
+  std::optional<std::uint32_t> unpack_paquet_until(
+      util::MutByteSpan capacity, sim::Time deadline) override;
+  std::uint32_t peek_paquet_size() override;
 
  private:
   TransmissionModule& tm_;

@@ -96,6 +96,21 @@ std::uint32_t MessageReader::unpack_paquet(util::MutByteSpan capacity) {
   return size;
 }
 
+std::uint32_t MessageReader::peek_paquet_size() {
+  MAD_ASSERT(!ended_, "peek_paquet_size after end_unpacking");
+  return bmm_->peek_paquet_size();
+}
+
+std::optional<std::uint32_t> MessageReader::unpack_paquet_until(
+    util::MutByteSpan capacity, sim::Time deadline) {
+  MAD_ASSERT(!ended_, "unpack_paquet after end_unpacking");
+  const auto size = bmm_->unpack_paquet_until(capacity, deadline);
+  if (size.has_value()) {
+    payload_bytes_ += *size;
+  }
+  return size;
+}
+
 void MessageReader::end_unpacking() {
   MAD_ASSERT(!ended_, "end_unpacking called twice");
   bmm_->finish();

@@ -85,6 +85,16 @@ class MessageReader {
   /// (see BmmRx::unpack_paquet).
   std::uint32_t unpack_paquet(util::MutByteSpan capacity);
 
+  /// Timed unpack_paquet: nullopt when no packet arrives by `deadline`
+  /// (sliding-window receivers poll so a dead sender is noticed).
+  std::optional<std::uint32_t> unpack_paquet_until(util::MutByteSpan capacity,
+                                                   sim::Time deadline);
+
+  /// Size of the next wire paquet without consuming it (blocks until one
+  /// arrives). Reliable mode uses this at message boundaries to recognize
+  /// late retransmits of the previous stream in front of the preamble.
+  std::uint32_t peek_paquet_size();
+
   /// Finalizes extraction (mad_end_unpacking): all Cheaper blocks are
   /// guaranteed filled afterwards.
   void end_unpacking();

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "net/nic.hpp"
@@ -39,6 +40,14 @@ class TransmissionModule {
   /// scatter target from this — a retransmitted duplicate may be smaller
   /// or larger than the expected fragment).
   net::PacketInfo peek_packet(std::uint64_t tag) { return nic_.peek(tag); }
+
+  /// Timed peek: waits until a packet with `tag` is queued or `deadline`
+  /// passes; nullopt on timeout. Lets a reliable receiver poll for its
+  /// peer's liveness instead of blocking forever on a crashed sender.
+  std::optional<net::PacketInfo> peek_packet_until(std::uint64_t tag,
+                                                   sim::Time deadline) {
+    return nic_.peek_until(tag, deadline);
+  }
 
   /// --- static-buffer operations (protocol-owned buffers)
   net::StaticBufferPool::Ref acquire_static_buffer();

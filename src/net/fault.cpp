@@ -111,11 +111,48 @@ void AckRegistry::post(std::uint64_t tag, int receiver_nic,
   if (!s.any || epoch > s.epoch) {
     s.any = true;
     s.epoch = epoch;
+    s.has_cum = true;
     s.max_seq = seq;
     s.visible = visible;
-  } else if (seq > s.max_seq) {
+    s.cum_post_times.clear();
+    s.cum_posts_seen = 0;
+    s.sacks.clear();
+  } else if (!s.has_cum || seq > s.max_seq) {
+    s.has_cum = true;
     s.max_seq = seq;
     s.visible = visible;
+  }
+  // Every cumulative post counts, advancing or not: the window sender
+  // reads duplicate cum acks as "the receiver is still missing my front
+  // paquet" (fast retransmit).
+  s.cum_post_times.push_back(visible);
+  // The cumulative mark supersedes selective acks it covers.
+  while (!s.sacks.empty() && s.sacks.begin()->first <= s.max_seq) {
+    s.sacks.erase(s.sacks.begin());
+  }
+  s.cond->notify_all();
+}
+
+void AckRegistry::post_sack(std::uint64_t tag, int receiver_nic,
+                            std::uint32_t epoch, std::uint32_t seq,
+                            sim::Time visible) {
+  Stream& s = stream(tag, receiver_nic);
+  if (s.any && epoch < s.epoch) {
+    return;
+  }
+  if (!s.any || epoch > s.epoch) {
+    s.any = true;
+    s.epoch = epoch;
+    s.has_cum = false;
+    s.max_seq = 0;
+    s.visible = 0;
+    s.cum_post_times.clear();
+    s.cum_posts_seen = 0;
+    s.sacks.clear();
+  }
+  if (!s.has_cum || seq > s.max_seq) {
+    // Keep the earliest visibility if the same seq is re-sacked.
+    s.sacks.emplace(seq, visible);
   }
   s.cond->notify_all();
 }
@@ -125,7 +162,7 @@ bool AckRegistry::await(std::uint64_t tag, int receiver_nic,
                         sim::Time deadline) {
   Stream& s = stream(tag, receiver_nic);
   for (;;) {
-    if (s.any && s.epoch == epoch && s.max_seq >= seq) {
+    if (s.any && s.epoch == epoch && s.has_cum && s.max_seq >= seq) {
       if (engine_.now() < s.visible) {
         engine_.sleep_until(s.visible);
       }
@@ -136,6 +173,66 @@ bool AckRegistry::await(std::uint64_t tag, int receiver_nic,
     }
     s.cond->wait_until(deadline);
   }
+}
+
+AckView AckRegistry::view(std::uint64_t tag, int receiver_nic,
+                          std::uint32_t epoch) {
+  Stream& s = stream(tag, receiver_nic);
+  AckView v;
+  if (!s.any || s.epoch != epoch) {
+    return v;
+  }
+  const sim::Time now = engine_.now();
+  if (s.has_cum) {
+    if (s.visible <= now) {
+      v.has_cum = true;
+      v.cum_seq = s.max_seq;
+    } else {
+      v.next_visible = std::min(v.next_visible, s.visible);
+    }
+  }
+  while (!s.cum_post_times.empty() && s.cum_post_times.front() <= now) {
+    s.cum_post_times.pop_front();
+    ++s.cum_posts_seen;
+  }
+  v.cum_posts = s.cum_posts_seen;
+  if (!s.cum_post_times.empty()) {
+    v.next_visible = std::min(v.next_visible, s.cum_post_times.front());
+  }
+  for (const auto& [sack_seq, sack_visible] : s.sacks) {
+    if (sack_visible <= now) {
+      v.sacks.push_back(sack_seq);
+    } else {
+      v.next_visible = std::min(v.next_visible, sack_visible);
+    }
+  }
+  return v;
+}
+
+sim::Time AckRegistry::posted_cover_time(std::uint64_t tag, int receiver_nic,
+                                         std::uint32_t epoch,
+                                         std::uint32_t seq) {
+  Stream& s = stream(tag, receiver_nic);
+  if (!s.any || s.epoch != epoch) {
+    return sim::kForever;
+  }
+  if (s.has_cum && s.max_seq >= seq) {
+    return s.visible;
+  }
+  const auto it = s.sacks.find(seq);
+  if (it != s.sacks.end()) {
+    return it->second;
+  }
+  return sim::kForever;
+}
+
+void AckRegistry::wait_activity(std::uint64_t tag, int receiver_nic,
+                                sim::Time deadline) {
+  Stream& s = stream(tag, receiver_nic);
+  if (engine_.now() >= deadline) {
+    return;
+  }
+  s.cond->wait_until(deadline);
 }
 
 }  // namespace mad::net

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -107,35 +108,84 @@ class FaultInjector {
   util::Rng rng_;
 };
 
+/// Sender-visible snapshot of one ack stream at the current virtual time
+/// (AckRegistry::view). Posts whose visibility latency has not elapsed are
+/// excluded; `next_visible` tells the sender when the earliest such post
+/// lands (kForever when nothing is in flight).
+struct AckView {
+  bool has_cum = false;
+  std::uint32_t cum_seq = 0;    // highest contiguous acked seq
+  std::uint64_t cum_posts = 0;  // cum posts seen this epoch, incl. dups
+  std::vector<std::uint32_t> sacks;  // selective acks above cum_seq
+  sim::Time next_visible = sim::kForever;
+};
+
 /// Hop-level acknowledgement board, one per Network.
 ///
 /// A wire stream is identified by (tag, receiver NIC index) — the tag alone
 /// is not enough because a >2-member channel reuses the sender's tx tag
-/// toward every peer. Receivers post the highest contiguous (epoch, seq)
-/// they have accepted; senders await it with a virtual-time deadline. An
-/// ack becomes visible to the sender one wire latency after it is posted,
-/// modelling the reverse control message without simulating its packet.
+/// toward every peer. Receivers post cumulative acks (highest contiguous
+/// (epoch, seq) accepted) and, for the sliding-window protocol, selective
+/// acks for out-of-order paquets parked in the reorder buffer. Senders
+/// either block on one seq with a virtual-time deadline (await — the
+/// stop-and-wait interface) or poll the stream state (view/wait_activity —
+/// the window interface). An ack becomes visible to the sender one wire
+/// latency after it is posted, modelling the reverse control message
+/// without simulating its packet.
 class AckRegistry {
  public:
   AckRegistry(sim::Engine& engine, std::string name);
 
-  /// Records that the receiver accepted (epoch, seq). A newer epoch
-  /// replaces the stream state; within an epoch only the max seq is kept
-  /// (the reliable protocol is stop-and-wait, so acks arrive in order).
+  /// Records that the receiver accepted everything up to (epoch, seq). A
+  /// newer epoch replaces the stream state; within an epoch only the max
+  /// seq advances the cumulative mark, but every post is counted (the
+  /// window protocol reads duplicate cumulative acks as a loss signal).
   void post(std::uint64_t tag, int receiver_nic, std::uint32_t epoch,
             std::uint32_t seq, sim::Time visible);
 
+  /// Records a selective ack: (epoch, seq) was received out of order and
+  /// sits in the receiver's reorder buffer. Ignored when the cumulative
+  /// mark already covers it.
+  void post_sack(std::uint64_t tag, int receiver_nic, std::uint32_t epoch,
+                 std::uint32_t seq, sim::Time visible);
+
   /// Blocks until an ack for (epoch, >= seq) is visible or `deadline`
-  /// passes; returns false on timeout.
+  /// passes; returns false on timeout. A satisfying ack already posted at
+  /// the deadline (visibility latency still running) counts as success —
+  /// the call sleeps out the latency and returns true.
   bool await(std::uint64_t tag, int receiver_nic, std::uint32_t epoch,
              std::uint32_t seq, sim::Time deadline);
+
+  /// Snapshot of the stream state visible at the current virtual time for
+  /// `epoch` (an empty view when the stream is on a different epoch).
+  AckView view(std::uint64_t tag, int receiver_nic, std::uint32_t epoch);
+
+  /// When a post covering (epoch, seq) exists — cumulative or selective,
+  /// visible or with its latency still running — returns its visibility
+  /// time; kForever otherwise. Mirrors await's "posted counts" rule so the
+  /// window sender never times out a paquet whose ack is already on the
+  /// wire.
+  sim::Time posted_cover_time(std::uint64_t tag, int receiver_nic,
+                              std::uint32_t epoch, std::uint32_t seq);
+
+  /// Parks the caller until any post lands on the stream or `deadline`
+  /// passes (the window sender's wait primitive; it re-reads view() after
+  /// every wake).
+  void wait_activity(std::uint64_t tag, int receiver_nic,
+                     sim::Time deadline);
 
  private:
   struct Stream {
     bool any = false;
     std::uint32_t epoch = 0;
+    bool has_cum = false;      // a cumulative post arrived this epoch
     std::uint32_t max_seq = 0;
-    sim::Time visible = 0;
+    sim::Time visible = 0;     // visibility of the latest cum advance
+    // Visibility times of cum posts not yet folded into cum_posts_seen
+    // (monotonic: posts happen in time order with a constant latency).
+    std::deque<sim::Time> cum_post_times;
+    std::uint64_t cum_posts_seen = 0;
+    std::map<std::uint32_t, sim::Time> sacks;  // seq -> visibility
     std::unique_ptr<sim::Condition> cond;
   };
 

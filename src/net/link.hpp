@@ -84,6 +84,11 @@ class Network {
   void post_ack(std::uint64_t tag, int receiver_nic, int sender_nic,
                 std::uint32_t epoch, std::uint32_t seq);
 
+  /// Same fault handling for a selective ack (out-of-order paquet parked in
+  /// the receiver's reorder buffer — sliding-window mode only).
+  void post_sack(std::uint64_t tag, int receiver_nic, int sender_nic,
+                 std::uint32_t epoch, std::uint32_t seq);
+
  private:
   PacketLog* packet_log_ = nullptr;
   sim::MetricsRegistry* metrics_ = nullptr;

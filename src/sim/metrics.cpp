@@ -41,6 +41,12 @@ double LatencyHistogram::percentile(double q) const {
     return 0.0;
   }
   q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) {
+    // target would be 0, which every bucket "covers" — the interpolation
+    // below would report the first non-empty bucket's lower bound instead
+    // of the observed minimum.
+    return min_;
+  }
   const double target = q * static_cast<double>(count_);
   double cumulative = 0.0;
   for (int b = 0; b < kBuckets; ++b) {
@@ -50,8 +56,7 @@ double LatencyHistogram::percentile(double q) const {
       continue;
     }
     if (cumulative + in_bucket >= target) {
-      const double fraction =
-          in_bucket == 0.0 ? 0.0 : (target - cumulative) / in_bucket;
+      const double fraction = (target - cumulative) / in_bucket;
       const double low = bucket_lower(b);
       const double high = bucket_upper(b);
       const double estimate = low + fraction * (high - low);

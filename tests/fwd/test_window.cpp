@@ -1,0 +1,325 @@
+// Sliding-window reliable forwarding (fwd/reliable.hpp): window > 1
+// pipelining, loss recovery through the reorder buffer and selective acks,
+// fast retransmit on duplicate cumulative acks, RTO backoff clamping,
+// mid-stream failover with stream adoption, per-rail windows under
+// striping, and option validation.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "fwd/reliable.hpp"
+#include "fwd/stripe.hpp"
+#include "net/fault.hpp"
+#include "support/coc_rig.hpp"
+#include "util/panic.hpp"
+#include "util/rng.hpp"
+
+namespace mad::fwd {
+namespace {
+
+using testsupport::DisjointRailRig;
+using testsupport::DualGatewayRig;
+using testsupport::PaperRig;
+
+fwd::VcOptions windowed_options(int window,
+                                std::uint32_t paquet_size = 16 * 1024) {
+  fwd::VcOptions options;
+  options.paquet_size = paquet_size;
+  options.reliable.enabled = true;
+  options.reliable.window = window;
+  return options;
+}
+
+/// One reliable m0 -> s0 transfer on a PaperRig with the given options and
+/// fault plan on the SCI hop; checks the payload and returns the rig for
+/// stat inspection.
+void run_transfer(PaperRig& rig, std::size_t bytes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto payload = rng.bytes(bytes);
+  auto out = std::make_shared<std::vector<std::byte>>(bytes);
+  rig.engine.spawn("s", [&rig, payload] {
+    auto msg = rig.ep(rig.myri_node()).begin_packing(rig.sci_node());
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&rig, out] {
+    auto msg = rig.ep(rig.sci_node()).begin_unpacking();
+    msg.unpack(*out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(*out, payload) << "window protocol corrupted the payload";
+}
+
+TEST(Window, CleanTransferPipelinesWithoutRetransmits) {
+  PaperRig rig(windowed_options(16));
+  run_transfer(rig, 1 << 20, /*seed=*/31);
+  // Nothing was lost, so nothing may have been resent or timed out.
+  for (NodeRank rank = 0; rank < 3; ++rank) {
+    const fwd::ReliabilityStats& r = rig.vc->gateway_stats(rank).reliability;
+    EXPECT_EQ(r.retransmits, 0u) << "node " << rank;
+    EXPECT_EQ(r.fast_retransmits, 0u) << "node " << rank;
+    EXPECT_EQ(r.timeouts, 0u) << "node " << rank;
+  }
+  EXPECT_GT(rig.vc->gateway_stats(0).reliability.paquets_acked, 0u);
+}
+
+TEST(Window, LossyTransferSurvivesAtEveryWindow) {
+  for (const int window : {2, 4, 16}) {
+    PaperRig rig(windowed_options(window));
+    net::FaultPlan plan;
+    plan.seed = 1;
+    plan.drop_rate = 0.02;
+    rig.sci.set_fault_plan(plan);
+    run_transfer(rig, 1 << 20, /*seed=*/32);
+    EXPECT_GT(rig.sci.fault_injector()->stats().dropped, 0u)
+        << "window " << window << ": plan never dropped anything";
+    EXPECT_GT(rig.vc->gateway_stats(rig.gateway_rank).reliability.retransmits,
+              0u)
+        << "window " << window;
+  }
+}
+
+TEST(Window, HeavyFaultMixExercisesTheReorderBuffer) {
+  // Drops force out-of-order arrival (paquets behind the hole keep
+  // landing at window 32), duplicates hit the dup filter for both parked
+  // and released paquets, corruption hits the checksum.
+  PaperRig rig(windowed_options(32));
+  net::FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_rate = 0.05;
+  plan.duplicate_rate = 0.05;
+  plan.corrupt_rate = 0.02;
+  rig.myri.set_fault_plan(plan);
+  rig.sci.set_fault_plan(plan);
+  run_transfer(rig, 2 << 20, /*seed=*/33);
+  fwd::ReliabilityStats total;
+  for (NodeRank rank = 0; rank < 3; ++rank) {
+    const fwd::ReliabilityStats& r = rig.vc->gateway_stats(rank).reliability;
+    total.retransmits += r.retransmits;
+    total.dup_drops += r.dup_drops;
+    total.corrupt_drops += r.corrupt_drops;
+  }
+  EXPECT_GT(total.retransmits, 0u);
+  EXPECT_GT(total.dup_drops, 0u);
+  EXPECT_GT(total.corrupt_drops, 0u);
+}
+
+TEST(Window, DuplicateCumAcksTriggerFastRetransmit) {
+  // A dropped paquet followed by in-window successors makes the receiver
+  // re-post its cumulative ack per successor; three duplicates must resend
+  // the window's front before its timer expires.
+  PaperRig rig(windowed_options(16));
+  net::FaultPlan plan;
+  plan.seed = 13;
+  plan.drop_rate = 0.03;
+  rig.sci.set_fault_plan(plan);
+  run_transfer(rig, 2 << 20, /*seed=*/34);
+  const fwd::ReliabilityStats& gw =
+      rig.vc->gateway_stats(rig.gateway_rank).reliability;
+  EXPECT_GT(gw.fast_retransmits, 0u);
+  EXPECT_GE(gw.retransmits, gw.fast_retransmits)
+      << "fast retransmits are a subset of retransmits";
+}
+
+TEST(Window, WindowOneNeverFastRetransmits) {
+  // window = 1 is the stop-and-wait protocol: recovery is timer-driven
+  // only, exactly as in the original implementation.
+  PaperRig rig(windowed_options(1));
+  net::FaultPlan plan;
+  plan.seed = 1;
+  plan.drop_rate = 0.02;
+  rig.sci.set_fault_plan(plan);
+  run_transfer(rig, 1 << 20, /*seed=*/35);
+  const fwd::ReliabilityStats& gw =
+      rig.vc->gateway_stats(rig.gateway_rank).reliability;
+  EXPECT_GT(gw.retransmits, 0u);
+  EXPECT_EQ(gw.fast_retransmits, 0u);
+}
+
+TEST(Window, WindowMetricsAreRecorded) {
+  PaperRig rig(windowed_options(8));
+  rig.fabric.metrics().enable();
+  run_transfer(rig, 1 << 20, /*seed=*/36);
+  sim::MetricsRegistry& metrics = rig.fabric.metrics();
+  // The origin's sender sampled occupancy on every send and RTTs from the
+  // ack round trips (window > 1 enables RTT sampling).
+  EXPECT_GT(metrics.histogram("rel.window_occupancy", "node=0").count(), 0u);
+  EXPECT_GT(metrics.histogram("rel.rtt_us", "node=0").count(), 0u);
+  EXPECT_GT(metrics.counter("rel.paquets_acked", "node=0").value, 0u);
+}
+
+TEST(Window, GatewayCrashFailsOverMidStreamAtWindowEight) {
+  // The cut-through relay path: gw1 dies mid-message while paquets are in
+  // flight on both hops. The origin must declare it dead and replay via
+  // gw2; the final receiver abandons the partial stream and adopts the
+  // replay — the application sees nothing but delay.
+  DualGatewayRig rig(windowed_options(8));
+  const sim::Time crash_at = sim::milliseconds(4);
+  net::FaultPlan myri_plan;
+  myri_plan.crashes.push_back({/*nic_index=*/1, crash_at});  // gw1 on myri
+  rig.myri.set_fault_plan(myri_plan);
+  net::FaultPlan sci_plan;
+  sci_plan.crashes.push_back({/*nic_index=*/0, crash_at});  // gw1 on sci
+  rig.sci.set_fault_plan(sci_plan);
+  util::Rng rng(37);
+  const std::size_t bytes = 1 << 20;
+  const auto payload = rng.bytes(bytes);
+  std::vector<std::byte> out(bytes);
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(0).begin_packing(3);
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(3).begin_unpacking();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(out, payload);
+  const fwd::ReliabilityStats& sender = rig.vc->gateway_stats(0).reliability;
+  EXPECT_GE(sender.failovers, 1u);
+  EXPECT_GE(sender.peers_declared_dead, 1u);
+  EXPECT_TRUE(rig.vc->is_dead(1));
+  EXPECT_FALSE(rig.vc->is_dead(2));
+}
+
+TEST(Window, StripedRailsComposeWithPerRailWindows) {
+  fwd::VcOptions options = windowed_options(4);
+  options.max_rails = 2;
+  DisjointRailRig rig(options);
+  net::FaultPlan plan;
+  plan.seed = 5;
+  plan.drop_rate = 0.05;
+  rig.sci.set_fault_plan(plan);  // both rails cross the lossy SCI segment
+  util::Rng rng(38);
+  const std::size_t bytes = 1 << 20;
+  const auto payload = rng.bytes(bytes);
+  std::vector<std::byte> out(bytes);
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(0).begin_packing(3);
+    EXPECT_TRUE(msg.striped());
+    msg.pack(payload);
+    msg.end_packing();
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(3).begin_unpacking();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(out, payload);
+  EXPECT_GT(rig.sci.fault_injector()->stats().dropped, 0u);
+  const std::uint64_t retransmits =
+      rig.vc->gateway_stats(1).reliability.retransmits +
+      rig.vc->gateway_stats(2).reliability.retransmits;
+  EXPECT_GT(retransmits, 0u);
+}
+
+TEST(Window, CrashMidStripeLeavesNoCreditLeak) {
+  // Satellite regression: rail 0's gateway dies mid-stripe, the rail
+  // repairs onto gw2's route, and every credit the producer acquired must
+  // be back in the window once the message is fully packed — HopFailure
+  // and replay paths hand credits back, they don't strand them.
+  fwd::VcOptions options = windowed_options(4);
+  options.max_rails = 2;
+  DisjointRailRig rig(options);
+  net::FaultPlan sci_plan;
+  const sim::Time crash_at = sim::milliseconds(4);
+  sci_plan.crashes.push_back({/*nic_index=*/0, crash_at});  // gw1 on sci
+  rig.sci.set_fault_plan(sci_plan);
+  net::FaultPlan myri_plan;
+  myri_plan.crashes.push_back({/*nic_index=*/1, crash_at});  // gw1 on myri0
+  rig.myri_a.set_fault_plan(myri_plan);
+  util::Rng rng(39);
+  const std::size_t bytes = 1 << 20;
+  const auto payload = rng.bytes(bytes);
+  std::vector<std::byte> out(bytes);
+  rig.engine.spawn("s", [&] {
+    auto msg = rig.ep(0).begin_packing(3);
+    ASSERT_TRUE(msg.striped());
+    msg.pack(payload);
+    msg.end_packing();
+    const fwd::Striper* striper = msg.striper();
+    ASSERT_NE(striper, nullptr);
+    for (std::size_t r = 0; r < striper->rails(); ++r) {
+      EXPECT_EQ(striper->rail_credits_available(r),
+                striper->rail_credits_total(r))
+          << "rail " << r << " leaked credits across the repair";
+    }
+  });
+  rig.engine.spawn("r", [&] {
+    auto msg = rig.ep(3).begin_unpacking();
+    msg.unpack(out);
+    msg.end_unpacking();
+  });
+  rig.engine.run();
+  EXPECT_EQ(out, payload);
+  EXPECT_TRUE(rig.vc->is_dead(1));
+  EXPECT_GE(rig.vc->gateway_stats(0).reliability.failovers, 1u);
+}
+
+// --------------------------------------------------------------- options
+
+TEST(WindowOptions, InvalidReliableOptionsRejected) {
+  {
+    fwd::VcOptions o;
+    o.reliable.enabled = true;
+    o.reliable.window = 0;
+    EXPECT_THROW(PaperRig rig(o), util::PanicError);
+  }
+  {
+    fwd::VcOptions o;
+    o.reliable.enabled = true;
+    o.reliable.timeout_backoff = 0.5;  // a shrinking deadline never converges
+    EXPECT_THROW(PaperRig rig(o), util::PanicError);
+  }
+  {
+    fwd::VcOptions o;
+    o.reliable.enabled = true;
+    o.reliable.max_ack_timeout = o.reliable.ack_timeout - 1;
+    EXPECT_THROW(PaperRig rig(o), util::PanicError);
+  }
+  {
+    fwd::VcOptions o;
+    o.reliable.enabled = true;
+    o.reliable.max_attempts = 0;
+    EXPECT_THROW(PaperRig rig(o), util::PanicError);
+  }
+}
+
+// --------------------------------------------------------------- backoff
+
+TEST(Backoff, StepsAreClampedToTheCap) {
+  const sim::Time cap = sim::seconds(2);
+  sim::Time t = sim::milliseconds(5);
+  for (int i = 0; i < 200; ++i) {
+    t = backed_off_timeout(t, 2.0, cap);
+    ASSERT_GT(t, 0);
+    ASSERT_LE(t, cap);
+  }
+  EXPECT_EQ(t, cap);
+}
+
+TEST(Backoff, OverflowLandsOnTheCapNotWraparound) {
+  // Regression: the old chain multiplied unbounded; past 2^63 ns the
+  // double→Time cast wrapped the deadline negative (an instantly-expired
+  // timer that spun the retry loop). Any overflow must clamp instead.
+  const sim::Time cap = std::numeric_limits<sim::Time>::max() / 2;
+  EXPECT_EQ(backed_off_timeout(cap - 1, 1e30, cap), cap);
+  EXPECT_EQ(backed_off_timeout(
+                1, std::numeric_limits<double>::infinity(), cap),
+            cap);
+  EXPECT_EQ(backed_off_timeout(sim::seconds(1), 4.0, sim::seconds(2)),
+            sim::seconds(2));
+}
+
+TEST(Backoff, UnitBackoffKeepsTheDeadlineConstant) {
+  EXPECT_EQ(
+      backed_off_timeout(sim::milliseconds(5), 1.0, sim::seconds(2)),
+      sim::milliseconds(5));
+}
+
+}  // namespace
+}  // namespace mad::fwd

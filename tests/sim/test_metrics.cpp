@@ -67,8 +67,28 @@ TEST(Metrics, EmptyHistogramIsAllZero) {
 TEST(Metrics, SingleSampleQuantilesEqualTheSample) {
   LatencyHistogram h;
   h.record(42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 42.0);
   EXPECT_DOUBLE_EQ(h.percentile(0.50), 42.0);
   EXPECT_DOUBLE_EQ(h.percentile(0.99), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 42.0);
+}
+
+TEST(Metrics, PercentileZeroReturnsTheObservedMinimum) {
+  // Regression: q = 0 used to fall into the interpolation loop and report
+  // the first non-empty bucket's lower bound (64 us here) instead of the
+  // observed minimum.
+  LatencyHistogram h;
+  h.record(100.0);
+  h.record(900.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 900.0);
+}
+
+TEST(Metrics, EmptyHistogramPercentileIsZeroAtEveryQuantile) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
 }
 
 TEST(Metrics, WriteJsonParsesBackWithQuantiles) {

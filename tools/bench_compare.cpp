@@ -11,11 +11,15 @@
 // pipeline".
 //
 // Usage: bench_compare <baseline_dir> <candidate_dir> [--threshold 0.10]
-// Exit status: 0 = no regression, 1 = regression found, 2 = usage/IO error.
+// Exit status: 0 = no regression, 1 = regression found, 2 = usage/IO error
+// or malformed report (missing/empty/non-numeric fields). Malformed input
+// is never silently skipped: a gate that quietly compares nothing would
+// pass exactly when the artifacts it guards are broken.
 //
 // CI runs this against the previous checkout's results/; the ctest target
 // self-compares results/ with itself as a schema smoke test.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -56,33 +60,68 @@ struct Cell {
   bool bandwidth = false;
 };
 
-std::vector<Cell> flatten(const JsonValue& doc) {
+/// Flattens one report, validating the schema as it goes: a missing or
+/// non-string title/label, a missing series/rows/values array, a
+/// series/values length mismatch, or a non-finite (NaN, null, string...)
+/// value appends a diagnostic to `errors` instead of being dropped.
+std::vector<Cell> flatten(const JsonValue& doc, const std::string& file,
+                          std::vector<std::string>& errors) {
   std::vector<Cell> cells;
+  const auto complain = [&](const std::string& what) {
+    errors.push_back(file + ": " + what);
+  };
   const JsonValue* tables = doc.find("tables");
   if (tables == nullptr || !tables->is_array()) {
+    complain("no \"tables\" array");
+    return cells;
+  }
+  if (tables->array.empty()) {
+    complain("\"tables\" is empty — the report gates nothing");
     return cells;
   }
   for (const JsonValue& table : tables->array) {
     const JsonValue* title = table.find("title");
     const JsonValue* series = table.find("series");
     const JsonValue* rows = table.find("rows");
-    if (title == nullptr || series == nullptr || rows == nullptr) {
+    if (title == nullptr || !title->is_string() || series == nullptr ||
+        !series->is_array() || rows == nullptr || !rows->is_array()) {
+      complain("table missing \"title\"/\"series\"/\"rows\"");
       continue;
     }
     const bool table_bw = mentions_bandwidth(title->string);
+    if (rows->array.empty()) {
+      complain("[" + title->string + "] has no rows");
+    }
     for (const JsonValue& row : rows->array) {
       const JsonValue* label = row.find("label");
       const JsonValue* values = row.find("values");
-      if (label == nullptr || values == nullptr) {
+      if (label == nullptr || !label->is_string() || values == nullptr ||
+          !values->is_array()) {
+        complain("[" + title->string + "] row missing \"label\"/\"values\"");
         continue;
       }
-      const std::size_t n =
-          std::min(series->array.size(), values->array.size());
-      for (std::size_t i = 0; i < n; ++i) {
-        const std::string& name = series->array[i].string;
-        cells.push_back({title->string, label->string, name,
-                         values->array[i].number,
-                         table_bw || mentions_bandwidth(name)});
+      if (values->array.size() != series->array.size()) {
+        complain("[" + title->string + "] @ " + label->string + ": " +
+                 std::to_string(values->array.size()) + " values for " +
+                 std::to_string(series->array.size()) + " series");
+        continue;
+      }
+      for (std::size_t i = 0; i < series->array.size(); ++i) {
+        const JsonValue& name = series->array[i];
+        const JsonValue& value = values->array[i];
+        if (!name.is_string()) {
+          complain("[" + title->string + "] series name " +
+                   std::to_string(i) + " is not a string");
+          continue;
+        }
+        if (!value.is_number() || !std::isfinite(value.number)) {
+          complain("[" + title->string + "] " + name.string + " @ " +
+                   label->string + " is not a finite number");
+          continue;
+        }
+        cells.push_back({title->string, label->string, name.string,
+                         value.number,
+                         table_bw || mentions_bandwidth(name.string)});
       }
     }
   }
@@ -106,7 +145,16 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threshold" && i + 1 < argc) {
-      threshold = std::stod(argv[++i]);
+      try {
+        threshold = std::stod(argv[++i]);
+      } catch (const std::exception&) {
+        threshold = std::nan("");
+      }
+      if (!std::isfinite(threshold) || threshold < 0.0 || threshold >= 1.0) {
+        std::fprintf(stderr,
+                     "bench_compare: --threshold must be in [0, 1)\n");
+        return 2;
+      }
     } else {
       positional.push_back(arg);
     }
@@ -163,14 +211,23 @@ int main(int argc, char** argv) {
                    name.string().c_str(), err.c_str());
       return 2;
     }
-    const std::vector<Cell> base_cells = flatten(base);
-    const std::vector<Cell> cand_cells = flatten(cand);
+    std::vector<std::string> errors;
+    const std::vector<Cell> base_cells =
+        flatten(base, (base_dir / name).string(), errors);
+    const std::vector<Cell> cand_cells =
+        flatten(cand, cand_path.string(), errors);
     for (const Cell& b : base_cells) {
       if (!b.bandwidth) {
         continue;
       }
       const Cell* c = find_cell(cand_cells, b);
-      if (c == nullptr || b.value <= 0.0) {
+      if (c == nullptr) {
+        errors.push_back(cand_path.string() + ": [" + b.table + "] " +
+                         b.series + " @ " + b.row +
+                         " missing from candidate");
+        continue;
+      }
+      if (b.value <= 0.0) {
         continue;
       }
       ++compared;
@@ -182,6 +239,19 @@ int main(int argc, char** argv) {
         ++regressions;
       }
     }
+    if (!errors.empty()) {
+      for (const std::string& e : errors) {
+        std::fprintf(stderr, "bench_compare: malformed report: %s\n",
+                     e.c_str());
+      }
+      return 2;
+    }
+  }
+  if (compared == 0) {
+    std::fprintf(stderr,
+                 "bench_compare: no bandwidth cells compared — the gate "
+                 "checked nothing\n");
+    return 2;
   }
   std::printf("bench_compare: %d bandwidth cells compared, %d regressions, "
               "%d reports skipped (threshold %.0f%%)\n",
