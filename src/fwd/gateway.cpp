@@ -11,6 +11,7 @@
 // paper's two-threads/two-buffers scheme. Zero-copy paths follow §2.3.
 #include "fwd/gateway.hpp"
 
+#include <algorithm>
 #include <cstddef>
 #include <deque>
 #include <memory>
@@ -58,8 +59,10 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
 
   Channel& in_channel() const { return in_channel_; }
 
-  void relay_message(MessageReader in) {
-    const GtmMsgHeader hdr = read_msg_header(in);
+  void relay_message(MessageReader in, std::optional<GtmMsgHeader> pre_hdr) {
+    // In reliable mode the accept loop already parsed the header (its epoch
+    // feeds the ghost filter in read_stream_head).
+    const GtmMsgHeader hdr = pre_hdr ? *pre_hdr : read_msg_header(in);
     // A striped rail carries its GtmStripeHeader on every hop; the relay
     // forwards it verbatim. Rail identity is implied by the channel pair
     // this relay serves, so the paquet engine below needs no other change.
@@ -144,9 +147,12 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
     const NodeRank from = in.source();
 
     // Phase 1: receive the full message, paquet by paquet, acking each.
+    // detect_dead: an upstream that dies (or is rerouted away) mid-stream
+    // abandons its half-sent message, and a blocking receiver would wait
+    // on the rest of it forever.
     std::deque<StoredBlock> blocks;
     ReliableReceiver rx(vc_, self_, in_channel_, from, hdr.epoch,
-                        /*detect_dead=*/false);
+                        /*detect_dead=*/true);
     std::uint32_t seq = 0;
     for (;;) {
       const GtmBlockHeader bh = rx.recv_block_header(in, seq++);
@@ -165,6 +171,16 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
       }
       blocks.push_back(std::move(block));
     }
+    // The upstream stream is complete: boundary drains re-ack its late
+    // retransmits (the sender may have lost our acks to a fault window)
+    // and the ghost filter keeps its duplicated framing from reopening it.
+    Connection& up = in_channel_.connection_to(from);
+    up.rx_epoch_done = std::max(up.rx_epoch_done, hdr.epoch);
+    // If a fault window swallowed the tail acks, this actor (not the relay,
+    // which is about to block on other work) keeps re-advertising them so
+    // the upstream sender cannot exhaust its retry budget on a message we
+    // already own.
+    vc_.spawn_tail_acker(in_channel_, from, hdr.epoch, seq - 1);
     // Phase 2: reliable resend toward dst, failing over on dead hops.
     deliver_stored(blocks, hdr, stripe, dst);
   }
@@ -200,10 +216,12 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
                       const GtmMsgHeader& hdr,
                       const std::optional<GtmStripeHeader>& stripe,
                       NodeRank dst) {
+    const sim::Time delivery_start = engine_.now();
     for (;;) {
-      if (vc_.node_crashed(self_)) {
-        // This gateway's own NIC crashed: stand down quietly instead of
-        // declaring healthy peers dead off our suppressed acks.
+      if (vc_.node_crashed_within(self_, delivery_start)) {
+        // This gateway's own NIC crashed (even if it has recovered since
+        // the attempt began): stand down quietly instead of declaring
+        // healthy peers dead off our suppressed acks.
         return;
       }
       if (!vc_.routing().reachable(self_, dst)) {
@@ -228,6 +246,7 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
         {
           ReliableSender snd(vc_, self_, out, out_channel, next,
                              out_hdr.epoch);
+          snd.set_framing(Preamble{out_hdr.origin, 1}, out_hdr, stripe);
           std::uint32_t out_seq = 0;
           try {
             for (const StoredBlock& block : blocks) {
@@ -262,7 +281,7 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
       if (!failed) {
         return;
       }
-      if (vc_.node_crashed(self_)) {
+      if (vc_.node_crashed_within(self_, delivery_start)) {
         return;
       }
       note_hop_death(*failed, dst);
@@ -353,6 +372,8 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
           {
             ReliableSender snd(self->vc_, self->self_, out, out_channel,
                                next, out_hdr.epoch);
+            snd.set_framing(Preamble{out_hdr.origin, 1}, out_hdr,
+                            std::nullopt);
             std::uint32_t out_seq = 0;
             try {
               for (bool running = true; running;) {
@@ -404,6 +425,9 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
         for (;;) {
           const GtmBlockHeader bh = rx.recv_block_header(in, seq++);
           if (bh.end_of_message != 0) {
+            Connection& up = in_channel_.connection_to(from);
+            up.rx_epoch_done = std::max(up.rx_epoch_done, hdr.epoch);
+            vc_.spawn_tail_acker(in_channel_, from, hdr.epoch, seq - 1);
             state->items.send(StreamItem{StreamItem::Kind::End, 0, 0, 0});
             break;
           }
@@ -671,13 +695,19 @@ void spawn_gateway_actors(VirtualChannel& vc) {
                 relay->in_channel().wait_incoming();
                 try {
                   MessageReader in = relay->in_channel().begin_unpacking();
+                  Preamble preamble{};
+                  std::optional<GtmMsgHeader> header;
                   if (vc.reliable()) {
-                    vc.drain_stale_paquets(in, rank);
+                    // Boundary parse: skips late retransmits and ghost
+                    // framing of streams this relay already completed.
+                    preamble = vc.read_stream_head(in, relay->in_channel(),
+                                                   rank, header);
+                  } else {
+                    preamble = read_preamble(in);
                   }
-                  const Preamble preamble = read_preamble(in);
                   MAD_ASSERT(preamble.forwarded != 0,
                              "native message on a special channel");
-                  relay->relay_message(std::move(in));
+                  relay->relay_message(std::move(in), header);
                 } catch (const PeerDied&) {
                   // A cut-through relay abandoned a stream whose upstream
                   // (or this gateway itself) died mid-message. The origin

@@ -25,6 +25,8 @@ void ReliableOptions::validate() const {
   MAD_ASSERT(window >= 1, "reliable window must hold at least one paquet");
   MAD_ASSERT(max_ack_timeout >= ack_timeout,
              "reliable max_ack_timeout must be >= ack_timeout");
+  MAD_ASSERT(retransmit_jitter >= 0.0 && retransmit_jitter <= 1.0,
+             "reliable retransmit_jitter must be within [0, 1]");
 }
 
 sim::Time backed_off_timeout(sim::Time timeout, double backoff,
@@ -54,7 +56,9 @@ ReliableSender::ReliableSender(VirtualChannel& vc, NodeRank self,
       metrics_(&vc.domain().fabric().metrics()),
       trace_(vc.options().trace),
       node_label_("node=" + std::to_string(self)),
-      window_(static_cast<std::size_t>(vc.options().reliable.window)) {}
+      window_(static_cast<std::size_t>(vc.options().reliable.window)),
+      jitter_rng_((static_cast<std::uint64_t>(self) << 40) ^
+                  (static_cast<std::uint64_t>(peer) << 20) ^ epoch) {}
 
 sim::Time ReliableSender::initial_rto() const {
   const ReliableOptions& opts = vc_.options().reliable;
@@ -67,8 +71,36 @@ sim::Time ReliableSender::initial_rto() const {
   return std::clamp(rto, opts.ack_timeout, opts.max_ack_timeout);
 }
 
+void ReliableSender::set_framing(const Preamble& preamble,
+                                 const GtmMsgHeader& header,
+                                 const std::optional<GtmStripeHeader>& stripe) {
+  framing_.clear();
+  const auto keep = [this](util::ByteSpan bytes) {
+    framing_.emplace_back(bytes.begin(), bytes.end());
+  };
+  keep(util::object_bytes(preamble));
+  keep(util::object_bytes(header));
+  if (stripe) {
+    keep(util::object_bytes(*stripe));
+  }
+}
+
 void ReliableSender::transmit(InFlight& p) {
   p.tx_begin = engine_->now();
+  if (p.seq == 0 && p.retransmitted && !framing_.empty()) {
+    // The receiver never acks paquet 0 while its framing is missing (it
+    // cannot even tell which stream the paquet belongs to), so a lost
+    // prologue always surfaces as paquet-0 retransmissions — and each one
+    // re-offers the prologue. The announce comes first: it is the only
+    // wake-up the receiver's accept loop gets, and the original is a
+    // one-shot that a link-down window may have swallowed whole.
+    out_.resend_announce();
+    // Same modes as write_preamble/write_msg_header so each blob lands as
+    // its own express wire paquet.
+    for (const std::vector<std::byte>& blob : framing_) {
+      out_.pack(util::ByteSpan(blob), SendMode::Safer, RecvMode::Express);
+    }
+  }
   out_.pack(util::ByteSpan(p.wire), SendMode::Cheaper, RecvMode::Express);
   p.sent_at = engine_->now();
   p.deadline = p.sent_at + p.rto;
@@ -78,9 +110,10 @@ void ReliableSender::sample_ack(InFlight& p) {
   const sim::Time now = engine_->now();
   metrics_->observe_us("rel.ack_us", node_label_,
                        sim::to_microseconds(now - p.tx_begin));
-  if (window_ > 1 && !p.retransmitted) {
-    // Karn's rule: a retransmitted paquet's ack is ambiguous, skip it.
-    const double rtt_us = sim::to_microseconds(now - p.sent_at);
+  // Karn's rule: a retransmitted paquet's ack is ambiguous, no RTT sample.
+  const double rtt_us =
+      p.retransmitted ? -1.0 : sim::to_microseconds(now - p.sent_at);
+  if (window_ > 1 && rtt_us > 0.0) {
     if (!have_rtt_) {
       srtt_us_ = rtt_us;
       rttvar_us_ = rtt_us / 2.0;
@@ -90,6 +123,11 @@ void ReliableSender::sample_ack(InFlight& p) {
       srtt_us_ = 0.875 * srtt_us_ + 0.125 * rtt_us;
     }
     metrics_->observe_us("rel.rtt_us", node_label_, rtt_us);
+  }
+  // Every completed round trip is a loss-free health sample for the hop;
+  // stop-and-wait feeds no adaptive RTO but its RTTs are just as valid.
+  if (topo::HealthMonitor* health = vc_.health()) {
+    health->record_ack(self_, peer_, now, rtt_us);
   }
 }
 
@@ -104,6 +142,9 @@ void ReliableSender::expire(InFlight& p) {
                              std::to_string(p.seq) + " attempt=" +
                              std::to_string(p.attempts));
   }
+  if (topo::HealthMonitor* health = vc_.health()) {
+    health->record_loss(self_, peer_, engine_->now());
+  }
   if (p.attempts >= opts.max_attempts) {
     throw HopFailure{peer_, p.attempts};
   }
@@ -117,6 +158,16 @@ void ReliableSender::expire(InFlight& p) {
   }
   p.rto = backed_off_timeout(p.rto, opts.timeout_backoff,
                              opts.max_ack_timeout);
+  if (opts.retransmit_jitter > 0.0) {
+    // Desynchronize from periodic faults: a pure doubling chain repeats the
+    // same phase against any fault period that divides its steps, so a
+    // retransmit that once landed in a flap's down-window would land in
+    // every later one too. Jitter stays under the max_ack_timeout ceiling.
+    const auto extra = static_cast<sim::Time>(
+        static_cast<double>(p.rto) * opts.retransmit_jitter *
+        jitter_rng_.next_double());
+    p.rto = std::min(p.rto + extra, opts.max_ack_timeout);
+  }
   ++p.attempts;
   p.retransmitted = true;
   transmit(p);
@@ -211,6 +262,9 @@ void ReliableSender::drain_to(std::size_t target) {
           trace_->instant_here("rel.fast_retransmit",
                                "peer=" + std::to_string(peer_) + " seq=" +
                                    std::to_string(front.seq));
+        }
+        if (topo::HealthMonitor* health = vc_.health()) {
+          health->record_loss(self_, peer_, now);
         }
         front.retransmitted = true;
         transmit(front);
@@ -332,9 +386,20 @@ void ReliableReceiver::recv(MessageReader& in, std::uint32_t expected_seq,
     } else {
       wire_size = in.unpack_paquet(util::MutByteSpan(scratch_));
     }
+    // A paquet-0 retransmission re-sends the framing prologue in front of
+    // itself (ReliableSender::set_framing); mid-stream those duplicates
+    // surface here as trailer-less wire paquets of the framing sizes.
+    const bool framing_sized =
+        wire_size == sizeof(Preamble) || wire_size == sizeof(GtmMsgHeader) ||
+        wire_size == sizeof(GtmStripeHeader);
     if (wire_size < kGtmTrailerBytes) {
-      ++stats.corrupt_drops;  // not even a whole trailer — mangled frame
-      metrics.add("rel.corrupt_drops", node_label_);
+      if (framing_sized) {
+        ++stats.stale_drops;  // duplicated framing, already consumed
+        metrics.add("rel.stale_drops", node_label_);
+      } else {
+        ++stats.corrupt_drops;  // not even a whole trailer — mangled frame
+        metrics.add("rel.corrupt_drops", node_label_);
+      }
       continue;
     }
     GtmPaquetTrailer trailer;
@@ -343,20 +408,31 @@ void ReliableReceiver::recv(MessageReader& in, std::uint32_t expected_seq,
     const util::ByteSpan body(scratch_.data(), wire_size - kGtmTrailerBytes);
     if (trailer.checksum !=
         gtm_paquet_checksum(body, trailer.seq, trailer.epoch)) {
-      // Corrupt: drop silently; the sender's retransmit timer covers it.
-      ++stats.corrupt_drops;
-      metrics.add("rel.corrupt_drops", node_label_);
+      if (framing_sized) {
+        // A framing size with an invalid checksum is a duplicated header,
+        // not corruption (a header cannot carry a trailer).
+        ++stats.stale_drops;
+        metrics.add("rel.stale_drops", node_label_);
+      } else {
+        // Corrupt: drop silently; the sender's retransmit timer covers it.
+        ++stats.corrupt_drops;
+        metrics.add("rel.corrupt_drops", node_label_);
+      }
       continue;
     }
     if (trailer.epoch != epoch_ || trailer.seq < cum_next_) {
       // Duplicate (or a late retransmit of a superseded stream): drop, but
       // re-acknowledge — the original ack may have been posted before the
       // sender timed out, or suppressed by a fault window. Within the
-      // epoch the re-ack also doubles as a duplicate cumulative ack.
+      // epoch the re-ack also doubles as a duplicate cumulative ack. A
+      // *newer* epoch is different: this receiver is the stale one, and
+      // acking data it did not deliver would silently lose it — drop only.
       ++stats.dup_drops;
       metrics.add("rel.dup_drops", node_label_);
-      network.post_ack(conn.rx_tag, self_nic_, conn.peer_nic_index,
-                       trailer.epoch, trailer.seq);
+      if (trailer.epoch <= epoch_) {
+        network.post_ack(conn.rx_tag, self_nic_, conn.peer_nic_index,
+                         trailer.epoch, trailer.seq);
+      }
       continue;
     }
     if (reorder_.contains(trailer.seq)) {

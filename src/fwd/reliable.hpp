@@ -24,14 +24,21 @@
 // traces as the original implementation.
 //
 // Only the preamble, the GTM message header and the channel announce stay
-// outside this framing: they bootstrap the per-hop stream. Losing one of
-// them to a crash starves the first paquet's ack, so the sender still
-// detects the dead hop — just via the first paquet's retry budget.
+// outside this framing: they bootstrap the per-hop stream. A framing
+// paquet lost to a *transient* fault window (not a dead hop) would
+// desynchronize the stream forever — nothing retransmits it — so every
+// retransmission of paquet 0 re-sends the framing prologue in front of it
+// (set_framing below) and the receive side reads headers tolerantly,
+// skipping duplicated framing and unacknowledged stray data paquets
+// (VirtualChannel::read_msg_header_tolerant). Losing the framing to a
+// genuine crash still starves the first paquet's ack, so the sender
+// detects the dead hop via the first paquet's retry budget as before.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +46,7 @@
 #include "mad/types.hpp"
 #include "sim/time.hpp"
 #include "util/bytes.hpp"
+#include "util/rng.hpp"
 
 namespace mad {
 class Channel;
@@ -80,6 +88,14 @@ struct ReliableOptions {
   /// exponential chain from overflowing Time and bounds how long a retry
   /// can stall failover detection.
   sim::Time max_ack_timeout = sim::seconds(2);
+  /// Fraction of each backed-off deadline added as deterministic
+  /// pseudo-random jitter (uniform in [0, jitter·rto), seeded per sender).
+  /// Without it the backoff chain is strictly periodic, and against a
+  /// periodic fault (a flapping link whose period divides the backoff
+  /// steps) every retransmission can phase-lock into the down-windows and
+  /// exhaust the retry budget on a hop that is up more than half the time.
+  /// 0 disables jitter and restores the exact PR-1/PR-5 deadline sequence.
+  double retransmit_jitter = 0.25;
 
   /// Panics on inconsistent settings (called by the VirtualChannel ctor).
   void validate() const;
@@ -130,6 +146,16 @@ class ReliableSender {
   ReliableSender(VirtualChannel& vc, NodeRank self, MessageWriter& out,
                  Channel& out_channel, NodeRank peer, std::uint32_t epoch);
 
+  /// Registers the unreliable framing prologue (preamble, message header,
+  /// optional stripe header) that opened this hop message. The prologue
+  /// carries no trailer, so no retransmit timer covers it; instead every
+  /// retransmission of paquet 0 re-sends it in front of the paquet. A
+  /// receiver that lost the header to a fault window re-frames from the
+  /// retransmitted copy; one that has it drops the duplicates on size and
+  /// checksum grounds (tolerant header reads, ReliableReceiver).
+  void set_framing(const Preamble& preamble, const GtmMsgHeader& header,
+                   const std::optional<GtmStripeHeader>& stripe);
+
   /// Enqueues `payload` as reliable paquet `seq` (must be the successor of
   /// the previous send) and transmits it; blocks while the window is full.
   void send(std::uint32_t seq, util::ByteSpan payload);
@@ -172,6 +198,9 @@ class ReliableSender {
   MessageWriter& out_;
   NodeRank peer_;
   std::uint32_t epoch_;
+  // Framing prologue blobs re-sent ahead of every paquet-0 retransmission
+  // (see set_framing). Empty until the caller registers them.
+  std::vector<std::vector<std::byte>> framing_;
   Connection* conn_;
   net::Network* network_;
   sim::Engine* engine_;
@@ -193,6 +222,9 @@ class ReliableSender {
   bool have_rtt_ = false;
   double srtt_us_ = 0.0;
   double rttvar_us_ = 0.0;
+  // Retransmit-deadline jitter source, seeded from (self, peer, epoch) so
+  // runs stay reproducible while no two senders share a backoff phase.
+  util::Rng jitter_rng_;
 };
 
 /// Sliding-window receiver for one hop of one open GTM message: validates,

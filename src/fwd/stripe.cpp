@@ -1,11 +1,13 @@
 #include "fwd/stripe.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <string>
 #include <utility>
 
 #include "fwd/reliable.hpp"
+#include "mad/channel.hpp"
 #include "mad/session.hpp"
 #include "net/fabric.hpp"
 #include "sim/metrics.hpp"
@@ -79,6 +81,35 @@ std::vector<RailPlan> plan_rails(const VirtualChannel& vc, NodeRank src,
       share = std::min<std::uint32_t>(weights[r], 1024);
     }
     plans.push_back(RailPlan{routes[r], share});
+  }
+  // Graceful rail degradation: demote a sick rail's share in proportion to
+  // its route health and drop it entirely below rail_drop_score. Dropping
+  // to a single rail returns that one plan — the caller then sends
+  // unstriped, which is exactly the degraded mode we want.
+  if (const topo::HealthMonitor* health = vc.health()) {
+    const sim::Time now = vc.domain().engine().now();
+    sim::MetricsRegistry& metrics = vc.domain().fabric().metrics();
+    std::vector<RailPlan> kept;
+    kept.reserve(plans.size());
+    for (std::size_t r = 0; r < plans.size(); ++r) {
+      const double score = health->route_score(src, plans[r].route, now);
+      if (score < health->options().rail_drop_score) {
+        metrics.add("health.rails_dropped",
+                    rail_label(src, r));
+        continue;
+      }
+      RailPlan plan = plans[r];
+      const auto scaled = static_cast<std::uint32_t>(
+          std::lround(static_cast<double>(plan.share) * score));
+      if (scaled < plan.share) {
+        metrics.add("health.rails_demoted", rail_label(src, r));
+      }
+      plan.share = std::max<std::uint32_t>(1, scaled);
+      kept.push_back(std::move(plan));
+    }
+    if (!kept.empty()) {
+      plans = std::move(kept);
+    }
   }
   return plans;
 }
@@ -205,11 +236,13 @@ void Striper::run_rail(std::size_t index) {
   NodeRank next = -1;
   std::uint32_t epoch = 0;
   std::uint32_t seq = 0;
+  std::uint64_t route_epoch = 0;
   std::optional<MessageWriter> writer;
   std::unique_ptr<ReliableSender> sender;
 
   const auto open = [&](const topo::Route& route) {
     const topo::Hop first = route.front();
+    route_epoch = vc_.routing().epoch();
     // A repaired rail may degrade to a direct hop (every gateway between
     // the pair died but they share a network): deliver straight on the
     // rail's regular channel, playing the last-hop gateway's role.
@@ -228,21 +261,22 @@ void Striper::run_rail(std::size_t index) {
       hdr.epoch = epoch;
     }
     seq = 0;
+    const Preamble preamble{static_cast<std::uint32_t>(src_), 1};
+    const GtmStripeHeader stripe_hdr{stripe_id_,
+                                     static_cast<std::uint16_t>(index),
+                                     static_cast<std::uint16_t>(rails_.size()),
+                                     rail.plan.share};
     writer.emplace(channel.begin_packing(next));
-    write_preamble(*writer,
-                   Preamble{static_cast<std::uint32_t>(src_), 1});
+    write_preamble(*writer, preamble);
     write_msg_header(*writer, hdr);
-    write_stripe_header(
-        *writer,
-        GtmStripeHeader{stripe_id_, static_cast<std::uint16_t>(index),
-                        static_cast<std::uint16_t>(rails_.size()),
-                        rail.plan.share});
+    write_stripe_header(*writer, stripe_hdr);
     if (vc_.reliable()) {
       // One sliding window per rail: each rail pipelines its own hop's
       // ack round trips, composing with (not replacing) the credit
       // window's chunk-level backpressure.
       sender = std::make_unique<ReliableSender>(vc_, src_, *writer, channel,
                                                 next, epoch);
+      sender->set_framing(preamble, hdr, stripe_hdr);
     }
   };
 
@@ -290,24 +324,32 @@ void Striper::run_rail(std::size_t index) {
     }
   };
 
-  // The repair-rail loop: declare the failed hop dead, reopen this rail's
-  // stream (same rail identity and share, fresh epoch) over the current
-  // best surviving route, and replay everything already handed to this
-  // rail. Overlap with a surviving rail's route is fine — the rail keeps
-  // its own channel pair, so the shared gateway relays both streams
-  // without interleaving them.
-  const auto repair = [&](HopFailure failed, const RailItem* current,
+  // The repair-rail loop: declare the failed hop dead (when a HopFailure
+  // triggered the repair — a proactive reroute on a stale route passes
+  // nullptr and skips the death bookkeeping), reopen this rail's stream
+  // (same rail identity and share, fresh epoch) over the current best
+  // surviving route, and replay everything already handed to this rail.
+  // Overlap with a surviving rail's route is fine — the rail keeps its own
+  // channel pair, so the shared gateway relays both streams without
+  // interleaving them.
+  const auto repair = [&](const HopFailure* failure, const RailItem* current,
                           bool finishing) {
+    std::optional<HopFailure> failed;
+    if (failure != nullptr) {
+      failed = *failure;
+    }
     for (;;) {
       ReliabilityStats& stats =
           vc_.mutable_gateway_stats(src_).reliability;
-      vc_.mark_dead(failed.next_hop);
-      ++stats.peers_declared_dead;
       const std::string node_label = "node=" + std::to_string(src_);
-      metrics.add("rel.dead_peers", node_label);
-      if (vc_.options().trace != nullptr) {
-        vc_.options().trace->instant_here(
-            "rel.dead", "peer=" + std::to_string(failed.next_hop));
+      if (failed) {
+        vc_.mark_dead(failed->next_hop);
+        ++stats.peers_declared_dead;
+        metrics.add("rel.dead_peers", node_label);
+        if (vc_.options().trace != nullptr) {
+          vc_.options().trace->instant_here(
+              "rel.dead", "peer=" + std::to_string(failed->next_hop));
+        }
       }
       // The failed window dies with its sender; Express flushing left
       // nothing buffered, so closing the dead-hop message is non-blocking
@@ -316,21 +358,33 @@ void Striper::run_rail(std::size_t index) {
       writer->end_packing();
       writer.reset();
       if (!vc_.routing().reachable(src_, dst_)) {
+        const std::string why =
+            failed ? "gateway " + std::to_string(failed->next_hop) +
+                         " declared dead after " +
+                         std::to_string(failed->attempts) + " attempts"
+                   : "its route was invalidated under it";
         MAD_PANIC("node " + std::to_string(dst_) + " unreachable from " +
                   std::to_string(src_) + " on rail " +
-                  std::to_string(index) + ": gateway " +
-                  std::to_string(failed.next_hop) +
-                  " declared dead after " +
-                  std::to_string(failed.attempts) +
-                  " attempts and no alternate route exists");
+                  std::to_string(index) + ": " + why +
+                  " and no alternate route exists");
       }
-      ++stats.failovers;
-      metrics.add("rel.failovers", node_label);
+      if (failed) {
+        ++stats.failovers;
+        metrics.add("rel.failovers", node_label);
+      } else {
+        metrics.add("health.reroutes", node_label);
+        if (vc_.options().trace != nullptr) {
+          vc_.options().trace->instant_here(
+              "health.reroute", "rail=" + std::to_string(index) +
+                                    " from=" + std::to_string(next));
+        }
+      }
       metrics.add("stripe.repairs", label);
       if (vc_.options().trace != nullptr) {
         vc_.options().trace->instant_here(
-            "stripe.repair", "rail=" + std::to_string(index) + " around=" +
-                                 std::to_string(failed.next_hop));
+            "stripe.repair",
+            "rail=" + std::to_string(index) + " around=" +
+                std::to_string(failed ? failed->next_hop : next));
       }
       // Route by value: the table just got rebuilt and can be rebuilt
       // again by a concurrent failover while we block below.
@@ -353,15 +407,29 @@ void Striper::run_rail(std::size_t index) {
     }
   };
 
+  // True when the route table moved since this rail opened AND the rail's
+  // next hop is now marked dead: the stream is doomed (the dead relay will
+  // never ack), so reroute proactively instead of waiting out the retry
+  // budget. Quality-only cost refreshes also bump the epoch, but with a
+  // live next hop the open stream keeps its route.
+  const auto stale_dead_route = [&] {
+    return vc_.reliable() && route_epoch != vc_.routing().epoch() &&
+           vc_.is_dead(next);
+  };
+
   open(rail.plan.route);
   try {
     for (;;) {
       RailItem item = rail.items.recv();
       if (item.end) {
         try {
-          emit_end();
+          if (stale_dead_route()) {
+            repair(nullptr, nullptr, /*finishing=*/true);
+          } else {
+            emit_end();
+          }
         } catch (const HopFailure& failure) {
-          repair(failure, nullptr, /*finishing=*/true);
+          repair(&failure, nullptr, /*finishing=*/true);
         }
         break;
       }
@@ -369,9 +437,13 @@ void Striper::run_rail(std::size_t index) {
       // iteration ends — successfully or by unwinding.
       CreditGuard credit(rail.credits);
       try {
-        emit_chunk(item);
+        if (stale_dead_route()) {
+          repair(nullptr, &item, /*finishing=*/false);
+        } else {
+          emit_chunk(item);
+        }
       } catch (const HopFailure& failure) {
-        repair(failure, &item, /*finishing=*/false);
+        repair(&failure, &item, /*finishing=*/false);
       }
       if (vc_.reliable()) {
         sent.push_back(item);
@@ -472,6 +544,13 @@ void Reassembler::run_rail_rx(std::size_t rail) {
                     : read_block_header(*rx.reader);
       MAD_ASSERT(marker.end_of_message == 1,
                  "end_unpacking before all striped blocks were consumed");
+      if (reliable_) {
+        // The rail's stream is complete: boundary drains re-ack its late
+        // retransmits and the ghost filter drops its duplicated framing.
+        Connection& conn = rx.channel->connection_to(rx.peer);
+        conn.rx_epoch_done = std::max(conn.rx_epoch_done, rx.epoch);
+        vc_.spawn_tail_acker(*rx.channel, rx.peer, rx.epoch, rx.next_seq);
+      }
       ++rx.completed;
       progress_.notify_all();
       break;

@@ -1,11 +1,14 @@
 #include "fwd/virtual_channel.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "fwd/gateway.hpp"
 #include "fwd/stripe.hpp"
+#include "mad/channel.hpp"
 #include "mad/session.hpp"
 #include "net/fabric.hpp"
+#include "net/link.hpp"
 #include "sim/metrics.hpp"
 #include "util/log.hpp"
 #include "util/panic.hpp"
@@ -82,31 +85,217 @@ VirtualChannel::VirtualChannel(Domain& domain, std::string name,
 
   spawn_pollers();
   spawn_gateways();
+
+  if (options_.health.enabled) {
+    health_ = std::make_unique<topo::HealthMonitor>(options_.health);
+    routing_->set_cost_provider(health_.get());
+    spawn_health_actor();
+  }
 }
 
 VirtualChannel::~VirtualChannel() = default;
 
+namespace {
+
+/// True when `wire` parses as a checksum-valid reliable paquet — used to
+/// tell a re-sent framing element from a stray data paquet of equal size,
+/// and a re-ackable late retransmit from line noise.
+bool checksum_valid_paquet(util::ByteSpan wire, GtmPaquetTrailer* trailer) {
+  if (wire.size() < kGtmTrailerBytes) {
+    return false;
+  }
+  std::memcpy(trailer, wire.data() + wire.size() - kGtmTrailerBytes,
+              kGtmTrailerBytes);
+  return trailer->checksum ==
+         gtm_paquet_checksum(
+             util::ByteSpan(wire.data(), wire.size() - kGtmTrailerBytes),
+             trailer->seq, trailer->epoch);
+}
+
+}  // namespace
+
+void VirtualChannel::discard_stale_paquet(Channel& channel, NodeRank peer,
+                                          NodeRank self, util::ByteSpan wire) {
+  ++mutable_gateway_stats(self).reliability.stale_drops;
+  domain_.fabric().metrics().add("rel.stale_drops",
+                                 "node=" + std::to_string(self));
+  GtmPaquetTrailer trailer;
+  if (!checksum_valid_paquet(wire, &trailer)) {
+    return;  // duplicated framing or noise: nothing to acknowledge
+  }
+  // A valid paquet of an epoch this endpoint finished is a late retransmit
+  // whose final ack was lost: re-ack it, or the sender burns its retry
+  // budget and replays an already-delivered message. Later epochs stay
+  // unacked — their framing was lost, and the sender's paquet-0 prologue
+  // retransmission (ReliableSender::set_framing) re-frames the stream.
+  const Connection& conn = channel.connection_to(peer);
+  if (trailer.epoch <= conn.rx_epoch_done) {
+    channel.network().post_ack(conn.rx_tag, channel.tm().nic().index(),
+                               conn.peer_nic_index, trailer.epoch,
+                               trailer.seq);
+  }
+}
+
 void VirtualChannel::drain_stale_paquets(MessageReader& reader,
-                                         NodeRank self) {
+                                         Channel& channel, NodeRank self) {
   std::vector<std::byte> scratch;
   while (reader.peek_paquet_size() !=
          static_cast<std::uint32_t>(sizeof(Preamble))) {
     if (scratch.empty()) {
       scratch.resize(mtu_ + kGtmTrailerBytes);
     }
-    reader.unpack_paquet(util::MutByteSpan(scratch));
-    ++mutable_gateway_stats(self).reliability.stale_drops;
-    domain_.fabric().metrics().add("rel.stale_drops",
-                                   "node=" + std::to_string(self));
+    const std::uint32_t got =
+        reader.unpack_paquet(util::MutByteSpan(scratch));
+    discard_stale_paquet(channel, reader.source(), self,
+                         util::ByteSpan(scratch.data(), got));
   }
 }
 
+void VirtualChannel::read_framing_tolerant(MessageReader& reader,
+                                           Channel& channel, NodeRank self,
+                                           util::MutByteSpan element) {
+  std::vector<std::byte> scratch(static_cast<std::size_t>(mtu_) +
+                                 kGtmTrailerBytes);
+  for (;;) {
+    const std::uint32_t got =
+        reader.unpack_paquet(util::MutByteSpan(scratch));
+    const util::ByteSpan wire(scratch.data(), got);
+    if (got == element.size()) {
+      // The element size can collide with a small data paquet's wire size;
+      // only a valid checksum identifies the imposter.
+      GtmPaquetTrailer trailer;
+      if (!checksum_valid_paquet(wire, &trailer)) {
+        std::memcpy(element.data(), scratch.data(), element.size());
+        return;
+      }
+    }
+    discard_stale_paquet(channel, reader.source(), self, wire);
+  }
+}
+
+GtmMsgHeader VirtualChannel::read_msg_header_tolerant(MessageReader& reader,
+                                                      Channel& channel,
+                                                      NodeRank self) {
+  GtmMsgHeader header{};
+  read_framing_tolerant(reader, channel, self, util::object_bytes_mut(header));
+  return header;
+}
+
+GtmStripeHeader VirtualChannel::read_stripe_header_tolerant(
+    MessageReader& reader, Channel& channel, NodeRank self) {
+  GtmStripeHeader header{};
+  read_framing_tolerant(reader, channel, self, util::object_bytes_mut(header));
+  MAD_ASSERT(header.rails > 0 && header.rail < header.rails,
+             "bad rail index on the wire");
+  MAD_ASSERT(header.share > 0, "zero stripe share on the wire");
+  return header;
+}
+
+Preamble VirtualChannel::read_stream_head(MessageReader& reader,
+                                          Channel& channel, NodeRank self,
+                                          std::optional<GtmMsgHeader>& header,
+                                          GtmStripeHeader* stripe) {
+  header.reset();
+  const NodeRank peer = reader.source();
+  std::vector<std::byte> scratch(static_cast<std::size_t>(mtu_) +
+                                 kGtmTrailerBytes);
+  std::optional<Preamble> preamble;
+  const auto count_ghost = [&](util::ByteSpan wire) {
+    discard_stale_paquet(channel, peer, self, wire);
+  };
+  for (;;) {
+    const std::uint32_t got =
+        reader.unpack_paquet(util::MutByteSpan(scratch));
+    const util::ByteSpan wire(scratch.data(), got);
+    GtmPaquetTrailer trailer;
+    if (checksum_valid_paquet(wire, &trailer)) {
+      // A late data paquet, never a framing element (framing carries no
+      // trailer). Re-acked inside when its epoch already completed.
+      discard_stale_paquet(channel, peer, self, wire);
+      continue;
+    }
+    if (got == static_cast<std::uint32_t>(sizeof(Preamble))) {
+      if (preamble) {
+        // Two preambles in a row: the first was ghost framing whose header
+        // a fault window ate. Charge it as stale and adopt the new one.
+        count_ghost(util::object_bytes(*preamble));
+      }
+      Preamble p;
+      std::memcpy(&p, scratch.data(), sizeof(Preamble));
+      preamble = p;
+      if (p.forwarded == 0) {
+        return p;  // native stream: no GTM header follows
+      }
+      continue;
+    }
+    if (got == static_cast<std::uint32_t>(sizeof(GtmMsgHeader)) && preamble &&
+        !header) {
+      GtmMsgHeader h;
+      std::memcpy(&h, scratch.data(), sizeof(GtmMsgHeader));
+      if ((h.flags & kGtmFlagReliable) != 0) {
+        const Connection& conn = channel.connection_to(peer);
+        if (h.epoch <= conn.rx_epoch_done) {
+          // Ghost head: duplicated framing of a stream this connection
+          // already received to the end marker. Reopening it would deliver
+          // the message twice — drop the whole head and keep parsing (the
+          // genuine head of the announced message is still behind it).
+          count_ghost(util::object_bytes(*preamble));
+          count_ghost(wire);
+          preamble.reset();
+          continue;
+        }
+      }
+      header = h;
+      if (stripe == nullptr) {
+        return *preamble;
+      }
+      *stripe = read_stripe_header_tolerant(reader, channel, self);
+      return *preamble;
+    }
+    // Anything else — wrong-sized junk, or a header with no preamble in
+    // front of it — is a leftover of the previous stream.
+    discard_stale_paquet(channel, peer, self, wire);
+  }
+}
+
+void VirtualChannel::spawn_tail_acker(Channel& channel, NodeRank peer,
+                                      std::uint32_t epoch,
+                                      std::uint32_t last_seq) {
+  const Connection& conn = channel.connection_to(peer);
+  net::Network& network = channel.network();
+  const std::uint64_t tag = conn.rx_tag;
+  const int self_nic = channel.tm().nic().index();
+  const int peer_nic = conn.peer_nic_index;
+  const sim::Time interval = options_.reliable.ack_timeout;
+  const int reposts = options_.reliable.max_attempts;
+  domain_.engine().spawn(
+      name_ + ".tailack." + std::to_string(peer),
+      [this, &network, tag, self_nic, peer_nic, epoch, last_seq, interval,
+       reposts] {
+        sim::Engine& eng = domain_.engine();
+        // One repost surviving suppression is enough (the ack board
+        // retains it and wakes the sender), so max_attempts reposts spaced
+        // ack_timeout apart outlast any transient fault window the sender
+        // itself is expected to ride out.
+        for (int i = 0; i < reposts; ++i) {
+          eng.sleep_for(interval);
+          network.post_ack(tag, self_nic, peer_nic, epoch, last_seq);
+        }
+      },
+      /*daemon=*/true);
+}
+
 void VirtualChannel::mark_dead(NodeRank rank) {
+  dead_.insert(rank);
+  const bool was_excluded = routing_->excluded(rank);
   routing_->exclude(rank);
+  if (health_ != nullptr && !was_excluded) {
+    health_->note_excluded(rank, domain_.engine().now());
+  }
 }
 
 bool VirtualChannel::is_dead(NodeRank rank) const {
-  return routing_->excluded(rank);
+  return dead_.count(rank) != 0;
 }
 
 bool VirtualChannel::node_crashed(NodeRank rank) const {
@@ -120,6 +309,98 @@ bool VirtualChannel::node_crashed(NodeRank rank) const {
     }
   }
   return false;
+}
+
+bool VirtualChannel::node_crashed_within(NodeRank rank,
+                                         sim::Time since) const {
+  const sim::Time now = domain_.engine().now();
+  for (const int local : topology_->networks_of(rank)) {
+    net::Network& net = network(local);
+    const net::FaultInjector* injector = net.fault_injector();
+    if (injector != nullptr &&
+        injector->nic_down_within(domain_.nic_of(rank, net).index(), since,
+                                  now)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void VirtualChannel::quarantine_node(NodeRank rank, sim::Time now) {
+  // Snapshot which member pairs can currently talk; if dropping the node
+  // would disconnect any of them, keep the sick gateway — degraded service
+  // beats a partition.
+  std::vector<std::pair<NodeRank, NodeRank>> connected;
+  for (const auto& [a, unused_a] : endpoints_) {
+    for (const auto& [b, unused_b] : endpoints_) {
+      if (a < b && a != rank && b != rank && routing_->reachable(a, b)) {
+        connected.emplace_back(a, b);
+      }
+    }
+  }
+  routing_->exclude(rank);
+  for (const auto& [a, b] : connected) {
+    if (!routing_->reachable(a, b)) {
+      routing_->readmit(rank);
+      domain_.fabric().metrics().add("health.quarantine_vetoed",
+                                     "node=" + std::to_string(rank));
+      return;
+    }
+  }
+  health_->note_excluded(rank, now);
+  domain_.fabric().metrics().add("health.quarantines",
+                                 "node=" + std::to_string(rank));
+  if (options_.trace != nullptr) {
+    options_.trace->instant_here("health.quarantine",
+                                 "node=" + std::to_string(rank));
+  }
+}
+
+void VirtualChannel::readmit_node(NodeRank rank, sim::Time now) {
+  routing_->readmit(rank);
+  dead_.erase(rank);
+  health_->note_readmitted(rank, now);
+  domain_.fabric().metrics().add("health.readmissions",
+                                 "node=" + std::to_string(rank));
+  if (options_.trace != nullptr) {
+    options_.trace->instant_here("health.readmit",
+                                 "node=" + std::to_string(rank));
+  }
+}
+
+void VirtualChannel::spawn_health_actor() {
+  domain_.engine().spawn(
+      name_ + ".health",
+      [this] {
+        sim::Engine& eng = domain_.engine();
+        for (;;) {
+          eng.sleep_for(options_.health.check_interval);
+          const sim::Time now = eng.now();
+          for (const auto& [rank, endpoint] : endpoints_) {
+            if (!is_gateway(rank)) {
+              continue;
+            }
+            if (!routing_->excluded(rank)) {
+              if (!health_->node_healthy(rank, now)) {
+                quarantine_node(rank, now);
+              }
+            } else if (health_->may_readmit(rank, now) &&
+                       !node_crashed(rank)) {
+              // Trial readmission: a still-sick node fails fast, gets
+              // re-excluded with a grown flap penalty, and is eventually
+              // suppressed until the penalty decays — BGP damping.
+              readmit_node(rank, now);
+            }
+          }
+          health_->advance(now);
+          if (health_->take_costs_dirty()) {
+            routing_->refresh_costs();
+            domain_.fabric().metrics().add("health.cost_refreshes",
+                                           "vc=" + name_);
+          }
+        }
+      },
+      /*daemon=*/true);
 }
 
 bool VirtualChannel::is_member(NodeRank rank) const {
@@ -209,14 +490,21 @@ void VirtualChannel::spawn_pollers() {
             for (;;) {
               channel.wait_incoming();
               MessageReader reader = channel.begin_unpacking();
+              Preamble preamble{};
+              std::optional<GtmMsgHeader> header;
               if (options_.reliable.enabled) {
-                drain_stale_paquets(reader, ep->rank());
+                // Boundary parse: skips late retransmits and ghost framing
+                // of finished streams; pre-reads the GTM header of a
+                // forwarded message (the ghost filter needs its epoch).
+                preamble =
+                    read_stream_head(reader, channel, ep->rank(), header);
+              } else {
+                preamble = read_preamble(reader);
               }
-              const Preamble preamble = read_preamble(reader);
               auto done =
                   std::make_shared<sim::Condition>(eng, actor_name + ".done");
               ep->inbox().send(VcIncoming{std::move(reader), preamble,
-                                          &channel, done});
+                                          header, &channel, done});
               // Serialize messages per real channel: the next
               // begin_unpacking would otherwise steal packets of the
               // message the application is still consuming.
@@ -240,16 +528,25 @@ void VirtualChannel::spawn_pollers() {
               for (;;) {
                 stripe_channel.wait_incoming();
                 MessageReader reader = stripe_channel.begin_unpacking();
+                Preamble preamble{};
+                GtmMsgHeader header{};
+                GtmStripeHeader stripe{};
                 if (options_.reliable.enabled) {
-                  drain_stale_paquets(reader, ep->rank());
+                  std::optional<GtmMsgHeader> h;
+                  preamble = read_stream_head(reader, stripe_channel,
+                                              ep->rank(), h, &stripe);
+                  MAD_ASSERT(h.has_value(),
+                             "native message on a stripe channel");
+                  header = *h;
+                } else {
+                  preamble = read_preamble(reader);
+                  MAD_ASSERT(preamble.forwarded != 0,
+                             "native message on a stripe channel");
+                  header = read_msg_header(reader);
+                  stripe = read_stripe_header(reader);
                 }
-                const Preamble preamble = read_preamble(reader);
-                MAD_ASSERT(preamble.forwarded != 0,
-                           "native message on a stripe channel");
-                const GtmMsgHeader header = read_msg_header(reader);
                 MAD_ASSERT((header.flags & kGtmFlagStriped) != 0,
                            "non-striped message on a stripe channel");
-                const GtmStripeHeader stripe = read_stripe_header(reader);
                 MAD_ASSERT(stripe.rail == static_cast<std::uint16_t>(rail),
                            "rail delivered on the wrong stripe channel");
                 auto done = std::make_shared<sim::Condition>(
@@ -416,6 +713,7 @@ void VcMessageWriter::open_reliable_hop() {
   // Route by value: recover() may trigger a concurrent rebuild.
   const topo::Hop first = vc_->routing().route(src_, dst_).front();
   next_hop_ = first.node;
+  route_epoch_ = vc_->routing().epoch();
   out_channel_ = &vc_->special_channel(first.network, src_);
   epoch_ = ++out_channel_->connection_to(next_hop_).tx_epoch;
   seq_ = 0;
@@ -432,6 +730,14 @@ ReliableSender& VcMessageWriter::sender() {
     sender_ = std::make_unique<ReliableSender>(*vc_, src_, *inner_,
                                                *out_channel_, next_hop_,
                                                epoch_);
+    // Mirror of what open_reliable_hop wrote, re-sent with every paquet-0
+    // retransmission in case a fault window ate the original framing.
+    sender_->set_framing(
+        Preamble{static_cast<std::uint32_t>(src_), 1},
+        GtmMsgHeader{static_cast<std::uint32_t>(dst_),
+                     static_cast<std::uint32_t>(src_), mtu_, epoch_,
+                     kGtmFlagReliable},
+        std::nullopt);
   }
   return *sender_;
 }
@@ -458,19 +764,32 @@ void VcMessageWriter::emit_end() {
   snd.flush();
 }
 
-void VcMessageWriter::recover(const HopFailure& failure, bool finishing) {
-  HopFailure failed = failure;
+bool VcMessageWriter::stale_dead_route() const {
+  // The epoch check alone is not enough (any unrelated exclude bumps it);
+  // the hop check alone is not enough either (is_dead() consults state a
+  // concurrent rebuild replaces). Together they mean: the table moved AND
+  // our stream's peer is gone — replaying through it can only time out.
+  return route_epoch_ != vc_->routing().epoch() && vc_->is_dead(next_hop_);
+}
+
+void VcMessageWriter::reroute(const HopFailure* failure, bool finishing) {
+  std::optional<HopFailure> failed;
+  if (failure != nullptr) {
+    failed = *failure;
+  }
   for (;;) {
     ReliabilityStats& stats =
         vc_->mutable_gateway_stats(src_).reliability;
-    vc_->mark_dead(failed.next_hop);
-    ++stats.peers_declared_dead;
     sim::MetricsRegistry& metrics = vc_->domain().fabric().metrics();
     const std::string node_label = "node=" + std::to_string(src_);
-    metrics.add("rel.dead_peers", node_label);
-    if (vc_->options().trace != nullptr) {
-      vc_->options().trace->instant_here(
-          "rel.dead", "peer=" + std::to_string(failed.next_hop));
+    if (failed) {
+      vc_->mark_dead(failed->next_hop);
+      ++stats.peers_declared_dead;
+      metrics.add("rel.dead_peers", node_label);
+      if (vc_->options().trace != nullptr) {
+        vc_->options().trace->instant_here(
+            "rel.dead", "peer=" + std::to_string(failed->next_hop));
+      }
     }
     // Drop the window first — its in-flight paquets die with the hop and
     // must not outlive the MessageWriter they reference. Express flushing
@@ -480,18 +799,30 @@ void VcMessageWriter::recover(const HopFailure& failure, bool finishing) {
     inner_->end_packing();
     inner_.reset();
     if (!vc_->routing().reachable(src_, dst_)) {
+      const std::string why =
+          failed ? "gateway " + std::to_string(failed->next_hop) +
+                       " declared dead after " +
+                       std::to_string(failed->attempts) + " attempts"
+                 : "its route was invalidated under it";
       MAD_PANIC("node " + std::to_string(dst_) + " unreachable from " +
-                std::to_string(src_) + ": gateway " +
-                std::to_string(failed.next_hop) + " declared dead after " +
-                std::to_string(failed.attempts) +
-                " attempts and no alternate route exists");
+                std::to_string(src_) + ": " + why +
+                " and no alternate route exists");
     }
-    ++stats.failovers;
-    metrics.add("rel.failovers", node_label);
-    if (vc_->options().trace != nullptr) {
-      vc_->options().trace->instant_here(
-          "rel.failover", "dst=" + std::to_string(dst_) + " around=" +
-                              std::to_string(failed.next_hop));
+    if (failed) {
+      ++stats.failovers;
+      metrics.add("rel.failovers", node_label);
+      if (vc_->options().trace != nullptr) {
+        vc_->options().trace->instant_here(
+            "rel.failover", "dst=" + std::to_string(dst_) + " around=" +
+                                std::to_string(failed->next_hop));
+      }
+    } else {
+      metrics.add("health.reroutes", node_label);
+      if (vc_->options().trace != nullptr) {
+        vc_->options().trace->instant_here(
+            "health.reroute", "dst=" + std::to_string(dst_) + " from=" +
+                                  std::to_string(next_hop_));
+      }
     }
     open_reliable_hop();
     try {
@@ -529,9 +860,16 @@ void VcMessageWriter::pack(util::ByteSpan data, SendMode smode,
     replay_.push_back(ReplayBlock{
         std::vector<std::byte>(data.begin(), data.end()), smode, rmode});
     try {
-      emit_block(replay_.back());
+      if (stale_dead_route()) {
+        // Proactive reroute at the block boundary: the health actor (or a
+        // concurrent writer) invalidated our route and the next hop is
+        // dead — don't wait for the retry budget to discover it.
+        reroute(nullptr, /*finishing=*/false);
+      } else {
+        emit_block(replay_.back());
+      }
     } catch (const HopFailure& failure) {
-      recover(failure, /*finishing=*/false);
+      reroute(&failure, /*finishing=*/false);
     }
     return;
   }
@@ -557,9 +895,13 @@ void VcMessageWriter::end_packing() {
   if (!direct_) {
     if (vc_->reliable()) {
       try {
-        emit_end();
+        if (stale_dead_route()) {
+          reroute(nullptr, /*finishing=*/true);
+        } else {
+          emit_end();
+        }
       } catch (const HopFailure& failure) {
-        recover(failure, /*finishing=*/true);
+        reroute(&failure, /*finishing=*/true);
       }
     } else {
       write_block_header(*inner_, end_marker());
@@ -578,7 +920,11 @@ VcMessageReader::VcMessageReader(VcEndpoint& endpoint, VcIncoming incoming)
       self_(endpoint.rank()),
       mtu_(endpoint.vc().mtu()) {
   if (forwarded()) {
-    gtm_header_ = read_msg_header(incoming_->reader);
+    // In reliable mode the polling actor already pulled the header off the
+    // stream (its epoch drives the ghost filter); re-reading it here would
+    // desynchronize the stream.
+    gtm_header_ = incoming_->gtm_header ? *incoming_->gtm_header
+                                        : read_msg_header(incoming_->reader);
     MAD_ASSERT(gtm_header_.final_dst ==
                    static_cast<std::uint32_t>(endpoint.rank()),
                "forwarded message delivered to the wrong node");
@@ -644,7 +990,9 @@ void VcMessageReader::adopt() {
       continue;  // recheck reachability each ack_timeout slice
     }
     incoming_.emplace(std::move(*replacement));
-    const GtmMsgHeader header = read_msg_header(incoming_->reader);
+    MAD_ASSERT(incoming_->gtm_header.has_value(),
+               "reliable replacement stream arrived without its header");
+    const GtmMsgHeader header = *incoming_->gtm_header;
     MAD_ASSERT(header.final_dst == gtm_header_.final_dst &&
                    header.origin == gtm_header_.origin &&
                    header.mtu == gtm_header_.mtu &&
@@ -775,6 +1123,17 @@ void VcMessageReader::end_unpacking() {
         adopt();
       }
     }
+    // The stream is complete: late retransmits of this epoch arriving at
+    // the next message boundary are re-acked (the sender may have lost
+    // our acks to a fault window) instead of reopening the message.
+    Connection& conn =
+        incoming_->channel->connection_to(incoming_->reader.source());
+    conn.rx_epoch_done = std::max(conn.rx_epoch_done, gtm_header_.epoch);
+    // Keep re-advertising the tail ack for a while: if a fault window
+    // swallowed it, the sender would otherwise burn its whole retry budget
+    // on a message we already consumed and falsely declare this hop dead.
+    vc_->spawn_tail_acker(*incoming_->channel, incoming_->reader.source(),
+                          gtm_header_.epoch, next_seq_);
   } else if (forwarded()) {
     const GtmBlockHeader marker = read_block_header(incoming_->reader);
     MAD_ASSERT(marker.end_of_message == 1,

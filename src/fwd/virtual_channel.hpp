@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <list>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "mad/madeleine.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/trace.hpp"
+#include "topo/health.hpp"
 #include "topo/routing.hpp"
 
 namespace mad::fwd {
@@ -73,6 +75,11 @@ struct VcOptions {
   /// beyond the actual rail count are ignored; missing entries default
   /// to the derived share.
   std::vector<std::uint32_t> rail_weights;
+  /// Link-health monitoring (topo/health.hpp): EWMA edge scores from the
+  /// reliable layer's RTT/loss signals drive quality-weighted routing,
+  /// quarantine of browned-out gateways, flap-damped readmission, and
+  /// stripe-rail demotion. Off by default (zero behaviour change).
+  topo::HealthOptions health;
 };
 
 class VcEndpoint;
@@ -118,19 +125,77 @@ class VirtualChannel {
   /// message opens with the preamble paquet and the preamble is strictly
   /// smaller than any reliable paquet (see generic_tm.hpp), so at a
   /// message boundary the wire size alone identifies a stale paquet.
-  void drain_stale_paquets(MessageReader& reader, NodeRank self);
+  /// Checksum-valid drops of an epoch the channel's connection already
+  /// completed are re-acked (see Connection::rx_epoch_done).
+  void drain_stale_paquets(MessageReader& reader, Channel& channel,
+                           NodeRank self);
+
+  /// Reliable-mode header reads that tolerate what a lossy fault window
+  /// leaves in front of the expected element: duplicated framing from
+  /// paquet-0 retransmissions (ReliableSender::set_framing) and stray data
+  /// paquets whose own framing was lost. Anything that is not the element
+  /// is dropped via the drain_stale_paquets accounting — unacknowledged
+  /// unless its epoch already completed — so a sender whose header was
+  /// eaten keeps retransmitting paquet 0 (with the prologue) until the
+  /// receiver re-frames.
+  GtmMsgHeader read_msg_header_tolerant(MessageReader& reader,
+                                        Channel& channel, NodeRank self);
+  GtmStripeHeader read_stripe_header_tolerant(MessageReader& reader,
+                                              Channel& channel,
+                                              NodeRank self);
+
+  /// Reliable-mode boundary parse: returns the first *genuine* stream head
+  /// on `reader` — the preamble, plus the GTM message header when the
+  /// stream is forwarded (and the stripe header too when `stripe` is
+  /// non-null, i.e. on a stripe-channel poller). Everything in front of it
+  /// is dropped with the drain accounting: late data paquets (re-acked
+  /// when their epoch completed), duplicated framing from paquet-0
+  /// retransmissions, and whole GHOST heads — framing of an epoch the
+  /// connection already finished, which would otherwise reopen a delivered
+  /// message as a new one. Safe to block: a message announce precedes this
+  /// call, and per-connection ordering puts all leftover junk of the
+  /// previous hop message before the announced message's framing.
+  Preamble read_stream_head(MessageReader& reader, Channel& channel,
+                            NodeRank self,
+                            std::optional<GtmMsgHeader>& header,
+                            GtmStripeHeader* stripe = nullptr);
+
+  /// Called by a receiver right after it consumed a reliable stream's end
+  /// marker: spawns a transient actor that re-posts the stream's final
+  /// cumulative ack a bounded number of times. A fault window can suppress
+  /// every ack of the stream's tail AFTER the receiver is done with it —
+  /// at which point nothing re-acks the sender's retransmissions (the next
+  /// boundary drain only runs when another message arrives, and the stuck
+  /// sender is exactly what prevents that), so the sender would burn its
+  /// whole retry budget, wrongly declare the hop dead, and replay a
+  /// delivered message. Re-posting is idempotent: the ack board keeps only
+  /// the max seq per epoch and drops posts of superseded epochs.
+  void spawn_tail_acker(Channel& channel, NodeRank peer, std::uint32_t epoch,
+                        std::uint32_t last_seq);
 
   /// Declares a node dead (reliable mode, after a hop exhausted its retry
   /// budget): removes it from the routing graph and recomputes all routes,
-  /// so subsequent and in-flight messages fail over. Idempotent.
+  /// so subsequent and in-flight messages fail over. Idempotent. Distinct
+  /// from a health *quarantine* (routing exclusion only): is_dead() stays
+  /// false for a quarantined-but-alive node, so receivers keep waiting on
+  /// its streams instead of declaring the peer gone.
   void mark_dead(NodeRank rank);
   bool is_dead(NodeRank rank) const;
+
+  /// Health monitor driving adaptive routing; nullptr unless
+  /// options().health.enabled.
+  topo::HealthMonitor* health() const { return health_.get(); }
 
   /// True when `rank`'s NIC on any of this channel's networks has a fault-
   /// plan crash event at or before the current virtual time — lets a
   /// crashed gateway's own actors stand down instead of mis-diagnosing
   /// their peers.
   bool node_crashed(NodeRank rank) const;
+
+  /// True when any crash window of `rank` overlaps [since, now]: a
+  /// recovered gateway uses this to discard relay state captured before
+  /// its own outage (the downstream copy may already exist).
+  bool node_crashed_within(NodeRank rank, sim::Time since) const;
 
   /// Member = node with a NIC on at least one of the virtual channel's
   /// networks.
@@ -158,6 +223,24 @@ class VirtualChannel {
  private:
   void spawn_pollers();
   void spawn_gateways();
+  /// Health-enabled only: the periodic actor that quarantines unhealthy
+  /// gateways, trial-readmits damped ones, and refreshes route costs.
+  void spawn_health_actor();
+  /// Routing-only exclusion of a live-but-sick gateway, vetoed (undone)
+  /// when it would partition any currently-connected member pair.
+  void quarantine_node(NodeRank rank, sim::Time now);
+  /// Reverses exclusion (quarantine or mark_dead) and wipes the node's
+  /// health samples for a clean trial.
+  void readmit_node(NodeRank rank, sim::Time now);
+  /// Accounts one non-element paquet pulled off a reliable stream and
+  /// re-acks it when it is a checksum-valid paquet of an epoch `channel`'s
+  /// connection to `peer` already completed.
+  void discard_stale_paquet(Channel& channel, NodeRank peer, NodeRank self,
+                            util::ByteSpan wire);
+  /// Pulls paquets off `reader` until one matches `element`'s size without
+  /// being a checksum-valid reliable paquet, then copies it out.
+  void read_framing_tolerant(MessageReader& reader, Channel& channel,
+                             NodeRank self, util::MutByteSpan element);
 
   Domain& domain_;
   std::string name_;
@@ -166,6 +249,10 @@ class VirtualChannel {
   std::uint32_t mtu_ = 0;
   std::unique_ptr<topo::Topology> topology_;
   std::unique_ptr<topo::Routing> routing_;
+  std::unique_ptr<topo::HealthMonitor> health_;
+  // Nodes declared dead by the retry budget — a (reversible) superset
+  // split from routing exclusion, which quarantines also use.
+  std::set<NodeRank> dead_;
   std::vector<ChannelId> regular_ids_;  // per local network
   std::vector<ChannelId> special_ids_;
   // Per rail >= 1, per local network (striping only; empty when
@@ -182,6 +269,10 @@ class VirtualChannel {
 struct VcIncoming {
   MessageReader reader;
   Preamble preamble;
+  /// Read early by the polling actor for forwarded reliable messages (it
+  /// needs the epoch to filter ghost reopens from duplicated framing); the
+  /// VcMessageReader then must not read it from the stream again.
+  std::optional<GtmMsgHeader> gtm_header;
   Channel* channel = nullptr;
   std::shared_ptr<sim::Condition> done;
 };
@@ -300,9 +391,15 @@ class VcMessageWriter {
   };
   void emit_block(const ReplayBlock& block);
   void emit_end();
-  // Declares the failed hop dead and replays the message via an alternate
-  // route; panics with an "unreachable" diagnosis when none exists.
-  void recover(const HopFailure& failure, bool finishing);
+  // Re-resolves the route and replays the message: with a HopFailure the
+  // failed hop is first declared dead (reactive failover); with nullptr
+  // the route table simply moved under us and the current next hop is
+  // dead (proactive reroute — no one to condemn). Panics with an
+  // "unreachable" diagnosis when no alternate route exists.
+  void reroute(const HopFailure* failure, bool finishing);
+  // The route epoch moved since this hop was opened AND the hop's peer is
+  // now dead: the stream is doomed, reroute before feeding it more.
+  bool stale_dead_route() const;
 
   VirtualChannel* vc_;
   NodeRank src_ = -1;
@@ -317,6 +414,7 @@ class VcMessageWriter {
   NodeRank next_hop_ = -1;
   std::uint32_t epoch_ = 0;
   std::uint32_t seq_ = 0;
+  std::uint64_t route_epoch_ = 0;  // routing().epoch() when the hop opened
   std::unique_ptr<ReliableSender> sender_;
   std::vector<ReplayBlock> replay_;
 };

@@ -69,6 +69,31 @@ DisjointRailWorld::DisjointRailWorld(fwd::VcOptions options) {
              options);
 }
 
+DualGatewayWorld::DualGatewayWorld(fwd::VcOptions options) {
+  fabric.emplace(engine);
+  if (options.trace != nullptr) {
+    engine.set_trace(options.trace);
+    fabric->set_trace(options.trace);
+  }
+  myri = &fabric->add_network("myri0", net::bip_myrinet());
+  sci = &fabric->add_network("sci0", net::sisci_sci());
+  net::Host& m0 = fabric->add_host("m0");
+  m0.add_nic(*myri);
+  net::Host& gw1 = fabric->add_host("gw1");
+  gw1.add_nic(*myri);
+  gw1.add_nic(*sci);
+  net::Host& gw2 = fabric->add_host("gw2");
+  gw2.add_nic(*myri);
+  gw2.add_nic(*sci);
+  net::Host& s0 = fabric->add_host("s0");
+  s0.add_nic(*sci);
+  domain.emplace(*fabric);
+  for (net::Host* h : {&m0, &gw1, &gw2, &s0}) {
+    domain->add_node(*h);
+  }
+  vc.emplace(*domain, "vc", std::vector<net::Network*>{myri, sci}, options);
+}
+
 StoreForwardWorld::StoreForwardWorld() {
   fabric.emplace(engine);
   net::Network& myri = fabric->add_network("myri0", net::bip_myrinet());

@@ -60,6 +60,26 @@ struct DisjointRailWorld {
   std::optional<fwd::VirtualChannel> vc;
 };
 
+/// Redundant-gateway world for churn and failover benches: one Myrinet and
+/// one SCI cluster bridged by TWO gateways, both on both networks, so
+/// m0→s0 always has an alternate route when one gateway is quarantined or
+/// dies. Ranks: m0=0, gw1=1, gw2=2, s0=3. NIC indices: myri{m0=0, gw1=1,
+/// gw2=2}, sci{gw1=0, gw2=1, s0=2}.
+struct DualGatewayWorld {
+  explicit DualGatewayWorld(fwd::VcOptions options = {});
+
+  NodeRank src_node() const { return 0; }
+  NodeRank dst_node() const { return 3; }
+  fwd::VcEndpoint& ep(NodeRank rank) { return vc->endpoint(rank); }
+
+  sim::Engine engine;
+  std::optional<net::Fabric> fabric;
+  net::Network* myri = nullptr;
+  net::Network* sci = nullptr;
+  std::optional<Domain> domain;
+  std::optional<fwd::VirtualChannel> vc;
+};
+
 /// The same hardware as PaperWorld but with application-level
 /// store-and-forward routing instead of the in-library forwarder
 /// (baseline 1).

@@ -53,12 +53,8 @@ MessageWriter Channel::begin_packing(NodeRank dst) {
 
 MessageReader Channel::begin_unpacking() {
   if (uses_announce()) {
-    // Wait for the next announce; its payload is the sender's rank.
-    const auto payload = tm_.recv_packet_owned(announce_tag());
-    MAD_ASSERT(payload.size() == sizeof(std::uint32_t), "bad announce size");
-    std::uint32_t src = 0;
-    std::memcpy(&src, payload.data(), sizeof src);
-    return MessageReader(*this, static_cast<NodeRank>(src));
+    const AnnouncePacket announce = next_announce();
+    return MessageReader(*this, static_cast<NodeRank>(announce.rank));
   }
   // Two members: the only possible source is the other one.
   const NodeRank src = members_[0] == self_ ? members_[1] : members_[0];
@@ -96,16 +92,30 @@ MessageReader Channel::begin_unpacking_from(NodeRank src) {
   if (uses_announce()) {
     // The announce stream still carries one entry per message; consume it
     // to stay in sync with interleaved any-source receives.
-    const auto payload = tm_.recv_packet_owned(announce_tag());
-    MAD_ASSERT(payload.size() == sizeof(std::uint32_t), "bad announce size");
-    std::uint32_t announced = 0;
-    std::memcpy(&announced, payload.data(), sizeof announced);
-    MAD_ASSERT(static_cast<NodeRank>(announced) == src,
+    const AnnouncePacket announce = next_announce();
+    MAD_ASSERT(static_cast<NodeRank>(announce.rank) == src,
                "begin_unpacking_from(" + std::to_string(src) +
                    ") but the next message is from " +
-                   std::to_string(announced));
+                   std::to_string(announce.rank));
   }
   return MessageReader(*this, src);
+}
+
+AnnouncePacket Channel::next_announce() {
+  for (;;) {
+    const auto payload = tm_.recv_packet_owned(announce_tag());
+    MAD_ASSERT(payload.size() == sizeof(AnnouncePacket), "bad announce size");
+    AnnouncePacket announce{};
+    std::memcpy(&announce, payload.data(), sizeof announce);
+    Connection& conn = connection_to(static_cast<NodeRank>(announce.rank));
+    if (announce.seq <= conn.rx_announce_seen) {
+      // A re-announce of a message whose original announce also made it
+      // through (MessageWriter::resend_announce): this entry is surplus.
+      continue;
+    }
+    conn.rx_announce_seen = announce.seq;
+    return announce;
+  }
 }
 
 }  // namespace mad

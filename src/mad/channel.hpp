@@ -84,6 +84,10 @@ class Channel {
   MessageReader begin_unpacking_from(NodeRank src);
 
  private:
+  /// Blocks for the next announce that is not a duplicate re-announce
+  /// (MessageWriter::resend_announce) and records it as consumed.
+  AnnouncePacket next_announce();
+
   Domain& domain_;
   ChannelId id_;
   std::string name_;

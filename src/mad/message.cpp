@@ -17,9 +17,11 @@ MessageWriter::MessageWriter(Channel& channel, NodeRank dst)
   conn.lock_tx();
   connection_ = &conn;
   if (channel.uses_announce()) {
-    const std::uint32_t self = static_cast<std::uint32_t>(channel.rank());
+    announce_seq_ = ++conn.tx_announce_next;
+    const AnnouncePacket announce{static_cast<std::uint32_t>(channel.rank()),
+                                  announce_seq_};
     channel.tm().send_packet(conn.peer_nic_index, channel.announce_tag(),
-                             util::ConstIovec{util::object_bytes(self)});
+                             util::ConstIovec{util::object_bytes(announce)});
   }
   bmm_ = channel.pmm().make_tx(channel.tm(),
                                TxRoute{conn.peer_nic_index, conn.tx_tag});
@@ -36,6 +38,17 @@ MessageWriter::~MessageWriter() {
       // Swallowed: the next blocking call in this actor re-raises shutdown.
     }
   }
+}
+
+void MessageWriter::resend_announce() {
+  if (announce_seq_ == 0) {
+    return;
+  }
+  const AnnouncePacket announce{static_cast<std::uint32_t>(channel_->rank()),
+                                announce_seq_};
+  channel_->tm().send_packet(connection_->peer_nic_index,
+                             channel_->announce_tag(),
+                             util::ConstIovec{util::object_bytes(announce)});
 }
 
 void MessageWriter::pack(util::ByteSpan data, SendMode smode,

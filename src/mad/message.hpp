@@ -46,12 +46,21 @@ class MessageWriter {
   /// has been handed to the network.
   void end_packing();
 
+  /// Re-sends this message's announce packet with its original sequence
+  /// number (no-op on channels without an announce stream). A reliable
+  /// sender calls this when retransmitting paquet 0: the one-shot announce
+  /// is the only way the receiver learns a message exists, so losing it to
+  /// a fault window would otherwise strand the whole stream unread. The
+  /// receiver dedupes by sequence number (Channel::begin_unpacking).
+  void resend_announce();
+
  private:
   Channel* channel_;
   NodeRank dst_;
   struct Connection* connection_ = nullptr;  // tx-locked until end_packing
   std::unique_ptr<BmmTx> bmm_;
   std::uint64_t payload_bytes_ = 0;
+  std::uint32_t announce_seq_ = 0;  // 0 = channel sends no announces
   sim::Time begin_ = 0;  // begin_packing instant (message-latency metric)
   bool ended_ = false;
 };

@@ -1,8 +1,46 @@
 #include "net/fault.hpp"
 
+#include "sim/metrics.hpp"
 #include "util/panic.hpp"
 
 namespace mad::net {
+
+namespace {
+
+/// True while a (possibly repeating) [from, until) window covers `now`.
+bool window_covers(sim::Time from, sim::Time until, sim::Time period,
+                   sim::Time now) {
+  if (now < from) {
+    return false;
+  }
+  if (period == 0) {
+    return now < until;
+  }
+  return (now - from) % period < until - from;
+}
+
+/// Matches the window's (src, dst) pair against a packet's, honoring the
+/// -1 wildcards and, when `bidirectional`, the reversed pair too.
+bool pair_matches(int wsrc, int wdst, bool bidirectional, int src, int dst) {
+  const auto one_way = [](int a, int b, int s, int d) {
+    return (a < 0 || a == s) && (b < 0 || b == d);
+  };
+  return one_way(wsrc, wdst, src, dst) ||
+         (bidirectional && one_way(wsrc, wdst, dst, src));
+}
+
+void validate_window(sim::Time from, sim::Time until, sim::Time period,
+                     const std::string& kind) {
+  MAD_ASSERT(until > from, kind + " window must have until > from");
+  if (period != 0) {
+    MAD_ASSERT(until != sim::kForever,
+               "repeating " + kind + " window needs a finite down phase");
+    MAD_ASSERT(period >= until - from,
+               kind + " window period shorter than its down phase never ends");
+  }
+}
+
+}  // namespace
 
 const char* fault_action_name(FaultAction action) {
   switch (action) {
@@ -18,22 +56,75 @@ const char* fault_action_name(FaultAction action) {
   return "?";
 }
 
+LinkDownWindow& FaultPlan::add_symmetric_link_down(sim::Time from,
+                                                   sim::Time until, int nic_a,
+                                                   int nic_b,
+                                                   sim::Time period) {
+  link_downs.push_back({from, until, nic_a, nic_b, period, true});
+  return link_downs.back();
+}
+
+void FaultPlan::validate() const {
+  const auto rate_ok = [](double rate) { return rate >= 0.0 && rate <= 1.0; };
+  MAD_ASSERT(rate_ok(drop_rate) && rate_ok(corrupt_rate) &&
+                 rate_ok(duplicate_rate),
+             "fault rates must be in [0, 1]");
+  MAD_ASSERT(drop_rate + corrupt_rate + duplicate_rate <= 1.0,
+             "fault rates must sum to at most 1");
+  for (const LinkDownWindow& window : link_downs) {
+    validate_window(window.from, window.until, window.period, "link-down");
+  }
+  for (const DegradedLinkWindow& window : degraded) {
+    validate_window(window.from, window.until, window.period, "degraded");
+    MAD_ASSERT(rate_ok(window.drop_rate),
+               "degraded drop rate must be in [0, 1]");
+    MAD_ASSERT(window.extra_latency >= 0,
+               "degraded extra latency must be non-negative");
+  }
+  for (const NicCrash& crash : crashes) {
+    MAD_ASSERT(crash.nic_index >= 0, "crash needs a NIC index");
+    MAD_ASSERT(crash.recover_at > crash.at,
+               "crash recovery must come after the crash");
+  }
+}
+
 FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(std::move(plan)), rng_(plan_.seed) {
-  MAD_ASSERT(plan_.drop_rate >= 0.0 && plan_.corrupt_rate >= 0.0 &&
-                 plan_.duplicate_rate >= 0.0,
-             "fault rates must be non-negative");
-  MAD_ASSERT(
-      plan_.drop_rate + plan_.corrupt_rate + plan_.duplicate_rate <= 1.0,
-      "fault rates must sum to at most 1");
-  for (const NicCrash& crash : plan_.crashes) {
-    MAD_ASSERT(crash.nic_index >= 0, "crash needs a NIC index");
+  plan_.validate();
+}
+
+void FaultInjector::set_metrics(sim::MetricsRegistry* metrics,
+                                std::string label) {
+  metrics_ = metrics;
+  metrics_label_ = std::move(label);
+}
+
+void FaultInjector::bump(std::uint64_t FaultStats::* field, const char* name) {
+  ++(stats_.*field);
+  if (metrics_ != nullptr) {
+    metrics_->add(std::string("fault.") + name, metrics_label_);
   }
+}
+
+void FaultInjector::count_ack_suppressed() {
+  bump(&FaultStats::acks_suppressed, "acks_suppressed");
 }
 
 bool FaultInjector::nic_down(int nic_index, sim::Time now) const {
   for (const NicCrash& crash : plan_.crashes) {
-    if (crash.nic_index == nic_index && now >= crash.at) {
+    if (crash.nic_index == nic_index && now >= crash.at &&
+        now < crash.recover_at) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::nic_down_within(int nic_index, sim::Time since,
+                                    sim::Time until) const {
+  for (const NicCrash& crash : plan_.crashes) {
+    if (crash.nic_index == nic_index && crash.at <= until &&
+        crash.recover_at > since) {
       return true;
     }
   }
@@ -42,45 +133,78 @@ bool FaultInjector::nic_down(int nic_index, sim::Time now) const {
 
 bool FaultInjector::link_down(int src_nic, int dst_nic, sim::Time now) const {
   for (const LinkDownWindow& window : plan_.link_downs) {
-    const bool src_ok = window.src < 0 || window.src == src_nic;
-    const bool dst_ok = window.dst < 0 || window.dst == dst_nic;
-    if (src_ok && dst_ok && now >= window.from && now < window.until) {
+    if (pair_matches(window.src, window.dst, window.bidirectional, src_nic,
+                     dst_nic) &&
+        window_covers(window.from, window.until, window.period, now)) {
       return true;
     }
   }
   return false;
 }
 
+Degradation FaultInjector::degradation(int src_nic, int dst_nic,
+                                       sim::Time now) {
+  Degradation result;
+  double pass = 1.0;  // probability of surviving every matching window
+  for (const DegradedLinkWindow& window : plan_.degraded) {
+    if (pair_matches(window.src, window.dst, window.bidirectional, src_nic,
+                     dst_nic) &&
+        window_covers(window.from, window.until, window.period, now)) {
+      result.extra_latency += window.extra_latency;
+      pass *= 1.0 - window.drop_rate;
+    }
+  }
+  result.drop_rate = 1.0 - pass;
+  if (result.extra_latency > 0) {
+    bump(&FaultStats::degraded_delays, "degraded_delays");
+  }
+  return result;
+}
+
 FaultAction FaultInjector::decide(int src_nic, int dst_nic, std::uint32_t size,
                                   sim::Time now) {
   if (nic_down(src_nic, now) || nic_down(dst_nic, now)) {
-    ++stats_.crash_drops;
+    bump(&FaultStats::crash_drops, "crash_drops");
     return FaultAction::Drop;
   }
   if (link_down(src_nic, dst_nic, now)) {
-    ++stats_.link_down_drops;
+    bump(&FaultStats::link_down_drops, "link_down_drops");
     return FaultAction::Drop;
+  }
+  if (!plan_.degraded.empty() && size >= plan_.min_faultable_size) {
+    double pass = 1.0;
+    for (const DegradedLinkWindow& window : plan_.degraded) {
+      if (pair_matches(window.src, window.dst, window.bidirectional, src_nic,
+                       dst_nic) &&
+          window_covers(window.from, window.until, window.period, now)) {
+        pass *= 1.0 - window.drop_rate;
+      }
+    }
+    if (pass < 1.0 && rng_.next_double() >= pass) {
+      bump(&FaultStats::degraded_drops, "degraded_drops");
+      return FaultAction::Drop;
+    }
   }
   const double faultable =
       plan_.drop_rate + plan_.corrupt_rate + plan_.duplicate_rate;
   if (size < plan_.min_faultable_size || faultable <= 0.0) {
-    ++stats_.delivered;
+    bump(&FaultStats::delivered, "delivered");
     return FaultAction::Deliver;
   }
   const double draw = rng_.next_double();
   if (draw < plan_.drop_rate) {
-    ++stats_.dropped;
+    bump(&FaultStats::dropped, "dropped");
     return FaultAction::Drop;
   }
   if (draw < plan_.drop_rate + plan_.corrupt_rate) {
-    ++stats_.corrupted;
+    bump(&FaultStats::corrupted, "corrupted");
     return FaultAction::Corrupt;
   }
   if (draw < faultable) {
-    ++stats_.duplicated;
+    bump(&FaultStats::duplicated, "duplicated");
     return FaultAction::Duplicate;
   }
-  ++stats_.delivered;
+  bump(&FaultStats::delivered, "delivered");
   return FaultAction::Deliver;
 }
 

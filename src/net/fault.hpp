@@ -29,6 +29,10 @@
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 
+namespace mad::sim {
+class MetricsRegistry;
+}  // namespace mad::sim
+
 namespace mad::net {
 
 /// Outcome of the injector's per-packet decision, recorded in the PacketLog.
@@ -42,19 +46,43 @@ enum class FaultAction : std::uint8_t {
 const char* fault_action_name(FaultAction action);
 
 /// A [from, until) window during which packets are dropped. src/dst restrict
-/// the window to one direction of one NIC pair; -1 matches any index.
+/// the window to one direction of one NIC pair; -1 matches any index. A
+/// non-zero `period` makes the window repeat (a flapping link): it is down
+/// whenever ((now - from) mod period) < (until - from), for every now >=
+/// from. `bidirectional` matches the reversed pair too (a symmetric cable
+/// pull instead of a one-direction fault).
 struct LinkDownWindow {
   sim::Time from = 0;
   sim::Time until = sim::kForever;
   int src = -1;
   int dst = -1;
+  sim::Time period = 0;  // 0 = one-shot
+  bool bidirectional = false;
 };
 
-/// From `at` on, the NIC neither delivers nor emits anything: every packet
-/// it sources or sinks is dropped and its acknowledgements are suppressed.
+/// A brownout: during the (possibly repeating) window, matching packets
+/// still flow but arrive `extra_latency` later and faultable-size packets
+/// suffer an extra `drop_rate` loss. Models a degraded link that a health
+/// monitor should demote — not kill — before it recovers.
+struct DegradedLinkWindow {
+  sim::Time from = 0;
+  sim::Time until = sim::kForever;
+  int src = -1;
+  int dst = -1;
+  sim::Time period = 0;  // 0 = one-shot
+  bool bidirectional = false;
+  sim::Time extra_latency = 0;
+  double drop_rate = 0.0;
+};
+
+/// From `at` until `recover_at`, the NIC neither delivers nor emits
+/// anything: every packet it sources or sinks is dropped and its
+/// acknowledgements are suppressed. The default recover_at = kForever keeps
+/// the PR-1 permanent-crash semantics; a finite value models a reboot.
 struct NicCrash {
   int nic_index = -1;
   sim::Time at = 0;
+  sim::Time recover_at = sim::kForever;
 };
 
 struct FaultPlan {
@@ -68,7 +96,21 @@ struct FaultPlan {
   /// Crash and link-down faults still apply to every packet.
   std::uint32_t min_faultable_size = 256;
   std::vector<LinkDownWindow> link_downs;
+  std::vector<DegradedLinkWindow> degraded;
   std::vector<NicCrash> crashes;
+
+  /// Appends a symmetric (both directions of the a<->b pair) link-down
+  /// window and returns it for further tweaking (e.g. a flap period).
+  LinkDownWindow& add_symmetric_link_down(sim::Time from, sim::Time until,
+                                          int nic_a, int nic_b,
+                                          sim::Time period = 0);
+
+  /// Panics on inconsistent settings: rates outside [0, 1] (or summing
+  /// past 1), windows with until <= from, repeating windows whose period
+  /// is shorter than the down phase (they would never come up), crashes
+  /// with a negative NIC index or recover_at <= at. Called by the
+  /// FaultInjector constructor, mirroring ReliableOptions::validate().
+  void validate() const;
 };
 
 struct FaultStats {
@@ -78,7 +120,15 @@ struct FaultStats {
   std::uint64_t duplicated = 0;
   std::uint64_t link_down_drops = 0;
   std::uint64_t crash_drops = 0;
+  std::uint64_t degraded_drops = 0;  // brownout-window extra losses
+  std::uint64_t degraded_delays = 0;
   std::uint64_t acks_suppressed = 0;
+};
+
+/// Aggregate brownout effect on one (src, dst) packet at one instant.
+struct Degradation {
+  sim::Time extra_latency = 0;
+  double drop_rate = 0.0;
 };
 
 class FaultInjector {
@@ -89,23 +139,47 @@ class FaultInjector {
   FaultStats& stats() { return stats_; }
   const FaultStats& stats() const { return stats_; }
 
-  /// Per-packet verdict, in send order. Consumes at most one Rng draw.
+  /// Dual-writes future FaultStats increments as `fault.*` counters with
+  /// `label` (e.g. "network=myri0") so churn benches can plot injected
+  /// faults against observed health scores. Pass nullptr to detach.
+  void set_metrics(sim::MetricsRegistry* metrics, std::string label);
+
+  /// Per-packet verdict, in send order. Consumes at most one Rng draw
+  /// (plus one more while a degraded window covers the pair).
   FaultAction decide(int src_nic, int dst_nic, std::uint32_t size,
                      sim::Time now);
 
-  /// True once `nic_index` has a crash event at or before `now`.
+  /// True while `nic_index` is inside a crash's [at, recover_at) window.
   bool nic_down(int nic_index, sim::Time now) const;
+
+  /// True when any crash window of `nic_index` overlaps [since, until] —
+  /// the "did it crash while I was working?" query a recovered gateway
+  /// uses to discard state from before its own outage.
+  bool nic_down_within(int nic_index, sim::Time since, sim::Time until) const;
 
   /// True while any matching link-down window covers `now`.
   bool link_down(int src_nic, int dst_nic, sim::Time now) const;
+
+  /// Sum of brownout effects covering (src, dst) at `now`: extra latencies
+  /// add, drop rates combine as independent losses. Counts a
+  /// degraded_delay when the result inflates latency.
+  Degradation degradation(int src_nic, int dst_nic, sim::Time now);
+
+  /// Counts one suppressed acknowledgement (the Network ack path calls
+  /// this so the metrics dual-write stays inside the injector).
+  void count_ack_suppressed();
 
   /// Flips one byte of `payload` to a different value (Corrupt verdict).
   void corrupt(util::MutByteSpan payload);
 
  private:
+  void bump(std::uint64_t FaultStats::* field, const char* name);
+
   FaultPlan plan_;
   FaultStats stats_;
   util::Rng rng_;
+  sim::MetricsRegistry* metrics_ = nullptr;
+  std::string metrics_label_;
 };
 
 /// Sender-visible snapshot of one ack stream at the current virtual time

@@ -16,6 +16,7 @@ Network::Network(sim::Engine& engine, int id, std::string name,
 
 void Network::set_fault_plan(FaultPlan plan) {
   injector_ = std::make_unique<FaultInjector>(std::move(plan));
+  injector_->set_metrics(metrics_, "network=" + name_);
 }
 
 void Network::post_ack(std::uint64_t tag, int receiver_nic, int sender_nic,
@@ -25,7 +26,7 @@ void Network::post_ack(std::uint64_t tag, int receiver_nic, int sender_nic,
       (injector_->nic_down(receiver_nic, now) ||
        injector_->nic_down(sender_nic, now) ||
        injector_->link_down(receiver_nic, sender_nic, now))) {
-    ++injector_->stats().acks_suppressed;
+    injector_->count_ack_suppressed();
     return;
   }
   acks_.post(tag, receiver_nic, epoch, seq, now + model_.wire_latency);
@@ -38,7 +39,7 @@ void Network::post_sack(std::uint64_t tag, int receiver_nic, int sender_nic,
       (injector_->nic_down(receiver_nic, now) ||
        injector_->nic_down(sender_nic, now) ||
        injector_->link_down(receiver_nic, sender_nic, now))) {
-    ++injector_->stats().acks_suppressed;
+    injector_->count_ack_suppressed();
     return;
   }
   acks_.post_sack(tag, receiver_nic, epoch, seq, now + model_.wire_latency);

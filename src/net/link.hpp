@@ -64,7 +64,12 @@ class Network {
   /// null on hand-built networks). NICs and the protocol layers above
   /// reach both through here.
   sim::MetricsRegistry* metrics() const { return metrics_; }
-  void set_metrics(sim::MetricsRegistry* metrics) { metrics_ = metrics; }
+  void set_metrics(sim::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+    if (injector_ != nullptr) {
+      injector_->set_metrics(metrics, "network=" + name_);
+    }
+  }
   sim::TraceSink* trace() const { return trace_; }
   void set_trace(sim::TraceSink* trace) { trace_ = trace; }
 

@@ -69,6 +69,17 @@ void Nic::send(int dst_index, std::uint64_t tag,
           ? injector->decide(index_, dst_index, static_cast<std::uint32_t>(n),
                              engine_.now())
           : FaultAction::Deliver;
+  if (injector != nullptr && !injector->plan().degraded.empty()) {
+    // A browned-out link serves packets slower: the transmit engine stalls
+    // for the extra latency while held, so queueing backs up and the
+    // sender's RTT samples inflate — exactly the signal a health monitor
+    // keys on.
+    const Degradation degraded =
+        injector->degradation(index_, dst_index, engine_.now());
+    if (degraded.extra_latency > 0) {
+      engine_.sleep_for(degraded.extra_latency);
+    }
+  }
   if (fault != FaultAction::Drop) {
     // A dropped packet never occupies the destination ring, so the sender
     // must not stall on it either (the destination may be dead).

@@ -1,7 +1,12 @@
 #include "topo/routing.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <tuple>
 
 #include "util/panic.hpp"
 
@@ -19,9 +24,13 @@ std::vector<Route> Routing::bfs_row(NodeId src,
                                     const std::vector<bool>& blocked) const {
   // Neighbours are expanded in (network id, node id) order, so the first
   // path found is the deterministic shortest one. Blocked nodes are seeded
-  // as visited: they are never entered, so no route starts at, ends at, or
-  // passes through them.
+  // as visited: they are never entered, so no route ends at or passes
+  // through them. A blocked src still expands normally — an excluded
+  // gateway keeps originating routes so it can drain accepted traffic.
   ++bfs_passes_;
+  if (costs_ != nullptr) {
+    return dijkstra_row(src, blocked);
+  }
   std::vector<Route> row(nodes_);
   std::vector<bool> visited = blocked;
   visited[static_cast<std::size_t>(src)] = true;
@@ -46,12 +55,55 @@ std::vector<Route> Routing::bfs_row(NodeId src,
   return row;
 }
 
+std::vector<Route> Routing::dijkstra_row(
+    NodeId src, const std::vector<bool>& blocked) const {
+  // Deterministic Dijkstra: the heap orders by (distance, push sequence),
+  // so among equal distances pops happen in push order — the BFS queue
+  // discipline — and strict-less relaxation keeps the first discovery at a
+  // given cost, matching bfs_row's first-wins rule. With unit costs the
+  // two produce identical tables.
+  constexpr std::uint64_t kUnreached = std::numeric_limits<std::uint64_t>::max();
+  std::vector<Route> row(nodes_);
+  std::vector<std::uint64_t> dist(nodes_, kUnreached);
+  using Entry = std::tuple<std::uint64_t, std::uint64_t, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap;
+  std::uint64_t pushes = 0;
+  dist[static_cast<std::size_t>(src)] = 0;
+  heap.push({0, pushes++, src});
+  while (!heap.empty()) {
+    const auto [d, seq, here] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(here)]) {
+      continue;  // settled by a cheaper entry
+    }
+    const Route& path_here = row[static_cast<std::size_t>(here)];
+    for (const NetworkId network : topology_->networks_of(here)) {
+      for (const NodeId next : topology_->nodes_on(network)) {
+        if (next == here || next == src ||
+            blocked[static_cast<std::size_t>(next)]) {
+          continue;
+        }
+        const std::uint32_t cost = costs_->edge_cost(here, next, network);
+        MAD_ASSERT(cost >= 1, "edge cost must be at least 1");
+        const std::uint64_t through = d + cost;
+        if (through < dist[static_cast<std::size_t>(next)]) {
+          dist[static_cast<std::size_t>(next)] = through;
+          Route path = path_here;
+          path.push_back({network, next});
+          row[static_cast<std::size_t>(next)] = std::move(path);
+          heap.push({through, pushes++, next});
+        }
+      }
+    }
+  }
+  return row;
+}
+
 void Routing::rebuild() {
+  // Excluded sources get rows too: their routes avoid every *other*
+  // excluded node, so a quarantined gateway can still reach live peers.
   std::fill(routes_.begin(), routes_.end(), Route{});
   for (NodeId src = 0; static_cast<std::size_t>(src) < nodes_; ++src) {
-    if (excluded_[static_cast<std::size_t>(src)]) {
-      continue;
-    }
     std::vector<Route> row = bfs_row(src, excluded_);
     for (NodeId dst = 0; static_cast<std::size_t>(dst) < nodes_; ++dst) {
       routes_[index(src, dst)] = std::move(row[static_cast<std::size_t>(dst)]);
@@ -66,6 +118,7 @@ void Routing::exclude(NodeId node) {
     return;
   }
   excluded_[static_cast<std::size_t>(node)] = true;
+  ++epoch_;
   // Incremental rebuild. A row's BFS tree only changes when the excluded
   // node relayed discovery inside it, and a node relays discovery in a row
   // iff some stored route of that row crosses it as an intermediate hop
@@ -75,10 +128,11 @@ void Routing::exclude(NodeId node) {
   // end at the node never force a re-run, so excluding a non-gateway costs
   // zero BFS passes.
   for (NodeId src = 0; static_cast<std::size_t>(src) < nodes_; ++src) {
-    if (src == node || excluded_[static_cast<std::size_t>(src)]) {
-      for (NodeId dst = 0; static_cast<std::size_t>(dst) < nodes_; ++dst) {
-        routes_[index(src, dst)].clear();
-      }
+    if (src == node) {
+      // The node's own row survives verbatim: it already avoids every
+      // other excluded node, and a route from the node never crosses the
+      // node as an intermediate. An excluded-but-alive gateway keeps
+      // draining the messages it accepted before quarantine.
       continue;
     }
     bool relays = false;
@@ -102,6 +156,37 @@ void Routing::exclude(NodeId node) {
       routes_[index(src, node)].clear();
     }
   }
+}
+
+void Routing::readmit(NodeId node) {
+  MAD_ASSERT(node >= 0 && static_cast<std::size_t>(node) < nodes_,
+             "bad node id in readmit");
+  if (!excluded_[static_cast<std::size_t>(node)]) {
+    return;
+  }
+  excluded_[static_cast<std::size_t>(node)] = false;
+  ++epoch_;
+  // Readmission can improve any row (the node may relay shorter paths
+  // anywhere), so the rebuild is global. Determinism of bfs_row makes the
+  // result exactly the pre-exclude table when nothing else changed.
+  rebuild();
+}
+
+void Routing::set_cost_provider(const EdgeCostProvider* costs) {
+  if (costs_ == costs) {
+    return;
+  }
+  costs_ = costs;
+  ++epoch_;
+  rebuild();
+}
+
+void Routing::refresh_costs() {
+  if (costs_ == nullptr) {
+    return;
+  }
+  ++epoch_;
+  rebuild();
 }
 
 std::vector<Route> Routing::disjoint_routes(NodeId src, NodeId dst,

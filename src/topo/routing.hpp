@@ -23,6 +23,17 @@ struct Hop {
 
 using Route = std::vector<Hop>;
 
+/// Supplies the cost of crossing one edge (from -> to over network `via`)
+/// for quality-aware routing. Costs must be >= 1; a provider returning 1
+/// everywhere reproduces hop-count routing exactly, tie-breaks included.
+/// Implemented by topo::HealthMonitor.
+class EdgeCostProvider {
+ public:
+  virtual ~EdgeCostProvider() = default;
+  virtual std::uint32_t edge_cost(NodeId from, NodeId to,
+                                  NetworkId via) const = 0;
+};
+
 class Routing {
  public:
   /// Precomputes all-pairs routes with BFS (hop-count metric). Keeps a
@@ -30,15 +41,40 @@ class Routing {
   /// recomputes routes from it).
   explicit Routing(const Topology& topology);
 
-  /// Removes a node (crashed gateway) from the graph: no route may start
-  /// at, end at, or pass through it. Idempotent. The rebuild is
-  /// incremental: a source row is re-run through BFS only when one of its
-  /// stored routes crosses the node as an *intermediate* hop — for every
-  /// other row only the route ending at the node is cleared, because a
-  /// node that relayed nothing in a row's BFS tree discovered nothing
-  /// there either, so dropping it cannot change that tree.
+  /// Removes a node (crashed or quarantined gateway) from the graph: no
+  /// route may end at or pass through it. Routes *from* the node survive —
+  /// a quarantined-but-alive gateway must still drain messages it already
+  /// accepted, so its own source row is kept verbatim (it was computed
+  /// against the same exclusions and costs a recompute would see).
+  /// Idempotent. The rebuild is incremental: a source row is re-run
+  /// through BFS only when one of its stored routes crosses the node as an
+  /// *intermediate* hop — for every other row only the route ending at the
+  /// node is cleared, because a node that relayed nothing in a row's BFS
+  /// tree discovered nothing there either, so dropping it cannot change
+  /// that tree.
   void exclude(NodeId node);
   bool excluded(NodeId node) const;
+
+  /// Reverses exclude(): the node rejoins the graph and every route it
+  /// enabled is recomputed — routes return exactly to their pre-exclude
+  /// shape (same deterministic tie-breaks) when the topology and costs
+  /// are unchanged. No-op on a node that is not excluded.
+  void readmit(NodeId node);
+
+  /// Installs (or clears, with nullptr) a quality cost model and rebuilds
+  /// the table with cost-weighted shortest paths. The provider must
+  /// outlive the Routing or be cleared first. With no provider the
+  /// original hop-count BFS runs — bit-identical routes and pass counts.
+  void set_cost_provider(const EdgeCostProvider* costs);
+  /// Rebuilds routes against the provider's current costs (call after the
+  /// health monitor moves an edge's cost). No-op without a provider.
+  void refresh_costs();
+
+  /// Monotonic route-table generation, bumped by every exclude/readmit
+  /// that changes the graph and by cost rebuilds. In-flight senders
+  /// snapshot it when they resolve a route and re-resolve when it moves
+  /// instead of dying on a stale hop.
+  std::uint64_t epoch() const { return epoch_; }
 
   bool reachable(NodeId src, NodeId dst) const;
 
@@ -72,10 +108,19 @@ class Routing {
   /// (indexed by destination). `blocked` nodes are never entered.
   std::vector<Route> bfs_row(NodeId src, const std::vector<bool>& blocked) const;
 
+  /// Cost-weighted variant of bfs_row (deterministic Dijkstra). At unit
+  /// costs it reproduces bfs_row exactly: FIFO tie-breaking among equal
+  /// distances via a push sequence number, neighbours relaxed in
+  /// (network id, node id) order, first discovery winning ties.
+  std::vector<Route> dijkstra_row(NodeId src,
+                                  const std::vector<bool>& blocked) const;
+
   const Topology* topology_;
   std::size_t nodes_;
   std::vector<bool> excluded_;
   std::vector<Route> routes_;  // nodes_ × nodes_, empty = unreachable/self
+  const EdgeCostProvider* costs_ = nullptr;
+  std::uint64_t epoch_ = 0;
   mutable std::uint64_t bfs_passes_ = 0;
 };
 

@@ -274,6 +274,253 @@ TEST(AckRegistry, StreamsAreKeyedByTagAndReceiver) {
   EXPECT_TRUE(right_nic);
 }
 
+// ------------------------------------------------- FaultPlan::validate()
+
+TEST(FaultPlanValidate, RejectsInvertedLinkDownWindow) {
+  FaultPlan plan;
+  plan.link_downs.push_back({sim::milliseconds(2), sim::milliseconds(1)});
+  EXPECT_THROW(plan.validate(), util::PanicError);
+}
+
+TEST(FaultPlanValidate, RejectsUnboundedPeriodicWindow) {
+  FaultPlan plan;
+  plan.link_downs.push_back(
+      {0, sim::kForever, -1, -1, /*period=*/sim::milliseconds(4)});
+  EXPECT_THROW(plan.validate(), util::PanicError);
+}
+
+TEST(FaultPlanValidate, RejectsPeriodShorterThanItsWindow) {
+  FaultPlan plan;
+  plan.link_downs.push_back(
+      {0, sim::milliseconds(4), -1, -1, /*period=*/sim::milliseconds(2)});
+  EXPECT_THROW(plan.validate(), util::PanicError);
+}
+
+TEST(FaultPlanValidate, RejectsDegradedWindowOutOfRange) {
+  FaultPlan overdrop;
+  overdrop.degraded.push_back(
+      {0, sim::milliseconds(1), -1, -1, 0, false, 0, /*drop_rate=*/1.5});
+  EXPECT_THROW(overdrop.validate(), util::PanicError);
+  FaultPlan negative_latency;
+  negative_latency.degraded.push_back(
+      {0, sim::milliseconds(1), -1, -1, 0, false, /*extra_latency=*/-1, 0.0});
+  EXPECT_THROW(negative_latency.validate(), util::PanicError);
+}
+
+TEST(FaultPlanValidate, RejectsMalformedCrash) {
+  FaultPlan unindexed;
+  unindexed.crashes.push_back({/*nic_index=*/-1, 0});
+  EXPECT_THROW(unindexed.validate(), util::PanicError);
+  FaultPlan never_down;
+  never_down.crashes.push_back(
+      {0, sim::milliseconds(2), /*recover_at=*/sim::milliseconds(2)});
+  EXPECT_THROW(never_down.validate(), util::PanicError);
+}
+
+TEST(FaultPlanValidate, AcceptsWellFormedPlan) {
+  FaultPlan plan;
+  plan.drop_rate = 0.1;
+  plan.corrupt_rate = 0.1;
+  plan.duplicate_rate = 0.1;
+  plan.link_downs.push_back({sim::milliseconds(1), sim::milliseconds(2), 0,
+                             1, /*period=*/sim::milliseconds(4)});
+  plan.add_symmetric_link_down(0, sim::milliseconds(1), 0, 1);
+  plan.degraded.push_back({0, sim::milliseconds(1), -1, -1, 0, true,
+                           sim::microseconds(5), 0.2});
+  plan.crashes.push_back({0, sim::milliseconds(1), sim::milliseconds(2)});
+  EXPECT_NO_THROW(plan.validate());
+}
+
+// ------------------------------------------- churn primitives (PR 6)
+
+TEST(FaultInjector, PeriodicWindowFlapsRepeatedly) {
+  FaultPlan plan;
+  plan.link_downs.push_back({sim::milliseconds(1), sim::milliseconds(2), -1,
+                             -1, /*period=*/sim::milliseconds(4)});
+  FaultInjector injector(plan);
+  // Before the first window.
+  EXPECT_EQ(injector.decide(0, 1, 16, 0), FaultAction::Deliver);
+  // First occurrence: [1ms, 2ms).
+  EXPECT_EQ(injector.decide(0, 1, 16, sim::milliseconds(1)),
+            FaultAction::Drop);
+  EXPECT_EQ(injector.decide(0, 1, 16, sim::milliseconds(2)),
+            FaultAction::Deliver);
+  // Second occurrence: [5ms, 6ms).
+  EXPECT_EQ(injector.decide(0, 1, 16, sim::milliseconds(5)),
+            FaultAction::Drop);
+  EXPECT_EQ(injector.decide(0, 1, 16, sim::milliseconds(6)),
+            FaultAction::Deliver);
+  // Far future: the flap keeps repeating.
+  EXPECT_EQ(injector.decide(0, 1, 16, sim::milliseconds(401)),
+            FaultAction::Drop);
+}
+
+TEST(FaultInjector, CrashRecoveryRestoresDelivery) {
+  FaultPlan plan;
+  plan.crashes.push_back(
+      {1, sim::milliseconds(1), /*recover_at=*/sim::milliseconds(2)});
+  FaultInjector injector(plan);
+  EXPECT_FALSE(injector.nic_down(1, 0));
+  EXPECT_TRUE(injector.nic_down(1, sim::milliseconds(1)));
+  EXPECT_FALSE(injector.nic_down(1, sim::milliseconds(2)));
+  EXPECT_EQ(injector.decide(0, 1, 16, sim::milliseconds(1)),
+            FaultAction::Drop);
+  EXPECT_EQ(injector.decide(0, 1, 16, sim::milliseconds(2)),
+            FaultAction::Deliver);
+  // Overlap query: "did it crash at any point while I was working?"
+  EXPECT_TRUE(injector.nic_down_within(1, 0, sim::milliseconds(3)));
+  EXPECT_TRUE(
+      injector.nic_down_within(1, 0, sim::milliseconds(1)));
+  EXPECT_FALSE(injector.nic_down_within(1, sim::milliseconds(2),
+                                        sim::milliseconds(3)));
+}
+
+TEST(FaultInjector, SymmetricLinkDownDropsBothDirections) {
+  FaultPlan plan;
+  plan.add_symmetric_link_down(0, sim::kForever, 0, 1);
+  FaultInjector injector(plan);
+  EXPECT_EQ(injector.decide(0, 1, 16, 0), FaultAction::Drop);
+  EXPECT_EQ(injector.decide(1, 0, 16, 0), FaultAction::Drop);
+  EXPECT_EQ(injector.decide(0, 2, 16, 0), FaultAction::Deliver);
+  EXPECT_EQ(injector.decide(2, 1, 16, 0), FaultAction::Deliver);
+}
+
+TEST(FaultInjector, DegradedWindowDropsEligiblePacketsOnly) {
+  FaultPlan plan;
+  plan.degraded.push_back({0, sim::kForever, -1, -1, 0, false,
+                           /*extra_latency=*/0, /*drop_rate=*/1.0});
+  FaultInjector injector(plan);
+  // Control-frame-sized packets stay exempt, like probabilistic faults.
+  EXPECT_EQ(injector.decide(0, 1, plan.min_faultable_size - 1, 0),
+            FaultAction::Deliver);
+  EXPECT_EQ(injector.decide(0, 1, 1024, 0), FaultAction::Drop);
+  EXPECT_EQ(injector.stats().degraded_drops, 1u);
+}
+
+TEST(FaultInjector, DegradationSumsLatencyAndCombinesDropRates) {
+  FaultPlan plan;
+  plan.degraded.push_back({0, sim::kForever, 0, 1, 0, false,
+                           sim::microseconds(5), 0.5});
+  plan.degraded.push_back({0, sim::kForever, 0, 1, 0, false,
+                           sim::microseconds(7), 0.5});
+  FaultInjector injector(plan);
+  const Degradation d = injector.degradation(0, 1, 0);
+  EXPECT_EQ(d.extra_latency, sim::microseconds(12));
+  EXPECT_DOUBLE_EQ(d.drop_rate, 0.75);  // independent losses
+  EXPECT_EQ(injector.stats().degraded_delays, 1u);
+  // The reverse direction is untouched by the directed windows.
+  const Degradation rev = injector.degradation(1, 0, 0);
+  EXPECT_EQ(rev.extra_latency, 0);
+  EXPECT_DOUBLE_EQ(rev.drop_rate, 0.0);
+}
+
+TEST(FaultNetwork, OneWayLinkDownLetsAcksThrough) {
+  sim::Engine eng;
+  FaultPlan plan;
+  // Data direction (nic 0 -> nic 1) is down; the reverse ack path is not.
+  plan.link_downs.push_back({0, sim::kForever, /*src=*/0, /*dst=*/1});
+  FaultRig rig(eng, plan);
+  bool got = false;
+  eng.spawn("receiver", [&] {
+    rig.net.post_ack(/*tag=*/7, /*receiver_nic=*/1, /*sender_nic=*/0,
+                     /*epoch=*/1, /*seq=*/0);
+  });
+  eng.spawn("sender", [&] {
+    got = rig.net.acks().await(7, 1, 1, 0, sim::milliseconds(1));
+  });
+  eng.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(rig.net.fault_injector()->stats().acks_suppressed, 0u);
+}
+
+TEST(FaultNetwork, SymmetricLinkDownSuppressesAcksToo) {
+  sim::Engine eng;
+  FaultPlan plan;
+  plan.add_symmetric_link_down(0, sim::kForever, 0, 1);
+  FaultRig rig(eng, plan);
+  bool got = true;
+  eng.spawn("receiver", [&] {
+    rig.net.post_ack(7, /*receiver_nic=*/1, /*sender_nic=*/0, 1, 0);
+  });
+  eng.spawn("sender", [&] {
+    got = rig.net.acks().await(7, 1, 1, 0, sim::milliseconds(1));
+  });
+  eng.run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(rig.net.fault_injector()->stats().acks_suppressed, 1u);
+}
+
+TEST(FaultNetwork, FaultStatsExposedAsMetricsCounters) {
+  sim::Engine eng;
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_rate = 0.5;
+  FaultRig rig(eng, plan);
+  sim::MetricsRegistry& metrics = rig.fabric.metrics();
+  metrics.enable();
+  rig.net.set_metrics(&metrics);
+  eng.spawn("s", [&] {
+    std::vector<std::byte> data(1024, std::byte{1});
+    for (int i = 0; i < 40; ++i) {
+      rig.nic_a.send(rig.nic_b.index(), 1, util::ByteSpan(data));
+    }
+  });
+  eng.run();
+  const FaultStats& stats = rig.net.fault_injector()->stats();
+  ASSERT_GT(stats.dropped, 0u);
+  ASSERT_GT(stats.delivered, 0u);
+  EXPECT_EQ(metrics.counter("fault.dropped", "network=net0").value,
+            stats.dropped);
+  EXPECT_EQ(metrics.counter("fault.delivered", "network=net0").value,
+            stats.delivered);
+}
+
+// --------------------------------------------- AckRegistry edge cases
+
+TEST(AckRegistry, PostedCoverTimeForgetsTheOldEpoch) {
+  sim::Engine eng;
+  AckRegistry acks(eng, "acks");
+  eng.spawn("t", [&] {
+    acks.post(7, 1, /*epoch=*/1, /*seq=*/5, sim::microseconds(10));
+    EXPECT_EQ(acks.posted_cover_time(7, 1, 1, 3), sim::microseconds(10));
+    // A fresh epoch replaces the stream state wholesale: the old epoch's
+    // cover is gone, the new epoch covers only what it acked itself.
+    acks.post(7, 1, /*epoch=*/2, /*seq=*/0, sim::microseconds(20));
+    EXPECT_EQ(acks.posted_cover_time(7, 1, 1, 3), sim::kForever);
+    EXPECT_EQ(acks.posted_cover_time(7, 1, 2, 0), sim::microseconds(20));
+    EXPECT_EQ(acks.posted_cover_time(7, 1, 2, 1), sim::kForever);
+  });
+  eng.run();
+}
+
+TEST(AckRegistry, WaitActivityWithPassedDeadlineReturnsImmediately) {
+  sim::Engine eng;
+  AckRegistry acks(eng, "acks");
+  eng.spawn("t", [&] {
+    eng.sleep_until(sim::milliseconds(2));
+    acks.wait_activity(7, 1, /*deadline=*/sim::milliseconds(1));
+    EXPECT_EQ(eng.now(), sim::milliseconds(2));  // did not block
+  });
+  eng.run();
+}
+
+TEST(AckRegistry, ViewOnSackOnlyStreamHasNoCumulativeMark) {
+  sim::Engine eng;
+  AckRegistry acks(eng, "acks");
+  eng.spawn("t", [&] {
+    acks.post_sack(7, 1, /*epoch=*/1, /*seq=*/3, /*visible=*/0);
+    const AckView view = acks.view(7, 1, 1);
+    EXPECT_FALSE(view.has_cum);
+    EXPECT_EQ(view.cum_posts, 0u);
+    ASSERT_EQ(view.sacks.size(), 1u);
+    EXPECT_EQ(view.sacks[0], 3u);
+    // The sack covers exactly its own seq, nothing below it.
+    EXPECT_EQ(acks.posted_cover_time(7, 1, 1, 3), 0);
+    EXPECT_EQ(acks.posted_cover_time(7, 1, 1, 2), sim::kForever);
+  });
+  eng.run();
+}
+
 TEST(FaultNetwork, PostAckSuppressedWhileReceiverCrashed) {
   sim::Engine eng;
   FaultPlan plan;

@@ -241,6 +241,31 @@ TEST(Routing, ExcludeOfRelayRebuildsOnlyAffectedRows) {
   EXPECT_EQ(r.route(3, 4).size(), 1u);
 }
 
+TEST(Routing, ExcludedGatewayStillOriginatesRoutes) {
+  // Quarantine must not strand traffic a gateway already accepted: after
+  // exclude(1), nobody routes to or through gw 1, but gw 1's own row
+  // survives so it can still drain stored messages to either side.
+  Topology t(4);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(2, 0);
+  t.attach(1, 1);
+  t.attach(2, 1);
+  t.attach(3, 1);
+  Routing r(t);
+  r.exclude(1);
+  EXPECT_FALSE(r.reachable(0, 1));          // nobody routes TO it
+  EXPECT_EQ(r.route(0, 3)[0].node, 2);      // nobody routes THROUGH it
+  ASSERT_TRUE(r.reachable(1, 3));           // but it still sends
+  EXPECT_EQ(r.route(1, 3).size(), 1u);
+  ASSERT_TRUE(r.reachable(1, 0));
+  EXPECT_EQ(r.route(1, 0).size(), 1u);
+  // Its routes still avoid every *other* excluded node.
+  r.exclude(2);
+  ASSERT_TRUE(r.reachable(1, 3));
+  EXPECT_EQ(r.route(1, 3).size(), 1u);  // direct, not via gw 2
+}
+
 TEST(Routing, IncrementalExcludeMatchesDetachedTopology) {
   // Equivalence oracle: excluding node X must leave exactly the routes a
   // fresh table computes on the same topology with X attached to nothing.
@@ -283,6 +308,187 @@ TEST(Routing, IncrementalExcludeMatchesDetachedTopology) {
       }
     }
   }
+}
+
+TEST(Routing, ReadmitRestoresPreExcludeRoutesExactly) {
+  // readmit() is exclude()'s inverse: after a full exclude/readmit cycle
+  // the table must equal the original route for every pair — same hops,
+  // same tie-breaks — because bfs_row is deterministic.
+  Topology t(6);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(2, 0);
+  t.attach(1, 1);
+  t.attach(2, 1);
+  t.attach(3, 1);
+  t.attach(3, 2);
+  t.attach(4, 2);
+  t.attach(5, 2);
+  t.attach(1, 3);
+  t.attach(5, 3);
+  Routing r(t);
+  std::vector<std::vector<Route>> before(6, std::vector<Route>(6));
+  for (NodeId a = 0; a < 6; ++a) {
+    for (NodeId b = 0; b < 6; ++b) {
+      if (a != b && r.reachable(a, b)) {
+        before[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] =
+            r.route(a, b);
+      }
+    }
+  }
+  r.exclude(1);
+  EXPECT_EQ(r.route(0, 3)[0].node, 2);  // failover while excluded
+  r.readmit(1);
+  EXPECT_FALSE(r.excluded(1));
+  for (NodeId a = 0; a < 6; ++a) {
+    for (NodeId b = 0; b < 6; ++b) {
+      if (a == b) {
+        continue;
+      }
+      ASSERT_TRUE(r.reachable(a, b)) << a << "->" << b;
+      EXPECT_EQ(r.route(a, b),
+                before[static_cast<std::size_t>(a)]
+                      [static_cast<std::size_t>(b)])
+          << a << "->" << b;
+    }
+  }
+}
+
+TEST(Routing, ReadmitOfNonExcludedNodeIsANoOp) {
+  const Topology t = paper_topology();
+  Routing r(t);
+  const std::uint64_t passes = r.bfs_passes();
+  const std::uint64_t epoch = r.epoch();
+  r.readmit(1);
+  EXPECT_EQ(r.bfs_passes(), passes);
+  EXPECT_EQ(r.epoch(), epoch);
+}
+
+TEST(Routing, EpochBumpsOnEveryRouteInvalidatingChange) {
+  // In-flight senders snapshot the epoch when they open a hop and re-check
+  // it to detect that their route was rebuilt under them; every mutation
+  // that can rewrite routes must therefore bump it, and pure no-ops must
+  // not.
+  Topology t(4);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(2, 0);
+  t.attach(1, 1);
+  t.attach(2, 1);
+  t.attach(3, 1);
+  Routing r(t);
+  const std::uint64_t start = r.epoch();
+  r.exclude(1);
+  EXPECT_EQ(r.epoch(), start + 1);
+  r.exclude(1);  // already excluded: no-op
+  EXPECT_EQ(r.epoch(), start + 1);
+  r.readmit(1);
+  EXPECT_EQ(r.epoch(), start + 2);
+  r.readmit(1);  // already admitted: no-op
+  EXPECT_EQ(r.epoch(), start + 2);
+}
+
+/// Cost provider for tests: one directed edge carries a configurable
+/// cost, everything else stays at 1.
+class OneEdgeCost final : public EdgeCostProvider {
+ public:
+  OneEdgeCost(NodeId from, NodeId to, std::uint32_t cost)
+      : from_(from), to_(to), cost_(cost) {}
+  std::uint32_t edge_cost(NodeId from, NodeId to,
+                          NetworkId /*via*/) const override {
+    return from == from_ && to == to_ ? cost_ : 1;
+  }
+
+ private:
+  NodeId from_;
+  NodeId to_;
+  std::uint32_t cost_;
+};
+
+TEST(Routing, UnitCostProviderReproducesBfsExactly) {
+  // With a provider returning 1 everywhere, weighted routing must match
+  // hop-count routing on every pair — including the deterministic
+  // tie-breaks (the Dijkstra expansion order mirrors the BFS order).
+  Topology t(4);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(1, 2);
+  t.attach(3, 2);
+  t.attach(0, 1);
+  t.attach(2, 1);
+  t.attach(2, 3);
+  t.attach(3, 3);
+  Routing plain(t);
+  Routing weighted(t);
+  const OneEdgeCost unit(-1, -1, 1);
+  weighted.set_cost_provider(&unit);
+  for (NodeId a = 0; a < 4; ++a) {
+    for (NodeId b = 0; b < 4; ++b) {
+      if (a == b) {
+        continue;
+      }
+      ASSERT_EQ(plain.reachable(a, b), weighted.reachable(a, b));
+      EXPECT_EQ(plain.route(a, b), weighted.route(a, b)) << a << "->" << b;
+    }
+  }
+}
+
+TEST(Routing, CostProviderSteersAroundExpensiveGateway) {
+  // Dual-gateway bridge 0 -net0- {1,2} -net1- 3: hop count ties and the
+  // tie-break picks gw 1. Charging the 0->1 edge makes gw 2 strictly
+  // cheaper; dropping the charge (refresh) restores the original route.
+  Topology t(4);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(2, 0);
+  t.attach(1, 1);
+  t.attach(2, 1);
+  t.attach(3, 1);
+  Routing r(t);
+  ASSERT_EQ(r.route(0, 3)[0].node, 1);
+  const OneEdgeCost expensive(0, 1, 8);
+  const std::uint64_t epoch = r.epoch();
+  r.set_cost_provider(&expensive);
+  EXPECT_EQ(r.epoch(), epoch + 1);
+  EXPECT_EQ(r.route(0, 3)[0].node, 2);
+  EXPECT_EQ(r.route(0, 3).size(), 2u);  // still two hops, just rerouted
+  // Other pairs keep their shapes.
+  EXPECT_EQ(r.route(3, 0).size(), 2u);
+  // Back to uniform costs: refresh re-runs the weighted build and the
+  // original tie-break returns.
+  const OneEdgeCost unit(-1, -1, 1);
+  r.set_cost_provider(&unit);
+  EXPECT_EQ(r.route(0, 3)[0].node, 1);
+}
+
+TEST(Routing, RefreshCostsPicksUpProviderChanges) {
+  // The provider is consulted during rebuilds only; a provider whose
+  // answers change must be re-read via refresh_costs().
+  class MutableCost final : public EdgeCostProvider {
+   public:
+    std::uint32_t edge_cost(NodeId from, NodeId to,
+                            NetworkId /*via*/) const override {
+      return from == 0 && to == 1 ? cost : 1;
+    }
+    std::uint32_t cost = 1;
+  };
+  Topology t(4);
+  t.attach(0, 0);
+  t.attach(1, 0);
+  t.attach(2, 0);
+  t.attach(1, 1);
+  t.attach(2, 1);
+  t.attach(3, 1);
+  Routing r(t);
+  MutableCost costs;
+  r.set_cost_provider(&costs);
+  ASSERT_EQ(r.route(0, 3)[0].node, 1);
+  costs.cost = 8;
+  ASSERT_EQ(r.route(0, 3)[0].node, 1);  // stale until refreshed
+  const std::uint64_t epoch = r.epoch();
+  r.refresh_costs();
+  EXPECT_EQ(r.epoch(), epoch + 1);
+  EXPECT_EQ(r.route(0, 3)[0].node, 2);
 }
 
 TEST(Routing, StarTopologyAllPairs) {
