@@ -12,6 +12,8 @@
 // retransmit + selective acks keep the pipe busy where stop-and-wait
 // stalls a full RTO per drop.
 #include <cstdio>
+#include <cstdint>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -28,16 +30,18 @@ struct Sample {
   mad::fwd::ReliabilityStats work;
 };
 
-Sample run_point(bool reliable, int window, double drop) {
+Sample run_once(bool reliable, int window, double drop, bool adaptive,
+                std::uint64_t seed) {
   using namespace mad;
   fwd::VcOptions options;
   options.paquet_size = 64 * 1024;
   options.reliable.enabled = reliable;
   options.reliable.window = window;
+  options.reliable.adaptive = adaptive;
   harness::PaperWorld world(options);
   if (drop > 0.0) {
     net::FaultPlan plan;
-    plan.seed = 7;
+    plan.seed = seed;
     plan.drop_rate = drop;
     world.sci->set_fault_plan(plan);
   }
@@ -54,6 +58,28 @@ Sample run_point(bool reliable, int window, double drop) {
     sample.work.timeouts += r.timeouts;
   }
   return sample;
+}
+
+/// Lossy rows average three fault seeds: a 2% drop rate on a 128-paquet
+/// transfer is ~2-3 loss events, so any single seed's row is dominated by
+/// WHICH paquets happened to drop (a lost retransmit alone swings goodput
+/// several percent) rather than by the window policy under test.
+Sample run_point(bool reliable, int window, double drop,
+                 bool adaptive = false) {
+  static const std::uint64_t kSeeds[] = {7, 8, 9};
+  if (drop == 0.0) {
+    return run_once(reliable, window, drop, adaptive, kSeeds[0]);
+  }
+  Sample mean;
+  const double n = static_cast<double>(std::size(kSeeds));
+  for (const std::uint64_t seed : kSeeds) {
+    const Sample s = run_once(reliable, window, drop, adaptive, seed);
+    mean.mbps += s.mbps / n;
+    mean.work.retransmits += s.work.retransmits;
+    mean.work.fast_retransmits += s.work.fast_retransmits;
+    mean.work.timeouts += s.work.timeouts;
+  }
+  return mean;
 }
 
 }  // namespace
@@ -92,16 +118,38 @@ int main() {
       }
     }
   }
+  // Adaptive (AIMD) rows: the window cap stays at 32, but the operating
+  // point tracks loss — multiplicative decrease on timeout/fast-rtx,
+  // additive increase per clean round trip — so the deep cap no longer
+  // underperforms a hand-tuned static window once drops appear.
+  double adaptive_lossy = 0.0;
+  for (const double drop : drops) {
+    const Sample s =
+        run_point(/*reliable=*/true, /*window=*/32, drop, /*adaptive=*/true);
+    char label[48];
+    std::snprintf(label, sizeof(label), "adaptive cap=32 drop=%.0f%%",
+                  drop * 100.0);
+    table.add_row(label,
+                  {s.mbps, static_cast<double>(s.work.retransmits),
+                   static_cast<double>(s.work.fast_retransmits),
+                   static_cast<double>(s.work.timeouts)});
+    if (drop == drops.back()) {
+      adaptive_lossy = s.mbps;
+    }
+  }
   table.print();
   std::printf(
       "\nunreliable %.1f MB/s | stop-and-wait (w=1) %.1f MB/s | w=%d %.1f "
-      "MB/s at 0%% loss — the deep window pipelines acks away\n",
-      raw.mbps, w1_clean, windows.back(), deep_clean);
+      "MB/s at 0%% loss — the deep window pipelines acks away; adaptive "
+      "cap=32 holds %.1f MB/s at %.0f%% drop where static w=32 collapses\n",
+      raw.mbps, w1_clean, windows.back(), deep_clean, adaptive_lossy,
+      drops.back() * 100.0);
   json.set_note(
       "window=1 rows are the stop-and-wait baseline; a deep window hides "
       "the per-paquet ack round trip and approaches the unreliable upper "
       "bound at 0% loss, while SACK + fast retransmit keep goodput up "
-      "under loss");
+      "under loss; adaptive rows cap the AIMD window at 32 and track the "
+      "loss rate, recovering the goodput a static deep window forfeits");
   json.add_table(table);
   json.write_file();
 

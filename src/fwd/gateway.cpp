@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -35,6 +36,32 @@ namespace mad::fwd {
 
 namespace {
 
+/// RAII bracket around one scheduled egress paquet: acquires the DRR
+/// grant on construction, releases it on destruction — including the
+/// HopFailure unwind out of ReliableSender::send, where a leaked grant
+/// would wedge every other flow on the gateway forever. No-op when flow
+/// scheduling is off (sched == nullptr).
+class FlowGrant {
+ public:
+  FlowGrant(FlowScheduler* sched, int flow, std::uint64_t bytes)
+      : sched_(sched), flow_(flow) {
+    if (sched_ != nullptr) {
+      sched_->acquire(flow_, bytes);
+    }
+  }
+  ~FlowGrant() {
+    if (sched_ != nullptr) {
+      sched_->release(flow_);
+    }
+  }
+  FlowGrant(const FlowGrant&) = delete;
+  FlowGrant& operator=(const FlowGrant&) = delete;
+
+ private:
+  FlowScheduler* sched_;
+  int flow_;
+};
+
 /// Per (gateway, incoming network) relay state, reused across messages.
 ///
 /// Heap-owned (shared_ptr): the pipelined sender actor keeps using this
@@ -51,13 +78,44 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
         engine_(vc.domain().engine()),
         free_buffers_(engine_, 0,
                       vc.name() + ".gwbuf." + std::to_string(self)),
-        regulator_(engine_, vc.options().regulation_rate) {
+        regulator_(engine_, vc.options().regulation_rate),
+        flow_turn_(engine_,
+                   vc.name() + ".gwturn." + std::to_string(self)) {
     for (int i = 0; i < vc.options().pipeline_depth; ++i) {
       free_buffers_.send(std::vector<std::byte>(vc.mtu()));
+    }
+    if (vc.options().flow.enabled) {
+      const std::uint64_t quantum = vc.options().flow.quantum != 0
+                                        ? vc.options().flow.quantum
+                                        : vc.mtu();
+      flow_sched_ = std::make_unique<FlowScheduler>(
+          engine_, quantum,
+          vc.name() + ".gwflow." + std::to_string(self));
     }
   }
 
   Channel& in_channel() const { return in_channel_; }
+
+  /// Multi-flow forwarding: the accept loop dispatches each message to its
+  /// own actor instead of relaying inline (spawn_gateway_actors).
+  bool flow_mode() const { return flow_sched_ != nullptr; }
+
+  /// Arrival-order ticket for a message from upstream hop `from`. Messages
+  /// sharing an upstream hop share that hop's rx stream, so their relay
+  /// actors must read it strictly in arrival order; messages from distinct
+  /// hops interleave freely (independent connections).
+  std::uint64_t issue_ticket(NodeRank from) {
+    return flow_next_ticket_[from]++;
+  }
+  void await_turn(NodeRank from, std::uint64_t ticket) {
+    while (flow_serving_[from] != ticket) {
+      flow_turn_.wait();
+    }
+  }
+  void finish_turn(NodeRank from) {
+    ++flow_serving_[from];
+    flow_turn_.notify_all();
+  }
 
   void relay_message(MessageReader in, std::optional<GtmMsgHeader> pre_hdr) {
     // In reliable mode the accept loop already parsed the header (its epoch
@@ -144,6 +202,7 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
       relay_reliable_streaming(in, hdr, dst);
       return;
     }
+    const int flow = flow_id_for(static_cast<NodeRank>(hdr.origin));
     const NodeRank from = in.source();
 
     // Phase 1: receive the full message, paquet by paquet, acking each.
@@ -182,7 +241,7 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
     // already own.
     vc_.spawn_tail_acker(in_channel_, from, hdr.epoch, seq - 1);
     // Phase 2: reliable resend toward dst, failing over on dead hops.
-    deliver_stored(blocks, hdr, stripe, dst);
+    deliver_stored(blocks, hdr, stripe, dst, flow);
   }
 
   /// One reliable fragment into `dst`, with the relay's pacing, tracing
@@ -215,7 +274,7 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
   void deliver_stored(const std::deque<StoredBlock>& blocks,
                       const GtmMsgHeader& hdr,
                       const std::optional<GtmStripeHeader>& stripe,
-                      NodeRank dst) {
+                      NodeRank dst, int flow) {
     const sim::Time delivery_start = engine_.now();
     for (;;) {
       if (vc_.node_crashed_within(self_, delivery_start)) {
@@ -249,20 +308,53 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
           snd.set_framing(Preamble{out_hdr.origin, 1}, out_hdr, stripe);
           std::uint32_t out_seq = 0;
           try {
+            const std::uint64_t allowance =
+                flow_sched_ != nullptr ? flow_sched_->allowance(flow) : 1;
             for (const StoredBlock& block : blocks) {
               snd.send_block_header(out_seq++, block.header);
               const std::uint64_t fragments =
                   fragment_count(block.header.size, vc_.mtu());
-              for (std::uint64_t i = 0; i < fragments; ++i) {
-                const std::uint32_t size =
-                    fragment_size(block.header.size, vc_.mtu(), i);
+              for (std::uint64_t i = 0; i < fragments;) {
+                // Bundle fragments up to the flow's DRR allowance per
+                // grant (a single fragment outside flow mode); the head
+                // fragment always goes, even oversized.
+                const std::uint64_t first = i;
+                std::uint64_t bundle_bytes = 0;
+                std::size_t count = 0;
+                while (i < fragments) {
+                  const std::uint32_t size =
+                      fragment_size(block.header.size, vc_.mtu(), i);
+                  if (count > 0 && bundle_bytes + size > allowance) {
+                    break;
+                  }
+                  bundle_bytes += size;
+                  ++count;
+                  ++i;
+                }
+                // Drain the window first so the DRR grant below covers
+                // only the wire occupancy of the bundle, never an ack
+                // round trip — a flow waiting out its window must not
+                // hold the egress against every other flow.
+                snd.make_room(count);
                 const sim::Time send_begin = engine_.now();
-                snd.send(out_seq++, util::ByteSpan(block.data)
-                                        .subspan(i * vc_.mtu(), size));
+                {
+                  FlowGrant grant(flow_sched_.get(), flow, bundle_bytes);
+                  // Occupancy clock starts when the grant is held, not
+                  // when we began waiting for it.
+                  const sim::Time granted_at = engine_.now();
+                  for (std::uint64_t j = first; j < i; ++j) {
+                    const std::uint32_t size =
+                        fragment_size(block.header.size, vc_.mtu(), j);
+                    snd.send(out_seq++,
+                             util::ByteSpan(block.data)
+                                 .subspan(j * vc_.mtu(), size));
+                  }
+                  hold_for_wire(out_channel, bundle_bytes, granted_at);
+                }
                 if (vc_.options().trace != nullptr) {
                   vc_.options().trace->record(
                       send_begin, engine_.now(), "gw.send",
-                      "bytes=" + std::to_string(size));
+                      "bytes=" + std::to_string(bundle_bytes));
                 }
                 note_phase_us("send", send_begin, engine_.now());
               }
@@ -336,6 +428,7 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
     const NodeRank next = hop.node;
     GtmMsgHeader out_hdr = hdr;
     out_hdr.epoch = ++out_channel.connection_to(next).tx_epoch;
+    const int flow = flow_id_for(static_cast<NodeRank>(hdr.origin));
 
     struct StreamItem {
       enum class Kind { Header, Fragment, End, Abort };
@@ -345,28 +438,44 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
       std::uint32_t size = 0;
     };
     // Shared with the sender actor, heap-owned for the same shutdown
-    // reason as PipeState below. The item mailbox is unbounded: every
-    // fragment is stored for replay anyway, so cut-through depth costs no
-    // extra memory and the listener must never block behind a sender that
-    // is busy retransmitting (or already failed). blocks is a deque so
-    // references the sender reads from stay stable while the listener
+    // reason as PipeState below. The item mailbox is unbounded by default:
+    // every fragment is stored for replay anyway, so cut-through depth
+    // costs no extra memory and the listener must never block behind a
+    // sender that is busy retransmitting (or already failed). In flow mode
+    // it is bounded at flow.queue_limit instead — a full queue blocks this
+    // flow's listener, which stalls its hop acks and backpressures the
+    // origin's window, while the sender keeps draining even after a
+    // HopFailure so the bound cannot deadlock the pair. blocks is a deque
+    // so references the sender reads from stay stable while the listener
     // appends.
     struct StreamState {
-      StreamState(sim::Engine& engine, const std::string& name)
-          : items(engine, 0, name), done(engine, name + ".done") {}
+      StreamState(sim::Engine& engine, std::size_t capacity,
+                  const std::string& name)
+          : items(engine, capacity, name), done(engine, name + ".done") {}
       sim::Mailbox<StreamItem> items;
       std::deque<StoredBlock> blocks;
       sim::Condition done;
       bool finished = false;
       std::optional<HopFailure> failure;
     };
+    // DRR buffer sizing: a weight-w flow drains w quanta per scheduler
+    // round, so both its queue bound and its mark point scale with the
+    // weight — otherwise a heavy flow's visits go underfilled and its
+    // surplus leaks to the light flows.
+    const std::size_t queue_capacity =
+        flow_sched_ != nullptr
+            ? static_cast<std::size_t>(
+                  static_cast<double>(vc_.options().flow.queue_limit) *
+                  std::max(1.0, flow_sched_->weight_of(flow)))
+            : 0;
     auto state = std::make_shared<StreamState>(
-        engine_, vc_.name() + ".gwstream." + std::to_string(self_));
+        engine_, queue_capacity,
+        vc_.name() + ".gwstream." + std::to_string(self_));
 
     engine_.spawn(
         vc_.name() + ".gwsend." + std::to_string(self_),
         [self = shared_from_this(), state, &out_channel, next, last_hop,
-         out_hdr] {
+         out_hdr, flow] {
           MessageWriter out = self->open_outgoing(
               out_channel, next, last_hop, out_hdr, std::nullopt);
           {
@@ -375,23 +484,67 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
             snd.set_framing(Preamble{out_hdr.origin, 1}, out_hdr,
                             std::nullopt);
             std::uint32_t out_seq = 0;
-            try {
-              for (bool running = true; running;) {
-                const StreamItem item = state->items.recv();
+            bool failed = false;
+            for (bool running = true; running;) {
+              const StreamItem item = state->items.recv();
+              if (failed) {
+                // Keep draining after a HopFailure so a bounded (flow
+                // mode) item queue cannot wedge the listener; the stored
+                // copy replays via deliver_stored below.
+                running = item.kind != StreamItem::Kind::End &&
+                          item.kind != StreamItem::Kind::Abort;
+                continue;
+              }
+              try {
                 switch (item.kind) {
                   case StreamItem::Kind::Header:
                     snd.send_block_header(out_seq++,
                                           state->blocks[item.block].header);
                     break;
                   case StreamItem::Kind::Fragment: {
+                    // Deficit-round-robin, actor side: bundle the
+                    // fragments already queued — up to this flow's
+                    // per-visit allowance (quantum x weight) — so one
+                    // grant moves a weight-proportional batch. The head
+                    // item always goes, even oversized.
+                    std::vector<StreamItem> bundle{item};
+                    std::uint64_t bundle_bytes = item.size;
+                    if (self->flow_sched_ != nullptr) {
+                      const std::uint64_t allowance =
+                          self->flow_sched_->allowance(flow);
+                      for (;;) {
+                        const StreamItem* head = state->items.peek();
+                        if (head == nullptr ||
+                            head->kind != StreamItem::Kind::Fragment ||
+                            bundle_bytes + head->size > allowance) {
+                          break;
+                        }
+                        bundle_bytes += head->size;
+                        bundle.push_back(*state->items.try_recv());
+                      }
+                    }
+                    // Window drain outside the grant: only the bundle's
+                    // wire occupancy is scheduled, never an ack wait.
+                    snd.make_room(bundle.size());
                     const sim::Time send_begin = self->engine_.now();
-                    snd.send(out_seq++,
-                             util::ByteSpan(state->blocks[item.block].data)
-                                 .subspan(item.offset, item.size));
+                    {
+                      FlowGrant grant(self->flow_sched_.get(), flow,
+                                      bundle_bytes);
+                      // Occupancy clock starts when the grant is held,
+                      // not when we began waiting for it.
+                      const sim::Time granted_at = self->engine_.now();
+                      for (const StreamItem& b : bundle) {
+                        snd.send(out_seq++,
+                                 util::ByteSpan(state->blocks[b.block].data)
+                                     .subspan(b.offset, b.size));
+                      }
+                      self->hold_for_wire(out_channel, bundle_bytes,
+                                          granted_at);
+                    }
                     if (self->vc_.options().trace != nullptr) {
                       self->vc_.options().trace->record(
                           send_begin, self->engine_.now(), "gw.send",
-                          "bytes=" + std::to_string(item.size));
+                          "bytes=" + std::to_string(bundle_bytes));
                     }
                     self->note_phase_us("send", send_begin,
                                         self->engine_.now());
@@ -406,9 +559,12 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
                     running = false;
                     break;
                 }
+              } catch (const HopFailure& f) {
+                state->failure = f;
+                failed = true;
+                running = item.kind != StreamItem::Kind::End &&
+                          item.kind != StreamItem::Kind::Abort;
               }
-            } catch (const HopFailure& f) {
-              state->failure = f;
             }
           }
           out.end_packing();
@@ -448,6 +604,10 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
                     .subspan(offset, size));
             state->items.send(
                 StreamItem{StreamItem::Kind::Fragment, index, offset, size});
+            if (flow_sched_ != nullptr) {
+              note_flow_depth(rx, static_cast<NodeRank>(hdr.origin),
+                              state->items.size());
+            }
           }
         }
       } catch (const PeerDied& dead) {
@@ -469,7 +629,57 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
         return;
       }
       note_hop_death(*state->failure, dst);
-      deliver_stored(state->blocks, hdr, std::nullopt, dst);
+      deliver_stored(state->blocks, hdr, std::nullopt, dst, flow);
+    }
+  }
+
+  /// Holds the calling actor (and therefore its DRR grant) until the
+  /// paquet's egress-wire occupancy has elapsed since `send_begin`. The
+  /// simulator models wires per (src, dst) pair, but a real adapter
+  /// serializes its egress port — and that serialization is the shared
+  /// resource the flow scheduler arbitrates. Without it, concurrent flows
+  /// would each see a private full-rate wire and no queue could ever
+  /// build, making weights and marks dead code. The sender-side pack cost
+  /// already spent inside the grant counts toward the occupancy (DMA
+  /// streams into the NIC FIFO while the wire transmits). No-op outside
+  /// flow mode.
+  void hold_for_wire(Channel& out_channel, std::uint64_t bytes,
+                     sim::Time send_begin) {
+    if (flow_sched_ == nullptr) {
+      return;
+    }
+    const sim::Time occupancy = sim::transfer_time(
+        bytes, out_channel.network().model().wire_bandwidth);
+    const sim::Time elapsed = engine_.now() - send_begin;
+    if (elapsed < occupancy) {
+      engine_.sleep_for(occupancy - elapsed);
+    }
+  }
+
+  /// Flow-mode queue accounting for one just-enqueued relay paquet: depth
+  /// histogram, plus an ECN-style mark to the upstream sender once the
+  /// flow's queue reaches its threshold — the egress scheduler is serving
+  /// other flows faster than this one drains, so the origin should shrink
+  /// its window rather than pile the queue to the blocking limit.
+  void note_flow_depth(ReliableReceiver& rx, NodeRank origin,
+                       std::size_t depth) {
+    sim::MetricsRegistry& metrics = vc_.domain().fabric().metrics();
+    metrics.observe_us("flow.queue_depth", flow_label(origin),
+                       static_cast<double>(depth));
+    // Threshold scales with the flow's weight, mirroring its queue bound:
+    // a weight-w flow legitimately holds w quanta of scheduled backlog.
+    const double weight =
+        std::max(1.0, flow_sched_->weight_of(flow_id_for(origin)));
+    if (static_cast<double>(depth) >=
+        static_cast<double>(vc_.options().flow.mark_threshold) * weight) {
+      rx.post_congestion_mark();
+      ++vc_.mutable_gateway_stats(self_).flow_marks;
+      metrics.add("flow.marks", flow_label(origin));
+      if (vc_.options().trace != nullptr) {
+        vc_.options().trace->instant_here(
+            "flow.mark", "origin=" + std::to_string(origin) +
+                             " depth=" + std::to_string(depth));
+      }
     }
   }
 
@@ -658,6 +868,33 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
     }
   }
 
+  /// Lazily registers the scheduling flow for a message's *origin* node
+  /// (flows are keyed by origin, not by the upstream hop: two origins
+  /// funneled through one intermediate gateway still compete fairly).
+  /// Returns -1 when flow scheduling is off.
+  int flow_id_for(NodeRank origin) {
+    if (flow_sched_ == nullptr) {
+      return -1;
+    }
+    if (const auto it = flow_ids_.find(origin); it != flow_ids_.end()) {
+      return it->second;
+    }
+    const std::vector<double>& weights = vc_.options().flow.weights;
+    double weight = 1.0;
+    if (origin >= 0 && static_cast<std::size_t>(origin) < weights.size() &&
+        weights[static_cast<std::size_t>(origin)] > 0.0) {
+      weight = weights[static_cast<std::size_t>(origin)];
+    }
+    const int id = flow_sched_->add_flow(weight);
+    flow_ids_.emplace(origin, id);
+    return id;
+  }
+
+  std::string flow_label(NodeRank origin) const {
+    return "gateway=" + std::to_string(self_) +
+           ",origin=" + std::to_string(origin);
+  }
+
   VirtualChannel& vc_;
   NodeRank self_;
   int rail_;
@@ -665,6 +902,15 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
   sim::Engine& engine_;
   sim::Mailbox<std::vector<std::byte>> free_buffers_;
   Regulator regulator_;
+  // Multi-flow forwarding (VcOptions::flow): DRR egress arbiter, lazy
+  // origin→flow registry, and per-upstream-hop turn tickets that keep
+  // same-stream messages in arrival order while the dispatcher fans
+  // everything else out to concurrent relay actors.
+  std::unique_ptr<FlowScheduler> flow_sched_;
+  std::map<NodeRank, int> flow_ids_;
+  std::map<NodeRank, std::uint64_t> flow_next_ticket_;
+  std::map<NodeRank, std::uint64_t> flow_serving_;
+  sim::Condition flow_turn_;
 };
 
 }  // namespace
@@ -688,11 +934,58 @@ void spawn_gateway_actors(VirtualChannel& vc) {
         }
         engine.spawn(
             actor_name,
-            [&vc, rank, local, rail] {
+            [&vc, rank, local, rail, actor_name] {
               auto relay =
                   std::make_shared<GatewayRelay>(vc, rank, local, rail);
+              sim::Engine& engine = vc.domain().engine();
               for (;;) {
                 relay->in_channel().wait_incoming();
+                if (relay->flow_mode() &&
+                    relay->in_channel().uses_announce()) {
+                  // Multi-flow dispatch: accept the message, hand it to a
+                  // relay actor of its own, and go straight back to
+                  // accepting — concurrent origins relay (and compete for
+                  // egress via DRR) instead of serializing behind one
+                  // store-and-forward. Messages sharing an upstream hop
+                  // still read that hop's rx stream in arrival order via
+                  // turn tickets. MessageReader is move-only and
+                  // Engine::spawn needs a copyable closure, so the reader
+                  // rides in a shared_ptr.
+                  //
+                  // Announce channels only: begin_unpacking consumes the
+                  // announce packet, so the next wait_incoming blocks
+                  // until a NEW message arrives. A two-member channel has
+                  // no announce stream — its peek would see the pending
+                  // message's paquets until the spawned actor drains
+                  // them, and this loop would spin spawning an actor per
+                  // peek. It also has exactly one upstream, whose
+                  // messages serialize on the rx stream anyway, so the
+                  // inline path below loses no concurrency there (egress
+                  // still goes through the DRR scheduler by origin).
+                  MessageReader in = relay->in_channel().begin_unpacking();
+                  const NodeRank from = in.source();
+                  const std::uint64_t ticket = relay->issue_ticket(from);
+                  auto reader =
+                      std::make_shared<MessageReader>(std::move(in));
+                  engine.spawn(
+                      actor_name + ".msg",
+                      [&vc, relay, reader, from, ticket, rank] {
+                        relay->await_turn(from, ticket);
+                        try {
+                          std::optional<GtmMsgHeader> header;
+                          const Preamble preamble = vc.read_stream_head(
+                              *reader, relay->in_channel(), rank, header);
+                          MAD_ASSERT(preamble.forwarded != 0,
+                                     "native message on a special channel");
+                          relay->relay_message(std::move(*reader), header);
+                        } catch (const PeerDied&) {
+                          // Upstream (or this gateway) died mid-stream;
+                          // the origin replays on a surviving route.
+                        }
+                        relay->finish_turn(from);
+                      });
+                  continue;
+                }
                 try {
                   MessageReader in = relay->in_channel().begin_unpacking();
                   Preamble preamble{};

@@ -18,4 +18,108 @@ void Regulator::pace(std::uint64_t bytes) {
                   sim::transfer_time(bytes, rate_);
 }
 
+std::optional<DrrQueue::Item> DrrQueue::dequeue() {
+  if (pending_ == 0) {
+    return std::nullopt;
+  }
+  // Terminates: at least one flow is backlogged, and every full cycle
+  // tops its deficit up by >= 1 byte, so its head item eventually fits.
+  for (;;) {
+    Flow& f = flows_[cursor_];
+    if (f.items.empty()) {
+      f.deficit = 0;  // idle flows never bank credit
+      advance();
+      continue;
+    }
+    if (!f.topped_up) {
+      f.deficit += top_up(f);
+      f.topped_up = true;
+    }
+    if (f.items.front() <= f.deficit) {
+      Item item{static_cast<int>(cursor_), f.items.front()};
+      f.deficit -= f.items.front();
+      f.items.pop_front();
+      --pending_;
+      if (f.items.empty()) {
+        f.deficit = 0;  // classic DRR: the visit's leftover is forfeited
+      }
+      // The cursor stays put: the flow keeps serving while its deficit
+      // lasts, then advance() closes the visit.
+      return item;
+    }
+    advance();  // head too big for the remaining deficit: next flow
+  }
+}
+
+int FlowScheduler::add_flow(double weight) {
+  MAD_ASSERT(weight > 0.0, "flow scheduler weight must be positive");
+  flows_.push_back(Flow{weight, 0, false, {}, 0, 0, 0, 0});
+  return static_cast<int>(flows_.size()) - 1;
+}
+
+void FlowScheduler::acquire(int flow, std::uint64_t bytes) {
+  Flow& f = flow_at(flow);
+  const std::uint64_t ticket = f.enq_ticket++;
+  f.parked.push_back(bytes);
+  pump();
+  // Grants carry (flow, ticket): only the FIFO-matching requester claims.
+  while (!(busy_ && granted_flow_ == flow && grant_ticket_ == ticket)) {
+    granted_cond_.wait();
+  }
+}
+
+void FlowScheduler::release(int flow) {
+  MAD_ASSERT(busy_ && granted_flow_ == flow,
+             "flow scheduler release without a matching grant");
+  busy_ = false;
+  pump();
+}
+
+void FlowScheduler::pump() {
+  if (busy_ || flows_.empty()) {
+    return;
+  }
+  bool any = false;
+  for (const Flow& f : flows_) {
+    if (!f.parked.empty()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) {
+    return;
+  }
+  // Same DRR walk as DrrQueue::dequeue, over parked grant requests.
+  for (;;) {
+    Flow& f = flows_[cursor_];
+    if (f.parked.empty()) {
+      f.deficit = 0;
+      f.topped_up = false;
+      cursor_ = (cursor_ + 1) % flows_.size();
+      continue;
+    }
+    if (!f.topped_up) {
+      f.deficit += top_up(f);
+      f.topped_up = true;
+    }
+    if (f.parked.front() <= f.deficit) {
+      const std::uint64_t bytes = f.parked.front();
+      f.deficit -= bytes;
+      f.parked.pop_front();
+      busy_ = true;
+      granted_flow_ = static_cast<int>(cursor_);
+      grant_ticket_ = f.served_ticket++;
+      ++f.grants;
+      f.granted_bytes += bytes;
+      if (f.parked.empty()) {
+        f.deficit = 0;
+      }
+      granted_cond_.notify_all();
+      return;
+    }
+    f.topped_up = false;
+    cursor_ = (cursor_ + 1) % flows_.size();
+  }
+}
+
 }  // namespace mad::fwd

@@ -1,5 +1,6 @@
 #include "fwd/reliable.hpp"
 
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -58,17 +59,97 @@ ReliableSender::ReliableSender(VirtualChannel& vc, NodeRank self,
       node_label_("node=" + std::to_string(self)),
       window_(static_cast<std::size_t>(vc.options().reliable.window)),
       jitter_rng_((static_cast<std::uint64_t>(self) << 40) ^
-                  (static_cast<std::uint64_t>(peer) << 20) ^ epoch) {}
+                  (static_cast<std::uint64_t>(peer) << 20) ^ epoch) {
+  // Adaptive mode starts at one paquet and slow-starts toward the cap;
+  // static mode operates at the cap from the first send.
+  const ReliableOptions& opts = vc.options().reliable;
+  // RFC 6928-style initial window: slow start opens from a small burst
+  // rather than a single paquet, trimming two round trips off the ramp.
+  cwnd_ = opts.adaptive
+              ? std::min(4.0, static_cast<double>(window_))
+              : static_cast<double>(window_);
+  ssthresh_ = static_cast<double>(window_);
+}
+
+std::size_t ReliableSender::effective_window() const {
+  if (!vc_.options().reliable.adaptive) {
+    return window_;
+  }
+  const auto w = static_cast<std::size_t>(cwnd_);
+  return std::clamp<std::size_t>(w, 1, window_);
+}
+
+void ReliableSender::on_congestion(bool timeout) {
+  if (!vc_.options().reliable.adaptive) {
+    return;
+  }
+  // One multiplicative decrease per window of data: signals landing while
+  // an earlier decrease is still draining are echoes of the same event.
+  // A timeout is the exception — the pipe is empty, so collapse anyway.
+  if (in_recovery_ && !timeout) {
+    return;
+  }
+  ReliabilityStats& stats = vc_.mutable_gateway_stats(self_).reliability;
+  // CUBIC-style decrease factor (RFC 9438 uses 0.7): with selective acks
+  // the sender retransmits exactly the lost paquet, so the classic 0.5
+  // overcorrects — the pipe drains far below the available rate and the
+  // additive regrowth never catches back up on short transfers.
+  ssthresh_ = std::max(cwnd_ * 0.7, 2.0);
+  cwnd_ = timeout ? 1.0 : ssthresh_;
+  if (!inflight_.empty()) {
+    in_recovery_ = true;
+    recover_seq_ = inflight_.back().seq;
+  }
+  ++stats.window_decreases;
+  metrics_->add("rel.window_decreases", node_label_);
+  if (metrics_->enabled()) {
+    metrics_->histogram("rel.cwnd", node_label_).record(cwnd_);
+  }
+  if (trace_ != nullptr) {
+    trace_->instant_here("rel.window_decrease",
+                         "peer=" + std::to_string(peer_) + " cwnd=" +
+                             std::to_string(effective_window()) +
+                             (timeout ? " cause=timeout" : " cause=signal"));
+  }
+}
+
+void ReliableSender::on_ack_growth() {
+  if (!vc_.options().reliable.adaptive) {
+    return;
+  }
+  // Delay-gated growth (Vegas-flavored): a round trip at twice the
+  // observed floor means the pipe is already full and the extra delay is
+  // queueing this sender built itself. Growing further would not add
+  // goodput — it would only push the operating point toward the cap,
+  // where every retransmit sits behind a window's worth of queue and
+  // recovery gaps double.
+  if (have_rtt_ && min_rtt_us_ > 0.0 && last_rtt_us_ > 2.0 * min_rtt_us_) {
+    return;
+  }
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += 1.0;  // slow start: one paquet per ack
+  } else {
+    cwnd_ += 1.0 / cwnd_;  // congestion avoidance: ~one paquet per RTT
+  }
+  cwnd_ = std::min(cwnd_, static_cast<double>(window_));
+  if (metrics_->enabled()) {
+    metrics_->histogram("rel.cwnd", node_label_).record(cwnd_);
+  }
+}
 
 sim::Time ReliableSender::initial_rto() const {
   const ReliableOptions& opts = vc_.options().reliable;
-  if (window_ <= 1 || !have_rtt_) {
+  if (window_ <= 1) {
     // Stop-and-wait keeps the PR-1 fixed first-attempt deadline exactly.
     return opts.ack_timeout;
   }
-  const auto rto = static_cast<sim::Time>((srtt_us_ + 4.0 * rttvar_us_) *
-                                          1000.0);
-  return std::clamp(rto, opts.ack_timeout, opts.max_ack_timeout);
+  const auto rto = have_rtt_ ? static_cast<sim::Time>(
+                                   (srtt_us_ + 4.0 * rttvar_us_) * 1000.0)
+                             : opts.ack_timeout;
+  // A pending backoff (timer fired, no valid sample since) floors the
+  // fresh-paquet deadline too, not just the retransmitted paquet's.
+  return std::clamp(std::max(rto, backed_off_rto_), opts.ack_timeout,
+                    opts.max_ack_timeout);
 }
 
 void ReliableSender::set_framing(const Preamble& preamble,
@@ -114,6 +195,11 @@ void ReliableSender::sample_ack(InFlight& p) {
   const double rtt_us =
       p.retransmitted ? -1.0 : sim::to_microseconds(now - p.sent_at);
   if (window_ > 1 && rtt_us > 0.0) {
+    backed_off_rto_ = 0;  // Karn-valid sample: backoff episode over
+    if (min_rtt_us_ <= 0.0 || rtt_us < min_rtt_us_) {
+      min_rtt_us_ = rtt_us;
+    }
+    last_rtt_us_ = rtt_us;
     if (!have_rtt_) {
       srtt_us_ = rtt_us;
       rttvar_us_ = rtt_us / 2.0;
@@ -148,6 +234,20 @@ void ReliableSender::expire(InFlight& p) {
   if (p.attempts >= opts.max_attempts) {
     throw HopFailure{peer_, p.attempts};
   }
+  // A retransmit timeout usually means the pipe drained without
+  // delivering, and the adaptive window collapses to one paquet. The
+  // exception (RACK/TLP's insight) is an isolated tail loss: every other
+  // in-flight paquet is already selectively acked, so the path is
+  // demonstrably delivering and the evidence amounts to one lost paquet
+  // — a multiplicative decrease, not a blackout.
+  bool others_sacked = true;
+  for (const InFlight& q : inflight_) {
+    if (q.seq != p.seq && !q.sacked) {
+      others_sacked = false;
+      break;
+    }
+  }
+  on_congestion(/*timeout=*/!others_sacked);
   ++stats.retransmits;
   metrics_->add("rel.retransmits", node_label_);
   if (trace_ != nullptr) {
@@ -158,6 +258,9 @@ void ReliableSender::expire(InFlight& p) {
   }
   p.rto = backed_off_timeout(p.rto, opts.timeout_backoff,
                              opts.max_ack_timeout);
+  if (window_ > 1) {
+    backed_off_rto_ = std::max(backed_off_rto_, p.rto);
+  }
   if (opts.retransmit_jitter > 0.0) {
     // Desynchronize from periodic faults: a pure doubling chain repeats the
     // same phase against any fault period that divides its steps, so a
@@ -173,10 +276,24 @@ void ReliableSender::expire(InFlight& p) {
   transmit(p);
 }
 
+void ReliableSender::make_room(std::size_t slots) {
+  // Re-check the window bound after every drain step: in adaptive mode a
+  // congestion mark consumed while waiting can shrink it under us.
+  for (;;) {
+    const std::size_t window = effective_window();
+    const std::size_t want = std::min(std::max<std::size_t>(slots, 1),
+                                      window);
+    if (inflight_.size() + want <= window) {
+      return;
+    }
+    drain_to(inflight_.size() - 1);
+  }
+}
+
 void ReliableSender::send(std::uint32_t seq, util::ByteSpan payload) {
   MAD_ASSERT(inflight_.empty() || seq == inflight_.back().seq + 1,
              "reliable window fed out of sequence");
-  drain_to(window_ - 1);
+  make_room();
   InFlight p;
   p.seq = seq;
   p.wire.resize(payload.size() + kGtmTrailerBytes);
@@ -208,19 +325,41 @@ void ReliableSender::drain_to(std::size_t target) {
   const int rx_nic = conn_->peer_nic_index;
   for (;;) {
     const net::AckView view = acks.view(tag, rx_nic, epoch_);
-    // Duplicate-cumulative-ack accounting (fast-retransmit trigger).
-    const std::uint64_t delta =
-        view.cum_posts >= seen_cum_posts_ ? view.cum_posts - seen_cum_posts_
+    // Duplicate-cumulative-ack accounting (fast-retransmit trigger). The
+    // board only counts a post as a duplicate when it re-acked the current
+    // frontier without advancing it, so a late re-ack of an older seq (a
+    // retransmit the receiver had already passed — common right after a
+    // failover epoch bump) never inflates this counter.
+    const std::uint64_t dup_delta =
+        view.dup_posts >= seen_dup_posts_ ? view.dup_posts - seen_dup_posts_
                                           : 0;
-    seen_cum_posts_ = view.cum_posts;
+    seen_dup_posts_ = view.dup_posts;
     if (view.has_cum) {
       if (have_cum_mark_ && view.cum_seq == cum_mark_) {
-        dup_acks_ += static_cast<int>(delta);
+        dup_acks_ += static_cast<int>(dup_delta);
       } else {
+        // Frontier moved. The board only counts dups that re-acked the
+        // frontier current at consume time — i.e. this one — so the
+        // delta is NOT discarded: a sender that spent the whole dup
+        // burst blocked in a long pack still fast-retransmits instead
+        // of stalling into a timeout.
         have_cum_mark_ = true;
         cum_mark_ = view.cum_seq;
-        dup_acks_ = 0;
+        dup_acks_ = static_cast<int>(dup_delta);
       }
+    }
+    // Congestion marks from a backed-up gateway queue (adaptive mode).
+    const std::uint64_t mark_delta =
+        view.marks >= seen_marks_ ? view.marks - seen_marks_ : 0;
+    seen_marks_ = view.marks;
+    if (mark_delta > 0) {
+      stats.congestion_marks += mark_delta;
+      metrics_->add("rel.congestion_marks", node_label_, mark_delta);
+      on_congestion(/*timeout=*/false);
+    }
+    // A cumulative ack past the recovery point ends the decrease episode.
+    if (in_recovery_ && view.has_cum && view.cum_seq >= recover_seq_) {
+      in_recovery_ = false;
     }
     // Selective acks exempt their paquets from the retransmit timer.
     for (const std::uint32_t sacked_seq : view.sacks) {
@@ -241,6 +380,7 @@ void ReliableSender::drain_to(std::size_t target) {
       ++stats.paquets_acked;
       metrics_->add("rel.paquets_acked", node_label_);
       inflight_.pop_front();
+      on_ack_growth();
     }
     if (inflight_.size() <= target) {
       return;
@@ -251,7 +391,10 @@ void ReliableSender::drain_to(std::size_t target) {
     if (window_ > 1 && dup_acks_ >= 3) {
       dup_acks_ = 0;
       InFlight& front = inflight_.front();
-      if (!front.sacked &&
+      // NewReno-style: one fast retransmit per window front. Dup acks
+      // that keep arriving after the front was already retransmitted are
+      // echoes of the same loss, not a new one.
+      if (!front.retransmitted && !front.sacked &&
           acks.posted_cover_time(tag, rx_nic, epoch_, front.seq) ==
               sim::kForever) {
         ++stats.retransmits;
@@ -266,9 +409,98 @@ void ReliableSender::drain_to(std::size_t target) {
         if (topo::HealthMonitor* health = vc_.health()) {
           health->record_loss(self_, peer_, now);
         }
+        on_congestion(/*timeout=*/false);
         front.retransmitted = true;
         transmit(front);
         continue;  // the pack advanced virtual time; re-read the board
+      }
+    }
+    // SACK-based loss detection (RFC 6675's IsLost, one paquet deep): the
+    // wire is FIFO, so a selective ack for any paquet sent after the
+    // front proves the front's own arrival slot has passed — if three or
+    // more later paquets are sacked and the front is still uncovered, it
+    // is lost. Unlike the duplicate-ack counter this needs no NEW posts:
+    // after a partial recovery (two holes in one window) the receiver has
+    // everything parked and posts nothing more, so the second hole would
+    // otherwise sit out a full RTO that dup acks can never cut short.
+    if (window_ > 1 && inflight_.size() >= 2) {
+      InFlight& front = inflight_.front();
+      if (!front.retransmitted && !front.sacked) {
+        std::size_t sacked_later = 0;
+        for (std::size_t i = 1; i < inflight_.size(); ++i) {
+          if (inflight_[i].sacked) {
+            ++sacked_later;
+          }
+        }
+        // Early-retransmit relaxation (RFC 5827): a flight too small to
+        // ever produce three later sacks lowers the bar to flight - 1,
+        // so a loss at the tail of a window (or during slow start) does
+        // not have to wait for the retransmit timer.
+        const std::size_t needed =
+            std::min<std::size_t>(3, inflight_.size() - 1);
+        if (sacked_later >= needed &&
+            acks.posted_cover_time(tag, rx_nic, epoch_, front.seq) ==
+                sim::kForever) {
+          ++stats.retransmits;
+          ++stats.fast_retransmits;
+          metrics_->add("rel.retransmits", node_label_);
+          metrics_->add("rel.fast_retransmits", node_label_);
+          if (trace_ != nullptr) {
+            trace_->instant_here("rel.fast_retransmit",
+                                 "peer=" + std::to_string(peer_) + " seq=" +
+                                     std::to_string(front.seq) +
+                                     " cause=sack");
+          }
+          if (topo::HealthMonitor* health = vc_.health()) {
+            health->record_loss(self_, peer_, engine_->now());
+          }
+          on_congestion(/*timeout=*/false);
+          front.retransmitted = true;
+          transmit(front);
+          continue;  // the pack advanced virtual time; re-read the board
+        }
+      }
+    }
+    // SACK-based lost-retransmit detection. Once the front has been fast
+    // retransmitted, every later in-flight paquet getting selectively
+    // acked while the cumulative frontier still sits below the front
+    // means the receiver has consumed everything behind the front and is
+    // waiting on that one paquet. If half an RTO then passes without the
+    // retransmit's ack, the retransmit itself was almost certainly
+    // dropped: waiting out the full (backed-off, queue-inflated) RTO
+    // would idle the pipe for tens of milliseconds and collapse the
+    // adaptive window. Resend once at the half-RTO mark instead, and let
+    // a second loss fall back to the timer. The half-RTO guard keeps a
+    // merely in-flight (not lost) retransmit from triggering a wasteful
+    // duplicate: its ack arrives around one RTT, well under RTO/2.
+    sim::Time sack_rtx_at = sim::kForever;
+    if (window_ > 1 && inflight_.size() >= 2) {
+      InFlight& front = inflight_.front();
+      if (front.retransmitted && !front.sack_rtx && !front.sacked &&
+          acks.posted_cover_time(tag, rx_nic, epoch_, front.seq) ==
+              sim::kForever) {
+        bool others_sacked = true;
+        for (std::size_t i = 1; i < inflight_.size(); ++i) {
+          if (!inflight_[i].sacked) {
+            others_sacked = false;
+            break;
+          }
+        }
+        if (others_sacked) {
+          sack_rtx_at = front.sent_at + initial_rto() / 2;
+          if (sack_rtx_at <= now) {
+            front.sack_rtx = true;
+            ++stats.retransmits;
+            metrics_->add("rel.retransmits", node_label_);
+            if (trace_ != nullptr) {
+              trace_->instant_here("rel.sack_retransmit",
+                                   "peer=" + std::to_string(peer_) + " seq=" +
+                                       std::to_string(front.seq));
+            }
+            transmit(front);
+            continue;  // the pack advanced virtual time; re-read the board
+          }
+        }
       }
     }
     // Expiry scan + next-wake computation. A single retransmit timer
@@ -278,7 +510,7 @@ void ReliableSender::drain_to(std::size_t target) {
     // exceeds the current RTO (always true for a freshly opened deep
     // window, whose first deadlines predate any RTT sample). The timer
     // re-arms whenever the window advances past its paquet.
-    sim::Time wake = view.next_visible;
+    sim::Time wake = std::min(view.next_visible, sack_rtx_at);
     bool transmitted = false;
     bool timer_armed = false;
     for (InFlight& p : inflight_) {
@@ -487,6 +719,13 @@ GtmBlockHeader ReliableReceiver::recv_block_header(
   GtmBlockHeader header{};
   recv(in, expected_seq, util::object_bytes_mut(header));
   return header;
+}
+
+void ReliableReceiver::post_congestion_mark() {
+  const Connection& conn = in_channel_.connection_to(peer_);
+  in_channel_.network().post_mark(conn.rx_tag, self_nic_,
+                                  conn.peer_nic_index, epoch_);
+  vc_.domain().fabric().metrics().add("rel.marks_posted", node_label_);
 }
 
 }  // namespace mad::fwd

@@ -82,8 +82,18 @@ struct ReliableOptions {
   /// Attempts (including the first) before the hop is declared dead.
   int max_attempts = 6;
   /// Paquets a sender may keep in flight per hop before blocking. 1 is
-  /// stop-and-wait; larger windows pipeline the ack round trip.
+  /// stop-and-wait; larger windows pipeline the ack round trip. With
+  /// `adaptive` set this is the CAP, not the operating point.
   int window = 1;
+  /// Congestion-reactive window (AIMD): the sender starts at one paquet,
+  /// opens the window on acks (slow start, then one paquet per round
+  /// trip), and halves it on loss signals — fast retransmit, timeout, or
+  /// an ECN-style congestion mark from a gateway whose per-flow queue
+  /// backed up (AckView::marks). `window` becomes a hard cap, so a deep
+  /// static cap no longer collapses goodput under loss: the window only
+  /// stays deep while the path actually sustains it. Off by default; the
+  /// static-window event sequences are unchanged.
+  bool adaptive = false;
   /// Hard ceiling on any backed-off retransmit deadline. Keeps the
   /// exponential chain from overflowing Time and bounds how long a retry
   /// can stall failover detection.
@@ -113,6 +123,8 @@ struct ReliabilityStats {
   std::uint64_t retransmits = 0;
   std::uint64_t fast_retransmits = 0;  // subset of retransmits (dup acks)
   std::uint64_t timeouts = 0;
+  std::uint64_t congestion_marks = 0;  // sender side: ECN marks consumed
+  std::uint64_t window_decreases = 0;  // adaptive mode: AIMD halvings
   std::uint64_t dup_drops = 0;      // receiver side
   std::uint64_t corrupt_drops = 0;  // receiver side
   std::uint64_t stale_drops = 0;    // late paquets of a finished stream
@@ -167,8 +179,19 @@ class ReliableSender {
   /// Blocks until every in-flight paquet is acknowledged.
   void flush();
 
+  /// Blocks until the (adaptive or static) window has room for `slots`
+  /// more paquets (clamped to the window size). send() makes room for one
+  /// implicitly; a caller that must not hold a shared scheduling grant
+  /// while the window drains (the gateway's DRR arbiter) calls it
+  /// explicitly first — for a whole bundle when several paquets ride one
+  /// grant.
+  void make_room(std::size_t slots = 1);
+
   std::size_t in_flight() const { return inflight_.size(); }
   std::uint32_t epoch() const { return epoch_; }
+  /// Current operating window: the AIMD cwnd clamped to the configured
+  /// cap in adaptive mode, the static cap otherwise.
+  std::size_t effective_window() const;
 
  private:
   struct InFlight {
@@ -181,6 +204,7 @@ class ReliableSender {
     int attempts = 1;
     bool retransmitted = false;  // Karn: no RTT sample once retransmitted
     bool sacked = false;
+    bool sack_rtx = false;  // lost-retransmit resend spent (one per front)
   };
 
   void transmit(InFlight& p);
@@ -192,6 +216,13 @@ class ReliableSender {
   /// Completes `p` (acked): stats + RTT sample.
   void sample_ack(InFlight& p);
   sim::Time initial_rto() const;
+  /// AIMD multiplicative decrease (adaptive mode; no-op otherwise). One
+  /// decrease per window of data — subsequent signals inside the recovery
+  /// window are absorbed. A timeout is treated as heavier than a mark or
+  /// fast retransmit: the window collapses to one paquet.
+  void on_congestion(bool timeout);
+  /// AIMD additive increase on a completed round trip (adaptive mode).
+  void on_ack_growth();
 
   VirtualChannel& vc_;
   NodeRank self_;
@@ -210,10 +241,29 @@ class ReliableSender {
   std::size_t window_;
   std::deque<InFlight> inflight_;
   // Duplicate-cumulative-ack tracking (fast retransmit, window > 1 only).
-  std::uint64_t seen_cum_posts_ = 0;
+  // The ack board counts a duplicate only when a cum post re-acks the
+  // *current* frontier without advancing it (AckView::dup_posts), so a late
+  // re-ack of an older seq — a retransmitted paquet the receiver already
+  // passed — can no longer masquerade as a loss signal across an epoch
+  // bump or failover.
+  std::uint64_t seen_dup_posts_ = 0;
+  int dup_acks_ = 0;
+  // Last cumulative frontier seen; dup_acks_ resets when it moves (dups of
+  // the old frontier say nothing about the new window front).
   bool have_cum_mark_ = false;
   std::uint32_t cum_mark_ = 0;
-  int dup_acks_ = 0;
+  // Congestion marks consumed so far (AckView::marks, adaptive mode).
+  std::uint64_t seen_marks_ = 0;
+  // AIMD congestion window (adaptive mode only). cwnd_ is fractional so
+  // congestion avoidance can grow by 1/cwnd per ack; the operating window
+  // is floor(cwnd_) clamped to [1, window_].
+  double cwnd_ = 1.0;
+  double ssthresh_ = 0.0;  // set from window_ in the ctor
+  // One multiplicative decrease per window of data: after a decrease,
+  // further loss signals are ignored until the cumulative frontier passes
+  // the highest seq in flight at decrease time.
+  bool in_recovery_ = false;
+  std::uint32_t recover_seq_ = 0;
   // The single retransmit timer: armed for the oldest unsacked paquet,
   // re-armed whenever the window advances past it.
   bool have_timer_ = false;
@@ -222,6 +272,23 @@ class ReliableSender {
   bool have_rtt_ = false;
   double srtt_us_ = 0.0;
   double rttvar_us_ = 0.0;
+  // Lowest Karn-valid RTT seen — the path's unloaded round trip. The
+  // adaptive window stops growing once srtt is well above this floor:
+  // past the bandwidth-delay product, more window only deepens the
+  // sender's own queue and stretches every loss recovery.
+  double min_rtt_us_ = 0.0;
+  // Latest Karn-valid sample. The growth gate reads this, NOT srtt: after
+  // a window collapse the smoothed estimate stays inflated by the queue
+  // the old window built, and gating on it would freeze slow start just
+  // when the drained pipe needs refilling.
+  double last_rtt_us_ = 0.0;
+  // RFC 6298 §5.7: once a retransmit timer fires, the backed-off RTO is
+  // the sender's RTO until a fresh (non-retransmitted, Karn-valid) RTT
+  // sample arrives. Without this, every new paquet restarts from the
+  // stale SRTT-derived deadline, and under congestion-grown round trips
+  // the sender never escapes the spurious-timeout spiral: retransmitted
+  // paquets yield no samples, so SRTT never catches up.
+  sim::Time backed_off_rto_ = 0;
   // Retransmit-deadline jitter source, seeded from (self, peer, epoch) so
   // runs stay reproducible while no two senders share a backoff phase.
   util::Rng jitter_rng_;
@@ -246,6 +313,12 @@ class ReliableReceiver {
 
   GtmBlockHeader recv_block_header(MessageReader& in,
                                    std::uint32_t expected_seq);
+
+  /// Posts an ECN-style congestion mark back to this hop's sender (same
+  /// ack-board path and fault handling as a cumulative ack). The gateway
+  /// relay calls this when the flow's relay queue crosses its threshold;
+  /// an adaptive sender reacts with a multiplicative decrease.
+  void post_congestion_mark();
 
  private:
   /// Pulls wire paquets until `next_` can be served; fills the reorder

@@ -15,6 +15,22 @@
 
 namespace mad::fwd {
 
+void FlowOptions::validate(bool reliable_enabled) const {
+  if (!enabled) {
+    return;
+  }
+  MAD_ASSERT(reliable_enabled,
+             "flow scheduling requires reliable mode (congestion marks ride "
+             "the ack board and only reliable streams are relay-queued)");
+  MAD_ASSERT(queue_limit >= 1, "flow queue_limit must hold at least one "
+                               "paquet");
+  MAD_ASSERT(mark_threshold >= 1 && mark_threshold <= queue_limit,
+             "flow mark_threshold must be within [1, queue_limit]");
+  for (const double w : weights) {
+    MAD_ASSERT(w >= 0.0, "flow weights must be >= 0 (0 = default)");
+  }
+}
+
 VirtualChannel::VirtualChannel(Domain& domain, std::string name,
                                std::vector<net::Network*> networks,
                                VcOptions options)
@@ -28,6 +44,7 @@ VirtualChannel::VirtualChannel(Domain& domain, std::string name,
   MAD_ASSERT(options_.rail_credit_chunks >= 1,
              "rail credit window must hold at least one chunk");
 
+  options_.flow.validate(options_.reliable.enabled);
   mtu_ = compute_route_mtu(domain_, networks_, options_.paquet_size);
   if (options_.reliable.enabled) {
     options_.reliable.validate();

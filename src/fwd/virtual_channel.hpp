@@ -33,6 +33,37 @@
 
 namespace mad::fwd {
 
+/// Multi-flow forwarding at the gateway relay (fwd/gateway.cpp). When
+/// enabled, the relay keys concurrent forwarded messages by origin node
+/// into per-flow queues, schedules their egress paquets with deficit
+/// round-robin (optionally weighted), and posts an ECN-style congestion
+/// mark back to the origin's reliable sender whenever a flow's relay
+/// queue crosses `mark_threshold` — pair with ReliableOptions::adaptive
+/// so marked senders shrink their windows instead of piling the queue
+/// higher. Requires reliable mode (the mark rides the ack board, and
+/// only reliable streams carry the per-paquet structure the relay
+/// queues). Off by default: the relay keeps its serial per-message path
+/// and the event sequences of every existing test.
+struct FlowOptions {
+  bool enabled = false;
+  /// DRR quantum in bytes per visit; 0 = auto (one route-MTU paquet).
+  std::uint64_t quantum = 0;
+  /// Per-flow relay queue depth (paquets buffered between a flow's
+  /// ingress and its scheduled egress). The queue is a bounded mailbox:
+  /// a full queue blocks the flow's ingress reader, which stalls its
+  /// hop acks and backpressures the origin's window.
+  std::uint32_t queue_limit = 32;
+  /// Queue depth at which an arriving paquet gets a congestion mark
+  /// posted to its sender. Must be <= queue_limit.
+  std::uint32_t mark_threshold = 8;
+  /// Per-origin scheduling weights, indexed by origin node rank; nodes
+  /// beyond the vector (or with a 0 entry) default to weight 1.
+  std::vector<double> weights;
+
+  /// Panics on inconsistent settings (called by the VirtualChannel ctor).
+  void validate(bool reliable_enabled) const;
+};
+
 struct VcOptions {
   /// Paquet (fragment) size used by the GTM; 0 = auto (largest size every
   /// network on the virtual channel carries unfragmented). The Fig 6/7
@@ -80,6 +111,9 @@ struct VcOptions {
   /// quarantine of browned-out gateways, flap-damped readmission, and
   /// stripe-rail demotion. Off by default (zero behaviour change).
   topo::HealthOptions health;
+  /// Per-flow queueing + DRR scheduling + congestion marks at gateway
+  /// relays (FlowOptions above). Requires reliable.enabled.
+  FlowOptions flow;
 };
 
 class VcEndpoint;
@@ -94,6 +128,7 @@ struct GatewayStats {
   std::uint64_t messages_forwarded = 0;
   std::uint64_t paquets_forwarded = 0;
   std::uint64_t bytes_forwarded = 0;  // payload bytes relayed
+  std::uint64_t flow_marks = 0;  // ECN marks posted by this relay's queues
   ReliabilityStats reliability;
 };
 

@@ -225,6 +225,19 @@ AckRegistry::Stream& AckRegistry::stream(std::uint64_t tag, int receiver_nic) {
   return s;
 }
 
+void AckRegistry::Stream::reset_epoch_state() {
+  has_cum = false;
+  max_seq = 0;
+  visible = 0;
+  cum_post_times.clear();
+  cum_posts_seen = 0;
+  dup_post_times.clear();
+  dup_posts_seen = 0;
+  mark_times.clear();
+  marks_seen = 0;
+  sacks.clear();
+}
+
 void AckRegistry::post(std::uint64_t tag, int receiver_nic,
                        std::uint32_t epoch, std::uint32_t seq,
                        sim::Time visible) {
@@ -233,27 +246,50 @@ void AckRegistry::post(std::uint64_t tag, int receiver_nic,
     return;  // stale re-ack from a superseded stream
   }
   if (!s.any || epoch > s.epoch) {
+    // Epoch turnover (first post, or a failover replay's fresh stream):
+    // every counter restarts, so dup-ack and congestion state from the
+    // superseded stream can neither trigger nor suppress a fast
+    // retransmit in the new one.
     s.any = true;
     s.epoch = epoch;
+    s.reset_epoch_state();
     s.has_cum = true;
     s.max_seq = seq;
     s.visible = visible;
-    s.cum_post_times.clear();
-    s.cum_posts_seen = 0;
-    s.sacks.clear();
   } else if (!s.has_cum || seq > s.max_seq) {
     s.has_cum = true;
     s.max_seq = seq;
     s.visible = visible;
+  } else if (seq == s.max_seq) {
+    // A re-ack of the CURRENT mark: the receiver saw something beyond its
+    // contiguous prefix and is still missing the next paquet — the genuine
+    // duplicate-ack signal the window sender counts toward fast
+    // retransmit. Re-acks of OLDER seqs (late retransmits that finally
+    // landed, epoch-boundary stragglers) fall through uncounted: they
+    // carry no information about the current window front.
+    s.dup_post_times.push_back({visible, seq});
   }
-  // Every cumulative post counts, advancing or not: the window sender
-  // reads duplicate cum acks as "the receiver is still missing my front
-  // paquet" (fast retransmit).
+  // Every cumulative post still counts in the raw total (observability).
   s.cum_post_times.push_back(visible);
   // The cumulative mark supersedes selective acks it covers.
   while (!s.sacks.empty() && s.sacks.begin()->first <= s.max_seq) {
     s.sacks.erase(s.sacks.begin());
   }
+  s.cond->notify_all();
+}
+
+void AckRegistry::post_mark(std::uint64_t tag, int receiver_nic,
+                            std::uint32_t epoch, sim::Time visible) {
+  Stream& s = stream(tag, receiver_nic);
+  if (s.any && epoch < s.epoch) {
+    return;  // congestion of a superseded stream is meaningless
+  }
+  if (!s.any || epoch > s.epoch) {
+    s.any = true;
+    s.epoch = epoch;
+    s.reset_epoch_state();
+  }
+  s.mark_times.push_back(visible);
   s.cond->notify_all();
 }
 
@@ -267,12 +303,7 @@ void AckRegistry::post_sack(std::uint64_t tag, int receiver_nic,
   if (!s.any || epoch > s.epoch) {
     s.any = true;
     s.epoch = epoch;
-    s.has_cum = false;
-    s.max_seq = 0;
-    s.visible = 0;
-    s.cum_post_times.clear();
-    s.cum_posts_seen = 0;
-    s.sacks.clear();
+    s.reset_epoch_state();
   }
   if (!s.has_cum || seq > s.max_seq) {
     // Keep the earliest visibility if the same seq is re-sacked.
@@ -322,6 +353,27 @@ AckView AckRegistry::view(std::uint64_t tag, int receiver_nic,
   v.cum_posts = s.cum_posts_seen;
   if (!s.cum_post_times.empty()) {
     v.next_visible = std::min(v.next_visible, s.cum_post_times.front());
+  }
+  while (!s.dup_post_times.empty() && s.dup_post_times.front().first <= now) {
+    // Consume-time re-classification: count the dup only if it re-acked
+    // the frontier that is STILL current — the window front it reported
+    // lost is otherwise already acked, so it is no loss signal anymore.
+    if (s.dup_post_times.front().second == s.max_seq) {
+      ++s.dup_posts_seen;
+    }
+    s.dup_post_times.pop_front();
+  }
+  v.dup_posts = s.dup_posts_seen;
+  if (!s.dup_post_times.empty()) {
+    v.next_visible = std::min(v.next_visible, s.dup_post_times.front().first);
+  }
+  while (!s.mark_times.empty() && s.mark_times.front() <= now) {
+    s.mark_times.pop_front();
+    ++s.marks_seen;
+  }
+  v.marks = s.marks_seen;
+  if (!s.mark_times.empty()) {
+    v.next_visible = std::min(v.next_visible, s.mark_times.front());
   }
   for (const auto& [sack_seq, sack_visible] : s.sacks) {
     if (sack_visible <= now) {

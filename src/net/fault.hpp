@@ -190,6 +190,18 @@ struct AckView {
   bool has_cum = false;
   std::uint32_t cum_seq = 0;    // highest contiguous acked seq
   std::uint64_t cum_posts = 0;  // cum posts seen this epoch, incl. dups
+  /// Cum posts that re-acked the cumulative frontier without advancing
+  /// it — the genuine duplicate-ack signal. Classified twice: at post
+  /// time (a re-ack of an OLDER seq — a retransmit that finally landed,
+  /// an epoch-boundary straggler — is never queued) and again when the
+  /// post becomes visible (a dup whose frontier has since advanced is
+  /// dropped: it spoke about a window front that no longer exists). The
+  /// second check lets a sender that was blocked in a long pack trust the
+  /// counter delta across a frontier move instead of discarding it.
+  std::uint64_t dup_posts = 0;
+  /// Congestion marks (post_mark) visible this epoch — the ECN signal the
+  /// adaptive sender reads as "slow down" without any loss.
+  std::uint64_t marks = 0;
   std::vector<std::uint32_t> sacks;  // selective acks above cum_seq
   sim::Time next_visible = sim::kForever;
 };
@@ -222,6 +234,14 @@ class AckRegistry {
   /// mark already covers it.
   void post_sack(std::uint64_t tag, int receiver_nic, std::uint32_t epoch,
                  std::uint32_t seq, sim::Time visible);
+
+  /// Records an ECN-style congestion mark on the stream: the receiver (a
+  /// gateway whose per-flow queue crossed its threshold) asks the sender
+  /// to shrink its window. Marks ride the same visibility latency as acks
+  /// and reset with the epoch, so a failover never replays stale
+  /// congestion into the new stream.
+  void post_mark(std::uint64_t tag, int receiver_nic, std::uint32_t epoch,
+                 sim::Time visible);
 
   /// Blocks until an ack for (epoch, >= seq) is visible or `deadline`
   /// passes; returns false on timeout. A satisfying ack already posted at
@@ -259,8 +279,20 @@ class AckRegistry {
     // (monotonic: posts happen in time order with a constant latency).
     std::deque<sim::Time> cum_post_times;
     std::uint64_t cum_posts_seen = 0;
+    // Same folding scheme for genuine duplicate posts (re-acks of the
+    // current max_seq that did not advance it) and congestion marks.
+    // Dup entries carry the seq they re-acked: entries the frontier has
+    // moved past by the time they fold are stale and are not counted.
+    std::deque<std::pair<sim::Time, std::uint32_t>> dup_post_times;
+    std::uint64_t dup_posts_seen = 0;
+    std::deque<sim::Time> mark_times;
+    std::uint64_t marks_seen = 0;
     std::map<std::uint32_t, sim::Time> sacks;  // seq -> visibility
     std::unique_ptr<sim::Condition> cond;
+
+    /// Epoch turnover: wipe every per-epoch accumulator in one place so
+    /// post/post_sack/post_mark cannot drift apart on what "reset" means.
+    void reset_epoch_state();
   };
 
   Stream& stream(std::uint64_t tag, int receiver_nic);

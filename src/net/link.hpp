@@ -94,6 +94,12 @@ class Network {
   void post_sack(std::uint64_t tag, int receiver_nic, int sender_nic,
                  std::uint32_t epoch, std::uint32_t seq);
 
+  /// Same fault handling for an ECN-style congestion mark (a gateway whose
+  /// per-flow queue crossed its threshold asks the sender to shrink its
+  /// adaptive window — fwd/reliable.hpp).
+  void post_mark(std::uint64_t tag, int receiver_nic, int sender_nic,
+                 std::uint32_t epoch);
+
  private:
   PacketLog* packet_log_ = nullptr;
   sim::MetricsRegistry* metrics_ = nullptr;

@@ -321,5 +321,136 @@ TEST(Backoff, UnitBackoffKeepsTheDeadlineConstant) {
       sim::milliseconds(5));
 }
 
+// --- AckRegistry duplicate-cumulative-ack counting --------------------------
+//
+// The dup_posts counter is the window sender's fast-retransmit signal;
+// these tests pin the counting rules the sender relies on, including the
+// consume-time reclassification fix (a dup is only counted if the seq it
+// re-acked is STILL the cumulative frontier when the post becomes
+// visible).
+
+constexpr std::uint64_t kTag = 77;
+constexpr int kNic = 0;
+
+TEST(AckBoard, DupAtFrontierCounted) {
+  sim::Engine eng;
+  net::AckRegistry board(eng, "acks");
+  eng.spawn("s", [&] {
+    board.post(kTag, kNic, /*epoch=*/0, /*seq=*/5, sim::microseconds(10));
+    eng.sleep_until(sim::microseconds(10));
+    net::AckView v = board.view(kTag, kNic, 0);
+    EXPECT_TRUE(v.has_cum);
+    EXPECT_EQ(v.cum_seq, 5u);
+    EXPECT_EQ(v.dup_posts, 0u);
+    // Three re-acks of the frontier: all three count once visible.
+    for (int i = 0; i < 3; ++i) {
+      board.post(kTag, kNic, 0, 5, sim::microseconds(20));
+    }
+    EXPECT_EQ(board.view(kTag, kNic, 0).dup_posts, 0u)
+        << "dup posts counted before their visibility latency elapsed";
+    eng.sleep_until(sim::microseconds(20));
+    EXPECT_EQ(board.view(kTag, kNic, 0).dup_posts, 3u);
+  });
+  eng.run();
+}
+
+TEST(AckBoard, ReackBelowFrontierNeverCounted) {
+  // A cumulative post for an OLDER seq — a retransmit that finally
+  // landed after the frontier moved past it — is not a duplicate-ack
+  // loss signal and must not be queued at all.
+  sim::Engine eng;
+  net::AckRegistry board(eng, "acks");
+  eng.spawn("s", [&] {
+    board.post(kTag, kNic, 0, 5, sim::microseconds(10));
+    board.post(kTag, kNic, 0, 3, sim::microseconds(10));
+    eng.sleep_until(sim::microseconds(50));
+    net::AckView v = board.view(kTag, kNic, 0);
+    EXPECT_EQ(v.cum_seq, 5u);
+    EXPECT_EQ(v.dup_posts, 0u);
+  });
+  eng.run();
+}
+
+TEST(AckBoard, StaleDupDroppedWhenFrontierAdvances) {
+  // Dups re-acking seq 5 are posted, but before they become visible the
+  // frontier advances to 8: at consume time they speak about a window
+  // front that no longer exists and must be dropped, not counted.
+  sim::Engine eng;
+  net::AckRegistry board(eng, "acks");
+  eng.spawn("s", [&] {
+    board.post(kTag, kNic, 0, 5, sim::microseconds(10));
+    for (int i = 0; i < 3; ++i) {
+      board.post(kTag, kNic, 0, 5, sim::microseconds(30));
+    }
+    board.post(kTag, kNic, 0, 8, sim::microseconds(20));
+    eng.sleep_until(sim::microseconds(40));
+    net::AckView v = board.view(kTag, kNic, 0);
+    EXPECT_EQ(v.cum_seq, 8u);
+    EXPECT_EQ(v.dup_posts, 0u)
+        << "dups for a superseded frontier leaked into the loss signal";
+  });
+  eng.run();
+}
+
+TEST(AckBoard, DupDeltaSurvivesLateRead) {
+  // The regression behind this PR's spurious-RTO bug: the sender can sit
+  // blocked in a multi-millisecond pack while the frontier advances AND
+  // a dup burst for the NEW frontier arrives. Its first view() after the
+  // gap must still report those dups — they re-ack the seq that is the
+  // frontier at consume time, so a frontier change between reads must
+  // not launder them away.
+  sim::Engine eng;
+  net::AckRegistry board(eng, "acks");
+  eng.spawn("s", [&] {
+    board.post(kTag, kNic, 0, 5, sim::microseconds(10));
+    board.post(kTag, kNic, 0, 9, sim::microseconds(20));  // frontier moves
+    for (int i = 0; i < 4; ++i) {
+      board.post(kTag, kNic, 0, 9, sim::microseconds(30));  // dup burst
+    }
+    // Sender reads only after everything has landed.
+    eng.sleep_until(sim::milliseconds(5));
+    net::AckView v = board.view(kTag, kNic, 0);
+    EXPECT_EQ(v.cum_seq, 9u);
+    EXPECT_EQ(v.dup_posts, 4u);
+  });
+  eng.run();
+}
+
+TEST(AckBoard, EpochBumpResetsDupCount) {
+  sim::Engine eng;
+  net::AckRegistry board(eng, "acks");
+  eng.spawn("s", [&] {
+    board.post(kTag, kNic, 0, 5, sim::microseconds(10));
+    board.post(kTag, kNic, 0, 5, sim::microseconds(10));
+    eng.sleep_until(sim::microseconds(15));
+    EXPECT_EQ(board.view(kTag, kNic, 0).dup_posts, 1u);
+    // Failover: the stream restarts on epoch 1. Dup state must not leak.
+    board.post(kTag, kNic, /*epoch=*/1, 2, sim::microseconds(20));
+    eng.sleep_until(sim::microseconds(25));
+    net::AckView v = board.view(kTag, kNic, 1);
+    EXPECT_EQ(v.cum_seq, 2u);
+    EXPECT_EQ(v.dup_posts, 0u);
+    // And the old epoch's view is gone entirely.
+    EXPECT_FALSE(board.view(kTag, kNic, 0).has_cum);
+  });
+  eng.run();
+}
+
+TEST(AckBoard, StaleEpochPostIgnored) {
+  // An epoch-boundary straggler — a dup from the dead stream arriving
+  // after the bump — must not disturb the live epoch's state.
+  sim::Engine eng;
+  net::AckRegistry board(eng, "acks");
+  eng.spawn("s", [&] {
+    board.post(kTag, kNic, 1, 4, sim::microseconds(10));
+    board.post(kTag, kNic, 0, 99, sim::microseconds(10));  // straggler
+    eng.sleep_until(sim::microseconds(20));
+    net::AckView v = board.view(kTag, kNic, 1);
+    EXPECT_EQ(v.cum_seq, 4u);
+    EXPECT_EQ(v.dup_posts, 0u);
+  });
+  eng.run();
+}
+
 }  // namespace
 }  // namespace mad::fwd

@@ -92,5 +92,54 @@ TEST(JsonParse, NullDocumentDistinguishedFromFailure) {
   EXPECT_TRUE(v.is_null());
 }
 
+TEST(JsonEscape, ControlCharactersUseShortFormsWhereJsonHasThem) {
+  // \b and \f have two-character escapes in JSON just like \n/\r/\t;
+  // emitting \u0008 for them is legal but gratuitously unreadable.
+  EXPECT_EQ(json_escape(std::string("a\bb")), "a\\bb");
+  EXPECT_EQ(json_escape(std::string("a\fb")), "a\\fb");
+  EXPECT_EQ(json_escape(std::string("a\nb")), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\rb")), "a\\rb");
+  EXPECT_EQ(json_escape(std::string("a\tb")), "a\\tb");
+  // Control characters without a short form still get \u00xx.
+  EXPECT_EQ(json_escape(std::string("a\x01" "b")), "a\\u0001b");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+}
+
+TEST(JsonEscape, EveryControlCharacterRoundTrips) {
+  // Exhaustive escape/parse round trip over the full range the emitter
+  // must protect: all 32 control characters plus quote and backslash,
+  // each embedded between plain text so position handling is exercised.
+  for (int c = 0; c < 0x20; ++c) {
+    std::string original = "pre";
+    original += static_cast<char>(c);
+    original += "post";
+    bool ok = false;
+    const JsonValue v =
+        parse_json("\"" + json_escape(original) + "\"", nullptr, &ok);
+    ASSERT_TRUE(ok) << "control char " << c;
+    EXPECT_EQ(v.string, original) << "control char " << c;
+  }
+  for (const char c : {'"', '\\', '/'}) {
+    const std::string original = std::string("x") + c + "y";
+    bool ok = false;
+    const JsonValue v =
+        parse_json("\"" + json_escape(original) + "\"", nullptr, &ok);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(v.string, original);
+  }
+}
+
+TEST(JsonEscape, MixedTextRoundTrips) {
+  // A string mixing every escape class in one pass — what a bench note
+  // with embedded formatting would look like at its worst.
+  const std::string original =
+      "tab\there \"quoted\" b\bs\fp\r\nnewline \\slash\\ \x02" "ctl";
+  bool ok = false;
+  const JsonValue v =
+      parse_json("\"" + json_escape(original) + "\"", nullptr, &ok);
+  ASSERT_TRUE(ok);
+  EXPECT_EQ(v.string, original);
+}
+
 }  // namespace
 }  // namespace mad::util

@@ -10,7 +10,15 @@
 // exists purely to separate "retuned a model constant" from "broke the
 // pipeline".
 //
+// Fairness-index series (names mentioning "Jain" or "fairness index") are
+// gated on ABSOLUTE drop instead: the index lives in [0, 1] and is
+// near-saturated when healthy, so a ratio threshold tuned for bandwidth
+// is far too loose there (1.00 -> 0.91 is a 9% ratio drop but a broken
+// scheduler). The candidate fails when it falls more than
+// `--fairness-drop` (default 0.02) below the baseline.
+//
 // Usage: bench_compare <baseline_dir> <candidate_dir> [--threshold 0.10]
+//        [--fairness-drop 0.02]
 // Exit status: 0 = no regression, 1 = regression found, 2 = usage/IO error
 // or malformed report (missing/empty/non-numeric fields). Malformed input
 // is never silently skipped: a gate that quietly compares nothing would
@@ -39,6 +47,11 @@ bool mentions_bandwidth(const std::string& text) {
          text.find("bandwidth") != std::string::npos;
 }
 
+bool mentions_fairness(const std::string& text) {
+  return text.find("Jain") != std::string::npos ||
+         text.find("fairness index") != std::string::npos;
+}
+
 std::string read_file(const fs::path& path, bool& ok) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -58,6 +71,7 @@ struct Cell {
   std::string series;
   double value = 0.0;
   bool bandwidth = false;
+  bool fairness = false;  // gated on absolute drop, not ratio
 };
 
 /// Flattens one report, validating the schema as it goes: a missing or
@@ -119,9 +133,12 @@ std::vector<Cell> flatten(const JsonValue& doc, const std::string& file,
                    label->string + " is not a finite number");
           continue;
         }
+        const bool fairness = mentions_fairness(name.string);
         cells.push_back({title->string, label->string, name.string,
                          value.number,
-                         table_bw || mentions_bandwidth(name.string)});
+                         !fairness &&
+                             (table_bw || mentions_bandwidth(name.string)),
+                         fairness});
       }
     }
   }
@@ -142,19 +159,22 @@ const Cell* find_cell(const std::vector<Cell>& cells, const Cell& key) {
 int main(int argc, char** argv) {
   std::vector<std::string> positional;
   double threshold = 0.10;
+  double fairness_drop = 0.02;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--threshold" && i + 1 < argc) {
+    const bool is_threshold = arg == "--threshold";
+    if ((is_threshold || arg == "--fairness-drop") && i + 1 < argc) {
+      double parsed = std::nan("");
       try {
-        threshold = std::stod(argv[++i]);
+        parsed = std::stod(argv[++i]);
       } catch (const std::exception&) {
-        threshold = std::nan("");
       }
-      if (!std::isfinite(threshold) || threshold < 0.0 || threshold >= 1.0) {
-        std::fprintf(stderr,
-                     "bench_compare: --threshold must be in [0, 1)\n");
+      if (!std::isfinite(parsed) || parsed < 0.0 || parsed >= 1.0) {
+        std::fprintf(stderr, "bench_compare: %s must be in [0, 1)\n",
+                     arg.c_str());
         return 2;
       }
+      (is_threshold ? threshold : fairness_drop) = parsed;
     } else {
       positional.push_back(arg);
     }
@@ -162,7 +182,7 @@ int main(int argc, char** argv) {
   if (positional.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_compare <baseline_dir> <candidate_dir> "
-                 "[--threshold 0.10]\n");
+                 "[--threshold 0.10] [--fairness-drop 0.02]\n");
     return 2;
   }
   const fs::path base_dir = positional[0];
@@ -217,7 +237,7 @@ int main(int argc, char** argv) {
     const std::vector<Cell> cand_cells =
         flatten(cand, cand_path.string(), errors);
     for (const Cell& b : base_cells) {
-      if (!b.bandwidth) {
+      if (!b.bandwidth && !b.fairness) {
         continue;
       }
       const Cell* c = find_cell(cand_cells, b);
@@ -225,6 +245,22 @@ int main(int argc, char** argv) {
         errors.push_back(cand_path.string() + ": [" + b.table + "] " +
                          b.series + " @ " + b.row +
                          " missing from candidate");
+        continue;
+      }
+      if (b.fairness) {
+        // Absolute-drop gate: the index is already normalized to [0, 1],
+        // so the meaningful question is how many index points were lost,
+        // not the ratio.
+        ++compared;
+        const double drop = b.value - c->value;
+        if (drop > fairness_drop) {
+          std::printf(
+              "REGRESSION %s: [%s] %s @ %s: %.4f -> %.4f "
+              "(fairness drop %.4f > %.4f)\n",
+              name.string().c_str(), b.table.c_str(), b.series.c_str(),
+              b.row.c_str(), b.value, c->value, drop, fairness_drop);
+          ++regressions;
+        }
         continue;
       }
       if (b.value <= 0.0) {
@@ -249,12 +285,13 @@ int main(int argc, char** argv) {
   }
   if (compared == 0) {
     std::fprintf(stderr,
-                 "bench_compare: no bandwidth cells compared — the gate "
-                 "checked nothing\n");
+                 "bench_compare: no bandwidth or fairness cells compared — "
+                 "the gate checked nothing\n");
     return 2;
   }
-  std::printf("bench_compare: %d bandwidth cells compared, %d regressions, "
-              "%d reports skipped (threshold %.0f%%)\n",
-              compared, regressions, skipped, threshold * 100.0);
+  std::printf(
+      "bench_compare: %d bandwidth/fairness cells compared, %d regressions, "
+      "%d reports skipped (threshold %.0f%%, fairness drop %.2f)\n",
+      compared, regressions, skipped, threshold * 100.0, fairness_drop);
   return regressions > 0 ? 1 : 0;
 }
