@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fwd/pipeline.hpp"
@@ -31,6 +32,7 @@
 #include "sim/metrics.hpp"
 #include "util/log.hpp"
 #include "util/panic.hpp"
+#include "util/rng.hpp"
 
 namespace mad::fwd {
 
@@ -91,6 +93,10 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
       flow_sched_ = std::make_unique<FlowScheduler>(
           engine_, quantum,
           vc.name() + ".gwflow." + std::to_string(self));
+      if (vc.options().flow.admission.enabled) {
+        admission_ =
+            std::make_unique<AdmissionController>(vc.options().flow.admission);
+      }
     }
   }
 
@@ -134,7 +140,31 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
     MAD_ASSERT(dst != self_,
                "message to the gateway itself must use a regular channel");
     if ((hdr.flags & kGtmFlagReliable) != 0) {
-      relay_reliable(in, hdr, stripe, dst);
+      const TrafficClass cls = traffic_class_from_wire(hdr.traffic_class);
+      if (admission_ != nullptr) {
+        const bool new_flow =
+            flow_ids_.find({static_cast<NodeRank>(hdr.origin),
+                            static_cast<int>(traffic_class_index(cls))}) ==
+            flow_ids_.end();
+        const AdmissionController::Verdict verdict =
+            admission_->admit(cls, new_flow);
+        if (verdict != AdmissionController::Verdict::Admit) {
+          reject_message(in, hdr, cls, verdict);
+          return;
+        }
+        admission_->on_message_admitted(cls);
+      }
+      try {
+        relay_reliable(in, hdr, stripe, dst);
+      } catch (...) {
+        if (admission_ != nullptr) {
+          admission_->on_message_done(cls);
+        }
+        throw;
+      }
+      if (admission_ != nullptr) {
+        admission_->on_message_done(cls);
+      }
       in.end_unpacking();
       ++vc_.mutable_gateway_stats(self_).messages_forwarded;
       return;
@@ -202,7 +232,8 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
       relay_reliable_streaming(in, hdr, dst);
       return;
     }
-    const int flow = flow_id_for(static_cast<NodeRank>(hdr.origin));
+    const int flow = flow_id_for(static_cast<NodeRank>(hdr.origin),
+                                 traffic_class_from_wire(hdr.traffic_class));
     const NodeRank from = in.source();
 
     // Phase 1: receive the full message, paquet by paquet, acking each.
@@ -276,6 +307,7 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
                       const std::optional<GtmStripeHeader>& stripe,
                       NodeRank dst, int flow) {
     const sim::Time delivery_start = engine_.now();
+    int reject_attempts = 0;
     for (;;) {
       if (vc_.node_crashed_within(self_, delivery_start)) {
         // This gateway's own NIC crashed (even if it has recovered since
@@ -299,6 +331,7 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
       GtmMsgHeader out_hdr = hdr;
       out_hdr.epoch = ++out_channel.connection_to(next).tx_epoch;
       std::optional<HopFailure> failed;
+      bool rejected = false;
       {
         MessageWriter out = open_outgoing(out_channel, next, last_hop,
                                           out_hdr, stripe);
@@ -366,15 +399,23 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
             // window is abandoned with the sender, so end_packing below
             // is non-blocking and releases the connection's tx lock.
             failed = f;
+          } catch (const FlowRejected&) {
+            // The next hop is itself an overloaded gateway. The hop is
+            // healthy — back off and retry, never declare it dead.
+            rejected = true;
           }
         }
         out.end_packing();
       }
-      if (!failed) {
+      if (!failed && !rejected) {
         return;
       }
       if (vc_.node_crashed_within(self_, delivery_start)) {
         return;
+      }
+      if (rejected) {
+        sleep_reject_backoff(reject_attempts++);
+        continue;
       }
       note_hop_death(*failed, dst);
     }
@@ -403,6 +444,66 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
     }
   }
 
+  /// Refuses an over-budget (or shed) message at the admission gate. The
+  /// message's epoch is marked done before a single payload paquet is
+  /// consumed: boundary drains re-ack and discard its in-flight
+  /// retransmits, exactly as they do for a completed stream, so the
+  /// upstream sender cannot wedge on a message this gateway will never
+  /// relay. The reject signal rides the ack board (post_reject) and
+  /// surfaces as FlowRejected in the sender's drain loop, which backs off
+  /// and replays the whole message later. If a fault window suppresses the
+  /// reject, the sender falls back to its retransmit-timeout path: slower,
+  /// but never wedged.
+  void reject_message(MessageReader& in, const GtmMsgHeader& hdr,
+                      TrafficClass cls,
+                      AdmissionController::Verdict verdict) {
+    const NodeRank from = in.source();
+    Connection& up = in_channel_.connection_to(from);
+    up.rx_epoch_done = std::max(up.rx_epoch_done, hdr.epoch);
+    in_channel_.network().post_reject(up.rx_tag,
+                                      in_channel_.tm().nic().index(),
+                                      up.peer_nic_index, hdr.epoch);
+    GatewayStats& stats = vc_.mutable_gateway_stats(self_);
+    ++stats.admission_rejects;
+    sim::MetricsRegistry& metrics = vc_.domain().fabric().metrics();
+    metrics.add("admission.rejects", class_label(cls));
+    if (verdict == AdmissionController::Verdict::RejectShed) {
+      ++stats.admission_sheds;
+      metrics.add("admission.sheds", class_label(cls));
+    }
+    if (vc_.options().trace != nullptr) {
+      vc_.options().trace->instant_here(
+          "admission.reject",
+          "origin=" + std::to_string(hdr.origin) +
+              " class=" + traffic_class_name(cls));
+    }
+    in.end_unpacking();
+  }
+
+  /// Backoff before retrying a downstream gateway that rejected this
+  /// relay's message (a gateway chain where the NEXT gateway is itself
+  /// overloaded). Mirrors the origin-side writer's schedule: exponential
+  /// with deterministic jitter, capped.
+  void sleep_reject_backoff(int attempts) {
+    const FlowOptions& flow = vc_.options().flow;
+    double delay = static_cast<double>(flow.reject_backoff);
+    const double cap = static_cast<double>(flow.reject_backoff_cap);
+    for (int i = 0; i < attempts && delay < cap; ++i) {
+      delay *= flow.reject_backoff_factor;
+    }
+    delay = std::min(delay, cap);
+    util::Rng jitter((static_cast<std::uint64_t>(self_) << 40) ^
+                     static_cast<std::uint64_t>(attempts));
+    delay += delay * 0.25 * jitter.next_double();
+    sim::MetricsRegistry& metrics = vc_.domain().fabric().metrics();
+    metrics.add("flow.reject_retries", "node=" + std::to_string(self_));
+    if (vc_.options().trace != nullptr) {
+      vc_.options().trace->instant_here(
+          "flow.rejected", "attempts=" + std::to_string(attempts));
+    }
+    engine_.sleep_for(static_cast<sim::Time>(delay));
+  }
+
   /// Cut-through reliable relay (window > 1, unstriped): a dedicated
   /// sender actor retransmits paquet k downstream while the listener
   /// receives paquet k+1 — the paper's two-threads/two-buffers scheme
@@ -428,7 +529,8 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
     const NodeRank next = hop.node;
     GtmMsgHeader out_hdr = hdr;
     out_hdr.epoch = ++out_channel.connection_to(next).tx_epoch;
-    const int flow = flow_id_for(static_cast<NodeRank>(hdr.origin));
+    const TrafficClass cls = traffic_class_from_wire(hdr.traffic_class);
+    const int flow = flow_id_for(static_cast<NodeRank>(hdr.origin), cls);
 
     struct StreamItem {
       enum class Kind { Header, Fragment, End, Abort };
@@ -436,6 +538,9 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
       std::size_t block = 0;
       std::uint64_t offset = 0;
       std::uint32_t size = 0;
+      // Admission accounting: when this fragment entered the egress queue
+      // (sojourn feeds the CoDel-style shedding policy).
+      sim::Time enq_at = 0;
     };
     // Shared with the sender actor, heap-owned for the same shutdown
     // reason as PipeState below. The item mailbox is unbounded by default:
@@ -457,6 +562,10 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
       sim::Condition done;
       bool finished = false;
       std::optional<HopFailure> failure;
+      // Downstream gateway refused the message at its admission gate: the
+      // hop is healthy, so the relay backs off and replays instead of
+      // declaring it dead.
+      bool rejected = false;
     };
     // DRR buffer sizing: a weight-w flow drains w quanta per scheduler
     // round, so both its queue bound and its mark point scale with the
@@ -475,7 +584,7 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
     engine_.spawn(
         vc_.name() + ".gwsend." + std::to_string(self_),
         [self = shared_from_this(), state, &out_channel, next, last_hop,
-         out_hdr, flow] {
+         out_hdr, flow, cls] {
           MessageWriter out = self->open_outgoing(
               out_channel, next, last_hop, out_hdr, std::nullopt);
           {
@@ -490,7 +599,13 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
               if (failed) {
                 // Keep draining after a HopFailure so a bounded (flow
                 // mode) item queue cannot wedge the listener; the stored
-                // copy replays via deliver_stored below.
+                // copy replays via deliver_stored below. Drained
+                // fragments still leave the admission byte ledger —
+                // otherwise a failover would leak their queued bytes
+                // against the class budget forever.
+                if (item.kind == StreamItem::Kind::Fragment) {
+                  self->note_dequeue(cls, item.size, item.enq_at);
+                }
                 running = item.kind != StreamItem::Kind::End &&
                           item.kind != StreamItem::Kind::Abort;
                 continue;
@@ -522,6 +637,13 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
                         bundle_bytes += head->size;
                         bundle.push_back(*state->items.try_recv());
                       }
+                    }
+                    // Leaving the item queue IS the dequeue the admission
+                    // ledger tracks — account before make_room, which can
+                    // throw (a HopFailure here must not leak the bundle's
+                    // bytes against the class budget).
+                    for (const StreamItem& b : bundle) {
+                      self->note_dequeue(cls, b.size, b.enq_at);
                     }
                     // Window drain outside the grant: only the bundle's
                     // wire occupancy is scheduled, never an ack wait.
@@ -564,6 +686,11 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
                 failed = true;
                 running = item.kind != StreamItem::Kind::End &&
                           item.kind != StreamItem::Kind::Abort;
+              } catch (const FlowRejected&) {
+                state->rejected = true;
+                failed = true;
+                running = item.kind != StreamItem::Kind::End &&
+                          item.kind != StreamItem::Kind::Abort;
               }
             }
           }
@@ -602,10 +729,11 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
                 rx, in, seq++,
                 util::MutByteSpan(state->blocks[index].data)
                     .subspan(offset, size));
-            state->items.send(
-                StreamItem{StreamItem::Kind::Fragment, index, offset, size});
+            state->items.send(StreamItem{StreamItem::Kind::Fragment, index,
+                                         offset, size, engine_.now()});
+            note_enqueue(cls, size);
             if (flow_sched_ != nullptr) {
-              note_flow_depth(rx, static_cast<NodeRank>(hdr.origin),
+              note_flow_depth(rx, static_cast<NodeRank>(hdr.origin), flow,
                               state->items.size());
             }
           }
@@ -624,7 +752,16 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
       // route, and downstream readers adopt the replayed stream.
       throw *upstream_died;
     }
-    if (state->failure) {
+    if (state->rejected) {
+      // Downstream admission refusal: the hop is healthy, so back off and
+      // replay the stored copy (deliver_stored keeps retrying — and keeps
+      // backing off — until the downstream gateway admits it).
+      if (vc_.node_crashed(self_)) {
+        return;
+      }
+      sleep_reject_backoff(0);
+      deliver_stored(state->blocks, hdr, std::nullopt, dst, flow);
+    } else if (state->failure) {
       if (vc_.node_crashed(self_)) {
         return;
       }
@@ -661,15 +798,14 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
   /// flow's queue reaches its threshold — the egress scheduler is serving
   /// other flows faster than this one drains, so the origin should shrink
   /// its window rather than pile the queue to the blocking limit.
-  void note_flow_depth(ReliableReceiver& rx, NodeRank origin,
+  void note_flow_depth(ReliableReceiver& rx, NodeRank origin, int flow,
                        std::size_t depth) {
     sim::MetricsRegistry& metrics = vc_.domain().fabric().metrics();
     metrics.observe_us("flow.queue_depth", flow_label(origin),
                        static_cast<double>(depth));
     // Threshold scales with the flow's weight, mirroring its queue bound:
     // a weight-w flow legitimately holds w quanta of scheduled backlog.
-    const double weight =
-        std::max(1.0, flow_sched_->weight_of(flow_id_for(origin)));
+    const double weight = std::max(1.0, flow_sched_->weight_of(flow));
     if (static_cast<double>(depth) >=
         static_cast<double>(vc_.options().flow.mark_threshold) * weight) {
       rx.post_congestion_mark();
@@ -868,15 +1004,18 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
     }
   }
 
-  /// Lazily registers the scheduling flow for a message's *origin* node
-  /// (flows are keyed by origin, not by the upstream hop: two origins
-  /// funneled through one intermediate gateway still compete fairly).
-  /// Returns -1 when flow scheduling is off.
-  int flow_id_for(NodeRank origin) {
+  /// Lazily registers the scheduling flow for a message's (origin node,
+  /// traffic class) pair (flows are keyed by origin, not by the upstream
+  /// hop: two origins funneled through one intermediate gateway still
+  /// compete fairly; one origin's control and bulk traffic land in
+  /// distinct priority bands). Returns -1 when flow scheduling is off.
+  int flow_id_for(NodeRank origin, TrafficClass cls) {
     if (flow_sched_ == nullptr) {
       return -1;
     }
-    if (const auto it = flow_ids_.find(origin); it != flow_ids_.end()) {
+    const std::pair<NodeRank, int> key{
+        origin, static_cast<int>(traffic_class_index(cls))};
+    if (const auto it = flow_ids_.find(key); it != flow_ids_.end()) {
       return it->second;
     }
     const std::vector<double>& weights = vc_.options().flow.weights;
@@ -885,14 +1024,55 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
         weights[static_cast<std::size_t>(origin)] > 0.0) {
       weight = weights[static_cast<std::size_t>(origin)];
     }
-    const int id = flow_sched_->add_flow(weight);
-    flow_ids_.emplace(origin, id);
+    const std::int64_t sched_key =
+        static_cast<std::int64_t>(origin) *
+            static_cast<std::int64_t>(kTrafficClassCount) +
+        static_cast<std::int64_t>(traffic_class_index(cls));
+    const int id = flow_sched_->add_flow(weight, cls, sched_key);
+    flow_ids_.emplace(key, id);
+    if (admission_ != nullptr) {
+      admission_->on_flow_registered(cls);
+    }
     return id;
   }
 
   std::string flow_label(NodeRank origin) const {
     return "gateway=" + std::to_string(self_) +
            ",origin=" + std::to_string(origin);
+  }
+
+  std::string class_label(TrafficClass cls) const {
+    return "gateway=" + std::to_string(self_) +
+           ",class=" + std::string(traffic_class_name(cls));
+  }
+
+  /// Admission byte accounting, enqueue side (streaming relay only: the
+  /// store-and-forward path never builds a standing egress queue, so it is
+  /// governed by the message budgets alone).
+  void note_enqueue(TrafficClass cls, std::uint32_t size) {
+    if (admission_ == nullptr) {
+      return;
+    }
+    admission_->on_enqueue(cls, size);
+    sim::MetricsRegistry& metrics = vc_.domain().fabric().metrics();
+    metrics.observe_us("admission.queued_bytes", class_label(cls),
+                       static_cast<double>(admission_->queued_bytes(cls)));
+  }
+
+  /// Admission byte accounting, dequeue side: feeds the CoDel-style
+  /// sojourn tracker and the per-class sojourn histogram.
+  void note_dequeue(TrafficClass cls, std::uint32_t size,
+                    sim::Time enq_at) {
+    if (admission_ == nullptr) {
+      return;
+    }
+    const sim::Time sojourn =
+        admission_->on_dequeue(cls, size, enq_at, engine_.now());
+    sim::MetricsRegistry& metrics = vc_.domain().fabric().metrics();
+    if (metrics.enabled()) {
+      metrics.histogram("admission.sojourn_us", class_label(cls))
+          .record(sim::to_microseconds(sojourn));
+    }
   }
 
   VirtualChannel& vc_;
@@ -903,11 +1083,13 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
   sim::Mailbox<std::vector<std::byte>> free_buffers_;
   Regulator regulator_;
   // Multi-flow forwarding (VcOptions::flow): DRR egress arbiter, lazy
-  // origin→flow registry, and per-upstream-hop turn tickets that keep
-  // same-stream messages in arrival order while the dispatcher fans
-  // everything else out to concurrent relay actors.
+  // (origin, class)→flow registry, the overload admission gate, and
+  // per-upstream-hop turn tickets that keep same-stream messages in
+  // arrival order while the dispatcher fans everything else out to
+  // concurrent relay actors.
   std::unique_ptr<FlowScheduler> flow_sched_;
-  std::map<NodeRank, int> flow_ids_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::map<std::pair<NodeRank, int>, int> flow_ids_;
   std::map<NodeRank, std::uint64_t> flow_next_ticket_;
   std::map<NodeRank, std::uint64_t> flow_serving_;
   sim::Condition flow_turn_;

@@ -58,6 +58,11 @@ struct GtmMsgHeader {
   std::uint32_t mtu = 0;
   std::uint32_t epoch = 0;
   std::uint8_t flags = 0;
+  /// fwd::TrafficClass of the message (control/latency/bulk), stamped by
+  /// the originating writer and propagated hop to hop so every gateway
+  /// arbitrates and admits with the same priority. Fits in the struct's
+  /// existing padding — the wire element size is unchanged.
+  std::uint8_t traffic_class = 0;
 };
 
 /// Per-block element: size and the pack flag pair ("the emission and

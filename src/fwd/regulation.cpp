@@ -6,6 +6,25 @@
 
 namespace mad::fwd {
 
+const char* traffic_class_name(TrafficClass cls) {
+  switch (cls) {
+    case TrafficClass::Control:
+      return "control";
+    case TrafficClass::Latency:
+      return "latency";
+    case TrafficClass::Bulk:
+      return "bulk";
+  }
+  return "bulk";
+}
+
+TrafficClass traffic_class_from_wire(std::uint8_t value) {
+  if (value >= static_cast<std::uint8_t>(kTrafficClassCount)) {
+    return TrafficClass::Bulk;
+  }
+  return static_cast<TrafficClass>(value);
+}
+
 void Regulator::pace(std::uint64_t bytes) {
   if (!enabled()) {
     return;
@@ -18,47 +37,142 @@ void Regulator::pace(std::uint64_t bytes) {
                   sim::transfer_time(bytes, rate_);
 }
 
+namespace {
+
+// Shared band-bookkeeping for DrrQueue / FlowScheduler flow removal:
+// drop `flow` from its class band and keep the band cursor pointing at
+// the same *remaining* flow (or a valid slot) so the round continues
+// where it left off.
+void erase_from_band(std::vector<int>& band, std::size_t& cursor, int flow) {
+  const auto it = std::find(band.begin(), band.end(), flow);
+  MAD_ASSERT(it != band.end(), "flow missing from its class band");
+  const std::size_t idx = static_cast<std::size_t>(it - band.begin());
+  band.erase(it);
+  if (band.empty()) {
+    cursor = 0;
+  } else {
+    if (idx < cursor) {
+      --cursor;
+    }
+    if (cursor >= band.size()) {
+      cursor = 0;
+    }
+  }
+}
+
+}  // namespace
+
+int DrrQueue::add_flow(double weight, TrafficClass cls) {
+  MAD_ASSERT(weight > 0.0, "DRR flow weight must be positive");
+  const int id = static_cast<int>(flows_.size());
+  flows_.push_back(Flow{weight, cls, true, 0, false, {}});
+  band_[traffic_class_index(cls)].push_back(id);
+  return id;
+}
+
+void DrrQueue::remove_flow(int flow) {
+  Flow& f = flow_at(flow);
+  MAD_ASSERT(f.active, "DRR flow removed twice");
+  pending_ -= f.items.size();
+  f.items.clear();
+  f.deficit = 0;
+  f.topped_up = false;
+  f.active = false;
+  const std::size_t band = traffic_class_index(f.cls);
+  erase_from_band(band_[band], band_cursor_[band], flow);
+}
+
 std::optional<DrrQueue::Item> DrrQueue::dequeue() {
   if (pending_ == 0) {
     return std::nullopt;
   }
-  // Terminates: at least one flow is backlogged, and every full cycle
-  // tops its deficit up by >= 1 byte, so its head item eventually fits.
-  for (;;) {
-    Flow& f = flows_[cursor_];
-    if (f.items.empty()) {
-      f.deficit = 0;  // idle flows never bank credit
-      advance();
+  // Strict priority: the first class (in Control → Latency → Bulk order)
+  // with a backlogged flow owns this dequeue; DRR applies within it.
+  for (std::size_t band = 0; band < band_.size(); ++band) {
+    const std::vector<int>& ids = band_[band];
+    bool backlogged = false;
+    for (const int id : ids) {
+      if (!flows_[static_cast<std::size_t>(id)].items.empty()) {
+        backlogged = true;
+        break;
+      }
+    }
+    if (!backlogged) {
       continue;
     }
-    if (!f.topped_up) {
-      f.deficit += top_up(f);
-      f.topped_up = true;
-    }
-    if (f.items.front() <= f.deficit) {
-      Item item{static_cast<int>(cursor_), f.items.front()};
-      f.deficit -= f.items.front();
-      f.items.pop_front();
-      --pending_;
-      if (f.items.empty()) {
-        f.deficit = 0;  // classic DRR: the visit's leftover is forfeited
+    std::size_t& cursor = band_cursor_[band];
+    // Terminates: at least one band flow is backlogged, and every full
+    // cycle tops its deficit up by >= 1 byte, so its head eventually fits.
+    for (;;) {
+      if (cursor >= ids.size()) {
+        cursor = 0;
       }
-      // The cursor stays put: the flow keeps serving while its deficit
-      // lasts, then advance() closes the visit.
-      return item;
+      Flow& f = flows_[static_cast<std::size_t>(ids[cursor])];
+      if (f.items.empty()) {
+        f.deficit = 0;  // idle flows never bank credit
+        f.topped_up = false;
+        cursor = (cursor + 1) % ids.size();
+        continue;
+      }
+      if (!f.topped_up) {
+        f.deficit += top_up(f);
+        f.topped_up = true;
+      }
+      if (f.items.front() <= f.deficit) {
+        Item item{ids[cursor], f.items.front()};
+        f.deficit -= f.items.front();
+        f.items.pop_front();
+        --pending_;
+        if (f.items.empty()) {
+          f.deficit = 0;  // classic DRR: the visit's leftover is forfeited
+        }
+        // The cursor stays put: the flow keeps serving while its deficit
+        // lasts, then the next visit closes it out.
+        return item;
+      }
+      f.topped_up = false;
+      cursor = (cursor + 1) % ids.size();  // head too big: next flow
     }
-    advance();  // head too big for the remaining deficit: next flow
   }
+  MAD_PANIC("DRR pending count does not match queued items");
 }
 
-int FlowScheduler::add_flow(double weight) {
+int FlowScheduler::add_flow(double weight, TrafficClass cls,
+                            std::int64_t key) {
   MAD_ASSERT(weight > 0.0, "flow scheduler weight must be positive");
-  flows_.push_back(Flow{weight, 0, false, {}, 0, 0, 0, 0});
-  return static_cast<int>(flows_.size()) - 1;
+  if (key >= 0) {
+    const auto [it, inserted] = keys_.emplace(key, 0);
+    MAD_ASSERT(inserted, "duplicate flow registration for key " +
+                             std::to_string(key) + " (existing flow " +
+                             std::to_string(it->second) + ")");
+  }
+  const int id = static_cast<int>(flows_.size());
+  flows_.push_back(Flow{weight, cls, key, true, 0, false, {}, 0, 0, 0, 0});
+  if (key >= 0) {
+    keys_[key] = id;
+  }
+  band_[traffic_class_index(cls)].push_back(id);
+  return id;
+}
+
+void FlowScheduler::remove_flow(int flow) {
+  Flow& f = flow_at(flow);
+  MAD_ASSERT(f.active, "scheduler flow removed twice");
+  MAD_ASSERT(f.parked.empty() && !(busy_ && granted_flow_ == flow),
+             "cannot remove a flow with outstanding grant requests");
+  f.deficit = 0;
+  f.topped_up = false;
+  f.active = false;
+  if (f.key >= 0) {
+    keys_.erase(f.key);
+  }
+  const std::size_t band = traffic_class_index(f.cls);
+  erase_from_band(band_[band], band_cursor_[band], flow);
 }
 
 void FlowScheduler::acquire(int flow, std::uint64_t bytes) {
   Flow& f = flow_at(flow);
+  MAD_ASSERT(f.active, "acquire on a removed scheduler flow");
   const std::uint64_t ticket = f.enq_ticket++;
   f.parked.push_back(bytes);
   pump();
@@ -79,23 +193,37 @@ void FlowScheduler::pump() {
   if (busy_ || flows_.empty()) {
     return;
   }
+  // Strict priority across class bands, DRR within the winning band.
+  for (std::size_t band = 0; band < band_.size(); ++band) {
+    if (pump_band(band)) {
+      return;
+    }
+  }
+}
+
+bool FlowScheduler::pump_band(std::size_t band) {
+  const std::vector<int>& ids = band_[band];
   bool any = false;
-  for (const Flow& f : flows_) {
-    if (!f.parked.empty()) {
+  for (const int id : ids) {
+    if (!flows_[static_cast<std::size_t>(id)].parked.empty()) {
       any = true;
       break;
     }
   }
   if (!any) {
-    return;
+    return false;
   }
+  std::size_t& cursor = band_cursor_[band];
   // Same DRR walk as DrrQueue::dequeue, over parked grant requests.
   for (;;) {
-    Flow& f = flows_[cursor_];
+    if (cursor >= ids.size()) {
+      cursor = 0;
+    }
+    Flow& f = flows_[static_cast<std::size_t>(ids[cursor])];
     if (f.parked.empty()) {
       f.deficit = 0;
       f.topped_up = false;
-      cursor_ = (cursor_ + 1) % flows_.size();
+      cursor = (cursor + 1) % ids.size();
       continue;
     }
     if (!f.topped_up) {
@@ -107,7 +235,7 @@ void FlowScheduler::pump() {
       f.deficit -= bytes;
       f.parked.pop_front();
       busy_ = true;
-      granted_flow_ = static_cast<int>(cursor_);
+      granted_flow_ = ids[cursor];
       grant_ticket_ = f.served_ticket++;
       ++f.grants;
       f.granted_bytes += bytes;
@@ -115,11 +243,98 @@ void FlowScheduler::pump() {
         f.deficit = 0;
       }
       granted_cond_.notify_all();
-      return;
+      return true;
     }
     f.topped_up = false;
-    cursor_ = (cursor_ + 1) % flows_.size();
+    cursor = (cursor + 1) % ids.size();
   }
+}
+
+void AdmissionOptions::validate() const {
+  MAD_ASSERT(shed_target > 0, "admission shed_target must be positive");
+  MAD_ASSERT(shed_interval > 0, "admission shed_interval must be positive");
+}
+
+AdmissionController::Verdict AdmissionController::admit(TrafficClass cls,
+                                                        bool new_flow) {
+  // Control is never rejected: it degrades to plain blocking backpressure,
+  // so announces/acks/health traffic stay admitted while data is shed.
+  if (cls == TrafficClass::Control) {
+    return Verdict::Admit;
+  }
+  // CoDel exit condition: shedding is reevaluated on dequeue samples, but
+  // a class whose queue fully drained while shedding produces no more
+  // samples — without this reopen it would reject its own recovery
+  // traffic forever.
+  reopen_if_drained(TrafficClass::Bulk);
+  reopen_if_drained(TrafficClass::Latency);
+  ClassState& s = state(cls);
+  const std::size_t i = traffic_class_index(cls);
+  if (new_flow && opts_.flow_budget[i] != 0 &&
+      s.flows >= opts_.flow_budget[i]) {
+    ++s.rejects;
+    return Verdict::RejectFlow;
+  }
+  if (should_shed(cls)) {
+    ++s.rejects;
+    ++s.sheds;
+    return Verdict::RejectShed;
+  }
+  if (opts_.message_budget[i] != 0 &&
+      s.queued_messages >= opts_.message_budget[i]) {
+    ++s.rejects;
+    return Verdict::RejectBudget;
+  }
+  if (opts_.byte_budget[i] != 0 && s.queued_bytes >= opts_.byte_budget[i]) {
+    ++s.rejects;
+    return Verdict::RejectBudget;
+  }
+  return Verdict::Admit;
+}
+
+sim::Time AdmissionController::on_dequeue(TrafficClass cls,
+                                          std::uint64_t bytes,
+                                          sim::Time enqueued_at,
+                                          sim::Time now) {
+  ClassState& s = state(cls);
+  MAD_ASSERT(s.queued_bytes >= bytes, "admission byte accounting underflow");
+  s.queued_bytes -= bytes;
+  const sim::Time sojourn = now > enqueued_at ? now - enqueued_at : 0;
+  if (sojourn < opts_.shed_target) {
+    // One sample under target proves the standing queue drained: reopen.
+    s.above_target = false;
+    s.shedding = false;
+  } else {
+    if (!s.above_target) {
+      s.above_target = true;
+      s.above_since = now;
+    } else if (!s.shedding && now - s.above_since >= opts_.shed_interval) {
+      s.shedding = true;
+    }
+  }
+  return sojourn;
+}
+
+void AdmissionController::reopen_if_drained(TrafficClass cls) {
+  ClassState& s = state(cls);
+  if (s.shedding && s.queued_bytes == 0 && s.queued_messages == 0) {
+    s.shedding = false;
+    s.above_target = false;
+  }
+}
+
+bool AdmissionController::should_shed(TrafficClass cls) const {
+  switch (cls) {
+    case TrafficClass::Control:
+      return false;
+    case TrafficClass::Latency:
+      // Graceful order: latency sheds only while bulk is already shedding.
+      return state(TrafficClass::Latency).shedding &&
+             state(TrafficClass::Bulk).shedding;
+    case TrafficClass::Bulk:
+      return state(TrafficClass::Bulk).shedding;
+  }
+  return false;
 }
 
 }  // namespace mad::fwd

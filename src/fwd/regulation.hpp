@@ -7,19 +7,48 @@
 // simplest useful form: a token-bucket-style pacer that bounds the average
 // rate at which the gateway *starts* paquet receives, leaving bus headroom
 // for the sender thread. bench_ext_flow_regulation sweeps the rate.
+//
+// On top of the pacer live the multi-flow egress schedulers (DrrQueue /
+// FlowScheduler, PR 7) and the overload-protection layer: strict priority
+// classes above DRR and an AdmissionController that rejects or sheds work
+// instead of letting origin queues backpressure without bound.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "sim/condition.hpp"
 #include "sim/engine.hpp"
+#include "sim/time.hpp"
 #include "util/panic.hpp"
 
 namespace mad::fwd {
+
+/// Priority class of a forwarded message. Arbitration is strict priority:
+/// the egress scheduler serves every pending Control grant before any
+/// Latency grant, and Latency before Bulk; DRR fairness applies between
+/// flows of the same class. Degradation under overload follows the same
+/// order in reverse — bulk is shed first, then latency, never control.
+enum class TrafficClass : std::uint8_t { Control = 0, Latency = 1, Bulk = 2 };
+
+inline constexpr int kTrafficClassCount = 3;
+
+const char* traffic_class_name(TrafficClass cls);
+
+/// Decodes the wire byte carried in GtmMsgHeader::traffic_class. Message
+/// headers ride the unreliable framing path, so a byte mangled past the
+/// known range is treated as Bulk (lowest priority, safest default) rather
+/// than trusted or panicked on; checksummed paquets catch real corruption.
+TrafficClass traffic_class_from_wire(std::uint8_t value);
+
+inline std::size_t traffic_class_index(TrafficClass cls) {
+  return static_cast<std::size_t>(cls);
+}
 
 class Regulator {
  public:
@@ -93,6 +122,11 @@ class CreditWindow {
 /// receives wire bytes proportional to its weight regardless of item
 /// sizes. A flow that goes idle forfeits its deficit — credit never
 /// accumulates while there is nothing to send.
+///
+/// Flows belong to a TrafficClass; classes are arbitrated strictly (every
+/// backlogged Control flow is served before any Latency flow, Latency
+/// before Bulk) with an independent DRR round per class. With all flows in
+/// one class this degenerates to the classic single-band walk.
 class DrrQueue {
  public:
   explicit DrrQueue(std::uint64_t quantum) : quantum_(quantum) {
@@ -100,14 +134,18 @@ class DrrQueue {
   }
 
   /// Registers a flow with the given scheduling weight; returns its id.
-  int add_flow(double weight = 1.0) {
-    MAD_ASSERT(weight > 0.0, "DRR flow weight must be positive");
-    flows_.push_back(Flow{weight, 0, false, {}});
-    return static_cast<int>(flows_.size()) - 1;
-  }
+  /// Ids are stable: removing a flow never renumbers the others.
+  int add_flow(double weight = 1.0, TrafficClass cls = TrafficClass::Bulk);
+
+  /// Deregisters a flow mid-round: its queued items are dropped, its
+  /// deficit is forfeited, and the class round continues with the
+  /// remaining flows — no stall, no credit leak into a neighbour.
+  void remove_flow(int flow);
 
   void enqueue(int flow, std::uint64_t bytes) {
-    flow_at(flow).items.push_back(bytes);
+    Flow& f = flow_at(flow);
+    MAD_ASSERT(f.active, "enqueue on a removed DRR flow");
+    f.items.push_back(bytes);
     ++pending_;
   }
 
@@ -116,16 +154,20 @@ class DrrQueue {
     std::uint64_t bytes = 0;
   };
 
-  /// Next item in DRR service order, or nullopt when every queue is empty.
+  /// Next item in service order (strict class priority, DRR within the
+  /// class), or nullopt when every queue is empty.
   std::optional<Item> dequeue();
 
   bool empty() const { return pending_ == 0; }
   std::size_t backlog(int flow) const { return flow_at(flow).items.size(); }
   std::size_t flow_count() const { return flows_.size(); }
+  TrafficClass class_of(int flow) const { return flow_at(flow).cls; }
 
  private:
   struct Flow {
     double weight = 1.0;
+    TrafficClass cls = TrafficClass::Bulk;
+    bool active = true;
     std::uint64_t deficit = 0;
     bool topped_up = false;  // quantum granted for the current visit
     std::deque<std::uint64_t> items;
@@ -143,14 +185,13 @@ class DrrQueue {
     const double q = static_cast<double>(quantum_) * f.weight;
     return q < 1.0 ? 1 : static_cast<std::uint64_t>(q);
   }
-  void advance() {
-    flows_[cursor_].topped_up = false;
-    cursor_ = (cursor_ + 1) % flows_.size();
-  }
 
   std::uint64_t quantum_;
   std::vector<Flow> flows_;
-  std::size_t cursor_ = 0;
+  // Flow ids of each class in registration order, plus the per-class DRR
+  // cursor (an index into the band vector, not a flow id).
+  std::array<std::vector<int>, kTrafficClassCount> band_{};
+  std::array<std::size_t, kTrafficClassCount> band_cursor_{};
   std::size_t pending_ = 0;
 };
 
@@ -166,6 +207,12 @@ class DrrQueue {
 /// deficit left keeps the wire for its whole burst (classic DRR visit
 /// semantics), then hands over. Uncontended traffic — one active flow —
 /// passes straight through with one top-up per visit and no waiting.
+///
+/// Classes are strict priority across bands (see DrrQueue): when the wire
+/// frees, every parked Control request is granted before any Latency
+/// request and Latency before Bulk. Arbitration is non-preemptive — a
+/// grant already on the wire finishes — so the worst case a control paquet
+/// waits is one bulk bundle, never a full DRR round.
 class FlowScheduler {
  public:
   FlowScheduler(sim::Engine& engine, std::uint64_t quantum, std::string name)
@@ -173,8 +220,20 @@ class FlowScheduler {
     MAD_ASSERT(quantum > 0, "flow scheduler quantum must be positive");
   }
 
-  /// Registers a flow with the given weight; returns its id.
-  int add_flow(double weight = 1.0);
+  /// Registers a flow with the given weight; returns its id. `key` is the
+  /// caller's identity for the flow (the gateway uses origin·class);
+  /// registering the same non-negative key twice is a diagnosable panic —
+  /// a duplicate would silently split one origin's traffic across two DRR
+  /// deficits. Pass key = -1 for anonymous flows. Ids are stable across
+  /// removals.
+  int add_flow(double weight = 1.0, TrafficClass cls = TrafficClass::Bulk,
+               std::int64_t key = -1);
+
+  /// Deregisters a flow between grants. The flow must be quiescent — no
+  /// parked requests and not holding the wire — and its deficit is
+  /// forfeited, so the surrounding DRR round neither stalls nor inherits
+  /// credit. Its key (if any) becomes reusable.
+  void remove_flow(int flow);
 
   /// Blocks until the DRR order grants this flow the wire for one item of
   /// `bytes`. Requests within a flow are served FIFO.
@@ -194,6 +253,7 @@ class FlowScheduler {
   std::uint64_t allowance(int flow) const { return top_up(flow_at(flow)); }
 
   double weight_of(int flow) const { return flow_at(flow).weight; }
+  TrafficClass class_of(int flow) const { return flow_at(flow).cls; }
 
   std::uint64_t grants(int flow) const { return flow_at(flow).grants; }
   std::uint64_t granted_bytes(int flow) const {
@@ -204,6 +264,9 @@ class FlowScheduler {
  private:
   struct Flow {
     double weight = 1.0;
+    TrafficClass cls = TrafficClass::Bulk;
+    std::int64_t key = -1;
+    bool active = true;
     std::uint64_t deficit = 0;
     bool topped_up = false;
     std::deque<std::uint64_t> parked;  // requested sizes, FIFO
@@ -227,14 +290,127 @@ class FlowScheduler {
   }
   /// Issues the next grant if the wire is free and anything is parked.
   void pump();
+  /// One class band of pump(): true if a grant was issued from it.
+  bool pump_band(std::size_t band);
 
   std::uint64_t drr_quantum_;
   std::vector<Flow> flows_;
-  std::size_t cursor_ = 0;
+  std::array<std::vector<int>, kTrafficClassCount> band_{};
+  std::array<std::size_t, kTrafficClassCount> band_cursor_{};
+  std::map<std::int64_t, int> keys_;
   bool busy_ = false;         // a grant is outstanding
   int granted_flow_ = -1;     // flow holding the wire while busy_
   std::uint64_t grant_ticket_ = 0;  // which of its requests was granted
   sim::Condition granted_cond_;
+};
+
+/// Budgets and shedding knobs for the gateway admission controller.
+/// Budgets are per class and 0 means unlimited. `shed_target` /
+/// `shed_interval` drive the CoDel-style sojourn policy: once a class's
+/// dequeue sojourn has stayed at or above the target for a full interval,
+/// the class sheds (rejects new messages) until a sojourn sample drops
+/// back below the target.
+struct AdmissionOptions {
+  bool enabled = false;
+  /// Max queued payload bytes per class before new messages are rejected.
+  std::array<std::uint64_t, kTrafficClassCount> byte_budget{};
+  /// Max concurrently-relayed messages per class.
+  std::array<std::uint32_t, kTrafficClassCount> message_budget{};
+  /// Max registered flows per class; checked at flow registration.
+  std::array<std::uint32_t, kTrafficClassCount> flow_budget{};
+  sim::Time shed_target = sim::milliseconds(20);
+  sim::Time shed_interval = sim::milliseconds(100);
+
+  void validate() const;
+};
+
+/// Overload gatekeeper for the gateway (pure state machine, virtual time
+/// passed in, so policy is unit-testable without a simulator). The gateway
+/// asks for a verdict once per arriving reliable message — at the message
+/// boundary, because rejecting mid-stream would strand an in-order hop —
+/// and accounts queue occupancy as fragments enter and leave the per-flow
+/// relay queues.
+///
+/// Degradation order is structural, not tuned: Control is never rejected
+/// (it falls back to plain blocking backpressure), Bulk sheds on its own
+/// CoDel state, and Latency sheds only while Bulk is *also* shedding — so
+/// load is always stripped from the bottom of the priority order first.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& opts) : opts_(opts) {
+    opts_.validate();
+  }
+
+  enum class Verdict : std::uint8_t {
+    Admit,
+    RejectBudget,  // byte or message budget exhausted
+    RejectShed,    // CoDel sojourn policy is shedding this class
+    RejectFlow,    // per-class flow budget exhausted (registration time)
+  };
+
+  /// Verdict for one arriving message. `new_flow` marks the first message
+  /// of an unregistered (origin, class) flow, which additionally checks
+  /// the flow budget. Budgets admit strictly below the line: an enqueue
+  /// that lands exactly at budget makes the *next* admission reject.
+  Verdict admit(TrafficClass cls, bool new_flow);
+
+  void on_flow_registered(TrafficClass cls) {
+    ++state(cls).flows;
+  }
+  void on_message_admitted(TrafficClass cls) {
+    ++state(cls).queued_messages;
+  }
+  void on_message_done(TrafficClass cls) {
+    ClassState& s = state(cls);
+    MAD_ASSERT(s.queued_messages > 0, "admission message accounting underflow");
+    --s.queued_messages;
+  }
+
+  void on_enqueue(TrafficClass cls, std::uint64_t bytes) {
+    state(cls).queued_bytes += bytes;
+  }
+
+  /// Accounts a dequeue and feeds the class's CoDel state with the item's
+  /// sojourn time (returned, for metrics).
+  sim::Time on_dequeue(TrafficClass cls, std::uint64_t bytes,
+                       sim::Time enqueued_at, sim::Time now);
+
+  std::uint64_t queued_bytes(TrafficClass cls) const {
+    return state(cls).queued_bytes;
+  }
+  std::uint32_t queued_messages(TrafficClass cls) const {
+    return state(cls).queued_messages;
+  }
+  std::uint32_t flows(TrafficClass cls) const { return state(cls).flows; }
+  bool shedding(TrafficClass cls) const { return state(cls).shedding; }
+  std::uint64_t rejects(TrafficClass cls) const { return state(cls).rejects; }
+  std::uint64_t sheds(TrafficClass cls) const { return state(cls).sheds; }
+
+ private:
+  struct ClassState {
+    std::uint64_t queued_bytes = 0;
+    std::uint32_t queued_messages = 0;
+    std::uint32_t flows = 0;
+    bool above_target = false;   // sojourns have not dipped below target
+    sim::Time above_since = 0;   // when the current above-target run began
+    bool shedding = false;
+    std::uint64_t rejects = 0;   // all rejecting verdicts
+    std::uint64_t sheds = 0;     // the RejectShed subset
+  };
+
+  ClassState& state(TrafficClass cls) {
+    return classes_[traffic_class_index(cls)];
+  }
+  const ClassState& state(TrafficClass cls) const {
+    return classes_[traffic_class_index(cls)];
+  }
+  bool should_shed(TrafficClass cls) const;
+  /// CoDel exit: a fully drained class cannot have standing delay, and it
+  /// produces no more dequeue samples to prove it — reopen it here.
+  void reopen_if_drained(TrafficClass cls);
+
+  AdmissionOptions opts_;
+  std::array<ClassState, kTrafficClassCount> classes_{};
 };
 
 }  // namespace mad::fwd

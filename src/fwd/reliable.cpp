@@ -357,6 +357,19 @@ void ReliableSender::drain_to(std::size_t target) {
       metrics_->add("rel.congestion_marks", node_label_, mark_delta);
       on_congestion(/*timeout=*/false);
     }
+    // Admission rejects: the receiving gateway refused this epoch's
+    // message outright. Abandon the epoch — the writer replays the whole
+    // message on a fresh one after its backoff. Checked before any
+    // retransmit work: pushing the window at a gateway that said no only
+    // feeds its stale-paquet drain.
+    const std::uint64_t reject_delta =
+        view.rejects >= seen_rejects_ ? view.rejects - seen_rejects_ : 0;
+    seen_rejects_ = view.rejects;
+    if (reject_delta > 0) {
+      stats.flow_rejects += reject_delta;
+      metrics_->add("rel.flow_rejects", node_label_, reject_delta);
+      throw FlowRejected{peer_};
+    }
     // A cumulative ack past the recovery point ends the decrease episode.
     if (in_recovery_ && view.has_cum && view.cum_seq >= recover_seq_) {
       in_recovery_ = false;
@@ -726,6 +739,13 @@ void ReliableReceiver::post_congestion_mark() {
   in_channel_.network().post_mark(conn.rx_tag, self_nic_,
                                   conn.peer_nic_index, epoch_);
   vc_.domain().fabric().metrics().add("rel.marks_posted", node_label_);
+}
+
+void ReliableReceiver::post_reject() {
+  const Connection& conn = in_channel_.connection_to(peer_);
+  in_channel_.network().post_reject(conn.rx_tag, self_nic_,
+                                    conn.peer_nic_index, epoch_);
+  vc_.domain().fabric().metrics().add("rel.rejects_posted", node_label_);
 }
 
 }  // namespace mad::fwd

@@ -125,6 +125,7 @@ struct ReliabilityStats {
   std::uint64_t timeouts = 0;
   std::uint64_t congestion_marks = 0;  // sender side: ECN marks consumed
   std::uint64_t window_decreases = 0;  // adaptive mode: AIMD halvings
+  std::uint64_t flow_rejects = 0;   // sender side: admission rejects seen
   std::uint64_t dup_drops = 0;      // receiver side
   std::uint64_t corrupt_drops = 0;  // receiver side
   std::uint64_t stale_drops = 0;    // late paquets of a finished stream
@@ -145,6 +146,15 @@ struct HopFailure {
 /// the origin's replayed message on the failover route).
 struct PeerDied {
   NodeRank peer = -1;
+};
+
+/// Thrown by the sender when the receiving gateway's admission controller
+/// rejected this epoch's message (net::AckRegistry::post_reject). Unlike
+/// HopFailure nothing is condemned: the hop is healthy, the gateway is
+/// overloaded. The writer abandons the epoch and replays the whole message
+/// after an exponential backoff (VcOptions::flow reject_backoff knobs).
+struct FlowRejected {
+  NodeRank gateway = -1;
 };
 
 /// Sliding-window sender for one hop of one open GTM message. Owns the
@@ -254,6 +264,9 @@ class ReliableSender {
   std::uint32_t cum_mark_ = 0;
   // Congestion marks consumed so far (AckView::marks, adaptive mode).
   std::uint64_t seen_marks_ = 0;
+  // Admission rejects consumed so far (AckView::rejects). A fresh delta
+  // makes drain_to throw FlowRejected.
+  std::uint64_t seen_rejects_ = 0;
   // AIMD congestion window (adaptive mode only). cwnd_ is fractional so
   // congestion avoidance can grow by 1/cwnd per ack; the operating window
   // is floor(cwnd_) clamped to [1, window_].
@@ -319,6 +332,12 @@ class ReliableReceiver {
   /// relay calls this when the flow's relay queue crosses its threshold;
   /// an adaptive sender reacts with a multiplicative decrease.
   void post_congestion_mark();
+
+  /// Posts an admission reject back to this hop's sender (same ack-board
+  /// path and fault handling). The gateway calls this when its admission
+  /// controller refuses the stream's message; the sender observes it as a
+  /// thrown FlowRejected and retries the message after a backoff.
+  void post_reject();
 
  private:
   /// Pulls wire paquets until `next_` can be served; fills the reorder

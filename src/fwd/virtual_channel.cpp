@@ -29,6 +29,32 @@ void FlowOptions::validate(bool reliable_enabled) const {
   for (const double w : weights) {
     MAD_ASSERT(w >= 0.0, "flow weights must be >= 0 (0 = default)");
   }
+  admission.validate();
+  MAD_ASSERT(reject_backoff > 0, "flow reject_backoff must be positive");
+  MAD_ASSERT(reject_backoff_factor >= 1.0,
+             "flow reject_backoff_factor must be >= 1");
+  MAD_ASSERT(reject_backoff_cap >= reject_backoff,
+             "flow reject_backoff_cap must be >= reject_backoff");
+}
+
+void VcOptions::validate() const {
+  MAD_ASSERT(pipeline_depth >= 1, "pipeline depth must be >= 1");
+  MAD_ASSERT(max_rails >= 1, "max_rails must be >= 1");
+  MAD_ASSERT(rail_credit_chunks >= 1,
+             "rail credit window must hold at least one chunk");
+  if (reliable.enabled) {
+    reliable.validate();
+  }
+  flow.validate(reliable.enabled);
+  if (flow.enabled) {
+    MAD_ASSERT(max_rails == 1,
+               "flow scheduling and multi-rail striping are mutually "
+               "exclusive (a striped message would split one origin's flow "
+               "across independent per-rail schedulers)");
+    MAD_ASSERT(rail_weights.empty(),
+               "rail_weights configure striping, which flow scheduling "
+               "excludes — remove one of the two");
+  }
 }
 
 VirtualChannel::VirtualChannel(Domain& domain, std::string name,
@@ -39,15 +65,9 @@ VirtualChannel::VirtualChannel(Domain& domain, std::string name,
       networks_(std::move(networks)),
       options_(options) {
   MAD_ASSERT(!networks_.empty(), "virtual channel needs networks");
-  MAD_ASSERT(options_.pipeline_depth >= 1, "pipeline depth must be >= 1");
-  MAD_ASSERT(options_.max_rails >= 1, "max_rails must be >= 1");
-  MAD_ASSERT(options_.rail_credit_chunks >= 1,
-             "rail credit window must hold at least one chunk");
-
-  options_.flow.validate(options_.reliable.enabled);
+  options_.validate();
   mtu_ = compute_route_mtu(domain_, networks_, options_.paquet_size);
   if (options_.reliable.enabled) {
-    options_.reliable.validate();
     MAD_ASSERT(mtu_ > kGtmTrailerBytes,
                "route MTU too small for the reliable paquet trailer");
     // Carve the trailer out of the wire MTU so payload + trailer still
@@ -716,9 +736,12 @@ VcMessageWriter::VcMessageWriter(VirtualChannel& vc, NodeRank src,
     Channel& channel = vc.special_channel(first.network, src);
     inner_.emplace(channel.begin_packing(first.node));
     write_preamble(*inner_, Preamble{static_cast<std::uint32_t>(src), 1});
-    write_msg_header(*inner_,
-                     GtmMsgHeader{static_cast<std::uint32_t>(dst),
-                                  static_cast<std::uint32_t>(src), mtu_});
+    write_msg_header(
+        *inner_,
+        GtmMsgHeader{static_cast<std::uint32_t>(dst),
+                     static_cast<std::uint32_t>(src), mtu_, 0, 0,
+                     static_cast<std::uint8_t>(
+                         vc.options().flow.class_of(src))});
   }
 }
 
@@ -737,9 +760,12 @@ void VcMessageWriter::open_reliable_hop() {
   sender_.reset();
   inner_.emplace(out_channel_->begin_packing(next_hop_));
   write_preamble(*inner_, Preamble{static_cast<std::uint32_t>(src_), 1});
-  write_msg_header(*inner_, GtmMsgHeader{static_cast<std::uint32_t>(dst_),
-                                         static_cast<std::uint32_t>(src_),
-                                         mtu_, epoch_, kGtmFlagReliable});
+  write_msg_header(*inner_,
+                   GtmMsgHeader{static_cast<std::uint32_t>(dst_),
+                                static_cast<std::uint32_t>(src_), mtu_,
+                                epoch_, kGtmFlagReliable,
+                                static_cast<std::uint8_t>(
+                                    vc_->options().flow.class_of(src_))});
 }
 
 ReliableSender& VcMessageWriter::sender() {
@@ -753,7 +779,9 @@ ReliableSender& VcMessageWriter::sender() {
         Preamble{static_cast<std::uint32_t>(src_), 1},
         GtmMsgHeader{static_cast<std::uint32_t>(dst_),
                      static_cast<std::uint32_t>(src_), mtu_, epoch_,
-                     kGtmFlagReliable},
+                     kGtmFlagReliable,
+                     static_cast<std::uint8_t>(
+                         vc_->options().flow.class_of(src_))},
         std::nullopt);
   }
   return *sender_;
@@ -789,7 +817,8 @@ bool VcMessageWriter::stale_dead_route() const {
   return route_epoch_ != vc_->routing().epoch() && vc_->is_dead(next_hop_);
 }
 
-void VcMessageWriter::reroute(const HopFailure* failure, bool finishing) {
+void VcMessageWriter::recover(const HopFailure* failure, bool rejected,
+                              bool finishing) {
   std::optional<HopFailure> failed;
   if (failure != nullptr) {
     failed = *failure;
@@ -833,6 +862,33 @@ void VcMessageWriter::reroute(const HopFailure* failure, bool finishing) {
             "rel.failover", "dst=" + std::to_string(dst_) + " around=" +
                                 std::to_string(failed->next_hop));
       }
+    } else if (rejected) {
+      // Admission rejection: the hop is healthy, the gateway is
+      // overloaded. Nothing is condemned — back off (exponentially in the
+      // consecutive-reject count, with deterministic jitter so lockstep
+      // rejectees desynchronize) and replay on a fresh epoch. The tx lock
+      // was released above, so the sleep blocks no other writer.
+      const FlowOptions& flow = vc_->options().flow;
+      double delay = static_cast<double>(flow.reject_backoff);
+      for (int i = 0; i < reject_attempts_ &&
+                      delay < static_cast<double>(flow.reject_backoff_cap);
+           ++i) {
+        delay *= flow.reject_backoff_factor;
+      }
+      delay = std::min(delay, static_cast<double>(flow.reject_backoff_cap));
+      util::Rng jitter(
+          (static_cast<std::uint64_t>(src_) << 40) ^
+          (static_cast<std::uint64_t>(dst_) << 20) ^
+          static_cast<std::uint64_t>(reject_attempts_));
+      delay += delay * 0.25 * jitter.next_double();
+      ++reject_attempts_;
+      metrics.add("flow.reject_retries", node_label);
+      if (vc_->options().trace != nullptr) {
+        vc_->options().trace->instant_here(
+            "flow.rejected", "dst=" + std::to_string(dst_) + " attempt=" +
+                                 std::to_string(reject_attempts_));
+      }
+      vc_->domain().engine().sleep_for(static_cast<sim::Time>(delay));
     } else {
       metrics.add("health.reroutes", node_label);
       if (vc_->options().trace != nullptr) {
@@ -852,6 +908,10 @@ void VcMessageWriter::reroute(const HopFailure* failure, bool finishing) {
       return;
     } catch (const HopFailure& again) {
       failed = again;
+      rejected = false;
+    } catch (const FlowRejected&) {
+      failed.reset();
+      rejected = true;
     }
   }
 }
@@ -881,12 +941,14 @@ void VcMessageWriter::pack(util::ByteSpan data, SendMode smode,
         // Proactive reroute at the block boundary: the health actor (or a
         // concurrent writer) invalidated our route and the next hop is
         // dead — don't wait for the retry budget to discover it.
-        reroute(nullptr, /*finishing=*/false);
+        recover(nullptr, /*rejected=*/false, /*finishing=*/false);
       } else {
         emit_block(replay_.back());
       }
     } catch (const HopFailure& failure) {
-      reroute(&failure, /*finishing=*/false);
+      recover(&failure, /*rejected=*/false, /*finishing=*/false);
+    } catch (const FlowRejected&) {
+      recover(nullptr, /*rejected=*/true, /*finishing=*/false);
     }
     return;
   }
@@ -913,12 +975,14 @@ void VcMessageWriter::end_packing() {
     if (vc_->reliable()) {
       try {
         if (stale_dead_route()) {
-          reroute(nullptr, /*finishing=*/true);
+          recover(nullptr, /*rejected=*/false, /*finishing=*/true);
         } else {
           emit_end();
         }
       } catch (const HopFailure& failure) {
-        reroute(&failure, /*finishing=*/true);
+        recover(&failure, /*rejected=*/false, /*finishing=*/true);
+      } catch (const FlowRejected&) {
+        recover(nullptr, /*rejected=*/true, /*finishing=*/true);
       }
     } else {
       write_block_header(*inner_, end_marker());

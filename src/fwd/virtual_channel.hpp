@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "fwd/generic_tm.hpp"
+#include "fwd/regulation.hpp"
 #include "fwd/reliable.hpp"
 #include "mad/madeleine.hpp"
 #include "sim/mailbox.hpp"
@@ -59,8 +60,34 @@ struct FlowOptions {
   /// Per-origin scheduling weights, indexed by origin node rank; nodes
   /// beyond the vector (or with a 0 entry) default to weight 1.
   std::vector<double> weights;
+  /// TrafficClass every writer stamps into its messages unless overridden
+  /// per origin below. Gateways arbitrate classes strictly (control before
+  /// latency before bulk, fwd/regulation.hpp) and shed in reverse order.
+  TrafficClass default_class = TrafficClass::Bulk;
+  /// Per-origin class overrides, indexed by origin node rank; origins
+  /// beyond the vector use `default_class`.
+  std::vector<TrafficClass> classes;
+  /// Gateway admission control: per-class budgets plus the CoDel-style
+  /// sojourn shedding policy. Disabled by default — flows then rely on
+  /// plain blocking backpressure, exactly the PR 7 behaviour.
+  AdmissionOptions admission;
+  /// Sender backoff after a FlowRejected admission verdict: base delay,
+  /// multiplied by `reject_backoff_factor` per consecutive rejection of
+  /// the same message, capped at `reject_backoff_cap`, with deterministic
+  /// ±25% jitter so synchronized rejectees do not retry in lockstep.
+  sim::Time reject_backoff = sim::milliseconds(2);
+  double reject_backoff_factor = 2.0;
+  sim::Time reject_backoff_cap = sim::milliseconds(100);
 
-  /// Panics on inconsistent settings (called by the VirtualChannel ctor).
+  /// Class used for messages originating at `origin`.
+  TrafficClass class_of(NodeRank origin) const {
+    if (origin >= 0 && static_cast<std::size_t>(origin) < classes.size()) {
+      return classes[static_cast<std::size_t>(origin)];
+    }
+    return default_class;
+  }
+
+  /// Panics on inconsistent settings (called by VcOptions::validate).
   void validate(bool reliable_enabled) const;
 };
 
@@ -114,6 +141,14 @@ struct VcOptions {
   /// Per-flow queueing + DRR scheduling + congestion marks at gateway
   /// relays (FlowOptions above). Requires reliable.enabled.
   FlowOptions flow;
+
+  /// Panics loudly on any unsupported option combination (called by the
+  /// VirtualChannel ctor; callers building options programmatically can
+  /// validate early). Notably: flow mode requires reliable mode and is
+  /// mutually exclusive with multi-rail striping / rail_weights — a
+  /// striped message fans one origin across rails, which would split one
+  /// DRR flow across independent schedulers.
+  void validate() const;
 };
 
 class VcEndpoint;
@@ -129,6 +164,8 @@ struct GatewayStats {
   std::uint64_t paquets_forwarded = 0;
   std::uint64_t bytes_forwarded = 0;  // payload bytes relayed
   std::uint64_t flow_marks = 0;  // ECN marks posted by this relay's queues
+  std::uint64_t admission_rejects = 0;  // messages refused by admission
+  std::uint64_t admission_sheds = 0;    // the CoDel-shed subset of those
   ReliabilityStats reliability;
 };
 
@@ -426,12 +463,15 @@ class VcMessageWriter {
   };
   void emit_block(const ReplayBlock& block);
   void emit_end();
-  // Re-resolves the route and replays the message: with a HopFailure the
-  // failed hop is first declared dead (reactive failover); with nullptr
-  // the route table simply moved under us and the current next hop is
-  // dead (proactive reroute — no one to condemn). Panics with an
-  // "unreachable" diagnosis when no alternate route exists.
-  void reroute(const HopFailure* failure, bool finishing);
+  // Reopens the hop and replays the message after any recoverable stream
+  // abort. With a HopFailure the failed hop is first declared dead
+  // (reactive failover); with `rejected` the hop is healthy but a gateway
+  // admission controller refused the message, so the writer backs off
+  // (flow.reject_backoff, exponential + jitter) and replays on a fresh
+  // epoch with nothing condemned; with neither, the route table moved
+  // under us and the current next hop is dead (proactive reroute). Panics
+  // with an "unreachable" diagnosis when no alternate route exists.
+  void recover(const HopFailure* failure, bool rejected, bool finishing);
   // The route epoch moved since this hop was opened AND the hop's peer is
   // now dead: the stream is doomed, reroute before feeding it more.
   bool stale_dead_route() const;
@@ -452,6 +492,8 @@ class VcMessageWriter {
   std::uint64_t route_epoch_ = 0;  // routing().epoch() when the hop opened
   std::unique_ptr<ReliableSender> sender_;
   std::vector<ReplayBlock> replay_;
+  // Consecutive admission rejections of this message (backoff exponent).
+  int reject_attempts_ = 0;
 };
 
 class VcMessageReader {

@@ -235,6 +235,8 @@ void AckRegistry::Stream::reset_epoch_state() {
   dup_posts_seen = 0;
   mark_times.clear();
   marks_seen = 0;
+  reject_times.clear();
+  rejects_seen = 0;
   sacks.clear();
 }
 
@@ -290,6 +292,21 @@ void AckRegistry::post_mark(std::uint64_t tag, int receiver_nic,
     s.reset_epoch_state();
   }
   s.mark_times.push_back(visible);
+  s.cond->notify_all();
+}
+
+void AckRegistry::post_reject(std::uint64_t tag, int receiver_nic,
+                              std::uint32_t epoch, sim::Time visible) {
+  Stream& s = stream(tag, receiver_nic);
+  if (s.any && epoch < s.epoch) {
+    return;  // a reject of a superseded stream arrived late: meaningless
+  }
+  if (!s.any || epoch > s.epoch) {
+    s.any = true;
+    s.epoch = epoch;
+    s.reset_epoch_state();
+  }
+  s.reject_times.push_back(visible);
   s.cond->notify_all();
 }
 
@@ -374,6 +391,14 @@ AckView AckRegistry::view(std::uint64_t tag, int receiver_nic,
   v.marks = s.marks_seen;
   if (!s.mark_times.empty()) {
     v.next_visible = std::min(v.next_visible, s.mark_times.front());
+  }
+  while (!s.reject_times.empty() && s.reject_times.front() <= now) {
+    s.reject_times.pop_front();
+    ++s.rejects_seen;
+  }
+  v.rejects = s.rejects_seen;
+  if (!s.reject_times.empty()) {
+    v.next_visible = std::min(v.next_visible, s.reject_times.front());
   }
   for (const auto& [sack_seq, sack_visible] : s.sacks) {
     if (sack_visible <= now) {

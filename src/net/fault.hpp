@@ -202,6 +202,10 @@ struct AckView {
   /// Congestion marks (post_mark) visible this epoch — the ECN signal the
   /// adaptive sender reads as "slow down" without any loss.
   std::uint64_t marks = 0;
+  /// Admission rejects (post_reject) visible this epoch — a gateway
+  /// refused the stream's message outright (overload); the sender should
+  /// abandon the epoch and retry the whole message after a backoff.
+  std::uint64_t rejects = 0;
   std::vector<std::uint32_t> sacks;  // selective acks above cum_seq
   sim::Time next_visible = sim::kForever;
 };
@@ -242,6 +246,13 @@ class AckRegistry {
   /// congestion into the new stream.
   void post_mark(std::uint64_t tag, int receiver_nic, std::uint32_t epoch,
                  sim::Time visible);
+
+  /// Records an admission reject on the stream: the receiving gateway's
+  /// admission controller refused this epoch's message (budget exhausted
+  /// or load shedding). Rides the same visibility latency and epoch-reset
+  /// rules as marks; the sender surfaces it as fwd::FlowRejected.
+  void post_reject(std::uint64_t tag, int receiver_nic, std::uint32_t epoch,
+                   sim::Time visible);
 
   /// Blocks until an ack for (epoch, >= seq) is visible or `deadline`
   /// passes; returns false on timeout. A satisfying ack already posted at
@@ -287,6 +298,8 @@ class AckRegistry {
     std::uint64_t dup_posts_seen = 0;
     std::deque<sim::Time> mark_times;
     std::uint64_t marks_seen = 0;
+    std::deque<sim::Time> reject_times;
+    std::uint64_t rejects_seen = 0;
     std::map<std::uint32_t, sim::Time> sacks;  // seq -> visibility
     std::unique_ptr<sim::Condition> cond;
 

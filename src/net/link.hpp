@@ -100,6 +100,14 @@ class Network {
   void post_mark(std::uint64_t tag, int receiver_nic, int sender_nic,
                  std::uint32_t epoch);
 
+  /// Same fault handling for an admission reject (the receiving gateway's
+  /// overload controller refused the message; the sender observes it as
+  /// fwd::FlowRejected and retries with backoff). If the reject itself is
+  /// suppressed by a fault, the sender falls back to its normal timeout
+  /// path — slower, but never wedged.
+  void post_reject(std::uint64_t tag, int receiver_nic, int sender_nic,
+                   std::uint32_t epoch);
+
  private:
   PacketLog* packet_log_ = nullptr;
   sim::MetricsRegistry* metrics_ = nullptr;

@@ -17,8 +17,15 @@
 // scheduler). The candidate fails when it falls more than
 // `--fairness-drop` (default 0.02) below the baseline.
 //
+// Latency-percentile series (names mentioning "p99"/"p95"/"p50" or
+// "latency ms") are gated on ABSOLUTE RISE: lower is better, and a ratio
+// threshold is the wrong shape near zero (2 ms -> 2.4 ms is a 20% ratio
+// but harmless; 100 ms -> 109 ms passes a 10% ratio but is a broken
+// priority path). The candidate fails when it rises more than
+// `--latency-slack` milliseconds (default 10.0) above the baseline.
+//
 // Usage: bench_compare <baseline_dir> <candidate_dir> [--threshold 0.10]
-//        [--fairness-drop 0.02]
+//        [--fairness-drop 0.02] [--latency-slack 10.0]
 // Exit status: 0 = no regression, 1 = regression found, 2 = usage/IO error
 // or malformed report (missing/empty/non-numeric fields). Malformed input
 // is never silently skipped: a gate that quietly compares nothing would
@@ -52,6 +59,13 @@ bool mentions_fairness(const std::string& text) {
          text.find("fairness index") != std::string::npos;
 }
 
+bool mentions_latency(const std::string& text) {
+  return text.find("p99") != std::string::npos ||
+         text.find("p95") != std::string::npos ||
+         text.find("p50") != std::string::npos ||
+         text.find("latency ms") != std::string::npos;
+}
+
 std::string read_file(const fs::path& path, bool& ok) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -72,6 +86,7 @@ struct Cell {
   double value = 0.0;
   bool bandwidth = false;
   bool fairness = false;  // gated on absolute drop, not ratio
+  bool latency = false;   // gated on absolute rise (lower is better)
 };
 
 /// Flattens one report, validating the schema as it goes: a missing or
@@ -133,12 +148,16 @@ std::vector<Cell> flatten(const JsonValue& doc, const std::string& file,
                    label->string + " is not a finite number");
           continue;
         }
+        // Precedence: a fairness or latency series is never treated as
+        // bandwidth, even inside a table whose title mentions MB/s — the
+        // "better" direction is per series, not per table.
         const bool fairness = mentions_fairness(name.string);
+        const bool latency = !fairness && mentions_latency(name.string);
         cells.push_back({title->string, label->string, name.string,
                          value.number,
-                         !fairness &&
+                         !fairness && !latency &&
                              (table_bw || mentions_bandwidth(name.string)),
-                         fairness});
+                         fairness, latency});
       }
     }
   }
@@ -160,21 +179,38 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   double threshold = 0.10;
   double fairness_drop = 0.02;
+  double latency_slack = 10.0;  // milliseconds
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool is_threshold = arg == "--threshold";
-    if ((is_threshold || arg == "--fairness-drop") && i + 1 < argc) {
+    const bool is_fairness = arg == "--fairness-drop";
+    const bool is_latency = arg == "--latency-slack";
+    if ((is_threshold || is_fairness || is_latency) && i + 1 < argc) {
       double parsed = std::nan("");
       try {
         parsed = std::stod(argv[++i]);
       } catch (const std::exception&) {
       }
-      if (!std::isfinite(parsed) || parsed < 0.0 || parsed >= 1.0) {
-        std::fprintf(stderr, "bench_compare: %s must be in [0, 1)\n",
-                     arg.c_str());
+      // Thresholds over ratios/indices live in [0, 1); the latency slack
+      // is an absolute budget in milliseconds, so it only has to be a
+      // finite non-negative number.
+      const bool bad = is_latency
+                           ? (!std::isfinite(parsed) || parsed < 0.0)
+                           : (!std::isfinite(parsed) || parsed < 0.0 ||
+                              parsed >= 1.0);
+      if (bad) {
+        std::fprintf(stderr, "bench_compare: %s must be %s\n", arg.c_str(),
+                     is_latency ? "a finite non-negative number of ms"
+                                : "in [0, 1)");
         return 2;
       }
-      (is_threshold ? threshold : fairness_drop) = parsed;
+      if (is_threshold) {
+        threshold = parsed;
+      } else if (is_fairness) {
+        fairness_drop = parsed;
+      } else {
+        latency_slack = parsed;
+      }
     } else {
       positional.push_back(arg);
     }
@@ -182,7 +218,8 @@ int main(int argc, char** argv) {
   if (positional.size() != 2) {
     std::fprintf(stderr,
                  "usage: bench_compare <baseline_dir> <candidate_dir> "
-                 "[--threshold 0.10] [--fairness-drop 0.02]\n");
+                 "[--threshold 0.10] [--fairness-drop 0.02] "
+                 "[--latency-slack 10.0]\n");
     return 2;
   }
   const fs::path base_dir = positional[0];
@@ -237,7 +274,7 @@ int main(int argc, char** argv) {
     const std::vector<Cell> cand_cells =
         flatten(cand, cand_path.string(), errors);
     for (const Cell& b : base_cells) {
-      if (!b.bandwidth && !b.fairness) {
+      if (!b.bandwidth && !b.fairness && !b.latency) {
         continue;
       }
       const Cell* c = find_cell(cand_cells, b);
@@ -259,6 +296,22 @@ int main(int argc, char** argv) {
               "(fairness drop %.4f > %.4f)\n",
               name.string().c_str(), b.table.c_str(), b.series.c_str(),
               b.row.c_str(), b.value, c->value, drop, fairness_drop);
+          ++regressions;
+        }
+        continue;
+      }
+      if (b.latency) {
+        // Absolute-rise gate, in the series' own milliseconds: latency
+        // regressions matter by how much real delay was added, not by
+        // their ratio to an (often tiny) baseline.
+        ++compared;
+        const double rise = c->value - b.value;
+        if (rise > latency_slack) {
+          std::printf(
+              "REGRESSION %s: [%s] %s @ %s: %.4f -> %.4f "
+              "(latency rise %.4f ms > %.4f ms)\n",
+              name.string().c_str(), b.table.c_str(), b.series.c_str(),
+              b.row.c_str(), b.value, c->value, rise, latency_slack);
           ++regressions;
         }
         continue;
@@ -285,13 +338,15 @@ int main(int argc, char** argv) {
   }
   if (compared == 0) {
     std::fprintf(stderr,
-                 "bench_compare: no bandwidth or fairness cells compared — "
-                 "the gate checked nothing\n");
+                 "bench_compare: no bandwidth, fairness or latency cells "
+                 "compared — the gate checked nothing\n");
     return 2;
   }
   std::printf(
-      "bench_compare: %d bandwidth/fairness cells compared, %d regressions, "
-      "%d reports skipped (threshold %.0f%%, fairness drop %.2f)\n",
-      compared, regressions, skipped, threshold * 100.0, fairness_drop);
+      "bench_compare: %d bandwidth/fairness/latency cells compared, "
+      "%d regressions, %d reports skipped (threshold %.0f%%, fairness drop "
+      "%.2f, latency slack %.1f ms)\n",
+      compared, regressions, skipped, threshold * 100.0, fairness_drop,
+      latency_slack);
   return regressions > 0 ? 1 : 0;
 }
