@@ -1,0 +1,206 @@
+// Extension — one-sided RDMA-style forwarding (pin-down cache + DMA-only
+// egress), after VIA/VMMC-style memory registration and the pin-down
+// cache of Tezuka et al.
+//
+// The paper's §3.4.1 bottleneck: on the Myrinet -> SCI direction the
+// gateway's outgoing SCI PIO transactions lose PCI arbitration to the
+// incoming Myrinet DMA and the forwarded bandwidth saturates at
+// ~35-40 MB/s no matter the paquet size. The one-sided transmission
+// module replaces the PIO send leg with a bus-master DMA write into a
+// pre-registered remote region, so both legs are DMA and split the PCI
+// bus fairly instead of colliding.
+//
+// Three tables, all self-gated:
+//   1. Fig 7 replay at 128 KB paquets, two-sided vs one-sided: the
+//      one-sided column must clear 48 MB/s where the two-sided baseline
+//      (same artifact) stays in the thirties.
+//   2. Pin-down cache capacity sweep on a repeated-buffer workload: the
+//      default-capacity row must hit >= 90% in the registration cache.
+//   3. Rendezvous-vs-eager crossover: the one-sided advantage must grow
+//      monotonically with block size (handshake+pin amortise away), and
+//      the auto threshold must never lose to either extreme by more
+//      than a sliver.
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fwd/virtual_channel.hpp"
+#include "harness/json_report.hpp"
+#include "harness/pingpong.hpp"
+#include "harness/report.hpp"
+#include "harness/scenario.hpp"
+
+namespace {
+
+using namespace mad;
+
+struct Sample {
+  double mbps = 0.0;
+  fwd::RdmaTotals rdma;
+};
+
+Sample run(const fwd::VcOptions& options, std::size_t bytes, int repeats = 1,
+           int warmup = 1) {
+  harness::PaperWorld world(options);
+  Sample s;
+  s.mbps = harness::measure_vc_oneway(world.engine, *world.vc,
+                                      world.myri_node(), world.sci_node(),
+                                      bytes, repeats, warmup)
+               .mbps;
+  s.rdma = world.vc->rdma_totals();
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+  harness::JsonReport json("ext_rdma");
+
+  // --- Table 1: Fig 7 endgame, two-sided vs one-sided ------------------
+  harness::ReportTable fig7(
+      "Ext: Myrinet -> SCI forwarding, 128 KB paquets (MB/s)", "msg size",
+      {"two-sided MB/s", "one-sided MB/s"});
+  double two_sided_large = 0.0;
+  double one_sided_large = 0.0;
+  for (std::size_t size = 512 * 1024; size <= 8 * 1024 * 1024; size *= 4) {
+    fwd::VcOptions base;
+    base.paquet_size = 128 * 1024;
+    const double two_sided = run(base, size).mbps;
+    fwd::VcOptions rdma = base;
+    rdma.rdma.enabled = true;
+    const double one_sided = run(rdma, size).mbps;
+    fig7.add_row(harness::size_label(size), {two_sided, one_sided});
+    two_sided_large = two_sided;
+    one_sided_large = one_sided;
+  }
+  fig7.print();
+  if (one_sided_large < 48.0) {
+    std::printf(
+        "\nFAIL: one-sided forwarding %.2f MB/s at 8 MB / 128 KB paquets "
+        "is below the 48 MB/s bar\n",
+        one_sided_large);
+    ok = false;
+  }
+  if (one_sided_large <= two_sided_large) {
+    std::printf(
+        "\nFAIL: one-sided %.2f MB/s does not beat the two-sided baseline "
+        "%.2f MB/s\n",
+        one_sided_large, two_sided_large);
+    ok = false;
+  }
+
+  // --- Table 2: pin-down cache capacity sweep ---------------------------
+  // Eight repeated 1 MB messages through the same gateway: the relay
+  // recycles a bounded set of pipeline buffers and the receive windows
+  // behind the wire tags are stable, so with enough capacity nearly every
+  // write after the first round reuses a cached registration.
+  harness::ReportTable cache_table(
+      "Ext: pin-down cache, 8x repeated 1 MB messages", "capacity",
+      {"MB/s", "hit rate %", "misses", "evictions"});
+  double default_hit_rate = 0.0;
+  const fwd::RdmaOptions defaults;
+  const std::size_t caps[] = {1, 2, 8, defaults.cache_capacity};
+  for (const std::size_t cap : caps) {
+    fwd::VcOptions options;
+    options.rdma.enabled = true;
+    options.rdma.cache_capacity = cap;
+    const Sample s = run(options, 1024 * 1024, /*repeats=*/8, /*warmup=*/0);
+    const double hit_rate = s.rdma.cache.hit_rate();
+    cache_table.add_row(
+        (cap == defaults.cache_capacity ? std::to_string(cap) + " (default)"
+                                        : std::to_string(cap)),
+        {s.mbps, hit_rate * 100.0, static_cast<double>(s.rdma.cache.misses),
+         static_cast<double>(s.rdma.cache.evictions)});
+    if (cap == defaults.cache_capacity) {
+      default_hit_rate = hit_rate;
+    }
+  }
+  cache_table.print();
+  if (default_hit_rate < 0.90) {
+    std::printf(
+        "\nFAIL: registration cache hit rate %.1f%% on the repeated-buffer "
+        "workload is below 90%% at the default capacity\n",
+        default_hit_rate * 100.0);
+    ok = false;
+  }
+
+  // --- Table 3: rendezvous-vs-eager crossover ---------------------------
+  // "eager" pins nothing (threshold above any block), "rendezvous" goes
+  // one-sided from the first byte, "auto" is the shipped threshold. The
+  // handshake + pin cost is a fixed tax, the PCI-conflict saving scales
+  // with the block, so the rendezvous-minus-eager delta must grow with
+  // size and cross zero somewhere in the sweep.
+  harness::ReportTable cross(
+      "Ext: rendezvous vs eager crossover (MB/s)", "msg size",
+      {"eager MB/s", "rendezvous MB/s", "auto MB/s"});
+  std::vector<double> deltas;
+  std::vector<double> autos;
+  std::vector<double> bests;
+  for (std::size_t size = 8 * 1024; size <= 2 * 1024 * 1024; size *= 4) {
+    fwd::VcOptions eager_opt;
+    eager_opt.rdma.enabled = true;
+    eager_opt.rdma.rendezvous_threshold = ~std::uint32_t{0};
+    fwd::VcOptions rdzv_opt;
+    rdzv_opt.rdma.enabled = true;
+    rdzv_opt.rdma.rendezvous_threshold = 1;
+    fwd::VcOptions auto_opt;
+    auto_opt.rdma.enabled = true;
+    const double eager = run(eager_opt, size).mbps;
+    const double rdzv = run(rdzv_opt, size).mbps;
+    const double aut = run(auto_opt, size).mbps;
+    cross.add_row(harness::size_label(size), {eager, rdzv, aut});
+    deltas.push_back(rdzv - eager);
+    autos.push_back(aut);
+    bests.push_back(eager > rdzv ? eager : rdzv);
+  }
+  cross.print();
+  for (std::size_t i = 1; i < deltas.size(); ++i) {
+    if (deltas[i] + 1e-9 < deltas[i - 1]) {
+      std::printf(
+          "\nFAIL: rendezvous-minus-eager delta is not monotone: %.3f MB/s "
+          "at row %zu after %.3f MB/s\n",
+          deltas[i], i, deltas[i - 1]);
+      ok = false;
+    }
+  }
+  if (!(deltas.front() < 0.0 && deltas.back() > 0.0)) {
+    std::printf(
+        "\nFAIL: no crossover in the sweep (delta %.3f MB/s at 8 KB, %.3f "
+        "MB/s at 2 MB) — the threshold has nothing to arbitrate\n",
+        deltas.front(), deltas.back());
+    ok = false;
+  }
+  for (std::size_t i = 0; i < autos.size(); ++i) {
+    if (autos[i] < 0.95 * bests[i]) {
+      std::printf(
+          "\nFAIL: auto threshold %.2f MB/s at row %zu loses more than 5%% "
+          "to the better extreme %.2f MB/s\n",
+          autos[i], i, bests[i]);
+      ok = false;
+    }
+  }
+
+  if (ok) {
+    std::printf(
+        "\nOne-sided forwarding clears the PCI conflict: %.2f MB/s at 8 MB "
+        "(two-sided %.2f), %.1f%% registration-cache hit rate on the "
+        "repeated workload, eager/rendezvous crossover inside the sweep.\n",
+        one_sided_large, two_sided_large, default_hit_rate * 100.0);
+  }
+
+  json.set_note(
+      "one-sided RDMA-style forwarding: both gateway legs are bus-master "
+      "DMA, so the Fig 7 PIO-vs-DMA PCI collision disappears and the "
+      "Myrinet -> SCI rate clears 48 MB/s; a pin-down registration cache "
+      "(LRU over (addr,len)) amortises pin cost across the relay's "
+      "recycled buffers; blocks below the rendezvous threshold stay on "
+      "the eager two-sided path");
+  json.add_table(fig7);
+  json.add_table(cache_table);
+  json.add_table(cross);
+  json.write_file();
+
+  return ok ? 0 : 1;
+}

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "fwd/pipeline.hpp"
+#include "fwd/rdma_tm.hpp"
 #include "fwd/regulation.hpp"
 #include "fwd/reliable.hpp"
 #include "fwd/virtual_channel.hpp"
@@ -344,7 +345,12 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
             const std::uint64_t allowance =
                 flow_sched_ != nullptr ? flow_sched_->allowance(flow) : 1;
             for (const StoredBlock& block : blocks) {
+              const bool one_sided =
+                  rdma_block(out_channel, block.header.size);
               snd.send_block_header(out_seq++, block.header);
+              if (one_sided) {
+                rdma_rendezvous(out_channel, next, block.header.size);
+              }
               const std::uint64_t fragments =
                   fragment_count(block.header.size, vc_.mtu());
               for (std::uint64_t i = 0; i < fragments;) {
@@ -380,7 +386,8 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
                         fragment_size(block.header.size, vc_.mtu(), j);
                     snd.send(out_seq++,
                              util::ByteSpan(block.data)
-                                 .subspan(j * vc_.mtu(), size));
+                                 .subspan(j * vc_.mtu(), size),
+                             one_sided);
                   }
                   hold_for_wire(out_channel, bundle_bytes, granted_at);
                 }
@@ -612,10 +619,15 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
               }
               try {
                 switch (item.kind) {
-                  case StreamItem::Kind::Header:
-                    snd.send_block_header(out_seq++,
-                                          state->blocks[item.block].header);
+                  case StreamItem::Kind::Header: {
+                    const GtmBlockHeader& bh =
+                        state->blocks[item.block].header;
+                    snd.send_block_header(out_seq++, bh);
+                    if (self->rdma_block(out_channel, bh.size)) {
+                      self->rdma_rendezvous(out_channel, next, bh.size);
+                    }
                     break;
+                  }
                   case StreamItem::Kind::Fragment: {
                     // Deficit-round-robin, actor side: bundle the
                     // fragments already queued — up to this flow's
@@ -656,9 +668,13 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
                       // not when we began waiting for it.
                       const sim::Time granted_at = self->engine_.now();
                       for (const StreamItem& b : bundle) {
-                        snd.send(out_seq++,
-                                 util::ByteSpan(state->blocks[b.block].data)
-                                     .subspan(b.offset, b.size));
+                        snd.send(
+                            out_seq++,
+                            util::ByteSpan(state->blocks[b.block].data)
+                                .subspan(b.offset, b.size),
+                            self->rdma_block(
+                                out_channel,
+                                state->blocks[b.block].header.size));
                       }
                       self->hold_for_wire(out_channel, bundle_bytes,
                                           granted_at);
@@ -834,6 +850,34 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
     return out;
   }
 
+  /// True when this relay's egress over `out_channel` may use one-sided
+  /// writes: rdma is on and the out TM keeps dynamic buffers (a static or
+  /// hybrid TM routes received paquets through protocol buffers the remote
+  /// write model cannot target).
+  bool rdma_eligible(Channel& out_channel) const {
+    const net::NicModelParams& m = out_channel.tm().model();
+    return vc_.options().rdma.enabled && !m.tx_static() && !m.hybrid();
+  }
+
+  /// One-sided block cut: eligible egress and block at/above the
+  /// rendezvous threshold (smaller blocks stay eager/two-sided).
+  bool rdma_block(Channel& out_channel, std::uint64_t block_size) const {
+    return rdma_eligible(out_channel) &&
+           block_size >= vc_.options().rdma.rendezvous_threshold;
+  }
+
+  /// Runs the rendezvous handshake with the next hop for one qualifying
+  /// block: the remote side registers (or cache-hits) the receive region
+  /// behind this connection's tag before any write lands.
+  void rdma_rendezvous(Channel& out_channel, NodeRank next,
+                       std::uint64_t block_size) {
+    const Connection& conn = out_channel.connection_to(next);
+    RdmaTm* local = vc_.rdma_tm(out_channel.tm().nic());
+    RdmaTm* remote = vc_.rdma_tm(
+        out_channel.tm().nic().network().nic(conn.peer_nic_index));
+    local->rendezvous(*remote, conn.tx_tag, block_size);
+  }
+
   /// Receives the next paquet of `size` bytes, choosing the §2.3 zero-copy
   /// path from the static/dynamic buffer modes of both sides.
   RelayItem receive_fragment(MessageReader& in, Channel& out_channel,
@@ -857,7 +901,8 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
       if (out_static) {
         // static → static: the one unavoidable copy (paper §2.3).
         auto out_ref = out_tm.acquire_static_buffer();
-        counted_copy(out_ref.span().first(size), in_ref.data());
+        counted_copy(out_ref.span().first(size), in_ref.data(),
+                     CopyPath::ZeroCopy);
         out_ref.set_used(size);
         item.kind = RelayItem::Kind::FragmentStaticOut;
         item.static_out = std::move(out_ref);
@@ -924,11 +969,17 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
         write_block_header(out, end_marker());
         break;
       }
+      const bool one_sided = rdma_block(out_channel, bh.size);
+      if (one_sided) {
+        rdma_rendezvous(out_channel, next, bh.size);
+      }
       write_block_header(out, bh);
       const std::uint64_t fragments = fragment_count(bh.size, vc_.mtu());
       for (std::uint64_t i = 0; i < fragments; ++i) {
         const std::uint32_t size = fragment_size(bh.size, vc_.mtu(), i);
         RelayItem item = receive_fragment(in, out_channel, size);
+        item.one_sided = one_sided;
+        item.completion = one_sided && i + 1 == fragments;
         const sim::Time send_begin = engine_.now();
         recycle(send_relay_item(out, out_channel.tm(), conn, std::move(item),
                                 vc_));
@@ -992,11 +1043,18 @@ class GatewayRelay : public std::enable_shared_from_this<GatewayRelay> {
         state->items.send(RelayItem::end());
         break;
       }
-      state->items.send(RelayItem::block(bh));
+      const bool one_sided = rdma_block(out_channel, bh.size);
+      // The BlockHeader item carries the flag: the SENDER actor runs the
+      // rendezvous (send_relay_item), so the handshake overlaps the
+      // listener's next receive exactly like any other egress cost.
+      state->items.send(RelayItem::block(bh, one_sided));
       const std::uint64_t fragments = fragment_count(bh.size, vc_.mtu());
       for (std::uint64_t i = 0; i < fragments; ++i) {
         const std::uint32_t size = fragment_size(bh.size, vc_.mtu(), i);
-        state->items.send(receive_fragment(in, out_channel, size));
+        RelayItem item = receive_fragment(in, out_channel, size);
+        item.one_sided = one_sided;
+        item.completion = one_sided && i + 1 == fragments;
+        state->items.send(std::move(item));
       }
     }
     while (!state->finished) {

@@ -1,0 +1,129 @@
+// Pin-down memory-registration cache (Tezuka et al.'s pin-down cache, via
+// the MPICH2-over-InfiniBand design referenced in PAPERS.md).
+//
+// One-sided transfers require both endpoints' memory to be registered
+// (pinned) with the NIC, and registration is expensive — a syscall plus a
+// per-page cost that can rival the transfer itself for small regions. The
+// classic amortization is an LRU cache of registrations keyed by
+// (address, length): repeated transfers from the same buffers (exactly
+// what the gateway's recycled pipeline buffers produce) pin once and hit
+// thereafter. Regions in flight are refcounted and never evicted; a NIC
+// crash or channel teardown invalidates every cached registration, because
+// the mappings die with the adapter state.
+//
+// This class is the pure bookkeeping: lookups, LRU, refcounts, stats, and
+// loud panics on misuse. Simulated pin-time charging lives in RdmaTm,
+// which keeps the cache unit-testable without an engine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+
+namespace mad::fwd {
+
+struct MrCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  /// Registrations dropped (or doomed) by invalidate_all.
+  std::uint64_t invalidations = 0;
+
+  double hit_rate() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+class MrCache {
+ public:
+  /// `capacity` bounds the number of *retained* registrations; regions in
+  /// flight may temporarily exceed it when nothing is evictable. `name`
+  /// prefixes panic messages so a misuse names its NIC.
+  explicit MrCache(std::size_t capacity, std::string name = "mr");
+
+  /// Transfer-time lookup of (addr, len). Hit: the registration is reused.
+  /// Miss: the region is registered, evicting the least-recently-used
+  /// unreferenced entry when the cache is full. Either way the region's
+  /// refcount is bumped — it is in flight until the matching release().
+  /// Returns true on a hit (the caller charges pin cost on a miss).
+  bool acquire(std::uintptr_t addr, std::size_t len);
+  bool acquire(const void* addr, std::size_t len) {
+    return acquire(reinterpret_cast<std::uintptr_t>(addr), len);
+  }
+
+  /// Ends one in-flight use. A region doomed by invalidate_all while in
+  /// flight is deregistered here, once the hardware is done with it.
+  void release(std::uintptr_t addr, std::size_t len);
+  void release(const void* addr, std::size_t len) {
+    release(reinterpret_cast<std::uintptr_t>(addr), len);
+  }
+
+  /// Explicit registration (queue-pair setup): the entry is exempt from
+  /// LRU eviction until deregistered. Panics on an exact duplicate.
+  void register_region(std::uintptr_t addr, std::size_t len);
+  void register_region(const void* addr, std::size_t len) {
+    register_region(reinterpret_cast<std::uintptr_t>(addr), len);
+  }
+
+  /// Removes a registration. Panics when the region is unknown or still
+  /// in flight (refs > 0) — deregistering memory under an active DMA is
+  /// the classic use-after-free of one-sided programming.
+  void deregister_region(std::uintptr_t addr, std::size_t len);
+  void deregister_region(const void* addr, std::size_t len) {
+    deregister_region(reinterpret_cast<std::uintptr_t>(addr), len);
+  }
+
+  /// NIC crash / channel teardown: every registration dies with the
+  /// adapter state. Unreferenced entries are dropped now; in-flight ones
+  /// are doomed and dropped at their release (their transfer is failing
+  /// anyway — the NIC is gone).
+  void invalidate_all();
+
+  bool contains(std::uintptr_t addr, std::size_t len) const;
+  bool contains(const void* addr, std::size_t len) const {
+    return contains(reinterpret_cast<std::uintptr_t>(addr), len);
+  }
+
+  /// Registrations currently held (including doomed in-flight ones).
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Bytes currently pinned across all registrations.
+  std::uint64_t pinned_bytes() const { return pinned_bytes_; }
+  const MrCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Key {
+    std::uintptr_t addr = 0;
+    std::size_t len = 0;
+    bool operator<(const Key& o) const {
+      return addr != o.addr ? addr < o.addr : len < o.len;
+    }
+  };
+  struct Entry {
+    int refs = 0;
+    bool doomed = false;        // invalidated while in flight
+    bool explicit_reg = false;  // register_region: exempt from eviction
+    bool in_lru = false;
+    std::list<Key>::iterator lru;  // valid while in_lru
+  };
+
+  std::string describe(const Key& key) const;
+  void drop(std::map<Key, Entry>::iterator it);
+  /// Evicts the LRU unreferenced entry if the cache is at capacity and one
+  /// exists.
+  void make_room();
+
+  std::size_t capacity_;
+  std::string name_;
+  std::map<Key, Entry> entries_;
+  std::list<Key> lru_;  // front = least recently used, evictable entries
+  std::uint64_t pinned_bytes_ = 0;
+  MrCacheStats stats_;
+};
+
+}  // namespace mad::fwd

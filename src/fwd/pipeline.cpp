@@ -1,6 +1,8 @@
 #include "fwd/pipeline.hpp"
 
+#include "fwd/rdma_tm.hpp"
 #include "fwd/virtual_channel.hpp"
+#include "net/link.hpp"
 #include "util/panic.hpp"
 
 namespace mad::fwd {
@@ -12,14 +14,36 @@ std::vector<std::byte> send_relay_item(MessageWriter& out_msg,
                                        const VirtualChannel& vc) {
   sim::Trace* trace = vc.options().trace;
   const sim::Engine& engine = vc.domain().engine();
+  // One-sided egress: fragments bypass the writer and go out as RDMA-style
+  // writes into the next hop's registered region. Wire-compatible with the
+  // two-sided path — same NIC, same tag, same FIFO order, one packet per
+  // fragment — so the receiving GTM parses the stream unchanged.
+  RdmaTm* rdma =
+      item.one_sided && item.kind != RelayItem::Kind::BlockHeader
+          ? vc.rdma_tm(out_tm.nic())
+          : nullptr;
   switch (item.kind) {
     case RelayItem::Kind::BlockHeader:
+      if (item.one_sided) {
+        // Handshake first: the next hop registers (or cache-hits) the
+        // receive region behind our tx tag before any write lands.
+        RdmaTm* local = vc.rdma_tm(out_tm.nic());
+        RdmaTm* remote = vc.rdma_tm(
+            out_tm.nic().network().nic(out_conn.peer_nic_index));
+        local->rendezvous(*remote, out_conn.tx_tag, item.header.size);
+      }
       write_block_header(out_msg, item.header);
       return {};
     case RelayItem::Kind::FragmentDynamic: {
       const sim::Time begin = engine.now();
-      out_msg.pack(util::ByteSpan(item.buffer).first(item.size),
-                   SendMode::Cheaper, RecvMode::Express);
+      if (rdma != nullptr) {
+        rdma->write(out_conn.peer_nic_index, out_conn.tx_tag,
+                    util::ByteSpan(item.buffer).first(item.size),
+                    item.completion);
+      } else {
+        out_msg.pack(util::ByteSpan(item.buffer).first(item.size),
+                     SendMode::Cheaper, RecvMode::Express);
+      }
       if (trace != nullptr) {
         trace->record(begin, engine.now(), "gw.send",
                       "bytes=" + std::to_string(item.size));
@@ -27,6 +51,8 @@ std::vector<std::byte> send_relay_item(MessageWriter& out_msg,
       return std::move(item.buffer);  // recycle
     }
     case RelayItem::Kind::FragmentStaticOut: {
+      MAD_ASSERT(!item.one_sided,
+                 "one-sided egress requires a dynamic-buffer out TM");
       const sim::Time begin = engine.now();
       // Zero-copy: the paquet was received straight into this outgoing
       // static buffer; hand it to the TM, bypassing the BMM copy-in.
@@ -42,8 +68,13 @@ std::vector<std::byte> send_relay_item(MessageWriter& out_msg,
     case RelayItem::Kind::FragmentHoldIn: {
       const sim::Time begin = engine.now();
       // Zero-copy: send directly from the incoming protocol buffer.
-      out_msg.pack(item.hold_in.data(), SendMode::Cheaper,
-                   RecvMode::Express);
+      if (rdma != nullptr) {
+        rdma->write(out_conn.peer_nic_index, out_conn.tx_tag,
+                    item.hold_in.data(), item.completion);
+      } else {
+        out_msg.pack(item.hold_in.data(), SendMode::Cheaper,
+                     RecvMode::Express);
+      }
       if (trace != nullptr) {
         trace->record(begin, engine.now(), "gw.send",
                       "bytes=" + std::to_string(item.hold_in.used()));

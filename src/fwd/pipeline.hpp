@@ -39,11 +39,20 @@ struct RelayItem {
   std::size_t size = 0;               // FragmentDynamic payload size
   net::StaticBufferPool::Ref static_out;  // FragmentStaticOut
   net::StaticBufferPool::Ref hold_in;     // FragmentHoldIn
+  /// Block crosses the egress as one-sided writes (fwd/rdma_tm.hpp). On a
+  /// BlockHeader item this triggers the rendezvous with the next hop; on
+  /// fragments it routes the payload through RdmaTm::write instead of the
+  /// two-sided pack. Framing (headers, end markers) always stays two-sided.
+  bool one_sided = false;
+  /// Last fragment of a one-sided block: carries the remote completion
+  /// notification (the only receiver software of the whole block).
+  bool completion = false;
 
-  static RelayItem block(GtmBlockHeader h) {
+  static RelayItem block(GtmBlockHeader h, bool one_sided_block = false) {
     RelayItem item;
     item.kind = Kind::BlockHeader;
     item.header = h;
+    item.one_sided = one_sided_block;
     return item;
   }
   static RelayItem end() {

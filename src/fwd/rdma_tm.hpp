@@ -1,0 +1,131 @@
+// One-sided RDMA-style transmission module (per NIC).
+//
+// The paper's worst case — Myrinet→SCI forwarding pinned at ~35-40 MB/s —
+// is not a copy problem but a bus problem: the gateway's outgoing SCI leg
+// is programmed I/O, and PIO loses PCI arbitration to the concurrent
+// Myrinet DMA receive (§3.4.1). The fix, borrowed from the
+// MPICH2-over-InfiniBand design (PAPERS.md), is one-sided: the sender
+// writes directly into the destination's pre-registered memory with
+// bus-master DMA on both host buses, and the destination CPU sees only a
+// completion notification. Registration is expensive, so a pin-down cache
+// (fwd/mr_cache.hpp) amortizes it across the gateway's recycled buffers.
+//
+// An RdmaTm wraps one NIC with:
+//   * pin()        — registration lookup through the LRU cache, charging
+//                    the simulated pin cost (base + per-page) on a miss;
+//   * write()      — queue-pair-style one-sided write: pins the local
+//                    source, then pushes the fragment as a single
+//                    net::SendOptions{one_sided} packet (same tag and
+//                    FIFO order as the two-sided path, so framing around
+//                    it is untouched);
+//   * rendezvous() — the control handshake that has the REMOTE side
+//                    register its receive region (keyed by the wire tag):
+//                    one control RTT, plus the remote pin cost when the
+//                    remote cache misses;
+//   * invalidate() — NIC crash / channel teardown: all registrations die
+//                    with the adapter state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fwd/mr_cache.hpp"
+#include "net/nic.hpp"
+#include "sim/time.hpp"
+#include "util/bytes.hpp"
+
+namespace mad::sim {
+class Engine;
+}
+
+namespace mad::fwd {
+
+struct RdmaOptions {
+  bool enabled = false;
+  /// Blocks at or above this size cross gateways as one-sided writes
+  /// after a rendezvous; smaller blocks keep the eager two-sided path
+  /// (the handshake and pin costs would outweigh the PIO conflict they
+  /// avoid).
+  std::uint32_t rendezvous_threshold = 32 * 1024;
+  /// Registered regions the pin-down cache retains per NIC.
+  std::size_t cache_capacity = 64;
+  /// Registration cost model: pinning costs base + ceil(len/page) * page
+  /// (syscall entry plus per-page table walk — the shape Tezuka et al.
+  /// measured).
+  sim::Time pin_base_cost = sim::microseconds(20);
+  sim::Time pin_page_cost = sim::microseconds(1);
+  std::uint32_t page_size = 4096;
+
+  /// Panics loudly on inconsistent settings.
+  void validate() const;
+};
+
+class RdmaTm {
+ public:
+  RdmaTm(sim::Engine& engine, net::Nic& nic, const RdmaOptions& options,
+         std::string label);
+
+  net::Nic& nic() const { return nic_; }
+  MrCache& cache() { return cache_; }
+  const MrCache& cache() const { return cache_; }
+  const RdmaOptions& options() const { return options_; }
+
+  /// RAII in-flight registration of one local region: acquired through
+  /// the cache (charging pin cost on a miss), released on destruction.
+  class Pin {
+   public:
+    Pin(RdmaTm& tm, const void* addr, std::size_t len);
+    ~Pin();
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    bool hit() const { return hit_; }
+
+   private:
+    MrCache& cache_;
+    const void* addr_;
+    std::size_t len_;
+    bool hit_;
+  };
+
+  /// One-sided write of `data` to the peer NIC: pins the source span,
+  /// then sends it as a single one-sided packet. `completion` marks the
+  /// last fragment of a block — the remote completion notification the
+  /// destination actor pays receive software for.
+  void write(int dst_nic_index, std::uint64_t tag, util::ByteSpan data,
+             bool completion);
+
+  /// Rendezvous with the destination NIC's RdmaTm for a block of `len`
+  /// bytes landing under `remote_key` (the wire tag doubles as the remote
+  /// region's identity — the receive buffers behind one tag are stable).
+  /// Charges the control round trip; on a remote-cache miss this actor
+  /// additionally waits out the remote side's pin cost. Returns true when
+  /// the remote registration was already cached.
+  bool rendezvous(RdmaTm& remote, std::uint64_t remote_key, std::size_t len);
+
+  /// NIC crash / channel teardown: drops every cached registration.
+  void invalidate();
+
+  std::uint64_t writes() const { return writes_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  std::uint64_t rendezvous_count() const { return rendezvous_count_; }
+  std::uint64_t rendezvous_hits() const { return rendezvous_hits_; }
+
+ private:
+  friend class Pin;
+  sim::Time pin_cost(std::size_t len) const;
+  /// Cache lookup + miss-cost charging shared by local pins and the
+  /// remote side of a rendezvous.
+  bool acquire_charged(const void* addr, std::size_t len);
+
+  sim::Engine& engine_;
+  net::Nic& nic_;
+  RdmaOptions options_;
+  std::string label_;
+  MrCache cache_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t rendezvous_count_ = 0;
+  std::uint64_t rendezvous_hits_ = 0;
+};
+
+}  // namespace mad::fwd

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "fwd/rdma_tm.hpp"
 #include "fwd/virtual_channel.hpp"
 #include "mad/channel.hpp"
 #include "mad/copy_stats.hpp"
@@ -69,6 +70,10 @@ ReliableSender::ReliableSender(VirtualChannel& vc, NodeRank self,
               ? std::min(4.0, static_cast<double>(window_))
               : static_cast<double>(window_);
   ssthresh_ = static_cast<double>(window_);
+  const net::NicModelParams& model = out_channel.tm().model();
+  if (vc.options().rdma.enabled && !model.tx_static() && !model.hybrid()) {
+    rdma_ = vc.rdma_tm(out_channel.tm().nic());
+  }
 }
 
 std::size_t ReliableSender::effective_window() const {
@@ -182,9 +187,45 @@ void ReliableSender::transmit(InFlight& p) {
       out_.pack(util::ByteSpan(blob), SendMode::Safer, RecvMode::Express);
     }
   }
-  out_.pack(util::ByteSpan(p.wire), SendMode::Cheaper, RecvMode::Express);
+  if (p.one_sided && rdma_ != nullptr) {
+    // One-sided with completion: the receiver is notified of (and acks)
+    // every paquet, but the payload crosses both host buses as DMA from
+    // the registered wire buffer. Retransmits reuse the same buffer, so
+    // the pin-down cache hit is guaranteed.
+    rdma_->write(conn_->peer_nic_index, conn_->tx_tag,
+                 util::ByteSpan(p.wire), /*completion=*/true);
+  } else {
+    out_.pack(util::ByteSpan(p.wire), SendMode::Cheaper, RecvMode::Express);
+  }
   p.sent_at = engine_->now();
   p.deadline = p.sent_at + p.rto;
+}
+
+std::vector<std::byte> ReliableSender::pool_take(std::size_t size) {
+  // Best fit, so a tiny block-header paquet does not claim (and re-key)
+  // an MTU-sized registered fragment buffer.
+  auto best = wire_pool_.end();
+  for (auto it = wire_pool_.begin(); it != wire_pool_.end(); ++it) {
+    if (it->capacity() >= size &&
+        (best == wire_pool_.end() || it->capacity() < best->capacity())) {
+      best = it;
+    }
+  }
+  if (best != wire_pool_.end()) {
+    std::vector<std::byte> wire = std::move(*best);
+    wire_pool_.erase(best);
+    wire.resize(size);  // within capacity: the address stays put
+    return wire;
+  }
+  std::vector<std::byte> wire;
+  wire.resize(size);
+  return wire;
+}
+
+void ReliableSender::pool_return(std::vector<std::byte> wire) {
+  if (rdma_ != nullptr && !wire.empty()) {
+    wire_pool_.push_back(std::move(wire));
+  }
 }
 
 void ReliableSender::sample_ack(InFlight& p) {
@@ -290,13 +331,15 @@ void ReliableSender::make_room(std::size_t slots) {
   }
 }
 
-void ReliableSender::send(std::uint32_t seq, util::ByteSpan payload) {
+void ReliableSender::send(std::uint32_t seq, util::ByteSpan payload,
+                          bool one_sided) {
   MAD_ASSERT(inflight_.empty() || seq == inflight_.back().seq + 1,
              "reliable window fed out of sequence");
   make_room();
   InFlight p;
   p.seq = seq;
-  p.wire.resize(payload.size() + kGtmTrailerBytes);
+  p.one_sided = one_sided && rdma_ != nullptr;
+  p.wire = pool_take(payload.size() + kGtmTrailerBytes);
   if (!payload.empty()) {
     std::memcpy(p.wire.data(), payload.data(), payload.size());
   }
@@ -392,6 +435,7 @@ void ReliableSender::drain_to(std::size_t target) {
       }
       ++stats.paquets_acked;
       metrics_->add("rel.paquets_acked", node_label_);
+      pool_return(std::move(front.wire));
       inflight_.pop_front();
       on_ack_growth();
     }

@@ -67,6 +67,7 @@ class Trace;
 
 namespace mad::fwd {
 
+class RdmaTm;
 class VirtualChannel;
 
 struct ReliableOptions {
@@ -180,7 +181,14 @@ class ReliableSender {
 
   /// Enqueues `payload` as reliable paquet `seq` (must be the successor of
   /// the previous send) and transmits it; blocks while the window is full.
-  void send(std::uint32_t seq, util::ByteSpan payload);
+  /// With `one_sided` set (and the hop's egress RDMA-eligible) the paquet
+  /// — and every retransmission of it — crosses as a one-sided write with
+  /// completion (fwd/rdma_tm.hpp): the receiver still sees and acks every
+  /// paquet, but the data moves as DMA on both host buses. The wire buffer
+  /// then comes from a recycled registered pool, so repeated paquets and
+  /// retransmits hit the pin-down cache instead of re-pinning.
+  void send(std::uint32_t seq, util::ByteSpan payload,
+            bool one_sided = false);
 
   /// Block headers travel as reliable paquets of their own (a lost header
   /// would desynchronize the stream silently otherwise).
@@ -215,9 +223,16 @@ class ReliableSender {
     bool retransmitted = false;  // Karn: no RTT sample once retransmitted
     bool sacked = false;
     bool sack_rtx = false;  // lost-retransmit resend spent (one per front)
+    bool one_sided = false;  // transmit via RdmaTm::write, not the writer
   };
 
   void transmit(InFlight& p);
+  /// Registered-buffer pool (one-sided mode only): wire buffers recycled
+  /// across paquets so their addresses stay stable and the pin-down cache
+  /// hits on every reuse — including retransmits, which re-send the very
+  /// buffer that was pinned for the first attempt.
+  std::vector<std::byte> pool_take(std::size_t size);
+  void pool_return(std::vector<std::byte> wire);
   /// Blocks until at most `target` paquets remain in flight.
   void drain_to(std::size_t target);
   /// Times out `p`: throws HopFailure past the budget, else retransmits
@@ -249,6 +264,12 @@ class ReliableSender {
   sim::Trace* trace_;
   std::string node_label_;
   std::size_t window_;
+  /// One-sided transmission module of the egress NIC; nullptr when the
+  /// channel has rdma off or the egress TM is not RDMA-eligible (static
+  /// or hybrid buffers). send(..., one_sided=true) silently degrades to
+  /// the two-sided path when null.
+  RdmaTm* rdma_ = nullptr;
+  std::vector<std::vector<std::byte>> wire_pool_;
   std::deque<InFlight> inflight_;
   // Duplicate-cumulative-ack tracking (fast retransmit, window > 1 only).
   // The ack board counts a duplicate only when a cum post re-acks the

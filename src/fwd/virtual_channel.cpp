@@ -45,6 +45,9 @@ void VcOptions::validate() const {
   if (reliable.enabled) {
     reliable.validate();
   }
+  if (rdma.enabled) {
+    rdma.validate();
+  }
   flow.validate(reliable.enabled);
   if (flow.enabled) {
     MAD_ASSERT(max_rails == 1,
@@ -130,7 +133,12 @@ VirtualChannel::VirtualChannel(Domain& domain, std::string name,
   }
 }
 
-VirtualChannel::~VirtualChannel() = default;
+VirtualChannel::~VirtualChannel() {
+  // Channel teardown deregisters everything the channel pinned.
+  for (auto& [nic, tm] : rdma_tms_) {
+    tm->invalidate();
+  }
+}
 
 namespace {
 
@@ -329,6 +337,49 @@ void VirtualChannel::mark_dead(NodeRank rank) {
   if (health_ != nullptr && !was_excluded) {
     health_->note_excluded(rank, domain_.engine().now());
   }
+  // The dead node's adapters take their registration state with them:
+  // every cached pin on its NICs is invalid the moment it crashes.
+  for (net::Network* network : networks_) {
+    if (!domain_.has_nic(rank, *network)) {
+      continue;
+    }
+    const auto it = rdma_tms_.find(&domain_.nic_of(rank, *network));
+    if (it != rdma_tms_.end()) {
+      it->second->invalidate();
+    }
+  }
+}
+
+RdmaTm* VirtualChannel::rdma_tm(net::Nic& nic) const {
+  if (!options_.rdma.enabled) {
+    return nullptr;
+  }
+  auto it = rdma_tms_.find(&nic);
+  if (it == rdma_tms_.end()) {
+    it = rdma_tms_
+             .emplace(&nic, std::make_unique<RdmaTm>(
+                                domain_.engine(), nic, options_.rdma,
+                                name_ + ".rdma." + nic.network().name() +
+                                    ".nic" + std::to_string(nic.index())))
+             .first;
+  }
+  return it->second.get();
+}
+
+RdmaTotals VirtualChannel::rdma_totals() const {
+  RdmaTotals totals;
+  for (const auto& [nic, tm] : rdma_tms_) {
+    const MrCacheStats& s = tm->cache().stats();
+    totals.cache.hits += s.hits;
+    totals.cache.misses += s.misses;
+    totals.cache.evictions += s.evictions;
+    totals.cache.invalidations += s.invalidations;
+    totals.writes += tm->writes();
+    totals.bytes_written += tm->bytes_written();
+    totals.rendezvous += tm->rendezvous_count();
+    totals.rendezvous_hits += tm->rendezvous_hits();
+  }
+  return totals;
 }
 
 bool VirtualChannel::is_dead(NodeRank rank) const {

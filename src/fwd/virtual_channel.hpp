@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "fwd/generic_tm.hpp"
+#include "fwd/rdma_tm.hpp"
 #include "fwd/regulation.hpp"
 #include "fwd/reliable.hpp"
 #include "mad/madeleine.hpp"
@@ -141,6 +142,14 @@ struct VcOptions {
   /// Per-flow queueing + DRR scheduling + congestion marks at gateway
   /// relays (FlowOptions above). Requires reliable.enabled.
   FlowOptions flow;
+  /// One-sided RDMA-style forwarding (fwd/rdma_tm.hpp): gateway-egress
+  /// blocks at or above rdma.rendezvous_threshold cross dynamic-buffer
+  /// networks as one-sided writes — bus-master DMA on both host buses, no
+  /// receiver software per fragment — after a rendezvous that registers
+  /// the remote region through its pin-down cache. Eliminates the PIO
+  /// send / DMA receive PCI-arbitration conflict of §3.4.1 on SCI-style
+  /// egress. Off by default: every path then behaves exactly as before.
+  RdmaOptions rdma;
 
   /// Panics loudly on any unsupported option combination (called by the
   /// VirtualChannel ctor; callers building options programmatically can
@@ -167,6 +176,16 @@ struct GatewayStats {
   std::uint64_t admission_rejects = 0;  // messages refused by admission
   std::uint64_t admission_sheds = 0;    // the CoDel-shed subset of those
   ReliabilityStats reliability;
+};
+
+/// Channel-wide one-sided counters, summed over every per-NIC RdmaTm the
+/// channel instantiated (benches and tests).
+struct RdmaTotals {
+  MrCacheStats cache;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t rendezvous = 0;
+  std::uint64_t rendezvous_hits = 0;
 };
 
 class VirtualChannel {
@@ -258,6 +277,14 @@ class VirtualChannel {
   /// options().health.enabled.
   topo::HealthMonitor* health() const { return health_.get(); }
 
+  /// The one-sided transmission module wrapping `nic`, created lazily on
+  /// first use (so NICs that never forward one-sided carry no cache).
+  /// nullptr unless options().rdma.enabled.
+  RdmaTm* rdma_tm(net::Nic& nic) const;
+
+  /// Sums counters across every RdmaTm this channel created so far.
+  RdmaTotals rdma_totals() const;
+
   /// True when `rank`'s NIC on any of this channel's networks has a fault-
   /// plan crash event at or before the current virtual time — lets a
   /// crashed gateway's own actors stand down instead of mis-diagnosing
@@ -333,6 +360,9 @@ class VirtualChannel {
   std::vector<std::vector<ChannelId>> stripe_special_ids_;
   std::map<NodeRank, std::unique_ptr<VcEndpoint>> endpoints_;
   mutable std::map<NodeRank, GatewayStats> gateway_stats_;
+  // One RdmaTm per NIC that ever sent one-sided, lazily created (mutable:
+  // creation is caching, not observable state).
+  mutable std::map<const net::Nic*, std::unique_ptr<RdmaTm>> rdma_tms_;
 };
 
 /// One message arriving at an endpoint, parked after its preamble. The

@@ -23,18 +23,20 @@ void set_copy_rate(double bytes_per_second) {
   g_copy_rate = bytes_per_second;
 }
 
-void counted_copy(util::MutByteSpan dst, util::ByteSpan src) {
+void counted_copy(util::MutByteSpan dst, util::ByteSpan src, CopyPath path) {
   MAD_ASSERT(dst.size() == src.size(), "counted_copy: size mismatch");
   if (!src.empty()) {
     std::memcpy(dst.data(), src.data(), src.size());
   }
-  count_copy(src.size());
+  count_copy(src.size(), path);
 }
 
-void count_copy(std::size_t bytes) {
+void count_copy(std::size_t bytes, CopyPath path) {
   CopyStats& stats = copy_stats();
   ++stats.copies;
   stats.bytes += bytes;
+  ++stats.path_copies[static_cast<std::size_t>(path)];
+  stats.path_bytes[static_cast<std::size_t>(path)] += bytes;
   // The CPU is busy for the duration of the copy.
   if (sim::Engine* engine = sim::Engine::current()) {
     engine->sleep_for(sim::transfer_time(bytes, g_copy_rate));

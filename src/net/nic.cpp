@@ -50,7 +50,7 @@ Nic::TagQueue& Nic::tag_queue(std::uint64_t tag) {
 }
 
 void Nic::send(int dst_index, std::uint64_t tag,
-               const util::ConstIovec& data) {
+               const util::ConstIovec& data, const SendOptions& opts) {
   const std::size_t n = util::total_size(data);
   MAD_ASSERT(n > 0, "send of empty packet");
   MAD_ASSERT(n <= model().max_packet,
@@ -122,6 +122,8 @@ void Nic::send(int dst_index, std::uint64_t tag,
                                           // is blocked for the whole flow
     packet.visible_time = wire.depart + model().wire_latency;
     packet.wire_end = wire.wire_end;
+    packet.one_sided = opts.one_sided;
+    packet.completion = opts.completion;
     packet.timing = timing;
     if (fault == FaultAction::Corrupt) {
       injector->corrupt(util::MutByteSpan(packet.payload));
@@ -132,7 +134,10 @@ void Nic::send(int dst_index, std::uint64_t tag,
     dst_nic.enqueue(std::move(packet));
   }
 
-  host_.bus().transfer(model().tx_op, n);
+  // One-sided sends are bus-master DMA regardless of the protocol's
+  // configured tx_op: the NIC pushes from registered memory, the CPU's
+  // programmed-I/O path (and its PCI-arbitration penalty) is bypassed.
+  host_.bus().transfer(opts.one_sided ? PciOp::Dma : model().tx_op, n);
   timing->src_flow_end = engine_.now();
   dst_nic.notify_tx_done();
   ++packets_sent_;
@@ -149,8 +154,9 @@ void Nic::wait_rx_space() {
   }
 }
 
-void Nic::send(int dst_index, std::uint64_t tag, util::ByteSpan data) {
-  send(dst_index, tag, util::ConstIovec{data});
+void Nic::send(int dst_index, std::uint64_t tag, util::ByteSpan data,
+               const SendOptions& opts) {
+  send(dst_index, tag, util::ConstIovec{data}, opts);
 }
 
 void Nic::enqueue(WirePacket packet) {
@@ -206,11 +212,16 @@ WirePacket Nic::consume(std::uint64_t tag) {
   rx_space_.notify_all();
 
   engine_.sleep_until(packet.visible_time);
-  engine_.sleep_for(model().rx_host_overhead);
+  // A one-sided write lands in pre-registered memory without receiver
+  // software: only its completion notification costs host time.
+  if (!packet.one_sided || packet.completion) {
+    engine_.sleep_for(model().rx_host_overhead);
+  }
   {
     // One receive engine per NIC as well.
     EngineGuard engine_guard(rx_engine_);
-    host_.bus().transfer(model().rx_op, packet.payload.size());
+    host_.bus().transfer(packet.one_sided ? PciOp::Dma : model().rx_op,
+                         packet.payload.size());
   }
   // The receive cannot complete before the last byte has physically made it
   // across: source flow end (or wire serialization end) plus latency.

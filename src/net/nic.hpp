@@ -53,7 +53,21 @@ struct WirePacket {
   sim::Time send_time = 0;     // source flow start (latency metrics)
   sim::Time visible_time = 0;  // first byte reaches the NIC
   sim::Time wire_end = 0;      // last byte has left the wire
+  bool one_sided = false;   // RDMA-style write: DMA both ends, no rx software
+  bool completion = false;  // carries the remote completion notification
   std::shared_ptr<TxTiming> timing;
+};
+
+/// Sender-side options for one packet. A one-sided packet models an
+/// RDMA-style remote write into pre-registered memory (fwd/rdma_tm.hpp):
+/// the data crosses BOTH host buses as bus-master DMA regardless of the
+/// protocol's configured tx_op — this is exactly what removes the PIO/DMA
+/// PCI-arbitration conflict of §3.4.1 — and the receiving CPU is not
+/// involved, so rx_host_overhead is skipped except on `completion`
+/// packets, which carry the notification the destination actor processes.
+struct SendOptions {
+  bool one_sided = false;
+  bool completion = false;
 };
 
 /// Size/source of the packet at the head of a tag queue.
@@ -74,10 +88,12 @@ class Nic {
   /// Sends one packet (gather list) to the NIC at `dst_index` on the same
   /// network. Blocks the calling actor for the sender-side cost. The total
   /// size must be in (0, model().max_packet].
-  void send(int dst_index, std::uint64_t tag, const util::ConstIovec& data);
+  void send(int dst_index, std::uint64_t tag, const util::ConstIovec& data,
+            const SendOptions& opts = {});
 
   /// Convenience for a single contiguous block.
-  void send(int dst_index, std::uint64_t tag, util::ByteSpan data);
+  void send(int dst_index, std::uint64_t tag, util::ByteSpan data,
+            const SendOptions& opts = {});
 
   /// Blocks until a packet with `tag` is queued; returns its descriptor
   /// without consuming it and without charging any receive cost.

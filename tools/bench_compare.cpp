@@ -24,8 +24,17 @@
 // priority path). The candidate fails when it rises more than
 // `--latency-slack` milliseconds (default 10.0) above the baseline.
 //
+// Cache-hit-rate series (names mentioning "hit rate" or "hit %") are
+// gated on ABSOLUTE drop in percentage points: like the fairness index
+// they are near-saturated when healthy (a registration cache in the
+// nineties), so the bandwidth ratio gate would accept 96% -> 87% — a
+// broken pin-down cache — as a mere 9% drift. The candidate fails when
+// it falls more than `--hitrate-drop` points (default 2.0) below the
+// baseline.
+//
 // Usage: bench_compare <baseline_dir> <candidate_dir> [--threshold 0.10]
 //        [--fairness-drop 0.02] [--latency-slack 10.0]
+//        [--hitrate-drop 2.0]
 // Exit status: 0 = no regression, 1 = regression found, 2 = usage/IO error
 // or malformed report (missing/empty/non-numeric fields). Malformed input
 // is never silently skipped: a gate that quietly compares nothing would
@@ -66,6 +75,11 @@ bool mentions_latency(const std::string& text) {
          text.find("latency ms") != std::string::npos;
 }
 
+bool mentions_hitrate(const std::string& text) {
+  return text.find("hit rate") != std::string::npos ||
+         text.find("hit %") != std::string::npos;
+}
+
 std::string read_file(const fs::path& path, bool& ok) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -87,6 +101,7 @@ struct Cell {
   bool bandwidth = false;
   bool fairness = false;  // gated on absolute drop, not ratio
   bool latency = false;   // gated on absolute rise (lower is better)
+  bool hitrate = false;   // gated on absolute drop in percentage points
 };
 
 /// Flattens one report, validating the schema as it goes: a missing or
@@ -148,16 +163,19 @@ std::vector<Cell> flatten(const JsonValue& doc, const std::string& file,
                    label->string + " is not a finite number");
           continue;
         }
-        // Precedence: a fairness or latency series is never treated as
-        // bandwidth, even inside a table whose title mentions MB/s — the
-        // "better" direction is per series, not per table.
+        // Precedence: a fairness, latency or hit-rate series is never
+        // treated as bandwidth, even inside a table whose title mentions
+        // MB/s — the "better" direction and scale are per series, not
+        // per table.
         const bool fairness = mentions_fairness(name.string);
         const bool latency = !fairness && mentions_latency(name.string);
+        const bool hitrate =
+            !fairness && !latency && mentions_hitrate(name.string);
         cells.push_back({title->string, label->string, name.string,
                          value.number,
-                         !fairness && !latency &&
+                         !fairness && !latency && !hitrate &&
                              (table_bw || mentions_bandwidth(name.string)),
-                         fairness, latency});
+                         fairness, latency, hitrate});
       }
     }
   }
@@ -180,36 +198,43 @@ int main(int argc, char** argv) {
   double threshold = 0.10;
   double fairness_drop = 0.02;
   double latency_slack = 10.0;  // milliseconds
+  double hitrate_drop = 2.0;    // percentage points
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool is_threshold = arg == "--threshold";
     const bool is_fairness = arg == "--fairness-drop";
     const bool is_latency = arg == "--latency-slack";
-    if ((is_threshold || is_fairness || is_latency) && i + 1 < argc) {
+    const bool is_hitrate = arg == "--hitrate-drop";
+    if ((is_threshold || is_fairness || is_latency || is_hitrate) &&
+        i + 1 < argc) {
       double parsed = std::nan("");
       try {
         parsed = std::stod(argv[++i]);
       } catch (const std::exception&) {
       }
       // Thresholds over ratios/indices live in [0, 1); the latency slack
-      // is an absolute budget in milliseconds, so it only has to be a
-      // finite non-negative number.
-      const bool bad = is_latency
+      // (ms) and hit-rate drop (percentage points) are absolute budgets
+      // in the series' own units, so they only have to be finite and
+      // non-negative.
+      const bool absolute = is_latency || is_hitrate;
+      const bool bad = absolute
                            ? (!std::isfinite(parsed) || parsed < 0.0)
                            : (!std::isfinite(parsed) || parsed < 0.0 ||
                               parsed >= 1.0);
       if (bad) {
         std::fprintf(stderr, "bench_compare: %s must be %s\n", arg.c_str(),
-                     is_latency ? "a finite non-negative number of ms"
-                                : "in [0, 1)");
+                     absolute ? "a finite non-negative number"
+                              : "in [0, 1)");
         return 2;
       }
       if (is_threshold) {
         threshold = parsed;
       } else if (is_fairness) {
         fairness_drop = parsed;
-      } else {
+      } else if (is_latency) {
         latency_slack = parsed;
+      } else {
+        hitrate_drop = parsed;
       }
     } else {
       positional.push_back(arg);
@@ -219,7 +244,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: bench_compare <baseline_dir> <candidate_dir> "
                  "[--threshold 0.10] [--fairness-drop 0.02] "
-                 "[--latency-slack 10.0]\n");
+                 "[--latency-slack 10.0] [--hitrate-drop 2.0]\n");
     return 2;
   }
   const fs::path base_dir = positional[0];
@@ -274,7 +299,7 @@ int main(int argc, char** argv) {
     const std::vector<Cell> cand_cells =
         flatten(cand, cand_path.string(), errors);
     for (const Cell& b : base_cells) {
-      if (!b.bandwidth && !b.fairness && !b.latency) {
+      if (!b.bandwidth && !b.fairness && !b.latency && !b.hitrate) {
         continue;
       }
       const Cell* c = find_cell(cand_cells, b);
@@ -316,6 +341,22 @@ int main(int argc, char** argv) {
         }
         continue;
       }
+      if (b.hitrate) {
+        // Absolute-drop gate in percentage points: a healthy registration
+        // cache sits in the nineties, where the bandwidth ratio threshold
+        // would shrug off a broken cache as drift.
+        ++compared;
+        const double drop = b.value - c->value;
+        if (drop > hitrate_drop) {
+          std::printf(
+              "REGRESSION %s: [%s] %s @ %s: %.2f -> %.2f "
+              "(hit-rate drop %.2f points > %.2f)\n",
+              name.string().c_str(), b.table.c_str(), b.series.c_str(),
+              b.row.c_str(), b.value, c->value, drop, hitrate_drop);
+          ++regressions;
+        }
+        continue;
+      }
       if (b.value <= 0.0) {
         continue;
       }
@@ -338,15 +379,16 @@ int main(int argc, char** argv) {
   }
   if (compared == 0) {
     std::fprintf(stderr,
-                 "bench_compare: no bandwidth, fairness or latency cells "
-                 "compared — the gate checked nothing\n");
+                 "bench_compare: no bandwidth, fairness, latency or "
+                 "hit-rate cells compared — the gate checked nothing\n");
     return 2;
   }
   std::printf(
-      "bench_compare: %d bandwidth/fairness/latency cells compared, "
-      "%d regressions, %d reports skipped (threshold %.0f%%, fairness drop "
-      "%.2f, latency slack %.1f ms)\n",
+      "bench_compare: %d bandwidth/fairness/latency/hit-rate cells "
+      "compared, %d regressions, %d reports skipped (threshold %.0f%%, "
+      "fairness drop %.2f, latency slack %.1f ms, hit-rate drop %.1f "
+      "points)\n",
       compared, regressions, skipped, threshold * 100.0, fairness_drop,
-      latency_slack);
+      latency_slack, hitrate_drop);
   return regressions > 0 ? 1 : 0;
 }
