@@ -202,29 +202,17 @@ void ReliableSender::transmit(InFlight& p) {
 }
 
 std::vector<std::byte> ReliableSender::pool_take(std::size_t size) {
-  // Best fit, so a tiny block-header paquet does not claim (and re-key)
-  // an MTU-sized registered fragment buffer.
-  auto best = wire_pool_.end();
-  for (auto it = wire_pool_.begin(); it != wire_pool_.end(); ++it) {
-    if (it->capacity() >= size &&
-        (best == wire_pool_.end() || it->capacity() < best->capacity())) {
-      best = it;
-    }
-  }
-  if (best != wire_pool_.end()) {
-    std::vector<std::byte> wire = std::move(*best);
-    wire_pool_.erase(best);
-    wire.resize(size);  // within capacity: the address stays put
-    return wire;
-  }
-  std::vector<std::byte> wire;
-  wire.resize(size);
-  return wire;
+  // Best fit (the arena's policy), so a tiny block-header paquet does not
+  // claim (and re-key) an MTU-sized registered fragment buffer.
+  return wire_arena_.take(size);
 }
 
 void ReliableSender::pool_return(std::vector<std::byte> wire) {
+  // Only RDMA mode pools: reuse exists to keep registered addresses
+  // stable, and unconditional pooling would hide leaks of two-sided
+  // buffers behind the arena.
   if (rdma_ != nullptr && !wire.empty()) {
-    wire_pool_.push_back(std::move(wire));
+    wire_arena_.give(std::move(wire));
   }
 }
 

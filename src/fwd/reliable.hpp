@@ -45,6 +45,7 @@
 #include "fwd/generic_tm.hpp"
 #include "mad/types.hpp"
 #include "sim/time.hpp"
+#include "util/arena.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 
@@ -269,7 +270,9 @@ class ReliableSender {
   /// or hybrid buffers). send(..., one_sided=true) silently degrades to
   /// the two-sided path when null.
   RdmaTm* rdma_ = nullptr;
-  std::vector<std::vector<std::byte>> wire_pool_;
+  // Retired wire buffers, reused best-fit (RDMA mode only: stable buffer
+  // addresses keep the registration cache warm).
+  util::BufferArena wire_arena_;
   std::deque<InFlight> inflight_;
   // Duplicate-cumulative-ack tracking (fast retransmit, window > 1 only).
   // The ack board counts a duplicate only when a cum post re-acks the

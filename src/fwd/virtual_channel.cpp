@@ -183,14 +183,14 @@ void VirtualChannel::discard_stale_paquet(Channel& channel, NodeRank peer,
 
 void VirtualChannel::drain_stale_paquets(MessageReader& reader,
                                          Channel& channel, NodeRank self) {
-  std::vector<std::byte> scratch;
+  // MTU-sized scratch comes from the channel arena: these tolerant-read
+  // paths run once per message, and per-call malloc of ~MTU buffers was a
+  // measurable slice of gateway receive cost.
+  util::BufferLease scratch(scratch_arena_, mtu_ + kGtmTrailerBytes);
   while (reader.peek_paquet_size() !=
          static_cast<std::uint32_t>(sizeof(Preamble))) {
-    if (scratch.empty()) {
-      scratch.resize(mtu_ + kGtmTrailerBytes);
-    }
     const std::uint32_t got =
-        reader.unpack_paquet(util::MutByteSpan(scratch));
+        reader.unpack_paquet(util::MutByteSpan(scratch.buffer()));
     discard_stale_paquet(channel, reader.source(), self,
                          util::ByteSpan(scratch.data(), got));
   }
@@ -199,11 +199,12 @@ void VirtualChannel::drain_stale_paquets(MessageReader& reader,
 void VirtualChannel::read_framing_tolerant(MessageReader& reader,
                                            Channel& channel, NodeRank self,
                                            util::MutByteSpan element) {
-  std::vector<std::byte> scratch(static_cast<std::size_t>(mtu_) +
-                                 kGtmTrailerBytes);
+  util::BufferLease scratch(scratch_arena_,
+                            static_cast<std::size_t>(mtu_) +
+                                kGtmTrailerBytes);
   for (;;) {
     const std::uint32_t got =
-        reader.unpack_paquet(util::MutByteSpan(scratch));
+        reader.unpack_paquet(util::MutByteSpan(scratch.buffer()));
     const util::ByteSpan wire(scratch.data(), got);
     if (got == element.size()) {
       // The element size can collide with a small data paquet's wire size;
@@ -242,15 +243,16 @@ Preamble VirtualChannel::read_stream_head(MessageReader& reader,
                                           GtmStripeHeader* stripe) {
   header.reset();
   const NodeRank peer = reader.source();
-  std::vector<std::byte> scratch(static_cast<std::size_t>(mtu_) +
-                                 kGtmTrailerBytes);
+  util::BufferLease scratch(scratch_arena_,
+                            static_cast<std::size_t>(mtu_) +
+                                kGtmTrailerBytes);
   std::optional<Preamble> preamble;
   const auto count_ghost = [&](util::ByteSpan wire) {
     discard_stale_paquet(channel, peer, self, wire);
   };
   for (;;) {
     const std::uint32_t got =
-        reader.unpack_paquet(util::MutByteSpan(scratch));
+        reader.unpack_paquet(util::MutByteSpan(scratch.buffer()));
     const util::ByteSpan wire(scratch.data(), got);
     GtmPaquetTrailer trailer;
     if (checksum_valid_paquet(wire, &trailer)) {

@@ -32,6 +32,7 @@
 #include "sim/trace.hpp"
 #include "topo/health.hpp"
 #include "topo/routing.hpp"
+#include "util/arena.hpp"
 
 namespace mad::fwd {
 
@@ -346,6 +347,9 @@ class VirtualChannel {
   std::vector<net::Network*> networks_;
   VcOptions options_;
   std::uint32_t mtu_ = 0;
+  // Recycles MTU-sized scratch buffers for the tolerant-read paths; one
+  // actor runs at a time, so the arena needs no locking.
+  util::BufferArena scratch_arena_;
   std::unique_ptr<topo::Topology> topology_;
   std::unique_ptr<topo::Routing> routing_;
   std::unique_ptr<topo::HealthMonitor> health_;

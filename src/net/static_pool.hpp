@@ -5,6 +5,12 @@
 // protocol (paper §2.1.1). The pool models the finite ring of such buffers;
 // acquisition blocks when the ring is exhausted, which throttles senders
 // exactly like the real protocols do.
+//
+// The recycling half of this idea — minus the blocking/backpressure
+// semantics — is generalized in util/arena.hpp (util::BufferArena), which
+// the fwd layer and the trace sink use for plain allocation reuse. Keep
+// the two distinct: a StaticBufferPool running dry is a modeled protocol
+// event; an arena running dry just mallocs.
 #pragma once
 
 #include <cstdint>

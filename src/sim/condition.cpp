@@ -32,27 +32,36 @@ WakeReason Condition::wait_until(Time deadline) {
   }
   a.status = Engine::Status::Blocked;
   lock.release();
-  const WakeReason reason = engine_.park();
-  lock = std::unique_lock(engine_.mutex_, std::adopt_lock);
+  const WakeReason reason = engine_.park();  // returns without the mutex
   if (engine_.stopping_) {
-    lock.unlock();
     throw StopSimulation{};
   }
   return reason;
 }
 
 void Condition::notify_one() {
-  std::unique_lock lock(engine_.mutex_);
+  // Waiter-aware fast path: with no waiters a notify is a no-op, and since
+  // only one actor runs at a time (mutex handoffs order every waiters_
+  // mutation before this read) the emptiness check needs no lock. This is
+  // what keeps Mailbox/StaticBufferPool notify storms off the scheduler.
   if (waiters_.empty()) {
+    ++engine_.noop_notifies_;
     return;
   }
+  std::unique_lock lock(engine_.mutex_);
+  ++engine_.notifies_;
   // make_ready removes the actor from our deque and cancels its timer.
   engine_.make_ready(engine_.actor(waiters_.front()), WakeReason::Notified);
 }
 
 void Condition::notify_all() {
+  if (waiters_.empty()) {
+    ++engine_.noop_notifies_;
+    return;
+  }
   std::unique_lock lock(engine_.mutex_);
   while (!waiters_.empty()) {
+    ++engine_.notifies_;
     engine_.make_ready(engine_.actor(waiters_.front()), WakeReason::Notified);
   }
 }

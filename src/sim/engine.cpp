@@ -33,8 +33,7 @@ Engine::~Engine() {
       if (!a->started && a->status != Status::Finished) {
         // Thread is parked waiting for its first dispatch; releasing it with
         // stopping_ set makes the trampoline skip the body entirely.
-        a->may_run = true;
-        a->cv.notify_one();
+        a->gate.open();
       }
     }
   }
@@ -63,24 +62,21 @@ ActorHandle Engine::spawn(std::string name, std::function<void()> body,
   a->thread = std::thread([this, a] {
     t_current.engine = this;
     t_current.id = a->id;
-    {
+    a->gate.wait();
+    // Unlocked reads are safe here: the gate's release/acquire edge orders
+    // everything the waker wrote, and nothing else runs until we block.
+    if (stopping_ && !a->started) {
+      // Shutdown (or engine tear-down) before the actor ever ran: skip
+      // the body and hand control onward like any finishing actor.
       std::unique_lock tl(mutex_);
-      a->cv.wait(tl, [a] { return a->may_run; });
-      a->may_run = false;
-      if (stopping_ && !a->started) {
-        // Shutdown (or engine tear-down) before the actor ever ran: skip the
-        // body. Hand control back in case a scheduler dispatched us.
-        a->status = Status::Finished;
-        if (!a->daemon) {
-          --live_non_daemons_;
-        }
-        control_with_scheduler_ = true;
-        sched_cv_.notify_one();
-        return;
+      ActorState* next = finish_locked(*a, nullptr);
+      tl.unlock();
+      if (next != nullptr) {
+        next->gate.open();
       }
-      a->started = true;
-      a->status = Status::Running;
+      return;
     }
+    a->started = true;
     std::exception_ptr error;
     try {
       a->body();
@@ -90,16 +86,11 @@ ActorHandle Engine::spawn(std::string name, std::function<void()> body,
       error = std::current_exception();
     }
     std::unique_lock tl(mutex_);
-    a->status = Status::Finished;
-    if (!a->daemon) {
-      --live_non_daemons_;
+    ActorState* next = finish_locked(*a, error);
+    tl.unlock();
+    if (next != nullptr) {
+      next->gate.open();
     }
-    if (error && !first_error_) {
-      first_error_ = error;
-      request_stop();
-    }
-    control_with_scheduler_ = true;
-    sched_cv_.notify_one();
   });
   // Newly spawned actors start at the back of the ready queue, at the
   // current virtual instant.
@@ -112,6 +103,18 @@ ActorHandle Engine::spawn(std::string name, std::function<void()> body,
 }
 
 Engine* Engine::current() { return t_current.engine; }
+
+Engine::Stats Engine::stats() const {
+  std::unique_lock lock(mutex_);
+  Stats s;
+  s.switches = switches_;
+  s.timer_fires = timer_fires_;
+  s.notifies = notifies_;
+  s.noop_notifies = noop_notifies_;
+  s.direct_handoffs = direct_handoffs_;
+  s.scheduler_rounds = scheduler_rounds_;
+  return s;
+}
 
 std::string Engine::current_actor_name() const {
   std::unique_lock lock(mutex_);
@@ -160,12 +163,12 @@ void Engine::arm_timer(ActorState& a, Time deadline) {
   MAD_ASSERT(!a.timer_armed, "timer already armed");
   a.timer_armed = true;
   a.timer_deadline = deadline;
-  timers_.emplace(deadline, a.id);
+  timers_.arm(deadline, a.id);
 }
 
 void Engine::cancel_timer(ActorState& a) {
   if (a.timer_armed) {
-    timers_.erase({a.timer_deadline, a.id});
+    timers_.cancel(a.id);
     a.timer_armed = false;
   }
 }
@@ -186,7 +189,10 @@ void Engine::request_stop() {
 
 WakeReason Engine::park() {
   // Caller holds mutex_ and has already queued this actor (ready queue,
-  // condition waiters and/or timer set) with status Blocked or Ready.
+  // condition waiters and/or timer wheel) with status Blocked or Ready.
+  // Returns WITHOUT the mutex: the gate's release/acquire edge makes the
+  // waker's writes (wake_reason, stopping_, now_) readable lock-free, and
+  // only one actor runs at a time, so nothing mutates them under us.
   std::unique_lock lock(mutex_, std::adopt_lock);
   ActorState& a = self();
   // Yields park as Ready; only a true wait (sleep, condition) is a block.
@@ -194,28 +200,91 @@ WakeReason Engine::park() {
       a.status == Status::Blocked) {
     trace_->instant(a.name, now_, "actor.block");
   }
-  control_with_scheduler_ = true;
-  sched_cv_.notify_one();
-  a.cv.wait(lock, [&a] { return a.may_run; });
-  a.may_run = false;
-  a.status = Status::Running;
-  lock.release();  // caller still considers the mutex held
+  ActorState* next = hand_off_locked(/*from_actor=*/true);
+  lock.unlock();
+  if (next == &a) {
+    // Self-handoff (e.g. our own timer was the next event): we already
+    // hold the run permission, so skip both futex syscalls.
+    return a.wake_reason;
+  }
+  if (next != nullptr) {
+    next->gate.open();
+  }
+  a.gate.wait();
   return a.wake_reason;
 }
 
-void Engine::dispatch(ActorId id) {
-  // Caller holds mutex_.
-  ActorState& a = actor(id);
-  MAD_ASSERT(a.status == Status::Ready, "dispatch of non-ready actor");
-  running_ = id;
-  control_with_scheduler_ = false;
-  ++switches_;
-  a.may_run = true;
-  a.cv.notify_one();
-  std::unique_lock lock(mutex_, std::adopt_lock);
-  sched_cv_.wait(lock, [this] { return control_with_scheduler_; });
-  lock.release();
-  running_ = -1;
+Engine::ActorState* Engine::hand_off_locked(bool from_actor) {
+  // Caller holds mutex_ and no actor is logically running: the caller is
+  // either a parking/finishing actor (whose frame no longer counts as
+  // running) or the run() thread. Batch every scheduler decision — timer
+  // expiry, clock advance, wake — under this single lock hold, then
+  // elect exactly one thread: the next actor (direct handoff, woken by
+  // the caller once it drops the lock) or run().
+  if (live_non_daemons_ == 0 && !stopping_) {
+    request_stop();
+  }
+  for (;;) {
+    if (!ready_.empty()) {
+      const ActorId id = ready_.front();
+      ready_.pop_front();
+      ActorState& next = actor(id);
+      MAD_ASSERT(next.status == Status::Ready, "dispatch of non-ready actor");
+      running_ = id;
+      next.status = Status::Running;
+      ++switches_;
+      if (from_actor) {
+        ++direct_handoffs_;
+      }
+      return &next;
+    }
+    if (!timers_.empty()) {
+      const TimerWheel::Entry e = timers_.pop_min();
+      ActorState& ta = actor(e.id);
+      MAD_ASSERT(ta.timer_armed, "fired timer for an unarmed actor");
+      ta.timer_armed = false;  // consumed: make_ready must not re-cancel
+      if (e.deadline > horizon_ && !stopping_) {
+        if (!engine_error_) {
+          engine_error_ = std::make_exception_ptr(std::runtime_error(
+              "virtual time horizon exceeded (possible runaway simulation)"));
+        }
+        request_stop();
+        continue;
+      }
+      MAD_ASSERT(e.deadline >= now_, "time went backwards");
+      now_ = e.deadline;
+      ++timer_fires_;
+      make_ready(ta, WakeReason::Timeout);
+      continue;
+    }
+    // Nothing runnable anywhere: give control to run() for termination or
+    // deadlock handling.
+    running_ = -1;
+    control_with_scheduler_ = true;
+    ++scheduler_rounds_;
+    sched_cv_.notify_one();
+    return nullptr;
+  }
+}
+
+Engine::ActorState* Engine::finish_locked(ActorState& a,
+                                          std::exception_ptr error) {
+  // Caller (the actor's own trampoline) holds mutex_.
+  a.status = Status::Finished;
+  if (!a.daemon) {
+    --live_non_daemons_;
+  }
+  if (error && !first_error_) {
+    first_error_ = error;
+    request_stop();
+  }
+  if (in_run_) {
+    return hand_off_locked(/*from_actor=*/true);
+  }
+  // Engine tear-down without run(): nobody is waiting for a handoff.
+  control_with_scheduler_ = true;
+  sched_cv_.notify_one();
+  return nullptr;
 }
 
 void Engine::throw_deadlock() {
@@ -238,34 +307,23 @@ void Engine::run() {
   MAD_ASSERT(!in_run_, "Engine::run is not reentrant");
   MAD_ASSERT(t_current.engine == nullptr, "Engine::run from an actor");
   in_run_ = true;
-  std::exception_ptr engine_error;
 
+  // run() only seeds execution and adjudicates the "nothing runnable"
+  // states (termination, deadlock). Actor-to-actor switches are direct
+  // handoffs inside park()/finish_locked() and never wake this thread.
   for (;;) {
-    if (live_non_daemons_ == 0 && !stopping_) {
-      request_stop();
+    control_with_scheduler_ = false;
+    ActorState* next = hand_off_locked(/*from_actor=*/false);
+    if (next != nullptr) {
+      lock.unlock();
+      next->gate.open();
+      lock.lock();
     }
-    if (!ready_.empty()) {
-      const ActorId id = ready_.front();
-      ready_.pop_front();
-      lock.release();
-      dispatch(id);  // re-acquires and releases internally via adopt
-      lock = std::unique_lock(mutex_, std::adopt_lock);
-      continue;
+    if (!control_with_scheduler_) {
+      // An actor chain is running; sleep until it drains.
+      sched_cv_.wait(lock, [this] { return control_with_scheduler_; });
     }
-    if (!timers_.empty()) {
-      const auto [deadline, id] = *timers_.begin();
-      if (deadline > horizon_ && !stopping_) {
-        engine_error = std::make_exception_ptr(std::runtime_error(
-            "virtual time horizon exceeded (possible runaway simulation)"));
-        request_stop();
-        continue;
-      }
-      MAD_ASSERT(deadline >= now_, "time went backwards");
-      now_ = deadline;
-      make_ready(actor(id), WakeReason::Timeout);
-      continue;
-    }
-    // No ready actor, no timer.
+    // Control is back: no ready actor, no pending timer.
     const bool all_finished =
         std::all_of(actors_.begin(), actors_.end(), [](const auto& a) {
           return a->status == Status::Finished;
@@ -277,7 +335,7 @@ void Engine::run() {
       try {
         throw_deadlock();
       } catch (...) {
-        engine_error = std::current_exception();
+        engine_error_ = std::current_exception();
         request_stop();
         continue;
       }
@@ -298,8 +356,8 @@ void Engine::run() {
   if (first_error_) {
     std::rethrow_exception(first_error_);
   }
-  if (engine_error) {
-    std::rethrow_exception(engine_error);
+  if (engine_error_) {
+    std::rethrow_exception(engine_error_);
   }
 }
 
@@ -321,10 +379,8 @@ void Engine::sleep_until(Time deadline) {
   arm_timer(a, deadline);
   a.status = Status::Blocked;
   lock.release();
-  park();
-  lock = std::unique_lock(mutex_, std::adopt_lock);
+  park();  // returns without the mutex
   if (stopping_) {
-    lock.unlock();
     throw StopSimulation{};
   }
 }
@@ -339,10 +395,8 @@ void Engine::yield() {
   a.status = Status::Ready;
   ready_.push_back(a.id);
   lock.release();
-  park();
-  lock = std::unique_lock(mutex_, std::adopt_lock);
+  park();  // returns without the mutex
   if (stopping_) {
-    lock.unlock();
     throw StopSimulation{};
   }
 }

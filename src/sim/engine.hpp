@@ -23,13 +23,13 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "sim/timer_wheel.hpp"
 
 namespace mad::sim {
 
@@ -136,6 +136,19 @@ class Engine {
   /// in tests: two identical runs must report identical counts.
   std::uint64_t context_switches() const { return switches_; }
 
+  /// Scheduler internals exposed for the engine self-benchmark and the
+  /// wakeup-storm regression tests. All deterministic counters: two
+  /// identical runs must report identical values.
+  struct Stats {
+    std::uint64_t switches = 0;          // == context_switches()
+    std::uint64_t timer_fires = 0;       // timer-queue wakeups delivered
+    std::uint64_t notifies = 0;          // Condition notifies that woke someone
+    std::uint64_t noop_notifies = 0;     // notifies skipped (no waiters)
+    std::uint64_t direct_handoffs = 0;   // actor->actor switches bypassing run()
+    std::uint64_t scheduler_rounds = 0;  // times control returned to run()
+  };
+  Stats stats() const;
+
  private:
   friend class Condition;
 
@@ -151,8 +164,20 @@ class Engine {
   /// shutdown happened while parked and the wake reason says so.
   WakeReason park();
 
-  /// Scheduler-side: runs one actor until it parks or finishes.
-  void dispatch(ActorId id);
+  /// The scheduler proper, batched under the caller's single lock hold:
+  /// advances timers until an actor is runnable and elects it (a *direct*
+  /// handoff when called from a parking or finishing actor — the run()
+  /// thread never wakes), or, when nothing is runnable, returns control
+  /// to run() for termination/deadlock handling and yields nullptr.
+  /// The caller must open the returned actor's gate AFTER dropping
+  /// mutex_: waking while still holding it invites the kernel to
+  /// wake-preempt us into a 3-switch mutex convoy. `from_actor` only
+  /// attributes the switch in stats().
+  ActorState* hand_off_locked(bool from_actor);
+
+  /// Shared trampoline tail: marks `a` finished, captures its error, and
+  /// elects the next actor (to be woken unlocked, as above).
+  ActorState* finish_locked(ActorState& a, std::exception_ptr error);
 
   void make_ready(ActorState& a, WakeReason reason);
   void arm_timer(ActorState& a, Time deadline);
@@ -164,7 +189,7 @@ class Engine {
   std::condition_variable sched_cv_;
   std::vector<std::unique_ptr<ActorState>> actors_;
   std::deque<ActorId> ready_;
-  std::set<std::pair<Time, ActorId>> timers_;
+  TimerWheel timers_;
   Time now_ = 0;
   Time horizon_ = kForever;
   TraceSink* trace_ = nullptr;
@@ -173,8 +198,14 @@ class Engine {
   bool in_run_ = false;
   bool stopping_ = false;
   std::uint64_t switches_ = 0;
+  std::uint64_t timer_fires_ = 0;
+  std::uint64_t notifies_ = 0;
+  std::uint64_t noop_notifies_ = 0;
+  std::uint64_t direct_handoffs_ = 0;
+  std::uint64_t scheduler_rounds_ = 0;
   std::size_t live_non_daemons_ = 0;
   std::exception_ptr first_error_;
+  std::exception_ptr engine_error_;
 };
 
 }  // namespace mad::sim

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "sim/engine.hpp"
+#include "sim/futex_gate.hpp"
 
 namespace mad::sim {
 
@@ -16,8 +17,11 @@ struct Engine::ActorState {
   bool started = false;  // body() has begun executing
   std::function<void()> body;
   std::thread thread;
-  std::condition_variable cv;
-  bool may_run = false;
+  // Run permission. The gate's release/acquire ordering replaces both the
+  // old per-actor condvar and the wake-side mutex reacquisition:
+  // everything the waker wrote under the engine mutex is visible after
+  // gate.wait() returns.
+  FutexGate gate;
   WakeReason wake_reason = WakeReason::Notified;
   Condition* waiting_cond = nullptr;
   bool timer_armed = false;

@@ -1,0 +1,266 @@
+#include "sim/timer_wheel.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/panic.hpp"
+
+namespace mad::sim {
+
+namespace {
+
+// Lexicographic (deadline, id) — kept as a named helper so the heaps and
+// the cascade visibly share one ordering. Generations never participate:
+// stale entries are filtered before any ordering decision matters.
+inline bool entry_less(const TimerWheel::Entry& a,
+                       const TimerWheel::Entry& b) {
+  return a < b;
+}
+
+struct EntryGreater {
+  bool operator()(const TimerWheel::Entry& a,
+                  const TimerWheel::Entry& b) const {
+    return entry_less(b, a);
+  }
+};
+
+}  // namespace
+
+TimerWheel::TimerWheel() {
+  slots_.resize(static_cast<std::size_t>(kLevels) * kSlots);
+}
+
+bool TimerWheel::armed(int id) const {
+  return id >= 0 && static_cast<std::size_t>(id) < where_.size() &&
+         where_[static_cast<std::size_t>(id)].level != kNone;
+}
+
+void TimerWheel::place(Time deadline, int id) {
+  Where& w = where_[static_cast<std::size_t>(id)];
+  for (int level = 0; level < kLevels; ++level) {
+    const Time gdiff =
+        (deadline >> shift(level)) - (cur_ >> shift(level));
+    if (gdiff < kSlots) {
+      const int slot =
+          static_cast<int>((deadline >> shift(level)) & (kSlots - 1));
+      auto& bucket = slots_[static_cast<std::size_t>(level) * kSlots + slot];
+      bucket.push_back({deadline, id, w.gen});
+      std::push_heap(bucket.begin(), bucket.end(), EntryGreater{});
+      bits_[level] |= std::uint64_t{1} << slot;
+      ++level_count_[level];
+      w.level = static_cast<std::int8_t>(level);
+      w.slot = static_cast<std::uint8_t>(slot);
+      return;
+    }
+  }
+  heap_.push_back({deadline, id, w.gen});
+  std::push_heap(heap_.begin(), heap_.end(), EntryGreater{});
+  ++heap_live_;
+  w.level = kHeap;
+}
+
+void TimerWheel::arm(Time deadline, int id) {
+  MAD_ASSERT(id >= 0, "timer for a negative actor id");
+  MAD_ASSERT(deadline >= cur_, "timer armed in the wheel's past");
+  if (static_cast<std::size_t>(id) >= where_.size()) {
+    where_.resize(static_cast<std::size_t>(id) + 1);
+  }
+  Where& w = where_[static_cast<std::size_t>(id)];
+  MAD_ASSERT(w.level == kNone, "timer already armed");
+  // A fresh generation invalidates every entry this id left behind from
+  // earlier lazily-cancelled arms, even bit-identical rearms.
+  ++w.gen;
+  place(deadline, id);
+  ++size_;
+}
+
+void TimerWheel::cancel(int id) {
+  MAD_ASSERT(armed(id), "cancel of an unarmed timer");
+  Where& w = where_[static_cast<std::size_t>(id)];
+  const bool in_heap = w.level == kHeap;
+  // O(1): the entry stays where it is; the generation mismatch created by
+  // the NEXT arm — or the kNone marker until then — retires it when it
+  // surfaces in a pop, a cascade, or a compaction sweep.
+  w.level = kNone;
+  --size_;
+  if (in_heap) {
+    --heap_live_;
+    if (heap_.size() > 64 && heap_.size() > 2 * heap_live_) {
+      std::vector<Entry> alive;
+      alive.reserve(heap_live_);
+      for (const Entry& e : heap_) {
+        if (live(e)) {
+          alive.push_back(e);
+        }
+      }
+      heap_.swap(alive);
+      std::make_heap(heap_.begin(), heap_.end(), EntryGreater{});
+      MAD_ASSERT(heap_.size() == heap_live_, "heap compaction miscount");
+    }
+  } else {
+    ++wheel_stale_;
+    const std::size_t wheel_live = size_ - heap_live_;
+    if (wheel_stale_ > 64 && wheel_stale_ > 2 * wheel_live) {
+      sweep_wheel();
+    }
+  }
+}
+
+void TimerWheel::sweep_wheel() {
+  for (int level = 0; level < kLevels; ++level) {
+    if (level_count_[level] == 0) {
+      continue;
+    }
+    std::size_t count = 0;
+    std::uint64_t bits = bits_[level];
+    while (bits != 0) {
+      const int slot = std::countr_zero(bits);
+      bits &= bits - 1;
+      auto& bucket = slots_[static_cast<std::size_t>(level) * kSlots + slot];
+      bucket.erase(
+          std::remove_if(bucket.begin(), bucket.end(),
+                         [this](const Entry& e) { return !live(e); }),
+          bucket.end());
+      if (bucket.empty()) {
+        bits_[level] &= ~(std::uint64_t{1} << slot);
+      } else {
+        std::make_heap(bucket.begin(), bucket.end(), EntryGreater{});
+        count += bucket.size();
+      }
+    }
+    level_count_[level] = count;
+  }
+  wheel_stale_ = 0;
+}
+
+std::pair<int, Time> TimerWheel::first_occupied(int level) const {
+  if (level_count_[level] == 0) {
+    return {-1, 0};
+  }
+  const int idx = static_cast<int>((cur_ >> shift(level)) & (kSlots - 1));
+  // Rotate the bitmap so bit 0 is cur_'s slot; entries span at most one
+  // rotation (granule diff < 64 enforced at insertion), so the first set
+  // bit of the rotation is the earliest slot in time order.
+  const std::uint64_t rot = std::rotr(bits_[level], idx);
+  const int j = std::countr_zero(rot);
+  const Time start =
+      ((cur_ >> shift(level)) + j) << shift(level);
+  return {j, start};
+}
+
+void TimerWheel::cascade(int level, int slot) {
+  auto& bucket = slots_[static_cast<std::size_t>(level) * kSlots + slot];
+  // Swap through the scratch member so bucket buffers rotate instead of
+  // being freed and re-grown on every cascade.
+  scratch_.clear();
+  scratch_.swap(bucket);
+  bits_[level] &= ~(std::uint64_t{1} << slot);
+  level_count_[level] -= scratch_.size();
+  for (const Entry& e : scratch_) {
+    if (!live(e)) {
+      --wheel_stale_;  // lazily-cancelled entry retires here
+      continue;
+    }
+    // place() re-levels relative to the advanced cur_: every entry of a
+    // level-L slot whose granule cur_ has reached fits level L-1 or lower,
+    // so it never lands back in the bucket we are draining.
+    place(e.deadline, e.id);
+  }
+}
+
+TimerWheel::Entry TimerWheel::pop_far() {
+  const Entry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+  heap_.pop_back();
+  where_[static_cast<std::size_t>(top.id)].level = kNone;
+  --heap_live_;
+  --size_;
+  return top;
+}
+
+TimerWheel::Entry TimerWheel::pop_min() {
+  MAD_ASSERT(size_ > 0, "pop_min on an empty timer wheel");
+  // Drop stale (cancelled, or cancelled-then-rearmed) heap tops, then note
+  // the live top: every remaining wheel entry is >= its slot start, so the
+  // heap top both bounds how far cur_ may advance and is the answer
+  // outright when it precedes the earliest occupied slot.
+  Entry far{kForever, -1, 0};
+  bool has_far = false;
+  while (!heap_.empty()) {
+    const Entry& top = heap_.front();
+    if (live(top)) {
+      far = top;
+      has_far = true;
+      break;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), EntryGreater{});
+    heap_.pop_back();
+  }
+
+  if (size_ - heap_live_ == 0) {  // no live wheel entries
+    MAD_ASSERT(has_far, "timer wheel lost its minimum");
+    return pop_far();
+  }
+  for (;;) {
+    int best_level = -1;
+    int best_slot = -1;
+    Time best_start = kForever;
+    for (int level = 0; level < kLevels; ++level) {
+      const auto [j, start] = first_occupied(level);
+      if (j < 0) {
+        continue;
+      }
+      // Strictly earlier start wins; on a tie the HIGHER level wins so
+      // it gets cascaded — a coarse slot sharing its start with a fine
+      // one may hide an earlier deadline inside its wider granule.
+      if (start < best_start ||
+          (start == best_start && level > best_level)) {
+        best_level = level;
+        best_slot =
+            static_cast<int>(((cur_ >> shift(level)) + j) & (kSlots - 1));
+        best_start = start;
+      }
+    }
+    MAD_ASSERT(best_level >= 0, "wheel count out of sync");
+    // Occupancy is raw, so best_start may come from an all-stale slot;
+    // it is still a lower bound on every live wheel deadline, which is
+    // all the far-heap short-circuit needs.
+    if (has_far && far.deadline < best_start) {
+      // The far heap owns the minimum; do not cascade (that could move
+      // cur_ past the heap deadline, breaking the monotone horizon).
+      return pop_far();
+    }
+    if (best_level == 0) {
+      auto& bucket = slots_[static_cast<std::size_t>(best_slot)];
+      while (!bucket.empty() && !live(bucket.front())) {
+        std::pop_heap(bucket.begin(), bucket.end(), EntryGreater{});
+        bucket.pop_back();
+        --level_count_[0];
+        --wheel_stale_;
+      }
+      if (bucket.empty()) {
+        bits_[0] &= ~(std::uint64_t{1} << best_slot);
+        continue;  // re-elect: this slot held only cancelled entries
+      }
+      if (has_far && entry_less(far, bucket.front())) {
+        return pop_far();
+      }
+      const Entry best = bucket.front();
+      std::pop_heap(bucket.begin(), bucket.end(), EntryGreater{});
+      bucket.pop_back();
+      if (bucket.empty()) {
+        bits_[0] &= ~(std::uint64_t{1} << best_slot);
+      }
+      --level_count_[0];
+      where_[static_cast<std::size_t>(best.id)].level = kNone;
+      --size_;
+      return best;
+    }
+    // Advancing cur_ to the slot's granule start is safe: nothing in
+    // the wheel or (checked above) the heap precedes it.
+    cur_ = std::max(cur_, best_start);
+    cascade(best_level, best_slot);
+  }
+}
+
+}  // namespace mad::sim

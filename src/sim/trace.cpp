@@ -30,38 +30,110 @@ std::string category_of(const std::string& name) {
 
 }  // namespace
 
-void TraceSink::span(std::string track, Time begin, Time end,
-                     std::string name, std::string detail) {
+void TraceSink::push(TraceEventKind kind, Time begin, Time end,
+                     std::string_view track, std::string_view name,
+                     std::string_view detail) {
+  TraceEvent* slot = nullptr;
+  if (capacity_ == 0 || events_.size() < capacity_) {
+    events_.push_back(pool_.take());
+    slot = &events_.back();
+  } else {
+    // Ring: overwrite the oldest slot in place — its strings keep their
+    // capacity, so a saturated ring traces without touching the
+    // allocator. next_ chases the logical start: insertion order is
+    // events_[next_..) then events_[0..next_).
+    slot = &events_[next_];
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+  }
+  slot->kind = kind;
+  slot->begin = begin;
+  slot->end = end;
+  slot->track.assign(track);
+  slot->name.assign(name);
+  slot->detail.assign(detail);
+}
+
+void TraceSink::clear() {
+  // Retired events go back to the arena so their string capacity survives
+  // into the next run's slots.
+  for (TraceEvent& event : events_) {
+    pool_.give(std::move(event));
+  }
+  events_.clear();
+  next_ = 0;
+  dropped_ = 0;
+}
+
+void TraceSink::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  if (capacity_ == 0 || events_.size() <= capacity_) {
+    return;
+  }
+  // Shrink: keep the newest `capacity_` events, oldest first, and account
+  // for the evictions.
+  std::vector<const TraceEvent*> in_order = ordered();
+  std::vector<TraceEvent> kept;
+  kept.reserve(capacity_);
+  for (std::size_t i = in_order.size() - capacity_; i < in_order.size();
+       ++i) {
+    kept.push_back(*in_order[i]);
+  }
+  dropped_ += events_.size() - capacity_;
+  events_ = std::move(kept);
+  next_ = 0;
+}
+
+std::vector<const TraceEvent*> TraceSink::ordered() const {
+  std::vector<const TraceEvent*> out;
+  out.reserve(events_.size());
+  const bool wrapped = capacity_ != 0 && events_.size() == capacity_;
+  const std::size_t start = wrapped ? next_ : 0;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(&events_[(start + i) % events_.size()]);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (const TraceEvent* event : ordered()) {
+    out.push_back(*event);
+  }
+  return out;
+}
+
+void TraceSink::span(std::string_view track, Time begin, Time end,
+                     std::string_view name, std::string_view detail) {
   if (!enabled_) {
     return;
   }
-  events_.push_back({TraceEventKind::Span, begin, end, std::move(track),
-                     std::move(name), std::move(detail)});
+  push(TraceEventKind::Span, begin, end, track, name, detail);
 }
 
-void TraceSink::instant(std::string track, Time at, std::string name,
-                        std::string detail) {
+void TraceSink::instant(std::string_view track, Time at,
+                        std::string_view name, std::string_view detail) {
   if (!enabled_) {
     return;
   }
-  events_.push_back({TraceEventKind::Instant, at, at, std::move(track),
-                     std::move(name), std::move(detail)});
+  push(TraceEventKind::Instant, at, at, track, name, detail);
 }
 
-void TraceSink::instant_here(std::string name, std::string detail) {
+void TraceSink::instant_here(std::string_view name, std::string_view detail) {
   if (!enabled_) {
     return;
   }
   const Engine* engine = Engine::current();
   const Time at = engine != nullptr ? engine->now() : 0;
-  instant(current_track(), at, std::move(name), std::move(detail));
+  instant(current_track(), at, name, detail);
 }
 
 std::vector<TraceEvent> TraceSink::by_name(const std::string& name) const {
   std::vector<TraceEvent> out;
-  for (const auto& event : events_) {
-    if (event.name == name) {
-      out.push_back(event);
+  for (const TraceEvent* event : ordered()) {
+    if (event->name == name) {
+      out.push_back(*event);
     }
   }
   return out;
@@ -72,11 +144,7 @@ void TraceSink::write_chrome_json(std::ostream& out) const {
   // instants, "M" metadata naming one tid per track. Events are emitted
   // sorted by timestamp so consumers (and the smoke test) can assert
   // monotonic order.
-  std::vector<const TraceEvent*> sorted;
-  sorted.reserve(events_.size());
-  for (const auto& event : events_) {
-    sorted.push_back(&event);
-  }
+  std::vector<const TraceEvent*> sorted = ordered();
   std::stable_sort(sorted.begin(), sorted.end(),
                    [](const TraceEvent* a, const TraceEvent* b) {
                      return a->begin < b->begin;
@@ -129,16 +197,27 @@ void TraceSink::write_chrome_json(std::ostream& out) const {
     }
     out << "}";
   }
+  if (dropped_ > 0) {
+    // A truncated trace must be self-describing: viewers surface this
+    // global instant, and tooling can grep for it instead of silently
+    // analysing an incomplete event set.
+    const Time last = sorted.empty() ? 0 : sorted.back()->begin;
+    sep();
+    out << "{\"name\":\"trace.dropped\",\"cat\":\"trace\",\"ph\":\"i\","
+        << "\"s\":\"g\",\"pid\":1,\"tid\":0,\"ts\":" << us(last)
+        << ",\"args\":{\"dropped\":" << dropped_ << "}}";
+  }
   out << "\n]}\n";
 }
 
-void Trace::record(Time begin, Time end, std::string category,
-                   std::string label) {
+void Trace::record(Time begin, Time end, std::string_view category,
+                   std::string_view label) {
   if (!enabled()) {
     return;
   }
   span(current_track(), begin, end, category, label);
-  intervals_.push_back({begin, end, std::move(category), std::move(label)});
+  intervals_.push_back(
+      {begin, end, std::string(category), std::string(label)});
 }
 
 std::vector<TraceInterval> Trace::by_category(

@@ -15,11 +15,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/arena.hpp"
 
 namespace mad::sim {
 
@@ -47,22 +50,41 @@ class TraceSink {
   void disable() { enabled_ = false; }
   bool enabled() const { return enabled_; }
 
+  /// Bounds the event store to the NEWEST `capacity` events (0 = unbounded,
+  /// the default). Once full, each new event evicts the oldest and bumps
+  /// dropped(). Long 10k-actor runs with tracing left on would otherwise
+  /// grow the store without limit; a bounded tail is usually what you want
+  /// to look at anyway. Shrinking below the current size evicts (and
+  /// counts) the oldest events immediately.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
+
+  /// Events evicted by the ring since the last clear(). Also surfaced in
+  /// the Chrome JSON export so a truncated trace is never mistaken for a
+  /// complete one.
+  std::uint64_t dropped() const { return dropped_; }
+
   /// Records a [begin, end] span on `track` (no-op while disabled).
-  void span(std::string track, Time begin, Time end, std::string name,
-            std::string detail = {});
+  /// Emission goes through an event arena: retired TraceEvent slots (ring
+  /// evictions, clear()) keep their string capacity, so steady-state
+  /// tracing into a bounded sink performs no allocation.
+  void span(std::string_view track, Time begin, Time end,
+            std::string_view name, std::string_view detail = {});
 
   /// Records a point event on `track`.
-  void instant(std::string track, Time at, std::string name,
-               std::string detail = {});
+  void instant(std::string_view track, Time at, std::string_view name,
+               std::string_view detail = {});
 
   /// Point event on the calling actor's track (or "main" outside actors)
   /// at that engine's current virtual time.
-  void instant_here(std::string name, std::string detail = {});
+  void instant_here(std::string_view name, std::string_view detail = {});
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  /// All retained events in recording order (materialized: the bounded
+  /// store is a ring internally).
+  std::vector<TraceEvent> events() const;
   std::vector<TraceEvent> by_name(const std::string& name) const;
 
-  virtual void clear() { events_.clear(); }
+  virtual void clear();
 
   /// Chrome trace-event JSON ("traceEvents" array): one pid, one tid per
   /// track with thread_name metadata, events sorted by timestamp, ts/dur
@@ -73,7 +95,18 @@ class TraceSink {
   bool enabled_ = false;
 
  private:
+  /// Fills the next event slot (ring overwrite or arena take) in place.
+  void push(TraceEventKind kind, Time begin, Time end,
+            std::string_view track, std::string_view name,
+            std::string_view detail);
+  /// Pointers to retained events, oldest first.
+  std::vector<const TraceEvent*> ordered() const;
+
   std::vector<TraceEvent> events_;
+  util::Arena<TraceEvent> pool_;  // retired slots, string capacity intact
+  std::size_t capacity_ = 0;      // 0 = unbounded
+  std::size_t next_ = 0;          // ring write position once full
+  std::uint64_t dropped_ = 0;     // evictions since clear()
 };
 
 struct TraceInterval {
@@ -90,8 +123,8 @@ class Trace : public TraceSink {
  public:
   /// Records an interval AND the equivalent span on the calling actor's
   /// track.
-  void record(Time begin, Time end, std::string category,
-              std::string label = {});
+  void record(Time begin, Time end, std::string_view category,
+              std::string_view label = {});
 
   const std::vector<TraceInterval>& intervals() const { return intervals_; }
   std::vector<TraceInterval> by_category(const std::string& category) const;

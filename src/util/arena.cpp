@@ -1,0 +1,33 @@
+#include "util/arena.hpp"
+
+namespace mad::util {
+
+std::vector<std::byte> BufferArena::take(std::size_t size) {
+  ++takes_;
+  auto best = free_.end();
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->capacity() >= size &&
+        (best == free_.end() || it->capacity() < best->capacity())) {
+      best = it;
+    }
+  }
+  if (best != free_.end()) {
+    ++reuses_;
+    std::vector<std::byte> buffer = std::move(*best);
+    free_.erase(best);
+    buffer.resize(size);  // within capacity: the address stays put
+    return buffer;
+  }
+  std::vector<std::byte> buffer;
+  buffer.resize(size);
+  return buffer;
+}
+
+void BufferArena::give(std::vector<std::byte> buffer) {
+  if (buffer.capacity() == 0) {
+    return;
+  }
+  free_.push_back(std::move(buffer));
+}
+
+}  // namespace mad::util

@@ -1,0 +1,104 @@
+// Generic object/buffer recycling arenas.
+//
+// net::StaticBufferPool models a PROTOCOL-owned finite buffer ring:
+// acquisition blocks, because exhaustion is a semantic event (backpressure,
+// paper §2.1.1). The arenas here generalize its recycling half without the
+// semantics: they never block and never cap, they just keep retired objects
+// so steady-state hot paths (paquet scratch buffers in fwd, trace-event
+// slots in sim) stop hitting the allocator. Profiling the 10k-actor engine
+// benchmark put malloc/free of per-paquet scratch among the top remaining
+// costs once scheduling itself was fixed; these arenas remove it.
+//
+// Two shapes:
+//   * Arena<T>      — plain LIFO freelist of T objects. take() hands back a
+//                     retired object (with whatever capacity its members
+//                     kept) or default-constructs one.
+//   * BufferArena   — size-aware best-fit recycler for byte buffers; the
+//                     generalization of ReliableSender's old hand-rolled
+//                     wire pool, shared so every fwd allocation site keys
+//                     the same stock.
+//
+// Neither is thread-safe; under the simulation engine exactly one actor
+// runs at a time, which is the only concurrency these see.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mad::util {
+
+/// LIFO freelist of default-constructible objects. LIFO on purpose: the
+/// most recently retired object is the cache-warmest.
+template <typename T>
+class Arena {
+ public:
+  T take() {
+    ++takes_;
+    if (free_.empty()) {
+      return T{};
+    }
+    ++reuses_;
+    T obj = std::move(free_.back());
+    free_.pop_back();
+    return obj;
+  }
+
+  void give(T obj) { free_.push_back(std::move(obj)); }
+
+  std::size_t idle() const { return free_.size(); }
+  std::uint64_t takes() const { return takes_; }
+  std::uint64_t reuses() const { return reuses_; }
+
+ private:
+  std::vector<T> free_;
+  std::uint64_t takes_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+/// Best-fit recycler for std::vector<std::byte> payload/scratch buffers.
+/// Best fit so a tiny block-header paquet does not claim an MTU-sized
+/// buffer (which matters when the caller pins buffer addresses, e.g. the
+/// RDMA registration cache keys on them).
+class BufferArena {
+ public:
+  /// A buffer of exactly `size` bytes; reuses the smallest retired buffer
+  /// whose capacity fits (so the address stays put across the resize).
+  std::vector<std::byte> take(std::size_t size);
+
+  /// Retires a buffer for reuse. Empty buffers are dropped.
+  void give(std::vector<std::byte> buffer);
+
+  std::size_t idle() const { return free_.size(); }
+  std::uint64_t takes() const { return takes_; }
+  std::uint64_t reuses() const { return reuses_; }
+
+ private:
+  std::vector<std::vector<std::byte>> free_;
+  std::uint64_t takes_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+/// RAII scratch buffer: taken from the arena on construction, retired on
+/// destruction. Safe across actor blocking points — each lease owns its
+/// buffer outright, concurrent leases simply draw distinct buffers.
+class BufferLease {
+ public:
+  BufferLease(BufferArena& arena, std::size_t size)
+      : arena_(arena), buffer_(arena.take(size)) {}
+  ~BufferLease() { arena_.give(std::move(buffer_)); }
+
+  BufferLease(const BufferLease&) = delete;
+  BufferLease& operator=(const BufferLease&) = delete;
+
+  std::vector<std::byte>& buffer() { return buffer_; }
+  std::byte* data() { return buffer_.data(); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  BufferArena& arena_;
+  std::vector<std::byte> buffer_;
+};
+
+}  // namespace mad::util

@@ -1,0 +1,95 @@
+// End-to-end scheduler-determinism check over real contention primitives.
+//
+// The engine's whole value proposition is that a run is a pure function of
+// program logic. This test drives the two contention paths production code
+// leans on hardest — StaticBufferPool::acquire (blocking ring exhaustion,
+// FIFO wakeups) and a multi-waiter Condition — twice with identical seeds
+// and asserts the runs are indistinguishable: same context-switch count,
+// same acquisition order, same virtual end time. A scheduler change that
+// breaks FIFO wakeup order or leaks host-timing nondeterminism fails here
+// before it can corrupt a paper experiment.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/static_pool.hpp"
+#include "sim/condition.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace mad::net {
+namespace {
+
+struct RunRecord {
+  std::vector<int> acquire_order;  // worker id per successful acquire
+  std::uint64_t switches = 0;
+  sim::Engine::Stats stats;
+  sim::Time virtual_end = 0;
+};
+
+RunRecord contended_run(std::uint64_t seed) {
+  RunRecord rec;
+  sim::Engine eng;
+  eng.spawn("root", [&] {
+    sim::Engine& e = *sim::Engine::current();
+    // 4 buffers, 12 workers: heavy acquire() contention by construction.
+    StaticBufferPool pool(e, 256, 4, "pool");
+    sim::Condition barrier(e, "barrier");
+    int arrived = 0;
+    int done = 0;
+    for (int i = 0; i < 12; ++i) {
+      e.spawn("w" + std::to_string(i), [&, i] {
+        util::Rng rng(seed + static_cast<std::uint64_t>(i));
+        // Stagger arrival, then rendezvous so the acquire burst is dense.
+        e.sleep_for(sim::nanoseconds(rng.next_below(500)));
+        ++arrived;
+        while (arrived < 12) {
+          barrier.wait();
+        }
+        barrier.notify_all();
+        for (int round = 0; round < 5; ++round) {
+          StaticBufferPool::Ref buf = pool.acquire();
+          rec.acquire_order.push_back(i);
+          e.sleep_for(sim::nanoseconds(100 + rng.next_below(300)));
+          buf.release();
+        }
+        ++done;
+      });
+    }
+    while (done < 12) {
+      e.sleep_for(sim::microseconds(1));
+    }
+  });
+  eng.run();
+  rec.switches = eng.context_switches();
+  rec.stats = eng.stats();
+  rec.virtual_end = eng.now();
+  return rec;
+}
+
+TEST(SchedDeterminism, IdenticalSeedsProduceIdenticalSchedules) {
+  const RunRecord a = contended_run(0x5eed);
+  const RunRecord b = contended_run(0x5eed);
+  EXPECT_EQ(a.acquire_order, b.acquire_order);
+  EXPECT_EQ(a.acquire_order.size(), 60u);  // 12 workers x 5 rounds
+  EXPECT_EQ(a.switches, b.switches);
+  EXPECT_EQ(a.virtual_end, b.virtual_end);
+  EXPECT_EQ(a.stats.timer_fires, b.stats.timer_fires);
+  EXPECT_EQ(a.stats.notifies, b.stats.notifies);
+  EXPECT_EQ(a.stats.noop_notifies, b.stats.noop_notifies);
+  EXPECT_EQ(a.stats.direct_handoffs, b.stats.direct_handoffs);
+  EXPECT_EQ(a.stats.scheduler_rounds, b.stats.scheduler_rounds);
+}
+
+TEST(SchedDeterminism, DifferentSeedsPerturbTheSchedule) {
+  // Sanity check that the workload is actually seed-sensitive — otherwise
+  // the identical-run assertions above would be vacuous.
+  const RunRecord a = contended_run(0x5eed);
+  const RunRecord c = contended_run(0xfeed);
+  EXPECT_NE(a.acquire_order, c.acquire_order);
+}
+
+}  // namespace
+}  // namespace mad::net

@@ -1,0 +1,156 @@
+// Scheduler accounting (Engine::stats) and the wakeup-storm regression.
+//
+// The storm this pins down: Mailbox used to notify its not_full_ condition
+// on EVERY recv — including on unbounded boxes, where nobody can ever wait
+// on it — and Condition::notify paid a scheduler round-trip even with no
+// waiters. A producer/consumer pair over an unbounded box therefore cost
+// O(items) context switches of pure overhead. Now a no-op notify is a
+// counter increment, and the unbounded-box recv path skips the notify
+// entirely, so mailbox traffic between two actors costs exactly the
+// switches the data handoff itself requires.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/condition.hpp"
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+
+namespace mad::sim {
+namespace {
+
+TEST(EngineStats, NoopNotifyIsCountedAndCostsNoSwitch) {
+  Engine eng;
+  eng.spawn("a", [&] {
+    Condition cond(eng, "cond");
+    const Engine::Stats before = eng.stats();
+    for (int i = 0; i < 1000; ++i) {
+      cond.notify_one();
+      cond.notify_all();
+    }
+    const Engine::Stats after = eng.stats();
+    EXPECT_EQ(after.noop_notifies, before.noop_notifies + 2000);
+    EXPECT_EQ(after.notifies, before.notifies);
+    EXPECT_EQ(after.switches, before.switches);
+  });
+  eng.run();
+}
+
+TEST(EngineStats, UnboundedMailboxStormCostsNoExtraSwitches) {
+  // Reference: the switches a run costs with NO mailbox traffic at all.
+  const auto run_with_traffic = [](int items) {
+    Engine eng;
+    eng.spawn("a", [&eng, items] {
+      Mailbox<int> box(eng, /*capacity=*/0, "box");
+      for (int i = 0; i < items; ++i) {
+        box.send(i);
+      }
+      for (int i = 0; i < items; ++i) {
+        (void)box.recv();
+      }
+    });
+    eng.run();
+    return eng.stats();
+  };
+  const Engine::Stats quiet = run_with_traffic(0);
+  const Engine::Stats storm = run_with_traffic(5000);
+  EXPECT_EQ(storm.switches, quiet.switches);
+  // Each send still notifies not_empty_ (no waiter -> no-op); each recv of
+  // an unbounded box must not notify not_full_ at all.
+  EXPECT_EQ(storm.noop_notifies, quiet.noop_notifies + 5000);
+  EXPECT_EQ(storm.notifies, quiet.notifies);
+}
+
+TEST(EngineStats, BoundedMailboxStillWakesBlockedSender) {
+  Engine eng;
+  std::vector<int> got;
+  Mailbox<int>* box = nullptr;
+  eng.spawn("pair", [&] {
+    Mailbox<int> b(eng, /*capacity=*/1, "box");
+    box = &b;
+    Engine& e = *Engine::current();
+    e.spawn("producer", [&b] {
+      for (int i = 0; i < 4; ++i) {
+        b.send(i);  // blocks on the full box until the consumer drains
+      }
+    });
+    for (int i = 0; i < 4; ++i) {
+      got.push_back(b.recv());
+    }
+  });
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_GT(eng.stats().notifies, 0u);  // real wakeups happened
+}
+
+TEST(EngineStats, SwitchesMatchContextSwitchesAndHandoffsAreAttributed) {
+  Engine eng;
+  Condition* pc = nullptr;
+  int turns = 0;
+  eng.spawn("a", [&] {
+    Condition cond(eng, "cond");
+    pc = &cond;
+    Engine& e = *Engine::current();
+    e.spawn("b", [&] {
+      while (turns < 10) {
+        pc->notify_one();
+        e.yield();
+      }
+    });
+    while (turns < 10) {
+      ++turns;
+      cond.wait_until(e.now() + microseconds(1));
+    }
+  });
+  eng.run();
+  const Engine::Stats s = eng.stats();
+  EXPECT_EQ(s.switches, eng.context_switches());
+  // Actor-to-actor handoffs dominate; run() only adjudicates the ends.
+  EXPECT_GT(s.direct_handoffs, 0u);
+  EXPECT_GT(s.switches, s.scheduler_rounds);
+}
+
+TEST(EngineStats, IdenticalRunsReportIdenticalStatsAndWakeOrder) {
+  const auto run_once = [](std::vector<int>& wake_order) {
+    Engine eng;
+    Condition* gate = nullptr;
+    int woken = 0;
+    eng.spawn("root", [&] {
+      Engine& e = *Engine::current();
+      Condition cond(eng, "gate");
+      gate = &cond;
+      for (int i = 0; i < 8; ++i) {
+        e.spawn("w" + std::to_string(i), [&, i] {
+          e.sleep_for(nanoseconds(100 * (i % 3)));
+          gate->wait();
+          wake_order.push_back(i);
+          ++woken;
+        });
+      }
+      e.sleep_for(microseconds(1));
+      gate->notify_all();
+      while (woken < 8) {
+        e.yield();
+      }
+    });
+    eng.run();
+    return eng.stats();
+  };
+  std::vector<int> order_a;
+  std::vector<int> order_b;
+  const Engine::Stats a = run_once(order_a);
+  const Engine::Stats b = run_once(order_b);
+  EXPECT_EQ(order_a, order_b);
+  EXPECT_EQ(order_a.size(), 8u);
+  EXPECT_EQ(a.switches, b.switches);
+  EXPECT_EQ(a.timer_fires, b.timer_fires);
+  EXPECT_EQ(a.notifies, b.notifies);
+  EXPECT_EQ(a.noop_notifies, b.noop_notifies);
+  EXPECT_EQ(a.direct_handoffs, b.direct_handoffs);
+  EXPECT_EQ(a.scheduler_rounds, b.scheduler_rounds);
+}
+
+}  // namespace
+}  // namespace mad::sim

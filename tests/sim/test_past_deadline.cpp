@@ -1,0 +1,98 @@
+// Past-deadline semantics of the timed waits. These edge cases are load-
+// bearing for the forwarding layer (an RTO computed from a stale RTT
+// sample can land at or before `now`) and are easy to break when touching
+// the timer queue, so the exact behaviour is pinned here:
+//
+//   * a deadline <= now means "do not block": the wait reports Timeout
+//     immediately, arms no timer, and performs no context switch;
+//   * recv_until still delivers an already-queued item even when its
+//     deadline is in the past — timeout describes the wait, not the data.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "sim/condition.hpp"
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+
+namespace mad::sim {
+namespace {
+
+TEST(PastDeadline, WaitUntilAtOrBeforeNowTimesOutWithoutBlocking) {
+  Engine eng;
+  eng.spawn("a", [&] {
+    Engine* e = Engine::current();
+    Condition cond(eng, "cond");
+    e->sleep_until(microseconds(10));
+    const std::uint64_t switches = e->context_switches();
+    const std::uint64_t fires = eng.stats().timer_fires;
+    EXPECT_EQ(cond.wait_until(microseconds(10)), WakeReason::Timeout);  // ==
+    EXPECT_EQ(cond.wait_until(microseconds(3)), WakeReason::Timeout);   // <
+    EXPECT_EQ(cond.wait_until(-1), WakeReason::Timeout);                // << 0
+    EXPECT_EQ(e->now(), microseconds(10));  // time did not advance
+    EXPECT_EQ(e->context_switches(), switches);
+    EXPECT_EQ(eng.stats().timer_fires, fires);  // no timer was armed
+    EXPECT_EQ(cond.waiter_count(), 0u);
+  });
+  eng.run();
+}
+
+TEST(PastDeadline, RecvUntilEmptyBoxReturnsNulloptImmediately) {
+  Engine eng;
+  eng.spawn("a", [&] {
+    Engine* e = Engine::current();
+    Mailbox<int> box(eng, 0, "box");
+    e->sleep_until(microseconds(5));
+    const std::uint64_t switches = e->context_switches();
+    EXPECT_EQ(box.recv_until(microseconds(5)), std::nullopt);
+    EXPECT_EQ(box.recv_until(microseconds(1)), std::nullopt);
+    EXPECT_EQ(e->now(), microseconds(5));
+    EXPECT_EQ(e->context_switches(), switches);
+  });
+  eng.run();
+}
+
+TEST(PastDeadline, RecvUntilDeliversQueuedItemDespitePastDeadline) {
+  Engine eng;
+  eng.spawn("a", [&] {
+    Engine* e = Engine::current();
+    Mailbox<int> box(eng, 0, "box");
+    box.send(7);
+    box.send(8);
+    e->sleep_until(microseconds(5));
+    EXPECT_EQ(box.recv_until(microseconds(2)), std::optional<int>(7));
+    EXPECT_EQ(box.recv_until(-100), std::optional<int>(8));
+    EXPECT_EQ(e->now(), microseconds(5));
+  });
+  eng.run();
+}
+
+TEST(PastDeadline, SleepUntilAtNowIsANoop) {
+  Engine eng;
+  eng.spawn("a", [&] {
+    Engine* e = Engine::current();
+    e->sleep_until(microseconds(20));
+    const std::uint64_t fires = eng.stats().timer_fires;
+    e->sleep_until(microseconds(20));  // exactly now
+    e->sleep_until(microseconds(19));  // just past
+    EXPECT_EQ(e->now(), microseconds(20));
+    EXPECT_EQ(eng.stats().timer_fires, fires);
+  });
+  eng.run();
+}
+
+TEST(PastDeadline, FutureDeadlineStillBlocksAndFires) {
+  Engine eng;
+  WakeReason reason = WakeReason::Notified;
+  eng.spawn("a", [&] {
+    Condition cond(eng, "cond");
+    reason = cond.wait_until(microseconds(30));
+  });
+  eng.run();
+  EXPECT_EQ(reason, WakeReason::Timeout);
+  EXPECT_EQ(eng.now(), microseconds(30));
+  EXPECT_EQ(eng.stats().timer_fires, 1u);
+}
+
+}  // namespace
+}  // namespace mad::sim

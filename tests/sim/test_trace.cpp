@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 #include "sim/engine.hpp"
 #include "util/json.hpp"
@@ -131,6 +132,71 @@ TEST(Trace, ClearEmpties) {
   trace.record(0, 1, "x");
   trace.clear();
   EXPECT_TRUE(trace.intervals().empty());
+}
+
+TEST(Trace, RingCapacityKeepsNewestAndCountsDrops) {
+  TraceSink trace;
+  trace.enable();
+  trace.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    trace.instant("t", i, "e" + std::to_string(i));
+  }
+  EXPECT_EQ(trace.dropped(), 6u);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first recording order, newest 4 retained.
+  EXPECT_EQ(events[0].name, "e6");
+  EXPECT_EQ(events[3].name, "e9");
+  EXPECT_EQ(trace.by_name("e2").size(), 0u);  // evicted
+  EXPECT_EQ(trace.by_name("e8").size(), 1u);
+}
+
+TEST(Trace, ShrinkingCapacityEvictsOldestImmediately) {
+  TraceSink trace;
+  trace.enable();
+  for (int i = 0; i < 6; ++i) {
+    trace.instant("t", i, "e" + std::to_string(i));
+  }
+  trace.set_capacity(2);
+  EXPECT_EQ(trace.dropped(), 4u);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "e4");
+  EXPECT_EQ(events[1].name, "e5");
+}
+
+TEST(Trace, DroppedCounterSurfacesInChromeJson) {
+  TraceSink trace;
+  trace.enable();
+  trace.set_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    trace.instant("t", i, "e");
+  }
+  std::ostringstream out;
+  trace.write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"trace.dropped\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":3"), std::string::npos);
+
+  // A complete trace stays free of the truncation marker.
+  TraceSink whole;
+  whole.enable();
+  whole.instant("t", 0, "e");
+  std::ostringstream out2;
+  whole.write_chrome_json(out2);
+  EXPECT_EQ(out2.str().find("trace.dropped"), std::string::npos);
+}
+
+TEST(Trace, ClearResetsDroppedCounter) {
+  TraceSink trace;
+  trace.enable();
+  trace.set_capacity(1);
+  trace.instant("t", 0, "a");
+  trace.instant("t", 1, "b");
+  EXPECT_EQ(trace.dropped(), 1u);
+  trace.clear();
+  EXPECT_EQ(trace.dropped(), 0u);
+  EXPECT_TRUE(trace.events().empty());
 }
 
 }  // namespace

@@ -32,9 +32,18 @@
 // it falls more than `--hitrate-drop` points (default 2.0) below the
 // baseline.
 //
+// Wall-clock throughput series (names mentioning "events/sec" or
+// "per wall") — the engine self-benchmark — are gated on a LOOSE ratio,
+// `--throughput-drop` (default 0.5): unlike every series above, these
+// measure host wall time, so run-to-run noise of +-15% is expected and
+// the tight bandwidth threshold would flake. The gate only catches
+// collapses (an accidental O(n) scheduler, a lost fast path), which is
+// exactly what a half-throughput floor expresses. They are exempt from
+// the bandwidth ratio gate even when their table mentions MB.
+//
 // Usage: bench_compare <baseline_dir> <candidate_dir> [--threshold 0.10]
 //        [--fairness-drop 0.02] [--latency-slack 10.0]
-//        [--hitrate-drop 2.0]
+//        [--hitrate-drop 2.0] [--throughput-drop 0.5]
 // Exit status: 0 = no regression, 1 = regression found, 2 = usage/IO error
 // or malformed report (missing/empty/non-numeric fields). Malformed input
 // is never silently skipped: a gate that quietly compares nothing would
@@ -80,6 +89,11 @@ bool mentions_hitrate(const std::string& text) {
          text.find("hit %") != std::string::npos;
 }
 
+bool mentions_throughput(const std::string& text) {
+  return text.find("events/sec") != std::string::npos ||
+         text.find("per wall") != std::string::npos;
+}
+
 std::string read_file(const fs::path& path, bool& ok) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -99,9 +113,10 @@ struct Cell {
   std::string series;
   double value = 0.0;
   bool bandwidth = false;
-  bool fairness = false;  // gated on absolute drop, not ratio
-  bool latency = false;   // gated on absolute rise (lower is better)
-  bool hitrate = false;   // gated on absolute drop in percentage points
+  bool fairness = false;    // gated on absolute drop, not ratio
+  bool latency = false;     // gated on absolute rise (lower is better)
+  bool hitrate = false;     // gated on absolute drop in percentage points
+  bool throughput = false;  // wall-clock rate: loose ratio gate only
 };
 
 /// Flattens one report, validating the schema as it goes: a missing or
@@ -171,11 +186,13 @@ std::vector<Cell> flatten(const JsonValue& doc, const std::string& file,
         const bool latency = !fairness && mentions_latency(name.string);
         const bool hitrate =
             !fairness && !latency && mentions_hitrate(name.string);
+        const bool throughput = !fairness && !latency && !hitrate &&
+                                mentions_throughput(name.string);
         cells.push_back({title->string, label->string, name.string,
                          value.number,
-                         !fairness && !latency && !hitrate &&
+                         !fairness && !latency && !hitrate && !throughput &&
                              (table_bw || mentions_bandwidth(name.string)),
-                         fairness, latency, hitrate});
+                         fairness, latency, hitrate, throughput});
       }
     }
   }
@@ -197,15 +214,18 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   double threshold = 0.10;
   double fairness_drop = 0.02;
-  double latency_slack = 10.0;  // milliseconds
-  double hitrate_drop = 2.0;    // percentage points
+  double latency_slack = 10.0;   // milliseconds
+  double hitrate_drop = 2.0;     // percentage points
+  double throughput_drop = 0.5;  // loose: wall-clock series are noisy
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool is_threshold = arg == "--threshold";
     const bool is_fairness = arg == "--fairness-drop";
     const bool is_latency = arg == "--latency-slack";
     const bool is_hitrate = arg == "--hitrate-drop";
-    if ((is_threshold || is_fairness || is_latency || is_hitrate) &&
+    const bool is_throughput = arg == "--throughput-drop";
+    if ((is_threshold || is_fairness || is_latency || is_hitrate ||
+         is_throughput) &&
         i + 1 < argc) {
       double parsed = std::nan("");
       try {
@@ -233,8 +253,10 @@ int main(int argc, char** argv) {
         fairness_drop = parsed;
       } else if (is_latency) {
         latency_slack = parsed;
-      } else {
+      } else if (is_hitrate) {
         hitrate_drop = parsed;
+      } else {
+        throughput_drop = parsed;
       }
     } else {
       positional.push_back(arg);
@@ -244,7 +266,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: bench_compare <baseline_dir> <candidate_dir> "
                  "[--threshold 0.10] [--fairness-drop 0.02] "
-                 "[--latency-slack 10.0] [--hitrate-drop 2.0]\n");
+                 "[--latency-slack 10.0] [--hitrate-drop 2.0] "
+                 "[--throughput-drop 0.5]\n");
     return 2;
   }
   const fs::path base_dir = positional[0];
@@ -299,7 +322,8 @@ int main(int argc, char** argv) {
     const std::vector<Cell> cand_cells =
         flatten(cand, cand_path.string(), errors);
     for (const Cell& b : base_cells) {
-      if (!b.bandwidth && !b.fairness && !b.latency && !b.hitrate) {
+      if (!b.bandwidth && !b.fairness && !b.latency && !b.hitrate &&
+          !b.throughput) {
         continue;
       }
       const Cell* c = find_cell(cand_cells, b);
@@ -360,6 +384,22 @@ int main(int argc, char** argv) {
       if (b.value <= 0.0) {
         continue;
       }
+      if (b.throughput) {
+        // Loose ratio gate: wall-clock rates carry host noise, so only a
+        // collapse (default: losing half the events/sec) regresses.
+        ++compared;
+        const double ratio = c->value / b.value;
+        if (ratio < 1.0 - throughput_drop) {
+          std::printf(
+              "REGRESSION %s: [%s] %s @ %s: %.4g -> %.4g "
+              "(throughput ratio %.2f < %.2f)\n",
+              name.string().c_str(), b.table.c_str(), b.series.c_str(),
+              b.row.c_str(), b.value, c->value, ratio,
+              1.0 - throughput_drop);
+          ++regressions;
+        }
+        continue;
+      }
       ++compared;
       const double ratio = c->value / b.value;
       if (ratio < 1.0 - threshold) {
@@ -379,16 +419,17 @@ int main(int argc, char** argv) {
   }
   if (compared == 0) {
     std::fprintf(stderr,
-                 "bench_compare: no bandwidth, fairness, latency or "
-                 "hit-rate cells compared — the gate checked nothing\n");
+                 "bench_compare: no bandwidth, fairness, latency, "
+                 "hit-rate or throughput cells compared — the gate "
+                 "checked nothing\n");
     return 2;
   }
   std::printf(
-      "bench_compare: %d bandwidth/fairness/latency/hit-rate cells "
-      "compared, %d regressions, %d reports skipped (threshold %.0f%%, "
-      "fairness drop %.2f, latency slack %.1f ms, hit-rate drop %.1f "
-      "points)\n",
+      "bench_compare: %d bandwidth/fairness/latency/hit-rate/throughput "
+      "cells compared, %d regressions, %d reports skipped (threshold "
+      "%.0f%%, fairness drop %.2f, latency slack %.1f ms, hit-rate drop "
+      "%.1f points, throughput drop %.0f%%)\n",
       compared, regressions, skipped, threshold * 100.0, fairness_drop,
-      latency_slack, hitrate_drop);
+      latency_slack, hitrate_drop, throughput_drop * 100.0);
   return regressions > 0 ? 1 : 0;
 }
